@@ -1,0 +1,57 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every module in this directory regenerates one artefact of the paper (a
+table, a figure, or a quantitative claim from §3–§5) and prints the rows it
+reproduces, so running ``pytest benchmarks/ --benchmark-only -s`` shows the
+same information the paper reports next to the timing data.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core import compile_schema
+from repro.schema import banking_schema, figure1_schema
+
+#: Every reproduced artefact is also appended here, so the tables survive
+#: even when pytest captures stdout.
+REPORT_PATH = pathlib.Path(__file__).with_name("report.txt")
+_report_started = False
+
+
+def emit(title: str, body: str) -> None:
+    """Print one reproduced artefact and append it to ``benchmarks/report.txt``."""
+    global _report_started
+    banner = "=" * max(8, len(title))
+    text = f"\n{banner}\n{title}\n{banner}\n{body}\n"
+    print(text)
+    mode = "a" if _report_started else "w"
+    with REPORT_PATH.open(mode, encoding="utf-8") as report:
+        report.write(text)
+    _report_started = True
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    """The Figure 1 schema."""
+    return figure1_schema()
+
+
+@pytest.fixture(scope="session")
+def figure1_compiled(figure1):
+    """Compiled metadata for Figure 1."""
+    return compile_schema(figure1)
+
+
+@pytest.fixture(scope="session")
+def banking():
+    """The banking example schema used by workload benches."""
+    return banking_schema()
+
+
+@pytest.fixture(scope="session")
+def banking_compiled(banking):
+    """Compiled metadata for the banking schema."""
+    return compile_schema(banking)

@@ -1,0 +1,66 @@
+"""Ablation — the conservatism of transitive access vectors (§4.3, §6).
+
+TAVs merge every statically reachable path, so they can forbid executions
+that a run-time, per-access scheme (the field-locking baseline, which locks
+exactly what an execution touches) would allow.  The bench quantifies the
+price of compile-time conservatism: how many operation pairs the run-time
+oracle admits that the TAV protocol refuses — and checks the direction of the
+trade-off: the oracle is never *more* conservative, but it pays an order of
+magnitude more concurrency-control calls (measured by Q1).
+"""
+
+from repro.errors import LockConflictError
+from repro.reporting import format_records
+from repro.sim import WorkloadGenerator, populate_store
+from repro.txn.protocols import FieldLockingProtocol, TAVProtocol
+
+from .conftest import emit
+
+
+def pair_admitted(protocol, first, second) -> bool:
+    lock_manager = protocol.create_lock_manager()
+    for txn, operation in ((1, first), (2, second)):
+        for request in protocol.plan(operation).requests:
+            try:
+                lock_manager.acquire(txn, request.resource, request.mode)
+            except LockConflictError:
+                return False
+    return True
+
+
+def compare(schema, compiled, seed, pair_count=60):
+    store = populate_store(schema, 6, seed=seed)
+    generator = WorkloadGenerator(schema=schema, store=store, seed=seed + 1,
+                                  operations_per_transaction=1,
+                                  extent_fraction=0.05, domain_fraction=0.1,
+                                  hotspot_fraction=0.7, hotspot_size=2)
+    operations = [spec.operations[0] for spec in generator.transactions(pair_count * 2)]
+    pairs = list(zip(operations[::2], operations[1::2]))
+    tav = TAVProtocol(compiled, store)
+    oracle = FieldLockingProtocol(compiled, store)
+    tav_admits = {i for i, (a, b) in enumerate(pairs) if pair_admitted(tav, a, b)}
+    oracle_admits = {i for i, (a, b) in enumerate(pairs) if pair_admitted(oracle, a, b)}
+    tav_controls = sum(tav.plan(op).control_points for op in operations)
+    oracle_controls = sum(oracle.plan(op).control_points for op in operations)
+    return pairs, tav_admits, oracle_admits, tav_controls, oracle_controls
+
+
+def test_conservatism_against_runtime_oracle(benchmark, banking, banking_compiled):
+    pairs, tav_admits, oracle_admits, tav_controls, oracle_controls = benchmark(
+        compare, banking, banking_compiled, 71)
+
+    # The run-time oracle is finer or equal: it admits a superset of pairs.
+    assert tav_admits <= oracle_admits
+    # But it pays for it with far more concurrency-control invocations.
+    assert oracle_controls > 3 * tav_controls
+
+    rows = [{
+        "operation pairs": len(pairs),
+        "admitted by tav": len(tav_admits),
+        "admitted by field-locking oracle": len(oracle_admits),
+        "pairs lost to conservatism": len(oracle_admits - tav_admits),
+        "control points (tav)": tav_controls,
+        "control points (oracle)": oracle_controls,
+    }]
+    emit("Ablation - conservatism of TAVs vs a run-time field-locking oracle",
+         format_records(rows))

@@ -1,0 +1,79 @@
+"""Ablation — §5: explicit class locking vs implicit hierarchy locking.
+
+Per-method access modes force *explicit* locks on every class of a domain;
+the read/write baselines can lock a root class and cover its subclasses
+implicitly, at the price of intention locks along the ancestor path on every
+individual-instance access.  The bench counts class-level lock requests for
+the two access patterns on the Figure 1 hierarchy and a deeper generated one,
+showing the trade-off the paper acknowledges ("this justifies, a posteriori,
+the somewhat arbitrary choice made for ORION").
+"""
+
+from repro.core import compile_schema
+from repro.objects import ObjectStore
+from repro.reporting import format_records
+from repro.sim import SchemaGenerator, populate_store
+from repro.txn import DomainAllCall, MethodCall
+from repro.txn.protocols import RWHierarchyProtocol, RWInstanceProtocol, TAVProtocol
+
+from .conftest import emit
+
+
+def class_lock_counts(compiled, store, instance_oid, method, root_class, domain_method,
+                      arguments=(1,), domain_arguments=(1,)):
+    rows = []
+    for name, protocol_class in (("tav", TAVProtocol),
+                                 ("rw-instance (explicit)", RWInstanceProtocol),
+                                 ("rw-hierarchy (implicit)", RWHierarchyProtocol)):
+        protocol = protocol_class(compiled, store)
+        instance_plan = protocol.plan(MethodCall(oid=instance_oid, method=method,
+                                                 arguments=arguments))
+        domain_plan = protocol.plan(DomainAllCall(class_name=root_class,
+                                                  method=domain_method,
+                                                  arguments=domain_arguments))
+        rows.append({
+            "protocol": name,
+            "class locks, one deep instance": sum(
+                1 for r in instance_plan.requests if r.resource[0] == "class"),
+            "class locks, whole domain": sum(
+                1 for r in domain_plan.requests if r.resource[0] == "class"),
+        })
+    return rows
+
+
+def test_explicit_vs_implicit_class_locking(benchmark, figure1, figure1_compiled):
+    store = ObjectStore(figure1)
+    deep = store.create("c2", f2=False)
+    store.create("c1", f2=False)
+    rows = benchmark(class_lock_counts, figure1_compiled, store, deep.oid, "m2",
+                     "c1", "m1")
+    by_name = {row["protocol"]: row for row in rows}
+
+    # Explicit locking: one intentional class lock per instance access, but
+    # one hierarchical lock per class of the domain.
+    assert by_name["tav"]["class locks, one deep instance"] == 1
+    assert by_name["tav"]["class locks, whole domain"] == 2
+    # Implicit locking: the whole-domain scan locks a single class...
+    assert by_name["rw-hierarchy (implicit)"]["class locks, whole domain"] < \
+        by_name["rw-instance (explicit)"]["class locks, whole domain"]
+    # ...but individual accesses to a subclass instance pay intention locks
+    # along the whole ancestor path.
+    assert by_name["rw-hierarchy (implicit)"]["class locks, one deep instance"] > \
+        by_name["tav"]["class locks, one deep instance"]
+
+    # Same comparison on a deeper generated hierarchy.
+    deep_schema = SchemaGenerator(depth=3, branching=1, fields_per_class=2,
+                                  methods_per_class=2, seed=11).generate()
+    deep_compiled = compile_schema(deep_schema)
+    deep_store = populate_store(deep_schema, 2, seed=12)
+    leaf_class = deep_schema.class_names[-1]
+    leaf_method = deep_schema.method_names(leaf_class)[0]
+    root = deep_schema.linearization(leaf_class)[-1]
+    root_method = deep_schema.method_names(root)[0]
+    deep_rows = class_lock_counts(deep_compiled, deep_store,
+                                  deep_store.extent(leaf_class)[0], leaf_method,
+                                  root, root_method, arguments=(), domain_arguments=())
+
+    emit("Ablation - class-level lock requests, Figure 1", format_records(rows))
+    emit("Ablation - class-level lock requests, depth-4 hierarchy",
+         format_records(deep_rows))

@@ -1,0 +1,29 @@
+"""Experiment F2 — Figure 2: the late-binding resolution graph of class c2.
+
+Reconstructs G_c2 (definition 9) and checks its vertex and edge sets against
+the figure.
+"""
+
+from repro.core import build_resolution_graph
+from repro.reporting import describe_resolution_graph
+from repro.schema import figure1_schema
+
+from .conftest import emit
+
+EXPECTED_VERTICES = frozenset({
+    ("c2", "m1"), ("c2", "m2"), ("c2", "m3"), ("c2", "m4"), ("c1", "m2")})
+EXPECTED_EDGES = frozenset({
+    (("c2", "m1"), ("c2", "m2")),
+    (("c2", "m1"), ("c2", "m3")),
+    (("c2", "m2"), ("c1", "m2")),
+})
+
+
+def test_figure2_resolution_graph(benchmark):
+    schema = figure1_schema()
+    graph = benchmark(build_resolution_graph, schema, "c2")
+    assert graph.vertices == EXPECTED_VERTICES
+    assert graph.edges == EXPECTED_EDGES
+    assert graph.size == (5, 3)
+    emit("Figure 2 - late-binding resolution graph of class c2",
+         describe_resolution_graph(graph))

@@ -1,0 +1,74 @@
+"""Ablation — §5.1: translating access vectors into access modes.
+
+Locking could use the raw transitive access vectors directly (comparing them
+field by field at every request), but the paper translates them once, at
+compile time, into per-class access modes so that run-time checking costs one
+table lookup.  The bench verifies that both representations admit exactly the
+same schedules and measures the run-time cost of a compatibility check under
+each representation.
+"""
+
+import itertools
+import time
+
+from repro.reporting import format_records
+
+from .conftest import emit
+
+
+def check_equivalence(compiled_schema):
+    """Modes and raw vectors must agree on every method pair of every class."""
+    disagreements = 0
+    comparisons = 0
+    for class_name in compiled_schema.class_names:
+        compiled = compiled_schema.compiled_class(class_name)
+        for first, second in itertools.product(compiled.methods, repeat=2):
+            comparisons += 1
+            by_mode = compiled.commutes(first, second)
+            by_vector = compiled.tav(first).commutes_with(compiled.tav(second))
+            if by_mode != by_vector:
+                disagreements += 1
+    return comparisons, disagreements
+
+
+def time_checks(compiled_schema, rounds=2000):
+    compiled = compiled_schema.compiled_class(compiled_schema.class_names[-1])
+    pairs = list(itertools.product(compiled.methods, repeat=2))
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for first, second in pairs:
+            compiled.commutes(first, second)
+    mode_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for first, second in pairs:
+            compiled.tav(first).commutes_with(compiled.tav(second))
+    vector_time = time.perf_counter() - start
+    checks = rounds * len(pairs)
+    return {
+        "checks": checks,
+        "mode-table time (ms)": round(mode_time * 1000, 2),
+        "raw-vector time (ms)": round(vector_time * 1000, 2),
+        "speedup (x)": round(vector_time / mode_time, 1),
+    }
+
+
+def test_mode_translation_equivalence_and_cost(benchmark, figure1_compiled,
+                                               banking_compiled):
+    comparisons, disagreements = benchmark(check_equivalence, banking_compiled)
+    assert disagreements == 0
+    figure_comparisons, figure_disagreements = check_equivalence(figure1_compiled)
+    assert figure_disagreements == 0
+
+    timing = time_checks(figure1_compiled)
+    assert timing["mode-table time (ms)"] < timing["raw-vector time (ms)"]
+
+    rows = [
+        {"schema": "banking", "method-pair checks": comparisons, "disagreements": 0},
+        {"schema": "figure1", "method-pair checks": figure_comparisons, "disagreements": 0},
+    ]
+    emit("Ablation - access modes admit exactly what access vectors admit",
+         format_records(rows))
+    emit("Ablation - run-time cost of a compatibility check", format_records([timing]))

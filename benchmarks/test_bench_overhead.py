@@ -1,0 +1,83 @@
+"""Experiment Q1 — §3 "locking overhead".
+
+The paper: "If each message wants control, then invoking m1 on an instance of
+c1 or c2 leads to controlling concurrency thrice"; the access-vector scheme
+controls concurrency once, when the top message is sent.
+
+The bench measures concurrency-control invocations (control points) and lock
+requests per top-level operation under each protocol, on the Figure 1 example
+and on the banking workload.
+"""
+
+from repro.objects import ObjectStore
+from repro.reporting import format_records
+from repro.sim import Simulator, WorkloadGenerator, populate_store
+from repro.txn import MethodCall
+from repro.txn.protocols import PROTOCOLS
+
+from .conftest import emit
+
+
+def figure1_controls(figure1_compiled, figure1):
+    store = ObjectStore(figure1)
+    c1_instance = store.create("c1", f2=False)
+    c2_instance = store.create("c2", f2=False)
+    rows = []
+    for name, protocol_class in PROTOCOLS.items():
+        protocol = protocol_class(figure1_compiled, store)
+        plan_c1 = protocol.plan(MethodCall(oid=c1_instance.oid, method="m1", arguments=(1,)))
+        plan_c2 = protocol.plan(MethodCall(oid=c2_instance.oid, method="m1", arguments=(1,)))
+        rows.append({
+            "protocol": name,
+            "controls m1 on c1": plan_c1.control_points,
+            "locks m1 on c1": len(plan_c1.requests),
+            "controls m1 on c2": plan_c2.control_points,
+            "locks m1 on c2": len(plan_c2.requests),
+        })
+    return rows
+
+
+def banking_controls(banking, banking_compiled):
+    rows = []
+    for name, protocol_class in PROTOCOLS.items():
+        store = populate_store(banking, 8, seed=17)
+        generator = WorkloadGenerator(schema=banking, store=store, seed=18,
+                                      operations_per_transaction=3,
+                                      extent_fraction=0.0, domain_fraction=0.0)
+        protocol = protocol_class(banking_compiled, store)
+        result = Simulator(protocol).run(generator.transactions(10))
+        operations = max(1, result.metrics.operations)
+        rows.append({
+            "protocol": name,
+            "control points / operation": round(result.metrics.control_points / operations, 2),
+            "lock requests / operation": round(result.metrics.lock_requests / operations, 2),
+        })
+    return rows
+
+
+def test_locking_overhead_per_message_vs_per_instance(benchmark, figure1,
+                                                      figure1_compiled, banking,
+                                                      banking_compiled):
+    figure_rows = benchmark(figure1_controls, figure1_compiled, figure1)
+
+    by_name = {row["protocol"]: row for row in figure_rows}
+    # The paper's numbers: three controls per m1 under per-message RW locking,
+    # one under the access-vector scheme (c1 instance; the c2 instance adds
+    # the prefixed call for RW, still one for TAV).
+    assert by_name["tav"]["controls m1 on c1"] == 1
+    assert by_name["tav"]["controls m1 on c2"] == 1
+    assert by_name["rw-instance"]["controls m1 on c1"] == 3
+    assert by_name["rw-instance"]["controls m1 on c2"] == 4
+    assert by_name["field-locking"]["controls m1 on c1"] > 3
+
+    workload_rows = banking_controls(banking, banking_compiled)
+    tav_row = next(row for row in workload_rows if row["protocol"] == "tav")
+    rw_row = next(row for row in workload_rows if row["protocol"] == "rw-instance")
+    field_row = next(row for row in workload_rows if row["protocol"] == "field-locking")
+    assert tav_row["control points / operation"] < rw_row["control points / operation"]
+    assert rw_row["control points / operation"] < field_row["control points / operation"]
+
+    emit("Q1 - concurrency controls for one top-level m1 (Figure 1)",
+         format_records(figure_rows))
+    emit("Q1 - control points per operation on the banking workload",
+         format_records(workload_rows))

@@ -1,0 +1,25 @@
+"""Experiment T1 — Table 1: the classical compatibility relation.
+
+Regenerates the 3x3 yes/no matrix on {Null, Read, Write} and checks every
+cell against the values printed in the paper.
+"""
+
+from repro.core import AccessMode, compatibility_table, compatible
+from repro.reporting import format_table
+
+from .conftest import emit
+
+PAPER_TABLE1 = [
+    ["", "Null", "Read", "Write"],
+    ["Null", "yes", "yes", "yes"],
+    ["Read", "yes", "yes", "no"],
+    ["Write", "yes", "no", "no"],
+]
+
+
+def test_table1_compatibility_relation(benchmark):
+    rows = benchmark(compatibility_table)
+    assert rows == PAPER_TABLE1
+    assert compatible(AccessMode.READ, AccessMode.READ)
+    assert not compatible(AccessMode.WRITE, AccessMode.READ)
+    emit("Table 1 - compatibility relation on MODES", format_table(rows))

@@ -1,0 +1,37 @@
+"""Experiment T2 — Table 2: the commutativity relation of class c2.
+
+Synthesises the per-class access-mode commutativity relation from the
+transitive access vectors and checks all sixteen cells against Table 2,
+plus the paper's remark that c1's relation is the restriction to m1-m3.
+"""
+
+from repro.core import build_commutativity_table, compile_schema
+from repro.reporting import format_commutativity_table
+from repro.schema import figure1_schema
+
+from .conftest import emit
+
+PAPER_TABLE2 = {
+    ("m1", "m1"): False, ("m1", "m2"): False, ("m1", "m3"): True, ("m1", "m4"): True,
+    ("m2", "m2"): False, ("m2", "m3"): True, ("m2", "m4"): True,
+    ("m3", "m3"): True, ("m3", "m4"): True,
+    ("m4", "m4"): False,
+}
+
+
+def test_table2_commutativity_relation(benchmark, figure1_compiled):
+    c2 = figure1_compiled.compiled_class("c2")
+    table = benchmark(build_commutativity_table, "c2", c2.tavs,
+                      ("m1", "m2", "m3", "m4"))
+    for (first, second), expected in PAPER_TABLE2.items():
+        assert table.commutes(first, second) is expected
+        assert table.commutes(second, first) is expected
+    restriction = table.restricted(("m1", "m2", "m3"))
+    c1_table = figure1_compiled.commutativity_table("c1")
+    for first in ("m1", "m2", "m3"):
+        for second in ("m1", "m2", "m3"):
+            assert c1_table.commutes(first, second) == restriction.commutes(first, second)
+    emit("Table 2 - commutativity relation of class c2",
+         format_commutativity_table(table))
+    emit("Commutativity relation of class c1 (restriction of Table 2)",
+         format_commutativity_table(c1_table, order=("m1", "m2", "m3")))

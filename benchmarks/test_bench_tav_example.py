@@ -1,0 +1,39 @@
+"""Experiment S4 — §4.3: the transitive access vectors of the worked example.
+
+Runs the full compilation pipeline on Figure 1 and checks every TAV value
+stated in §4.3 of the paper.
+"""
+
+from repro.core import AccessMode, compile_schema
+from repro.reporting import format_access_vectors
+from repro.schema import figure1_schema
+
+from .conftest import emit
+
+EXPECTED = {
+    ("c1", "m2"): {"f1": AccessMode.WRITE, "f2": AccessMode.READ},
+    ("c2", "m3"): {"f2": AccessMode.READ, "f3": AccessMode.READ},
+    ("c2", "m4"): {"f5": AccessMode.READ, "f6": AccessMode.WRITE},
+    ("c2", "m2"): {"f1": AccessMode.WRITE, "f2": AccessMode.READ,
+                   "f4": AccessMode.WRITE, "f5": AccessMode.READ},
+    ("c2", "m1"): {"f1": AccessMode.WRITE, "f2": AccessMode.READ,
+                   "f3": AccessMode.READ, "f4": AccessMode.WRITE,
+                   "f5": AccessMode.READ},
+}
+
+
+def compile_figure1():
+    return compile_schema(figure1_schema())
+
+
+def test_section4_transitive_access_vectors(benchmark):
+    compiled = benchmark(compile_figure1)
+    for (class_name, method), expected_modes in EXPECTED.items():
+        tav = compiled.tav(class_name, method)
+        for field in compiled.compiled_class(class_name).fields:
+            expected = expected_modes.get(field, AccessMode.NULL)
+            assert tav.mode_of(field) is expected, (class_name, method, field)
+    emit("Section 4.3 - transitive access vectors of class c2",
+         format_access_vectors(compiled.compiled_class("c2")))
+    emit("Section 4.3 - transitive access vectors of class c1",
+         format_access_vectors(compiled.compiled_class("c1")))

@@ -1,0 +1,82 @@
+"""Banking example: commutativity-based locking on an account hierarchy.
+
+Shows the three §3 problems on a realistic schema and how the compiled
+access modes avoid them: disjoint-field writers run concurrently, code reuse
+costs a single concurrency control, and no read-to-write escalation occurs.
+
+Run with::
+
+    python examples/banking.py
+"""
+
+from repro import ObjectStore, banking_schema, compile_schema
+from repro.errors import LockConflictError
+from repro.reporting import format_commutativity_table, format_records
+from repro.sim import Simulator, WorkloadGenerator, populate_store
+from repro.txn import TransactionManager
+from repro.txn.protocols import RWInstanceProtocol, TAVProtocol
+
+
+def interactive_session() -> None:
+    schema = banking_schema()
+    compiled = compile_schema(schema)
+    store = ObjectStore(schema)
+
+    print("Commutativity relation of CheckingAccount:")
+    print(format_commutativity_table(
+        compiled.commutativity_table("CheckingAccount")))
+
+    checking = store.create("CheckingAccount", balance=100.0, owner="ada", active=True)
+    manager = TransactionManager(TAVProtocol(compiled, store))
+
+    auditor = manager.begin()
+    teller = manager.begin()
+
+    # The auditor adjusts the overdraft limit while the teller charges a fee:
+    # two writers on the same instance, but on disjoint fields - they commute.
+    manager.call(auditor, checking.oid, "set_overdraft", 500)
+    manager.call(teller, checking.oid, "charge_fee", 2.5)
+    print("\nset_overdraft and charge_fee ran concurrently on the same account "
+          "(both are writers, but their access vectors commute).")
+
+    # A withdrawal conflicts with the fee charge (both may touch the balance
+    # and the fee total), so it must wait for the teller.
+    try:
+        manager.call(auditor, checking.oid, "withdraw", 10.0)
+    except LockConflictError:
+        print("withdraw had to wait for the teller's transaction, as expected.")
+
+    manager.commit(teller)
+    manager.commit(auditor)
+
+    solo = manager.begin()
+    manager.call(solo, checking.oid, "withdraw", 10.0)
+    manager.commit(solo)
+    print(f"Final balance: {store.read_field(checking.oid, 'balance')}, "
+          f"fees: {store.read_field(checking.oid, 'fee_total')}")
+
+
+def simulated_workload() -> None:
+    schema = banking_schema()
+    compiled = compile_schema(schema)
+    rows = []
+    for name, protocol_class in (("tav", TAVProtocol), ("rw-instance", RWInstanceProtocol)):
+        store = populate_store(schema, 10, seed=1)
+        generator = WorkloadGenerator(schema=schema, store=store, seed=2,
+                                      operations_per_transaction=3,
+                                      hotspot_fraction=0.4)
+        result = Simulator(protocol_class(compiled, store)).run(generator.transactions(10))
+        rows.append({"protocol": name, **result.metrics.as_row()})
+    print("\nSimulated mixed workload (10 transactions):")
+    print(format_records(rows, columns=("protocol", "committed", "deadlocks",
+                                        "lock_requests", "control_points",
+                                        "waits", "throughput")))
+
+
+def main() -> None:
+    interactive_session()
+    simulated_workload()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Compare all five concurrency-control protocols on one workload.
+
+Runs the same seeded workload through the discrete-event simulator under the
+paper's protocol and the four baselines, and prints the structural metrics
+(lock requests, control points, waits, deadlocks, throughput proxy).
+
+Run with::
+
+    python examples/protocol_comparison.py [transactions] [seed]
+"""
+
+import sys
+
+from repro import banking_schema, compile_schema
+from repro.reporting import format_records
+from repro.sim import Simulator, WorkloadGenerator, populate_store
+from repro.txn.protocols import PROTOCOLS
+
+
+def main(transactions: int = 12, seed: int = 3) -> None:
+    schema = banking_schema()
+    compiled = compile_schema(schema)
+    rows = []
+    for name, protocol_class in PROTOCOLS.items():
+        store = populate_store(schema, {"Account": 10, "SavingsAccount": 10,
+                                        "CheckingAccount": 10}, seed=seed)
+        generator = WorkloadGenerator(schema=schema, store=store, seed=seed + 1,
+                                      operations_per_transaction=3,
+                                      extent_fraction=0.05, domain_fraction=0.05,
+                                      hotspot_fraction=0.4)
+        protocol = protocol_class(compiled, store)
+        result = Simulator(protocol).run(generator.transactions(transactions))
+        rows.append({"protocol": name, **result.metrics.as_row()})
+
+    print(f"Banking workload, {transactions} transactions, seed {seed}:")
+    print(format_records(rows, columns=("protocol", "committed", "aborted", "deadlocks",
+                                        "lock_requests", "control_points", "waits",
+                                        "upgrades", "makespan", "throughput")))
+    print("\nReading the table: the paper's protocol ('tav') should show the lowest "
+          "lock_requests and control_points, no escalation deadlocks, and the best "
+          "throughput; 'field-locking' admits the most concurrency but pays an order "
+          "of magnitude more controls; the 'rw-*' baselines conflict on disjoint "
+          "fields and escalate.")
+
+
+if __name__ == "__main__":
+    argument_count = len(sys.argv)
+    transaction_count = int(sys.argv[1]) if argument_count > 1 else 12
+    seed_value = int(sys.argv[2]) if argument_count > 2 else 3
+    main(transaction_count, seed_value)

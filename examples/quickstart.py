@@ -1,0 +1,64 @@
+"""Quickstart: define a schema, compile it, and run two concurrent transactions.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import ObjectStore, SchemaBuilder, compile_schema
+from repro.errors import LockConflictError
+from repro.reporting import format_access_vectors, format_commutativity_table
+from repro.txn import TransactionManager
+from repro.txn.protocols import TAVProtocol
+
+
+def main() -> None:
+    # 1. Define a small schema in the method definition language.
+    schema = (
+        SchemaBuilder()
+        .define("Counter")
+            .field("value", "integer")
+            .field("resets", "integer")
+            .method("increment", "amount", body="value := value + amount")
+            .method("read", body="return value")
+            .method("reset", body="""
+                value := 0
+                resets := resets + 1
+            """)
+        .build()
+    )
+
+    # 2. Compile it: access vectors, commutativity tables, access modes.
+    compiled = compile_schema(schema)
+    counter_class = compiled.compiled_class("Counter")
+    print("Transitive access vectors:")
+    print(format_access_vectors(counter_class))
+    print("\nCommutativity relation (one access mode per method):")
+    print(format_commutativity_table(counter_class.commutativity))
+
+    # 3. Create objects and run transactions under the paper's protocol.
+    store = ObjectStore(schema)
+    counter = store.create("Counter", value=10)
+    manager = TransactionManager(TAVProtocol(compiled, store))
+
+    t1 = manager.begin()
+    t2 = manager.begin()
+
+    manager.call(t1, counter.oid, "increment", 5)
+    print("\nT1 incremented the counter (holds the 'increment' mode).")
+
+    # 'read' conflicts with 'increment' (it reads the value being written),
+    # so T2 is refused until T1 commits.
+    try:
+        manager.call(t2, counter.oid, "read")
+    except LockConflictError as error:
+        print(f"T2 read refused while T1 is active: {error}")
+
+    manager.commit(t1)
+    value = manager.call(t2, counter.oid, "read")
+    print(f"After T1 committed, T2 reads value = {value}")
+    manager.commit(t2)
+
+
+if __name__ == "__main__":
+    main()

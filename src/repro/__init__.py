@@ -1,0 +1,85 @@
+"""repro — reproduction of Malta & Martinez, ICDE 1993.
+
+*Automating Fine Concurrency Control in Object-Oriented Databases* derives,
+at compile time and without programmer intervention, a per-method access mode
+for every class of an object-oriented database, so that the lock manager gets
+the parallelism of field-level commutativity at the run-time cost of plain
+read/write locking.
+
+The package is organised bottom-up:
+
+* :mod:`repro.lang` — the method definition language (parser, AST);
+* :mod:`repro.schema` — classes, fields, methods, inheritance;
+* :mod:`repro.objects` — OIDs, instances, extents, the method interpreter;
+* :mod:`repro.core` — the paper's contribution: access vectors, the
+  late-binding resolution graph, transitive access vectors, per-class
+  commutativity tables (the compiler);
+* :mod:`repro.locking` — the commutativity-driven lock manager;
+* :mod:`repro.txn` — transactions, recovery, and the concurrency-control
+  protocols (the paper's scheme plus the baselines it is compared with);
+* :mod:`repro.sim` — workload generation and the discrete-event concurrency
+  simulator;
+* :mod:`repro.reporting` — textual tables and figure renderings.
+
+Quickstart::
+
+    from repro import SchemaBuilder, compile_schema, ObjectStore
+    from repro.txn import TransactionManager
+    from repro.txn.protocols import TAVProtocol
+
+    schema = (SchemaBuilder()
+              .define("Account")
+              .field("balance", "float")
+              .method("deposit", "amount", body="balance := balance + amount")
+              .build())
+    compiled = compile_schema(schema)
+    store = ObjectStore(schema)
+    account = store.create("Account", balance=10.0)
+
+    manager = TransactionManager(TAVProtocol(compiled, store))
+    txn = manager.begin()
+    manager.call(txn, account.oid, "deposit", 5.0)
+    manager.commit(txn)
+"""
+
+from repro.core import (
+    AccessMode,
+    AccessVector,
+    CompiledClass,
+    CompiledSchema,
+    compile_schema,
+)
+from repro.objects import Instance, Interpreter, OID, ObjectStore
+from repro.schema import (
+    ClassDefinition,
+    Field,
+    MethodDefinition,
+    Schema,
+    SchemaBuilder,
+    banking_schema,
+    figure1_schema,
+    library_schema,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessMode",
+    "AccessVector",
+    "ClassDefinition",
+    "CompiledClass",
+    "CompiledSchema",
+    "Field",
+    "Instance",
+    "Interpreter",
+    "MethodDefinition",
+    "OID",
+    "ObjectStore",
+    "Schema",
+    "SchemaBuilder",
+    "__version__",
+    "banking_schema",
+    "compile_schema",
+    "figure1_schema",
+    "library_schema",
+]

@@ -1,0 +1,59 @@
+"""The paper's primary contribution: automatic fine concurrency control.
+
+The pipeline implemented here follows §4 of the paper:
+
+1. :mod:`repro.core.modes` — the mode lattice ``Null < Read < Write`` and the
+   classical compatibility relation (Table 1, definition 2).
+2. :mod:`repro.core.access_vector` — access vectors, their join and their
+   commutativity (definitions 3–5).
+3. :mod:`repro.core.analysis` — static analysis of method bodies producing
+   direct access vectors and the direct / prefixed self-call sets
+   (definitions 6–8).
+4. :mod:`repro.core.resolution_graph` — the per-class late-binding resolution
+   graph (definition 9, Figure 2).
+5. :mod:`repro.core.tarjan` — Tarjan's strongly-connected-components
+   algorithm used to make the computation linear even with recursion.
+6. :mod:`repro.core.tav` — transitive access vectors (definition 10).
+7. :mod:`repro.core.commutativity` — translation of vectors into per-class
+   access modes and commutativity tables (§5.1, Table 2).
+8. :mod:`repro.core.compiler` — the façade tying everything together:
+   ``compile_schema(schema)`` returns a :class:`CompiledSchema`.
+"""
+
+from repro.core.modes import (
+    AccessMode,
+    COMPATIBILITY_TABLE,
+    compatibility_table,
+    compatible,
+    join,
+)
+from repro.core.access_vector import AccessVector
+from repro.core.analysis import MethodAnalysis, analyze_class, analyze_method, analyze_schema
+from repro.core.resolution_graph import ResolutionGraph, build_resolution_graph
+from repro.core.tarjan import strongly_connected_components, condensation
+from repro.core.tav import compute_tavs
+from repro.core.commutativity import CommutativityTable, build_commutativity_table
+from repro.core.compiler import CompiledClass, CompiledSchema, compile_schema
+
+__all__ = [
+    "AccessMode",
+    "AccessVector",
+    "COMPATIBILITY_TABLE",
+    "CommutativityTable",
+    "CompiledClass",
+    "CompiledSchema",
+    "MethodAnalysis",
+    "ResolutionGraph",
+    "analyze_class",
+    "analyze_method",
+    "analyze_schema",
+    "build_commutativity_table",
+    "build_resolution_graph",
+    "compatibility_table",
+    "compatible",
+    "compile_schema",
+    "compute_tavs",
+    "condensation",
+    "join",
+    "strongly_connected_components",
+]

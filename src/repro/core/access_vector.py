@@ -1,0 +1,182 @@
+"""Access vectors (definitions 3–5).
+
+An access vector associates an :class:`~repro.core.modes.AccessMode` with
+each field of a class.  Vectors over different field sets can be joined
+(definition 4 collects all fields and takes the most restrictive mode on the
+common ones) and compared for commutativity (definition 5: two vectors
+commute when the modes of every common field are compatible).
+
+The implementation stores only the non-``Null`` entries internally but always
+*presents* the vector over an explicit field tuple, so equality and display
+match the paper's notation, e.g. ``(Write f1, Read f2, Null f3)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.modes import AccessMode, compatible, join
+
+
+class AccessVector:
+    """An immutable bag of modes indexed by field names (definition 3)."""
+
+    __slots__ = ("_fields", "_modes")
+
+    def __init__(self, fields: Iterable[str],
+                 modes: Mapping[str, AccessMode] | None = None) -> None:
+        """Create a vector over ``fields``.
+
+        ``modes`` gives the non-default entries; any field not mentioned is
+        ``Null``.  Modes given for fields outside ``fields`` extend the field
+        set (this keeps definition 4's union semantics simple).
+        """
+        field_list = list(dict.fromkeys(fields))
+        explicit = dict(modes or {})
+        for name in explicit:
+            if name not in field_list:
+                field_list.append(name)
+        self._fields: tuple[str, ...] = tuple(field_list)
+        self._modes: dict[str, AccessMode] = {
+            name: mode for name, mode in explicit.items() if mode is not AccessMode.NULL
+        }
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def null(cls, fields: Iterable[str]) -> "AccessVector":
+        """The all-``Null`` vector over ``fields``."""
+        return cls(fields)
+
+    @classmethod
+    def of(cls, **modes: AccessMode) -> "AccessVector":
+        """Build a vector directly from keyword arguments (tests, examples)."""
+        return cls(modes.keys(), modes)
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        """``FIELDS(a)``: the fields this vector is defined over, in order."""
+        return self._fields
+
+    def mode_of(self, field: str) -> AccessMode:
+        """The mode recorded for ``field`` (``Null`` when the field is absent)."""
+        return self._modes.get(field, AccessMode.NULL)
+
+    def __getitem__(self, field: str) -> AccessMode:
+        return self.mode_of(field)
+
+    def __iter__(self) -> Iterator[tuple[str, AccessMode]]:
+        for field in self._fields:
+            yield field, self.mode_of(field)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def items(self) -> Iterator[tuple[str, AccessMode]]:
+        """Iterate over ``(field, mode)`` pairs in field order."""
+        return iter(self)
+
+    @property
+    def read_fields(self) -> tuple[str, ...]:
+        """Fields accessed in ``Read`` mode."""
+        return tuple(f for f, m in self if m is AccessMode.READ)
+
+    @property
+    def written_fields(self) -> tuple[str, ...]:
+        """Fields accessed in ``Write`` mode.
+
+        Recovery uses exactly this projection pattern to extract the part of
+        an instance that needs a before-image (§3).
+        """
+        return tuple(f for f, m in self if m is AccessMode.WRITE)
+
+    @property
+    def accessed_fields(self) -> tuple[str, ...]:
+        """Fields accessed in any non-``Null`` mode."""
+        return tuple(f for f, m in self if m is not AccessMode.NULL)
+
+    @property
+    def is_null(self) -> bool:
+        """``True`` when every entry is ``Null``."""
+        return not self._modes
+
+    @property
+    def top_mode(self) -> AccessMode:
+        """The most restrictive mode appearing anywhere in the vector.
+
+        This is the mode a classical read/write scheme would have to assign
+        to the whole method: ``Write`` as soon as one field is written,
+        ``Read`` if anything is read, ``Null`` otherwise.  The baselines use
+        it to classify methods as readers or writers.
+        """
+        return join(*self._modes.values()) if self._modes else AccessMode.NULL
+
+    # -- definition 4: join --------------------------------------------------
+
+    def join(self, other: "AccessVector") -> "AccessVector":
+        """Definition 4: union of the field sets, most restrictive common mode."""
+        fields = list(self._fields)
+        for field in other._fields:
+            if field not in self._modes and field not in fields:
+                fields.append(field)
+            elif field not in fields:
+                fields.append(field)
+        merged: dict[str, AccessMode] = {}
+        for field in set(self._modes) | set(other._modes):
+            merged[field] = join(self.mode_of(field), other.mode_of(field))
+        return AccessVector(fields, merged)
+
+    def __or__(self, other: "AccessVector") -> "AccessVector":
+        return self.join(other)
+
+    def extended(self, fields: Iterable[str]) -> "AccessVector":
+        """Extend the vector with extra fields at mode ``Null``.
+
+        This is the ``DAV(C', M) ⊔ (Null_f)`` operation of definition 6(i)
+        used when a method is inherited by a subclass that adds fields.
+        """
+        return AccessVector(list(self._fields) + list(fields), self._modes)
+
+    def restricted(self, fields: Iterable[str]) -> "AccessVector":
+        """Project the vector on a subset of fields (used by the relational
+        decomposition baseline, which splits an instance over relations)."""
+        kept = [f for f in fields]
+        modes = {f: self.mode_of(f) for f in kept}
+        return AccessVector(kept, modes)
+
+    # -- definition 5: commutativity ------------------------------------------
+
+    def commutes_with(self, other: "AccessVector") -> bool:
+        """Definition 5: compatible modes on every common field."""
+        common = set(self._fields) & set(other._fields)
+        return all(compatible(self.mode_of(f), other.mode_of(f)) for f in common)
+
+    # -- equality / hashing / display ------------------------------------------
+
+    def _canonical(self) -> tuple[tuple[str, ...], tuple[tuple[str, AccessMode], ...]]:
+        non_null = tuple(sorted(self._modes.items()))
+        return (tuple(sorted(self._fields)), non_null)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessVector):
+            return NotImplemented
+        return self._canonical() == other._canonical()
+
+    def __hash__(self) -> int:
+        return hash(self._canonical())
+
+    def same_modes(self, other: "AccessVector") -> bool:
+        """``True`` when the non-``Null`` entries coincide (field sets may differ)."""
+        return dict(self._modes) == dict(other._modes)
+
+    def __repr__(self) -> str:
+        entries = ", ".join(f"{mode.label}{field}" for field, mode in self)
+        return f"({entries})"
+
+    def compact(self) -> str:
+        """A compact display such as ``W:f1 R:f2`` listing only accessed fields."""
+        entries = " ".join(f"{mode.symbol}:{field}" for field, mode in self
+                           if mode is not AccessMode.NULL)
+        return entries or "(null)"

@@ -1,0 +1,232 @@
+"""Static analysis of method bodies (definitions 6, 7 and 8).
+
+For every ``(class, method)`` pair the analysis produces a
+:class:`MethodAnalysis` holding:
+
+* the **direct access vector** (DAV, definition 6): the most restrictive mode
+  used by the method's own code on each field of the class;
+* the **direct self-calls** (DSC, definition 7): names of methods invoked
+  with ``send m to self``;
+* the **prefixed self-calls** (PSC, definition 8): ``(class, method)`` pairs
+  invoked with ``send C.m to self``.
+
+Inherited methods follow rule (i) of each definition: the analysis of the
+defining class is reused, with the DAV extended by ``Null`` entries for the
+fields added by the subclass.
+
+As prescribed by the paper (§2.2), control structures are ignored: a field
+read inside an ``if`` branch counts exactly like an unconditional read, which
+is what makes transitive access vectors conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.access_vector import AccessVector
+from repro.core.modes import AccessMode
+from repro.errors import UnresolvedSelfCallError, UnresolvedSuperCallError
+from repro.lang import (
+    Assignment,
+    Block,
+    Call,
+    Expression,
+    ExpressionStatement,
+    If,
+    Name,
+    Return,
+    SelfRef,
+    Send,
+    SendStatement,
+    Statement,
+    While,
+)
+from repro.schema import Schema
+
+
+@dataclass(frozen=True)
+class MethodAnalysis:
+    """The compile-time information extracted from one method of one class.
+
+    Attributes:
+        class_name: the class for which the analysis holds (``C`` in the
+            definitions).
+        method_name: the method selector (``M``).
+        defining_class: the class whose source code was analysed (equals
+            ``class_name`` unless the method is inherited).
+        dav: the direct access vector ``DAV(C, M)`` over ``FIELDS(C)``.
+        dsc: the set ``DSC(C, M)`` of self-sent method names.
+        psc: the set ``PSC(C, M)`` of ``(ancestor class, method)`` pairs.
+        external_calls: ``(field, method)`` pairs for messages sent to the
+            instances referenced by fields (e.g. ``send m to f3``).  These do
+            not contribute to the access vector beyond a ``Read`` of the
+            reference, but the locking protocols use them to know that a
+            method may reach out to other instances at run time.
+    """
+
+    class_name: str
+    method_name: str
+    defining_class: str
+    dav: AccessVector
+    dsc: frozenset[str]
+    psc: frozenset[tuple[str, str]]
+    external_calls: frozenset[tuple[str, str]] = frozenset()
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """The ``(class, method)`` pair this analysis belongs to."""
+        return (self.class_name, self.method_name)
+
+    @property
+    def is_inherited(self) -> bool:
+        """``True`` when the analysed code lives in an ancestor class."""
+        return self.class_name != self.defining_class
+
+
+class _BodyAnalyzer:
+    """Single-pass walker that accumulates DAV/DSC/PSC for one method body."""
+
+    def __init__(self, schema: Schema, class_name: str, method_name: str) -> None:
+        self._schema = schema
+        self._class_name = class_name
+        self._method_name = method_name
+        self._fields = set(schema.field_names(class_name))
+        self._modes: dict[str, AccessMode] = {}
+        self._dsc: set[str] = set()
+        self._psc: set[tuple[str, str]] = set()
+        self._external: set[tuple[str, str]] = set()
+
+    # -- public -------------------------------------------------------------
+
+    def analyze(self, body: Block) -> tuple[dict[str, AccessMode], set[str],
+                                            set[tuple[str, str]], set[tuple[str, str]]]:
+        for statement in body:
+            self._visit_statement(statement)
+        return self._modes, self._dsc, self._psc, self._external
+
+    # -- helpers ------------------------------------------------------------
+
+    def _record(self, field: str, mode: AccessMode) -> None:
+        current = self._modes.get(field, AccessMode.NULL)
+        if mode > current:
+            self._modes[field] = mode
+
+    def _visit_statement(self, statement: Statement) -> None:
+        if isinstance(statement, Assignment):
+            if statement.target in self._fields:
+                self._record(statement.target, AccessMode.WRITE)
+            self._visit_expression(statement.value)
+        elif isinstance(statement, SendStatement):
+            self._visit_send(statement.send)
+        elif isinstance(statement, ExpressionStatement):
+            self._visit_expression(statement.expression)
+        elif isinstance(statement, If):
+            self._visit_expression(statement.condition)
+            for inner in statement.then_block:
+                self._visit_statement(inner)
+            for inner in statement.else_block:
+                self._visit_statement(inner)
+        elif isinstance(statement, While):
+            self._visit_expression(statement.condition)
+            for inner in statement.body:
+                self._visit_statement(inner)
+        elif isinstance(statement, Return):
+            if statement.value is not None:
+                self._visit_expression(statement.value)
+        else:  # pragma: no cover - defensive, the parser cannot produce this
+            raise TypeError(f"unsupported statement node: {statement!r}")
+
+    def _visit_expression(self, expression: Expression) -> None:
+        if isinstance(expression, Name):
+            if expression.identifier in self._fields:
+                self._record(expression.identifier, AccessMode.READ)
+        elif isinstance(expression, Send):
+            self._visit_send(expression)
+        elif isinstance(expression, (Call,)):
+            for argument in expression.arguments:
+                self._visit_expression(argument)
+        else:
+            for child in expression.children():
+                if isinstance(child, Expression):
+                    self._visit_expression(child)
+
+    def _visit_send(self, send: Send) -> None:
+        for argument in send.arguments:
+            self._visit_expression(argument)
+        if isinstance(send.target, SelfRef):
+            self._record_self_call(send)
+        else:
+            # A message sent to another object: the reference held in the
+            # field is *read*; the effect on the other instance is controlled
+            # when that instance receives the message (see §3, method m3).
+            self._visit_expression(send.target)
+            if isinstance(send.target, Name) and send.target.identifier in self._fields:
+                self._external.add((send.target.identifier, send.method))
+
+    def _record_self_call(self, send: Send) -> None:
+        if send.prefix_class is None:
+            visible = self._schema.method_names(self._class_name)
+            if send.method not in visible:
+                raise UnresolvedSelfCallError(
+                    f"method {self._class_name}.{self._method_name} sends "
+                    f"{send.method!r} to self, but {send.method!r} is not a method "
+                    f"of class {self._class_name!r}")
+            self._dsc.add(send.method)
+            return
+        prefix = send.prefix_class
+        if prefix != self._class_name and prefix not in self._schema.ancestors(self._class_name):
+            raise UnresolvedSuperCallError(
+                f"method {self._class_name}.{self._method_name} sends "
+                f"{prefix}.{send.method!r} to self, but {prefix!r} is not an "
+                f"ancestor of {self._class_name!r}")
+        if send.method not in self._schema.method_names(prefix):
+            raise UnresolvedSuperCallError(
+                f"method {self._class_name}.{self._method_name} sends "
+                f"{prefix}.{send.method!r} to self, but class {prefix!r} has no "
+                f"method {send.method!r}")
+        self._psc.add((prefix, send.method))
+
+
+def analyze_method(schema: Schema, class_name: str, method_name: str) -> MethodAnalysis:
+    """Compute ``DAV``, ``DSC`` and ``PSC`` for one method of one class.
+
+    Rule (i) of definitions 6–8 (inherited methods) is applied by analysing
+    the code in its defining class and extending the vector over the fields
+    of ``class_name``.
+    """
+    resolved = schema.resolve(class_name, method_name)
+    defining_class = resolved.defining_class
+    analyzer = _BodyAnalyzer(schema, defining_class, method_name)
+    modes, dsc, psc, external = analyzer.analyze(resolved.definition.body)
+    dav = AccessVector(schema.field_names(defining_class), modes)
+    if defining_class != class_name:
+        dav = dav.extended(schema.field_names(class_name))
+    return MethodAnalysis(
+        class_name=class_name,
+        method_name=method_name,
+        defining_class=defining_class,
+        dav=dav,
+        dsc=frozenset(dsc),
+        psc=frozenset(psc),
+        external_calls=frozenset(external),
+    )
+
+
+def analyze_class(schema: Schema, class_name: str) -> dict[str, MethodAnalysis]:
+    """Analyse every method visible on ``class_name`` (own and inherited)."""
+    return {method_name: analyze_method(schema, class_name, method_name)
+            for method_name in schema.method_names(class_name)}
+
+
+def analyze_schema(schema: Schema) -> dict[tuple[str, str], MethodAnalysis]:
+    """Analyse every ``(class, method)`` pair of the schema.
+
+    The result is keyed by ``(class name, method name)`` and covers inherited
+    methods too, because the resolution graph of a class needs the analyses
+    of its ancestors' methods (definition 9).
+    """
+    analyses: dict[tuple[str, str], MethodAnalysis] = {}
+    for class_name in schema.class_names:
+        for method_name, analysis in analyze_class(schema, class_name).items():
+            analyses[(class_name, method_name)] = analysis
+    return analyses

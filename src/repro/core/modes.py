@@ -1,0 +1,98 @@
+"""The mode lattice and the classical compatibility relation (Table 1).
+
+Definition 2 of the paper: ``MODES = {Null, Read, Write}`` with the total
+order ``Null < Read < Write``; the compatibility relation ``cMODES`` is the
+classical one (reads are compatible between themselves, writes are compatible
+with nothing but Null).  The join operator of the lattice coincides with
+``max`` because the order is total.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+from typing import Iterable
+
+
+@functools.total_ordering
+class AccessMode(enum.Enum):
+    """One of the three elementary access modes of definition 2."""
+
+    NULL = 0
+    READ = 1
+    WRITE = 2
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, AccessMode):
+            return NotImplemented
+        return self.value < other.value
+
+    @property
+    def symbol(self) -> str:
+        """A one-letter symbol used in vector displays (``-``, ``R``, ``W``)."""
+        return {AccessMode.NULL: "-", AccessMode.READ: "R", AccessMode.WRITE: "W"}[self]
+
+    @property
+    def label(self) -> str:
+        """The paper's spelling of the mode (``Null``, ``Read``, ``Write``)."""
+        return self.name.capitalize()
+
+    def __str__(self) -> str:
+        return self.label
+
+
+#: Table 1 of the paper, in extension.  ``COMPATIBILITY_TABLE[(a, b)]`` is
+#: ``True`` when a lock in mode ``a`` and a lock in mode ``b`` held by two
+#: different transactions are compatible.
+COMPATIBILITY_TABLE: dict[tuple[AccessMode, AccessMode], bool] = {
+    (AccessMode.NULL, AccessMode.NULL): True,
+    (AccessMode.NULL, AccessMode.READ): True,
+    (AccessMode.NULL, AccessMode.WRITE): True,
+    (AccessMode.READ, AccessMode.NULL): True,
+    (AccessMode.READ, AccessMode.READ): True,
+    (AccessMode.READ, AccessMode.WRITE): False,
+    (AccessMode.WRITE, AccessMode.NULL): True,
+    (AccessMode.WRITE, AccessMode.READ): False,
+    (AccessMode.WRITE, AccessMode.WRITE): False,
+}
+
+
+def compatible(first: AccessMode, second: AccessMode) -> bool:
+    """The relation ``cMODES`` of definition 2 (Table 1)."""
+    return COMPATIBILITY_TABLE[(first, second)]
+
+
+def join(*modes: AccessMode) -> AccessMode:
+    """The lattice join of the given modes (``max`` on the total order).
+
+    With no argument the bottom element ``Null`` is returned, which makes the
+    function usable as a fold with a neutral element.
+    """
+    result = AccessMode.NULL
+    for mode in modes:
+        if mode > result:
+            result = mode
+    return result
+
+
+def join_all(modes: Iterable[AccessMode]) -> AccessMode:
+    """Join an iterable of modes (same semantics as :func:`join`)."""
+    return join(*modes)
+
+
+def compatibility_table() -> list[list[str]]:
+    """Render Table 1 as rows of strings, ready for the reporting layer.
+
+    The first row is the header; every following row starts with the mode
+    label and contains ``yes``/``no`` entries exactly as printed in the
+    paper.
+    """
+    order = [AccessMode.NULL, AccessMode.READ, AccessMode.WRITE]
+    header = [""] + [mode.label for mode in order]
+    rows = [header]
+    for row_mode in order:
+        row = [row_mode.label]
+        row.extend("yes" if compatible(row_mode, column_mode) else "no"
+                   for column_mode in order)
+        rows.append(row)
+    return rows

@@ -1,0 +1,109 @@
+"""The per-class late-binding resolution graph (definition 9, Figure 2).
+
+For a class ``C`` the graph ``G_C(V, Γ)`` has as vertices the ``(class,
+method)`` pairs that may be executed when any method of ``C`` is sent to a
+*proper* instance of ``C``:
+
+* ``{C} × METHODS(C)`` — every method as seen from ``C``; plus
+* the reflexo-transitive closure of the prefixed self-calls, which pulls in
+  the overridden versions living in ancestor classes.
+
+Edges resolve late binding statically:
+
+* a direct self-call ``send m to self`` found in the code of any vertex
+  ``(C', M')`` targets ``(C, m)`` — the dispatch lands back on the proper
+  class of the instance, which is the whole point of the construction;
+* a prefixed call ``send A.m to self`` targets ``(A, m)`` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analysis import MethodAnalysis, analyze_method
+from repro.schema import Schema
+
+#: A vertex of the resolution graph: ``(class name, method name)``.
+Vertex = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class ResolutionGraph:
+    """The late-binding resolution graph ``G_C`` of one class."""
+
+    class_name: str
+    vertices: frozenset[Vertex]
+    edges: frozenset[tuple[Vertex, Vertex]]
+
+    def successors(self, vertex: Vertex) -> frozenset[Vertex]:
+        """Γ(vertex): the vertices directly reachable from ``vertex``."""
+        return frozenset(target for source, target in self.edges if source == vertex)
+
+    def predecessors(self, vertex: Vertex) -> frozenset[Vertex]:
+        """The vertices with an edge into ``vertex``."""
+        return frozenset(source for source, target in self.edges if target == vertex)
+
+    def adjacency(self) -> dict[Vertex, tuple[Vertex, ...]]:
+        """The graph as an adjacency mapping (every vertex present as a key)."""
+        mapping: dict[Vertex, list[Vertex]] = {vertex: [] for vertex in self.vertices}
+        for source, target in sorted(self.edges):
+            mapping[source].append(target)
+        return {vertex: tuple(targets) for vertex, targets in mapping.items()}
+
+    @property
+    def size(self) -> tuple[int, int]:
+        """``(|V|, |Γ|)`` — used by the compile-time scaling benchmark."""
+        return (len(self.vertices), len(self.edges))
+
+    def sinks(self) -> frozenset[Vertex]:
+        """Vertices without outgoing edges (their TAV equals their DAV)."""
+        sources = {source for source, _ in self.edges}
+        return frozenset(vertex for vertex in self.vertices if vertex not in sources)
+
+    def __str__(self) -> str:
+        vertex_count, edge_count = self.size
+        return (f"ResolutionGraph({self.class_name}: "
+                f"{vertex_count} vertices, {edge_count} edges)")
+
+
+def build_resolution_graph(
+        schema: Schema,
+        class_name: str,
+        analyses: dict[tuple[str, str], MethodAnalysis] | None = None) -> ResolutionGraph:
+    """Build ``G_C`` for ``class_name`` following definition 9.
+
+    ``analyses`` may carry pre-computed analyses (keyed by ``(class,
+    method)``); any missing entry is computed on demand, so the function can
+    be used standalone as well as from the compiler.
+    """
+    analyses = dict(analyses or {})
+
+    def analysis_of(vertex: Vertex) -> MethodAnalysis:
+        if vertex not in analyses:
+            analyses[vertex] = analyze_method(schema, vertex[0], vertex[1])
+        return analyses[vertex]
+
+    # Vertex set: {C} x METHODS(C) plus the reflexo-transitive closure of PSC.
+    vertices: set[Vertex] = {(class_name, method)
+                             for method in schema.method_names(class_name)}
+    frontier: list[Vertex] = list(vertices)
+    while frontier:
+        vertex = frontier.pop()
+        for prefixed in analysis_of(vertex).psc:
+            if prefixed not in vertices:
+                vertices.add(prefixed)
+                frontier.append(prefixed)
+
+    # Edges: direct self-calls resolve onto the proper class C, prefixed calls
+    # go to the ancestor they name.
+    edges: set[tuple[Vertex, Vertex]] = set()
+    for vertex in vertices:
+        analysis = analysis_of(vertex)
+        for method in analysis.dsc:
+            edges.add((vertex, (class_name, method)))
+        for prefixed in analysis.psc:
+            edges.add((vertex, prefixed))
+
+    return ResolutionGraph(class_name=class_name,
+                           vertices=frozenset(vertices),
+                           edges=frozenset(edges))

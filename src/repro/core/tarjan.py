@@ -1,0 +1,122 @@
+"""Tarjan's strongly-connected-components algorithm (iterative).
+
+The paper computes transitive access vectors "with a single depth-first
+search by using the algorithm of [Tarjan 1972] for determining strong
+components" (§4.3).  The implementation below is the classical linear-time
+algorithm, written iteratively so that very deep resolution graphs (generated
+schemas with long prefixed-call chains) do not hit Python's recursion limit.
+
+The components are emitted in **reverse topological order** of the
+condensation: every component appears after all components it can reach.
+That property is exactly what the TAV computation relies on (sinks first).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def strongly_connected_components(
+        graph: Mapping[Node, Iterable[Node]]) -> list[tuple[Node, ...]]:
+    """Return the SCCs of ``graph`` in reverse topological order.
+
+    ``graph`` maps each node to its successors; nodes that appear only as
+    successors are treated as having no outgoing edges.
+    """
+    successors: dict[Node, tuple[Node, ...]] = {}
+    for node, targets in graph.items():
+        successors[node] = tuple(targets)
+    for targets in list(successors.values()):
+        for target in targets:
+            successors.setdefault(target, ())
+
+    index_counter = 0
+    indices: dict[Node, int] = {}
+    lowlinks: dict[Node, int] = {}
+    on_stack: dict[Node, bool] = {}
+    stack: list[Node] = []
+    components: list[tuple[Node, ...]] = []
+
+    for root in successors:
+        if root in indices:
+            continue
+        # Each frame is (node, iterator over successors).
+        work: list[tuple[Node, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                indices[node] = index_counter
+                lowlinks[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            recursed = False
+            children = successors[node]
+            for position in range(child_index, len(children)):
+                child = children[position]
+                if child not in indices:
+                    work.append((node, position + 1))
+                    work.append((child, 0))
+                    recursed = True
+                    break
+                if on_stack.get(child, False):
+                    lowlinks[node] = min(lowlinks[node], indices[child])
+            if recursed:
+                continue
+            if lowlinks[node] == indices[node]:
+                component: list[Node] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(tuple(component))
+            if work:
+                parent, _ = work[-1]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+    return components
+
+
+def condensation(
+        graph: Mapping[Node, Iterable[Node]]
+) -> tuple[list[tuple[Node, ...]], dict[Node, int], dict[int, set[int]]]:
+    """Collapse ``graph`` into its condensation DAG.
+
+    Returns ``(components, component_of, dag)`` where ``components`` is the
+    SCC list in reverse topological order, ``component_of`` maps every node to
+    the index of its component in that list, and ``dag`` maps a component
+    index to the set of component indices it has edges to (self-loops
+    removed).
+    """
+    components = strongly_connected_components(graph)
+    component_of: dict[Node, int] = {}
+    for position, component in enumerate(components):
+        for node in component:
+            component_of[node] = position
+    dag: dict[int, set[int]] = {position: set() for position in range(len(components))}
+    for node, targets in graph.items():
+        source = component_of[node]
+        for target in targets:
+            destination = component_of[target]
+            if destination != source:
+                dag[source].add(destination)
+    return components, component_of, dag
+
+
+def reachable_from(graph: Mapping[Node, Iterable[Node]], start: Node) -> set[Node]:
+    """The reflexo-transitive closure Γ*(start): ``start`` plus every node
+    reachable from it."""
+    successors: dict[Node, tuple[Node, ...]] = {node: tuple(targets)
+                                                for node, targets in graph.items()}
+    seen: set[Node] = {start}
+    frontier: list[Node] = [start]
+    while frontier:
+        node = frontier.pop()
+        for target in successors.get(node, ()):
+            if target not in seen:
+                seen.add(target)
+                frontier.append(target)
+    return seen

@@ -1,0 +1,71 @@
+"""Transitive access vectors (definition 10).
+
+``TAV(C, M)`` is the join of the direct access vectors of every method that
+may be executed when ``M`` is sent to a proper instance of ``C``, i.e. of
+every vertex reachable from ``(C, M)`` in the late-binding resolution graph.
+
+The computation follows §4.3 of the paper: a single depth-first search using
+Tarjan's strong-components algorithm.  All vertices of one strongly-connected
+component share the same TAV (their reachable sets coincide), and because the
+join is idempotent, commutative and associative (property 1), the
+accumulation over a cycle is well defined regardless of traversal order.  The
+components come out of Tarjan's algorithm in reverse topological order, so a
+single pass from sinks to sources suffices; overall the computation is linear
+in ``|V| + |Γ|``.
+"""
+
+from __future__ import annotations
+
+from repro.core.access_vector import AccessVector
+from repro.core.resolution_graph import ResolutionGraph, Vertex
+from repro.core.tarjan import condensation
+
+
+def compute_tavs(graph: ResolutionGraph,
+                 davs: dict[Vertex, AccessVector]) -> dict[Vertex, AccessVector]:
+    """Compute the transitive access vector of every vertex of ``graph``.
+
+    ``davs`` must provide the direct access vector of every vertex.  The
+    result maps each vertex to its TAV (definition 10).
+    """
+    adjacency = graph.adjacency()
+    components, component_of, dag = condensation(adjacency)
+
+    component_tavs: list[AccessVector | None] = [None] * len(components)
+    # Components are listed sinks-first, so successors are always ready.
+    for position, component in enumerate(components):
+        accumulated: AccessVector | None = None
+        for vertex in component:
+            vector = davs[vertex]
+            accumulated = vector if accumulated is None else accumulated.join(vector)
+        for successor in dag[position]:
+            successor_tav = component_tavs[successor]
+            assert successor_tav is not None, "condensation order violated"
+            accumulated = successor_tav if accumulated is None \
+                else accumulated.join(successor_tav)
+        component_tavs[position] = accumulated
+
+    tavs: dict[Vertex, AccessVector] = {}
+    for vertex in graph.vertices:
+        component_tav = component_tavs[component_of[vertex]]
+        assert component_tav is not None
+        tavs[vertex] = component_tav
+    return tavs
+
+
+def compute_class_tavs(graph: ResolutionGraph,
+                       davs: dict[Vertex, AccessVector],
+                       class_fields: tuple[str, ...]) -> dict[str, AccessVector]:
+    """TAVs of the methods of the graph's class, presented over ``class_fields``.
+
+    Only the vertices belonging to the class itself are kept (the ancestor
+    vertices pulled in by prefixed calls are an implementation detail), and
+    every vector is extended with ``Null`` entries so that all TAVs of one
+    class range over the same field tuple, as in the paper's §4.3 examples.
+    """
+    tavs = compute_tavs(graph, davs)
+    class_tavs: dict[str, AccessVector] = {}
+    for (vertex_class, method), vector in tavs.items():
+        if vertex_class == graph.class_name:
+            class_tavs[method] = vector.extended(class_fields).restricted(class_fields)
+    return class_tavs

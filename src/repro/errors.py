@@ -1,0 +1,167 @@
+"""Shared exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+# ---------------------------------------------------------------------------
+# Method definition language
+# ---------------------------------------------------------------------------
+
+
+class LanguageError(ReproError):
+    """Base class for errors raised while lexing or parsing method bodies."""
+
+
+class LexError(LanguageError):
+    """A method body contains a character sequence that cannot be tokenised."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(LanguageError):
+    """A method body is not syntactically valid."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+# ---------------------------------------------------------------------------
+# Schema
+# ---------------------------------------------------------------------------
+
+
+class SchemaError(ReproError):
+    """Base class for schema definition and validation errors."""
+
+
+class DuplicateClassError(SchemaError):
+    """A class with the same name is already defined in the schema."""
+
+
+class UnknownClassError(SchemaError):
+    """A class name does not resolve to any class in the schema."""
+
+
+class DuplicateFieldError(SchemaError):
+    """A field name is defined twice along one inheritance path."""
+
+
+class DuplicateMethodError(SchemaError):
+    """A method name is defined twice in the same class."""
+
+
+class UnknownFieldError(SchemaError):
+    """A field name does not exist for a class."""
+
+
+class UnknownMethodError(SchemaError):
+    """A method name does not resolve on a class."""
+
+
+class InheritanceError(SchemaError):
+    """The inheritance graph is malformed (cycle, unknown superclass, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Static analysis / compilation
+# ---------------------------------------------------------------------------
+
+
+class AnalysisError(ReproError):
+    """Base class for access-vector analysis and compilation errors."""
+
+
+class UnresolvedSelfCallError(AnalysisError):
+    """A ``send m to self`` message cannot be resolved on the class."""
+
+
+class UnresolvedSuperCallError(AnalysisError):
+    """A ``send C.m to self`` message references a class or method that
+    does not exist among the ancestors."""
+
+
+# ---------------------------------------------------------------------------
+# Object store / interpreter
+# ---------------------------------------------------------------------------
+
+
+class StoreError(ReproError):
+    """Base class for object store errors."""
+
+
+class UnknownInstanceError(StoreError):
+    """An OID does not identify a live instance."""
+
+
+class TypeMismatchError(StoreError):
+    """A field assignment violates the declared field type."""
+
+
+class InterpreterError(ReproError):
+    """A method body could not be executed by the interpreter."""
+
+
+# ---------------------------------------------------------------------------
+# Locking / transactions
+# ---------------------------------------------------------------------------
+
+
+class ConcurrencyError(ReproError):
+    """Base class for locking and transaction errors."""
+
+
+class LockConflictError(ConcurrencyError):
+    """A lock request conflicts with locks held by other transactions.
+
+    Raised by the lock manager when it is used in non-blocking mode.
+    """
+
+    def __init__(self, message: str, *, holders: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        self.holders = holders
+
+
+class DeadlockError(ConcurrencyError):
+    """The transaction was chosen as a deadlock victim and must abort."""
+
+    def __init__(self, message: str, *, victim: int | None = None,
+                 cycle: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        self.victim = victim
+        self.cycle = cycle
+
+
+class TransactionError(ConcurrencyError):
+    """A transaction is used outside of its legal life cycle."""
+
+
+class TransactionAborted(ConcurrencyError):
+    """The transaction has been aborted and cannot issue further operations."""
+
+
+class UnknownModeError(ConcurrencyError):
+    """An access mode is not part of the lock-mode table in use."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for workload-generation and simulation errors."""

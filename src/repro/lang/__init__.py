@@ -1,0 +1,90 @@
+"""Method definition language (MDL).
+
+The paper abstracts method bodies as "a sequence of assignments, expressions
+and messages" (§2.2).  This package provides a small concrete language in
+which such bodies can be written, parsed and analysed:
+
+.. code-block:: text
+
+    method m1(p1) is
+        send m2(p1) to self
+        send m3 to self
+    end
+
+    method m2(p1) is
+        f1 := expr(f1, f2, p1)
+    end
+
+    method m3 is
+        if f2 then
+            send m to f3
+        end
+    end
+
+The public entry points are :func:`parse_method`, :func:`parse_body` and
+:func:`parse_methods`, plus the AST node classes re-exported below.
+"""
+
+from repro.lang.ast_nodes import (
+    Assignment,
+    BinaryOp,
+    Block,
+    BoolLiteral,
+    Call,
+    Expression,
+    ExpressionStatement,
+    If,
+    IntLiteral,
+    FloatLiteral,
+    MethodDecl,
+    Name,
+    NilLiteral,
+    Node,
+    Return,
+    SelfRef,
+    Send,
+    SendStatement,
+    Statement,
+    StringLiteral,
+    UnaryOp,
+    While,
+)
+from repro.lang.lexer import Lexer, Token, TokenType, tokenize
+from repro.lang.parser import Parser, parse_body, parse_method, parse_methods
+from repro.lang.pretty import format_method, format_statement, to_source
+
+__all__ = [
+    "Assignment",
+    "BinaryOp",
+    "Block",
+    "BoolLiteral",
+    "Call",
+    "Expression",
+    "ExpressionStatement",
+    "If",
+    "IntLiteral",
+    "FloatLiteral",
+    "Lexer",
+    "MethodDecl",
+    "Name",
+    "NilLiteral",
+    "Node",
+    "Parser",
+    "Return",
+    "SelfRef",
+    "Send",
+    "SendStatement",
+    "Statement",
+    "StringLiteral",
+    "Token",
+    "TokenType",
+    "UnaryOp",
+    "While",
+    "format_method",
+    "format_statement",
+    "parse_body",
+    "parse_method",
+    "parse_methods",
+    "to_source",
+    "tokenize",
+]

@@ -1,0 +1,272 @@
+"""Abstract syntax tree nodes for the method definition language.
+
+The node hierarchy mirrors the abstraction used by the paper (§2.2): a method
+body is a sequence of assignments, expressions and messages; messages are
+either *simple* (``send m to self`` / ``send m to f``) or *prefixed*
+(``send C.m to self``).  Control structures (``if``/``while``) are part of the
+language so that realistic bodies can be written and executed, but the static
+analysis deliberately ignores them, exactly as the paper prescribes.
+
+All nodes are immutable dataclasses; they compare structurally, which the
+test-suite and the analysis rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class of every AST node."""
+
+    def children(self) -> Iterator["Node"]:
+        """Yield the direct child nodes (empty by default)."""
+        return iter(())
+
+    def walk(self) -> Iterator["Node"]:
+        """Yield this node and every descendant in depth-first order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expression(Node):
+    """Base class of expression nodes."""
+
+
+@dataclass(frozen=True)
+class IntLiteral(Expression):
+    """An integer constant such as ``42``."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class FloatLiteral(Expression):
+    """A floating point constant such as ``3.14``."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class StringLiteral(Expression):
+    """A string constant such as ``"hello"``."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class BoolLiteral(Expression):
+    """The constants ``true`` and ``false``."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class NilLiteral(Expression):
+    """The constant ``nil`` (a null object reference)."""
+
+
+@dataclass(frozen=True)
+class SelfRef(Expression):
+    """The receiver of the method, written ``self``."""
+
+
+@dataclass(frozen=True)
+class Name(Expression):
+    """A bare identifier: a field, a parameter or a local variable.
+
+    Whether the identifier denotes a field (and therefore contributes to the
+    access vector) is decided by the static analysis against the schema, not
+    by the parser.
+    """
+
+    identifier: str
+
+
+@dataclass(frozen=True)
+class Call(Expression):
+    """An uninterpreted function applied to arguments, e.g. ``expr(f1, p1)``.
+
+    The paper writes method bodies with opaque helpers such as
+    ``expr(f1, f2, p1)`` and ``cond(f5, p1)``.  From the analysis point of
+    view a call only *reads* the names appearing in its arguments.
+    """
+
+    function: str
+    arguments: tuple[Expression, ...] = ()
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.arguments)
+
+
+@dataclass(frozen=True)
+class Send(Expression):
+    """A message send used in expression position.
+
+    ``target`` is either :class:`SelfRef` or a :class:`Name` referencing an
+    instance-valued field, parameter or local.  ``prefix_class`` is set for
+    the prefixed form ``send C.m(...) to self`` (§2.2).
+    """
+
+    method: str
+    arguments: tuple[Expression, ...]
+    target: Expression
+    prefix_class: str | None = None
+
+    def children(self) -> Iterator[Node]:
+        yield from self.arguments
+        yield self.target
+
+    @property
+    def is_self_directed(self) -> bool:
+        """``True`` when the message is sent to ``self``."""
+        return isinstance(self.target, SelfRef)
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """A unary operation: ``not x`` or ``-x``."""
+
+    operator: str
+    operand: Expression
+
+    def children(self) -> Iterator[Node]:
+        yield self.operand
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """A binary operation such as ``a + b`` or ``f2 and f5 > 0``."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+    def children(self) -> Iterator[Node]:
+        yield self.left
+        yield self.right
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Statement(Node):
+    """Base class of statement nodes."""
+
+
+@dataclass(frozen=True)
+class Block(Node):
+    """A sequence of statements (a method body or a branch body)."""
+
+    statements: tuple[Statement, ...] = ()
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.statements)
+
+    def __iter__(self) -> Iterator[Statement]:
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+
+@dataclass(frozen=True)
+class Assignment(Statement):
+    """``target := expression``.
+
+    ``target`` is an identifier.  When it names a field of the class the
+    statement is a field *write* (definition 6); otherwise it only defines a
+    local variable.
+    """
+
+    target: str
+    value: Expression
+
+    def children(self) -> Iterator[Node]:
+        yield self.value
+
+
+@dataclass(frozen=True)
+class SendStatement(Statement):
+    """A message send used as a statement: ``send m(args) to target``."""
+
+    send: Send
+
+    def children(self) -> Iterator[Node]:
+        yield self.send
+
+
+@dataclass(frozen=True)
+class ExpressionStatement(Statement):
+    """A bare expression evaluated for effect (rare, but legal)."""
+
+    expression: Expression
+
+    def children(self) -> Iterator[Node]:
+        yield self.expression
+
+
+@dataclass(frozen=True)
+class If(Statement):
+    """``if <cond> then <block> [else <block>] end``."""
+
+    condition: Expression
+    then_block: Block
+    else_block: Block = field(default_factory=Block)
+
+    def children(self) -> Iterator[Node]:
+        yield self.condition
+        yield self.then_block
+        yield self.else_block
+
+
+@dataclass(frozen=True)
+class While(Statement):
+    """``while <cond> do <block> end``."""
+
+    condition: Expression
+    body: Block
+
+    def children(self) -> Iterator[Node]:
+        yield self.condition
+        yield self.body
+
+
+@dataclass(frozen=True)
+class Return(Statement):
+    """``return [expression]``."""
+
+    value: Expression | None = None
+
+    def children(self) -> Iterator[Node]:
+        if self.value is not None:
+            yield self.value
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MethodDecl(Node):
+    """A full method declaration: name, parameters and body."""
+
+    name: str
+    parameters: tuple[str, ...]
+    body: Block
+
+    def children(self) -> Iterator[Node]:
+        yield self.body

@@ -1,0 +1,253 @@
+"""Tokeniser for the method definition language.
+
+The lexer is hand written (no external dependency) and produces a flat list
+of :class:`Token` objects.  Newlines are significant: they terminate
+statements, which keeps the grammar unambiguous without requiring explicit
+statement separators, matching the look of the paper's examples.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+
+class TokenType(enum.Enum):
+    """Kinds of tokens produced by the lexer."""
+
+    # Literals and identifiers
+    IDENT = "IDENT"
+    INT = "INT"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+
+    # Keywords
+    METHOD = "method"
+    IS = "is"
+    REDEFINED = "redefined"
+    AS = "as"
+    SEND = "send"
+    TO = "to"
+    SELF = "self"
+    IF = "if"
+    THEN = "then"
+    ELSE = "else"
+    END = "end"
+    WHILE = "while"
+    DO = "do"
+    RETURN = "return"
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    TRUE = "true"
+    FALSE = "false"
+    NIL = "nil"
+
+    # Punctuation and operators
+    ASSIGN = ":="
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DOT = "."
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    EQ = "="
+    NEQ = "<>"
+    LT = "<"
+    LTE = "<="
+    GT = ">"
+    GTE = ">="
+
+    # Layout
+    NEWLINE = "NEWLINE"
+    EOF = "EOF"
+
+
+#: Reserved words mapped to their token types.
+KEYWORDS: dict[str, TokenType] = {
+    "method": TokenType.METHOD,
+    "is": TokenType.IS,
+    "redefined": TokenType.REDEFINED,
+    "as": TokenType.AS,
+    "send": TokenType.SEND,
+    "to": TokenType.TO,
+    "self": TokenType.SELF,
+    "if": TokenType.IF,
+    "then": TokenType.THEN,
+    "else": TokenType.ELSE,
+    "end": TokenType.END,
+    "while": TokenType.WHILE,
+    "do": TokenType.DO,
+    "return": TokenType.RETURN,
+    "and": TokenType.AND,
+    "or": TokenType.OR,
+    "not": TokenType.NOT,
+    "true": TokenType.TRUE,
+    "false": TokenType.FALSE,
+    "nil": TokenType.NIL,
+}
+
+#: Two-character operators, checked before the single-character ones.
+_TWO_CHAR_OPERATORS: dict[str, TokenType] = {
+    ":=": TokenType.ASSIGN,
+    "<>": TokenType.NEQ,
+    "<=": TokenType.LTE,
+    ">=": TokenType.GTE,
+}
+
+_ONE_CHAR_OPERATORS: dict[str, TokenType] = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "=": TokenType.EQ,
+    "<": TokenType.LT,
+    ">": TokenType.GT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (1-based)."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Turns method source text into a list of :class:`Token` objects."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._position = 0
+        self._line = 1
+        self._column = 1
+
+    # -- public API ---------------------------------------------------------
+
+    def tokenize(self) -> list[Token]:
+        """Return the full token stream, ending with an ``EOF`` token."""
+        tokens: list[Token] = []
+        while not self._at_end():
+            token = self._next_token()
+            if token is not None:
+                # Collapse runs of NEWLINE into a single token.
+                if (token.type is TokenType.NEWLINE and tokens
+                        and tokens[-1].type is TokenType.NEWLINE):
+                    continue
+                tokens.append(token)
+        tokens.append(Token(TokenType.EOF, "", self._line, self._column))
+        return tokens
+
+    # -- scanning helpers ---------------------------------------------------
+
+    def _at_end(self) -> bool:
+        return self._position >= len(self._source)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._position + offset
+        if index >= len(self._source):
+            return ""
+        return self._source[index]
+
+    def _advance(self) -> str:
+        char = self._source[self._position]
+        self._position += 1
+        if char == "\n":
+            self._line += 1
+            self._column = 1
+        else:
+            self._column += 1
+        return char
+
+    def _next_token(self) -> Token | None:
+        char = self._peek()
+        line, column = self._line, self._column
+
+        # Comments run to the end of the line ("--" like the paper's "...").
+        if char == "-" and self._peek(1) == "-":
+            while not self._at_end() and self._peek() != "\n":
+                self._advance()
+            return None
+
+        if char == "\n":
+            self._advance()
+            return Token(TokenType.NEWLINE, "\n", line, column)
+
+        if char in " \t\r":
+            self._advance()
+            return None
+
+        if char.isalpha() or char == "_":
+            return self._read_identifier(line, column)
+
+        if char.isdigit():
+            return self._read_number(line, column)
+
+        if char in "\"'":
+            return self._read_string(line, column)
+
+        two = self._peek() + self._peek(1)
+        if two in _TWO_CHAR_OPERATORS:
+            self._advance()
+            self._advance()
+            return Token(_TWO_CHAR_OPERATORS[two], two, line, column)
+
+        if char in _ONE_CHAR_OPERATORS:
+            self._advance()
+            return Token(_ONE_CHAR_OPERATORS[char], char, line, column)
+
+        raise LexError(f"unexpected character {char!r}", line, column)
+
+    def _read_identifier(self, line: int, column: int) -> Token:
+        start = self._position
+        while not self._at_end() and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self._source[start:self._position]
+        token_type = KEYWORDS.get(text, TokenType.IDENT)
+        return Token(token_type, text, line, column)
+
+    def _read_number(self, line: int, column: int) -> Token:
+        start = self._position
+        while not self._at_end() and self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while not self._at_end() and self._peek().isdigit():
+                self._advance()
+        text = self._source[start:self._position]
+        token_type = TokenType.FLOAT if is_float else TokenType.INT
+        return Token(token_type, text, line, column)
+
+    def _read_string(self, line: int, column: int) -> Token:
+        quote = self._advance()
+        start = self._position
+        while not self._at_end() and self._peek() != quote:
+            if self._peek() == "\n":
+                raise LexError("unterminated string literal", line, column)
+            self._advance()
+        if self._at_end():
+            raise LexError("unterminated string literal", line, column)
+        text = self._source[start:self._position]
+        self._advance()  # closing quote
+        return Token(TokenType.STRING, text, line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenise ``source`` and return the token list (convenience wrapper)."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,357 @@
+"""Recursive-descent parser for the method definition language.
+
+The grammar (newline-terminated statements, ``end``-delimited blocks):
+
+.. code-block:: text
+
+    methods     := { method_decl }
+    method_decl := "method" IDENT [ "(" params ")" ] ( "is" | "is" "redefined" "as" )
+                   NEWLINE block "end"
+    block       := { statement }
+    statement   := assignment | send_stmt | if_stmt | while_stmt | return_stmt
+                 | expr_stmt
+    assignment  := IDENT ":=" expression
+    send_stmt   := send_expr
+    send_expr   := "send" [ IDENT "." ] IDENT [ "(" args ")" ] "to" target
+    target      := "self" | IDENT
+    if_stmt     := "if" expression "then" block [ "else" block ] "end"
+    while_stmt  := "while" expression "do" block "end"
+    return_stmt := "return" [ expression ]
+    expression  := or_expr
+    or_expr     := and_expr { "or" and_expr }
+    and_expr    := cmp_expr { "and" cmp_expr }
+    cmp_expr    := add_expr [ ("=" | "<>" | "<" | "<=" | ">" | ">=") add_expr ]
+    add_expr    := mul_expr { ("+" | "-") mul_expr }
+    mul_expr    := unary { ("*" | "/") unary }
+    unary       := ("not" | "-") unary | primary
+    primary     := INT | FLOAT | STRING | "true" | "false" | "nil" | "self"
+                 | send_expr | IDENT [ "(" args ")" ] | "(" expression ")"
+
+The parser is intentionally forgiving about layout: blank lines are ignored
+and a missing trailing ``end`` on a body parsed with :func:`parse_body` is
+not an error.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.ast_nodes import (
+    Assignment,
+    BinaryOp,
+    Block,
+    BoolLiteral,
+    Call,
+    Expression,
+    ExpressionStatement,
+    FloatLiteral,
+    If,
+    IntLiteral,
+    MethodDecl,
+    Name,
+    NilLiteral,
+    Return,
+    SelfRef,
+    Send,
+    SendStatement,
+    Statement,
+    StringLiteral,
+    UnaryOp,
+    While,
+)
+from repro.lang.lexer import Token, TokenType, tokenize
+
+#: Token types that terminate a block.
+_BLOCK_TERMINATORS = frozenset({TokenType.END, TokenType.ELSE, TokenType.EOF})
+
+#: Comparison operator token types mapped to their surface syntax.
+_COMPARISON_OPERATORS = {
+    TokenType.EQ: "=",
+    TokenType.NEQ: "<>",
+    TokenType.LT: "<",
+    TokenType.LTE: "<=",
+    TokenType.GT: ">",
+    TokenType.GTE: ">=",
+}
+
+
+class Parser:
+    """Parses a token stream into AST nodes."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def parse_methods(self) -> list[MethodDecl]:
+        """Parse a sequence of ``method ... end`` declarations."""
+        declarations: list[MethodDecl] = []
+        self._skip_newlines()
+        while not self._check(TokenType.EOF):
+            declarations.append(self.parse_method())
+            self._skip_newlines()
+        return declarations
+
+    def parse_method(self) -> MethodDecl:
+        """Parse a single ``method NAME(params) is ... end`` declaration."""
+        self._skip_newlines()
+        self._expect(TokenType.METHOD, "expected 'method'")
+        name_token = self._expect(TokenType.IDENT, "expected method name")
+        parameters = self._parse_parameter_list()
+        self._expect(TokenType.IS, "expected 'is'")
+        # Accept the paper's "is redefined as" phrasing for overriding methods.
+        if self._match(TokenType.REDEFINED):
+            self._expect(TokenType.AS, "expected 'as' after 'redefined'")
+        body = self.parse_block()
+        self._expect(TokenType.END, "expected 'end' to close method body")
+        return MethodDecl(name=name_token.value, parameters=parameters, body=body)
+
+    def parse_block(self) -> Block:
+        """Parse statements until a block terminator is reached."""
+        statements: list[Statement] = []
+        self._skip_newlines()
+        while self._peek().type not in _BLOCK_TERMINATORS:
+            statements.append(self._parse_statement())
+            self._skip_newlines()
+        return Block(tuple(statements))
+
+    # -- statements ---------------------------------------------------------
+
+    def _parse_statement(self) -> Statement:
+        token = self._peek()
+        if token.type is TokenType.SEND:
+            return SendStatement(self._parse_send())
+        if token.type is TokenType.IF:
+            return self._parse_if()
+        if token.type is TokenType.WHILE:
+            return self._parse_while()
+        if token.type is TokenType.RETURN:
+            return self._parse_return()
+        if token.type is TokenType.IDENT and self._peek(1).type is TokenType.ASSIGN:
+            return self._parse_assignment()
+        expression = self._parse_expression()
+        return ExpressionStatement(expression)
+
+    def _parse_assignment(self) -> Assignment:
+        target = self._expect(TokenType.IDENT, "expected assignment target")
+        self._expect(TokenType.ASSIGN, "expected ':='")
+        value = self._parse_expression()
+        return Assignment(target=target.value, value=value)
+
+    def _parse_if(self) -> If:
+        self._expect(TokenType.IF, "expected 'if'")
+        condition = self._parse_expression()
+        self._expect(TokenType.THEN, "expected 'then'")
+        then_block = self.parse_block()
+        else_block = Block()
+        if self._match(TokenType.ELSE):
+            else_block = self.parse_block()
+        self._expect(TokenType.END, "expected 'end' to close 'if'")
+        return If(condition=condition, then_block=then_block, else_block=else_block)
+
+    def _parse_while(self) -> While:
+        self._expect(TokenType.WHILE, "expected 'while'")
+        condition = self._parse_expression()
+        self._expect(TokenType.DO, "expected 'do'")
+        body = self.parse_block()
+        self._expect(TokenType.END, "expected 'end' to close 'while'")
+        return While(condition=condition, body=body)
+
+    def _parse_return(self) -> Return:
+        self._expect(TokenType.RETURN, "expected 'return'")
+        if self._peek().type in (TokenType.NEWLINE, TokenType.END,
+                                 TokenType.ELSE, TokenType.EOF):
+            return Return(None)
+        return Return(self._parse_expression())
+
+    def _parse_send(self) -> Send:
+        self._expect(TokenType.SEND, "expected 'send'")
+        first = self._expect(TokenType.IDENT, "expected method or class name")
+        prefix_class: str | None = None
+        method_name = first.value
+        if self._match(TokenType.DOT):
+            prefix_class = first.value
+            method_token = self._expect(TokenType.IDENT, "expected method name after '.'")
+            method_name = method_token.value
+        arguments = self._parse_argument_list()
+        self._expect(TokenType.TO, "expected 'to' in send")
+        target = self._parse_send_target()
+        return Send(method=method_name, arguments=arguments, target=target,
+                    prefix_class=prefix_class)
+
+    def _parse_send_target(self) -> Expression:
+        if self._match(TokenType.SELF):
+            return SelfRef()
+        token = self._expect(TokenType.IDENT, "expected 'self' or an identifier "
+                                              "as the target of a send")
+        return Name(token.value)
+
+    # -- expressions --------------------------------------------------------
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        expression = self._parse_and()
+        while self._match(TokenType.OR):
+            right = self._parse_and()
+            expression = BinaryOp(operator="or", left=expression, right=right)
+        return expression
+
+    def _parse_and(self) -> Expression:
+        expression = self._parse_comparison()
+        while self._match(TokenType.AND):
+            right = self._parse_comparison()
+            expression = BinaryOp(operator="and", left=expression, right=right)
+        return expression
+
+    def _parse_comparison(self) -> Expression:
+        expression = self._parse_additive()
+        token = self._peek()
+        if token.type in _COMPARISON_OPERATORS:
+            self._advance()
+            right = self._parse_additive()
+            expression = BinaryOp(operator=_COMPARISON_OPERATORS[token.type],
+                                  left=expression, right=right)
+        return expression
+
+    def _parse_additive(self) -> Expression:
+        expression = self._parse_multiplicative()
+        while self._peek().type in (TokenType.PLUS, TokenType.MINUS):
+            operator = self._advance().value
+            right = self._parse_multiplicative()
+            expression = BinaryOp(operator=operator, left=expression, right=right)
+        return expression
+
+    def _parse_multiplicative(self) -> Expression:
+        expression = self._parse_unary()
+        while self._peek().type in (TokenType.STAR, TokenType.SLASH):
+            operator = self._advance().value
+            right = self._parse_unary()
+            expression = BinaryOp(operator=operator, left=expression, right=right)
+        return expression
+
+    def _parse_unary(self) -> Expression:
+        if self._match(TokenType.NOT):
+            return UnaryOp(operator="not", operand=self._parse_unary())
+        if self._match(TokenType.MINUS):
+            return UnaryOp(operator="-", operand=self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self._peek()
+        if token.type is TokenType.INT:
+            self._advance()
+            return IntLiteral(int(token.value))
+        if token.type is TokenType.FLOAT:
+            self._advance()
+            return FloatLiteral(float(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return StringLiteral(token.value)
+        if token.type is TokenType.TRUE:
+            self._advance()
+            return BoolLiteral(True)
+        if token.type is TokenType.FALSE:
+            self._advance()
+            return BoolLiteral(False)
+        if token.type is TokenType.NIL:
+            self._advance()
+            return NilLiteral()
+        if token.type is TokenType.SELF:
+            self._advance()
+            return SelfRef()
+        if token.type is TokenType.SEND:
+            return self._parse_send()
+        if token.type is TokenType.IDENT:
+            self._advance()
+            if self._check(TokenType.LPAREN):
+                arguments = self._parse_argument_list()
+                return Call(function=token.value, arguments=arguments)
+            return Name(token.value)
+        if self._match(TokenType.LPAREN):
+            expression = self._parse_expression()
+            self._expect(TokenType.RPAREN, "expected ')'")
+            return expression
+        raise ParseError(f"unexpected token {token.value!r}", token.line, token.column)
+
+    # -- small shared pieces ------------------------------------------------
+
+    def _parse_parameter_list(self) -> tuple[str, ...]:
+        if not self._match(TokenType.LPAREN):
+            return ()
+        parameters: list[str] = []
+        if not self._check(TokenType.RPAREN):
+            while True:
+                token = self._expect(TokenType.IDENT, "expected parameter name")
+                parameters.append(token.value)
+                if not self._match(TokenType.COMMA):
+                    break
+        self._expect(TokenType.RPAREN, "expected ')' after parameters")
+        return tuple(parameters)
+
+    def _parse_argument_list(self) -> tuple[Expression, ...]:
+        if not self._match(TokenType.LPAREN):
+            return ()
+        arguments: list[Expression] = []
+        if not self._check(TokenType.RPAREN):
+            while True:
+                arguments.append(self._parse_expression())
+                if not self._match(TokenType.COMMA):
+                    break
+        self._expect(TokenType.RPAREN, "expected ')' after arguments")
+        return tuple(arguments)
+
+    # -- token cursor -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def _check(self, token_type: TokenType) -> bool:
+        return self._peek().type is token_type
+
+    def _match(self, token_type: TokenType) -> bool:
+        if self._check(token_type):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, token_type: TokenType, message: str) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise ParseError(f"{message}, got {token.value!r}", token.line, token.column)
+        return self._advance()
+
+    def _skip_newlines(self) -> None:
+        while self._check(TokenType.NEWLINE):
+            self._advance()
+
+
+def parse_body(source: str) -> Block:
+    """Parse ``source`` as a bare method body (no ``method ... end`` wrapper)."""
+    parser = Parser(tokenize(source))
+    block = parser.parse_block()
+    # A bare body may legitimately end with a stray 'end'; anything else left
+    # over indicates a syntax error the caller should know about.
+    trailing = parser._peek()
+    if trailing.type not in (TokenType.EOF, TokenType.END):
+        raise ParseError(f"unexpected trailing token {trailing.value!r}",
+                         trailing.line, trailing.column)
+    return block
+
+
+def parse_method(source: str) -> MethodDecl:
+    """Parse a single ``method NAME(...) is ... end`` declaration."""
+    return Parser(tokenize(source)).parse_method()
+
+
+def parse_methods(source: str) -> list[MethodDecl]:
+    """Parse a sequence of method declarations."""
+    return Parser(tokenize(source)).parse_methods()

@@ -1,0 +1,119 @@
+"""Pretty printer: turn AST nodes back into method-definition-language text.
+
+Round-tripping (``parse_body(to_source(block)) == block``) is exercised by
+property-based tests, so the printer must emit text the parser accepts.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import (
+    Assignment,
+    BinaryOp,
+    Block,
+    BoolLiteral,
+    Call,
+    Expression,
+    ExpressionStatement,
+    FloatLiteral,
+    If,
+    IntLiteral,
+    MethodDecl,
+    Name,
+    NilLiteral,
+    Return,
+    SelfRef,
+    Send,
+    SendStatement,
+    Statement,
+    StringLiteral,
+    UnaryOp,
+    While,
+)
+
+_INDENT = "    "
+
+
+def format_expression(expression: Expression) -> str:
+    """Render an expression as source text."""
+    if isinstance(expression, IntLiteral):
+        return str(expression.value)
+    if isinstance(expression, FloatLiteral):
+        return repr(expression.value)
+    if isinstance(expression, StringLiteral):
+        return f'"{expression.value}"'
+    if isinstance(expression, BoolLiteral):
+        return "true" if expression.value else "false"
+    if isinstance(expression, NilLiteral):
+        return "nil"
+    if isinstance(expression, SelfRef):
+        return "self"
+    if isinstance(expression, Name):
+        return expression.identifier
+    if isinstance(expression, Call):
+        arguments = ", ".join(format_expression(a) for a in expression.arguments)
+        return f"{expression.function}({arguments})"
+    if isinstance(expression, Send):
+        return _format_send(expression)
+    if isinstance(expression, UnaryOp):
+        separator = " " if expression.operator == "not" else ""
+        return f"{expression.operator}{separator}{format_expression(expression.operand)}"
+    if isinstance(expression, BinaryOp):
+        left = format_expression(expression.left)
+        right = format_expression(expression.right)
+        return f"({left} {expression.operator} {right})"
+    raise TypeError(f"unsupported expression node: {expression!r}")
+
+
+def _format_send(send: Send) -> str:
+    name = send.method if send.prefix_class is None else f"{send.prefix_class}.{send.method}"
+    arguments = ""
+    if send.arguments:
+        arguments = "(" + ", ".join(format_expression(a) for a in send.arguments) + ")"
+    target = format_expression(send.target)
+    return f"send {name}{arguments} to {target}"
+
+
+def format_statement(statement: Statement, indent: int = 0) -> str:
+    """Render a statement (possibly multi-line) with the given indent level."""
+    prefix = _INDENT * indent
+    if isinstance(statement, Assignment):
+        return f"{prefix}{statement.target} := {format_expression(statement.value)}"
+    if isinstance(statement, SendStatement):
+        return f"{prefix}{_format_send(statement.send)}"
+    if isinstance(statement, ExpressionStatement):
+        return f"{prefix}{format_expression(statement.expression)}"
+    if isinstance(statement, Return):
+        if statement.value is None:
+            return f"{prefix}return"
+        return f"{prefix}return {format_expression(statement.value)}"
+    if isinstance(statement, If):
+        lines = [f"{prefix}if {format_expression(statement.condition)} then"]
+        lines.extend(format_statement(s, indent + 1) for s in statement.then_block)
+        if statement.else_block.statements:
+            lines.append(f"{prefix}else")
+            lines.extend(format_statement(s, indent + 1) for s in statement.else_block)
+        lines.append(f"{prefix}end")
+        return "\n".join(lines)
+    if isinstance(statement, While):
+        lines = [f"{prefix}while {format_expression(statement.condition)} do"]
+        lines.extend(format_statement(s, indent + 1) for s in statement.body)
+        lines.append(f"{prefix}end")
+        return "\n".join(lines)
+    raise TypeError(f"unsupported statement node: {statement!r}")
+
+
+def to_source(block: Block, indent: int = 0) -> str:
+    """Render a block of statements as source text."""
+    return "\n".join(format_statement(s, indent) for s in block)
+
+
+def format_method(method: MethodDecl) -> str:
+    """Render a full ``method ... end`` declaration."""
+    parameters = ""
+    if method.parameters:
+        parameters = "(" + ", ".join(method.parameters) + ")"
+    header = f"method {method.name}{parameters} is"
+    body = to_source(method.body, indent=1)
+    if body:
+        return f"{header}\n{body}\nend"
+    return f"{header}\nend"

@@ -1,0 +1,92 @@
+"""Waits-for graph and deadlock detection.
+
+The simulator and the transaction manager build a waits-for graph from the
+lock manager's queues; a cycle in that graph is a deadlock and one of the
+transactions on the cycle is chosen as the victim.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, TypeVar
+
+Txn = TypeVar("Txn", bound=Hashable)
+
+
+def find_cycle(edges: Mapping[Txn, Iterable[Txn]]) -> tuple[Txn, ...]:
+    """Return one cycle of the directed graph ``edges``, or ``()`` if none.
+
+    The cycle is returned as the sequence of nodes along it (without
+    repeating the first node at the end).
+    """
+    adjacency = {node: tuple(targets) for node, targets in edges.items()}
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: dict[Txn, int] = {}
+    for node in adjacency:
+        colour.setdefault(node, WHITE)
+        for target in adjacency[node]:
+            colour.setdefault(target, WHITE)
+
+    path: list[Txn] = []
+
+    def visit(node: Txn) -> tuple[Txn, ...]:
+        colour[node] = GREY
+        path.append(node)
+        for target in adjacency.get(node, ()):
+            if colour[target] == GREY:
+                start = path.index(target)
+                return tuple(path[start:])
+            if colour[target] == WHITE:
+                cycle = visit(target)
+                if cycle:
+                    return cycle
+        colour[node] = BLACK
+        path.pop()
+        return ()
+
+    for node in list(colour):
+        if colour[node] == WHITE:
+            cycle = visit(node)
+            if cycle:
+                return cycle
+    return ()
+
+
+class WaitsForGraph:
+    """A mutable waits-for graph with cycle detection and victim selection."""
+
+    def __init__(self) -> None:
+        self._edges: dict[Hashable, set[Hashable]] = {}
+
+    def add_wait(self, waiter: Hashable, holder: Hashable) -> None:
+        """Record that ``waiter`` waits for ``holder``."""
+        if waiter == holder:
+            return
+        self._edges.setdefault(waiter, set()).add(holder)
+
+    def remove_transaction(self, txn: Hashable) -> None:
+        """Drop a transaction and every edge touching it."""
+        self._edges.pop(txn, None)
+        for targets in self._edges.values():
+            targets.discard(txn)
+
+    def clear_waiter(self, waiter: Hashable) -> None:
+        """Drop the outgoing edges of a transaction (it stopped waiting)."""
+        self._edges.pop(waiter, None)
+
+    @property
+    def edges(self) -> dict[Hashable, frozenset[Hashable]]:
+        """A read-only snapshot of the graph."""
+        return {waiter: frozenset(holders) for waiter, holders in self._edges.items()}
+
+    def find_deadlock(self) -> tuple[Hashable, ...]:
+        """Return one deadlock cycle, or ``()`` when the graph is acyclic."""
+        return find_cycle(self._edges)
+
+    def choose_victim(self, cycle: tuple[Hashable, ...]) -> Hashable:
+        """Pick the victim of a deadlock: the youngest transaction on the cycle.
+
+        Transactions are compared by their identifier, which the transaction
+        manager allocates monotonically, so "largest id" means "started
+        last"; aborting the youngest transaction wastes the least work.
+        """
+        return max(cycle)

@@ -1,0 +1,299 @@
+"""The lock manager.
+
+One :class:`LockManager` instance serves one concurrency-control protocol.
+It knows nothing about what modes *mean*: compatibility is delegated to a
+callable ``compatible(resource, held_mode, requested_mode)`` supplied by the
+protocol, which is how the paper's per-class commutativity tables, classical
+read/write locks and multigranularity class locks all share the same
+machinery.  This mirrors the paper's point that once access vectors have been
+translated into access modes, "run-time checking of commutativity is as
+efficient as for compatibility" — the lock manager does exactly one table
+lookup per held lock.
+
+The manager is event-driven rather than thread-blocking: a request either is
+granted immediately or joins a FIFO wait queue, and :meth:`release_all`
+reports which queued requests became grantable.  The discrete-event simulator
+and the (single-threaded) transaction manager both build on this interface.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable
+
+from repro.errors import LockConflictError
+
+#: A lockable resource: any hashable value.  Protocols use tuples whose first
+#: element names the granule kind, e.g. ``("instance", oid)`` or
+#: ``("class", "c2")``.
+Resource = Hashable
+#: A lock mode: any hashable value (a method name, ``"R"``, a
+#: :class:`~repro.locking.modes.ClassLockMode`, ...).
+Mode = Hashable
+#: Transaction identifier.
+TxnId = int
+
+CompatibilityFn = Callable[[Resource, Mode, Mode], bool]
+
+
+class RequestStatus(enum.Enum):
+    """Outcome of a lock request."""
+
+    GRANTED = "granted"
+    WAITING = "waiting"
+
+
+@dataclass(frozen=True)
+class LockRequestOutcome:
+    """What happened to a lock request."""
+
+    status: RequestStatus
+    resource: Resource
+    mode: Mode
+    txn: TxnId
+    #: Transactions whose held locks block this request (empty when granted).
+    blockers: tuple[TxnId, ...] = ()
+
+    @property
+    def granted(self) -> bool:
+        """``True`` when the lock was granted immediately."""
+        return self.status is RequestStatus.GRANTED
+
+
+@dataclass
+class LockManagerStats:
+    """Counters accumulated by the lock manager (reset with ``reset``)."""
+
+    requests: int = 0
+    grants: int = 0
+    waits: int = 0
+    upgrades: int = 0
+    redundant: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.requests = 0
+        self.grants = 0
+        self.waits = 0
+        self.upgrades = 0
+        self.redundant = 0
+
+
+@dataclass
+class _WaitingRequest:
+    txn: TxnId
+    mode: Mode
+
+
+@dataclass
+class _ResourceEntry:
+    #: Modes held per transaction (a transaction may hold several modes).
+    holders: dict[TxnId, list[Mode]] = field(default_factory=dict)
+    #: FIFO queue of waiting requests.
+    queue: list[_WaitingRequest] = field(default_factory=list)
+
+
+class LockManager:
+    """Tracks granted locks and wait queues for one protocol."""
+
+    def __init__(self, compatible: CompatibilityFn) -> None:
+        self._compatible = compatible
+        self._entries: dict[Resource, _ResourceEntry] = {}
+        self._held_by_txn: dict[TxnId, OrderedDict[Resource, None]] = {}
+        self.stats = LockManagerStats()
+
+    # -- requesting -----------------------------------------------------------
+
+    def request(self, txn: TxnId, resource: Resource, mode: Mode) -> LockRequestOutcome:
+        """Request ``mode`` on ``resource`` for transaction ``txn``.
+
+        The request is granted when the mode is compatible with every mode
+        held by *other* transactions on the resource.  Re-requesting a mode
+        the transaction already holds is counted as redundant and granted
+        immediately; adding a *different* mode to an already-held resource is
+        counted as an upgrade (lock escalation when the new mode is more
+        exclusive).
+        """
+        self.stats.requests += 1
+        entry = self._entries.setdefault(resource, _ResourceEntry())
+        already_held = entry.holders.get(txn, [])
+
+        if mode in already_held:
+            self.stats.redundant += 1
+            self.stats.grants += 1
+            return LockRequestOutcome(RequestStatus.GRANTED, resource, mode, txn)
+
+        blockers = self._blockers(entry, txn, resource, mode)
+        queue_blocks = self._queue_blocks(entry, txn, resource, mode)
+        if not blockers and not queue_blocks:
+            if already_held:
+                self.stats.upgrades += 1
+            self._grant(entry, txn, resource, mode)
+            self.stats.grants += 1
+            return LockRequestOutcome(RequestStatus.GRANTED, resource, mode, txn)
+
+        entry.queue.append(_WaitingRequest(txn=txn, mode=mode))
+        self.stats.waits += 1
+        return LockRequestOutcome(RequestStatus.WAITING, resource, mode, txn,
+                                  blockers=tuple(blockers))
+
+    def acquire(self, txn: TxnId, resource: Resource, mode: Mode) -> None:
+        """Like :meth:`request` but raises instead of queueing.
+
+        This is the interface used by the non-simulated transaction manager,
+        where a conflict is surfaced immediately as
+        :class:`~repro.errors.LockConflictError`.
+        """
+        outcome = self.request(txn, resource, mode)
+        if not outcome.granted:
+            self._remove_from_queue(resource, txn, mode)
+            raise LockConflictError(
+                f"transaction {txn} cannot lock {resource!r} in mode {mode!r}; "
+                f"held by {outcome.blockers}", holders=outcome.blockers)
+
+    # -- releasing -------------------------------------------------------------
+
+    def release_all(self, txn: TxnId) -> list[LockRequestOutcome]:
+        """Release every lock held by ``txn`` and drop its queued requests.
+
+        Returns the outcomes of the queued requests of *other* transactions
+        that became grantable, in grant order (the caller resumes them).
+        """
+        held = self._held_by_txn.pop(txn, OrderedDict())
+        touched: list[Resource] = list(held)
+        for resource in touched:
+            entry = self._entries.get(resource)
+            if entry is not None:
+                entry.holders.pop(txn, None)
+        # Drop this transaction's own waiting requests everywhere.  Resources
+        # where it was merely queued must be promoted too: removing a waiter
+        # can unblock requests that were queued behind it for fairness.
+        for resource, entry in self._entries.items():
+            remaining = [w for w in entry.queue if w.txn != txn]
+            if len(remaining) != len(entry.queue):
+                entry.queue = remaining
+                if resource not in touched:
+                    touched.append(resource)
+        return self._promote(touched)
+
+    def _promote(self, resources: Iterable[Resource]) -> list[LockRequestOutcome]:
+        granted: list[LockRequestOutcome] = []
+        for resource in resources:
+            entry = self._entries.get(resource)
+            if entry is None:
+                continue
+            still_waiting: list[_WaitingRequest] = []
+            for waiting in entry.queue:
+                blockers = self._blockers(entry, waiting.txn, resource, waiting.mode)
+                if blockers:
+                    still_waiting.append(waiting)
+                    continue
+                self._grant(entry, waiting.txn, resource, waiting.mode)
+                self.stats.grants += 1
+                granted.append(LockRequestOutcome(RequestStatus.GRANTED, resource,
+                                                  waiting.mode, waiting.txn))
+            entry.queue = still_waiting
+        return granted
+
+    # -- introspection -----------------------------------------------------------
+
+    def holders(self, resource: Resource) -> dict[TxnId, tuple[Mode, ...]]:
+        """Modes currently held on ``resource``, per transaction."""
+        entry = self._entries.get(resource)
+        if entry is None:
+            return {}
+        return {txn: tuple(modes) for txn, modes in entry.holders.items()}
+
+    def waiting(self, resource: Resource) -> tuple[tuple[TxnId, Mode], ...]:
+        """Queued requests on ``resource`` in FIFO order."""
+        entry = self._entries.get(resource)
+        if entry is None:
+            return ()
+        return tuple((w.txn, w.mode) for w in entry.queue)
+
+    def locks_of(self, txn: TxnId) -> dict[Resource, tuple[Mode, ...]]:
+        """Every lock held by ``txn``."""
+        held = self._held_by_txn.get(txn, OrderedDict())
+        result: dict[Resource, tuple[Mode, ...]] = {}
+        for resource in held:
+            entry = self._entries.get(resource)
+            if entry and txn in entry.holders:
+                result[resource] = tuple(entry.holders[txn])
+        return result
+
+    def holds(self, txn: TxnId, resource: Resource, mode: Mode | None = None) -> bool:
+        """Whether ``txn`` holds (that mode of) a lock on ``resource``."""
+        entry = self._entries.get(resource)
+        if entry is None or txn not in entry.holders:
+            return False
+        if mode is None:
+            return True
+        return mode in entry.holders[txn]
+
+    def waits_for_edges(self) -> dict[TxnId, set[TxnId]]:
+        """The waits-for relation induced by the current queues.
+
+        A waiter points at every transaction holding an incompatible mode on
+        the resource it is queued for, and at every *earlier* waiter whose
+        queued mode conflicts with its own (the FIFO fairness rule makes the
+        later request wait for the earlier one to be granted and released).
+        """
+        edges: dict[TxnId, set[TxnId]] = {}
+        for resource, entry in self._entries.items():
+            for position, waiting in enumerate(entry.queue):
+                blockers = set(self._blockers(entry, waiting.txn, resource, waiting.mode))
+                for earlier in entry.queue[:position]:
+                    if earlier.txn != waiting.txn and \
+                            not self._compatible(resource, earlier.mode, waiting.mode):
+                        blockers.add(earlier.txn)
+                if blockers:
+                    edges.setdefault(waiting.txn, set()).update(blockers)
+        return edges
+
+    def blocked_transactions(self) -> frozenset[TxnId]:
+        """Transactions with at least one queued (not yet granted) request."""
+        blocked = set()
+        for entry in self._entries.values():
+            blocked.update(w.txn for w in entry.queue)
+        return frozenset(blocked)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _blockers(self, entry: _ResourceEntry, txn: TxnId, resource: Resource,
+                  mode: Mode) -> list[TxnId]:
+        blockers = []
+        for holder, modes in entry.holders.items():
+            if holder == txn:
+                continue
+            if any(not self._compatible(resource, held, mode) for held in modes):
+                blockers.append(holder)
+        return blockers
+
+    def _queue_blocks(self, entry: _ResourceEntry, txn: TxnId, resource: Resource,
+                      mode: Mode) -> bool:
+        """FIFO fairness: a new request waits behind conflicting queued ones.
+
+        A transaction that already holds a lock on the resource bypasses the
+        queue (conversion requests jump ahead, the standard treatment that
+        keeps upgrades from deadlocking behind newcomers).
+        """
+        if txn in entry.holders:
+            return False
+        return any(not self._compatible(resource, waiting.mode, mode)
+                   for waiting in entry.queue if waiting.txn != txn)
+
+    def _grant(self, entry: _ResourceEntry, txn: TxnId, resource: Resource,
+               mode: Mode) -> None:
+        entry.holders.setdefault(txn, []).append(mode)
+        self._held_by_txn.setdefault(txn, OrderedDict())[resource] = None
+
+    def _remove_from_queue(self, resource: Resource, txn: TxnId, mode: Mode) -> None:
+        entry = self._entries.get(resource)
+        if entry is None:
+            return
+        for position, waiting in enumerate(entry.queue):
+            if waiting.txn == txn and waiting.mode == mode:
+                del entry.queue[position]
+                return

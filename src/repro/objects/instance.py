@@ -1,0 +1,77 @@
+"""Instances: the values stored in the object base.
+
+An :class:`Instance` is a mutable record of field values plus the OID and the
+proper class.  Field access is deliberately kept dumb — all semantics (type
+defaults, reference checking) live in :class:`~repro.objects.store.ObjectStore`
+so the instance itself stays a plain container that the recovery manager can
+snapshot and restore cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.errors import UnknownFieldError
+from repro.objects.oid import OID
+
+
+@dataclass
+class Instance:
+    """A single object: OID, proper class and field values."""
+
+    oid: OID
+    class_name: str
+    values: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, field_name: str) -> Any:
+        """Read a field value.
+
+        Raises:
+            UnknownFieldError: if the instance has no such field.
+        """
+        try:
+            return self.values[field_name]
+        except KeyError:
+            raise UnknownFieldError(
+                f"instance {self.oid} has no field {field_name!r}") from None
+
+    def set(self, field_name: str, value: Any) -> None:
+        """Write a field value.
+
+        Raises:
+            UnknownFieldError: if the instance has no such field.
+        """
+        if field_name not in self.values:
+            raise UnknownFieldError(
+                f"instance {self.oid} has no field {field_name!r}")
+        self.values[field_name] = value
+
+    def has_field(self, field_name: str) -> bool:
+        """``True`` when the instance carries a field of that name."""
+        return field_name in self.values
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        """Names of all fields, in the order the store created them."""
+        return tuple(self.values)
+
+    # -- recovery support ----------------------------------------------------
+
+    def snapshot(self, fields: Iterable[str] | None = None) -> dict[str, Any]:
+        """Copy the values of ``fields`` (all fields when ``None``).
+
+        Recovery uses the *written* fields of an access vector as the
+        projection pattern (§3), so the snapshot is usually partial.
+        """
+        names = self.field_names if fields is None else tuple(fields)
+        return {name: self.get(name) for name in names}
+
+    def restore(self, snapshot: Mapping[str, Any]) -> None:
+        """Write back a snapshot previously taken with :meth:`snapshot`."""
+        for name, value in snapshot.items():
+            self.set(name, value)
+
+    def __str__(self) -> str:
+        pairs = ", ".join(f"{name}={value!r}" for name, value in self.values.items())
+        return f"{self.oid}({pairs})"

@@ -1,0 +1,469 @@
+"""A small interpreter for method bodies, with genuine late binding.
+
+The interpreter is what turns the schema + store into a usable object base:
+examples and workloads *send messages* to instances and the interpreter
+executes the corresponding method bodies, dispatching self-directed messages
+on the proper class of the receiver and prefixed messages on the named
+ancestor, exactly as described in §2.2 of the paper.
+
+Two capture mechanisms are provided because the concurrency-control layer
+needs them:
+
+* an :class:`ExecutionTrace` records every actual field read/write and every
+  message dispatch of one top-level send — the run-time field-locking
+  baseline locks from this stream, and the property tests use it to check
+  that transitive access vectors are a conservative superset of any actual
+  execution;
+* an :class:`InterpreterObserver` receives the same events as callbacks
+  *while* execution proceeds, which is how run-time locking protocols
+  acquire their locks at the moment of access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Callable, Mapping
+
+from repro.core.access_vector import AccessVector
+from repro.core.modes import AccessMode
+from repro.errors import InterpreterError
+from repro.lang import (
+    Assignment,
+    BinaryOp,
+    Block,
+    BoolLiteral,
+    Call,
+    Expression,
+    ExpressionStatement,
+    FloatLiteral,
+    If,
+    IntLiteral,
+    Name,
+    NilLiteral,
+    Return,
+    SelfRef,
+    Send,
+    SendStatement,
+    Statement,
+    StringLiteral,
+    UnaryOp,
+    While,
+)
+from repro.objects.oid import OID
+from repro.objects.store import ObjectStore
+
+#: Safety bound on loop iterations inside one method body.
+_MAX_LOOP_ITERATIONS = 100_000
+#: Safety bound on the message-dispatch depth of one top-level send (kept
+#: well below Python's own recursion limit so the guard fires first).
+_MAX_DEPTH = 64
+
+
+# ---------------------------------------------------------------------------
+# Events and traces
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One actual field access performed during execution."""
+
+    oid: OID
+    field: str
+    mode: AccessMode
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """One message dispatch performed during execution.
+
+    ``sender`` is the receiver of the enclosing method (``None`` for the
+    top-level send).  An *entry* message is one that crosses an instance
+    boundary: the top-level send or a message whose sender is a different
+    instance — exactly the points where the paper's protocol performs its
+    single concurrency control per instance.
+    """
+
+    oid: OID
+    class_name: str
+    method: str
+    resolved_class: str
+    top_level: bool
+    sender: OID | None = None
+
+    @property
+    def is_entry(self) -> bool:
+        """``True`` for the top-level send and for cross-instance messages."""
+        return self.top_level or (self.sender is not None and self.sender != self.oid)
+
+
+@dataclass
+class ExecutionTrace:
+    """The ordered list of events produced by one top-level send."""
+
+    events: list[AccessEvent | MessageEvent] = dataclass_field(default_factory=list)
+
+    def record(self, event: AccessEvent | MessageEvent) -> None:
+        """Append an event (used by the interpreter)."""
+        self.events.append(event)
+
+    @property
+    def field_accesses(self) -> tuple[AccessEvent, ...]:
+        """Every actual field read/write, in order."""
+        return tuple(e for e in self.events if isinstance(e, AccessEvent))
+
+    @property
+    def messages(self) -> tuple[MessageEvent, ...]:
+        """Every message dispatch, in order (the top-level send included)."""
+        return tuple(e for e in self.events if isinstance(e, MessageEvent))
+
+    @property
+    def entry_messages(self) -> tuple[MessageEvent, ...]:
+        """Messages that cross an instance boundary (one control point each
+        under the paper's protocol)."""
+        return tuple(e for e in self.messages if e.is_entry)
+
+    @property
+    def self_directed_messages(self) -> tuple[MessageEvent, ...]:
+        """Messages other than the top-level one that target the same receiver.
+
+        Their number is exactly the count of extra concurrency-control calls a
+        per-message locking scheme would perform (§3, "locking overhead").
+        """
+        top_receivers = {e.oid for e in self.events
+                         if isinstance(e, MessageEvent) and e.top_level}
+        return tuple(e for e in self.messages
+                     if not e.top_level and e.oid in top_receivers)
+
+    def accessed_vector(self, oid: OID, fields: tuple[str, ...]) -> AccessVector:
+        """The access vector actually exercised on ``oid`` by this execution."""
+        modes: dict[str, AccessMode] = {}
+        for event in self.field_accesses:
+            if event.oid != oid:
+                continue
+            current = modes.get(event.field, AccessMode.NULL)
+            if event.mode > current:
+                modes[event.field] = event.mode
+        return AccessVector(fields, modes)
+
+    def touched_instances(self) -> tuple[OID, ...]:
+        """OIDs that received a message or a field access, in first-touch order."""
+        seen: dict[OID, None] = {}
+        for event in self.events:
+            seen.setdefault(event.oid, None)
+        return tuple(seen)
+
+
+class InterpreterObserver:
+    """Callback interface for run-time concurrency-control protocols.
+
+    All methods default to no-ops; protocols override the ones they need.
+    Any exception raised by an observer aborts the execution and propagates
+    to the caller (this is how a lock conflict interrupts a method).
+    """
+
+    def on_message(self, oid: OID, class_name: str, method: str,
+                   resolved_class: str, top_level: bool) -> None:
+        """Called before a method body starts executing."""
+
+    def on_field_read(self, oid: OID, field: str) -> None:
+        """Called before a field value is read."""
+
+    def on_field_write(self, oid: OID, field: str) -> None:
+        """Called before a field value is overwritten."""
+
+
+# ---------------------------------------------------------------------------
+# Builtins
+# ---------------------------------------------------------------------------
+
+
+def _builtin_expr(*args: Any) -> Any:
+    numbers = [a for a in args if isinstance(a, (int, float)) and not isinstance(a, bool)]
+    strings = [a for a in args if isinstance(a, str)]
+    if strings:
+        return "".join(strings)
+    if numbers:
+        return sum(numbers)
+    return args[0] if args else 0
+
+
+def _builtin_cond(*args: Any) -> bool:
+    return bool(args[0]) if args else False
+
+
+def _builtin_describe(*args: Any) -> str:
+    return " ".join(str(a) for a in args)
+
+
+def default_builtins() -> dict[str, Callable[..., Any]]:
+    """The uninterpreted helper functions used by the example schemas.
+
+    Applications can extend or replace any entry by passing ``builtins=`` to
+    :class:`Interpreter`.
+    """
+    return {
+        "expr": _builtin_expr,
+        "cond": _builtin_cond,
+        "format": _builtin_describe,
+        "describe": _builtin_describe,
+        "penalty": lambda amount=0: float(amount) * 0.05,
+        "overdraft_fee": lambda amount=0: 5.0,
+        "limit": lambda: 3,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Interpreter
+# ---------------------------------------------------------------------------
+
+
+class _ReturnSignal(Exception):
+    """Internal control-flow signal for ``return`` statements."""
+
+    def __init__(self, value: Any) -> None:
+        super().__init__()
+        self.value = value
+
+
+class Interpreter:
+    """Executes method bodies against an :class:`ObjectStore`."""
+
+    def __init__(self, store: ObjectStore,
+                 builtins: Mapping[str, Callable[..., Any]] | None = None,
+                 observer: InterpreterObserver | None = None) -> None:
+        self._store = store
+        self._schema = store.schema
+        self._builtins = dict(default_builtins())
+        if builtins:
+            self._builtins.update(builtins)
+        self._observer = observer or InterpreterObserver()
+
+    # -- public API -----------------------------------------------------------
+
+    def send(self, oid: OID, method: str, *arguments: Any,
+             trace: ExecutionTrace | None = None) -> Any:
+        """Send ``method`` to the instance identified by ``oid``.
+
+        Late binding: the method is resolved on the *proper* class of the
+        receiver.  Returns the value of the method's ``return`` statement (or
+        ``None``).  When ``trace`` is given, every event of the execution is
+        appended to it.
+        """
+        try:
+            return self._dispatch(oid, method, list(arguments), trace,
+                                  prefix_class=None, depth=0, top_level=True,
+                                  sender=None)
+        except RecursionError as error:
+            raise InterpreterError(
+                f"method {method!r} exceeded the interpreter recursion limit") from error
+
+    def send_traced(self, oid: OID, method: str,
+                    *arguments: Any) -> tuple[Any, ExecutionTrace]:
+        """Like :meth:`send` but always returns ``(value, trace)``."""
+        trace = ExecutionTrace()
+        value = self.send(oid, method, *arguments, trace=trace)
+        return value, trace
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _dispatch(self, oid: OID, method: str, arguments: list[Any],
+                  trace: ExecutionTrace | None, prefix_class: str | None,
+                  depth: int, top_level: bool, sender: OID | None) -> Any:
+        if depth > _MAX_DEPTH:
+            raise InterpreterError(
+                f"message dispatch deeper than {_MAX_DEPTH}; "
+                f"probable unbounded recursion on {method!r}")
+        instance = self._store.get(oid)
+        if prefix_class is None:
+            resolved = self._schema.resolve(instance.class_name, method)
+        else:
+            resolved = self._schema.resolve_prefixed(instance.class_name,
+                                                     prefix_class, method)
+        declared_parameters = resolved.definition.parameters
+        if len(arguments) != len(declared_parameters):
+            raise InterpreterError(
+                f"method {resolved.defining_class}.{method} expects "
+                f"{len(declared_parameters)} argument(s), got {len(arguments)}")
+
+        self._observer.on_message(oid, instance.class_name, method,
+                                  resolved.defining_class, top_level)
+        if trace is not None:
+            trace.record(MessageEvent(oid=oid, class_name=instance.class_name,
+                                      method=method,
+                                      resolved_class=resolved.defining_class,
+                                      top_level=top_level, sender=sender))
+
+        environment: dict[str, Any] = dict(zip(declared_parameters, arguments))
+        try:
+            self._execute_block(resolved.definition.body, oid, environment, trace, depth)
+        except _ReturnSignal as signal:
+            return signal.value
+        return None
+
+    # -- statements -----------------------------------------------------------
+
+    def _execute_block(self, block: Block, oid: OID, environment: dict[str, Any],
+                       trace: ExecutionTrace | None, depth: int) -> None:
+        for statement in block:
+            self._execute_statement(statement, oid, environment, trace, depth)
+
+    def _execute_statement(self, statement: Statement, oid: OID,
+                           environment: dict[str, Any],
+                           trace: ExecutionTrace | None, depth: int) -> None:
+        if isinstance(statement, Assignment):
+            value = self._evaluate(statement.value, oid, environment, trace, depth)
+            self._assign(statement.target, value, oid, environment, trace)
+        elif isinstance(statement, SendStatement):
+            self._evaluate(statement.send, oid, environment, trace, depth)
+        elif isinstance(statement, ExpressionStatement):
+            self._evaluate(statement.expression, oid, environment, trace, depth)
+        elif isinstance(statement, If):
+            condition = self._evaluate(statement.condition, oid, environment, trace, depth)
+            branch = statement.then_block if condition else statement.else_block
+            self._execute_block(branch, oid, environment, trace, depth)
+        elif isinstance(statement, While):
+            iterations = 0
+            while self._evaluate(statement.condition, oid, environment, trace, depth):
+                self._execute_block(statement.body, oid, environment, trace, depth)
+                iterations += 1
+                if iterations > _MAX_LOOP_ITERATIONS:
+                    raise InterpreterError("while loop exceeded the iteration bound")
+        elif isinstance(statement, Return):
+            value = None
+            if statement.value is not None:
+                value = self._evaluate(statement.value, oid, environment, trace, depth)
+            raise _ReturnSignal(value)
+        else:  # pragma: no cover - the parser cannot produce other nodes
+            raise InterpreterError(f"unsupported statement {statement!r}")
+
+    def _assign(self, target: str, value: Any, oid: OID,
+                environment: dict[str, Any], trace: ExecutionTrace | None) -> None:
+        instance = self._store.get(oid)
+        if target in self._schema.field_names(instance.class_name):
+            self._observer.on_field_write(oid, target)
+            if trace is not None:
+                trace.record(AccessEvent(oid=oid, field=target, mode=AccessMode.WRITE))
+            self._store.write_field(oid, target, value)
+            return
+        environment[target] = value
+
+    # -- expressions -----------------------------------------------------------
+
+    def _evaluate(self, expression: Expression, oid: OID, environment: dict[str, Any],
+                  trace: ExecutionTrace | None, depth: int) -> Any:
+        if isinstance(expression, IntLiteral):
+            return expression.value
+        if isinstance(expression, FloatLiteral):
+            return expression.value
+        if isinstance(expression, StringLiteral):
+            return expression.value
+        if isinstance(expression, BoolLiteral):
+            return expression.value
+        if isinstance(expression, NilLiteral):
+            return None
+        if isinstance(expression, SelfRef):
+            return oid
+        if isinstance(expression, Name):
+            return self._evaluate_name(expression.identifier, oid, environment, trace)
+        if isinstance(expression, Call):
+            return self._evaluate_call(expression, oid, environment, trace, depth)
+        if isinstance(expression, Send):
+            return self._evaluate_send(expression, oid, environment, trace, depth)
+        if isinstance(expression, UnaryOp):
+            return self._evaluate_unary(expression, oid, environment, trace, depth)
+        if isinstance(expression, BinaryOp):
+            return self._evaluate_binary(expression, oid, environment, trace, depth)
+        raise InterpreterError(f"unsupported expression {expression!r}")
+
+    def _evaluate_name(self, identifier: str, oid: OID, environment: dict[str, Any],
+                       trace: ExecutionTrace | None) -> Any:
+        instance = self._store.get(oid)
+        if identifier in self._schema.field_names(instance.class_name):
+            self._observer.on_field_read(oid, identifier)
+            if trace is not None:
+                trace.record(AccessEvent(oid=oid, field=identifier, mode=AccessMode.READ))
+            return self._store.read_field(oid, identifier)
+        if identifier in environment:
+            return environment[identifier]
+        raise InterpreterError(
+            f"unknown name {identifier!r} in method of class {instance.class_name!r}")
+
+    def _evaluate_call(self, call: Call, oid: OID, environment: dict[str, Any],
+                       trace: ExecutionTrace | None, depth: int) -> Any:
+        arguments = [self._evaluate(a, oid, environment, trace, depth)
+                     for a in call.arguments]
+        function = self._builtins.get(call.function)
+        if function is None:
+            raise InterpreterError(f"unknown function {call.function!r}; register it "
+                                   "through the interpreter's builtins")
+        return function(*arguments)
+
+    def _evaluate_send(self, send: Send, oid: OID, environment: dict[str, Any],
+                       trace: ExecutionTrace | None, depth: int) -> Any:
+        arguments = [self._evaluate(a, oid, environment, trace, depth)
+                     for a in send.arguments]
+        if isinstance(send.target, SelfRef):
+            return self._dispatch(oid, send.method, arguments, trace,
+                                  prefix_class=send.prefix_class,
+                                  depth=depth + 1, top_level=False, sender=oid)
+        target_value = self._evaluate(send.target, oid, environment, trace, depth)
+        if target_value is None:
+            raise InterpreterError(
+                f"message {send.method!r} sent to a nil reference")
+        if not isinstance(target_value, OID):
+            raise InterpreterError(
+                f"message {send.method!r} sent to a non-object value {target_value!r}")
+        return self._dispatch(target_value, send.method, arguments, trace,
+                              prefix_class=None, depth=depth + 1, top_level=False,
+                              sender=oid)
+
+    def _evaluate_unary(self, expression: UnaryOp, oid: OID,
+                        environment: dict[str, Any], trace: ExecutionTrace | None,
+                        depth: int) -> Any:
+        operand = self._evaluate(expression.operand, oid, environment, trace, depth)
+        if expression.operator == "not":
+            return not operand
+        if expression.operator == "-":
+            return -operand
+        raise InterpreterError(f"unsupported unary operator {expression.operator!r}")
+
+    def _evaluate_binary(self, expression: BinaryOp, oid: OID,
+                         environment: dict[str, Any], trace: ExecutionTrace | None,
+                         depth: int) -> Any:
+        operator = expression.operator
+        left = self._evaluate(expression.left, oid, environment, trace, depth)
+        if operator == "and":
+            if not left:
+                return left
+            return self._evaluate(expression.right, oid, environment, trace, depth)
+        if operator == "or":
+            if left:
+                return left
+            return self._evaluate(expression.right, oid, environment, trace, depth)
+        right = self._evaluate(expression.right, oid, environment, trace, depth)
+        try:
+            if operator == "+":
+                return left + right
+            if operator == "-":
+                return left - right
+            if operator == "*":
+                return left * right
+            if operator == "/":
+                return left / right
+            if operator == "=":
+                return left == right
+            if operator == "<>":
+                return left != right
+            if operator == "<":
+                return left < right
+            if operator == "<=":
+                return left <= right
+            if operator == ">":
+                return left > right
+            if operator == ">=":
+                return left >= right
+        except (TypeError, ZeroDivisionError) as error:
+            raise InterpreterError(f"cannot evaluate {left!r} {operator} {right!r}: "
+                                   f"{error}") from error
+        raise InterpreterError(f"unsupported binary operator {operator!r}")

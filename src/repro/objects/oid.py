@@ -1,0 +1,33 @@
+"""Object identifiers.
+
+OIDs are immutable and carry the class of the instance they identify, which
+is convenient both for debugging and for the lock manager (an instance lock
+is always taken together with an intentional lock on its class, §5.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class OID:
+    """A globally unique object identifier."""
+
+    class_name: str
+    number: int
+
+    def __str__(self) -> str:
+        return f"{self.class_name}#{self.number}"
+
+
+class OIDGenerator:
+    """Hands out monotonically increasing OIDs, one counter per store."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+
+    def next_oid(self, class_name: str) -> OID:
+        """Allocate a fresh OID for an instance of ``class_name``."""
+        return OID(class_name=class_name, number=next(self._counter))

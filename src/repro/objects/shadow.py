@@ -1,0 +1,62 @@
+"""Copy-on-write view over an :class:`~repro.objects.store.ObjectStore`.
+
+Concurrency-control protocols that derive their lock requests from the actual
+execution path (the read/write baseline locks once per message, the
+field-locking baseline once per access) need to *discover* that path before
+any lock is held.  The planner therefore performs a **shadow run**: the
+operation is interpreted against a :class:`ShadowStore`, which answers reads
+from the underlying store but keeps every write in a private overlay, leaving
+the real object base untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.objects.instance import Instance
+from repro.objects.oid import OID
+from repro.objects.store import ObjectStore
+from repro.schema import Schema
+
+
+class ShadowStore:
+    """A read-through, write-aside view of a store.
+
+    Only the operations the interpreter needs are provided (``get``,
+    ``read_field``, ``write_field`` and the ``schema`` property); the shadow
+    is not a full store and cannot create or delete instances.
+    """
+
+    def __init__(self, base: ObjectStore) -> None:
+        self._base = base
+        self._overlay: dict[tuple[OID, str], Any] = {}
+
+    @property
+    def schema(self) -> Schema:
+        """The schema of the underlying store."""
+        return self._base.schema
+
+    def get(self, oid: OID) -> Instance:
+        """Return the underlying instance (callers must not mutate it)."""
+        return self._base.get(oid)
+
+    def read_field(self, oid: OID, field_name: str) -> Any:
+        """Read a field, preferring the overlay when it has been written."""
+        key = (oid, field_name)
+        if key in self._overlay:
+            return self._overlay[key]
+        return self._base.read_field(oid, field_name)
+
+    def write_field(self, oid: OID, field_name: str, value: Any) -> None:
+        """Write a field into the overlay, leaving the base store untouched."""
+        self._base.get(oid).get(field_name)  # validate instance and field exist
+        self._overlay[(oid, field_name)] = value
+
+    @property
+    def written(self) -> dict[tuple[OID, str], Any]:
+        """The overlay: every ``(oid, field)`` written during the shadow run."""
+        return dict(self._overlay)
+
+    def reset(self) -> None:
+        """Forget every shadow write."""
+        self._overlay.clear()

@@ -1,0 +1,162 @@
+"""The object store: instances, class extents and domains.
+
+The store owns every instance, allocates OIDs, initialises fields to their
+type's default values and answers the extent queries the locking protocol of
+§5.2 distinguishes: the instances of *one* class versus the instances of the
+whole *domain* rooted at a class (the class and all its subclasses).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.errors import TypeMismatchError, UnknownClassError, UnknownInstanceError
+from repro.objects.instance import Instance
+from repro.objects.oid import OID, OIDGenerator
+from repro.schema import BaseType, Schema
+
+
+#: Python types accepted for each base type.
+_ACCEPTED_TYPES: dict[BaseType, tuple[type, ...]] = {
+    BaseType.INTEGER: (int,),
+    BaseType.FLOAT: (float, int),
+    BaseType.BOOLEAN: (bool,),
+    BaseType.STRING: (str,),
+}
+
+
+class ObjectStore:
+    """An in-memory object base for one schema."""
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._instances: dict[OID, Instance] = {}
+        self._extents: dict[str, list[OID]] = {name: [] for name in schema.class_names}
+        self._generator = OIDGenerator()
+
+    # -- creation / deletion -------------------------------------------------
+
+    def create(self, class_name: str, **field_values: Any) -> Instance:
+        """Create an instance of ``class_name``.
+
+        Fields not given explicitly get the default value of their type
+        (``0``, ``0.0``, ``False``, ``""`` or ``None`` for references).
+
+        Raises:
+            UnknownClassError: for an unknown class.
+            UnknownFieldError: for a field the class does not have.
+            TypeMismatchError: for a value incompatible with the field type.
+        """
+        if class_name not in self._schema:
+            raise UnknownClassError(f"unknown class {class_name!r}")
+        fields = self._schema.fields(class_name)
+        values: dict[str, Any] = {name: spec.type.default_value
+                                  for name, spec in fields.items()}
+        instance = Instance(oid=self._generator.next_oid(class_name),
+                            class_name=class_name, values=values)
+        for name, value in field_values.items():
+            self._check_type(class_name, name, value)
+            instance.set(name, value)
+        self._instances[instance.oid] = instance
+        self._extents[class_name].append(instance.oid)
+        return instance
+
+    def delete(self, oid: OID) -> None:
+        """Remove an instance from the store.
+
+        Raises:
+            UnknownInstanceError: if the OID is not live.
+        """
+        instance = self.get(oid)
+        del self._instances[oid]
+        self._extents[instance.class_name].remove(oid)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, oid: OID) -> Instance:
+        """Return the live instance identified by ``oid``.
+
+        Raises:
+            UnknownInstanceError: if the OID is not live.
+        """
+        try:
+            return self._instances[oid]
+        except KeyError:
+            raise UnknownInstanceError(f"no live instance with OID {oid}") from None
+
+    def __contains__(self, oid: OID) -> bool:
+        return oid in self._instances
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __iter__(self) -> Iterator[Instance]:
+        return iter(self._instances.values())
+
+    # -- field access with type checking --------------------------------------
+
+    def read_field(self, oid: OID, field_name: str) -> Any:
+        """Read one field of one instance."""
+        return self.get(oid).get(field_name)
+
+    def write_field(self, oid: OID, field_name: str, value: Any) -> None:
+        """Write one field of one instance, enforcing the declared type."""
+        instance = self.get(oid)
+        self._check_type(instance.class_name, field_name, value)
+        instance.set(field_name, value)
+
+    def _check_type(self, class_name: str, field_name: str, value: Any) -> None:
+        declared = self._schema.get_field(class_name, field_name)
+        if declared.type.is_reference:
+            if value is None:
+                return
+            if not isinstance(value, OID):
+                raise TypeMismatchError(
+                    f"field {field_name!r} of {class_name!r} references class "
+                    f"{declared.type.reference!r}; got {value!r}")
+            target_class = value.class_name
+            expected = declared.type.reference
+            if target_class != expected and not self._schema.is_ancestor(expected, target_class):
+                raise TypeMismatchError(
+                    f"field {field_name!r} of {class_name!r} must reference an "
+                    f"instance of {expected!r} (or a subclass); got {value}")
+            return
+        accepted = _ACCEPTED_TYPES[declared.type.base]
+        if isinstance(value, bool) and declared.type.base is not BaseType.BOOLEAN:
+            raise TypeMismatchError(
+                f"field {field_name!r} of {class_name!r} is {declared.type}; got a boolean")
+        if not isinstance(value, accepted):
+            raise TypeMismatchError(
+                f"field {field_name!r} of {class_name!r} is {declared.type}; "
+                f"got {type(value).__name__} {value!r}")
+
+    # -- extents ---------------------------------------------------------------
+
+    def extent(self, class_name: str) -> tuple[OID, ...]:
+        """OIDs of the proper instances of ``class_name`` (subclasses excluded)."""
+        if class_name not in self._schema:
+            raise UnknownClassError(f"unknown class {class_name!r}")
+        return tuple(self._extents[class_name])
+
+    def domain_extent(self, class_name: str) -> tuple[OID, ...]:
+        """OIDs of the instances of the *domain* rooted at ``class_name``.
+
+        This is the extent of the class plus the extents of every descendant
+        (§5.2, accesses of kind (iii) and (iv)).
+        """
+        oids: list[OID] = []
+        for name in self._schema.domain(class_name):
+            oids.extend(self._extents[name])
+        return tuple(oids)
+
+    def instances_of(self, class_names: Iterable[str]) -> tuple[Instance, ...]:
+        """All instances whose proper class is one of ``class_names``."""
+        result: list[Instance] = []
+        for name in class_names:
+            result.extend(self.get(oid) for oid in self.extent(name))
+        return tuple(result)
+
+    @property
+    def schema(self) -> Schema:
+        """The schema this store was created for."""
+        return self._schema

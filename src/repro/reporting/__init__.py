@@ -1,0 +1,30 @@
+"""Reporting helpers: ASCII tables, vector listings and graph descriptions.
+
+The benchmark harness uses these helpers to print the same artefacts the
+paper prints (Table 1, Table 2, the access vectors of §4.3, the resolution
+graph of Figure 2) plus the comparison tables of the quantitative
+experiments.
+"""
+
+from repro.reporting.tables import format_matrix, format_table, format_records
+from repro.reporting.figures import (
+    describe_resolution_graph,
+    describe_schema,
+    format_access_vectors,
+    format_commutativity_table,
+    format_compatibility_table,
+)
+from repro.reporting.scenario_report import format_admitted_sets, format_scenario_report
+
+__all__ = [
+    "describe_resolution_graph",
+    "describe_schema",
+    "format_access_vectors",
+    "format_admitted_sets",
+    "format_commutativity_table",
+    "format_compatibility_table",
+    "format_matrix",
+    "format_records",
+    "format_scenario_report",
+    "format_table",
+]

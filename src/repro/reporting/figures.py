@@ -1,0 +1,58 @@
+"""Textual renderings of the paper's figures and tables."""
+
+from __future__ import annotations
+
+from repro.core.commutativity import CommutativityTable
+from repro.core.compiler import CompiledClass
+from repro.core.modes import compatibility_table
+from repro.core.resolution_graph import ResolutionGraph
+from repro.reporting.tables import format_table
+from repro.schema import Schema
+
+
+def format_compatibility_table() -> str:
+    """Table 1: the classical compatibility relation on ``{Null, Read, Write}``."""
+    return format_table(compatibility_table())
+
+
+def format_commutativity_table(table: CommutativityTable,
+                               order: tuple[str, ...] | None = None) -> str:
+    """Table 2: a per-class commutativity relation between method modes."""
+    if order is not None:
+        table = table.restricted(order)
+    return format_table(table.as_rows())
+
+
+def format_access_vectors(compiled: CompiledClass, *, transitive: bool = True) -> str:
+    """The DAVs or TAVs of one class, one method per line (§4.3 style)."""
+    vectors = compiled.tavs if transitive else compiled.davs
+    kind = "TAV" if transitive else "DAV"
+    lines = [f"{kind}({compiled.name}, {method}) = {vectors[method]!r}"
+             for method in compiled.methods]
+    return "\n".join(lines)
+
+
+def describe_resolution_graph(graph: ResolutionGraph) -> str:
+    """Figure 2: vertices and edges of a late-binding resolution graph."""
+    vertex_names = sorted(f"({cls},{method})" for cls, method in graph.vertices)
+    edge_names = sorted(f"({src[0]},{src[1]}) -> ({dst[0]},{dst[1]})"
+                        for src, dst in graph.edges)
+    lines = [f"late-binding resolution graph of class {graph.class_name}",
+             f"vertices ({len(vertex_names)}): " + ", ".join(vertex_names),
+             f"edges ({len(edge_names)}):"]
+    lines.extend(f"  {edge}" for edge in edge_names)
+    return "\n".join(lines)
+
+
+def describe_schema(schema: Schema) -> str:
+    """A compact textual description of a schema (Figure 1 style)."""
+    lines: list[str] = []
+    for class_definition in schema.classes():
+        supers = f" inherits {', '.join(class_definition.superclasses)}" \
+            if class_definition.superclasses else ""
+        lines.append(f"class {class_definition.name}{supers}")
+        for field in class_definition.own_fields.values():
+            lines.append(f"  field  {field.name}: {field.type}")
+        for method in class_definition.own_methods.values():
+            lines.append(f"  method {method.signature}")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Reports for the §5.2 scenario and protocol comparisons."""
+
+from __future__ import annotations
+
+from repro.reporting.tables import format_matrix, format_table
+from repro.sim.scenario import Section5Scenario
+from repro.txn.protocols.base import ConcurrencyControlProtocol
+
+
+def format_admitted_sets(protocol_name: str,
+                         sets: tuple[frozenset[str], ...]) -> str:
+    """One line per maximal concurrently-admissible transaction set."""
+    rendered = ["{" + ", ".join(sorted(s)) + "}" for s in sets]
+    return f"{protocol_name}: " + " or ".join(rendered)
+
+
+def format_scenario_report(scenario: Section5Scenario,
+                           protocols: dict[str, ConcurrencyControlProtocol],
+                           pairwise: dict[str, dict[tuple[str, str], bool]],
+                           admitted: dict[str, tuple[frozenset[str], ...]]) -> str:
+    """The full §5.2 report: transactions, pairwise matrices, admitted sets."""
+    lines: list[str] = ["Section 5.2 scenario", ""]
+    rows = [["transaction", "operation"]]
+    rows.extend([transaction.name, transaction.description]
+                for transaction in scenario.transactions)
+    lines.append(format_table(rows))
+    lines.append("")
+    names = [t.name for t in scenario.transactions]
+    for protocol_name in protocols:
+        lines.append(f"protocol: {protocol_name}")
+        matrix = pairwise[protocol_name]
+
+        def cell(row: str, column: str) -> str:
+            if row == column:
+                return "-"
+            return "yes" if matrix[(row, column)] else "no"
+
+        lines.append(format_matrix(names, cell))
+        lines.append(format_admitted_sets(protocol_name, admitted[protocol_name]))
+        lines.append("")
+    return "\n".join(lines)

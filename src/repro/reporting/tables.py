@@ -1,0 +1,55 @@
+"""Plain-text table rendering (no third-party dependency)."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Sequence[Any]], *, header: bool = True) -> str:
+    """Render rows of cells as an aligned ASCII table.
+
+    The first row is treated as the header when ``header`` is true and is
+    separated from the body by a dashed rule.
+    """
+    if not rows:
+        return ""
+    cells = [[str(value) for value in row] for row in rows]
+    width = max(len(row) for row in cells)
+    for row in cells:
+        row.extend("" for _ in range(width - len(row)))
+    column_widths = [max(len(row[column]) for row in cells) for column in range(width)]
+
+    def render_row(row: list[str]) -> str:
+        return " | ".join(value.ljust(column_widths[column])
+                          for column, value in enumerate(row)).rstrip()
+
+    lines = [render_row(cells[0])]
+    if header and len(cells) > 1:
+        lines.append("-+-".join("-" * column_widths[column] for column in range(width)))
+    lines.extend(render_row(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def format_matrix(labels: Sequence[str], value_of, *, corner: str = "") -> str:
+    """Render a square relation as a matrix table.
+
+    ``value_of(row_label, column_label)`` supplies each cell.
+    """
+    rows: list[list[str]] = [[corner, *labels]]
+    for row_label in labels:
+        rows.append([row_label, *(str(value_of(row_label, column_label))
+                                  for column_label in labels)])
+    return format_table(rows)
+
+
+def format_records(records: Sequence[Mapping[str, Any]],
+                   columns: Sequence[str] | None = None) -> str:
+    """Render a list of homogeneous dictionaries as a table."""
+    if not records:
+        return ""
+    if columns is None:
+        columns = list(records[0].keys())
+    rows: list[list[Any]] = [list(columns)]
+    for record in records:
+        rows.append([record.get(column, "") for column in columns])
+    return format_table(rows)

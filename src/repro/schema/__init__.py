@@ -1,0 +1,42 @@
+"""Schema manager: classes, fields, methods and inheritance.
+
+This package implements the object-oriented data model of §2.1 of the paper:
+class-based, instances belong to exactly one class, simple or multiple
+inheritance, fields that are either base-typed or reference instances of
+another class, and methods (possibly overridden) as the only way to
+manipulate instances.
+
+The central objects are:
+
+* :class:`~repro.schema.field.Field` and :class:`~repro.schema.field.FieldType`
+* :class:`~repro.schema.method.MethodDefinition`
+* :class:`~repro.schema.klass.ClassDefinition`
+* :class:`~repro.schema.schema.Schema` — the registry with ``FIELDS(C)``,
+  ``METHODS(C)`` and ``ANCESTORS(C)`` exactly as used by the paper's
+  definitions.
+* :class:`~repro.schema.builder.SchemaBuilder` — the fluent public API used
+  by examples and tests.
+* :func:`~repro.schema.examples.figure1_schema` — the paper's Figure 1.
+"""
+
+from repro.schema.field import BaseType, Field, FieldType
+from repro.schema.klass import ClassDefinition
+from repro.schema.method import MethodDefinition
+from repro.schema.schema import ResolvedMethod, Schema
+from repro.schema.builder import ClassBuilder, SchemaBuilder
+from repro.schema.examples import figure1_schema, library_schema, banking_schema
+
+__all__ = [
+    "BaseType",
+    "ClassBuilder",
+    "ClassDefinition",
+    "Field",
+    "FieldType",
+    "MethodDefinition",
+    "ResolvedMethod",
+    "Schema",
+    "SchemaBuilder",
+    "banking_schema",
+    "figure1_schema",
+    "library_schema",
+]

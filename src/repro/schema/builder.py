@@ -1,0 +1,125 @@
+"""Fluent builder API for schemas.
+
+Example — a fragment of the paper's Figure 1:
+
+.. code-block:: python
+
+    schema = (
+        SchemaBuilder()
+        .define("c3")
+            .method("m", body="return")
+        .define("c1")
+            .field("f1", "integer")
+            .field("f2", "boolean")
+            .field("f3", ref="c3")
+            .method("m1", "p1", body='''
+                send m2(p1) to self
+                send m3 to self
+            ''')
+        .build()
+    )
+
+``define`` returns a :class:`ClassBuilder` whose ``field``/``method`` calls
+return the same object, and whose ``define``/``build`` calls delegate back to
+the parent :class:`SchemaBuilder`, so whole schemas read as one fluent
+expression.
+"""
+
+from __future__ import annotations
+
+from repro.schema.field import BaseType, Field, FieldType
+from repro.schema.klass import ClassDefinition
+from repro.schema.method import MethodDefinition
+from repro.schema.schema import Schema
+
+
+class ClassBuilder:
+    """Builder for a single class; created by :meth:`SchemaBuilder.define`."""
+
+    def __init__(self, parent: "SchemaBuilder", name: str,
+                 superclasses: tuple[str, ...]) -> None:
+        self._parent = parent
+        self._definition = ClassDefinition(name=name, superclasses=superclasses)
+
+    # -- declarations --------------------------------------------------------
+
+    def field(self, name: str, base: str | BaseType | None = None, *,
+              ref: str | None = None) -> "ClassBuilder":
+        """Declare a field.
+
+        Either ``base`` (a base-type name such as ``"integer"``) or ``ref``
+        (the name of the referenced class) must be given.
+        """
+        if (base is None) == (ref is None):
+            raise ValueError("give either a base type or ref=, not both/neither")
+        if ref is not None:
+            field_type = FieldType.of_reference(ref)
+        else:
+            field_type = FieldType.of_base(base)
+        self._definition.add_field(Field(name=name, type=field_type,
+                                         declared_in=self._definition.name))
+        return self
+
+    def method(self, name: str, *parameters: str, body: str) -> "ClassBuilder":
+        """Declare a method with the given parameters and source ``body``."""
+        definition = MethodDefinition.from_source(
+            name=name, parameters=parameters, source=body,
+            declared_in=self._definition.name)
+        self._definition.add_method(definition)
+        return self
+
+    # -- delegation back to the schema builder -------------------------------
+
+    def define(self, name: str, *superclasses: str) -> "ClassBuilder":
+        """Finish this class and start defining another one."""
+        return self._parent.define(name, *superclasses)
+
+    def build(self, validate: bool = True) -> Schema:
+        """Finish this class and build the schema."""
+        return self._parent.build(validate=validate)
+
+    @property
+    def definition(self) -> ClassDefinition:
+        """The class definition under construction (mainly for tests)."""
+        return self._definition
+
+
+class SchemaBuilder:
+    """Top-level fluent builder producing a validated :class:`Schema`.
+
+    The builder keeps track of the class currently being defined; starting a
+    new class (or building the schema) automatically commits the previous
+    one, so both the fluent chained style and the "call ``define`` on the
+    schema builder each time" style work.
+    """
+
+    def __init__(self) -> None:
+        self._pending: list[ClassDefinition] = []
+        self._open: ClassBuilder | None = None
+
+    def define(self, name: str, *superclasses: str) -> ClassBuilder:
+        """Start defining class ``name`` inheriting from ``superclasses``."""
+        self._commit_open()
+        self._open = ClassBuilder(self, name, tuple(superclasses))
+        return self._open
+
+    def add_class(self, definition: ClassDefinition) -> "SchemaBuilder":
+        """Register an already-constructed class definition."""
+        self._commit_open()
+        self._pending.append(definition)
+        return self
+
+    def build(self, validate: bool = True) -> Schema:
+        """Assemble and (by default) validate the schema."""
+        self._commit_open()
+        schema = Schema()
+        for definition in self._pending:
+            schema.add_class(definition)
+        if validate:
+            schema.validate()
+        return schema
+
+    def _commit_open(self) -> None:
+        if self._open is not None:
+            self._pending.append(self._open.definition)
+            self._open = None

@@ -1,0 +1,102 @@
+"""Field declarations.
+
+The paper distinguishes "fields which are base types, such as integers or
+characters, from those which reference other instances" (§2.1).  A
+:class:`FieldType` captures exactly that distinction; complex types (sets,
+lists, ...) are explicitly out of scope, as in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class BaseType(enum.Enum):
+    """Predefined base types available for fields."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+    STRING = "string"
+
+    @classmethod
+    def from_name(cls, name: str) -> "BaseType":
+        """Look up a base type by its lowercase name (e.g. ``"integer"``)."""
+        normalized = name.strip().lower()
+        for member in cls:
+            if member.value == normalized:
+                return member
+        raise ValueError(f"unknown base type: {name!r}")
+
+    @property
+    def default_value(self) -> object:
+        """The value a freshly created instance holds in a field of this type."""
+        defaults: dict[BaseType, object] = {
+            BaseType.INTEGER: 0,
+            BaseType.FLOAT: 0.0,
+            BaseType.BOOLEAN: False,
+            BaseType.STRING: "",
+        }
+        return defaults[self]
+
+
+@dataclass(frozen=True)
+class FieldType:
+    """The type of a field: either a base type or a reference to a class.
+
+    Exactly one of ``base`` and ``reference`` is set.
+    """
+
+    base: BaseType | None = None
+    reference: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.base is None) == (self.reference is None):
+            raise ValueError("a FieldType is either a base type or a reference, "
+                             "not both and not neither")
+
+    @classmethod
+    def of_base(cls, base: BaseType | str) -> "FieldType":
+        """Build a base-typed field type from a :class:`BaseType` or its name."""
+        if isinstance(base, str):
+            base = BaseType.from_name(base)
+        return cls(base=base)
+
+    @classmethod
+    def of_reference(cls, class_name: str) -> "FieldType":
+        """Build a reference field type pointing at instances of ``class_name``."""
+        return cls(reference=class_name)
+
+    @property
+    def is_reference(self) -> bool:
+        """``True`` when the field references instances of another class."""
+        return self.reference is not None
+
+    @property
+    def default_value(self) -> object:
+        """Default value stored in a new instance (``None`` for references)."""
+        if self.base is not None:
+            return self.base.default_value
+        return None
+
+    def __str__(self) -> str:
+        if self.base is not None:
+            return self.base.value
+        return str(self.reference)
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named, typed instance variable declared by a class.
+
+    ``declared_in`` records the class that introduces the field; subclasses
+    inherit it unchanged (fields cannot be overridden in this data model).
+    """
+
+    name: str
+    type: FieldType
+    declared_in: str
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.type} (declared in {self.declared_in})"

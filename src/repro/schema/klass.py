@@ -1,0 +1,78 @@
+"""Class definitions.
+
+A :class:`ClassDefinition` is the *local* view of a class: the fields and
+methods it declares itself plus the names of its direct superclasses.  All
+inherited information (``FIELDS(C)``, ``METHODS(C)``, ``ANCESTORS(C)``) is
+computed by :class:`~repro.schema.schema.Schema`, which owns the inheritance
+graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DuplicateFieldError, DuplicateMethodError
+from repro.schema.field import Field
+from repro.schema.method import MethodDefinition
+
+
+@dataclass
+class ClassDefinition:
+    """A class: name, direct superclasses, own fields and own methods.
+
+    The declaration order of fields is preserved because access vectors are
+    indexed by field (definition 3) and the reporting layer prints vectors in
+    declaration order, like the paper does (f1, f2, f3, f4, f5, f6).
+    """
+
+    name: str
+    superclasses: tuple[str, ...] = ()
+    own_fields: dict[str, Field] = field(default_factory=dict)
+    own_methods: dict[str, MethodDefinition] = field(default_factory=dict)
+
+    def add_field(self, new_field: Field) -> None:
+        """Declare a new field on this class.
+
+        Raises:
+            DuplicateFieldError: if the class already declares a field with
+                the same name.
+        """
+        if new_field.name in self.own_fields:
+            raise DuplicateFieldError(
+                f"class {self.name!r} already declares field {new_field.name!r}")
+        self.own_fields[new_field.name] = new_field
+
+    def add_method(self, method: MethodDefinition) -> None:
+        """Declare (or override) a method on this class.
+
+        Raises:
+            DuplicateMethodError: if the class already declares a method with
+                the same name.
+        """
+        if method.name in self.own_methods:
+            raise DuplicateMethodError(
+                f"class {self.name!r} already declares method {method.name!r}")
+        self.own_methods[method.name] = method
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        """Names of the fields declared directly by this class, in order."""
+        return tuple(self.own_fields)
+
+    @property
+    def method_names(self) -> tuple[str, ...]:
+        """Names of the methods declared directly by this class, in order."""
+        return tuple(self.own_methods)
+
+    def declares_field(self, name: str) -> bool:
+        """``True`` when this class itself declares field ``name``."""
+        return name in self.own_fields
+
+    def declares_method(self, name: str) -> bool:
+        """``True`` when this class itself declares (or overrides) ``name``."""
+        return name in self.own_methods
+
+    def __str__(self) -> str:
+        supers = f" inherits {', '.join(self.superclasses)}" if self.superclasses else ""
+        return (f"class {self.name}{supers} "
+                f"({len(self.own_fields)} fields, {len(self.own_methods)} methods)")

@@ -1,0 +1,69 @@
+"""Method definitions.
+
+A :class:`MethodDefinition` couples a method name, its formal parameters and
+its parsed body (an AST :class:`~repro.lang.ast_nodes.Block`).  The body is
+parsed eagerly so that schema construction fails fast on syntax errors and so
+the static analysis never re-parses source text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import Block, parse_body
+from repro.lang.pretty import to_source
+
+
+@dataclass(frozen=True)
+class MethodDefinition:
+    """A method as written (or overridden) in one particular class.
+
+    Attributes:
+        name: the method selector, e.g. ``"m1"``.
+        parameters: formal parameter names.
+        body: the parsed body.
+        declared_in: name of the class holding this definition.
+        overrides: name of the ancestor class whose definition this one
+            overrides, or ``None`` for a brand new method.  This is filled in
+            by :class:`~repro.schema.schema.Schema` during validation.
+    """
+
+    name: str
+    parameters: tuple[str, ...]
+    body: Block
+    declared_in: str
+    overrides: str | None = None
+
+    @classmethod
+    def from_source(cls, name: str, parameters: tuple[str, ...] | list[str],
+                    source: str, declared_in: str) -> "MethodDefinition":
+        """Parse ``source`` as the method body and build the definition."""
+        return cls(name=name, parameters=tuple(parameters),
+                   body=parse_body(source), declared_in=declared_in)
+
+    @property
+    def source(self) -> str:
+        """The body re-rendered as method-definition-language text."""
+        return to_source(self.body)
+
+    @property
+    def signature(self) -> str:
+        """Human-readable signature such as ``m2(p1)``."""
+        if self.parameters:
+            return f"{self.name}({', '.join(self.parameters)})"
+        return self.name
+
+    def with_declaring_class(self, class_name: str) -> "MethodDefinition":
+        """Return a copy attributed to ``class_name`` (used by the builder)."""
+        return MethodDefinition(name=self.name, parameters=self.parameters,
+                                body=self.body, declared_in=class_name,
+                                overrides=self.overrides)
+
+    def with_overrides(self, ancestor: str | None) -> "MethodDefinition":
+        """Return a copy with the ``overrides`` attribute set."""
+        return MethodDefinition(name=self.name, parameters=self.parameters,
+                                body=self.body, declared_in=self.declared_in,
+                                overrides=ancestor)
+
+    def __str__(self) -> str:
+        return f"{self.declared_in}.{self.signature}"

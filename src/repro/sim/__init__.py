@@ -1,0 +1,37 @@
+"""Workload generation and concurrency simulation.
+
+The paper's claims are about *which* concurrent executions a protocol admits
+and how much locking work it performs, not about milliseconds on particular
+hardware — and a pure-Python reproduction could not measure the latter
+meaningfully anyway (GIL).  This package therefore provides a deterministic
+discrete-event simulator: transactions are sequences of operations, the
+simulator interleaves their lock acquisitions on a logical timeline, blocks
+and resumes them through the real lock manager, detects deadlocks and aborts
+victims, and reports structural metrics (lock requests, control points,
+waits, escalations, deadlocks, makespan).
+"""
+
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.workload import TransactionSpec, WorkloadGenerator, populate_store
+from repro.sim.schema_gen import SchemaGenerator
+from repro.sim.simulator import Simulator, SimulationResult
+from repro.sim.scenario import (
+    ScenarioTransaction,
+    build_section5_scenario,
+    admitted_sets,
+    pairwise_compatibility,
+)
+
+__all__ = [
+    "ScenarioTransaction",
+    "SchemaGenerator",
+    "SimulationMetrics",
+    "SimulationResult",
+    "Simulator",
+    "TransactionSpec",
+    "WorkloadGenerator",
+    "admitted_sets",
+    "build_section5_scenario",
+    "pairwise_compatibility",
+    "populate_store",
+]

@@ -1,0 +1,76 @@
+"""Metrics collected by the simulator and the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimulationMetrics:
+    """Structural concurrency metrics for one simulation run.
+
+    All counts are totals over the run unless stated otherwise.
+    """
+
+    #: Transactions that committed (restarted incarnations count once).
+    committed: int = 0
+    #: Deadlock-victim aborts (every abort of an incarnation counts).
+    aborted: int = 0
+    #: Victims that were restarted.
+    restarts: int = 0
+    #: Deadlock cycles detected.
+    deadlocks: int = 0
+    #: Lock-manager requests issued.
+    lock_requests: int = 0
+    #: Concurrency-control invocations (the §3 "locking overhead" metric).
+    control_points: int = 0
+    #: Requests that had to wait.
+    waits: int = 0
+    #: Lock conversions (a transaction adding a different mode on a held
+    #: resource) — read→write escalations in the RW protocols.
+    upgrades: int = 0
+    #: Simulated time steps until every transaction finished.
+    makespan: int = 0
+    #: Sum over steps of the number of transactions not blocked and not
+    #: finished (divide by makespan for average achieved concurrency).
+    active_steps: int = 0
+    #: Operations executed successfully.
+    operations: int = 0
+
+    #: Per-transaction wait steps (txn id -> steps spent blocked).
+    blocked_steps: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def average_concurrency(self) -> float:
+        """Average number of runnable transactions per step."""
+        if self.makespan == 0:
+            return 0.0
+        return self.active_steps / self.makespan
+
+    @property
+    def total_blocked_steps(self) -> int:
+        """Total steps any transaction spent blocked."""
+        return sum(self.blocked_steps.values())
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per simulated step."""
+        if self.makespan == 0:
+            return 0.0
+        return self.committed / self.makespan
+
+    def as_row(self) -> dict[str, float]:
+        """A flat dictionary used by the benchmark reports."""
+        return {
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "deadlocks": self.deadlocks,
+            "lock_requests": self.lock_requests,
+            "control_points": self.control_points,
+            "waits": self.waits,
+            "upgrades": self.upgrades,
+            "makespan": self.makespan,
+            "blocked_steps": self.total_blocked_steps,
+            "avg_concurrency": round(self.average_concurrency, 3),
+            "throughput": round(self.throughput, 4),
+        }

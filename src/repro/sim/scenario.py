@@ -1,0 +1,145 @@
+"""The §5.2 scenario: transactions T1–T4 on the Figure 1 hierarchy.
+
+The paper walks through four concurrent transactions:
+
+* **T1** sends ``m1`` to one instance ``i`` of ``c1``;
+* **T2** sends ``m1`` to the extension of class ``c1`` (every instance of the
+  domain rooted at ``c1``);
+* **T3** sends ``m3`` to several instances of the domain rooted at ``c1``;
+* **T4** sends ``m4`` to all instances of the domain rooted at ``c2``;
+
+and concludes that the access-vector scheme admits ``T1‖T3‖T4`` or
+``T2‖T3‖T4``, whereas read/write instance locking admits only ``T1‖T3`` or
+``T1‖T4`` and the relational decomposition admits ``T1‖T3`` or ``T3‖T4``.
+This module builds the scenario and computes, for any protocol, the pairwise
+compatibility matrix and the maximal sets of transactions that can hold their
+locks simultaneously — the data behind the benchmark that reproduces the
+section.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.compiler import CompiledSchema, compile_schema
+from repro.errors import LockConflictError
+from repro.objects.store import ObjectStore
+from repro.schema import Schema
+from repro.schema.examples import figure1_schema
+from repro.txn.operations import DomainAllCall, DomainSomeCall, MethodCall, Operation
+from repro.txn.protocols.base import ConcurrencyControlProtocol
+
+
+@dataclass(frozen=True)
+class ScenarioTransaction:
+    """One of the paper's scenario transactions."""
+
+    name: str
+    description: str
+    operation: Operation
+
+
+@dataclass(frozen=True)
+class Section5Scenario:
+    """Everything needed to re-run the §5.2 analysis."""
+
+    schema: Schema
+    compiled: CompiledSchema
+    store: ObjectStore
+    transactions: tuple[ScenarioTransaction, ...]
+
+    def transaction(self, name: str) -> ScenarioTransaction:
+        """Look up a transaction by its paper name (``"T1"`` .. ``"T4"``)."""
+        for transaction in self.transactions:
+            if transaction.name == name:
+                return transaction
+        raise KeyError(name)
+
+
+def build_section5_scenario(extra_c1: int = 3, extra_c2: int = 3) -> Section5Scenario:
+    """Build the Figure 1 store and the four transactions of §5.2.
+
+    ``T1`` addresses a dedicated instance of ``c1``; ``T3`` addresses other
+    instances, so that T1 and T3 "do not access common instances" as the
+    paper assumes.  The ``f2`` flag of every instance is left ``False`` so
+    ``m3`` does not reach out to ``c3`` instances (the scenario is about the
+    ``c1``/``c2`` hierarchy only).
+    """
+    schema = figure1_schema()
+    compiled = compile_schema(schema)
+    store = ObjectStore(schema)
+
+    target = store.create("c1", f1=1, f2=False)
+    others = []
+    for index in range(extra_c1):
+        others.append(store.create("c1", f1=10 + index, f2=False))
+    for index in range(extra_c2):
+        others.append(store.create("c2", f1=20 + index, f2=False, f5=index))
+
+    transactions = (
+        ScenarioTransaction(
+            name="T1",
+            description="send m1 to one instance of c1",
+            operation=MethodCall(oid=target.oid, method="m1", arguments=(1,))),
+        ScenarioTransaction(
+            name="T2",
+            description="send m1 to the extension of class c1 (whole domain)",
+            operation=DomainAllCall(class_name="c1", method="m1", arguments=(1,))),
+        ScenarioTransaction(
+            name="T3",
+            description="send m3 to several instances of the domain rooted at c1",
+            operation=DomainSomeCall(class_name="c1", method="m3",
+                                     oids=tuple(o.oid for o in others))),
+        ScenarioTransaction(
+            name="T4",
+            description="send m4 to all instances of the domain rooted at c2",
+            operation=DomainAllCall(class_name="c2", method="m4", arguments=(1, 2))),
+    )
+    return Section5Scenario(schema=schema, compiled=compiled, store=store,
+                            transactions=transactions)
+
+
+def _jointly_admissible(protocol: ConcurrencyControlProtocol,
+                        transactions: tuple[ScenarioTransaction, ...]) -> bool:
+    """Whether every transaction of the set can hold its locks at once."""
+    lock_manager = protocol.create_lock_manager()
+    for txn_number, transaction in enumerate(transactions, start=1):
+        plan = protocol.plan(transaction.operation)
+        for request in plan.requests:
+            try:
+                lock_manager.acquire(txn_number, request.resource, request.mode)
+            except LockConflictError:
+                return False
+    return True
+
+
+def pairwise_compatibility(protocol: ConcurrencyControlProtocol,
+                           scenario: Section5Scenario) -> dict[tuple[str, str], bool]:
+    """For every pair of scenario transactions, can both hold their locks?"""
+    result: dict[tuple[str, str], bool] = {}
+    for first, second in itertools.combinations(scenario.transactions, 2):
+        compatible = _jointly_admissible(protocol, (first, second))
+        result[(first.name, second.name)] = compatible
+        result[(second.name, first.name)] = compatible
+    return result
+
+
+def admitted_sets(protocol: ConcurrencyControlProtocol,
+                  scenario: Section5Scenario) -> tuple[frozenset[str], ...]:
+    """The maximal sets of scenario transactions that may run concurrently.
+
+    A set is admissible when every transaction in it can acquire its full
+    lock plan with the others holding theirs; maximal sets are those not
+    strictly contained in another admissible set.  The paper's claims are
+    statements about exactly these sets.
+    """
+    names = [t.name for t in scenario.transactions]
+    admissible: list[frozenset[str]] = []
+    for size in range(1, len(names) + 1):
+        for combo in itertools.combinations(scenario.transactions, size):
+            if _jointly_admissible(protocol, combo):
+                admissible.append(frozenset(t.name for t in combo))
+    maximal = [candidate for candidate in admissible
+               if not any(candidate < other for other in admissible)]
+    return tuple(sorted(maximal, key=lambda s: (len(s), sorted(s))))

@@ -1,0 +1,123 @@
+"""Random schema generator.
+
+Used by the scaling and subsumption benchmarks: it produces inheritance
+hierarchies with configurable depth and fan-out, methods that reuse each
+other through self-directed and prefixed messages, overriding, and methods
+confined to subclass fields (the pattern behind the paper's pseudo-conflict
+problem).  Generation is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.schema import Schema, SchemaBuilder
+
+
+@dataclass
+class SchemaGenerator:
+    """Generates synthetic class hierarchies with reusable method code.
+
+    Attributes:
+        depth: number of inheritance levels below each root.
+        branching: subclasses per class.
+        roots: number of independent hierarchies.
+        fields_per_class: fields declared by each class.
+        methods_per_class: new methods declared by each class.
+        self_call_probability: chance that a method body also sends one of
+            the already-declared methods to ``self`` (code reuse).
+        override_probability: chance that a class overrides an inherited
+            method as an extension (prefixed call to the overridden code).
+        subclass_local_probability: chance that a new subclass method touches
+            only fields declared by its own class (these are the methods a
+            read/write classification turns into pseudo-conflicts).
+        writer_fraction: fraction of methods that write at least one field.
+        seed: RNG seed.
+    """
+
+    depth: int = 2
+    branching: int = 2
+    roots: int = 1
+    fields_per_class: int = 3
+    methods_per_class: int = 3
+    self_call_probability: float = 0.4
+    override_probability: float = 0.3
+    subclass_local_probability: float = 0.6
+    writer_fraction: float = 0.5
+    seed: int = 0
+
+    def generate(self) -> Schema:
+        """Build the schema."""
+        rng = random.Random(self.seed)
+        builder = SchemaBuilder()
+        class_counter = 0
+
+        def make_class(parent: str | None, level: int) -> None:
+            nonlocal class_counter
+            class_counter += 1
+            name = f"K{class_counter}"
+            class_builder = builder.define(name, *( (parent,) if parent else () ))
+
+            own_fields = [f"{name.lower()}_f{index}"
+                          for index in range(self.fields_per_class)]
+            for field_name in own_fields:
+                class_builder.field(field_name, "integer")
+
+            inherited_fields: list[str] = []
+            inherited_methods: list[str] = []
+            if parent is not None:
+                inherited_fields = list(self._known_fields.get(parent, []))
+                inherited_methods = list(self._known_methods.get(parent, []))
+
+            declared_methods: list[str] = []
+            for index in range(self.methods_per_class):
+                method_name = f"{name.lower()}_m{index}"
+                body = self._method_body(rng, name, own_fields, inherited_fields,
+                                         declared_methods + inherited_methods)
+                class_builder.method(method_name, body=body)
+                declared_methods.append(method_name)
+
+            if parent is not None and inherited_methods:
+                if rng.random() < self.override_probability:
+                    overridden = rng.choice(inherited_methods)
+                    body_lines = [f"send {parent}.{overridden} to self"]
+                    body_lines.append(self._field_statement(rng, own_fields))
+                    class_builder.method(overridden, body="\n".join(body_lines))
+                    declared_methods.append(overridden)
+
+            self._known_fields[name] = inherited_fields + own_fields
+            self._known_methods[name] = inherited_methods + declared_methods
+
+            if level < self.depth:
+                for _ in range(self.branching):
+                    make_class(name, level + 1)
+
+        self._known_fields: dict[str, list[str]] = {}
+        self._known_methods: dict[str, list[str]] = {}
+        for _ in range(self.roots):
+            make_class(None, 0)
+        return builder.build()
+
+    # -- body construction -------------------------------------------------------------
+
+    def _method_body(self, rng: random.Random, class_name: str,
+                     own_fields: list[str], inherited_fields: list[str],
+                     callable_methods: list[str]) -> str:
+        lines: list[str] = []
+        local_only = rng.random() < self.subclass_local_probability
+        pool = own_fields if (local_only or not inherited_fields) \
+            else own_fields + inherited_fields
+        lines.append(self._field_statement(rng, pool))
+        if rng.random() >= self.writer_fraction:
+            # Convert into a pure reader: reference the fields in an expression.
+            fields = rng.sample(pool, k=min(2, len(pool)))
+            lines = [f"return expr({', '.join(fields)})"]
+        if callable_methods and rng.random() < self.self_call_probability:
+            lines.insert(0, f"send {rng.choice(callable_methods)} to self")
+        return "\n".join(lines)
+
+    def _field_statement(self, rng: random.Random, pool: list[str]) -> str:
+        target = rng.choice(pool)
+        sources = rng.sample(pool, k=min(2, len(pool)))
+        return f"{target} := expr({', '.join(sources)})"

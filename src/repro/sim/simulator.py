@@ -1,0 +1,263 @@
+"""Deterministic discrete-event simulator for concurrent transactions.
+
+Each transaction is a :class:`~repro.sim.workload.TransactionSpec` — a
+sequence of operations.  The simulator advances logical time in steps; at
+every step each runnable transaction (round-robin, identifier order) makes a
+bounded amount of progress:
+
+1. when it has no operation in flight it *plans* the next one through the
+   protocol;
+2. it then acquires the planned locks one request per step through the real
+   :class:`~repro.locking.manager.LockManager`; a request that must wait
+   blocks the transaction until the lock is granted by some release;
+3. once every lock is held, the plan is refreshed (data may have changed
+   while the transaction was blocked, which can add lock requests); when the
+   refreshed plan adds nothing new, before-images are logged and the
+   operation executes atomically in that step.
+
+Blocking is resolved through the lock manager's queues; after every blocking
+event the waits-for graph is checked and, if a cycle exists, the youngest
+transaction on the cycle is aborted (its writes undone, its locks released)
+and optionally restarted from its first operation.
+
+The simulator never consults the wall clock and uses no randomness of its
+own, so a given (protocol, store, workload) triple always produces the same
+schedule and the same metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.locking.deadlock import find_cycle
+from repro.objects.interpreter import Interpreter
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.workload import TransactionSpec
+from repro.txn.protocols.base import ConcurrencyControlProtocol, LockPlan
+from repro.txn.recovery import RecoveryManager
+
+
+@dataclass
+class _RunningTransaction:
+    """Book-keeping for one transaction incarnation inside the simulator."""
+
+    txn_id: int
+    spec: TransactionSpec
+    #: Index of the next operation to start (or currently in flight).
+    operation_index: int = 0
+    #: The plan of the operation in flight, if any.
+    plan: LockPlan | None = None
+    #: Index of the next lock request of the plan to acquire.
+    request_index: int = 0
+    #: Whether the plan has been refreshed after acquisition.
+    replanned: bool = False
+    blocked: bool = False
+    finished: bool = False
+    aborted: bool = False
+    restarts: int = 0
+    #: Step before which a restarted incarnation stays dormant (back-off).
+    resume_at_step: int = 0
+    #: Original spec label (kept across restarts).
+    label: str = ""
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation: metrics plus the per-transaction states."""
+
+    metrics: SimulationMetrics
+    committed_labels: tuple[str, ...] = ()
+    aborted_labels: tuple[str, ...] = ()
+    results: dict[str, list[Any]] = field(default_factory=dict)
+
+
+class Simulator:
+    """Runs a set of transactions under one protocol on a logical timeline."""
+
+    def __init__(self, protocol: ConcurrencyControlProtocol, *,
+                 restart_victims: bool = True, max_restarts: int = 25,
+                 max_steps: int = 1_000_000) -> None:
+        self._protocol = protocol
+        self._store = protocol.store
+        self._locks = protocol.create_lock_manager()
+        self._recovery = RecoveryManager(self._store)
+        self._interpreter = Interpreter(self._store)
+        self._restart_victims = restart_victims
+        self._max_restarts = max_restarts
+        self._max_steps = max_steps
+
+    # -- public ---------------------------------------------------------------------
+
+    def run(self, specs: list[TransactionSpec]) -> SimulationResult:
+        """Simulate the given transactions to completion and return metrics."""
+        metrics = SimulationMetrics()
+        transactions: dict[int, _RunningTransaction] = {}
+        next_id = 1
+        for spec in specs:
+            transactions[next_id] = _RunningTransaction(
+                txn_id=next_id, spec=spec, label=spec.label or f"txn-{next_id}")
+            next_id += 1
+
+        results: dict[str, list[Any]] = {t.label: [] for t in transactions.values()}
+        committed: list[str] = []
+        aborted: list[str] = []
+
+        step = 0
+        while any(not t.finished for t in transactions.values()):
+            step += 1
+            if step > self._max_steps:
+                raise SimulationError(
+                    f"simulation exceeded {self._max_steps} steps; "
+                    "probable livelock in the workload")
+            self._refresh_blocked_flags(transactions)
+            runnable = [t for t in transactions.values()
+                        if not t.finished and not t.blocked
+                        and t.resume_at_step <= step]
+            metrics.active_steps += len(runnable)
+            for transaction in list(transactions.values()):
+                if transaction.finished or transaction.blocked or \
+                        transaction.resume_at_step > step:
+                    if transaction.blocked and not transaction.finished:
+                        metrics.blocked_steps[transaction.txn_id] = \
+                            metrics.blocked_steps.get(transaction.txn_id, 0) + 1
+                    continue
+                self._advance(transaction, metrics, results)
+                if transaction.finished and not transaction.aborted:
+                    committed.append(transaction.label)
+                    metrics.committed += 1
+                    self._finish(transaction)
+            victim = self._resolve_deadlock(transactions, metrics)
+            if victim is not None:
+                restarted = self._abort(victim, metrics, current_step=step)
+                if restarted is not None:
+                    transactions[restarted.txn_id] = restarted
+                    results.setdefault(restarted.label, [])
+                else:
+                    aborted.append(victim.label)
+
+        metrics.makespan = step
+        return SimulationResult(metrics=metrics,
+                                committed_labels=tuple(committed),
+                                aborted_labels=tuple(aborted),
+                                results=results)
+
+    # -- stepping -------------------------------------------------------------------
+
+    def _advance(self, transaction: _RunningTransaction, metrics: SimulationMetrics,
+                 results: dict[str, list[Any]]) -> None:
+        if transaction.operation_index >= len(transaction.spec.operations):
+            transaction.finished = True
+            return
+        operation = transaction.spec.operations[transaction.operation_index]
+
+        if transaction.plan is None:
+            transaction.plan = self._protocol.plan(operation)
+            transaction.request_index = 0
+            transaction.replanned = False
+            metrics.control_points += transaction.plan.control_points
+
+        plan = transaction.plan
+        if transaction.request_index < len(plan.requests):
+            request = plan.requests[transaction.request_index]
+            metrics.lock_requests += 1
+            before_upgrades = self._locks.stats.upgrades
+            outcome = self._locks.request(transaction.txn_id, request.resource,
+                                          request.mode)
+            metrics.upgrades += self._locks.stats.upgrades - before_upgrades
+            if outcome.granted:
+                transaction.request_index += 1
+            else:
+                metrics.waits += 1
+                transaction.blocked = True
+            return
+
+        if not transaction.replanned:
+            # Every planned lock is held; refresh the plan in case the data
+            # changed while the transaction was waiting.
+            refreshed = self._protocol.plan(operation)
+            held = {(r.resource, r.mode) for r in plan.requests}
+            extra = tuple(r for r in refreshed.requests
+                          if (r.resource, r.mode) not in held)
+            if extra:
+                transaction.plan = LockPlan(
+                    requests=plan.requests + extra,
+                    control_points=plan.control_points,
+                    receivers=refreshed.receivers)
+                return
+            transaction.plan = LockPlan(requests=plan.requests,
+                                        control_points=plan.control_points,
+                                        receivers=refreshed.receivers)
+            transaction.replanned = True
+            return
+
+        # Execute the operation atomically.
+        for oid, method in transaction.plan.receivers:
+            self._recovery.log_before_image(
+                transaction.txn_id, oid,
+                self._protocol.written_projection(oid, method))
+        outcome = self._protocol.execute(operation, self._interpreter)
+        results[transaction.label].append(outcome)
+        metrics.operations += 1
+        transaction.operation_index += 1
+        transaction.plan = None
+        if transaction.operation_index >= len(transaction.spec.operations):
+            transaction.finished = True
+
+    # -- completion, blocking and deadlocks ----------------------------------------------
+
+    def _finish(self, transaction: _RunningTransaction) -> None:
+        self._recovery.forget(transaction.txn_id)
+        self._locks.release_all(transaction.txn_id)
+
+    def _resolve_deadlock(self, transactions: dict[int, _RunningTransaction],
+                          metrics: SimulationMetrics) -> _RunningTransaction | None:
+        edges = self._locks.waits_for_edges()
+        cycle = find_cycle(edges)
+        if not cycle:
+            return None
+        metrics.deadlocks += 1
+        victim_id = max(cycle)
+        return transactions[victim_id]
+
+    def _refresh_blocked_flags(self, transactions: dict[int, _RunningTransaction]) -> None:
+        queued = self._locks.blocked_transactions()
+        for transaction in transactions.values():
+            if transaction.finished:
+                continue
+            if transaction.blocked and transaction.txn_id not in queued:
+                # The queued request was granted by some release.
+                transaction.blocked = False
+                transaction.request_index += 1
+
+    def _abort(self, victim: _RunningTransaction, metrics: SimulationMetrics,
+               current_step: int = 0) -> _RunningTransaction | None:
+        metrics.aborted += 1
+        self._recovery.undo(victim.txn_id)
+        self._locks.release_all(victim.txn_id)
+        victim.finished = True
+        victim.aborted = True
+        victim.blocked = False
+        if self._restart_victims and victim.restarts < self._max_restarts:
+            metrics.restarts += 1
+            # The restarted incarnation keeps its transaction identifier: all
+            # locks were released, and keeping the id avoids making restarted
+            # transactions perpetually the youngest (and thus perpetual
+            # victims).  A linear back-off keeps repeated victims from
+            # thrashing against the transactions that blocked them.
+            restarted = _RunningTransaction(
+                txn_id=victim.txn_id,
+                spec=victim.spec,
+                restarts=victim.restarts + 1,
+                resume_at_step=current_step + 4 * (victim.restarts + 1),
+                label=victim.label)
+            return restarted
+        return None
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def lock_manager(self):
+        """The lock manager used by this simulation (for tests)."""
+        return self._locks

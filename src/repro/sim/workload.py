@@ -1,0 +1,216 @@
+"""Workload generation: populating stores and producing transaction mixes.
+
+The generator is deterministic (seeded :class:`random.Random`) so that every
+benchmark run regenerates exactly the same workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.objects.oid import OID
+from repro.objects.store import ObjectStore
+from repro.schema import BaseType, Schema
+from repro.txn.operations import (
+    DomainAllCall,
+    DomainSomeCall,
+    ExtentCall,
+    MethodCall,
+    Operation,
+)
+
+
+@dataclass
+class TransactionSpec:
+    """The operations one transaction wants to run, in order."""
+
+    operations: tuple[Operation, ...]
+    label: str = ""
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+
+def _default_value_for(base: BaseType, rng: random.Random) -> object:
+    if base is BaseType.INTEGER:
+        return rng.randint(0, 1000)
+    if base is BaseType.FLOAT:
+        return round(rng.uniform(0.0, 1000.0), 2)
+    if base is BaseType.BOOLEAN:
+        return rng.random() < 0.5
+    return f"s{rng.randint(0, 9999)}"
+
+
+def populate_store(schema: Schema, instances_per_class: int | dict[str, int],
+                   seed: int = 0, link_references: bool = True) -> ObjectStore:
+    """Create a store and fill it with randomly initialised instances.
+
+    ``instances_per_class`` is either a single count applied to every class or
+    a per-class mapping.  When ``link_references`` is true, reference fields
+    are pointed at a random instance of the referenced class (or of one of
+    its subclasses) so that methods sending messages through references can
+    actually run.
+    """
+    rng = random.Random(seed)
+    store = ObjectStore(schema)
+    created: dict[str, list[OID]] = {name: [] for name in schema.class_names}
+
+    def count_for(class_name: str) -> int:
+        if isinstance(instances_per_class, dict):
+            return instances_per_class.get(class_name, 0)
+        return instances_per_class
+
+    for class_name in schema.class_names:
+        for _ in range(count_for(class_name)):
+            values = {}
+            for field_name, spec in schema.fields(class_name).items():
+                if spec.type.is_reference:
+                    continue
+                values[field_name] = _default_value_for(spec.type.base, rng)
+            instance = store.create(class_name, **values)
+            created[class_name].append(instance.oid)
+
+    if link_references:
+        for class_name in schema.class_names:
+            for field_name, spec in schema.fields(class_name).items():
+                if not spec.type.is_reference:
+                    continue
+                candidates: list[OID] = []
+                for target in schema.domain(spec.type.reference):
+                    candidates.extend(created[target])
+                if not candidates:
+                    continue
+                for oid in created[class_name]:
+                    store.write_field(oid, field_name, rng.choice(candidates))
+    return store
+
+
+@dataclass
+class WorkloadGenerator:
+    """Produces random but reproducible transaction mixes over a store.
+
+    Attributes:
+        schema: the schema the store follows.
+        store: the populated object store.
+        seed: RNG seed (the generator owns its own :class:`random.Random`).
+        operations_per_transaction: how many operations each transaction runs.
+        extent_fraction: probability that an operation is an extent scan of a
+            class instead of a single-instance call.
+        domain_fraction: probability that an operation addresses a whole
+            domain (kind iii/iv) rather than a single class.
+        write_bias: probability of choosing a *writing* method when both
+            readers and writers are available on the chosen class.
+        hotspot_fraction: fraction of single-instance calls directed at a
+            small hot set of instances (drives conflict rates up).
+        method_filter: optional predicate restricting which methods are used.
+    """
+
+    schema: Schema
+    store: ObjectStore
+    seed: int = 0
+    operations_per_transaction: int = 4
+    extent_fraction: float = 0.05
+    domain_fraction: float = 0.05
+    write_bias: float = 0.5
+    hotspot_fraction: float = 0.2
+    hotspot_size: int = 4
+    method_filter: object = None
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._hot: dict[str, tuple[OID, ...]] = {}
+
+    # -- public ----------------------------------------------------------------------
+
+    def transactions(self, count: int) -> list[TransactionSpec]:
+        """Generate ``count`` transaction specifications."""
+        return [self.transaction(label=f"txn-{index}") for index in range(count)]
+
+    def transaction(self, label: str = "") -> TransactionSpec:
+        """Generate one transaction specification."""
+        operations = tuple(self._operation()
+                           for _ in range(self.operations_per_transaction))
+        return TransactionSpec(operations=operations, label=label)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _operation(self) -> Operation:
+        class_name = self._pick_class()
+        method = self._pick_method(class_name)
+        roll = self._rng.random()
+        if roll < self.extent_fraction:
+            return ExtentCall(class_name=class_name, method=method,
+                              arguments=self._arguments(class_name, method))
+        if roll < self.extent_fraction + self.domain_fraction:
+            root = self._domain_root(class_name)
+            # The method must be visible on every class of the domain, so it
+            # is re-drawn from the root class.
+            domain_method = self._pick_method(root)
+            if self._rng.random() < 0.5:
+                return DomainAllCall(class_name=root, method=domain_method,
+                                     arguments=self._arguments(root, domain_method))
+            oids = self._pick_domain_instances(root)
+            if oids:
+                return DomainSomeCall(class_name=root, method=domain_method, oids=oids,
+                                      arguments=self._arguments(root, domain_method))
+        oid = self._pick_instance(class_name)
+        return MethodCall(oid=oid, method=method,
+                          arguments=self._arguments(oid.class_name, method))
+
+    def _pick_class(self) -> str:
+        candidates = [name for name in self.schema.class_names
+                      if self.store.extent(name) and self.schema.method_names(name)]
+        if not candidates:
+            raise SimulationError("the store has no instances to build a workload on")
+        return self._rng.choice(candidates)
+
+    def _pick_method(self, class_name: str) -> str:
+        compiled_methods = self.schema.method_names(class_name)
+        candidates = [name for name in compiled_methods
+                      if self.method_filter is None or self.method_filter(class_name, name)]
+        if not candidates:
+            candidates = list(compiled_methods)
+        writers = [name for name in candidates if self._writes(class_name, name)]
+        readers = [name for name in candidates if name not in writers]
+        if writers and (not readers or self._rng.random() < self.write_bias):
+            return self._rng.choice(writers)
+        return self._rng.choice(readers or writers)
+
+    def _writes(self, class_name: str, method: str) -> bool:
+        from repro.core.analysis import analyze_method  # local import to avoid cycle
+        from repro.core.modes import AccessMode
+        analysis = analyze_method(self.schema, class_name, method)
+        return analysis.dav.top_mode is AccessMode.WRITE
+
+    def _pick_instance(self, class_name: str) -> OID:
+        extent = self.store.extent(class_name)
+        if self._rng.random() < self.hotspot_fraction:
+            hot = self._hot_set(class_name)
+            if hot:
+                return self._rng.choice(hot)
+        return self._rng.choice(extent)
+
+    def _hot_set(self, class_name: str) -> tuple[OID, ...]:
+        if class_name not in self._hot:
+            extent = self.store.extent(class_name)
+            self._hot[class_name] = tuple(extent[:self.hotspot_size])
+        return self._hot[class_name]
+
+    def _domain_root(self, class_name: str) -> str:
+        ancestors = self.schema.ancestors(class_name)
+        return ancestors[-1] if ancestors else class_name
+
+    def _pick_domain_instances(self, root: str) -> tuple[OID, ...]:
+        extent = self.store.domain_extent(root)
+        if not extent:
+            return ()
+        count = max(1, min(len(extent), self._rng.randint(1, 4)))
+        return tuple(self._rng.sample(list(extent), count))
+
+    def _arguments(self, class_name: str, method: str) -> tuple[object, ...]:
+        resolved = self.schema.resolve(class_name, method)
+        return tuple(self._rng.randint(1, 100)
+                     for _ in resolved.definition.parameters)

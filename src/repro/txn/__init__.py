@@ -1,0 +1,31 @@
+"""Transactions: operations, life cycle, recovery and the transaction manager.
+
+The concurrency-control protocols live in :mod:`repro.txn.protocols`; the
+:class:`~repro.txn.manager.TransactionManager` combines a protocol, a lock
+manager, an interpreter and a recovery log into a usable strict two-phase
+locking object base.
+"""
+
+from repro.txn.operations import (
+    DomainAllCall,
+    DomainSomeCall,
+    ExtentCall,
+    MethodCall,
+    Operation,
+)
+from repro.txn.transaction import Transaction, TransactionState
+from repro.txn.recovery import RecoveryManager, UndoRecord
+from repro.txn.manager import TransactionManager
+
+__all__ = [
+    "DomainAllCall",
+    "DomainSomeCall",
+    "ExtentCall",
+    "MethodCall",
+    "Operation",
+    "RecoveryManager",
+    "Transaction",
+    "TransactionManager",
+    "TransactionState",
+    "UndoRecord",
+]

@@ -1,0 +1,154 @@
+"""The transaction manager: strict two-phase locking over a protocol.
+
+The manager is deliberately *non-blocking*: when a lock cannot be granted it
+raises :class:`~repro.errors.LockConflictError` immediately instead of
+waiting, which is the right behaviour for a single-threaded, interactive use
+of the library (the examples) — a caller can catch the conflict, abort or try
+something else.  Workloads that need blocking, waiting and deadlock handling
+run through :class:`repro.sim.simulator.Simulator`, which drives the same
+protocol and lock-manager machinery on a simulated timeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Mapping
+
+from repro.errors import TransactionError
+from repro.objects.interpreter import Interpreter
+from repro.objects.oid import OID
+from repro.txn.operations import (
+    DomainAllCall,
+    DomainSomeCall,
+    ExtentCall,
+    MethodCall,
+    Operation,
+)
+from repro.txn.protocols.base import ConcurrencyControlProtocol
+from repro.txn.recovery import RecoveryManager
+from repro.txn.transaction import Transaction, TransactionState
+
+
+class TransactionManager:
+    """Runs transactions under strict two-phase locking."""
+
+    def __init__(self, protocol: ConcurrencyControlProtocol,
+                 builtins: Mapping[str, Callable[..., Any]] | None = None) -> None:
+        self._protocol = protocol
+        self._store = protocol.store
+        self._locks = protocol.create_lock_manager()
+        self._recovery = RecoveryManager(self._store)
+        self._interpreter = Interpreter(self._store, builtins=builtins)
+        self._transactions: dict[int, Transaction] = {}
+        self._ids = itertools.count(1)
+
+    # -- life cycle ---------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start a new transaction."""
+        transaction = Transaction(txn_id=next(self._ids))
+        self._transactions[transaction.txn_id] = transaction
+        return transaction
+
+    def commit(self, transaction: Transaction) -> None:
+        """Commit: release every lock, discard the undo log."""
+        transaction.ensure_active()
+        self._recovery.forget(transaction.txn_id)
+        self._locks.release_all(transaction.txn_id)
+        transaction.state = TransactionState.COMMITTED
+
+    def abort(self, transaction: Transaction) -> None:
+        """Abort: undo every write from the before-images, release locks."""
+        if transaction.is_finished:
+            raise TransactionError(f"{transaction} is already finished")
+        self._recovery.undo(transaction.txn_id)
+        self._locks.release_all(transaction.txn_id)
+        transaction.state = TransactionState.ABORTED
+
+    # -- operations ----------------------------------------------------------------
+
+    def perform(self, transaction: Transaction, operation: Operation) -> list[Any]:
+        """Plan, lock, log before-images and execute ``operation``.
+
+        Raises:
+            LockConflictError: if a needed lock is held incompatibly by
+                another transaction.  The transaction keeps the locks it
+                already holds (strict 2PL) and stays active; the caller
+                decides whether to retry or abort.
+        """
+        transaction.ensure_active()
+        plan = self._protocol.plan(operation)
+        for request in plan.requests:
+            transaction.stats.lock_requests += 1
+            self._locks.acquire(transaction.txn_id, request.resource, request.mode)
+        transaction.stats.control_points += plan.control_points
+        transaction.stats.operations += 1
+        for oid, method in plan.receivers:
+            self._recovery.log_before_image(
+                transaction.txn_id, oid,
+                self._protocol.written_projection(oid, method))
+        results = self._protocol.execute(operation, self._interpreter)
+        transaction.executed.append(operation)
+        transaction.results.extend(results)
+        return results
+
+    # -- convenience wrappers (the public API used by examples) ----------------------
+
+    def call(self, transaction: Transaction, oid: OID, method: str,
+             *arguments: Any, as_class: str | None = None) -> Any:
+        """Send ``method`` to one instance within ``transaction``."""
+        results = self.perform(transaction, MethodCall(
+            oid=oid, method=method, arguments=tuple(arguments), as_class=as_class))
+        return results[0] if results else None
+
+    def call_extent(self, transaction: Transaction, class_name: str, method: str,
+                    *arguments: Any) -> list[Any]:
+        """Send ``method`` to every proper instance of ``class_name``."""
+        return self.perform(transaction, ExtentCall(
+            class_name=class_name, method=method, arguments=tuple(arguments)))
+
+    def call_domain(self, transaction: Transaction, class_name: str, method: str,
+                    *arguments: Any) -> list[Any]:
+        """Send ``method`` to every instance of the domain rooted at ``class_name``."""
+        return self.perform(transaction, DomainAllCall(
+            class_name=class_name, method=method, arguments=tuple(arguments)))
+
+    def call_some(self, transaction: Transaction, class_name: str, method: str,
+                  oids: tuple[OID, ...], *arguments: Any) -> list[Any]:
+        """Send ``method`` to chosen instances of the domain rooted at ``class_name``."""
+        return self.perform(transaction, DomainSomeCall(
+            class_name=class_name, method=method, oids=tuple(oids),
+            arguments=tuple(arguments)))
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def protocol(self) -> ConcurrencyControlProtocol:
+        """The concurrency-control protocol in use."""
+        return self._protocol
+
+    @property
+    def lock_manager(self):
+        """The underlying lock manager (for inspection and tests)."""
+        return self._locks
+
+    @property
+    def recovery(self) -> RecoveryManager:
+        """The recovery manager (undo logs)."""
+        return self._recovery
+
+    @property
+    def interpreter(self) -> Interpreter:
+        """The interpreter executing method bodies."""
+        return self._interpreter
+
+    def transaction(self, txn_id: int) -> Transaction:
+        """Look up a transaction by identifier."""
+        try:
+            return self._transactions[txn_id]
+        except KeyError:
+            raise TransactionError(f"unknown transaction {txn_id}") from None
+
+    def active_transactions(self) -> tuple[Transaction, ...]:
+        """Transactions that are neither committed nor aborted."""
+        return tuple(t for t in self._transactions.values() if not t.is_finished)

@@ -1,0 +1,123 @@
+"""The operations a transaction can submit.
+
+§5.2 of the paper classifies accesses into four kinds; each kind is one
+operation type here:
+
+* (i)   access to one instance of one class          → :class:`MethodCall`
+* (ii)  access to (almost) all instances of a class  → :class:`ExtentCall`
+* (iii) access to some instances of a whole domain   → :class:`DomainSomeCall`
+* (iv)  access to all instances of a whole domain    → :class:`DomainAllCall`
+
+Every operation sends the same method (with the same arguments) to each of
+its target instances; the protocols differ only in which locks they take for
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.objects.oid import OID
+from repro.objects.store import ObjectStore
+
+
+@dataclass(frozen=True)
+class MethodCall:
+    """Send ``method`` to a single instance (access kind i).
+
+    ``as_class`` is the *static* class through which the instance is viewed;
+    it defaults to the proper class of the instance and only matters for the
+    relational baseline, where it determines which relations the equivalent
+    SQL statement touches (§3).
+    """
+
+    oid: OID
+    method: str
+    arguments: tuple[Any, ...] = ()
+    as_class: str | None = None
+
+    def static_class(self) -> str:
+        """The class used to type the access (declared class of the call)."""
+        return self.as_class or self.oid.class_name
+
+    def target_oids(self, store: ObjectStore) -> tuple[OID, ...]:
+        """The instances this operation touches directly."""
+        return (self.oid,)
+
+    def describe(self) -> str:
+        """One-line human description."""
+        return f"send {self.method} to instance {self.oid}"
+
+
+@dataclass(frozen=True)
+class ExtentCall:
+    """Send ``method`` to every proper instance of one class (access kind ii)."""
+
+    class_name: str
+    method: str
+    arguments: tuple[Any, ...] = ()
+
+    def static_class(self) -> str:
+        """The class used to type the access."""
+        return self.class_name
+
+    def target_oids(self, store: ObjectStore) -> tuple[OID, ...]:
+        """The instances this operation touches directly."""
+        return store.extent(self.class_name)
+
+    def describe(self) -> str:
+        """One-line human description."""
+        return f"send {self.method} to the extent of class {self.class_name}"
+
+
+@dataclass(frozen=True)
+class DomainSomeCall:
+    """Send ``method`` to chosen instances across a domain (access kind iii).
+
+    ``oids`` are the instances actually used; they may belong to the root
+    class or to any of its subclasses.
+    """
+
+    class_name: str
+    method: str
+    oids: tuple[OID, ...]
+    arguments: tuple[Any, ...] = ()
+
+    def static_class(self) -> str:
+        """The class used to type the access (the domain root)."""
+        return self.class_name
+
+    def target_oids(self, store: ObjectStore) -> tuple[OID, ...]:
+        """The instances this operation touches directly."""
+        return self.oids
+
+    def describe(self) -> str:
+        """One-line human description."""
+        return (f"send {self.method} to {len(self.oids)} instance(s) of the domain "
+                f"rooted at {self.class_name}")
+
+
+@dataclass(frozen=True)
+class DomainAllCall:
+    """Send ``method`` to every instance of a whole domain (access kind iv)."""
+
+    class_name: str
+    method: str
+    arguments: tuple[Any, ...] = ()
+
+    def static_class(self) -> str:
+        """The class used to type the access (the domain root)."""
+        return self.class_name
+
+    def target_oids(self, store: ObjectStore) -> tuple[OID, ...]:
+        """The instances this operation touches directly."""
+        return store.domain_extent(self.class_name)
+
+    def describe(self) -> str:
+        """One-line human description."""
+        return f"send {self.method} to all instances of the domain rooted at {self.class_name}"
+
+
+#: Union of all operation types.
+Operation = Union[MethodCall, ExtentCall, DomainSomeCall, DomainAllCall]

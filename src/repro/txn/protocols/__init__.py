@@ -1,0 +1,54 @@
+"""Concurrency-control protocols.
+
+Every protocol turns an :class:`~repro.txn.operations.Operation` into a
+:class:`~repro.txn.protocols.base.LockPlan` (the ordered lock requests it
+needs) and supplies the compatibility function its lock modes obey.  The
+available protocols:
+
+* :class:`~repro.txn.protocols.tav.TAVProtocol` — the paper's scheme:
+  per-method access modes derived from transitive access vectors, one control
+  per instance, explicit class locks ``(mode, hierarchical?)``.
+* :class:`~repro.txn.protocols.rw_instance.RWInstanceProtocol` — the
+  read/write instance-locking baseline with one control per message
+  (the situation criticised in §3).
+* :class:`~repro.txn.protocols.rw_hierarchy.RWHierarchyProtocol` — the same
+  read/write modes with implicit hierarchy locking in the style of ORION
+  [8, 17].
+* :class:`~repro.txn.protocols.relational.RelationalProtocol` — the
+  first-normal-form decomposition of §3: one relation per class, tuple and
+  relation locks.
+* :class:`~repro.txn.protocols.field_locking.FieldLockingProtocol` — the
+  run-time field-locking scheme of Agrawal & El Abbadi [1] discussed in §6.
+"""
+
+from repro.txn.protocols.base import (
+    ConcurrencyControlProtocol,
+    LockPlan,
+    LockRequestSpec,
+)
+from repro.txn.protocols.tav import TAVProtocol
+from repro.txn.protocols.rw_instance import RWInstanceProtocol
+from repro.txn.protocols.rw_hierarchy import RWHierarchyProtocol
+from repro.txn.protocols.relational import RelationalProtocol
+from repro.txn.protocols.field_locking import FieldLockingProtocol
+
+#: All protocol classes keyed by their short name (used by benchmarks).
+PROTOCOLS = {
+    TAVProtocol.name: TAVProtocol,
+    RWInstanceProtocol.name: RWInstanceProtocol,
+    RWHierarchyProtocol.name: RWHierarchyProtocol,
+    RelationalProtocol.name: RelationalProtocol,
+    FieldLockingProtocol.name: FieldLockingProtocol,
+}
+
+__all__ = [
+    "ConcurrencyControlProtocol",
+    "FieldLockingProtocol",
+    "LockPlan",
+    "LockRequestSpec",
+    "PROTOCOLS",
+    "RWHierarchyProtocol",
+    "RWInstanceProtocol",
+    "RelationalProtocol",
+    "TAVProtocol",
+]

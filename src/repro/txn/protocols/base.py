@@ -1,0 +1,166 @@
+"""Base class and shared data structures for concurrency-control protocols."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Mapping
+
+from repro.core.compiler import CompiledSchema
+from repro.core.modes import AccessMode
+from repro.locking.manager import LockManager
+from repro.objects.interpreter import ExecutionTrace, Interpreter, MessageEvent
+from repro.objects.oid import OID
+from repro.objects.shadow import ShadowStore
+from repro.objects.store import ObjectStore
+from repro.schema import Schema
+from repro.txn.operations import (
+    DomainAllCall,
+    DomainSomeCall,
+    ExtentCall,
+    MethodCall,
+    Operation,
+)
+
+
+@dataclass(frozen=True)
+class LockRequestSpec:
+    """One lock a protocol wants, in acquisition order within the plan."""
+
+    resource: Hashable
+    mode: Hashable
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class LockPlan:
+    """The locks an operation needs plus planning metadata.
+
+    Attributes:
+        requests: the lock requests, in the order they must be acquired.
+        control_points: how many times the protocol invokes concurrency
+            control for this operation (the §3 "locking overhead" metric —
+            one per instance for the paper's scheme, one per message for the
+            read/write baseline, one per access for field locking).
+        receivers: ``(oid, entry method)`` pairs of the instances the
+            operation may write; the recovery manager snapshots the
+            written-field projection of each before execution.
+    """
+
+    requests: tuple[LockRequestSpec, ...]
+    control_points: int
+    receivers: tuple[tuple[OID, str], ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def resources(self) -> tuple[Hashable, ...]:
+        """The distinct resources named by the plan, in first-use order."""
+        seen: dict[Hashable, None] = {}
+        for request in self.requests:
+            seen.setdefault(request.resource, None)
+        return tuple(seen)
+
+
+class ConcurrencyControlProtocol(abc.ABC):
+    """Common machinery for all protocols.
+
+    A protocol is constructed for one compiled schema and one store.  It is
+    stateless with respect to transactions — all state lives in the lock
+    manager and the transaction manager — so one protocol instance can serve
+    many transactions and many simulations.
+    """
+
+    #: Short identifier used in benchmark output (overridden by subclasses).
+    name: str = "abstract"
+    #: Human description used by reports.
+    description: str = ""
+
+    def __init__(self, compiled: CompiledSchema, store: ObjectStore,
+                 builtins: Mapping[str, Callable[..., Any]] | None = None) -> None:
+        self._compiled = compiled
+        self._store = store
+        self._schema: Schema = compiled.schema
+        self._builtins = dict(builtins) if builtins else None
+
+    # -- to implement -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def compatible(self, resource: Hashable, held: Hashable, requested: Hashable) -> bool:
+        """Whether two lock modes on ``resource`` are compatible."""
+
+    @abc.abstractmethod
+    def plan(self, operation: Operation) -> LockPlan:
+        """The locks ``operation`` needs, given the current store contents."""
+
+    # -- provided ----------------------------------------------------------------
+
+    def create_lock_manager(self) -> LockManager:
+        """A lock manager wired to this protocol's compatibility function."""
+        return LockManager(self.compatible)
+
+    def execute(self, operation: Operation, interpreter: Interpreter,
+                trace: ExecutionTrace | None = None) -> list[Any]:
+        """Really execute ``operation`` (no locking — the caller handles it)."""
+        results = []
+        for oid in operation.target_oids(self._store):
+            results.append(interpreter.send(oid, operation.method,
+                                            *operation.arguments, trace=trace))
+        return results
+
+    def written_projection(self, oid: OID, method: str) -> tuple[str, ...]:
+        """Fields of ``oid`` that ``method`` may write (undo projection).
+
+        This is the recovery use of access vectors described in §3: the
+        ``Write`` entries of the transitive access vector.
+        """
+        compiled = self._compiled.compiled_class(oid.class_name)
+        return compiled.tav(method).written_fields
+
+    @property
+    def compiled(self) -> CompiledSchema:
+        """The compiled schema this protocol was built for."""
+        return self._compiled
+
+    @property
+    def store(self) -> ObjectStore:
+        """The store this protocol plans against."""
+        return self._store
+
+    # -- shared planning helpers ---------------------------------------------------
+
+    def _shadow_trace(self, operation: Operation) -> ExecutionTrace:
+        """Dry-run the operation on a copy-on-write view and return its trace."""
+        shadow = ShadowStore(self._store)
+        interpreter = Interpreter(shadow, builtins=self._builtins)  # type: ignore[arg-type]
+        trace = ExecutionTrace()
+        for oid in operation.target_oids(self._store):
+            interpreter.send(oid, operation.method, *operation.arguments, trace=trace)
+        return trace
+
+    def _external_entries(self, operation: Operation,
+                          trace: ExecutionTrace) -> tuple[MessageEvent, ...]:
+        """Entry messages of the trace that land outside the operation's targets."""
+        direct = set(operation.target_oids(self._store))
+        return tuple(event for event in trace.entry_messages if event.oid not in direct)
+
+    def _needs_shadow_run(self, operation: Operation) -> bool:
+        """Whether the operation's method may reach other instances."""
+        class_names: set[str] = set()
+        if isinstance(operation, MethodCall):
+            class_names.add(operation.oid.class_name)
+        elif isinstance(operation, ExtentCall):
+            class_names.add(operation.class_name)
+        elif isinstance(operation, (DomainSomeCall, DomainAllCall)):
+            class_names.update(self._schema.domain(operation.class_name))
+        for class_name in class_names:
+            compiled = self._compiled.compiled_class(class_name)
+            if operation.method in compiled.methods and \
+                    compiled.has_external_sends(operation.method):
+                return True
+        return False
+
+    @staticmethod
+    def classify(vector_top_mode: AccessMode) -> str:
+        """Map an access-vector top mode onto a plain ``"R"``/``"W"`` mode."""
+        return "W" if vector_top_mode is AccessMode.WRITE else "R"

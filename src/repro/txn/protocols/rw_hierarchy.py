@@ -1,0 +1,110 @@
+"""Read/write locking with *implicit* hierarchy locks (ORION style, [8, 17]).
+
+The difference with :class:`~repro.txn.protocols.rw_instance.RWInstanceProtocol`
+is how class-level locks are placed:
+
+* touching an instance of class ``C`` requires intention locks on ``C`` *and
+  on every ancestor of* ``C`` (the path to the root), so that
+* locking a class ``C`` hierarchically (``S``/``X``) implicitly locks all its
+  subclasses — no lock is placed on the subclasses themselves.
+
+This is only possible because read/write modes "characterize any method in
+any class" (§5); the paper's per-method modes force explicit class locking
+instead.  The protocol is used by the ablation benchmark comparing explicit
+vs implicit class locking.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.errors import UnknownModeError
+from repro.locking.modes import absolute_of, intention_of, multigranularity_compatible, rw_compatible
+from repro.objects.oid import OID
+from repro.txn.operations import (
+    DomainAllCall,
+    DomainSomeCall,
+    ExtentCall,
+    MethodCall,
+    Operation,
+)
+from repro.txn.protocols.base import ConcurrencyControlProtocol, LockPlan, LockRequestSpec
+from repro.txn.protocols.rw_instance import RWInstanceProtocol
+
+
+class RWHierarchyProtocol(RWInstanceProtocol):
+    """Read/write modes with implicit subclass locking."""
+
+    name = "rw-hierarchy"
+    description = ("read/write instance locks with implicit hierarchy locking: "
+                   "intention locks along the ancestor path, hierarchical locks "
+                   "cover subclasses implicitly")
+
+    def plan(self, operation: Operation) -> LockPlan:
+        trace = self._shadow_trace(operation)
+        requests: list[LockRequestSpec] = []
+        receivers: list[tuple[OID, str]] = []
+        control_points = 0
+
+        root_lock_class = self._root_lock_class(operation)
+        direct_targets = set(operation.target_oids(self._store))
+
+        for event in trace.messages:
+            control_points += 1
+            mode = self.classify_message(event)
+            if event.oid in direct_targets and root_lock_class is not None:
+                requests.append(LockRequestSpec(
+                    resource=("class", root_lock_class), mode=absolute_of(mode),
+                    note=f"implicit hierarchical for {event.method}"))
+            else:
+                # Intention locks along the whole ancestor path of the
+                # receiver's class, then the instance lock.
+                path = (*reversed(self._schema.ancestors(event.oid.class_name)),
+                        event.oid.class_name)
+                for class_name in path:
+                    requests.append(LockRequestSpec(
+                        resource=("class", class_name), mode=intention_of(mode),
+                        note=f"path intention for {event.method}"))
+                requests.append(LockRequestSpec(
+                    resource=("instance", event.oid), mode=mode,
+                    note=f"message {event.method}"))
+            if event.is_entry:
+                receivers.append((event.oid, event.method))
+
+        if root_lock_class is not None:
+            # Ancestors of the hierarchically locked class get intention locks.
+            operation_mode = self._operation_mode(operation)
+            for class_name in reversed(self._schema.ancestors(root_lock_class)):
+                requests.insert(0, LockRequestSpec(
+                    resource=("class", class_name), mode=intention_of(operation_mode),
+                    note="ancestor intention"))
+
+        if isinstance(operation, DomainSomeCall):
+            operation_mode = self._operation_mode(operation)
+            path = (*reversed(self._schema.ancestors(operation.class_name)),
+                    operation.class_name)
+            for class_name in path:
+                requests.insert(0, LockRequestSpec(
+                    resource=("class", class_name), mode=intention_of(operation_mode),
+                    note="domain intention"))
+
+        return LockPlan(requests=tuple(requests), control_points=control_points,
+                        receivers=tuple(receivers))
+
+    # -- compatibility must also honour implicit coverage --------------------------
+
+    def compatible(self, resource: Hashable, held: Hashable, requested: Hashable) -> bool:
+        kind = resource[0]
+        if kind == "instance":
+            return rw_compatible(held, requested)
+        if kind == "class":
+            return multigranularity_compatible(held, requested)
+        raise UnknownModeError(f"the RW-hierarchy protocol does not lock {kind!r} resources")
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _root_lock_class(self, operation: Operation) -> str | None:
+        """The single class locked hierarchically (implicitly covering subclasses)."""
+        if isinstance(operation, (ExtentCall, DomainAllCall)):
+            return operation.class_name
+        return None

@@ -1,0 +1,137 @@
+"""Read/write instance locking with one control per message.
+
+This is the baseline the paper criticises in §3: the only access modes are
+``Read`` and ``Write`` on whole instances, every method is classified as a
+reader or a writer from its own code, and **every message wants control** —
+including self-directed messages produced by code reuse.  Consequences the
+paper lists, all observable with this implementation:
+
+* invoking ``m1`` on an instance of ``c1`` controls concurrency three times
+  (``m1``, then ``m2`` and ``m3`` sent to ``self``);
+* ``m1`` first takes a read lock, then ``m2`` needs a write lock on the same
+  instance — a lock escalation, the main source of deadlocks measured on
+  System R;
+* two writers that touch disjoint fields (``m2`` and ``m4`` in ``c2``)
+  conflict anyway (pseudo-conflict).
+
+Classes are locked explicitly with multigranularity modes: ``IS``/``IX``
+intention locks for individual-instance accesses, ``S``/``X`` for extent and
+domain accesses.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.errors import UnknownModeError
+from repro.locking.modes import (
+    absolute_of,
+    intention_of,
+    multigranularity_compatible,
+    rw_compatible,
+)
+from repro.objects.interpreter import MessageEvent
+from repro.objects.oid import OID
+from repro.txn.operations import (
+    DomainAllCall,
+    DomainSomeCall,
+    ExtentCall,
+    MethodCall,
+    Operation,
+)
+from repro.txn.protocols.base import ConcurrencyControlProtocol, LockPlan, LockRequestSpec
+
+
+class RWInstanceProtocol(ConcurrencyControlProtocol):
+    """Per-message read/write locking on instances (the §3 baseline)."""
+
+    name = "rw-instance"
+    description = ("read/write instance locks, one concurrency control per message, "
+                   "explicit IS/IX/S/X class locks")
+
+    # -- compatibility -----------------------------------------------------------
+
+    def compatible(self, resource: Hashable, held: Hashable, requested: Hashable) -> bool:
+        kind = resource[0]
+        if kind == "instance":
+            return rw_compatible(held, requested)
+        if kind == "class":
+            return multigranularity_compatible(held, requested)
+        raise UnknownModeError(f"the RW protocol does not lock {kind!r} resources")
+
+    # -- classification ------------------------------------------------------------
+
+    def classify_message(self, event: MessageEvent) -> str:
+        """``"R"`` or ``"W"`` for one dispatched method, from its *direct* code.
+
+        The classification looks only at the method's own statements (its
+        DAV), exactly as a scheme without transitive analysis would: ``m1``
+        is a reader even though the methods it calls write.
+        """
+        compiled = self._compiled.compiled_class(event.class_name)
+        dav = compiled.analyses[event.method].dav
+        return self.classify(dav.top_mode)
+
+    # -- planning --------------------------------------------------------------------
+
+    def plan(self, operation: Operation) -> LockPlan:
+        trace = self._shadow_trace(operation)
+        direct_targets = set(operation.target_oids(self._store))
+        requests: list[LockRequestSpec] = []
+        receivers: list[tuple[OID, str]] = []
+        control_points = 0
+
+        hierarchical_classes = self._hierarchical_classes(operation)
+        intentional_classes = self._intentional_classes(operation)
+
+        for event in trace.messages:
+            control_points += 1
+            mode = self.classify_message(event)
+            if event.oid in direct_targets and hierarchical_classes:
+                # Instances covered by a class-level lock: the per-message
+                # control escalates the class lock instead of locking the
+                # instance.
+                for class_name in hierarchical_classes:
+                    requests.append(LockRequestSpec(
+                        resource=("class", class_name), mode=absolute_of(mode),
+                        note=f"hierarchical for {event.method}"))
+            else:
+                requests.append(LockRequestSpec(
+                    resource=("class", event.oid.class_name), mode=intention_of(mode),
+                    note=f"intention for {event.method}"))
+                requests.append(LockRequestSpec(
+                    resource=("instance", event.oid), mode=mode,
+                    note=f"message {event.method}"))
+            if event.is_entry:
+                receivers.append((event.oid, event.method))
+
+        for class_name in intentional_classes:
+            requests.insert(0, LockRequestSpec(
+                resource=("class", class_name),
+                mode=intention_of(self._operation_mode(operation)),
+                note="domain intention"))
+
+        return LockPlan(requests=tuple(requests), control_points=control_points,
+                        receivers=tuple(receivers))
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _operation_mode(self, operation: Operation) -> str:
+        """Classification of the operation's top method on its static class."""
+        class_name = operation.static_class()
+        compiled = self._compiled.compiled_class(class_name)
+        if operation.method not in compiled.methods:
+            return "R"
+        return self.classify(compiled.analyses[operation.method].dav.top_mode)
+
+    def _hierarchical_classes(self, operation: Operation) -> tuple[str, ...]:
+        if isinstance(operation, ExtentCall):
+            return (operation.class_name,)
+        if isinstance(operation, DomainAllCall):
+            return self._schema.domain(operation.class_name)
+        return ()
+
+    def _intentional_classes(self, operation: Operation) -> tuple[str, ...]:
+        if isinstance(operation, DomainSomeCall):
+            return self._schema.domain(operation.class_name)
+        return ()

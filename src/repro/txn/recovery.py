@@ -1,0 +1,81 @@
+"""Recovery: undo logging driven by access vectors.
+
+The paper points out (§3) that access vectors double as *projection patterns*
+for recovery: the fields an operation may write — the ``Write`` entries of
+its transitive access vector — are exactly the fields whose before-image must
+be saved, and no inverse operation has to be supplied by the programmer.
+
+:class:`RecoveryManager` implements that idea: before an operation executes,
+the transaction manager asks it to log the projection of every target
+instance; on abort the saved values are written back in reverse order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.objects.oid import OID
+from repro.objects.store import ObjectStore
+
+
+@dataclass(frozen=True)
+class UndoRecord:
+    """The before-image of (a projection of) one instance."""
+
+    txn: int
+    oid: OID
+    values: Mapping[str, Any]
+
+    def fields(self) -> tuple[str, ...]:
+        """The projected field names."""
+        return tuple(self.values)
+
+
+class RecoveryManager:
+    """Keeps per-transaction undo logs of projected before-images."""
+
+    def __init__(self, store: ObjectStore) -> None:
+        self._store = store
+        self._logs: dict[int, list[UndoRecord]] = {}
+
+    def log_before_image(self, txn: int, oid: OID, fields: Iterable[str]) -> UndoRecord | None:
+        """Save the current values of ``fields`` of ``oid`` for transaction ``txn``.
+
+        An empty projection (the operation writes nothing on this instance)
+        produces no record.  Saving the same instance twice keeps both
+        records; undo replays them in reverse order so the oldest image wins,
+        which is what strict undo semantics require.
+        """
+        projected = tuple(fields)
+        if not projected:
+            return None
+        instance = self._store.get(oid)
+        record = UndoRecord(txn=txn, oid=oid,
+                            values={name: instance.get(name) for name in projected})
+        self._logs.setdefault(txn, []).append(record)
+        return record
+
+    def undo(self, txn: int) -> int:
+        """Restore every before-image of ``txn`` (newest first).
+
+        Returns the number of records undone.  Instances deleted since the
+        image was taken are skipped.
+        """
+        records = self._logs.pop(txn, [])
+        for record in reversed(records):
+            if record.oid in self._store:
+                self._store.get(record.oid).restore(record.values)
+        return len(records)
+
+    def forget(self, txn: int) -> None:
+        """Drop the undo log of a committed transaction."""
+        self._logs.pop(txn, None)
+
+    def log_of(self, txn: int) -> tuple[UndoRecord, ...]:
+        """The undo records of ``txn``, oldest first."""
+        return tuple(self._logs.get(txn, ()))
+
+    def pending_transactions(self) -> tuple[int, ...]:
+        """Transactions that still have an undo log."""
+        return tuple(self._logs)

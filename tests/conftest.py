@@ -1,0 +1,63 @@
+"""Shared fixtures: the paper's Figure 1 schema and the example schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import compile_schema
+from repro.objects import ObjectStore
+from repro.schema import banking_schema, figure1_schema, library_schema
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    """The Figure 1 schema (c1, c2, c3), validated."""
+    return figure1_schema()
+
+
+@pytest.fixture(scope="session")
+def figure1_compiled(figure1):
+    """The compiled concurrency-control metadata of Figure 1."""
+    return compile_schema(figure1)
+
+
+@pytest.fixture(scope="session")
+def banking():
+    """The banking example schema."""
+    return banking_schema()
+
+
+@pytest.fixture(scope="session")
+def banking_compiled(banking):
+    """Compiled metadata of the banking schema."""
+    return compile_schema(banking)
+
+
+@pytest.fixture(scope="session")
+def library():
+    """The library example schema."""
+    return library_schema()
+
+
+@pytest.fixture(scope="session")
+def library_compiled(library):
+    """Compiled metadata of the library schema."""
+    return compile_schema(library)
+
+
+@pytest.fixture
+def figure1_store(figure1):
+    """A fresh store over the Figure 1 schema."""
+    return ObjectStore(figure1)
+
+
+@pytest.fixture
+def banking_store(banking):
+    """A fresh store over the banking schema."""
+    return ObjectStore(banking)
+
+
+@pytest.fixture
+def library_store(library):
+    """A fresh store over the library schema."""
+    return ObjectStore(library)

@@ -1,0 +1,149 @@
+"""Tests for access vectors (definitions 3-5), including hypothesis properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AccessMode, AccessVector
+
+FIELDS = ("f1", "f2", "f3", "f4", "f5", "f6")
+modes = st.sampled_from([AccessMode.NULL, AccessMode.READ, AccessMode.WRITE])
+
+
+@st.composite
+def vectors(draw, fields=FIELDS):
+    chosen = draw(st.lists(st.sampled_from(fields), unique=True, min_size=0,
+                           max_size=len(fields)))
+    assignment = {name: draw(modes) for name in chosen}
+    return AccessVector(fields, assignment)
+
+
+def test_default_entries_are_null():
+    vector = AccessVector(("a", "b"))
+    assert vector.mode_of("a") is AccessMode.NULL
+    assert vector.is_null
+    assert vector.top_mode is AccessMode.NULL
+
+
+def test_paper_example_join():
+    """The worked example after definition 4."""
+    left = AccessVector.of(X=AccessMode.WRITE, Y=AccessMode.READ, Z=AccessMode.READ)
+    right = AccessVector.of(X=AccessMode.READ, Y=AccessMode.NULL, T=AccessMode.READ)
+    joined = left.join(right)
+    assert joined.mode_of("X") is AccessMode.WRITE
+    assert joined.mode_of("Y") is AccessMode.READ
+    assert joined.mode_of("Z") is AccessMode.READ
+    assert joined.mode_of("T") is AccessMode.READ
+    assert set(joined.fields) == {"X", "Y", "Z", "T"}
+
+
+def test_written_read_and_accessed_fields():
+    vector = AccessVector(FIELDS, {"f1": AccessMode.WRITE, "f2": AccessMode.READ})
+    assert vector.written_fields == ("f1",)
+    assert vector.read_fields == ("f2",)
+    assert vector.accessed_fields == ("f1", "f2")
+    assert vector.top_mode is AccessMode.WRITE
+
+
+def test_extended_adds_null_fields():
+    vector = AccessVector(("f1",), {"f1": AccessMode.WRITE})
+    extended = vector.extended(("f2", "f3"))
+    assert extended.fields == ("f1", "f2", "f3")
+    assert extended.mode_of("f2") is AccessMode.NULL
+    assert extended.mode_of("f1") is AccessMode.WRITE
+
+
+def test_restricted_projects_fields():
+    vector = AccessVector(FIELDS, {"f1": AccessMode.WRITE, "f4": AccessMode.WRITE})
+    projected = vector.restricted(("f1", "f2", "f3"))
+    assert projected.fields == ("f1", "f2", "f3")
+    assert projected.written_fields == ("f1",)
+
+
+def test_commutativity_paper_pairs():
+    """m2 and m4 of class c2 commute; m1 and m2 do not (section 4/5)."""
+    tav_m2 = AccessVector(FIELDS, {"f1": AccessMode.WRITE, "f2": AccessMode.READ,
+                                   "f4": AccessMode.WRITE, "f5": AccessMode.READ})
+    tav_m4 = AccessVector(FIELDS, {"f5": AccessMode.READ, "f6": AccessMode.WRITE})
+    tav_m1 = AccessVector(FIELDS, {"f1": AccessMode.WRITE, "f2": AccessMode.READ,
+                                   "f3": AccessMode.READ, "f4": AccessMode.WRITE,
+                                   "f5": AccessMode.READ})
+    assert tav_m2.commutes_with(tav_m4)
+    assert not tav_m1.commutes_with(tav_m2)
+    assert not tav_m4.commutes_with(tav_m4)
+
+
+def test_equality_and_hash_ignore_field_order():
+    first = AccessVector(("a", "b"), {"a": AccessMode.READ})
+    second = AccessVector(("b", "a"), {"a": AccessMode.READ})
+    assert first == second
+    assert hash(first) == hash(second)
+
+
+def test_compact_and_repr():
+    vector = AccessVector(("f1", "f2"), {"f1": AccessMode.WRITE})
+    assert "W:f1" in vector.compact()
+    assert "Writef1" in repr(vector)
+    assert AccessVector(("f1",)).compact() == "(null)"
+
+
+def test_iteration_and_len():
+    vector = AccessVector(("f1", "f2"), {"f2": AccessMode.READ})
+    assert len(vector) == 2
+    assert dict(vector.items())["f2"] is AccessMode.READ
+    assert vector["f1"] is AccessMode.NULL
+
+
+# -- hypothesis properties ------------------------------------------------------------
+
+
+@given(vectors(), vectors(), vectors())
+@settings(max_examples=100, deadline=None)
+def test_join_idempotent_commutative_associative(a, b, c):
+    """Property 1 of the paper lifted to vectors."""
+    assert a.join(a) == a
+    assert a.join(b) == b.join(a)
+    assert a.join(b).join(c) == a.join(b.join(c))
+
+
+@given(vectors(), vectors())
+@settings(max_examples=100, deadline=None)
+def test_join_is_an_upper_bound(a, b):
+    joined = a.join(b)
+    for field in FIELDS:
+        assert joined.mode_of(field) >= a.mode_of(field)
+        assert joined.mode_of(field) >= b.mode_of(field)
+
+
+@given(vectors(), vectors())
+@settings(max_examples=100, deadline=None)
+def test_commutativity_is_symmetric(a, b):
+    assert a.commutes_with(b) == b.commutes_with(a)
+
+
+@given(vectors(), vectors(), vectors())
+@settings(max_examples=100, deadline=None)
+def test_join_only_reduces_commutativity(a, b, c):
+    """Joining more accesses can only remove parallelism, never add it.
+
+    This is the heart of why transitive access vectors are safe: if the
+    joined (more conservative) vector commutes with something, so does each
+    component.
+    """
+    if a.join(b).commutes_with(c):
+        assert a.commutes_with(c)
+        assert b.commutes_with(c)
+
+
+@given(vectors())
+@settings(max_examples=50, deadline=None)
+def test_null_vector_commutes_with_everything(a):
+    assert AccessVector(FIELDS).commutes_with(a)
+
+
+@given(vectors())
+@settings(max_examples=50, deadline=None)
+def test_vector_with_writes_conflicts_with_itself(a):
+    if a.written_fields:
+        assert not a.commutes_with(a)
+    else:
+        assert a.commutes_with(a)

@@ -1,0 +1,197 @@
+"""Tests for the static analysis (definitions 6, 7, 8) against the paper."""
+
+import pytest
+
+from repro.core import AccessMode, analyze_class, analyze_method, analyze_schema
+from repro.errors import UnresolvedSelfCallError, UnresolvedSuperCallError
+from repro.schema import SchemaBuilder
+
+
+def modes_of(analysis):
+    return {field: mode for field, mode in analysis.dav if mode is not AccessMode.NULL}
+
+
+# -- Figure 1: the direct access vectors printed in the paper --------------------------
+
+
+def test_dav_c1_m2(figure1):
+    """DAV(c1, m2) = (Write f1, Read f2, Null f3) — the example after def. 3."""
+    analysis = analyze_method(figure1, "c1", "m2")
+    assert analysis.dav.fields == ("f1", "f2", "f3")
+    assert modes_of(analysis) == {"f1": AccessMode.WRITE, "f2": AccessMode.READ}
+
+
+def test_dav_c1_m1_touches_nothing(figure1):
+    analysis = analyze_method(figure1, "c1", "m1")
+    assert analysis.dav.is_null
+    assert analysis.dsc == {"m2", "m3"}
+    assert analysis.psc == frozenset()
+
+
+def test_dav_c1_m3_reads_f2_and_f3(figure1):
+    analysis = analyze_method(figure1, "c1", "m3")
+    assert modes_of(analysis) == {"f2": AccessMode.READ, "f3": AccessMode.READ}
+    assert analysis.external_calls == {("f3", "m")}
+
+
+def test_dav_c2_m2_override(figure1):
+    """DAV(c2, m2) = (Null f1..f3, Write f4, Read f5, Null f6)."""
+    analysis = analyze_method(figure1, "c2", "m2")
+    assert analysis.defining_class == "c2"
+    assert modes_of(analysis) == {"f4": AccessMode.WRITE, "f5": AccessMode.READ}
+    assert analysis.psc == {("c1", "m2")}
+    assert analysis.dsc == frozenset()
+
+
+def test_dav_c2_m4(figure1):
+    """DAV(c2, m4) = (..., Read f5, Write f6)."""
+    analysis = analyze_method(figure1, "c2", "m4")
+    assert modes_of(analysis) == {"f5": AccessMode.READ, "f6": AccessMode.WRITE}
+
+
+def test_inherited_method_extends_vector_with_nulls(figure1):
+    """Definition 6 (i): DAV(c2, m3) = DAV(c1, m3) joined with Nulls."""
+    analysis = analyze_method(figure1, "c2", "m3")
+    assert analysis.is_inherited
+    assert analysis.defining_class == "c1"
+    assert analysis.dav.fields == ("f1", "f2", "f3", "f4", "f5", "f6")
+    assert modes_of(analysis) == {"f2": AccessMode.READ, "f3": AccessMode.READ}
+
+
+def test_inherited_method_keeps_dsc_and_psc(figure1):
+    """Definitions 7 (i) and 8 (i)."""
+    analysis = analyze_method(figure1, "c2", "m1")
+    assert analysis.dsc == {"m2", "m3"}
+    assert analysis.psc == frozenset()
+
+
+def test_analyze_class_covers_all_visible_methods(figure1):
+    analyses = analyze_class(figure1, "c2")
+    assert set(analyses) == {"m1", "m2", "m3", "m4"}
+
+
+def test_analyze_schema_keyed_by_class_and_method(figure1):
+    analyses = analyze_schema(figure1)
+    assert ("c1", "m1") in analyses
+    assert ("c2", "m1") in analyses
+    assert ("c3", "m") in analyses
+    assert len(analyses) == 3 + 4 + 1
+
+
+# -- write/read subtleties ---------------------------------------------------------------
+
+
+def test_write_dominates_read_on_same_field():
+    schema = (SchemaBuilder()
+              .define("A").field("x", "integer")
+              .method("bump", body="x := x + 1")
+              .build())
+    analysis = analyze_method(schema, "A", "bump")
+    assert modes_of(analysis) == {"x": AccessMode.WRITE}
+
+
+def test_parameters_and_locals_are_not_fields():
+    schema = (SchemaBuilder()
+              .define("A").field("x", "integer")
+              .method("work", "p", body="""
+                  tmp := p + 1
+                  x := tmp
+              """)
+              .build())
+    analysis = analyze_method(schema, "A", "work")
+    assert modes_of(analysis) == {"x": AccessMode.WRITE}
+
+
+def test_reads_inside_conditions_and_branches_count():
+    schema = (SchemaBuilder()
+              .define("A").field("x", "integer").field("y", "integer").field("z", "integer")
+              .method("cond", body="""
+                  if x > 0 then
+                      y := 1
+                  else
+                      z := z + 1
+                  end
+              """)
+              .build())
+    analysis = analyze_method(schema, "A", "cond")
+    assert modes_of(analysis) == {"x": AccessMode.READ, "y": AccessMode.WRITE,
+                                  "z": AccessMode.WRITE}
+
+
+def test_while_loops_are_abstracted_away():
+    schema = (SchemaBuilder()
+              .define("A").field("x", "integer")
+              .method("spin", body="""
+                  while x > 0 do
+                      x := x - 1
+                  end
+              """)
+              .build())
+    analysis = analyze_method(schema, "A", "spin")
+    assert modes_of(analysis) == {"x": AccessMode.WRITE}
+
+
+def test_send_arguments_are_read():
+    schema = (SchemaBuilder()
+              .define("A").field("x", "integer").field("other", ref="A")
+              .method("noop", "p", body="return p")
+              .method("fwd", body="send noop(x) to other")
+              .build())
+    analysis = analyze_method(schema, "A", "fwd")
+    assert modes_of(analysis) == {"x": AccessMode.READ, "other": AccessMode.READ}
+    assert analysis.external_calls == {("other", "noop")}
+
+
+def test_self_send_records_dsc_not_field_access():
+    schema = (SchemaBuilder()
+              .define("A").field("x", "integer")
+              .method("a", body="x := 1")
+              .method("b", body="send a to self")
+              .build())
+    analysis = analyze_method(schema, "A", "b")
+    assert analysis.dav.is_null
+    assert analysis.dsc == {"a"}
+
+
+# -- error reporting -----------------------------------------------------------------------
+
+
+def test_unresolved_self_call_raises():
+    builder = SchemaBuilder()
+    builder.define("A").field("x", "integer").method("bad", body="send missing to self")
+    schema = builder.build()
+    with pytest.raises(UnresolvedSelfCallError):
+        analyze_method(schema, "A", "bad")
+
+
+def test_prefixed_call_to_non_ancestor_raises():
+    builder = SchemaBuilder()
+    builder.define("A").method("m", body="return")
+    builder.define("B").method("bad", body="send A.m to self")
+    schema = builder.build()
+    with pytest.raises(UnresolvedSuperCallError):
+        analyze_method(schema, "B", "bad")
+
+
+def test_prefixed_call_to_unknown_method_raises():
+    builder = SchemaBuilder()
+    builder.define("A").method("m", body="return")
+    builder.define("B", "A").method("bad", body="send A.missing to self")
+    schema = builder.build()
+    with pytest.raises(UnresolvedSuperCallError):
+        analyze_method(schema, "B", "bad")
+
+
+# -- banking schema sanity ---------------------------------------------------------------
+
+
+def test_banking_transfer_in_reuses_deposit(banking):
+    analysis = analyze_method(banking, "Account", "transfer_in")
+    assert analysis.dsc == {"deposit"}
+    assert modes_of(analysis) == {"active": AccessMode.READ}
+
+
+def test_banking_savings_withdraw_extends_account_withdraw(banking):
+    analysis = analyze_method(banking, "SavingsAccount", "withdraw")
+    assert ("Account", "withdraw") in analysis.psc
+    assert analysis.dav.mode_of("accrued") is AccessMode.WRITE

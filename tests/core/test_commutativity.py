@@ -1,0 +1,105 @@
+"""Tests for the per-class commutativity relation (§5.1, Table 2)."""
+
+import pytest
+
+from repro.core import build_commutativity_table, compile_schema
+from repro.schema import SchemaBuilder
+
+
+PAPER_TABLE2 = {
+    ("m1", "m1"): False, ("m1", "m2"): False, ("m1", "m3"): True, ("m1", "m4"): True,
+    ("m2", "m1"): False, ("m2", "m2"): False, ("m2", "m3"): True, ("m2", "m4"): True,
+    ("m3", "m1"): True, ("m3", "m2"): True, ("m3", "m3"): True, ("m3", "m4"): True,
+    ("m4", "m1"): True, ("m4", "m2"): True, ("m4", "m3"): True, ("m4", "m4"): False,
+}
+
+
+def test_table2_exact_values(figure1_compiled):
+    """The commutativity relation of c2 is exactly Table 2 of the paper."""
+    table = figure1_compiled.commutativity_table("c2")
+    for (first, second), expected in PAPER_TABLE2.items():
+        assert table.commutes(first, second) is expected, (first, second)
+
+
+def test_table2_rendered_rows(figure1_compiled):
+    table = figure1_compiled.commutativity_table("c2").restricted(("m1", "m2", "m3", "m4"))
+    rows = table.as_rows()
+    assert rows[0] == ["", "m1", "m2", "m3", "m4"]
+    assert rows[1] == ["m1", "no", "no", "yes", "yes"]
+    assert rows[2] == ["m2", "no", "no", "yes", "yes"]
+    assert rows[3] == ["m3", "yes", "yes", "yes", "yes"]
+    assert rows[4] == ["m4", "yes", "yes", "yes", "no"]
+
+
+def test_c1_relation_is_restriction_of_table2(figure1_compiled):
+    """The paper: c1's relation is Table 2 restricted to m1, m2, m3."""
+    c1_table = figure1_compiled.commutativity_table("c1")
+    c2_restricted = figure1_compiled.commutativity_table("c2").restricted(("m1", "m2", "m3"))
+    for first in ("m1", "m2", "m3"):
+        for second in ("m1", "m2", "m3"):
+            assert c1_table.commutes(first, second) == c2_restricted.commutes(first, second)
+
+
+def test_commutativity_is_symmetric(figure1_compiled, banking_compiled):
+    for compiled_schema in (figure1_compiled, banking_compiled):
+        for class_name in compiled_schema.class_names:
+            table = compiled_schema.commutativity_table(class_name)
+            for first in table.methods:
+                for second in table.methods:
+                    assert table.commutes(first, second) == table.commutes(second, first)
+
+
+def test_mode_translation_preserves_vector_commutativity(figure1_compiled,
+                                                         banking_compiled,
+                                                         library_compiled):
+    """§5.1: the parallelism allowed by modes is exactly the one of vectors."""
+    for compiled_schema in (figure1_compiled, banking_compiled, library_compiled):
+        for class_name in compiled_schema.class_names:
+            compiled = compiled_schema.compiled_class(class_name)
+            for first in compiled.methods:
+                for second in compiled.methods:
+                    assert compiled.commutes(first, second) == \
+                        compiled.tav(first).commutes_with(compiled.tav(second))
+
+
+def test_conflicts_and_commuting_lists(figure1_compiled):
+    table = figure1_compiled.commutativity_table("c2")
+    assert set(table.conflicts_of("m1")) == {"m1", "m2"}
+    assert set(table.commuting_with("m3")) == {"m1", "m2", "m3", "m4"}
+    assert ("m1", "m2") in table.conflict_pairs or ("m2", "m1") in table.conflict_pairs
+
+
+def test_unknown_method_raises(figure1_compiled):
+    table = figure1_compiled.commutativity_table("c2")
+    with pytest.raises(KeyError):
+        table.commutes("m1", "zz")
+
+
+def test_pseudo_conflict_eliminated(figure1_compiled):
+    """m2 and m4 are both writers yet commute — the §3 pseudo-conflict is gone."""
+    c2 = figure1_compiled.compiled_class("c2")
+    assert c2.tav("m2").written_fields
+    assert c2.tav("m4").written_fields
+    assert c2.commutes("m2", "m4")
+
+
+def test_readers_commute_with_everything():
+    builder = SchemaBuilder()
+    builder.define("A").field("x", "integer").field("y", "integer") \
+        .method("r1", body="return x") \
+        .method("r2", body="return expr(x, y)") \
+        .method("w", body="x := 1")
+    compiled = compile_schema(builder.build()).compiled_class("A")
+    assert compiled.commutes("r1", "r2")
+    assert compiled.commutes("r1", "r1")
+    assert not compiled.commutes("r1", "w")
+    assert compiled.commutes("r2", "w") is False
+
+
+def test_build_table_with_explicit_order():
+    builder = SchemaBuilder()
+    builder.define("A").field("x", "integer") \
+        .method("w", body="x := 1").method("r", body="return x")
+    compiled = compile_schema(builder.build()).compiled_class("A")
+    table = build_commutativity_table("A", compiled.tavs, order=("r", "w"))
+    assert table.methods == ("r", "w")

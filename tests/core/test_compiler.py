@@ -1,0 +1,91 @@
+"""Tests for the compiler façade: compile_schema, lookups, recompilation."""
+
+import pytest
+
+from repro.core import AccessMode, compile_schema
+from repro.errors import UnknownClassError, UnknownMethodError
+from repro.schema import SchemaBuilder
+from repro.schema.method import MethodDefinition
+
+
+def test_compile_covers_every_class(figure1_compiled, figure1):
+    assert set(figure1_compiled.class_names) == set(figure1.class_names)
+    for class_name in figure1.class_names:
+        compiled = figure1_compiled.compiled_class(class_name)
+        assert compiled.methods == figure1.method_names(class_name)
+        assert compiled.fields == figure1.field_names(class_name)
+
+
+def test_compiled_lookup_errors(figure1_compiled):
+    with pytest.raises(UnknownClassError):
+        figure1_compiled.compiled_class("zz")
+    with pytest.raises(UnknownMethodError):
+        figure1_compiled.compiled_class("c1").tav("m4")
+
+
+def test_shortcut_accessors(figure1_compiled):
+    assert figure1_compiled.tav("c2", "m4").mode_of("f6") is AccessMode.WRITE
+    assert figure1_compiled.dav("c2", "m1").is_null
+    assert figure1_compiled.commutes("c2", "m2", "m4")
+
+
+def test_graph_sizes(figure1_compiled):
+    assert figure1_compiled.compiled_class("c2").graph_size == (5, 3)
+    assert figure1_compiled.compiled_class("c1").graph_size == (3, 2)
+    vertices, edges = figure1_compiled.total_graph_size()
+    assert vertices == 5 + 3 + 1
+    assert edges == 3 + 2 + 0
+
+
+def test_external_calls_are_transitive(figure1_compiled, library_compiled):
+    c2 = figure1_compiled.compiled_class("c2")
+    # m1 -> m3 -> send m to f3: the external call is visible from m1.
+    assert c2.has_external_sends("m1")
+    assert c2.has_external_sends("m3")
+    assert not c2.has_external_sends("m4")
+    member = library_compiled.compiled_class("Member")
+    assert member.external_calls["checkout"] == {("borrowing", "borrow_copy")}
+    assert not member.has_external_sends("rename")
+
+
+def _toy_schema():
+    builder = SchemaBuilder()
+    builder.define("Base").field("x", "integer") \
+        .method("work", body="send step to self") \
+        .method("step", body="x := x + 1")
+    builder.define("Derived", "Base").field("y", "integer")
+    return builder.build()
+
+
+def test_recompile_class_refreshes_metadata():
+    schema = _toy_schema()
+    compiled = compile_schema(schema)
+    assert compiled.tav("Derived", "work").mode_of("y") is AccessMode.NULL
+
+    # Simulate a schema evolution: Derived overrides step to touch y.
+    derived = schema.get_class("Derived")
+    derived.add_method(MethodDefinition.from_source("step", (), "y := y + 1", "Derived"))
+    schema.validate()
+    affected = compiled.recompile_after_method_change("Derived")
+    assert affected == ("Derived",)
+    assert compiled.tav("Derived", "work").mode_of("y") is AccessMode.WRITE
+    assert compiled.tav("Derived", "work").mode_of("x") is AccessMode.NULL
+    # Base is untouched.
+    assert compiled.tav("Base", "work").mode_of("x") is AccessMode.WRITE
+
+
+def test_recompile_after_change_in_root_covers_descendants():
+    schema = _toy_schema()
+    compiled = compile_schema(schema)
+    affected = compiled.recompile_after_method_change("Base")
+    assert set(affected) == {"Base", "Derived"}
+
+
+def test_compile_generated_schema_scales_linearly_in_structure():
+    from repro.sim import SchemaGenerator
+    small = SchemaGenerator(depth=1, branching=2, seed=1).generate()
+    large = SchemaGenerator(depth=3, branching=2, seed=1).generate()
+    compiled_small = compile_schema(small)
+    compiled_large = compile_schema(large)
+    assert compiled_large.total_graph_size()[0] > compiled_small.total_graph_size()[0]
+    assert len(compiled_large.class_names) > len(compiled_small.class_names)

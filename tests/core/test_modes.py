@@ -1,0 +1,78 @@
+"""Tests for the mode lattice and Table 1."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import AccessMode, compatibility_table, compatible, join
+from repro.core.modes import join_all
+
+MODES = [AccessMode.NULL, AccessMode.READ, AccessMode.WRITE]
+mode_strategy = st.sampled_from(MODES)
+
+
+def test_total_order():
+    assert AccessMode.NULL < AccessMode.READ < AccessMode.WRITE
+    assert sorted([AccessMode.WRITE, AccessMode.NULL, AccessMode.READ]) == MODES
+
+
+def test_table1_exact_values():
+    """The compatibility relation is exactly Table 1 of the paper."""
+    expected = {
+        (AccessMode.NULL, AccessMode.NULL): True,
+        (AccessMode.NULL, AccessMode.READ): True,
+        (AccessMode.NULL, AccessMode.WRITE): True,
+        (AccessMode.READ, AccessMode.NULL): True,
+        (AccessMode.READ, AccessMode.READ): True,
+        (AccessMode.READ, AccessMode.WRITE): False,
+        (AccessMode.WRITE, AccessMode.NULL): True,
+        (AccessMode.WRITE, AccessMode.READ): False,
+        (AccessMode.WRITE, AccessMode.WRITE): False,
+    }
+    for pair, value in expected.items():
+        assert compatible(*pair) is value
+
+
+def test_compatibility_is_symmetric():
+    for first, second in itertools.product(MODES, MODES):
+        assert compatible(first, second) == compatible(second, first)
+
+
+def test_join_is_max():
+    assert join(AccessMode.READ, AccessMode.WRITE) is AccessMode.WRITE
+    assert join(AccessMode.NULL, AccessMode.READ) is AccessMode.READ
+    assert join() is AccessMode.NULL
+    assert join_all([AccessMode.READ, AccessMode.NULL]) is AccessMode.READ
+
+
+@given(mode_strategy, mode_strategy, mode_strategy)
+def test_join_properties(a, b, c):
+    """Property 1 of the paper: idempotent, commutative, associative."""
+    assert join(a, a) is a
+    assert join(a, b) is join(b, a)
+    assert join(join(a, b), c) is join(a, join(b, c))
+
+
+@given(mode_strategy, mode_strategy)
+def test_order_consistent_with_compatibility(a, b):
+    """A more restrictive mode conflicts with at least as much."""
+    stronger = join(a, b)
+    for other in MODES:
+        if not compatible(a, other) or not compatible(b, other):
+            assert not compatible(stronger, other)
+
+
+def test_rendered_table_matches_paper():
+    rows = compatibility_table()
+    assert rows[0] == ["", "Null", "Read", "Write"]
+    assert rows[1] == ["Null", "yes", "yes", "yes"]
+    assert rows[2] == ["Read", "yes", "yes", "no"]
+    assert rows[3] == ["Write", "yes", "no", "no"]
+
+
+def test_symbols_and_labels():
+    assert AccessMode.WRITE.symbol == "W"
+    assert AccessMode.NULL.symbol == "-"
+    assert str(AccessMode.READ) == "Read"

@@ -1,0 +1,87 @@
+"""Tests for the late-binding resolution graph (definition 9, Figure 2)."""
+
+from repro.core import build_resolution_graph
+from repro.schema import SchemaBuilder
+
+
+def test_figure2_vertices_and_edges(figure1):
+    """The graph of class c2 is exactly Figure 2 of the paper."""
+    graph = build_resolution_graph(figure1, "c2")
+    assert graph.vertices == frozenset({
+        ("c2", "m1"), ("c2", "m2"), ("c2", "m3"), ("c2", "m4"), ("c1", "m2")})
+    assert graph.edges == frozenset({
+        (("c2", "m1"), ("c2", "m2")),
+        (("c2", "m1"), ("c2", "m3")),
+        (("c2", "m2"), ("c1", "m2")),
+    })
+
+
+def test_figure2_sinks_and_size(figure1):
+    graph = build_resolution_graph(figure1, "c2")
+    assert graph.size == (5, 3)
+    assert graph.sinks() == frozenset({("c2", "m3"), ("c2", "m4"), ("c1", "m2")})
+
+
+def test_c1_graph_has_no_prefixed_vertices(figure1):
+    graph = build_resolution_graph(figure1, "c1")
+    assert graph.vertices == frozenset({("c1", "m1"), ("c1", "m2"), ("c1", "m3")})
+    assert graph.edges == frozenset({
+        (("c1", "m1"), ("c1", "m2")),
+        (("c1", "m1"), ("c1", "m3")),
+    })
+
+
+def test_successors_and_predecessors(figure1):
+    graph = build_resolution_graph(figure1, "c2")
+    assert graph.successors(("c2", "m1")) == frozenset({("c2", "m2"), ("c2", "m3")})
+    assert graph.predecessors(("c1", "m2")) == frozenset({("c2", "m2")})
+    assert graph.successors(("c2", "m4")) == frozenset()
+
+
+def test_adjacency_contains_every_vertex(figure1):
+    graph = build_resolution_graph(figure1, "c2")
+    adjacency = graph.adjacency()
+    assert set(adjacency) == set(graph.vertices)
+    assert set(adjacency[("c2", "m1")]) == {("c2", "m2"), ("c2", "m3")}
+
+
+def test_self_calls_in_inherited_code_dispatch_on_the_proper_class():
+    """The key late-binding property: a self-call written in an ancestor's
+    code resolves to the *subclass* override when analysed for the subclass."""
+    builder = SchemaBuilder()
+    builder.define("Top").field("t", "integer") \
+        .method("algo", body="send step to self") \
+        .method("step", body="t := 1")
+    builder.define("Sub", "Top").field("s", "integer") \
+        .method("step", body="s := 2")
+    schema = builder.build()
+    graph = build_resolution_graph(schema, "Sub")
+    assert (("Sub", "algo"), ("Sub", "step")) in graph.edges
+    assert not any(target == ("Top", "step") for _, target in graph.edges)
+
+
+def test_prefixed_chain_pulls_in_ancestor_vertices():
+    builder = SchemaBuilder()
+    builder.define("A").field("a", "integer").method("m", body="a := 1")
+    builder.define("B", "A").method("m", body="send A.m to self")
+    builder.define("C", "B").method("m", body="send B.m to self")
+    schema = builder.build()
+    graph = build_resolution_graph(schema, "C")
+    assert ("B", "m") in graph.vertices
+    assert ("A", "m") in graph.vertices
+    assert (("C", "m"), ("B", "m")) in graph.edges
+    assert (("B", "m"), ("A", "m")) in graph.edges
+
+
+def test_mutual_recursion_creates_a_cycle():
+    builder = SchemaBuilder()
+    builder.define("A").field("x", "integer") \
+        .method("ping", body="send pong to self") \
+        .method("pong", body="""
+            x := x + 1
+            send ping to self
+        """)
+    schema = builder.build()
+    graph = build_resolution_graph(schema, "A")
+    assert (("A", "ping"), ("A", "pong")) in graph.edges
+    assert (("A", "pong"), ("A", "ping")) in graph.edges

@@ -1,0 +1,105 @@
+"""Tests for the SCC algorithm, cross-checked against networkx."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import condensation, strongly_connected_components
+from repro.core.tarjan import reachable_from
+
+
+def test_simple_dag():
+    graph = {"a": ["b"], "b": ["c"], "c": []}
+    components = strongly_connected_components(graph)
+    assert [set(c) for c in components] == [{"c"}, {"b"}, {"a"}]
+
+
+def test_single_cycle():
+    graph = {"a": ["b"], "b": ["c"], "c": ["a"]}
+    components = strongly_connected_components(graph)
+    assert len(components) == 1
+    assert set(components[0]) == {"a", "b", "c"}
+
+
+def test_two_components_with_bridge():
+    graph = {"a": ["b"], "b": ["a", "c"], "c": ["d"], "d": ["c"]}
+    components = strongly_connected_components(graph)
+    assert len(components) == 2
+    # Reverse topological order: the sink component {c, d} first.
+    assert set(components[0]) == {"c", "d"}
+    assert set(components[1]) == {"a", "b"}
+
+
+def test_nodes_only_appearing_as_targets_are_included():
+    graph = {"a": ["b"]}
+    components = strongly_connected_components(graph)
+    assert {frozenset(c) for c in components} == {frozenset({"a"}), frozenset({"b"})}
+
+
+def test_self_loop_is_a_component():
+    graph = {"a": ["a"], "b": []}
+    components = strongly_connected_components(graph)
+    assert {frozenset(c) for c in components} == {frozenset({"a"}), frozenset({"b"})}
+
+
+def test_condensation_dag_has_no_self_edges():
+    graph = {"a": ["b"], "b": ["a", "c"], "c": []}
+    components, component_of, dag = condensation(graph)
+    assert component_of["a"] == component_of["b"]
+    assert component_of["c"] != component_of["a"]
+    for source, targets in dag.items():
+        assert source not in targets
+
+
+def test_reachable_from():
+    graph = {"a": ["b"], "b": ["c"], "c": [], "d": ["a"]}
+    assert reachable_from(graph, "a") == {"a", "b", "c"}
+    assert reachable_from(graph, "c") == {"c"}
+    assert reachable_from(graph, "d") == {"d", "a", "b", "c"}
+
+
+def test_deep_chain_does_not_hit_recursion_limit():
+    graph = {index: [index + 1] for index in range(5000)}
+    graph[5000] = []
+    components = strongly_connected_components(graph)
+    assert len(components) == 5001
+
+
+@st.composite
+def random_graphs(draw):
+    node_count = draw(st.integers(min_value=1, max_value=12))
+    nodes = list(range(node_count))
+    edges = draw(st.lists(st.tuples(st.sampled_from(nodes), st.sampled_from(nodes)),
+                          max_size=30))
+    graph = {node: [] for node in nodes}
+    for source, target in edges:
+        graph[source].append(target)
+    return graph
+
+
+@given(random_graphs())
+@settings(max_examples=100, deadline=None)
+def test_components_match_networkx(graph):
+    expected = {frozenset(c) for c in
+                nx.strongly_connected_components(nx.DiGraph(graph))}
+    actual = {frozenset(c) for c in strongly_connected_components(graph)}
+    assert actual == expected
+
+
+@given(random_graphs())
+@settings(max_examples=100, deadline=None)
+def test_components_in_reverse_topological_order(graph):
+    components, component_of, dag = condensation(graph)
+    for source, targets in dag.items():
+        for target in targets:
+            # Edges of the condensation always point to earlier (already
+            # emitted) components.
+            assert target < source
+
+
+@given(random_graphs())
+@settings(max_examples=50, deadline=None)
+def test_every_node_in_exactly_one_component(graph):
+    components = strongly_connected_components(graph)
+    seen = [node for component in components for node in component]
+    assert len(seen) == len(set(seen)) == len(graph)

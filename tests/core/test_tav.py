@@ -1,0 +1,115 @@
+"""Tests for transitive access vectors (definition 10, §4.3)."""
+
+from repro.core import AccessMode, AccessVector, compile_schema
+from repro.schema import SchemaBuilder
+
+
+def entries(vector):
+    return {field: mode for field, mode in vector if mode is not AccessMode.NULL}
+
+
+def test_paper_tavs_for_c2(figure1_compiled):
+    """The exact TAV values worked out in §4.3 of the paper."""
+    c2 = figure1_compiled.compiled_class("c2")
+    assert entries(c2.tav("m3")) == {"f2": AccessMode.READ, "f3": AccessMode.READ}
+    assert entries(c2.tav("m4")) == {"f5": AccessMode.READ, "f6": AccessMode.WRITE}
+    assert entries(c2.tav("m2")) == {"f1": AccessMode.WRITE, "f2": AccessMode.READ,
+                                     "f4": AccessMode.WRITE, "f5": AccessMode.READ}
+    assert entries(c2.tav("m1")) == {"f1": AccessMode.WRITE, "f2": AccessMode.READ,
+                                     "f3": AccessMode.READ, "f4": AccessMode.WRITE,
+                                     "f5": AccessMode.READ}
+
+
+def test_paper_tav_for_c1_m2(figure1_compiled):
+    """TAV(c1, m2) equals its DAV: (Write f1, Read f2, Null f3)."""
+    c1 = figure1_compiled.compiled_class("c1")
+    assert entries(c1.tav("m2")) == {"f1": AccessMode.WRITE, "f2": AccessMode.READ}
+    assert c1.tav("m2") == c1.dav("m2")
+
+
+def test_tav_of_sink_equals_dav(figure1_compiled):
+    c2 = figure1_compiled.compiled_class("c2")
+    for method in ("m3", "m4"):
+        assert c2.tav(method) == c2.dav(method)
+
+
+def test_tav_ranges_over_all_class_fields(figure1_compiled):
+    c2 = figure1_compiled.compiled_class("c2")
+    for method in c2.methods:
+        assert c2.tav(method).fields == ("f1", "f2", "f3", "f4", "f5", "f6")
+
+
+def test_tav_contains_dav(figure1_compiled, banking_compiled, library_compiled):
+    """TAV is always at least as restrictive as the DAV, field by field."""
+    for compiled_schema in (figure1_compiled, banking_compiled, library_compiled):
+        for class_name in compiled_schema.class_names:
+            compiled = compiled_schema.compiled_class(class_name)
+            for method in compiled.methods:
+                dav, tav = compiled.dav(method), compiled.tav(method)
+                for field in compiled.fields:
+                    assert tav.mode_of(field) >= dav.mode_of(field)
+
+
+def test_recursive_methods_share_their_tav():
+    """Vertices on a common cycle have identical TAVs (§4.3)."""
+    builder = SchemaBuilder()
+    builder.define("A").field("x", "integer").field("y", "integer") \
+        .method("ping", body="""
+            x := x + 1
+            send pong to self
+        """) \
+        .method("pong", body="""
+            y := y + 1
+            send ping to self
+        """)
+    compiled = compile_schema(builder.build()).compiled_class("A")
+    assert compiled.tav("ping") == compiled.tav("pong")
+    assert entries(compiled.tav("ping")) == {"x": AccessMode.WRITE, "y": AccessMode.WRITE}
+
+
+def test_override_changes_the_inherited_method_tav():
+    """Late binding: the TAV of an inherited caller accounts for the override."""
+    builder = SchemaBuilder()
+    builder.define("Top").field("t", "integer") \
+        .method("algo", body="send step to self") \
+        .method("step", body="t := 1")
+    builder.define("Sub", "Top").field("s", "integer") \
+        .method("step", body="s := 2")
+    compiled = compile_schema(builder.build())
+    top_algo = compiled.tav("Top", "algo")
+    sub_algo = compiled.tav("Sub", "algo")
+    assert entries(top_algo) == {"t": AccessMode.WRITE}
+    # For Sub the self-call dispatches to Sub.step, which writes s, not t.
+    assert entries(sub_algo) == {"s": AccessMode.WRITE}
+
+
+def test_extension_override_joins_ancestor_code():
+    """A prefixed super-call pulls the ancestor's accesses into the TAV."""
+    builder = SchemaBuilder()
+    builder.define("Top").field("t", "integer").method("step", body="t := 1")
+    builder.define("Sub", "Top").field("s", "integer") \
+        .method("step", body="""
+            send Top.step to self
+            s := 2
+        """)
+    compiled = compile_schema(builder.build())
+    assert entries(compiled.tav("Sub", "step")) == {"t": AccessMode.WRITE,
+                                                    "s": AccessMode.WRITE}
+
+
+def test_banking_capitalise_tav(banking_compiled):
+    """capitalise reuses deposit: its TAV must include the balance write."""
+    savings = banking_compiled.compiled_class("SavingsAccount")
+    tav = savings.tav("capitalise")
+    assert tav.mode_of("balance") is AccessMode.WRITE
+    assert tav.mode_of("accrued") is AccessMode.WRITE
+    assert tav.mode_of("owner") is AccessMode.NULL
+
+
+def test_tav_ignores_other_instances_fields(library_compiled):
+    """Messages to referenced objects only read the reference (§3, m3)."""
+    member = library_compiled.compiled_class("Member")
+    tav = member.tav("checkout")
+    assert tav.mode_of("borrowing") is AccessMode.READ
+    assert tav.mode_of("loans") is AccessMode.WRITE
+    assert set(tav.fields) == {"name", "loans", "borrowing"}

@@ -1,0 +1,135 @@
+"""Property-based end-to-end tests of the central safety invariants.
+
+The paper's scheme is safe because the transitive access vector of a method
+is a *conservative* summary: whatever a real execution of the method does to
+the receiver, field by field, is bounded by the TAV.  These tests check that
+invariant on the hand-written schemas and on randomly generated ones, by
+comparing interpreter traces with compiled vectors.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import compile_schema
+from repro.errors import InterpreterError
+from repro.objects import Interpreter, ObjectStore
+from repro.sim import SchemaGenerator, populate_store
+
+
+def assert_trace_bounded_by_tav(schema, compiled, store, interpreter, oid, method, args):
+    _, trace = interpreter.send_traced(oid, method, *args)
+    for touched in trace.touched_instances():
+        entry_methods = [event.method for event in trace.entry_messages
+                         if event.oid == touched]
+        if not entry_methods:
+            continue
+        compiled_class = compiled.compiled_class(touched.class_name)
+        fields = schema.field_names(touched.class_name)
+        actual = trace.accessed_vector(touched, fields)
+        combined = None
+        for entry in entry_methods:
+            tav = compiled_class.tav(entry)
+            combined = tav if combined is None else combined.join(tav)
+        for field in fields:
+            assert actual.mode_of(field) <= combined.mode_of(field), (
+                touched, field, method)
+
+
+def test_figure1_tav_bounds_every_execution(figure1, figure1_compiled):
+    store = ObjectStore(figure1)
+    interpreter = Interpreter(store)
+    c3_instance = store.create("c3")
+    for f2_value in (False, True):
+        instance = store.create("c2", f2=f2_value, f3=c3_instance.oid, f5=4)
+        for method, args in (("m1", (3,)), ("m2", (2,)), ("m3", ()), ("m4", (1, 2))):
+            assert_trace_bounded_by_tav(figure1, figure1_compiled, store, interpreter,
+                                        instance.oid, method, args)
+
+
+def test_banking_and_library_tav_bounds(banking, banking_compiled, library,
+                                        library_compiled):
+    store = populate_store(banking, 4, seed=13)
+    interpreter = Interpreter(store)
+    for oid in list(store.extent("SavingsAccount")) + list(store.extent("CheckingAccount")):
+        for method, args in (("deposit", (5.0,)), ("withdraw", (2.0,)),
+                             ("transfer_in", (1.0,)), ("balance_report", ()),
+                             ("close", ())):
+            assert_trace_bounded_by_tav(banking, banking_compiled, store, interpreter,
+                                        oid, method, args)
+
+    library_store = populate_store(library, 4, seed=14)
+    library_interpreter = Interpreter(library_store)
+    for oid in library_store.extent("Member"):
+        for method in ("checkout", "give_back", "rename"):
+            args = ("nn",) if method == "rename" else ()
+            assert_trace_bounded_by_tav(library, library_compiled, library_store,
+                                        library_interpreter, oid, method, args)
+
+
+@given(seed=st.integers(min_value=0, max_value=200))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_generated_schemas_tav_bounds_executions(seed):
+    """On random schemas with overriding and self-calls, every actual access
+    of every method stays within the compiled transitive access vector."""
+    generator = SchemaGenerator(depth=2, branching=2, fields_per_class=2,
+                                methods_per_class=2, seed=seed,
+                                override_probability=0.5,
+                                self_call_probability=0.6)
+    schema = generator.generate()
+    compiled = compile_schema(schema)
+    store = populate_store(schema, 1, seed=seed)
+    interpreter = Interpreter(store)
+    rng = random.Random(seed)
+    for class_name in schema.class_names:
+        extent = store.extent(class_name)
+        if not extent:
+            continue
+        oid = extent[0]
+        methods = list(schema.method_names(class_name))
+        for method in rng.sample(methods, k=min(3, len(methods))):
+            resolved = schema.resolve(class_name, method)
+            args = tuple(rng.randint(0, 9) for _ in resolved.definition.parameters)
+            try:
+                assert_trace_bounded_by_tav(schema, compiled, store, interpreter,
+                                            oid, method, args)
+            except InterpreterError:
+                # Generated bodies may recurse unboundedly; that is a property
+                # of the random generator, not of the analysis under test.
+                continue
+
+
+@given(seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_generated_schemas_mode_translation_is_exact(seed):
+    """§5.1 on arbitrary schemas: two methods' modes commute iff their TAVs do."""
+    schema = SchemaGenerator(depth=1, branching=2, fields_per_class=2,
+                             methods_per_class=3, seed=seed).generate()
+    compiled = compile_schema(schema)
+    for class_name in compiled.class_names:
+        compiled_class = compiled.compiled_class(class_name)
+        for first in compiled_class.methods:
+            for second in compiled_class.methods:
+                assert compiled_class.commutes(first, second) == \
+                    compiled_class.tav(first).commutes_with(compiled_class.tav(second))
+
+
+def test_abort_then_reexecute_is_idempotent(banking, banking_compiled):
+    """Undo from access-vector projections restores the exact previous state."""
+    from repro.txn import TransactionManager
+    from repro.txn.protocols import TAVProtocol
+
+    store = populate_store(banking, 3, seed=21)
+    manager = TransactionManager(TAVProtocol(banking_compiled, store))
+    account = store.extent("Account")[0]
+    before = store.get(account).snapshot()
+
+    txn = manager.begin()
+    manager.call(txn, account, "deposit", 10.0)
+    manager.call(txn, account, "close")
+    manager.abort(txn)
+    assert store.get(account).snapshot() == before

@@ -1,0 +1,83 @@
+"""Tests for the method-definition-language lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang import TokenType, tokenize
+
+
+def kinds(source):
+    return [token.type for token in tokenize(source) if token.type
+            not in (TokenType.NEWLINE, TokenType.EOF)]
+
+
+def test_keywords_are_recognised():
+    assert kinds("send m to self") == [TokenType.SEND, TokenType.IDENT,
+                                       TokenType.TO, TokenType.SELF]
+
+
+def test_identifiers_and_assignment():
+    assert kinds("f1 := expr(f1, p1)") == [
+        TokenType.IDENT, TokenType.ASSIGN, TokenType.IDENT, TokenType.LPAREN,
+        TokenType.IDENT, TokenType.COMMA, TokenType.IDENT, TokenType.RPAREN]
+
+
+def test_numbers_int_and_float():
+    tokens = [t for t in tokenize("1 2.5 300") if t.type is not TokenType.EOF]
+    values = [(t.type, t.value) for t in tokens]
+    assert (TokenType.INT, "1") in values
+    assert (TokenType.FLOAT, "2.5") in values
+    assert (TokenType.INT, "300") in values
+
+
+def test_string_literals_double_and_single_quotes():
+    tokens = tokenize('"hello" \'world\'')
+    strings = [t.value for t in tokens if t.type is TokenType.STRING]
+    assert strings == ["hello", "world"]
+
+
+def test_two_character_operators():
+    assert kinds("a <= b") == [TokenType.IDENT, TokenType.LTE, TokenType.IDENT]
+    assert kinds("a <> b") == [TokenType.IDENT, TokenType.NEQ, TokenType.IDENT]
+    assert kinds("a >= b") == [TokenType.IDENT, TokenType.GTE, TokenType.IDENT]
+
+
+def test_comments_are_skipped():
+    assert kinds("f1 := 1 -- a comment") == [TokenType.IDENT, TokenType.ASSIGN,
+                                             TokenType.INT]
+
+
+def test_newlines_are_collapsed():
+    tokens = tokenize("a := 1\n\n\nb := 2")
+    newline_count = sum(1 for t in tokens if t.type is TokenType.NEWLINE)
+    assert newline_count == 1
+
+
+def test_positions_are_recorded():
+    tokens = tokenize("a := 1\nbb := 2")
+    bb = next(t for t in tokens if t.value == "bb")
+    assert bb.line == 2
+    assert bb.column == 1
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"not closed')
+
+
+def test_unknown_character_raises():
+    with pytest.raises(LexError) as error:
+        tokenize("a := 1 @ 2")
+    assert error.value.line == 1
+
+
+def test_eof_token_terminates_stream():
+    tokens = tokenize("a")
+    assert tokens[-1].type is TokenType.EOF
+
+
+def test_prefixed_send_tokens():
+    assert kinds("send c1.m2(p1) to self") == [
+        TokenType.SEND, TokenType.IDENT, TokenType.DOT, TokenType.IDENT,
+        TokenType.LPAREN, TokenType.IDENT, TokenType.RPAREN, TokenType.TO,
+        TokenType.SELF]

@@ -1,0 +1,217 @@
+"""Tests for the method-definition-language parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import (
+    Assignment,
+    BinaryOp,
+    BoolLiteral,
+    Call,
+    If,
+    IntLiteral,
+    Name,
+    Return,
+    SelfRef,
+    Send,
+    SendStatement,
+    While,
+    parse_body,
+    parse_method,
+    parse_methods,
+)
+
+
+def test_parse_assignment_with_call():
+    block = parse_body("f1 := expr(f1, f2, p1)")
+    assert len(block) == 1
+    statement = block.statements[0]
+    assert isinstance(statement, Assignment)
+    assert statement.target == "f1"
+    assert isinstance(statement.value, Call)
+    assert statement.value.function == "expr"
+    assert [a.identifier for a in statement.value.arguments] == ["f1", "f2", "p1"]
+
+
+def test_parse_simple_send_statement():
+    block = parse_body("send m3 to self")
+    statement = block.statements[0]
+    assert isinstance(statement, SendStatement)
+    assert statement.send.method == "m3"
+    assert statement.send.prefix_class is None
+    assert isinstance(statement.send.target, SelfRef)
+    assert statement.send.is_self_directed
+
+
+def test_parse_send_with_arguments():
+    block = parse_body("send m2(p1, 3) to self")
+    send = block.statements[0].send
+    assert send.method == "m2"
+    assert len(send.arguments) == 2
+    assert isinstance(send.arguments[1], IntLiteral)
+
+
+def test_parse_prefixed_send():
+    block = parse_body("send c1.m2(p1) to self")
+    send = block.statements[0].send
+    assert send.prefix_class == "c1"
+    assert send.method == "m2"
+
+
+def test_parse_send_to_field():
+    block = parse_body("send m to f3")
+    send = block.statements[0].send
+    assert isinstance(send.target, Name)
+    assert send.target.identifier == "f3"
+    assert not send.is_self_directed
+
+
+def test_parse_if_then_else():
+    block = parse_body("""
+        if f2 then
+            f1 := 1
+        else
+            f1 := 2
+        end
+    """)
+    statement = block.statements[0]
+    assert isinstance(statement, If)
+    assert isinstance(statement.condition, Name)
+    assert len(statement.then_block) == 1
+    assert len(statement.else_block) == 1
+
+
+def test_parse_if_without_else():
+    block = parse_body("if cond(f5, p1) then f6 := expr(f6, p2) end")
+    statement = block.statements[0]
+    assert isinstance(statement, If)
+    assert len(statement.else_block) == 0
+
+
+def test_parse_while():
+    block = parse_body("""
+        while f1 > 0 do
+            f1 := f1 - 1
+        end
+    """)
+    statement = block.statements[0]
+    assert isinstance(statement, While)
+    assert isinstance(statement.condition, BinaryOp)
+
+
+def test_parse_return_with_and_without_value():
+    assert isinstance(parse_body("return").statements[0], Return)
+    statement = parse_body("return f1 + 1").statements[0]
+    assert isinstance(statement, Return)
+    assert isinstance(statement.value, BinaryOp)
+
+
+def test_operator_precedence():
+    block = parse_body("x := 1 + 2 * 3")
+    value = block.statements[0].value
+    assert value.operator == "+"
+    assert value.right.operator == "*"
+
+
+def test_boolean_operators_and_comparison():
+    block = parse_body("x := f1 > 0 and f2 or false")
+    value = block.statements[0].value
+    assert value.operator == "or"
+    assert isinstance(value.right, BoolLiteral)
+    assert value.left.operator == "and"
+
+
+def test_parentheses_override_precedence():
+    block = parse_body("x := (1 + 2) * 3")
+    value = block.statements[0].value
+    assert value.operator == "*"
+    assert value.left.operator == "+"
+
+
+def test_send_usable_as_expression():
+    block = parse_body("x := send available to f3")
+    value = block.statements[0].value
+    assert isinstance(value, Send)
+
+
+def test_parse_method_declaration():
+    method = parse_method("""
+        method m2(p1) is
+            f1 := expr(f1, f2, p1)
+        end
+    """)
+    assert method.name == "m2"
+    assert method.parameters == ("p1",)
+    assert len(method.body) == 1
+
+
+def test_parse_method_redefined_as():
+    method = parse_method("""
+        method m2(p1) is redefined as
+            send c1.m2(p1) to self
+            f4 := expr(f5, p1)
+        end
+    """)
+    assert method.name == "m2"
+    assert len(method.body) == 2
+
+
+def test_parse_multiple_methods():
+    methods = parse_methods("""
+        method m1(p1) is
+            send m2(p1) to self
+        end
+
+        method m3 is
+            return f2
+        end
+    """)
+    assert [m.name for m in methods] == ["m1", "m3"]
+    assert methods[1].parameters == ()
+
+
+def test_unexpected_token_raises_parse_error():
+    with pytest.raises(ParseError):
+        parse_body("f1 := := 2")
+
+
+def test_missing_end_raises():
+    with pytest.raises(ParseError):
+        parse_method("method m is\n f1 := 1")
+
+
+def test_missing_then_raises():
+    with pytest.raises(ParseError):
+        parse_body("if f1 f2 := 1 end")
+
+
+def test_trailing_garbage_raises():
+    with pytest.raises(ParseError):
+        parse_body("f1 := 1\n)")
+
+
+def test_multiline_bodies_statement_count():
+    block = parse_body("""
+        send m2(p1) to self
+        send m3 to self
+    """)
+    assert len(block) == 2
+
+
+def test_nested_control_structures():
+    block = parse_body("""
+        if f1 > 0 then
+            while f2 do
+                f1 := f1 - 1
+            end
+        end
+    """)
+    outer = block.statements[0]
+    assert isinstance(outer, If)
+    assert isinstance(outer.then_block.statements[0], While)
+
+
+def test_walk_visits_all_nodes():
+    block = parse_body("f1 := expr(f2, 3)")
+    node_types = {type(node).__name__ for node in block.walk()}
+    assert {"Block", "Assignment", "Call", "Name", "IntLiteral"} <= node_types

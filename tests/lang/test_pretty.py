@@ -1,0 +1,111 @@
+"""Round-trip tests for the pretty printer, including property-based ones."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import parse_body, parse_method, to_source
+from repro.lang.pretty import format_method
+
+
+def roundtrip(source: str):
+    block = parse_body(source)
+    return parse_body(to_source(block)), block
+
+
+def test_roundtrip_assignment():
+    parsed, original = roundtrip("f1 := expr(f1, f2, p1)")
+    assert parsed == original
+
+
+def test_roundtrip_sends():
+    parsed, original = roundtrip("send c1.m2(p1) to self\nsend m to f3")
+    assert parsed == original
+
+
+def test_roundtrip_control_structures():
+    source = """
+        if f2 then
+            send m to f3
+        else
+            f1 := f1 + 1
+        end
+        while f1 > 0 do
+            f1 := f1 - 1
+        end
+        return f1
+    """
+    parsed, original = roundtrip(source)
+    assert parsed == original
+
+
+def test_format_method_parses_back():
+    method = parse_method("""
+        method m4(p1, p2) is
+            if cond(f5, p1) then
+                f6 := expr(f6, p2)
+            end
+        end
+    """)
+    rendered = format_method(method)
+    assert parse_method(rendered) == method
+
+
+# -- property-based round trips ---------------------------------------------------------
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda name: name not in {
+        "method", "is", "redefined", "as", "send", "to", "self", "if", "then",
+        "else", "end", "while", "do", "return", "and", "or", "not", "true",
+        "false", "nil"})
+
+
+@st.composite
+def simple_expressions(draw, depth=0):
+    if depth >= 2:
+        return draw(st.one_of(
+            identifiers,
+            st.integers(min_value=0, max_value=999).map(str)))
+    choice = draw(st.integers(min_value=0, max_value=3))
+    if choice == 0:
+        return draw(identifiers)
+    if choice == 1:
+        return str(draw(st.integers(min_value=0, max_value=999)))
+    if choice == 2:
+        left = draw(simple_expressions(depth=depth + 1))
+        right = draw(simple_expressions(depth=depth + 1))
+        operator = draw(st.sampled_from(["+", "-", "*"]))
+        return f"({left} {operator} {right})"
+    name = draw(identifiers)
+    arguments = draw(st.lists(simple_expressions(depth=depth + 1), min_size=0, max_size=3))
+    return f"{name}({', '.join(arguments)})"
+
+
+@st.composite
+def statements(draw):
+    kind = draw(st.integers(min_value=0, max_value=3))
+    if kind == 0:
+        return f"{draw(identifiers)} := {draw(simple_expressions())}"
+    if kind == 1:
+        arguments = draw(st.lists(simple_expressions(), min_size=0, max_size=2))
+        call = f"({', '.join(arguments)})" if arguments else ""
+        return f"send {draw(identifiers)}{call} to self"
+    if kind == 2:
+        return f"send {draw(identifiers)} to {draw(identifiers)}"
+    return f"return {draw(simple_expressions())}"
+
+
+@given(st.lists(statements(), min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_pretty_print_roundtrip_property(lines):
+    source = "\n".join(lines)
+    block = parse_body(source)
+    assert parse_body(to_source(block)) == block
+
+
+@given(st.lists(statements(), min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_pretty_print_is_stable(lines):
+    block = parse_body("\n".join(lines))
+    once = to_source(block)
+    twice = to_source(parse_body(once))
+    assert once == twice

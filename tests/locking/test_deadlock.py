@@ -1,0 +1,59 @@
+"""Tests for waits-for graph and cycle detection."""
+
+from repro.locking import WaitsForGraph, find_cycle
+
+
+def test_find_cycle_on_acyclic_graph():
+    assert find_cycle({1: [2], 2: [3], 3: []}) == ()
+
+
+def test_find_cycle_simple():
+    cycle = find_cycle({1: [2], 2: [1]})
+    assert set(cycle) == {1, 2}
+
+
+def test_find_cycle_longer():
+    cycle = find_cycle({1: [2], 2: [3], 3: [1], 4: [1]})
+    assert set(cycle) == {1, 2, 3}
+
+
+def test_find_cycle_self_loop():
+    cycle = find_cycle({1: [1]})
+    assert set(cycle) == {1}
+
+
+def test_waits_for_graph_add_and_detect():
+    graph = WaitsForGraph()
+    graph.add_wait(1, 2)
+    graph.add_wait(2, 3)
+    assert graph.find_deadlock() == ()
+    graph.add_wait(3, 1)
+    cycle = graph.find_deadlock()
+    assert set(cycle) == {1, 2, 3}
+
+
+def test_waits_for_graph_ignores_self_edges():
+    graph = WaitsForGraph()
+    graph.add_wait(1, 1)
+    assert graph.find_deadlock() == ()
+
+
+def test_remove_transaction_clears_edges():
+    graph = WaitsForGraph()
+    graph.add_wait(1, 2)
+    graph.add_wait(2, 1)
+    graph.remove_transaction(2)
+    assert graph.find_deadlock() == ()
+    assert 2 not in graph.edges
+
+
+def test_clear_waiter():
+    graph = WaitsForGraph()
+    graph.add_wait(1, 2)
+    graph.clear_waiter(1)
+    assert graph.edges == {}
+
+
+def test_choose_victim_is_youngest():
+    graph = WaitsForGraph()
+    assert graph.choose_victim((3, 7, 5)) == 7

@@ -1,0 +1,154 @@
+"""Tests for the generic lock manager."""
+
+import pytest
+
+from repro.errors import LockConflictError
+from repro.locking import LockManager
+from repro.locking.modes import rw_compatible
+
+
+def rw_manager():
+    return LockManager(lambda resource, held, requested: rw_compatible(held, requested))
+
+
+def test_grant_compatible_modes():
+    manager = rw_manager()
+    assert manager.request(1, "x", "R").granted
+    assert manager.request(2, "x", "R").granted
+    assert manager.holders("x") == {1: ("R",), 2: ("R",)}
+
+
+def test_conflicting_request_waits():
+    manager = rw_manager()
+    manager.request(1, "x", "R")
+    outcome = manager.request(2, "x", "W")
+    assert not outcome.granted
+    assert outcome.blockers == (1,)
+    assert manager.waiting("x") == ((2, "W"),)
+    assert manager.blocked_transactions() == frozenset({2})
+
+
+def test_acquire_raises_and_leaves_no_queue_entry():
+    manager = rw_manager()
+    manager.acquire(1, "x", "W")
+    with pytest.raises(LockConflictError) as error:
+        manager.acquire(2, "x", "R")
+    assert error.value.holders == (1,)
+    assert manager.waiting("x") == ()
+
+
+def test_same_mode_re_request_is_redundant():
+    manager = rw_manager()
+    manager.request(1, "x", "R")
+    manager.request(1, "x", "R")
+    assert manager.stats.redundant == 1
+    assert manager.holders("x")[1] == ("R",)
+
+
+def test_upgrade_counted_and_granted_when_alone():
+    manager = rw_manager()
+    manager.request(1, "x", "R")
+    outcome = manager.request(1, "x", "W")
+    assert outcome.granted
+    assert manager.stats.upgrades == 1
+    assert manager.holders("x")[1] == ("R", "W")
+
+
+def test_upgrade_blocks_behind_other_reader():
+    manager = rw_manager()
+    manager.request(1, "x", "R")
+    manager.request(2, "x", "R")
+    outcome = manager.request(1, "x", "W")
+    assert not outcome.granted
+    assert outcome.blockers == (2,)
+
+
+def test_release_promotes_fifo_waiters():
+    manager = rw_manager()
+    manager.request(1, "x", "W")
+    assert not manager.request(2, "x", "R").granted
+    assert not manager.request(3, "x", "R").granted
+    granted = manager.release_all(1)
+    assert {(outcome.txn, outcome.mode) for outcome in granted} == {(2, "R"), (3, "R")}
+    assert manager.blocked_transactions() == frozenset()
+
+
+def test_fifo_fairness_blocks_new_reader_behind_waiting_writer():
+    manager = rw_manager()
+    manager.request(1, "x", "R")
+    manager.request(2, "x", "W")          # waits behind the reader
+    outcome = manager.request(3, "x", "R")
+    assert not outcome.granted            # fairness: no overtaking the writer
+
+
+def test_holder_bypasses_queue_for_conversion():
+    manager = rw_manager()
+    manager.request(1, "x", "R")
+    manager.request(2, "x", "W")          # queued
+    outcome = manager.request(1, "x", "R")
+    assert outcome.granted                # re-request of a held mode
+
+
+def test_release_removes_queued_requests_of_the_released_txn():
+    manager = rw_manager()
+    manager.request(1, "x", "W")
+    manager.request(2, "x", "W")
+    manager.release_all(2)
+    assert manager.waiting("x") == ()
+
+
+def test_release_unblocks_requests_queued_behind_a_removed_waiter():
+    manager = rw_manager()
+    manager.request(1, "x", "R")
+    manager.request(2, "x", "W")          # waits for 1
+    manager.request(3, "x", "R")          # fairness: waits behind 2
+    granted = manager.release_all(2)      # the writer gives up
+    assert [(outcome.txn, outcome.mode) for outcome in granted] == [(3, "R")]
+
+
+def test_locks_of_and_holds():
+    manager = rw_manager()
+    manager.request(1, "x", "R")
+    manager.request(1, "y", "W")
+    assert manager.locks_of(1) == {"x": ("R",), "y": ("W",)}
+    assert manager.holds(1, "x")
+    assert manager.holds(1, "y", "W")
+    assert not manager.holds(1, "y", "R")
+    assert not manager.holds(2, "x")
+
+
+def test_waits_for_edges_include_holders_and_earlier_waiters():
+    manager = rw_manager()
+    manager.request(1, "x", "R")
+    manager.request(2, "x", "W")
+    manager.request(3, "x", "W")
+    edges = manager.waits_for_edges()
+    assert edges[2] == {1}
+    assert edges[3] == {1, 2}
+
+
+def test_stats_counters():
+    manager = rw_manager()
+    manager.request(1, "x", "R")
+    manager.request(2, "x", "W")
+    manager.request(1, "x", "R")
+    stats = manager.stats
+    assert stats.requests == 3
+    assert stats.grants == 2
+    assert stats.waits == 1
+    assert stats.redundant == 1
+    stats.reset()
+    assert stats.requests == 0
+
+
+def test_commutativity_based_compatibility_function():
+    """The lock manager works directly with per-method access modes."""
+    conflicts = {("m1", "m1"), ("m1", "m2"), ("m2", "m1"), ("m2", "m2"), ("m4", "m4")}
+
+    def compatible(resource, held, requested):
+        return (held, requested) not in conflicts
+
+    manager = LockManager(compatible)
+    assert manager.request(1, "i", "m2").granted
+    assert manager.request(2, "i", "m4").granted     # the pseudo-conflict is gone
+    assert not manager.request(3, "i", "m1").granted  # m1 conflicts with m2

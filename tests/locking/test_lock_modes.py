@@ -1,0 +1,70 @@
+"""Tests for lock-mode tables: RW, multigranularity and class locks."""
+
+import itertools
+
+from repro.locking import (
+    ClassLockMode,
+    class_lock_compatible,
+    multigranularity_compatible,
+    rw_compatible,
+)
+from repro.locking.modes import absolute_of, intention_of
+
+
+def test_rw_table():
+    assert rw_compatible("R", "R")
+    assert not rw_compatible("R", "W")
+    assert not rw_compatible("W", "R")
+    assert not rw_compatible("W", "W")
+
+
+def test_multigranularity_table_matches_gray():
+    expected_compatible = {
+        ("IS", "IS"), ("IS", "IX"), ("IS", "S"),
+        ("IX", "IS"), ("IX", "IX"),
+        ("S", "IS"), ("S", "S"),
+    }
+    for first, second in itertools.product(("IS", "IX", "S", "X"), repeat=2):
+        assert multigranularity_compatible(first, second) == \
+            ((first, second) in expected_compatible)
+
+
+def test_intention_and_absolute_mapping():
+    assert intention_of("R") == "IS"
+    assert intention_of("W") == "IX"
+    assert absolute_of("R") == "S"
+    assert absolute_of("W") == "X"
+
+
+def commutes_like_table2(first, second):
+    conflicts = {("m1", "m1"), ("m1", "m2"), ("m2", "m1"), ("m2", "m2"), ("m4", "m4")}
+    return (first, second) not in conflicts
+
+
+def test_class_lock_intentional_pairs_always_compatible():
+    first = ClassLockMode("m1", hierarchical=False)
+    second = ClassLockMode("m2", hierarchical=False)
+    assert class_lock_compatible(first, second, commutes_like_table2)
+
+
+def test_class_lock_hierarchical_uses_commutativity():
+    """The paper's T1/T2 case: intentional m1 against hierarchical m1 conflicts."""
+    held = ClassLockMode("m1", hierarchical=False)
+    requested = ClassLockMode("m1", hierarchical=True)
+    assert not class_lock_compatible(held, requested, commutes_like_table2)
+    # T3 against T2: m3 commutes with m1, so the class lock is compatible.
+    assert class_lock_compatible(ClassLockMode("m1", hierarchical=True),
+                                 ClassLockMode("m3", hierarchical=False),
+                                 commutes_like_table2)
+
+
+def test_class_lock_two_hierarchical():
+    assert class_lock_compatible(ClassLockMode("m1", True), ClassLockMode("m4", True),
+                                 commutes_like_table2)
+    assert not class_lock_compatible(ClassLockMode("m4", True), ClassLockMode("m4", True),
+                                     commutes_like_table2)
+
+
+def test_class_lock_str():
+    assert "hierarchical" in str(ClassLockMode("m1", True))
+    assert "intentional" in str(ClassLockMode("m1", False))

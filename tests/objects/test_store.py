@@ -1,0 +1,127 @@
+"""Tests for OIDs, instances and the object store."""
+
+import pytest
+
+from repro.errors import (
+    TypeMismatchError,
+    UnknownClassError,
+    UnknownFieldError,
+    UnknownInstanceError,
+)
+from repro.objects import OID, OIDGenerator, ObjectStore
+
+
+def test_oid_generator_is_monotonic():
+    generator = OIDGenerator()
+    first = generator.next_oid("c1")
+    second = generator.next_oid("c2")
+    assert first.number < second.number
+    assert first.class_name == "c1"
+    assert str(first) == "c1#1"
+
+
+def test_create_uses_type_defaults(figure1_store):
+    instance = figure1_store.create("c2")
+    assert instance.get("f1") == 0
+    assert instance.get("f2") is False
+    assert instance.get("f3") is None
+    assert instance.get("f6") == ""
+    assert instance.field_names == ("f1", "f2", "f3", "f4", "f5", "f6")
+
+
+def test_create_with_values_and_lookup(figure1_store):
+    instance = figure1_store.create("c1", f1=7, f2=True)
+    assert figure1_store.read_field(instance.oid, "f1") == 7
+    assert figure1_store.get(instance.oid) is instance
+    assert instance.oid in figure1_store
+    assert len(figure1_store) == 1
+
+
+def test_create_unknown_class_rejected(figure1_store):
+    with pytest.raises(UnknownClassError):
+        figure1_store.create("nope")
+
+
+def test_create_unknown_field_rejected(figure1_store):
+    with pytest.raises(UnknownFieldError):
+        figure1_store.create("c1", f9=1)
+
+
+def test_type_checking_on_writes(figure1_store):
+    instance = figure1_store.create("c1")
+    with pytest.raises(TypeMismatchError):
+        figure1_store.write_field(instance.oid, "f1", "not an int")
+    with pytest.raises(TypeMismatchError):
+        figure1_store.write_field(instance.oid, "f2", 3)
+    figure1_store.write_field(instance.oid, "f1", 12)
+    assert figure1_store.read_field(instance.oid, "f1") == 12
+
+
+def test_reference_fields_accept_oids_of_right_class(figure1_store):
+    c3_instance = figure1_store.create("c3")
+    c1_instance = figure1_store.create("c1", f3=c3_instance.oid)
+    assert figure1_store.read_field(c1_instance.oid, "f3") == c3_instance.oid
+    with pytest.raises(TypeMismatchError):
+        figure1_store.write_field(c1_instance.oid, "f3", c1_instance.oid)
+    with pytest.raises(TypeMismatchError):
+        figure1_store.write_field(c1_instance.oid, "f3", 42)
+    figure1_store.write_field(c1_instance.oid, "f3", None)
+
+
+def test_reference_field_accepts_subclass_instances(library_store):
+    book = library_store.create("Book")
+    member = library_store.create("Member", borrowing=book.oid)
+    assert library_store.read_field(member.oid, "borrowing") == book.oid
+
+
+def test_extent_and_domain_extent(figure1_store):
+    c1_instance = figure1_store.create("c1")
+    c2_instance = figure1_store.create("c2")
+    assert figure1_store.extent("c1") == (c1_instance.oid,)
+    assert figure1_store.extent("c2") == (c2_instance.oid,)
+    assert set(figure1_store.domain_extent("c1")) == {c1_instance.oid, c2_instance.oid}
+    assert figure1_store.domain_extent("c2") == (c2_instance.oid,)
+
+
+def test_delete_removes_from_extent(figure1_store):
+    instance = figure1_store.create("c1")
+    figure1_store.delete(instance.oid)
+    assert instance.oid not in figure1_store
+    assert figure1_store.extent("c1") == ()
+    with pytest.raises(UnknownInstanceError):
+        figure1_store.get(instance.oid)
+
+
+def test_instances_of_and_iteration(figure1_store):
+    figure1_store.create("c1")
+    figure1_store.create("c2")
+    assert len(list(iter(figure1_store))) == 2
+    assert len(figure1_store.instances_of(("c1",))) == 1
+
+
+def test_snapshot_and_restore(figure1_store):
+    instance = figure1_store.create("c1", f1=5, f2=True)
+    image = instance.snapshot(("f1",))
+    instance.set("f1", 99)
+    instance.restore(image)
+    assert instance.get("f1") == 5
+    full = instance.snapshot()
+    assert set(full) == {"f1", "f2", "f3"}
+    with pytest.raises(UnknownFieldError):
+        instance.get("f9")
+    with pytest.raises(UnknownFieldError):
+        instance.set("f9", 0)
+
+
+def test_shadow_store_isolates_writes(figure1_store):
+    from repro.objects.shadow import ShadowStore
+    instance = figure1_store.create("c1", f1=5)
+    shadow = ShadowStore(figure1_store)
+    assert shadow.read_field(instance.oid, "f1") == 5
+    shadow.write_field(instance.oid, "f1", 42)
+    assert shadow.read_field(instance.oid, "f1") == 42
+    assert figure1_store.read_field(instance.oid, "f1") == 5
+    assert shadow.written == {(instance.oid, "f1"): 42}
+    shadow.reset()
+    assert shadow.read_field(instance.oid, "f1") == 5
+    assert shadow.schema is figure1_store.schema

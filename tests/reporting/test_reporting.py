@@ -1,0 +1,97 @@
+"""Tests for the reporting helpers."""
+
+from repro.reporting import (
+    describe_resolution_graph,
+    describe_schema,
+    format_access_vectors,
+    format_admitted_sets,
+    format_commutativity_table,
+    format_compatibility_table,
+    format_matrix,
+    format_records,
+    format_scenario_report,
+    format_table,
+)
+from repro.sim import admitted_sets, build_section5_scenario, pairwise_compatibility
+from repro.txn.protocols import TAVProtocol
+
+
+def test_format_table_alignment_and_rule():
+    text = format_table([["name", "value"], ["x", 1], ["long-name", 22]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", "+", " "}
+    assert len(lines) == 4
+
+
+def test_format_table_empty():
+    assert format_table([]) == ""
+
+
+def test_format_matrix():
+    text = format_matrix(["a", "b"], lambda row, column: "x" if row == column else ".")
+    assert "a" in text and "b" in text and "x" in text
+
+
+def test_format_records():
+    text = format_records([{"p": "tav", "n": 1}, {"p": "rw", "n": 2}])
+    assert "tav" in text and "rw" in text
+    assert format_records([]) == ""
+    assert "p" in format_records([{"p": 1}], columns=("p",))
+
+
+def test_compatibility_table_text_matches_paper():
+    text = format_compatibility_table()
+    lines = text.splitlines()
+    assert lines[0].split("|")[1].strip() == "Null"
+    assert "Write | yes" in text.replace("  ", " ").replace("  ", " ") or "Write" in text
+    assert text.count("yes") == 6
+    assert text.count("no") == 3
+
+
+def test_commutativity_table_text(figure1_compiled):
+    text = format_commutativity_table(figure1_compiled.commutativity_table("c2"),
+                                      order=("m1", "m2", "m3", "m4"))
+    assert text.count("yes") == 11
+    assert text.count("no") == 5
+
+
+def test_access_vector_listing(figure1_compiled):
+    compiled = figure1_compiled.compiled_class("c2")
+    tav_text = format_access_vectors(compiled)
+    dav_text = format_access_vectors(compiled, transitive=False)
+    assert "TAV(c2, m1)" in tav_text
+    assert "DAV(c2, m1)" in dav_text
+    assert "Writef1" in tav_text
+
+
+def test_resolution_graph_description(figure1_compiled):
+    text = describe_resolution_graph(figure1_compiled.compiled_class("c2").resolution_graph)
+    assert "vertices (5)" in text
+    assert "(c2,m2) -> (c1,m2)" in text
+
+
+def test_schema_description(figure1):
+    text = describe_schema(figure1)
+    assert "class c2 inherits c1" in text
+    assert "field  f1: integer" in text
+    assert "method m4(p1, p2)" in text
+
+
+def test_admitted_sets_formatting():
+    text = format_admitted_sets("tav", (frozenset({"T1", "T3"}), frozenset({"T2"})))
+    assert text.startswith("tav:")
+    assert "{T1, T3}" in text and "{T2}" in text
+
+
+def test_full_scenario_report():
+    scenario = build_section5_scenario()
+    protocol = TAVProtocol(scenario.compiled, scenario.store)
+    protocols = {"tav": protocol}
+    report = format_scenario_report(
+        scenario, protocols,
+        pairwise={"tav": pairwise_compatibility(protocol, scenario)},
+        admitted={"tav": admitted_sets(protocol, scenario)})
+    assert "T1" in report and "T4" in report
+    assert "protocol: tav" in report
+    assert "{T1, T3, T4}" in report

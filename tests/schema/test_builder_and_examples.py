@@ -1,0 +1,72 @@
+"""Tests for the fluent builder and the ready-made example schemas."""
+
+import pytest
+
+from repro.schema import SchemaBuilder, banking_schema, figure1_schema, library_schema
+
+
+def test_builder_fluent_chain():
+    schema = (SchemaBuilder()
+              .define("A").field("x", "integer").method("get", body="return x")
+              .define("B", "A").field("y", "integer").method("set", "v", body="y := v")
+              .build())
+    assert schema.class_names == ("A", "B")
+    assert schema.field_names("B") == ("x", "y")
+
+
+def test_builder_non_fluent_usage():
+    builder = SchemaBuilder()
+    builder.define("A").field("x", "integer")
+    builder.define("B", "A").field("y", "integer")
+    schema = builder.build()
+    assert schema.class_names == ("A", "B")
+    assert schema.ancestors("B") == ("A",)
+
+
+def test_builder_field_requires_exactly_one_type():
+    builder = SchemaBuilder()
+    klass = builder.define("A")
+    with pytest.raises(ValueError):
+        klass.field("x")
+    with pytest.raises(ValueError):
+        klass.field("x", "integer", ref="A")
+
+
+def test_builder_build_without_validation():
+    builder = SchemaBuilder()
+    builder.define("A", "Missing")
+    schema = builder.build(validate=False)
+    assert "A" in schema
+    assert not schema.is_validated
+
+
+def test_figure1_schema_shape():
+    schema = figure1_schema()
+    assert set(schema.class_names) == {"c1", "c2", "c3"}
+    c2 = schema.get_class("c2")
+    assert c2.superclasses == ("c1",)
+    assert set(c2.method_names) == {"m2", "m4"}
+    assert schema.field_names("c2") == ("f1", "f2", "f3", "f4", "f5", "f6")
+
+
+def test_figure1_m2_is_an_extension_override():
+    schema = figure1_schema()
+    override = schema.get_class("c2").own_methods["m2"]
+    assert override.overrides == "c1"
+    assert "c1.m2" in override.source.replace(" ", "").replace("send", "send ")
+
+
+def test_banking_schema_builds_and_resolves():
+    schema = banking_schema()
+    assert schema.domain("Account") == ("Account", "SavingsAccount", "CheckingAccount")
+    assert schema.resolve("SavingsAccount", "withdraw").defining_class == "SavingsAccount"
+    assert schema.resolve("SavingsAccount", "deposit").defining_class == "Account"
+    assert schema.get_class("SavingsAccount").own_methods["withdraw"].overrides == "Account"
+
+
+def test_library_schema_builds_and_has_reference():
+    schema = library_schema()
+    borrowing = schema.get_field("Member", "borrowing")
+    assert borrowing.type.is_reference
+    assert borrowing.type.reference == "Book"
+    assert schema.resolve("Journal", "consult").defining_class == "Journal"

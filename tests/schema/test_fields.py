@@ -1,0 +1,49 @@
+"""Tests for field and field-type declarations."""
+
+import pytest
+
+from repro.schema import BaseType, Field, FieldType
+
+
+def test_base_type_lookup_by_name():
+    assert BaseType.from_name("integer") is BaseType.INTEGER
+    assert BaseType.from_name("  String ") is BaseType.STRING
+
+
+def test_base_type_lookup_unknown_raises():
+    with pytest.raises(ValueError):
+        BaseType.from_name("decimal")
+
+
+def test_base_type_defaults():
+    assert BaseType.INTEGER.default_value == 0
+    assert BaseType.FLOAT.default_value == 0.0
+    assert BaseType.BOOLEAN.default_value is False
+    assert BaseType.STRING.default_value == ""
+
+
+def test_field_type_base_construction():
+    field_type = FieldType.of_base("boolean")
+    assert not field_type.is_reference
+    assert field_type.default_value is False
+    assert str(field_type) == "boolean"
+
+
+def test_field_type_reference_construction():
+    field_type = FieldType.of_reference("c3")
+    assert field_type.is_reference
+    assert field_type.default_value is None
+    assert str(field_type) == "c3"
+
+
+def test_field_type_must_be_exactly_one_kind():
+    with pytest.raises(ValueError):
+        FieldType()
+    with pytest.raises(ValueError):
+        FieldType(base=BaseType.INTEGER, reference="c3")
+
+
+def test_field_str_mentions_declaring_class():
+    field = Field(name="f3", type=FieldType.of_reference("c3"), declared_in="c1")
+    assert "f3" in str(field)
+    assert "c1" in str(field)

@@ -1,0 +1,171 @@
+"""Tests for the schema: inheritance, FIELDS/METHODS/ANCESTORS, validation."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateClassError,
+    DuplicateFieldError,
+    DuplicateMethodError,
+    InheritanceError,
+    UnknownClassError,
+    UnknownFieldError,
+    UnknownMethodError,
+)
+from repro.schema import ClassDefinition, Field, FieldType, MethodDefinition, Schema, SchemaBuilder
+
+
+def test_figure1_ancestors(figure1):
+    assert figure1.ancestors("c2") == ("c1",)
+    assert figure1.ancestors("c1") == ()
+    assert figure1.is_ancestor("c1", "c2")
+    assert not figure1.is_ancestor("c2", "c1")
+
+
+def test_figure1_fields_order(figure1):
+    assert figure1.field_names("c2") == ("f1", "f2", "f3", "f4", "f5", "f6")
+    assert figure1.field_names("c1") == ("f1", "f2", "f3")
+
+
+def test_figure1_methods_resolution(figure1):
+    methods_c2 = figure1.methods("c2")
+    assert set(methods_c2) == {"m1", "m2", "m3", "m4"}
+    assert methods_c2["m1"].defining_class == "c1"
+    assert methods_c2["m1"].is_inherited
+    assert methods_c2["m2"].defining_class == "c2"
+    assert not methods_c2["m2"].is_inherited
+
+
+def test_figure1_override_annotation(figure1):
+    definition = figure1.get_class("c2").own_methods["m2"]
+    assert definition.overrides == "c1"
+    new_method = figure1.get_class("c2").own_methods["m4"]
+    assert new_method.overrides is None
+
+
+def test_resolve_prefixed(figure1):
+    resolved = figure1.resolve_prefixed("c2", "c1", "m2")
+    assert resolved.defining_class == "c1"
+
+
+def test_resolve_prefixed_rejects_non_ancestor(figure1):
+    with pytest.raises(UnknownClassError):
+        figure1.resolve_prefixed("c1", "c2", "m2")
+
+
+def test_domain_and_descendants(figure1):
+    assert figure1.domain("c1") == ("c1", "c2")
+    assert figure1.domain("c2") == ("c2",)
+    assert figure1.descendants("c1") == ("c2",)
+    assert figure1.direct_subclasses("c1") == ("c2",)
+
+
+def test_roots(figure1):
+    assert set(figure1.roots()) == {"c3", "c1"}
+
+
+def test_unknown_class_raises(figure1):
+    with pytest.raises(UnknownClassError):
+        figure1.get_class("nope")
+    with pytest.raises(UnknownClassError):
+        figure1.fields("nope")
+
+
+def test_unknown_field_and_method_raise(figure1):
+    with pytest.raises(UnknownFieldError):
+        figure1.get_field("c1", "f9")
+    with pytest.raises(UnknownMethodError):
+        figure1.resolve("c1", "m9")
+
+
+def test_duplicate_class_rejected():
+    schema = Schema()
+    schema.add_class(ClassDefinition(name="A"))
+    with pytest.raises(DuplicateClassError):
+        schema.add_class(ClassDefinition(name="A"))
+
+
+def test_unknown_superclass_rejected():
+    schema = Schema()
+    schema.add_class(ClassDefinition(name="A", superclasses=("Missing",)))
+    with pytest.raises(InheritanceError):
+        schema.validate()
+
+
+def test_inheritance_cycle_rejected():
+    schema = Schema()
+    schema.add_class(ClassDefinition(name="A", superclasses=("B",)))
+    schema.add_class(ClassDefinition(name="B", superclasses=("A",)))
+    with pytest.raises(InheritanceError):
+        schema.validate()
+
+
+def test_duplicate_field_along_path_rejected():
+    builder = SchemaBuilder()
+    builder.define("A").field("x", "integer")
+    builder.define("B", "A").field("x", "integer")
+    with pytest.raises(DuplicateFieldError):
+        builder.build()
+
+
+def test_reference_to_unknown_class_rejected():
+    builder = SchemaBuilder()
+    builder.define("A").field("other", ref="Missing")
+    with pytest.raises(UnknownClassError):
+        builder.build()
+
+
+def test_duplicate_field_in_one_class_rejected():
+    definition = ClassDefinition(name="A")
+    definition.add_field(Field(name="x", type=FieldType.of_base("integer"), declared_in="A"))
+    with pytest.raises(DuplicateFieldError):
+        definition.add_field(Field(name="x", type=FieldType.of_base("integer"),
+                                   declared_in="A"))
+
+
+def test_duplicate_method_in_one_class_rejected():
+    definition = ClassDefinition(name="A")
+    definition.add_method(MethodDefinition.from_source("m", (), "return", "A"))
+    with pytest.raises(DuplicateMethodError):
+        definition.add_method(MethodDefinition.from_source("m", (), "return", "A"))
+
+
+def test_multiple_inheritance_linearization():
+    builder = SchemaBuilder()
+    builder.define("Base").field("b", "integer").method("mb", body="b := b + 1")
+    builder.define("Left", "Base").field("l", "integer").method("ml", body="l := 1")
+    builder.define("Right", "Base").field("r", "integer").method("mr", body="r := 1")
+    builder.define("Bottom", "Left", "Right").field("z", "integer").method(
+        "mz", body="z := expr(b, l, r)")
+    schema = builder.build()
+    assert schema.linearization("Bottom") == ("Bottom", "Left", "Right", "Base")
+    # Fields are ordered from the most distant ancestor down to the class
+    # itself (reverse linearisation order).
+    assert schema.field_names("Bottom") == ("b", "r", "l", "z")
+    assert set(schema.method_names("Bottom")) == {"mb", "ml", "mr", "mz"}
+    assert schema.domain("Base") == ("Base", "Left", "Right", "Bottom")
+
+
+def test_inconsistent_multiple_inheritance_rejected():
+    builder = SchemaBuilder()
+    builder.define("A")
+    builder.define("B", "A")
+    builder.define("C", "A", "B")
+    with pytest.raises(InheritanceError):
+        builder.build()
+
+
+def test_multiple_inheritance_method_resolution_prefers_left():
+    builder = SchemaBuilder()
+    builder.define("L").field("lf", "integer").method("m", body="lf := 1")
+    builder.define("R").field("rf", "integer").method("m", body="rf := 1")
+    builder.define("Both", "L", "R")
+    schema = builder.build()
+    assert schema.resolve("Both", "m").defining_class == "L"
+
+
+def test_schema_container_protocol(figure1):
+    assert "c1" in figure1
+    assert "zzz" not in figure1
+    assert len(figure1) == 3
+    assert set(iter(figure1)) == {"c1", "c2", "c3"}
+    assert figure1.is_validated

@@ -1,0 +1,100 @@
+"""Tests for the §5.2 scenario: the admitted concurrent executions."""
+
+import pytest
+
+from repro.sim import admitted_sets, build_section5_scenario, pairwise_compatibility
+from repro.txn.protocols import (
+    FieldLockingProtocol,
+    RelationalProtocol,
+    RWInstanceProtocol,
+    TAVProtocol,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_section5_scenario()
+
+
+def test_scenario_shape(scenario):
+    assert [t.name for t in scenario.transactions] == ["T1", "T2", "T3", "T4"]
+    assert scenario.transaction("T3").operation.method == "m3"
+    with pytest.raises(KeyError):
+        scenario.transaction("T9")
+
+
+def test_tav_admits_the_paper_sets(scenario):
+    """'either T1||T3||T4, or T2||T3||T4 are allowed' (§5.2)."""
+    protocol = TAVProtocol(scenario.compiled, scenario.store)
+    sets = admitted_sets(protocol, scenario)
+    assert frozenset({"T1", "T3", "T4"}) in sets
+    assert frozenset({"T2", "T3", "T4"}) in sets
+    assert all(len(s) <= 3 for s in sets)
+
+
+def test_rw_admits_only_pairs(scenario):
+    """'either T1||T3 would have been allowed ... or T1||T4' (§5.2)."""
+    protocol = RWInstanceProtocol(scenario.compiled, scenario.store)
+    sets = admitted_sets(protocol, scenario)
+    assert frozenset({"T1", "T3"}) in sets
+    assert frozenset({"T1", "T4"}) in sets
+    assert not any(len(s) >= 3 for s in sets)
+
+
+def test_relational_admits_t1t3_or_t3t4(scenario):
+    """'either T1||T3, or T3||T4 are allowed' in the relational schema."""
+    protocol = RelationalProtocol(scenario.compiled, scenario.store)
+    sets = admitted_sets(protocol, scenario)
+    assert frozenset({"T1", "T3"}) in sets
+    assert frozenset({"T3", "T4"}) in sets
+    assert not any(len(s) >= 3 for s in sets)
+
+
+def test_relational_with_oid_keys_admits_t1t3t4(scenario):
+    """The closing remark of §5.2: without key updates, T1||T3||T4 is allowed
+    relationally (but T2||T3||T4 still is not)."""
+    protocol = RelationalProtocol(scenario.compiled, scenario.store, key_policy="oid")
+    sets = admitted_sets(protocol, scenario)
+    assert frozenset({"T1", "T3", "T4"}) in sets
+    assert frozenset({"T2", "T3", "T4"}) not in sets
+
+
+def test_tav_strictly_dominates_rw_and_relational(scenario):
+    """Both classical schemes are subsumed: every set they admit, the paper's
+    protocol admits too (§5.2, 'both previous concurrency control schemes are
+    subsumed within our framework')."""
+    tav_sets = admitted_sets(TAVProtocol(scenario.compiled, scenario.store), scenario)
+    rw_sets = admitted_sets(RWInstanceProtocol(scenario.compiled, scenario.store), scenario)
+    relational_sets = admitted_sets(RelationalProtocol(scenario.compiled, scenario.store),
+                                    scenario)
+
+    def covered(sets):
+        return all(any(candidate <= tav for tav in tav_sets) for candidate in sets)
+
+    assert covered(rw_sets)
+    assert covered(relational_sets)
+
+
+def test_pairwise_matrix_key_entries(scenario):
+    tav = pairwise_compatibility(TAVProtocol(scenario.compiled, scenario.store), scenario)
+    assert tav[("T1", "T3")] is True
+    assert tav[("T1", "T4")] is True
+    assert tav[("T3", "T4")] is True
+    assert tav[("T1", "T2")] is False
+    assert tav[("T2", "T3")] is True
+    assert tav[("T2", "T4")] is True
+    rw = pairwise_compatibility(RWInstanceProtocol(scenario.compiled, scenario.store),
+                                scenario)
+    assert rw[("T3", "T4")] is False
+    assert rw[("T1", "T2")] is False
+    relational = pairwise_compatibility(
+        RelationalProtocol(scenario.compiled, scenario.store), scenario)
+    assert relational[("T1", "T4")] is False
+    assert relational[("T3", "T4")] is True
+
+
+def test_matrix_is_symmetric(scenario):
+    protocol = FieldLockingProtocol(scenario.compiled, scenario.store)
+    matrix = pairwise_compatibility(protocol, scenario)
+    for (first, second), value in matrix.items():
+        assert matrix[(second, first)] == value

@@ -1,0 +1,161 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.objects import ObjectStore
+from repro.sim import Simulator, TransactionSpec, WorkloadGenerator, populate_store
+from repro.txn import MethodCall
+from repro.txn.protocols import PROTOCOLS, RWInstanceProtocol, TAVProtocol
+
+
+def test_single_transaction_runs_to_completion(banking, banking_compiled):
+    store = ObjectStore(banking)
+    account = store.create("Account", balance=10.0)
+    protocol = TAVProtocol(banking_compiled, store)
+    spec = TransactionSpec(operations=(
+        MethodCall(oid=account.oid, method="deposit", arguments=(5.0,)),
+        MethodCall(oid=account.oid, method="withdraw", arguments=(3.0,)),
+    ), label="solo")
+    result = Simulator(protocol).run([spec])
+    assert result.metrics.committed == 1
+    assert result.metrics.aborted == 0
+    assert result.committed_labels == ("solo",)
+    assert store.read_field(account.oid, "balance") == 12.0
+    assert result.metrics.operations == 2
+    assert result.metrics.makespan > 0
+
+
+def test_commuting_transactions_do_not_wait(banking, banking_compiled):
+    store = ObjectStore(banking)
+    checking = store.create("CheckingAccount", balance=10.0)
+    protocol = TAVProtocol(banking_compiled, store)
+    specs = [
+        TransactionSpec((MethodCall(oid=checking.oid, method="set_overdraft",
+                                    arguments=(50,)),), label="a"),
+        TransactionSpec((MethodCall(oid=checking.oid, method="charge_fee",
+                                    arguments=(1.0,)),), label="b"),
+    ]
+    result = Simulator(protocol).run(specs)
+    assert result.metrics.committed == 2
+    assert result.metrics.waits == 0
+    assert result.metrics.deadlocks == 0
+
+
+def test_conflicting_transactions_serialise(banking, banking_compiled):
+    store = ObjectStore(banking)
+    account = store.create("Account", balance=10.0)
+    protocol = TAVProtocol(banking_compiled, store)
+    specs = [
+        TransactionSpec((MethodCall(oid=account.oid, method="deposit",
+                                    arguments=(1.0,)),) * 2, label="a"),
+        TransactionSpec((MethodCall(oid=account.oid, method="deposit",
+                                    arguments=(1.0,)),) * 2, label="b"),
+    ]
+    result = Simulator(protocol).run(specs)
+    assert result.metrics.committed == 2
+    assert result.metrics.waits >= 1
+    assert store.read_field(account.oid, "balance") == 14.0
+
+
+def test_escalation_deadlock_detected_and_resolved(figure1, figure1_compiled):
+    """Two transactions both run m1 on the same instance under RW locking:
+    both take the read lock, both then need the write lock — the classic
+    escalation deadlock cited from System R in §3."""
+    store = ObjectStore(figure1)
+    instance = store.create("c1", f2=False)
+    protocol = RWInstanceProtocol(figure1_compiled, store)
+    specs = [
+        TransactionSpec((MethodCall(oid=instance.oid, method="m1", arguments=(1,)),),
+                        label="first"),
+        TransactionSpec((MethodCall(oid=instance.oid, method="m1", arguments=(1,)),),
+                        label="second"),
+    ]
+    result = Simulator(protocol).run(specs)
+    assert result.metrics.deadlocks >= 1
+    assert result.metrics.committed == 2          # the victim restarts and commits
+    assert result.metrics.restarts >= 1
+
+
+def test_no_escalation_deadlock_under_tav(figure1, figure1_compiled):
+    """The same workload under the paper's protocol announces the most
+    exclusive mode up front: it serialises without any deadlock."""
+    store = ObjectStore(figure1)
+    instance = store.create("c1", f2=False)
+    protocol = TAVProtocol(figure1_compiled, store)
+    specs = [
+        TransactionSpec((MethodCall(oid=instance.oid, method="m1", arguments=(1,)),),
+                        label="first"),
+        TransactionSpec((MethodCall(oid=instance.oid, method="m1", arguments=(1,)),),
+                        label="second"),
+    ]
+    result = Simulator(protocol).run(specs)
+    assert result.metrics.deadlocks == 0
+    assert result.metrics.committed == 2
+
+
+def test_victim_abort_without_restart(figure1, figure1_compiled):
+    store = ObjectStore(figure1)
+    instance = store.create("c1", f2=False)
+    protocol = RWInstanceProtocol(figure1_compiled, store)
+    specs = [
+        TransactionSpec((MethodCall(oid=instance.oid, method="m1", arguments=(1,)),),
+                        label="first"),
+        TransactionSpec((MethodCall(oid=instance.oid, method="m1", arguments=(1,)),),
+                        label="second"),
+    ]
+    result = Simulator(protocol, restart_victims=False).run(specs)
+    assert result.metrics.committed + result.metrics.aborted >= 2
+    assert result.aborted_labels
+
+
+def test_aborted_victims_leave_no_trace_on_data(banking, banking_compiled):
+    """Deadlock victims are undone: committed effects only."""
+    store = ObjectStore(banking)
+    account = store.create("Account", balance=0.0)
+    protocol = RWInstanceProtocol(banking_compiled, store)
+    deposit = MethodCall(oid=account.oid, method="deposit", arguments=(1.0,))
+    transfer = MethodCall(oid=account.oid, method="transfer_in", arguments=(1.0,))
+    specs = [TransactionSpec((transfer, deposit), label=f"t{i}") for i in range(4)]
+    result = Simulator(protocol).run(specs)
+    committed = result.metrics.committed
+    # Every committed transaction added exactly 1.0 (transfer_in does nothing
+    # because accounts start inactive); aborted incarnations must leave nothing.
+    assert store.read_field(account.oid, "balance") == pytest.approx(float(committed))
+
+
+def test_deterministic_metrics(banking, banking_compiled):
+    def run_once():
+        store = populate_store(banking, 6, seed=3)
+        generator = WorkloadGenerator(schema=banking, store=store, seed=4,
+                                      operations_per_transaction=3)
+        protocol = TAVProtocol(banking_compiled, store)
+        return Simulator(protocol).run(generator.transactions(6)).metrics.as_row()
+
+    assert run_once() == run_once()
+
+
+def test_all_protocols_complete_a_mixed_workload(banking, banking_compiled):
+    for name, protocol_class in PROTOCOLS.items():
+        store = populate_store(banking, 5, seed=5)
+        generator = WorkloadGenerator(schema=banking, store=store, seed=6,
+                                      operations_per_transaction=2,
+                                      extent_fraction=0.1, domain_fraction=0.1)
+        protocol = protocol_class(banking_compiled, store)
+        result = Simulator(protocol).run(generator.transactions(6))
+        assert result.metrics.committed + len(result.aborted_labels) == 6, name
+        assert result.metrics.makespan > 0
+
+
+def test_metrics_as_row_and_derived_values():
+    from repro.sim.metrics import SimulationMetrics
+    metrics = SimulationMetrics(committed=4, makespan=10, active_steps=20)
+    metrics.blocked_steps = {1: 3, 2: 2}
+    assert metrics.average_concurrency == 2.0
+    assert metrics.total_blocked_steps == 5
+    assert metrics.throughput == 0.4
+    row = metrics.as_row()
+    assert row["committed"] == 4
+    assert row["avg_concurrency"] == 2.0
+    empty = SimulationMetrics()
+    assert empty.average_concurrency == 0.0
+    assert empty.throughput == 0.0

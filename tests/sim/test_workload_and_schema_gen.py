@@ -1,0 +1,110 @@
+"""Tests for the workload generator, store population and schema generator."""
+
+import pytest
+
+from repro.core import compile_schema
+from repro.errors import SimulationError
+from repro.objects import ObjectStore
+from repro.sim import SchemaGenerator, WorkloadGenerator, populate_store
+from repro.txn.operations import DomainAllCall, DomainSomeCall, ExtentCall, MethodCall
+
+
+def test_populate_store_counts_and_defaults(banking):
+    store = populate_store(banking, {"Account": 5, "SavingsAccount": 3}, seed=1)
+    assert len(store.extent("Account")) == 5
+    assert len(store.extent("SavingsAccount")) == 3
+    assert len(store.extent("CheckingAccount")) == 0
+
+
+def test_populate_store_links_references(library):
+    store = populate_store(library, 4, seed=2)
+    for oid in store.extent("Member"):
+        target = store.read_field(oid, "borrowing")
+        assert target is not None
+        assert target.class_name == "Book"
+
+
+def test_populate_store_is_deterministic(banking):
+    first = populate_store(banking, 3, seed=7)
+    second = populate_store(banking, 3, seed=7)
+    for oid_a, oid_b in zip(first.extent("Account"), second.extent("Account")):
+        assert first.get(oid_a).values == second.get(oid_b).values
+
+
+def test_workload_generator_reproducible(banking):
+    store = populate_store(banking, 5, seed=0)
+    first = WorkloadGenerator(schema=banking, store=store, seed=11).transactions(5)
+    second = WorkloadGenerator(schema=banking, store=store, seed=11).transactions(5)
+    assert [spec.operations for spec in first] == [spec.operations for spec in second]
+    third = WorkloadGenerator(schema=banking, store=store, seed=12).transactions(5)
+    assert [spec.operations for spec in first] != [spec.operations for spec in third]
+
+
+def test_workload_generator_operation_mix(banking):
+    store = populate_store(banking, 10, seed=0)
+    generator = WorkloadGenerator(schema=banking, store=store, seed=3,
+                                  operations_per_transaction=5,
+                                  extent_fraction=0.3, domain_fraction=0.3)
+    specs = generator.transactions(30)
+    kinds = {MethodCall: 0, ExtentCall: 0, DomainAllCall: 0, DomainSomeCall: 0}
+    for spec in specs:
+        assert len(spec) == 5
+        for operation in spec.operations:
+            kinds[type(operation)] += 1
+    assert kinds[MethodCall] > 0
+    assert kinds[ExtentCall] > 0
+    assert kinds[DomainAllCall] + kinds[DomainSomeCall] > 0
+
+
+def test_workload_generator_empty_store_raises(banking):
+    store = ObjectStore(banking)
+    generator = WorkloadGenerator(schema=banking, store=store, seed=0)
+    with pytest.raises(SimulationError):
+        generator.transaction()
+
+
+def test_workload_arguments_match_parameter_counts(banking):
+    store = populate_store(banking, 5, seed=0)
+    generator = WorkloadGenerator(schema=banking, store=store, seed=5,
+                                  operations_per_transaction=6)
+    for spec in generator.transactions(10):
+        for operation in spec.operations:
+            class_name = operation.oid.class_name if isinstance(operation, MethodCall) \
+                else operation.static_class()
+            resolved = banking.resolve(class_name, operation.method)
+            assert len(operation.arguments) == len(resolved.definition.parameters)
+
+
+def test_schema_generator_structure_and_compilability():
+    generator = SchemaGenerator(depth=2, branching=2, roots=1, fields_per_class=2,
+                                methods_per_class=2, seed=4)
+    schema = generator.generate()
+    # depth 2, branching 2 => 1 + 2 + 4 = 7 classes.
+    assert len(schema.class_names) == 7
+    compiled = compile_schema(schema)
+    for class_name in schema.class_names:
+        compiled_class = compiled.compiled_class(class_name)
+        assert compiled_class.methods
+        for method in compiled_class.methods:
+            assert compiled_class.tav(method) is not None
+
+
+def test_schema_generator_deterministic():
+    first = SchemaGenerator(depth=1, branching=2, seed=9).generate()
+    second = SchemaGenerator(depth=1, branching=2, seed=9).generate()
+    assert first.class_names == second.class_names
+    for name in first.class_names:
+        assert first.get_class(name).method_names == second.get_class(name).method_names
+
+
+def test_schema_generator_produces_overrides_and_self_calls():
+    schema = SchemaGenerator(depth=3, branching=2, seed=1,
+                             override_probability=0.9,
+                             self_call_probability=0.9).generate()
+    overrides = [method for definition in schema.classes()
+                 for method in definition.own_methods.values() if method.overrides]
+    assert overrides
+    self_calls = [method for definition in schema.classes()
+                  for method in definition.own_methods.values()
+                  if "send" in method.source and "to self" in method.source]
+    assert self_calls

@@ -1,0 +1,200 @@
+"""Tests for the baseline protocols: RW instance, RW hierarchy, relational,
+field locking — reproducing the §3 problems they exhibit."""
+
+import pytest
+
+from repro.errors import UnknownModeError
+from repro.objects import ObjectStore
+from repro.txn import DomainAllCall, MethodCall
+from repro.txn.protocols import (
+    FieldLockingProtocol,
+    RelationalProtocol,
+    RWHierarchyProtocol,
+    RWInstanceProtocol,
+)
+
+
+@pytest.fixture
+def store(figure1):
+    return ObjectStore(figure1)
+
+
+# -- RW instance locking -------------------------------------------------------------------
+
+
+def test_rw_three_controls_for_m1(figure1_compiled, store):
+    """§3 'locking overhead': invoking m1 controls concurrency thrice."""
+    protocol = RWInstanceProtocol(figure1_compiled, store)
+    instance = store.create("c1", f2=False)
+    plan = protocol.plan(MethodCall(oid=instance.oid, method="m1", arguments=(1,)))
+    assert plan.control_points == 3
+
+
+def test_rw_escalation_read_then_write(figure1_compiled, store):
+    """§3 'lock escalation': m1 takes a read lock, then m2 needs a write lock."""
+    protocol = RWInstanceProtocol(figure1_compiled, store)
+    instance = store.create("c1", f2=False)
+    plan = protocol.plan(MethodCall(oid=instance.oid, method="m1", arguments=(1,)))
+    instance_modes = [request.mode for request in plan.requests
+                      if request.resource == ("instance", instance.oid)]
+    assert instance_modes == ["R", "W", "R"]
+
+
+def test_rw_pseudo_conflict_between_m2_and_m4(figure1_compiled, store):
+    """§3 'pseudo-conflicts': m2 and m4 are both writers, so they conflict
+    under RW locking although their TAVs commute."""
+    protocol = RWInstanceProtocol(figure1_compiled, store)
+    instance = store.create("c2", f2=False, f5=1)
+    plan_m2 = protocol.plan(MethodCall(oid=instance.oid, method="m2", arguments=(1,)))
+    plan_m4 = protocol.plan(MethodCall(oid=instance.oid, method="m4", arguments=(1, 2)))
+    mode_m2 = [r.mode for r in plan_m2.requests if r.resource[0] == "instance"]
+    mode_m4 = [r.mode for r in plan_m4.requests if r.resource[0] == "instance"]
+    assert "W" in mode_m2 and "W" in mode_m4
+    assert not protocol.compatible(("instance", instance.oid), "W", "W")
+
+
+def test_rw_domain_all_uses_hierarchical_class_locks(figure1_compiled, store):
+    protocol = RWInstanceProtocol(figure1_compiled, store)
+    store.create("c1", f2=False)
+    store.create("c2", f2=False)
+    plan = protocol.plan(DomainAllCall(class_name="c1", method="m1", arguments=(1,)))
+    class_modes = {r.mode for r in plan.requests if r.resource[0] == "class"}
+    assert "S" in class_modes and "X" in class_modes
+    assert not any(r.resource[0] == "instance" for r in plan.requests)
+
+
+def test_rw_compatibility_rejects_unknown_resource(figure1_compiled, store):
+    protocol = RWInstanceProtocol(figure1_compiled, store)
+    with pytest.raises(UnknownModeError):
+        protocol.compatible(("field", 1, "x"), "R", "R")
+
+
+# -- RW with implicit hierarchy locking ------------------------------------------------------
+
+
+def test_rw_hierarchy_intention_path_for_subclass_instance(figure1_compiled, store):
+    protocol = RWHierarchyProtocol(figure1_compiled, store)
+    instance = store.create("c2", f2=False)
+    plan = protocol.plan(MethodCall(oid=instance.oid, method="m4", arguments=(1, 2)))
+    class_resources = [r.resource for r in plan.requests if r.resource[0] == "class"]
+    assert ("class", "c1") in class_resources
+    assert ("class", "c2") in class_resources
+
+
+def test_rw_hierarchy_domain_all_locks_only_the_root(figure1_compiled, store):
+    protocol = RWHierarchyProtocol(figure1_compiled, store)
+    store.create("c1", f2=False)
+    store.create("c2", f2=False)
+    plan = protocol.plan(DomainAllCall(class_name="c1", method="m3"))
+    class_resources = {r.resource for r in plan.requests if r.resource[0] == "class"}
+    assert class_resources == {("class", "c1")}
+
+
+# -- relational decomposition -----------------------------------------------------------------
+
+
+def test_relational_mapping_fields_and_key(figure1_compiled, store):
+    protocol = RelationalProtocol(figure1_compiled, store)
+    assert protocol.relation_fields("c1") == ("f1", "f2", "f3")
+    assert protocol.relation_fields("c2") == ("f4", "f5", "f6")
+    assert protocol.key_field("c2") == "f1"
+    assert protocol.slice_classes("c2") == ("c2", "c1")
+
+
+def test_relational_t1_write_locks_both_tuples(figure1_compiled, store):
+    """§5.2: T1 locks one tuple of r1 in write mode and the associated tuple
+    of r2 too, because the key field f1 is modified."""
+    protocol = RelationalProtocol(figure1_compiled, store)
+    instance = store.create("c1", f2=False)
+    plan = protocol.plan(MethodCall(oid=instance.oid, method="m1", arguments=(1,)))
+    tuple_locks = {(r.resource[1], r.mode) for r in plan.requests
+                   if r.resource[0] == "tuple"}
+    assert ("c1", "W") in tuple_locks
+    assert ("c2", "W") in tuple_locks
+
+
+def test_relational_t4_locks_only_r2(figure1_compiled, store):
+    """§5.2: T4 locks r2 in write mode (m4 touches only fields declared in c2)."""
+    protocol = RelationalProtocol(figure1_compiled, store)
+    store.create("c2", f2=False)
+    plan = protocol.plan(DomainAllCall(class_name="c2", method="m4", arguments=(1, 2)))
+    relation_locks = {r.resource[1]: r.mode for r in plan.requests
+                      if r.resource[0] == "relation"}
+    assert relation_locks == {"c2": "X"}
+
+
+def test_relational_t2_locks_both_relations_in_write(figure1_compiled, store):
+    """§5.2: T2 locks both relations in write mode."""
+    protocol = RelationalProtocol(figure1_compiled, store)
+    store.create("c1", f2=False)
+    store.create("c2", f2=False)
+    plan = protocol.plan(DomainAllCall(class_name="c1", method="m1", arguments=(1,)))
+    relation_locks = {r.resource[1]: r.mode for r in plan.requests
+                      if r.resource[0] == "relation"}
+    assert relation_locks == {"c1": "X", "c2": "X"}
+
+
+def test_relational_oid_key_policy_removes_the_cascade(figure1_compiled, store):
+    """The paper's closing remark: with OIDs as keys (never updated), T1 no
+    longer touches r2."""
+    protocol = RelationalProtocol(figure1_compiled, store, key_policy="oid")
+    instance = store.create("c1", f2=False)
+    plan = protocol.plan(MethodCall(oid=instance.oid, method="m1", arguments=(1,)))
+    touched_relations = {r.resource[1] for r in plan.requests if r.resource[0] == "tuple"}
+    assert touched_relations == {"c1"}
+    assert protocol.key_field("c1") is None
+
+
+def test_relational_unknown_key_policy_rejected(figure1_compiled, store):
+    with pytest.raises(ValueError):
+        RelationalProtocol(figure1_compiled, store, key_policy="uuid")
+
+
+def test_relational_compatibility_kinds(figure1_compiled, store):
+    protocol = RelationalProtocol(figure1_compiled, store)
+    assert protocol.compatible(("relation", "c1"), "IS", "IX")
+    assert not protocol.compatible(("relation", "c1"), "S", "X")
+    assert not protocol.compatible(("tuple", "c1", 1), "R", "W")
+    with pytest.raises(UnknownModeError):
+        protocol.compatible(("instance", 1), "R", "W")
+
+
+# -- field locking ------------------------------------------------------------------------------
+
+
+def test_field_locking_locks_individual_fields(figure1_compiled, store):
+    protocol = FieldLockingProtocol(figure1_compiled, store)
+    instance = store.create("c2", f2=False, f5=1)
+    plan = protocol.plan(MethodCall(oid=instance.oid, method="m4", arguments=(1, 2)))
+    field_locks = {(r.resource[2], r.mode) for r in plan.requests
+                   if r.resource[0] == "field"}
+    assert ("f5", "R") in field_locks
+    assert ("f6", "W") in field_locks
+    assert not any(name in {"f1", "f2", "f3", "f4"} for name, _ in field_locks)
+
+
+def test_field_locking_is_less_conservative_than_tav(figure1_compiled, store):
+    """With f2 false, m3 never reads f3 at run time: field locking skips it."""
+    protocol = FieldLockingProtocol(figure1_compiled, store)
+    instance = store.create("c1", f2=False)
+    plan = protocol.plan(MethodCall(oid=instance.oid, method="m3"))
+    field_locks = {r.resource[2] for r in plan.requests if r.resource[0] == "field"}
+    assert field_locks == {"f2"}
+
+
+def test_field_locking_has_high_control_overhead(figure1_compiled, store):
+    protocol = FieldLockingProtocol(figure1_compiled, store)
+    instance = store.create("c1", f2=False)
+    plan = protocol.plan(MethodCall(oid=instance.oid, method="m1", arguments=(1,)))
+    # One control per message plus one per field access.
+    assert plan.control_points > 3
+
+
+def test_field_locking_compatibility(figure1_compiled, store):
+    protocol = FieldLockingProtocol(figure1_compiled, store)
+    instance = store.create("c1")
+    assert protocol.compatible(("field", instance.oid, "f1"), "R", "R")
+    assert not protocol.compatible(("field", instance.oid, "f1"), "R", "W")
+    assert protocol.compatible(("instance", instance.oid), "IS", "IX")
+    with pytest.raises(UnknownModeError):
+        protocol.compatible(("relation", "c1"), "S", "S")

@@ -1,0 +1,119 @@
+"""Tests for the paper's TAV protocol: plans, compatibility, §5.2 locks."""
+
+import pytest
+
+from repro.errors import UnknownModeError
+from repro.locking.modes import ClassLockMode
+from repro.objects import ObjectStore
+from repro.txn import DomainAllCall, DomainSomeCall, ExtentCall, MethodCall
+from repro.txn.protocols import TAVProtocol
+
+
+@pytest.fixture
+def runtime(figure1, figure1_compiled):
+    store = ObjectStore(figure1)
+    return store, TAVProtocol(figure1_compiled, store)
+
+
+def test_single_instance_plan_matches_paper(runtime):
+    """T1: 'the lock m1 is acquired on i, and the lock (m1,false) on c1'."""
+    store, protocol = runtime
+    instance = store.create("c1", f2=False)
+    plan = protocol.plan(MethodCall(oid=instance.oid, method="m1", arguments=(1,)))
+    assert plan.control_points == 1
+    resources = {(request.resource, request.mode) for request in plan.requests}
+    assert (("class", "c1"), ClassLockMode("m1", hierarchical=False)) in resources
+    assert (("instance", instance.oid), "m1") in resources
+    assert len(plan.requests) == 2
+    assert plan.receivers == ((instance.oid, "m1"),)
+
+
+def test_domain_all_plan_matches_paper(runtime):
+    """T2: '(m1,true) is requested on c1 and c2', no instance locks."""
+    store, protocol = runtime
+    store.create("c1", f2=False)
+    store.create("c2", f2=False)
+    plan = protocol.plan(DomainAllCall(class_name="c1", method="m1", arguments=(1,)))
+    modes = {request.resource: request.mode for request in plan.requests}
+    assert modes[("class", "c1")] == ClassLockMode("m1", hierarchical=True)
+    assert modes[("class", "c2")] == ClassLockMode("m1", hierarchical=True)
+    assert not any(resource[0] == "instance" for resource in modes)
+
+
+def test_domain_some_plan_matches_paper(runtime):
+    """T3: classes locked with (m3,false), used instances locked with m3."""
+    store, protocol = runtime
+    first = store.create("c1", f2=False)
+    second = store.create("c2", f2=False)
+    plan = protocol.plan(DomainSomeCall(class_name="c1", method="m3",
+                                        oids=(first.oid, second.oid)))
+    modes = {}
+    for request in plan.requests:
+        modes.setdefault(request.resource, request.mode)
+    assert modes[("class", "c1")] == ClassLockMode("m3", hierarchical=False)
+    assert modes[("class", "c2")] == ClassLockMode("m3", hierarchical=False)
+    assert modes[("instance", first.oid)] == "m3"
+    assert modes[("instance", second.oid)] == "m3"
+    assert plan.control_points == 2
+
+
+def test_domain_all_skips_classes_without_the_method(runtime):
+    """T4: m4 only exists on c2, so only c2 is locked."""
+    store, protocol = runtime
+    plan = protocol.plan(DomainAllCall(class_name="c2", method="m4", arguments=(1, 2)))
+    assert {request.resource for request in plan.requests} == {("class", "c2")}
+
+
+def test_extent_call_locks_only_that_class(runtime):
+    store, protocol = runtime
+    store.create("c1", f2=False)
+    plan = protocol.plan(ExtentCall(class_name="c1", method="m2", arguments=(1,)))
+    assert {request.resource for request in plan.requests} == {("class", "c1")}
+    assert plan.requests[0].mode == ClassLockMode("m2", hierarchical=True)
+
+
+def test_one_control_point_despite_self_directed_messages(runtime):
+    """§4: concurrency is controlled once per instance even though m1 sends
+    two self-directed messages (and one prefixed call on c2 instances)."""
+    store, protocol = runtime
+    instance = store.create("c2", f2=False)
+    plan = protocol.plan(MethodCall(oid=instance.oid, method="m1", arguments=(1,)))
+    assert plan.control_points == 1
+    assert len(plan.requests) == 2
+
+
+def test_external_receiver_gets_its_own_control(figure1, figure1_compiled):
+    """When m3 actually reaches the c3 instance referenced by f3, that
+    instance is a new top message: one more control, one more lock pair."""
+    store = ObjectStore(figure1)
+    protocol = TAVProtocol(figure1_compiled, store)
+    other = store.create("c3")
+    instance = store.create("c1", f2=True, f3=other.oid)
+    plan = protocol.plan(MethodCall(oid=instance.oid, method="m3"))
+    assert plan.control_points == 2
+    resources = {request.resource for request in plan.requests}
+    assert ("instance", other.oid) in resources
+    assert ("class", "c3") in resources
+    assert (other.oid, "m") in plan.receivers
+
+
+def test_compatibility_dispatches_on_resource_kind(runtime):
+    store, protocol = runtime
+    instance = store.create("c2")
+    assert protocol.compatible(("instance", instance.oid), "m2", "m4")
+    assert not protocol.compatible(("instance", instance.oid), "m1", "m2")
+    assert protocol.compatible(("class", "c2"),
+                               ClassLockMode("m1", False), ClassLockMode("m2", False))
+    assert not protocol.compatible(("class", "c2"),
+                                   ClassLockMode("m1", False), ClassLockMode("m1", True))
+    with pytest.raises(UnknownModeError):
+        protocol.compatible(("tuple", "c1", instance.oid), "R", "W")
+    with pytest.raises(UnknownModeError):
+        protocol.compatible(("class", "c2"), "m1", "m2")
+
+
+def test_written_projection_is_the_tav_write_set(runtime):
+    store, protocol = runtime
+    instance = store.create("c2")
+    assert set(protocol.written_projection(instance.oid, "m1")) == {"f1", "f4"}
+    assert protocol.written_projection(instance.oid, "m3") == ()

@@ -1,0 +1,99 @@
+"""Tests for transactions, operations and the recovery manager."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.objects import ObjectStore
+from repro.txn import (
+    DomainAllCall,
+    DomainSomeCall,
+    ExtentCall,
+    MethodCall,
+    RecoveryManager,
+    Transaction,
+    TransactionState,
+)
+
+
+def test_transaction_life_cycle_guards():
+    transaction = Transaction(txn_id=1)
+    assert transaction.is_active
+    transaction.ensure_active()
+    transaction.state = TransactionState.COMMITTED
+    assert transaction.is_finished
+    with pytest.raises(TransactionError):
+        transaction.ensure_active()
+    assert "T1" in str(transaction)
+
+
+def test_operation_targets_and_descriptions(figure1, figure1_store):
+    c1_instance = figure1_store.create("c1")
+    c2_instance = figure1_store.create("c2")
+
+    call = MethodCall(oid=c1_instance.oid, method="m1", arguments=(1,))
+    assert call.target_oids(figure1_store) == (c1_instance.oid,)
+    assert call.static_class() == "c1"
+    assert "m1" in call.describe()
+
+    viewed = MethodCall(oid=c2_instance.oid, method="m1", arguments=(1,), as_class="c1")
+    assert viewed.static_class() == "c1"
+
+    extent = ExtentCall(class_name="c1", method="m3")
+    assert extent.target_oids(figure1_store) == (c1_instance.oid,)
+
+    domain_all = DomainAllCall(class_name="c1", method="m3")
+    assert set(domain_all.target_oids(figure1_store)) == {c1_instance.oid, c2_instance.oid}
+
+    domain_some = DomainSomeCall(class_name="c1", method="m3", oids=(c2_instance.oid,))
+    assert domain_some.target_oids(figure1_store) == (c2_instance.oid,)
+    assert "domain" in domain_some.describe()
+
+
+def test_recovery_projection_log_and_undo(figure1, figure1_store):
+    recovery = RecoveryManager(figure1_store)
+    instance = figure1_store.create("c1", f1=5, f2=True)
+    record = recovery.log_before_image(1, instance.oid, ("f1",))
+    assert record.values == {"f1": 5}
+    figure1_store.write_field(instance.oid, "f1", 99)
+    figure1_store.write_field(instance.oid, "f2", False)
+    undone = recovery.undo(1)
+    assert undone == 1
+    assert figure1_store.read_field(instance.oid, "f1") == 5
+    # f2 was not part of the projection: recovery leaves it alone.
+    assert figure1_store.read_field(instance.oid, "f2") is False
+
+
+def test_recovery_empty_projection_produces_no_record(figure1_store):
+    recovery = RecoveryManager(figure1_store)
+    instance = figure1_store.create("c1", f1=5)
+    assert recovery.log_before_image(1, instance.oid, ()) is None
+    assert recovery.log_of(1) == ()
+
+
+def test_recovery_undo_restores_oldest_image(figure1_store):
+    recovery = RecoveryManager(figure1_store)
+    instance = figure1_store.create("c1", f1=1)
+    recovery.log_before_image(7, instance.oid, ("f1",))
+    figure1_store.write_field(instance.oid, "f1", 2)
+    recovery.log_before_image(7, instance.oid, ("f1",))
+    figure1_store.write_field(instance.oid, "f1", 3)
+    recovery.undo(7)
+    assert figure1_store.read_field(instance.oid, "f1") == 1
+
+
+def test_recovery_forget_and_pending(figure1_store):
+    recovery = RecoveryManager(figure1_store)
+    instance = figure1_store.create("c1", f1=1)
+    recovery.log_before_image(3, instance.oid, ("f1",))
+    assert recovery.pending_transactions() == (3,)
+    recovery.forget(3)
+    assert recovery.pending_transactions() == ()
+    assert recovery.undo(3) == 0
+
+
+def test_recovery_skips_deleted_instances(figure1_store):
+    recovery = RecoveryManager(figure1_store)
+    instance = figure1_store.create("c1", f1=1)
+    recovery.log_before_image(4, instance.oid, ("f1",))
+    figure1_store.delete(instance.oid)
+    assert recovery.undo(4) == 1

@@ -1,0 +1,156 @@
+"""Tests for the transaction manager: strict 2PL, conflicts, commit, abort."""
+
+import pytest
+
+from repro.errors import LockConflictError, TransactionError
+from repro.objects import ObjectStore
+from repro.txn import TransactionManager
+from repro.txn.protocols import RWInstanceProtocol, TAVProtocol
+
+
+@pytest.fixture
+def banking_manager(banking, banking_compiled):
+    store = ObjectStore(banking)
+    protocol = TAVProtocol(banking_compiled, store)
+    return store, TransactionManager(protocol)
+
+
+def test_single_transaction_commit(banking_manager):
+    store, manager = banking_manager
+    account = store.create("Account", balance=10.0)
+    txn = manager.begin()
+    manager.call(txn, account.oid, "deposit", 5.0)
+    manager.commit(txn)
+    assert store.read_field(account.oid, "balance") == 15.0
+    assert txn.is_finished
+    assert manager.lock_manager.locks_of(txn.txn_id) == {}
+
+
+def test_abort_restores_before_images(banking_manager):
+    store, manager = banking_manager
+    account = store.create("Account", balance=10.0)
+    txn = manager.begin()
+    manager.call(txn, account.oid, "deposit", 5.0)
+    manager.call(txn, account.oid, "close")
+    assert store.read_field(account.oid, "balance") == 15.0
+    manager.abort(txn)
+    assert store.read_field(account.oid, "balance") == 10.0
+    assert store.read_field(account.oid, "active") is False or \
+        store.read_field(account.oid, "active") is False
+    # active was False by default; abort restores the default value.
+    assert store.read_field(account.oid, "active") is False
+    assert txn.is_finished
+
+
+def test_commuting_transactions_run_concurrently(banking_manager):
+    """deposit (writes balance) and a fee charge on another account commute."""
+    store, manager = banking_manager
+    first = store.create("Account", balance=5.0)
+    second = store.create("CheckingAccount", balance=5.0)
+    t1 = manager.begin()
+    t2 = manager.begin()
+    manager.call(t1, first.oid, "deposit", 1.0)
+    manager.call(t2, second.oid, "charge_fee", 2.0)
+    manager.commit(t1)
+    manager.commit(t2)
+    assert store.read_field(second.oid, "fee_total") == 2.0
+
+
+def test_commuting_methods_on_same_instance(banking_manager):
+    """accrue_interest and set_overdraft touch disjoint fields... but on
+    different classes; here use balance_report (reader) against charge_fee."""
+    store, manager = banking_manager
+    account = store.create("CheckingAccount", balance=5.0, owner="zoe")
+    t1 = manager.begin()
+    t2 = manager.begin()
+    manager.call(t1, account.oid, "set_overdraft", 100)
+    # charge_fee writes fee_total only; set_overdraft writes overdraft_limit
+    # only: the two writers commute under the TAV protocol.
+    manager.call(t2, account.oid, "charge_fee", 1.0)
+    manager.commit(t1)
+    manager.commit(t2)
+
+
+def test_conflicting_transactions_raise(banking_manager):
+    store, manager = banking_manager
+    account = store.create("Account", balance=5.0)
+    t1 = manager.begin()
+    t2 = manager.begin()
+    manager.call(t1, account.oid, "deposit", 1.0)
+    with pytest.raises(LockConflictError):
+        manager.call(t2, account.oid, "withdraw", 1.0)
+    manager.commit(t1)
+    # After the commit the lock is free.
+    manager.call(t2, account.oid, "withdraw", 1.0)
+    manager.commit(t2)
+    assert store.read_field(account.oid, "balance") == 5.0
+
+
+def test_pseudo_conflict_under_rw_but_not_under_tav(banking, banking_compiled):
+    store = ObjectStore(banking)
+    checking = store.create("CheckingAccount", balance=5.0)
+
+    tav_manager = TransactionManager(TAVProtocol(banking_compiled, store))
+    t1 = tav_manager.begin()
+    t2 = tav_manager.begin()
+    tav_manager.call(t1, checking.oid, "set_overdraft", 10)
+    tav_manager.call(t2, checking.oid, "charge_fee", 1.0)
+    tav_manager.commit(t1)
+    tav_manager.commit(t2)
+
+    rw_manager = TransactionManager(RWInstanceProtocol(banking_compiled, store))
+    t3 = rw_manager.begin()
+    t4 = rw_manager.begin()
+    rw_manager.call(t3, checking.oid, "set_overdraft", 10)
+    with pytest.raises(LockConflictError):
+        rw_manager.call(t4, checking.oid, "charge_fee", 1.0)
+    rw_manager.abort(t3)
+    rw_manager.abort(t4)
+
+
+def test_extent_and_domain_calls(banking_manager):
+    store, manager = banking_manager
+    for index in range(3):
+        store.create("SavingsAccount", balance=float(index), rate=0.1)
+    txn = manager.begin()
+    manager.call_extent(txn, "SavingsAccount", "accrue_interest")
+    reports = manager.call_domain(txn, "Account", "balance_report")
+    assert len(reports) == 3
+    manager.commit(txn)
+
+
+def test_call_some(banking_manager):
+    store, manager = banking_manager
+    accounts = [store.create("Account", balance=1.0) for _ in range(3)]
+    txn = manager.begin()
+    manager.call_some(txn, "Account", "deposit", (accounts[0].oid, accounts[2].oid), 1.0)
+    manager.commit(txn)
+    assert store.read_field(accounts[0].oid, "balance") == 2.0
+    assert store.read_field(accounts[1].oid, "balance") == 1.0
+
+
+def test_finished_transactions_reject_operations(banking_manager):
+    store, manager = banking_manager
+    account = store.create("Account")
+    txn = manager.begin()
+    manager.commit(txn)
+    with pytest.raises(TransactionError):
+        manager.call(txn, account.oid, "deposit", 1.0)
+    with pytest.raises(TransactionError):
+        manager.abort(txn)
+    with pytest.raises(TransactionError):
+        manager.transaction(999)
+
+
+def test_transaction_stats_accumulate(banking_manager):
+    store, manager = banking_manager
+    account = store.create("Account", balance=1.0)
+    txn = manager.begin()
+    manager.call(txn, account.oid, "deposit", 1.0)
+    manager.call(txn, account.oid, "balance_report")
+    assert txn.stats.operations == 2
+    assert txn.stats.lock_requests >= 2
+    assert txn.stats.control_points == 2
+    assert len(manager.active_transactions()) == 1
+    manager.commit(txn)
+    assert manager.active_transactions() == ()
