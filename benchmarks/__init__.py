@@ -1,0 +1,6 @@
+"""Benchmark harness package.
+
+The benchmark modules import shared helpers with ``from .conftest import
+emit``; making the directory a regular package gives those relative imports
+a parent package when pytest collects from the repository root.
+"""

@@ -1,0 +1,91 @@
+"""Threaded banking example: real blocking locks, deadlocks and throughput.
+
+The single-threaded examples surface conflicts as immediate
+``LockConflictError``\\ s; here the same banking schema runs under the
+multi-threaded engine — conflicting sessions *block*, a background detector
+aborts deadlock victims, and ``run_transaction`` retries them until the
+transfer commits.  The second half replays a seeded workload across worker
+threads under the paper's protocol and the read/write baseline and prints
+the wall-clock commits/sec comparison, with the serializability of every run
+verified against a sequential replay of its commit order.
+
+Run with::
+
+    python examples/threaded_banking.py
+"""
+
+import queue
+import random
+import threading
+
+from repro import ObjectStore, banking_schema, compile_schema
+from repro.engine import Engine, ThroughputHarness
+from repro.reporting import format_throughput_table
+from repro.txn.protocols import RWInstanceProtocol, TAVProtocol
+
+ACCOUNTS = 8
+TELLERS = 4
+TRANSFERS = 120
+
+
+def concurrent_transfers() -> None:
+    schema = banking_schema()
+    compiled = compile_schema(schema)
+    store = ObjectStore(schema)
+    oids = [store.create("CheckingAccount", balance=1000.0, owner=f"cust-{i}",
+                         active=True).oid
+            for i in range(ACCOUNTS)]
+    before = sum(store.read_field(oid, "balance") for oid in oids)
+
+    rng = random.Random(42)
+    jobs: "queue.SimpleQueue[tuple]" = queue.SimpleQueue()
+    for _ in range(TRANSFERS):
+        source, destination = rng.sample(oids, 2)
+        jobs.put((source, destination, rng.randint(1, 100)))
+
+    with Engine(TAVProtocol(compiled, store), detection_interval=0.005) as engine:
+        def teller() -> None:
+            while True:
+                try:
+                    source, destination, amount = jobs.get_nowait()
+                except queue.Empty:
+                    return
+
+                def transfer(session, source=source, destination=destination,
+                             amount=amount):
+                    session.call(source, "deposit", -amount)
+                    session.call(destination, "deposit", amount)
+
+                engine.run_transaction(transfer)
+
+        threads = [threading.Thread(target=teller) for _ in range(TELLERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        after = sum(store.read_field(oid, "balance") for oid in oids)
+        print(f"{TELLERS} teller threads ran {TRANSFERS} transfers: "
+              f"{engine.metrics.committed} committed, "
+              f"{engine.metrics.deadlocks} deadlock(s) resolved by retry.")
+        print(f"Total balance before/after: {before} / {after} "
+              f"({'conserved' if before == after else 'VIOLATED'})")
+
+
+def throughput_comparison() -> None:
+    harness = ThroughputHarness()  # banking schema, seeded workload
+    results = [harness.run(protocol_class, threads=4, transactions=100,
+                           default_lock_timeout=10.0)
+               for protocol_class in (TAVProtocol, RWInstanceProtocol)]
+    print("\nWall-clock throughput, 4 worker threads, 100 transactions "
+          "(serializability verified by sequential replay):")
+    print(format_throughput_table(results))
+
+
+def main() -> None:
+    concurrent_transfers()
+    throughput_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,32 @@
 """Setuptools entry point.
 
-Kept alongside ``pyproject.toml`` so that editable installs work in offline
-environments whose setuptools predates PEP 660 support (no ``wheel``
-package available).
+All metadata lives here (no ``pyproject.toml``) so that editable installs
+work in offline environments whose setuptools predates PEP 660 support (no
+``wheel`` package available).  The library itself has zero runtime
+dependencies; the ``bench`` extra names the optional tooling used by the
+``benchmarks/`` suite and installs the ``repro-bench`` console script, which
+is the same entry point as ``python -m repro.engine.harness``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-maltam93",
+    version="1.1.0",
+    description=("Reproduction of Malta & Martinez (ICDE 1993): automated "
+                 "fine-grained concurrency control for object-oriented "
+                 "databases, with a multi-threaded execution engine"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.11",
+    install_requires=[],
+    extras_require={
+        "bench": ["pytest", "pytest-benchmark"],
+        "test": ["pytest", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-bench = repro.engine.harness:main",
+        ],
+    },
+)

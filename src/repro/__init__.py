@@ -19,6 +19,9 @@ The package is organised bottom-up:
   protocols (the paper's scheme plus the baselines it is compared with);
 * :mod:`repro.sim` — workload generation and the discrete-event concurrency
   simulator;
+* :mod:`repro.engine` — the multi-threaded execution engine: blocking lock
+  acquisition, background deadlock detection, sessions with automatic
+  abort-and-retry, and a wall-clock throughput harness;
 * :mod:`repro.reporting` — textual tables and figure renderings.
 
 Quickstart::
@@ -40,6 +43,31 @@ Quickstart::
     txn = manager.begin()
     manager.call(txn, account.oid, "deposit", 5.0)
     manager.commit(txn)
+
+The :class:`~repro.txn.manager.TransactionManager` is single-threaded and
+fail-fast (a conflict raises immediately).  For real concurrent traffic use
+an :class:`~repro.engine.engine.Engine`: its sessions *block* on conflicting
+locks, a detector thread aborts deadlock victims, and
+``run_transaction`` retries them with capped exponential backoff::
+
+    from repro.engine import Engine
+
+    with Engine(TAVProtocol(compiled, store)) as engine:
+        # any number of threads may do this concurrently:
+        def transfer(session):
+            session.call(account.oid, "deposit", 5.0)
+
+        engine.run_transaction(transfer)
+
+    # or drive a session by hand:
+    with Engine(TAVProtocol(compiled, store)) as engine:
+        with engine.begin() as session:     # commits on success, aborts on error
+            session.call(account.oid, "deposit", 5.0)
+
+Measure wall-clock throughput of the five protocols on a seeded workload
+with the harness (``python -m repro.engine.harness --help``), which also
+verifies serializability by replaying the recorded commit order on a replica
+store.
 """
 
 from repro.core import (
@@ -61,7 +89,7 @@ from repro.schema import (
     library_schema,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AccessMode",

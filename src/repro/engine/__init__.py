@@ -1,0 +1,55 @@
+"""Real multi-threaded execution: blocking locks, sessions, throughput.
+
+The simulator (:mod:`repro.sim`) proves *which* schedules each protocol
+admits on a logical clock; this package runs the same protocols under real
+OS threads so the paper's headline claim — commutativity-level parallelism
+at read/write-lock cost — can be measured in wall-clock throughput:
+
+* :class:`~repro.engine.locks.BlockingLockManager` — condition-variable
+  waiting, per-request timeouts and victim doom on top of the event-driven
+  :class:`~repro.locking.manager.LockManager`;
+* :class:`~repro.engine.detector.DeadlockDetector` — a background thread
+  finding waits-for cycles and dooming the youngest transaction of each;
+* :class:`~repro.engine.engine.Engine` /
+  :class:`~repro.engine.session.Session` — strict 2PL execution with
+  automatic abort-and-retry (capped exponential backoff) under any of the
+  five concurrency-control protocols;
+* :class:`~repro.engine.metrics.EngineMetrics` — wall-clock counters shaped
+  like :class:`~repro.sim.metrics.SimulationMetrics` for side-by-side
+  comparison;
+* :class:`~repro.engine.harness.ThroughputHarness` — replays
+  :mod:`repro.sim.workload` transaction mixes across N threads, reports
+  commits/sec and verifies serializability by sequentially replaying the
+  commit order on a replica store (``python -m repro.engine.harness``).
+"""
+
+from repro.engine.detector import DeadlockDetector
+from repro.engine.engine import Engine
+from repro.engine.locks import BlockingLockManager, USE_DEFAULT_TIMEOUT
+from repro.engine.metrics import EngineMetrics
+from repro.engine.session import Session
+
+#: Harness names are loaded lazily (PEP 562) so that running the module
+#: entry point ``python -m repro.engine.harness`` does not import the harness
+#: twice (once through this package, once through runpy).
+_HARNESS_EXPORTS = ("HarnessResult", "ThroughputHarness", "store_state")
+
+
+def __getattr__(name: str):
+    if name in _HARNESS_EXPORTS:
+        from repro.engine import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "BlockingLockManager",
+    "DeadlockDetector",
+    "Engine",
+    "EngineMetrics",
+    "HarnessResult",
+    "Session",
+    "ThroughputHarness",
+    "USE_DEFAULT_TIMEOUT",
+    "store_state",
+]

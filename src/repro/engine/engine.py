@@ -1,0 +1,301 @@
+"""The multi-threaded execution engine.
+
+:class:`Engine` is the real-traffic counterpart of
+:class:`~repro.txn.manager.TransactionManager`: the same protocol planning,
+interpreter execution and undo-log recovery, but driven by OS threads with
+*blocking* lock acquisition (:class:`~repro.engine.locks.BlockingLockManager`)
+and a background deadlock detector
+(:class:`~repro.engine.detector.DeadlockDetector`) instead of the
+fail-fast :class:`~repro.errors.LockConflictError` behaviour.
+
+Concurrency contract:
+
+* one :class:`Engine` serves any number of threads;
+* one :class:`~repro.engine.session.Session` (and its transaction) must be
+  driven by a single thread at a time;
+* strict two-phase locking — locks accumulate per transaction and are
+  released only by commit or abort, so the commit order is a serialisation
+  order and the engine records it (:attr:`commit_log`) for the harness's
+  sequential-replay serializability check.
+
+The engine owns a detector thread, so it should be closed when done; it is a
+context manager (``with Engine(protocol) as engine: ...``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+import time
+from typing import Any, Callable, Mapping, TypeVar
+
+from repro.engine.detector import DeadlockDetector
+from repro.engine.locks import USE_DEFAULT_TIMEOUT, BlockingLockManager
+from repro.engine.metrics import EngineMetrics
+from repro.engine.session import Session
+from repro.errors import DeadlockError, LockTimeoutError, TransactionError
+from repro.objects.interpreter import Interpreter
+from repro.sim.workload import TransactionSpec
+from repro.txn.operations import Operation
+from repro.txn.protocols.base import ConcurrencyControlProtocol, LockPlan
+from repro.txn.recovery import RecoveryManager
+from repro.txn.transaction import Transaction, TransactionState
+
+T = TypeVar("T")
+
+#: Bound on plan-refresh rounds after all locks of the current plan are held.
+#: Each round only ever *adds* requests, and plans are derived from a finite
+#: store, so two rounds normally reach the fixpoint; the bound guards against
+#: a pathological workload growing the store faster than it can be planned.
+_MAX_REPLAN_ROUNDS = 16
+
+
+class Engine:
+    """Runs transactions from many threads under strict 2PL with blocking locks."""
+
+    def __init__(self, protocol: ConcurrencyControlProtocol, *,
+                 builtins: Mapping[str, Callable[..., Any]] | None = None,
+                 detection_interval: float = 0.02,
+                 default_lock_timeout: float | None = None,
+                 max_retries: int = 20,
+                 backoff_base: float = 0.001,
+                 backoff_cap: float = 0.05) -> None:
+        self._protocol = protocol
+        self._store = protocol.store
+        self._locks = BlockingLockManager(protocol.create_lock_manager(),
+                                          default_timeout=default_lock_timeout)
+        self._recovery = RecoveryManager(self._store)
+        self._interpreter = Interpreter(self._store, builtins=builtins)
+        self._ids = itertools.count(1)
+        self._max_retries = max_retries
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._backoff_rng = random.Random(0x5eed)
+        self._rng_mutex = threading.Lock()
+        self._commit_mutex = threading.Lock()
+        self._commit_log: list[tuple[int, str]] = []
+        self.metrics = EngineMetrics()
+        self._detector = DeadlockDetector(
+            self._locks, interval=detection_interval,
+            on_deadlock=lambda victims: self.metrics.record_deadlocks(len(victims)))
+        self._locks.on_block = self._detector.nudge
+        self._closed = False
+        self._detector.start()
+
+    # -- life cycle -------------------------------------------------------------
+
+    def begin(self, label: str = "") -> Session:
+        """Start a transaction and return the session handle driving it."""
+        self._ensure_open()
+        transaction = Transaction(txn_id=next(self._ids))
+        self.metrics.record_begin()
+        return Session(self, transaction, label=label)
+
+    def commit(self, transaction: Transaction, label: str = "") -> None:
+        """Commit: record the serialisation point, then release every lock.
+
+        The commit is appended to :attr:`commit_log` *before* the locks are
+        released — under strict 2PL no other transaction can observe this
+        transaction's writes until the release, so the log order is a valid
+        serialisation order of the committed transactions.
+        """
+        transaction.ensure_active()
+        with self._commit_mutex:
+            self._commit_log.append((transaction.txn_id,
+                                     label or f"T{transaction.txn_id}"))
+            self._recovery.forget(transaction.txn_id)
+        self._locks.release_all(transaction.txn_id)
+        transaction.state = TransactionState.COMMITTED
+        self.metrics.record_commit()
+
+    def abort(self, transaction: Transaction) -> None:
+        """Abort: undo from the before-images, release locks, clear doom."""
+        if transaction.is_finished:
+            raise TransactionError(f"{transaction} is already finished")
+        self._recovery.undo(transaction.txn_id)
+        self._locks.release_all(transaction.txn_id)
+        transaction.state = TransactionState.ABORTED
+        self.metrics.record_abort()
+
+    def close(self) -> None:
+        """Stop the deadlock detector.  Idempotent."""
+        if not self._closed:
+            self._closed = True
+            self._detector.stop()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- executing operations ----------------------------------------------------
+
+    def perform(self, transaction: Transaction, operation: Operation,
+                timeout: float | None | object = USE_DEFAULT_TIMEOUT) -> list[Any]:
+        """Plan, lock (blocking), log before-images and execute ``operation``.
+
+        The plan is re-derived after every batch of acquisitions until it
+        stops growing, exactly like the simulator: data may change while the
+        transaction is blocked, and the refreshed plan may need locks the
+        stale one did not know about.
+
+        Raises:
+            DeadlockError: this transaction was chosen as a deadlock victim
+                while blocked; the caller must abort it.
+            LockTimeoutError: a lock request expired its timeout; the caller
+                should abort (strict 2PL keeps all earlier locks).
+        """
+        transaction.ensure_active()
+        plan = self._protocol.plan(operation)
+        transaction.stats.control_points += plan.control_points
+        plan = self._acquire_plan(transaction, plan, operation, timeout)
+        transaction.stats.operations += 1
+        for oid, fields in self._protocol.undo_projections(plan):
+            self._recovery.log_before_image(transaction.txn_id, oid, fields)
+        results = self._protocol.execute(operation, self._interpreter)
+        self.metrics.record_operation()
+        transaction.executed.append(operation)
+        transaction.results.extend(results)
+        return results
+
+    def _acquire_plan(self, transaction: Transaction, plan: LockPlan,
+                      operation: Operation,
+                      timeout: float | None | object) -> LockPlan:
+        acquired: set[tuple[Any, Any]] = set()
+        for _ in range(_MAX_REPLAN_ROUNDS):
+            for request in plan.requests:
+                key = (request.resource, request.mode)
+                if key in acquired:
+                    continue
+                transaction.stats.lock_requests += 1
+                try:
+                    waited = self._locks.acquire(transaction.txn_id,
+                                                 request.resource, request.mode,
+                                                 timeout)
+                except LockTimeoutError as error:
+                    self.metrics.record_timeout()
+                    self.metrics.record_requests(1, error.waited)
+                    raise
+                except DeadlockError as error:
+                    self.metrics.record_requests(1, error.waited)
+                    raise
+                self.metrics.record_requests(1, waited)
+                if waited > 0.0:
+                    transaction.stats.waits += 1
+                acquired.add(key)
+            refreshed = self._protocol.plan(operation)
+            extra = tuple(r for r in refreshed.requests
+                          if (r.resource, r.mode) not in acquired)
+            if not extra:
+                return LockPlan(requests=plan.requests,
+                                control_points=plan.control_points,
+                                receivers=refreshed.receivers,
+                                undo_projections=refreshed.undo_projections)
+            plan = LockPlan(requests=plan.requests + extra,
+                            control_points=plan.control_points,
+                            receivers=refreshed.receivers,
+                            undo_projections=refreshed.undo_projections)
+        raise TransactionError(
+            f"lock plan of {operation!r} did not converge within "
+            f"{_MAX_REPLAN_ROUNDS} refresh rounds")
+
+    # -- retrying wrappers --------------------------------------------------------
+
+    def run_transaction(self, work: Callable[[Session], T], *,
+                        label: str = "",
+                        max_retries: int | None = None) -> T:
+        """Run ``work(session)`` transactionally with automatic retry.
+
+        The session is committed when ``work`` returns without having
+        finished it explicitly.  On :class:`DeadlockError` or
+        :class:`LockTimeoutError` the transaction is aborted and retried
+        after a capped exponential backoff with jitter; any other exception
+        aborts and propagates.
+
+        Unlike the simulator's restarts, a retry begins a *fresh* transaction
+        (a new, younger identifier), so a retried victim can be victimised
+        again; the randomised backoff is what breaks such repeat collisions,
+        mirroring how real lock managers pair youngest-victim selection with
+        restart delays.
+        """
+        retries = self._max_retries if max_retries is None else max_retries
+        attempt = 0
+        while True:
+            session = self.begin(label=label)
+            try:
+                result = work(session)
+                if session.transaction.is_active:
+                    session.commit()
+                return result
+            except (DeadlockError, LockTimeoutError):
+                self._abort_quietly(session)
+                attempt += 1
+                if attempt > retries:
+                    raise
+                self.metrics.record_retry()
+                time.sleep(self._backoff(attempt))
+            except BaseException:
+                self._abort_quietly(session)
+                raise
+
+    def run_spec(self, spec: TransactionSpec, *,
+                 max_retries: int | None = None) -> list[Any]:
+        """Replay one workload :class:`TransactionSpec` with retry."""
+
+        def replay(session: Session) -> list[Any]:
+            results: list[Any] = []
+            for operation in spec.operations:
+                results.append(session.perform(operation))
+            return results
+
+        return self.run_transaction(replay, label=spec.label,
+                                    max_retries=max_retries)
+
+    def _abort_quietly(self, session: Session) -> None:
+        if not session.transaction.is_finished:
+            self.abort(session.transaction)
+
+    def _backoff(self, attempt: int) -> float:
+        delay = min(self._backoff_cap, self._backoff_base * (2 ** (attempt - 1)))
+        with self._rng_mutex:
+            jitter = self._backoff_rng.uniform(0.5, 1.0)
+        return delay * jitter
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def protocol(self) -> ConcurrencyControlProtocol:
+        """The concurrency-control protocol in use."""
+        return self._protocol
+
+    @property
+    def lock_manager(self) -> BlockingLockManager:
+        """The blocking lock manager (tests, detector)."""
+        return self._locks
+
+    @property
+    def recovery(self) -> RecoveryManager:
+        """The recovery manager (undo logs)."""
+        return self._recovery
+
+    @property
+    def interpreter(self) -> Interpreter:
+        """The interpreter executing method bodies."""
+        return self._interpreter
+
+    @property
+    def detector(self) -> DeadlockDetector:
+        """The background deadlock detector."""
+        return self._detector
+
+    @property
+    def commit_log(self) -> tuple[tuple[int, str], ...]:
+        """``(txn_id, label)`` pairs in commit order (a serialisation order)."""
+        with self._commit_mutex:
+            return tuple(self._commit_log)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise TransactionError("the engine has been closed")

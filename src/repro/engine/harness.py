@@ -1,0 +1,292 @@
+"""Wall-clock throughput harness for the threaded engine.
+
+The harness replays :class:`~repro.sim.workload.TransactionSpec` mixes — the
+same deterministic workloads the discrete-event simulator consumes — across
+N OS worker threads, and reports commits/sec, abort rate and mean lock-wait
+time, so the engine's wall-clock numbers line up with the simulator's
+structural metrics for the same (protocol, store, workload) triple.
+
+Every run can be *verified*: the engine records its commit order (under
+strict 2PL a serialisation order), the harness replays exactly the committed
+transactions sequentially on an identically populated replica store, and the
+two final states must be equal.  A mismatch is a serializability violation
+and is reported in the output table.
+
+Run from the command line (the ``bench`` extra installs ``repro-bench`` as a
+console script for the same entry point)::
+
+    python -m repro.engine.harness --threads 8 --transactions 200 \
+        --protocols tav,rw-instance
+"""
+
+from __future__ import annotations
+
+import argparse
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.compiler import CompiledSchema, compile_schema
+from repro.engine.engine import Engine
+from repro.engine.metrics import EngineMetrics
+from repro.errors import DeadlockError, LockTimeoutError
+from repro.objects.store import ObjectStore
+from repro.schema import Schema, banking_schema
+from repro.sim.workload import TransactionSpec, WorkloadGenerator, populate_store
+from repro.txn.manager import TransactionManager
+from repro.txn.protocols import PROTOCOLS
+
+
+def store_state(store: ObjectStore) -> dict[str, dict[str, Any]]:
+    """A comparable snapshot of every live instance's fields."""
+    return {str(instance.oid): dict(instance.values) for instance in store}
+
+
+@dataclass
+class HarnessResult:
+    """Outcome of one harness run under one protocol."""
+
+    protocol: str
+    threads: int
+    transactions: int
+    metrics: EngineMetrics
+    #: Labels of the committed transactions, in commit (serialisation) order.
+    commit_labels: tuple[str, ...]
+    #: Labels that exhausted their retries and stayed aborted.
+    failed_labels: tuple[str, ...]
+    #: ``(label, error)`` for specs that died on an unexpected exception
+    #: (anything other than retry exhaustion) — never silently dropped.
+    errors: tuple[tuple[str, str], ...]
+    #: ``True``/``False`` when verification ran, ``None`` when skipped.
+    serializable: bool | None
+    #: Final store snapshot after the threaded run.
+    final_state: dict[str, dict[str, Any]]
+
+    @property
+    def commits_per_second(self) -> float:
+        """Committed transactions per wall-clock second."""
+        return self.metrics.commits_per_second
+
+    def as_row(self) -> dict[str, Any]:
+        """A flat dictionary for the throughput table."""
+        row: dict[str, Any] = {"protocol": self.protocol, "threads": self.threads,
+                               "txns": self.transactions}
+        row.update(self.metrics.as_row())
+        row["serializable"] = ("-" if self.serializable is None
+                               else "yes" if self.serializable else "VIOLATION")
+        return row
+
+
+class ThroughputHarness:
+    """Replays one deterministic workload across threads, per protocol.
+
+    The harness owns the schema, the population parameters and the workload
+    parameters; every :meth:`run` re-populates a fresh store from the same
+    seed, so different protocols (and the sequential verification replica)
+    all start from byte-identical object bases with identical OIDs.
+    """
+
+    def __init__(self, schema: Schema | None = None,
+                 compiled: CompiledSchema | None = None, *,
+                 instances_per_class: int | dict[str, int] = 8,
+                 populate_seed: int = 11,
+                 workload_seed: int = 17,
+                 operations_per_transaction: int = 3,
+                 extent_fraction: float = 0.02,
+                 domain_fraction: float = 0.02,
+                 write_bias: float = 0.6,
+                 hotspot_fraction: float = 0.3) -> None:
+        self._schema = schema if schema is not None else banking_schema()
+        self._compiled = compiled if compiled is not None else compile_schema(self._schema)
+        self._instances_per_class = instances_per_class
+        self._populate_seed = populate_seed
+        self._workload_seed = workload_seed
+        self._operations_per_transaction = operations_per_transaction
+        self._extent_fraction = extent_fraction
+        self._domain_fraction = domain_fraction
+        self._write_bias = write_bias
+        self._hotspot_fraction = hotspot_fraction
+
+    # -- workload --------------------------------------------------------------
+
+    def populate(self) -> ObjectStore:
+        """A freshly populated store (identical on every call)."""
+        return populate_store(self._schema, self._instances_per_class,
+                              seed=self._populate_seed)
+
+    def make_specs(self, transactions: int) -> list[TransactionSpec]:
+        """The deterministic transaction mix replayed by every run."""
+        generator = WorkloadGenerator(
+            schema=self._schema, store=self.populate(), seed=self._workload_seed,
+            operations_per_transaction=self._operations_per_transaction,
+            extent_fraction=self._extent_fraction,
+            domain_fraction=self._domain_fraction,
+            write_bias=self._write_bias,
+            hotspot_fraction=self._hotspot_fraction)
+        return generator.transactions(transactions)
+
+    # -- running ---------------------------------------------------------------
+
+    def run(self, protocol_class: type, *, threads: int = 4,
+            transactions: int = 100,
+            specs: Sequence[TransactionSpec] | None = None,
+            verify: bool = True, **engine_options: Any) -> HarnessResult:
+        """Replay the workload across ``threads`` workers under one protocol.
+
+        ``engine_options`` are forwarded to :class:`Engine` (timeouts,
+        detection interval, retry policy).  With ``verify`` the committed
+        transactions are replayed sequentially on a replica store and the
+        final states compared.
+        """
+        if specs is None:
+            specs = self.make_specs(transactions)
+        specs = _with_unique_labels(specs)
+        store = self.populate()
+        protocol = protocol_class(self._compiled, store)
+
+        work: "queue.SimpleQueue[TransactionSpec]" = queue.SimpleQueue()
+        for spec in specs:
+            work.put(spec)
+        failed: list[str] = []
+        errors: list[tuple[str, str]] = []
+        failed_mutex = threading.Lock()
+        with Engine(protocol, **engine_options) as engine:
+            def worker() -> None:
+                while True:
+                    try:
+                        spec = work.get_nowait()
+                    except queue.Empty:
+                        return
+                    try:
+                        engine.run_spec(spec)
+                    except (DeadlockError, LockTimeoutError):
+                        with failed_mutex:
+                            failed.append(spec.label)
+                    except Exception as error:  # noqa: BLE001 - reported, not lost
+                        # An unexpected failure must not silently kill the
+                        # worker and drop the remaining queue.
+                        with failed_mutex:
+                            failed.append(spec.label)
+                            errors.append((spec.label, repr(error)))
+
+            pool = [threading.Thread(target=worker, name=f"repro-worker-{index}")
+                    for index in range(threads)]
+            started = time.perf_counter()
+            for thread in pool:
+                thread.start()
+            for thread in pool:
+                thread.join()
+            engine.metrics.elapsed = time.perf_counter() - started
+            commit_labels = tuple(label for _, label in engine.commit_log)
+            metrics = engine.metrics
+
+        final_state = store_state(store)
+        serializable: bool | None = None
+        if verify:
+            serializable = final_state == self._sequential_replay(
+                protocol_class, specs, commit_labels)
+        return HarnessResult(protocol=getattr(protocol_class, "name",
+                                              protocol_class.__name__),
+                             threads=threads, transactions=len(specs),
+                             metrics=metrics, commit_labels=commit_labels,
+                             failed_labels=tuple(failed), errors=tuple(errors),
+                             serializable=serializable, final_state=final_state)
+
+    def _sequential_replay(self, protocol_class: type,
+                           specs: Sequence[TransactionSpec],
+                           commit_labels: tuple[str, ...]) -> dict[str, dict[str, Any]]:
+        """Final state of replaying the committed transactions one by one."""
+        replica = self.populate()
+        manager = TransactionManager(protocol_class(self._compiled, replica))
+        by_label = {spec.label: spec for spec in specs}
+        for label in commit_labels:
+            transaction = manager.begin()
+            for operation in by_label[label].operations:
+                manager.perform(transaction, operation)
+            manager.commit(transaction)
+        return store_state(replica)
+
+
+def _with_unique_labels(specs: Sequence[TransactionSpec]) -> list[TransactionSpec]:
+    """Ensure every spec carries a unique, non-empty label (for the commit log)."""
+    seen: set[str] = set()
+    labelled: list[TransactionSpec] = []
+    for index, spec in enumerate(specs):
+        label = spec.label
+        if not label or label in seen:
+            label = f"txn-{index}"
+            while label in seen:
+                label = f"txn-{index}-{len(seen)}"
+            spec = TransactionSpec(operations=spec.operations, label=label)
+        seen.add(label)
+        labelled.append(spec)
+    return labelled
+
+
+# ---------------------------------------------------------------------------
+# Command line
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the throughput harness and print the comparison table.
+
+    Exits non-zero when any protocol produced a serializability violation.
+    """
+    from repro.reporting import format_throughput_table
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine.harness",
+        description="Replay a banking workload across real threads and compare "
+                    "wall-clock throughput per concurrency-control protocol.")
+    parser.add_argument("--threads", type=int, default=8,
+                        help="worker threads (default: 8)")
+    parser.add_argument("--transactions", type=int, default=200,
+                        help="transactions in the workload (default: 200)")
+    parser.add_argument("--protocols", default="tav,rw-instance",
+                        help="comma-separated protocol names, or 'all' "
+                             f"(available: {', '.join(PROTOCOLS)})")
+    parser.add_argument("--operations", type=int, default=3,
+                        help="operations per transaction (default: 3)")
+    parser.add_argument("--instances", type=int, default=8,
+                        help="instances per class (default: 8)")
+    parser.add_argument("--seed", type=int, default=17,
+                        help="workload seed (default: 17)")
+    parser.add_argument("--lock-timeout", type=float, default=5.0,
+                        help="per-request lock timeout in seconds (default: 5)")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the sequential-replay serializability check")
+    arguments = parser.parse_args(argv)
+
+    names = (list(PROTOCOLS) if arguments.protocols == "all"
+             else [name.strip() for name in arguments.protocols.split(",")])
+    unknown = [name for name in names if name not in PROTOCOLS]
+    if unknown:
+        parser.error(f"unknown protocol(s) {unknown}; available: {', '.join(PROTOCOLS)}")
+
+    harness = ThroughputHarness(instances_per_class=arguments.instances,
+                                workload_seed=arguments.seed,
+                                operations_per_transaction=arguments.operations)
+    results = []
+    for name in names:
+        result = harness.run(PROTOCOLS[name], threads=arguments.threads,
+                             transactions=arguments.transactions,
+                             verify=not arguments.no_verify,
+                             default_lock_timeout=arguments.lock_timeout)
+        results.append(result)
+    print(format_throughput_table(results))
+    status = 0
+    for result in results:
+        for label, error in result.errors:
+            print(f"\n{result.protocol}: transaction {label} died unexpectedly: {error}")
+            status = 1
+    if any(result.serializable is False for result in results):
+        print("\nserializability VIOLATION detected — see the table above")
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,176 @@
+"""Blocking lock acquisition on top of the event-driven lock manager.
+
+:class:`~repro.locking.manager.LockManager` is deliberately passive: a
+request either is granted or joins a FIFO queue, and releases report which
+queued requests became grantable.  :class:`BlockingLockManager` turns that
+interface into what OS threads need — ``acquire`` blocks the calling thread
+on a condition variable until its queued request is granted, the per-request
+timeout expires, or a deadlock detector marks the transaction as a victim.
+
+All inner lock-manager state is guarded by one mutex; the condition variable
+shares it, so waiters re-check their state atomically with every grant and
+doom decision.  Deadlock detection itself lives in
+:class:`~repro.engine.detector.DeadlockDetector`, which calls :meth:`detect`
+periodically (and immediately after any request blocks, via the
+``on_block`` hook).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.errors import DeadlockError, LockTimeoutError
+from repro.locking.deadlock import find_cycle
+from repro.locking.manager import LockManager, Mode, Resource, TxnId
+
+#: Sentinel meaning "use the manager's default timeout" — distinct from
+#: ``None``, which means "wait forever".
+USE_DEFAULT_TIMEOUT = object()
+
+
+class BlockingLockManager:
+    """Condition-variable blocking, timeouts and victim abort for one protocol.
+
+    One instance wraps one :class:`LockManager` and serves every worker
+    thread of one :class:`~repro.engine.engine.Engine`.  A transaction must
+    only ever be driven from one thread at a time (the session contract), but
+    any number of transactions may block concurrently.
+    """
+
+    def __init__(self, inner: LockManager, *,
+                 default_timeout: float | None = None) -> None:
+        self._inner = inner
+        self._mutex = threading.Lock()
+        self._changed = threading.Condition(self._mutex)
+        #: Deadlock victims not yet aborted: txn -> the cycle it was on.
+        self._doomed: dict[TxnId, tuple[TxnId, ...]] = {}
+        self._default_timeout = default_timeout
+        #: Called (outside any lock decision, but under the mutex is avoided)
+        #: whenever a request starts waiting; the engine wires it to the
+        #: deadlock detector's nudge so cycles are found promptly.
+        self.on_block: Callable[[], None] | None = None
+
+    # -- acquiring -------------------------------------------------------------
+
+    def acquire(self, txn: TxnId, resource: Resource, mode: Mode,
+                timeout: float | None | object = USE_DEFAULT_TIMEOUT) -> float:
+        """Block until ``txn`` holds ``mode`` on ``resource``.
+
+        Returns the seconds spent blocked (``0.0`` on an immediate grant).
+
+        Raises:
+            LockTimeoutError: the request stayed queued past ``timeout``
+                seconds (the manager's default when not given).  The queued
+                request is withdrawn; locks already held are untouched.
+            DeadlockError: the deadlock detector chose ``txn`` as a victim
+                while it was waiting (or before it could even queue).  The
+                caller must abort the transaction.
+        """
+        if timeout is USE_DEFAULT_TIMEOUT:
+            timeout = self._default_timeout
+        with self._mutex:
+            self._ensure_not_doomed(txn)
+            outcome = self._inner.request(txn, resource, mode)
+            if outcome.granted:
+                return 0.0
+        if self.on_block is not None:
+            self.on_block()
+        started = time.monotonic()
+        deadline = None if timeout is None else started + timeout
+        with self._mutex:
+            while True:
+                if txn in self._doomed:
+                    self._withdraw(txn, resource, mode)
+                    self._raise_doomed(txn, waited=time.monotonic() - started)
+                if self._inner.holds(txn, resource, mode):
+                    return time.monotonic() - started
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._withdraw(txn, resource, mode)
+                        holders = tuple(self._inner.holders(resource))
+                        raise LockTimeoutError(
+                            f"transaction {txn} timed out after {timeout}s "
+                            f"waiting for {resource!r} in mode {mode!r}; "
+                            f"held by {holders}", holders=holders,
+                            waited=time.monotonic() - started)
+                self._changed.wait(remaining)
+
+    # -- releasing -------------------------------------------------------------
+
+    def release_all(self, txn: TxnId) -> None:
+        """Release every lock of ``txn``, clear its doom flag, wake waiters."""
+        with self._mutex:
+            self._inner.release_all(txn)
+            self._doomed.pop(txn, None)
+            self._changed.notify_all()
+
+    # -- deadlock detection ----------------------------------------------------
+
+    def detect(self) -> tuple[TxnId, ...]:
+        """Find deadlock cycles and doom one victim per cycle.
+
+        The victim of each cycle is the youngest transaction on it (largest
+        identifier — identifiers are allocated monotonically), matching the
+        simulator's policy.  Transactions already doomed are excluded from
+        the waits-for graph: they are about to abort, which breaks any cycle
+        through them.  Returns the newly doomed victims.
+        """
+        with self._mutex:
+            edges = {waiter: targets
+                     for waiter, targets in self._inner.waits_for_edges().items()
+                     if waiter not in self._doomed}
+            victims: list[TxnId] = []
+            while True:
+                cycle = find_cycle(edges)
+                if not cycle:
+                    break
+                victim = max(cycle)
+                self._doomed[victim] = tuple(cycle)
+                victims.append(victim)
+                edges.pop(victim, None)
+            if victims:
+                self._changed.notify_all()
+            return tuple(victims)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def inner(self) -> LockManager:
+        """The wrapped event-driven lock manager (tests, metrics)."""
+        return self._inner
+
+    def holds(self, txn: TxnId, resource: Resource, mode: Mode | None = None) -> bool:
+        """Whether ``txn`` currently holds (that mode of) ``resource``."""
+        with self._mutex:
+            return self._inner.holds(txn, resource, mode)
+
+    def waiting(self, resource: Resource) -> tuple[tuple[TxnId, Mode], ...]:
+        """Queued requests on ``resource`` in FIFO order."""
+        with self._mutex:
+            return self._inner.waiting(resource)
+
+    def doomed_transactions(self) -> frozenset[TxnId]:
+        """Victims chosen by the detector that have not yet aborted."""
+        with self._mutex:
+            return frozenset(self._doomed)
+
+    # -- internals -------------------------------------------------------------
+
+    def _withdraw(self, txn: TxnId, resource: Resource, mode: Mode) -> None:
+        promoted = self._inner.cancel(txn, resource, mode)
+        if promoted:
+            self._changed.notify_all()
+
+    def _ensure_not_doomed(self, txn: TxnId) -> None:
+        if txn in self._doomed:
+            self._raise_doomed(txn)
+
+    def _raise_doomed(self, txn: TxnId, waited: float = 0.0) -> None:
+        cycle = self._doomed[txn]
+        raise DeadlockError(
+            f"transaction {txn} was chosen as the deadlock victim of the "
+            f"cycle {cycle}", victim=txn, cycle=cycle, waited=waited)

@@ -1,0 +1,129 @@
+"""Wall-clock metrics for the threaded execution engine.
+
+:class:`EngineMetrics` is the real-time counterpart of
+:class:`~repro.sim.metrics.SimulationMetrics`: the structural counters carry
+the same names (``committed``, ``aborted``, ``deadlocks``, ``lock_requests``,
+``waits``), so an engine run and a simulation of the same workload can be
+laid side by side, but time is measured in seconds, not steps — the rates
+(commits/sec, mean wait time) are what the paper's headline claim is about
+once schedules are real.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EngineMetrics:
+    """Thread-safe counters accumulated by one :class:`Engine`.
+
+    Worker threads update counters through the ``record_*`` methods, which
+    take an internal mutex; reads of individual fields are unsynchronised
+    snapshots (fine for reporting once the workload has quiesced).
+    """
+
+    #: Transactions started (every retry incarnation counts).
+    begun: int = 0
+    #: Transactions committed.
+    committed: int = 0
+    #: Transactions aborted (victim aborts and timeout aborts both count).
+    aborted: int = 0
+    #: Aborted transactions that were retried by ``run_transaction``.
+    retries: int = 0
+    #: Victims doomed by the deadlock detector.
+    deadlocks: int = 0
+    #: Lock requests that expired their timeout.
+    timeouts: int = 0
+    #: Lock requests issued through the blocking manager.
+    lock_requests: int = 0
+    #: Requests that blocked the calling thread.
+    waits: int = 0
+    #: Total seconds threads spent blocked on locks.
+    wait_time: float = 0.0
+    #: Operations executed successfully.
+    operations: int = 0
+    #: Wall-clock seconds of the measured run (set by the harness).
+    elapsed: float = 0.0
+
+    _mutex: threading.Lock = field(default_factory=threading.Lock, repr=False,
+                                   compare=False)
+
+    # -- recording (called from worker threads) --------------------------------
+
+    def record_begin(self) -> None:
+        with self._mutex:
+            self.begun += 1
+
+    def record_commit(self) -> None:
+        with self._mutex:
+            self.committed += 1
+
+    def record_abort(self) -> None:
+        with self._mutex:
+            self.aborted += 1
+
+    def record_retry(self) -> None:
+        with self._mutex:
+            self.retries += 1
+
+    def record_deadlocks(self, count: int) -> None:
+        with self._mutex:
+            self.deadlocks += count
+
+    def record_timeout(self) -> None:
+        with self._mutex:
+            self.timeouts += 1
+
+    def record_requests(self, count: int, waited: float) -> None:
+        with self._mutex:
+            self.lock_requests += count
+            if waited > 0.0:
+                self.waits += 1
+                self.wait_time += waited
+
+    def record_operation(self) -> None:
+        with self._mutex:
+            self.operations += 1
+
+    # -- derived rates ---------------------------------------------------------
+
+    @property
+    def commits_per_second(self) -> float:
+        """Committed transactions per wall-clock second of the run."""
+        if self.elapsed <= 0.0:
+            return 0.0
+        return self.committed / self.elapsed
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborted incarnations over all finished incarnations."""
+        finished = self.committed + self.aborted
+        if finished == 0:
+            return 0.0
+        return self.aborted / finished
+
+    @property
+    def mean_wait_time(self) -> float:
+        """Average seconds a blocking request spent waiting."""
+        if self.waits == 0:
+            return 0.0
+        return self.wait_time / self.waits
+
+    def as_row(self) -> dict[str, float]:
+        """A flat dictionary for the reporting tables."""
+        return {
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "retries": self.retries,
+            "deadlocks": self.deadlocks,
+            "timeouts": self.timeouts,
+            "lock_requests": self.lock_requests,
+            "waits": self.waits,
+            "operations": self.operations,
+            "elapsed_s": round(self.elapsed, 3),
+            "commits_per_s": round(self.commits_per_second, 1),
+            "abort_rate": round(self.abort_rate, 3),
+            "mean_wait_ms": round(self.mean_wait_time * 1000, 2),
+        }

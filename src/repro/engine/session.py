@@ -1,0 +1,114 @@
+"""Sessions: the per-thread handle on one engine transaction.
+
+A :class:`Session` bundles a :class:`~repro.txn.transaction.Transaction`
+with the engine that runs it and mirrors the
+:class:`~repro.txn.manager.TransactionManager` convenience API
+(``call``/``call_extent``/``call_domain``/``call_some``), so the examples'
+single-threaded code moves to real threads by changing only how the handle
+is obtained.
+
+A session must be driven by one thread at a time — that is what makes a
+transaction a single locus of control; the *engine* is what many threads
+share.  Sessions are context managers: leaving the block commits on success
+and aborts on an exception.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.objects.oid import OID
+from repro.txn.operations import (
+    DomainAllCall,
+    DomainSomeCall,
+    ExtentCall,
+    MethodCall,
+    Operation,
+)
+from repro.txn.transaction import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.engine import Engine
+
+
+class Session:
+    """One transaction's life in the threaded engine."""
+
+    def __init__(self, engine: "Engine", transaction: Transaction,
+                 label: str = "") -> None:
+        self._engine = engine
+        self._transaction = transaction
+        self.label = label
+
+    # -- life cycle ------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Commit the transaction (records the serialisation point)."""
+        self._engine.commit(self._transaction, label=self.label)
+
+    def abort(self) -> None:
+        """Abort the transaction (undo writes, release locks)."""
+        self._engine.abort(self._transaction)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, traceback: Any) -> None:
+        if self._transaction.is_finished:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+    # -- operations ------------------------------------------------------------
+
+    def perform(self, operation: Operation) -> list[Any]:
+        """Plan, lock (blocking) and execute one operation."""
+        return self._engine.perform(self._transaction, operation)
+
+    def call(self, oid: OID, method: str, *arguments: Any,
+             as_class: str | None = None) -> Any:
+        """Send ``method`` to one instance within this transaction."""
+        results = self.perform(MethodCall(oid=oid, method=method,
+                                          arguments=tuple(arguments),
+                                          as_class=as_class))
+        return results[0] if results else None
+
+    def call_extent(self, class_name: str, method: str, *arguments: Any) -> list[Any]:
+        """Send ``method`` to every proper instance of ``class_name``."""
+        return self.perform(ExtentCall(class_name=class_name, method=method,
+                                       arguments=tuple(arguments)))
+
+    def call_domain(self, class_name: str, method: str, *arguments: Any) -> list[Any]:
+        """Send ``method`` to every instance of the domain rooted at ``class_name``."""
+        return self.perform(DomainAllCall(class_name=class_name, method=method,
+                                          arguments=tuple(arguments)))
+
+    def call_some(self, class_name: str, method: str, oids: tuple[OID, ...],
+                  *arguments: Any) -> list[Any]:
+        """Send ``method`` to chosen instances of the domain rooted at ``class_name``."""
+        return self.perform(DomainSomeCall(class_name=class_name, method=method,
+                                           oids=tuple(oids),
+                                           arguments=tuple(arguments)))
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def transaction(self) -> Transaction:
+        """The underlying transaction object (state, stats, results)."""
+        return self._transaction
+
+    @property
+    def txn_id(self) -> int:
+        """The transaction identifier (doubles as the start timestamp)."""
+        return self._transaction.txn_id
+
+    @property
+    def engine(self) -> "Engine":
+        """The engine this session runs on."""
+        return self._engine
+
+    def __str__(self) -> str:
+        name = self.label or f"T{self._transaction.txn_id}"
+        return f"Session({name}, {self._transaction.state.value})"

@@ -136,14 +136,33 @@ class LockConflictError(ConcurrencyError):
         self.holders = holders
 
 
+class LockTimeoutError(ConcurrencyError):
+    """A blocking lock request did not complete within its timeout.
+
+    Raised by :class:`repro.engine.locks.BlockingLockManager` when a request
+    stays queued past the per-request deadline.  The queued request has been
+    withdrawn; the transaction still holds its earlier locks and should
+    normally be aborted by the caller (strict 2PL offers no partial rollback).
+    """
+
+    def __init__(self, message: str, *, holders: tuple[int, ...] = (),
+                 waited: float = 0.0) -> None:
+        super().__init__(message)
+        self.holders = holders
+        #: Seconds the request spent blocked before expiring.
+        self.waited = waited
+
+
 class DeadlockError(ConcurrencyError):
     """The transaction was chosen as a deadlock victim and must abort."""
 
     def __init__(self, message: str, *, victim: int | None = None,
-                 cycle: tuple[int, ...] = ()) -> None:
+                 cycle: tuple[int, ...] = (), waited: float = 0.0) -> None:
         super().__init__(message)
         self.victim = victim
         self.cycle = cycle
+        #: Seconds the victim's current request spent blocked, if any.
+        self.waited = waited
 
 
 class TransactionError(ConcurrencyError):

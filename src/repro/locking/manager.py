@@ -178,6 +178,18 @@ class LockManager:
                     touched.append(resource)
         return self._promote(touched)
 
+    def cancel(self, txn: TxnId, resource: Resource, mode: Mode) -> list[LockRequestOutcome]:
+        """Withdraw one queued request of ``txn`` without touching held locks.
+
+        Used by blocking front-ends when a wait is abandoned (timeout, victim
+        abort).  Removing a waiter can unblock requests that were queued
+        behind it for fairness, so the resource is re-promoted; the outcomes
+        of newly grantable requests are returned exactly as for
+        :meth:`release_all`.
+        """
+        self._remove_from_queue(resource, txn, mode)
+        return self._promote([resource])
+
     def _promote(self, resources: Iterable[Resource]) -> list[LockRequestOutcome]:
         granted: list[LockRequestOutcome] = []
         for resource in resources:

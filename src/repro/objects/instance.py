@@ -5,6 +5,13 @@ proper class.  Field access is deliberately kept dumb — all semantics (type
 defaults, reference checking) live in :class:`~repro.objects.store.ObjectStore`
 so the instance itself stays a plain container that the recovery manager can
 snapshot and restore cheaply.
+
+Thread safety: the value dict is fully populated at creation and ``set`` only
+overwrites existing keys, so each field access is one dict operation (atomic
+under CPython).  Conflicting accesses to the *same* field are ordered by the
+concurrency-control protocol's locks, not by the instance; that contract is
+what lets :mod:`repro.engine` share instances across worker threads without a
+per-instance mutex on the hot path.
 """
 
 from __future__ import annotations

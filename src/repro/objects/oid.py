@@ -23,7 +23,12 @@ class OID:
 
 
 class OIDGenerator:
-    """Hands out monotonically increasing OIDs, one counter per store."""
+    """Hands out monotonically increasing OIDs, one counter per store.
+
+    Allocation is thread-safe: ``next(itertools.count)`` is a single C-level
+    call (atomic under CPython), so concurrent creators in
+    :mod:`repro.engine` worker threads never observe a duplicate OID.
+    """
 
     def __init__(self) -> None:
         self._counter = itertools.count(1)

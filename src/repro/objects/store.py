@@ -8,7 +8,8 @@ whole *domain* rooted at a class (the class and all its subclasses).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator
+import threading
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import TypeMismatchError, UnknownClassError, UnknownInstanceError
 from repro.objects.instance import Instance
@@ -16,23 +17,45 @@ from repro.objects.oid import OID, OIDGenerator
 from repro.schema import BaseType, Schema
 
 
-#: Python types accepted for each base type.
-_ACCEPTED_TYPES: dict[BaseType, tuple[type, ...]] = {
-    BaseType.INTEGER: (int,),
-    BaseType.FLOAT: (float, int),
-    BaseType.BOOLEAN: (bool,),
-    BaseType.STRING: (str,),
+def _is_integer(value: Any) -> bool:
+    # bool is a subclass of int; it must not satisfy a numeric field.
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_float(value: Any) -> bool:
+    return isinstance(value, (float, int)) and not isinstance(value, bool)
+
+
+#: Value predicate for each base type.  Kept as predicates (not bare
+#: ``isinstance`` tuples) so the booleans-are-ints trap cannot reappear: the
+#: table itself rejects ``True``/``False`` for numeric fields.
+_ACCEPTED_TYPES: dict[BaseType, Callable[[Any], bool]] = {
+    BaseType.INTEGER: _is_integer,
+    BaseType.FLOAT: _is_float,
+    BaseType.BOOLEAN: lambda value: isinstance(value, bool),
+    BaseType.STRING: lambda value: isinstance(value, str),
 }
 
 
 class ObjectStore:
-    """An in-memory object base for one schema."""
+    """An in-memory object base for one schema.
+
+    Thread safety: structural operations (create, delete, extent snapshots,
+    iteration) are serialised by a store-level mutex so that
+    :mod:`repro.engine` worker threads can share one store.  Field reads and
+    writes on live instances are deliberately *not* taken under the mutex:
+    they are single dict operations (atomic under CPython) and the
+    concurrency-control protocol's locks are what orders conflicting
+    accesses — taking a global mutex there would serialise exactly the
+    commuting accesses the paper's scheme exists to admit.
+    """
 
     def __init__(self, schema: Schema) -> None:
         self._schema = schema
         self._instances: dict[OID, Instance] = {}
         self._extents: dict[str, list[OID]] = {name: [] for name in schema.class_names}
         self._generator = OIDGenerator()
+        self._mutex = threading.RLock()
 
     # -- creation / deletion -------------------------------------------------
 
@@ -52,13 +75,15 @@ class ObjectStore:
         fields = self._schema.fields(class_name)
         values: dict[str, Any] = {name: spec.type.default_value
                                   for name, spec in fields.items()}
-        instance = Instance(oid=self._generator.next_oid(class_name),
-                            class_name=class_name, values=values)
         for name, value in field_values.items():
             self._check_type(class_name, name, value)
-            instance.set(name, value)
-        self._instances[instance.oid] = instance
-        self._extents[class_name].append(instance.oid)
+        with self._mutex:
+            instance = Instance(oid=self._generator.next_oid(class_name),
+                                class_name=class_name, values=values)
+            for name, value in field_values.items():
+                instance.set(name, value)
+            self._instances[instance.oid] = instance
+            self._extents[class_name].append(instance.oid)
         return instance
 
     def delete(self, oid: OID) -> None:
@@ -67,9 +92,10 @@ class ObjectStore:
         Raises:
             UnknownInstanceError: if the OID is not live.
         """
-        instance = self.get(oid)
-        del self._instances[oid]
-        self._extents[instance.class_name].remove(oid)
+        with self._mutex:
+            instance = self.get(oid)
+            del self._instances[oid]
+            self._extents[instance.class_name].remove(oid)
 
     # -- lookup ---------------------------------------------------------------
 
@@ -91,7 +117,9 @@ class ObjectStore:
         return len(self._instances)
 
     def __iter__(self) -> Iterator[Instance]:
-        return iter(self._instances.values())
+        with self._mutex:
+            snapshot = list(self._instances.values())
+        return iter(snapshot)
 
     # -- field access with type checking --------------------------------------
 
@@ -121,11 +149,11 @@ class ObjectStore:
                     f"field {field_name!r} of {class_name!r} must reference an "
                     f"instance of {expected!r} (or a subclass); got {value}")
             return
-        accepted = _ACCEPTED_TYPES[declared.type.base]
-        if isinstance(value, bool) and declared.type.base is not BaseType.BOOLEAN:
-            raise TypeMismatchError(
-                f"field {field_name!r} of {class_name!r} is {declared.type}; got a boolean")
-        if not isinstance(value, accepted):
+        if not _ACCEPTED_TYPES[declared.type.base](value):
+            if isinstance(value, bool) and declared.type.base is not BaseType.BOOLEAN:
+                raise TypeMismatchError(
+                    f"field {field_name!r} of {class_name!r} is {declared.type}; "
+                    "got a boolean")
             raise TypeMismatchError(
                 f"field {field_name!r} of {class_name!r} is {declared.type}; "
                 f"got {type(value).__name__} {value!r}")
@@ -136,7 +164,8 @@ class ObjectStore:
         """OIDs of the proper instances of ``class_name`` (subclasses excluded)."""
         if class_name not in self._schema:
             raise UnknownClassError(f"unknown class {class_name!r}")
-        return tuple(self._extents[class_name])
+        with self._mutex:
+            return tuple(self._extents[class_name])
 
     def domain_extent(self, class_name: str) -> tuple[OID, ...]:
         """OIDs of the instances of the *domain* rooted at ``class_name``.
@@ -145,8 +174,9 @@ class ObjectStore:
         (§5.2, accesses of kind (iii) and (iv)).
         """
         oids: list[OID] = []
-        for name in self._schema.domain(class_name):
-            oids.extend(self._extents[name])
+        with self._mutex:
+            for name in self._schema.domain(class_name):
+                oids.extend(self._extents[name])
         return tuple(oids)
 
     def instances_of(self, class_names: Iterable[str]) -> tuple[Instance, ...]:

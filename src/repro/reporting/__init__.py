@@ -15,6 +15,7 @@ from repro.reporting.figures import (
     format_compatibility_table,
 )
 from repro.reporting.scenario_report import format_admitted_sets, format_scenario_report
+from repro.reporting.throughput import format_throughput_table
 
 __all__ = [
     "describe_resolution_graph",
@@ -27,4 +28,5 @@ __all__ = [
     "format_records",
     "format_scenario_report",
     "format_table",
+    "format_throughput_table",
 ]

@@ -1,0 +1,36 @@
+"""Wall-clock throughput tables for the threaded engine.
+
+The simulator's tables count steps; these count seconds.  The column set
+mirrors :meth:`repro.engine.metrics.EngineMetrics.as_row` plus the harness's
+serializability verdict, so one table answers both "how fast" and "was it
+still correct".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.reporting.tables import format_records
+
+#: Column order of the throughput table (missing columns are dropped).
+_COLUMNS = ("protocol", "threads", "txns", "committed", "aborted", "retries",
+            "deadlocks", "timeouts", "commits_per_s", "abort_rate",
+            "mean_wait_ms", "elapsed_s", "serializable")
+
+
+def format_throughput_table(results: Sequence[Any]) -> str:
+    """Render harness results (or equivalent dicts) as an aligned table.
+
+    Accepts :class:`~repro.engine.harness.HarnessResult` objects, anything
+    else with an ``as_row()`` method, or plain mappings.
+    """
+    rows: list[Mapping[str, Any]] = []
+    for result in results:
+        if hasattr(result, "as_row"):
+            rows.append(result.as_row())
+        else:
+            rows.append(dict(result))
+    if not rows:
+        return ""
+    columns = [column for column in _COLUMNS if any(column in row for row in rows)]
+    return format_records(rows, columns=columns)

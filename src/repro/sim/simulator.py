@@ -184,19 +184,19 @@ class Simulator:
                 transaction.plan = LockPlan(
                     requests=plan.requests + extra,
                     control_points=plan.control_points,
-                    receivers=refreshed.receivers)
+                    receivers=refreshed.receivers,
+                    undo_projections=refreshed.undo_projections)
                 return
             transaction.plan = LockPlan(requests=plan.requests,
                                         control_points=plan.control_points,
-                                        receivers=refreshed.receivers)
+                                        receivers=refreshed.receivers,
+                                        undo_projections=refreshed.undo_projections)
             transaction.replanned = True
             return
 
         # Execute the operation atomically.
-        for oid, method in transaction.plan.receivers:
-            self._recovery.log_before_image(
-                transaction.txn_id, oid,
-                self._protocol.written_projection(oid, method))
+        for oid, fields in self._protocol.undo_projections(transaction.plan):
+            self._recovery.log_before_image(transaction.txn_id, oid, fields)
         outcome = self._protocol.execute(operation, self._interpreter)
         results[transaction.label].append(outcome)
         metrics.operations += 1

@@ -83,10 +83,8 @@ class TransactionManager:
             self._locks.acquire(transaction.txn_id, request.resource, request.mode)
         transaction.stats.control_points += plan.control_points
         transaction.stats.operations += 1
-        for oid, method in plan.receivers:
-            self._recovery.log_before_image(
-                transaction.txn_id, oid,
-                self._protocol.written_projection(oid, method))
+        for oid, fields in self._protocol.undo_projections(plan):
+            self._recovery.log_before_image(transaction.txn_id, oid, fields)
         results = self._protocol.execute(operation, self._interpreter)
         transaction.executed.append(operation)
         transaction.results.extend(results)

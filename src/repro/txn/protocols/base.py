@@ -45,11 +45,21 @@ class LockPlan:
         receivers: ``(oid, entry method)`` pairs of the instances the
             operation may write; the recovery manager snapshots the
             written-field projection of each before execution.
+        undo_projections: optional explicit ``(oid, fields)`` before-image
+            projections.  ``None`` means "derive from ``receivers`` via the
+            transitive access vectors" (the §3 recovery use), which is
+            correct whenever the protocol's locks cover the whole TAV
+            footprint.  A *path-sensitive* protocol such as field locking
+            locks only the fields the actual execution path touches, so its
+            undo must be restricted to the same footprint: restoring a
+            TAV-projected field the transaction never locked would overwrite
+            concurrent committed writes of that field.
     """
 
     requests: tuple[LockRequestSpec, ...]
     control_points: int
     receivers: tuple[tuple[OID, str], ...] = ()
+    undo_projections: tuple[tuple[OID, tuple[str, ...]], ...] | None = None
 
     def __len__(self) -> int:
         return len(self.requests)
@@ -116,6 +126,19 @@ class ConcurrencyControlProtocol(abc.ABC):
         """
         compiled = self._compiled.compiled_class(oid.class_name)
         return compiled.tav(method).written_fields
+
+    def undo_projections(self, plan: LockPlan) -> tuple[tuple[OID, tuple[str, ...]], ...]:
+        """The before-image projections a transaction manager must log.
+
+        Uses the plan's explicit projections when the protocol supplied them
+        (path-sensitive protocols know exactly what the execution writes);
+        otherwise falls back to the transitive-access-vector projection of
+        every receiver.
+        """
+        if plan.undo_projections is not None:
+            return plan.undo_projections
+        return tuple((oid, self.written_projection(oid, method))
+                     for oid, method in plan.receivers)
 
     @property
     def compiled(self) -> CompiledSchema:

@@ -58,6 +58,7 @@ class FieldLockingProtocol(ConcurrencyControlProtocol):
         trace = self._shadow_trace(operation)
         requests: list[LockRequestSpec] = []
         receivers: list[tuple[OID, str]] = []
+        written: dict[OID, dict[str, None]] = {}
         control_points = 0
 
         for event in trace.events:
@@ -78,12 +79,22 @@ class FieldLockingProtocol(ConcurrencyControlProtocol):
                 requests.append(LockRequestSpec(
                     resource=("field", event.oid, event.field), mode=mode,
                     note="field access"))
+                if event.mode is AccessMode.WRITE:
+                    written.setdefault(event.oid, {})[event.field] = None
 
+        # The scheme locks exactly the fields the execution path touches, so
+        # the undo projection must be the *written part of that path*, not
+        # the conservative TAV projection — restoring an unlocked TAV field
+        # on abort would clobber concurrent committed writes.
+        projections = tuple((oid, tuple(fields)) for oid, fields in written.items())
         return LockPlan(requests=tuple(requests), control_points=control_points,
-                        receivers=tuple(receivers))
+                        receivers=tuple(receivers), undo_projections=projections)
 
     # -- helpers --------------------------------------------------------------------
 
     def _classify_message(self, event: MessageEvent) -> str:
-        compiled = self._compiled.compiled_class(event.class_name)
+        # Classify from the resolved class: that is whose body executes (a
+        # prefixed super-send may write even when the override's own
+        # statements only read).
+        compiled = self._compiled.compiled_class(event.resolved_class)
         return self.classify(compiled.analyses[event.method].dav.top_mode)

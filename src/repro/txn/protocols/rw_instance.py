@@ -67,8 +67,14 @@ class RWInstanceProtocol(ConcurrencyControlProtocol):
         The classification looks only at the method's own statements (its
         DAV), exactly as a scheme without transitive analysis would: ``m1``
         is a reader even though the methods it calls write.
+
+        The DAV is taken from the *resolved* class — the class whose body is
+        about to execute.  For a prefixed send like ``Account.withdraw`` from
+        an overriding subclass this matters: the subclass's override may be a
+        reader in its own statements while the inherited body writes, and
+        classifying by the override would execute a write under a read lock.
         """
-        compiled = self._compiled.compiled_class(event.class_name)
+        compiled = self._compiled.compiled_class(event.resolved_class)
         dav = compiled.analyses[event.method].dav
         return self.classify(dav.top_mode)
 

@@ -1,0 +1,196 @@
+"""Engine and session behaviour: commit/abort, blocking, retry, harness."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine import Engine, ThroughputHarness
+from repro.errors import DeadlockError, LockTimeoutError, TransactionError
+from repro.objects import ObjectStore
+from repro.reporting import format_throughput_table
+from repro.txn.protocols import RWInstanceProtocol, TAVProtocol
+from repro.txn.transaction import TransactionState
+
+
+@pytest.fixture
+def account_store(banking):
+    store = ObjectStore(banking)
+    store.create("Account", balance=100.0, owner="ada", active=True)
+    store.create("Account", balance=100.0, owner="grace", active=True)
+    return store
+
+
+def balances(store):
+    return [store.read_field(oid, "balance") for oid in store.extent("Account")]
+
+
+def test_commit_makes_writes_durable_and_abort_undoes_them(banking, banking_compiled,
+                                                           account_store):
+    oid = account_store.extent("Account")[0]
+    with Engine(TAVProtocol(banking_compiled, account_store)) as engine:
+        session = engine.begin()
+        session.call(oid, "deposit", 25)
+        session.commit()
+        assert account_store.read_field(oid, "balance") == 125.0
+
+        session = engine.begin()
+        session.call(oid, "deposit", 10)
+        assert account_store.read_field(oid, "balance") == 135.0
+        session.abort()
+        assert account_store.read_field(oid, "balance") == 125.0
+        assert session.transaction.state is TransactionState.ABORTED
+        assert engine.metrics.committed == 1
+        assert engine.metrics.aborted == 1
+
+
+def test_session_context_manager_commits_on_success_and_aborts_on_error(
+        banking_compiled, account_store):
+    oid = account_store.extent("Account")[0]
+    with Engine(TAVProtocol(banking_compiled, account_store)) as engine:
+        with engine.begin() as session:
+            session.call(oid, "deposit", 5)
+        assert account_store.read_field(oid, "balance") == 105.0
+
+        with pytest.raises(RuntimeError):
+            with engine.begin() as session:
+                session.call(oid, "deposit", 5)
+                raise RuntimeError("boom")
+        assert account_store.read_field(oid, "balance") == 105.0
+
+
+def test_conflicting_session_blocks_until_commit(banking_compiled, account_store):
+    oid = account_store.extent("Account")[0]
+    with Engine(TAVProtocol(banking_compiled, account_store)) as engine:
+        first = engine.begin()
+        first.call(oid, "deposit", 10)
+
+        entered = threading.Event()
+        done = threading.Event()
+
+        def contender():
+            session = engine.begin()
+            entered.set()
+            session.call(oid, "deposit", 10)  # blocks until `first` commits
+            session.commit()
+            done.set()
+
+        thread = threading.Thread(target=contender)
+        thread.start()
+        assert entered.wait(timeout=2.0)
+        assert not done.wait(timeout=0.15), "writer-writer conflict did not block"
+        first.commit()
+        assert done.wait(timeout=5.0)
+        thread.join(timeout=2.0)
+        assert account_store.read_field(oid, "balance") == 120.0
+        assert engine.metrics.waits >= 1
+        assert engine.metrics.wait_time > 0.0
+
+
+def test_lock_timeout_surfaces_and_the_session_can_abort(banking_compiled,
+                                                         account_store):
+    oid = account_store.extent("Account")[0]
+    with Engine(TAVProtocol(banking_compiled, account_store),
+                default_lock_timeout=0.05) as engine:
+        holder = engine.begin()
+        holder.call(oid, "deposit", 10)
+        contender = engine.begin()
+        with pytest.raises(LockTimeoutError):
+            contender.call(oid, "deposit", 10)
+        contender.abort()
+        holder.commit()
+        assert engine.metrics.timeouts == 1
+        assert account_store.read_field(oid, "balance") == 110.0
+
+
+def test_run_transaction_retries_deadlock_victims_to_completion(banking_compiled,
+                                                                account_store):
+    first_oid, second_oid = account_store.extent("Account")
+    barrier = threading.Barrier(2)
+
+    def transfer(src, dst):
+        def work(session):
+            session.call(src, "deposit", -1)
+            try:
+                barrier.wait(timeout=0.5)  # line both txns up for the deadlock
+            except threading.BrokenBarrierError:
+                pass  # retry incarnations run alone
+            session.call(dst, "deposit", 1)
+        return work
+
+    with Engine(TAVProtocol(banking_compiled, account_store),
+                detection_interval=0.005) as engine:
+        errors: list[BaseException] = []
+
+        def run(work):
+            try:
+                engine.run_transaction(work)
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=run, args=(transfer(first_oid, second_oid),)),
+                   threading.Thread(target=run, args=(transfer(second_oid, first_oid),))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+        assert not errors
+        assert engine.metrics.committed == 2
+        assert engine.metrics.deadlocks >= 1
+        assert engine.metrics.retries >= 1
+    # Each transfer is balance-neutral, so conservation must hold.
+    assert sum(balances(account_store)) == 200.0
+
+
+def test_begin_after_close_raises(banking_compiled, account_store):
+    engine = Engine(TAVProtocol(banking_compiled, account_store))
+    engine.close()
+    with pytest.raises(TransactionError):
+        engine.begin()
+
+
+def test_abort_of_finished_transaction_raises(banking_compiled, account_store):
+    with Engine(TAVProtocol(banking_compiled, account_store)) as engine:
+        session = engine.begin()
+        session.commit()
+        with pytest.raises(TransactionError):
+            session.abort()
+
+
+@pytest.mark.parametrize("protocol_class", [TAVProtocol, RWInstanceProtocol],
+                         ids=["tav", "rw-instance"])
+def test_harness_run_is_serializable(protocol_class):
+    harness = ThroughputHarness()
+    result = harness.run(protocol_class, threads=4, transactions=40,
+                         default_lock_timeout=10.0)
+    assert result.serializable is True
+    assert result.failed_labels == ()
+    assert result.metrics.committed == 40
+    assert set(result.commit_labels) == {f"txn-{i}" for i in range(40)}
+    assert result.commits_per_second > 0
+
+
+def test_harness_results_render_as_a_throughput_table():
+    harness = ThroughputHarness()
+    results = [harness.run(cls, threads=4, transactions=20,
+                           default_lock_timeout=10.0)
+               for cls in (TAVProtocol, RWInstanceProtocol)]
+    table = format_throughput_table(results)
+    assert "tav" in table
+    assert "rw-instance" in table
+    assert "commits_per_s" in table
+    assert "serializable" in table
+    assert "VIOLATION" not in table
+
+
+def test_commit_log_records_one_entry_per_commit(banking_compiled, account_store):
+    with Engine(TAVProtocol(banking_compiled, account_store)) as engine:
+        for label in ("a", "b", "c"):
+            session = engine.begin(label=label)
+            session.call(account_store.extent("Account")[0], "deposit", 1)
+            session.commit()
+        assert [label for _, label in engine.commit_log] == ["a", "b", "c"]
+        txn_ids = [txn_id for txn_id, _ in engine.commit_log]
+        assert txn_ids == sorted(txn_ids)

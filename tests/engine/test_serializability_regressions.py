@@ -1,0 +1,90 @@
+"""Regressions for two serializability bugs the throughput harness exposed.
+
+Both were latent in the seed — invisible to the single-threaded manager and
+to the logical-clock simulator because neither ever compares a concurrent
+run's final state against a sequential replay:
+
+1. *Prefixed super-sends classified by the override's DAV.*  A per-message
+   R/W scheme must classify ``send Account.withdraw to self`` by the body
+   about to execute (``Account``'s, a writer), not by the subclass override
+   whose own statements only read — otherwise the write to ``balance`` runs
+   under a read lock.
+
+2. *Undo wider than the locked footprint.*  Field locking locks exactly the
+   fields of the actual execution path, but before-images were projected
+   from the conservative transitive access vector; a deadlock victim's undo
+   could restore a field it never locked, wiping a concurrent committed
+   write.
+"""
+
+from __future__ import annotations
+
+from repro.objects.store import ObjectStore
+from repro.sim.workload import populate_store
+from repro.txn.operations import MethodCall
+from repro.txn.protocols import (
+    FieldLockingProtocol,
+    RWHierarchyProtocol,
+    RWInstanceProtocol,
+)
+
+
+def checking_withdraw_plan(protocol_class, banking, banking_compiled):
+    store = ObjectStore(banking)
+    account = store.create("CheckingAccount", balance=100.0, owner="ada",
+                           active=True)
+    protocol = protocol_class(banking_compiled, store)
+    plan = protocol.plan(MethodCall(oid=account.oid, method="withdraw",
+                                    arguments=(10.0,)))
+    return account, plan
+
+
+def test_prefixed_super_send_is_classified_as_a_writer(banking, banking_compiled):
+    # CheckingAccount.withdraw's own statements only read; the inherited
+    # Account.withdraw body it invokes writes balance.  The per-message plan
+    # must therefore contain a W instance lock.
+    for protocol_class in (RWInstanceProtocol, RWHierarchyProtocol):
+        account, plan = checking_withdraw_plan(protocol_class, banking,
+                                               banking_compiled)
+        instance_modes = {request.mode for request in plan.requests
+                          if request.resource == ("instance", account.oid)}
+        assert "W" in instance_modes, protocol_class.name
+
+
+def test_field_locking_takes_a_write_lock_for_the_super_send(banking,
+                                                             banking_compiled):
+    account, plan = checking_withdraw_plan(FieldLockingProtocol, banking,
+                                           banking_compiled)
+    balance_modes = {request.mode for request in plan.requests
+                     if request.resource == ("field", account.oid, "balance")}
+    assert "W" in balance_modes
+
+
+def test_field_locking_undo_projection_matches_the_locked_path(banking,
+                                                               banking_compiled):
+    # On the no-overdraft path, withdraw never reaches charge_fee, so
+    # fee_total is neither locked nor written; the undo projection must not
+    # include it (restoring it would clobber concurrent committed writes).
+    account, plan = checking_withdraw_plan(FieldLockingProtocol, banking,
+                                           banking_compiled)
+    assert plan.undo_projections is not None
+    projections = dict(plan.undo_projections)
+    written = set(projections[account.oid])
+    assert "balance" in written
+    assert "fee_total" not in written
+    locked_writes = {request.resource[2] for request in plan.requests
+                     if request.resource[0] == "field" and request.mode == "W"}
+    assert written <= locked_writes
+
+
+def test_conservative_protocols_keep_the_tav_undo_projection(banking,
+                                                             banking_compiled):
+    # rw-instance locks whole instances, so the TAV-wide projection stays
+    # correct (and is what the recovery argument of §3 describes).
+    account, plan = checking_withdraw_plan(RWInstanceProtocol, banking,
+                                           banking_compiled)
+    assert plan.undo_projections is None
+    protocol = RWInstanceProtocol(banking_compiled,
+                                  populate_store(banking, 1, seed=0))
+    assert set(protocol.written_projection(account.oid, "withdraw")) >= \
+        {"balance", "fee_total"}

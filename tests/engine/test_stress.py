@@ -1,0 +1,92 @@
+"""Stress: many threads, many transactions, every protocol, invariants held.
+
+Each transaction is a balance-neutral transfer (a negative deposit on the
+source, a positive one on the destination), so whatever interleaving the
+protocol admits, the total balance across all accounts must be exactly what
+it was before the run — any torn read-modify-write, lost update or broken
+undo shows up as a conservation violation.  The test also asserts that the
+deadlock detector thread does not leak.
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import threading
+
+import pytest
+
+from repro.engine import Engine
+from repro.objects import ObjectStore
+from repro.txn.protocols import PROTOCOLS
+
+THREADS = 8
+TRANSFERS = 200
+ACCOUNTS_PER_CLASS = 4  # 12 hot accounts across the hierarchy
+
+
+def build_store(banking) -> ObjectStore:
+    store = ObjectStore(banking)
+    for index in range(ACCOUNTS_PER_CLASS):
+        store.create("Account", balance=1000.0, owner=f"a{index}", active=True)
+        store.create("SavingsAccount", balance=1000.0, owner=f"s{index}",
+                     active=True, rate=0.01)
+        store.create("CheckingAccount", balance=1000.0, owner=f"c{index}",
+                     active=True, overdraft_limit=100)
+    return store
+
+
+def total_balance(store: ObjectStore) -> float:
+    return sum(store.read_field(instance.oid, "balance") for instance in store)
+
+
+@pytest.mark.parametrize("protocol_name", list(PROTOCOLS))
+def test_conservation_under_concurrent_transfers(protocol_name, banking,
+                                                 banking_compiled):
+    protocol_class = PROTOCOLS[protocol_name]
+    store = build_store(banking)
+    oids = [instance.oid for instance in store]
+    before = total_balance(store)
+
+    rng = random.Random(20260729)
+    transfers: "queue.SimpleQueue[tuple]" = queue.SimpleQueue()
+    for _ in range(TRANSFERS):
+        source, destination = rng.sample(oids, 2)
+        transfers.put((source, destination, rng.randint(1, 50)))
+
+    baseline_threads = threading.active_count()
+    errors: list[BaseException] = []
+    with Engine(protocol_class(banking_compiled, store),
+                detection_interval=0.005, default_lock_timeout=30.0) as engine:
+        def worker() -> None:
+            while True:
+                try:
+                    source, destination, amount = transfers.get_nowait()
+                except queue.Empty:
+                    return
+
+                def transfer(session, source=source, destination=destination,
+                             amount=amount):
+                    session.call(source, "deposit", -amount)
+                    session.call(destination, "deposit", amount)
+
+                try:
+                    engine.run_transaction(transfer)
+                except BaseException as error:  # noqa: BLE001 - surfaced below
+                    errors.append(error)
+                    return
+
+        pool = [threading.Thread(target=worker, name=f"stress-{index}")
+                for index in range(THREADS)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=120.0)
+            assert not thread.is_alive(), "a worker thread wedged"
+        assert not errors, errors
+        assert engine.metrics.committed == TRANSFERS
+        # Aborted incarnations were all retried to completion.
+        assert engine.metrics.aborted == engine.metrics.retries
+        assert engine.metrics.operations >= 2 * TRANSFERS
+    assert total_balance(store) == before
+    assert threading.active_count() == baseline_threads, "detector thread leaked"

@@ -125,3 +125,28 @@ def test_shadow_store_isolates_writes(figure1_store):
     shadow.reset()
     assert shadow.read_field(instance.oid, "f1") == 5
     assert shadow.schema is figure1_store.schema
+
+
+def test_booleans_are_rejected_for_numeric_fields(figure1_store):
+    # bool subclasses int, so a naive isinstance table would let True/False
+    # through as INTEGER or FLOAT values; the store must refuse both.
+    with pytest.raises(TypeMismatchError, match="boolean"):
+        figure1_store.create("c1", f1=True)
+    instance = figure1_store.create("c1")
+    with pytest.raises(TypeMismatchError, match="boolean"):
+        figure1_store.write_field(instance.oid, "f1", False)
+
+
+def test_booleans_are_rejected_for_float_fields(banking):
+    store = ObjectStore(banking)
+    with pytest.raises(TypeMismatchError, match="boolean"):
+        store.create("Account", balance=True)
+    account = store.create("Account")
+    with pytest.raises(TypeMismatchError, match="boolean"):
+        store.write_field(account.oid, "balance", False)
+    # Plain ints stay acceptable for float fields; bools stay acceptable for
+    # boolean fields.
+    store.write_field(account.oid, "balance", 7)
+    store.write_field(account.oid, "active", True)
+    assert store.read_field(account.oid, "balance") == 7
+    assert store.read_field(account.oid, "active") is True
