@@ -1,0 +1,63 @@
+"""Sharded versus single-shard wall-clock throughput.
+
+The sharded engine gives every shard its own lock-manager mutex and
+condition variable, so a release wakes only that shard's waiters and
+unrelated transactions never serialise on lock bookkeeping; cross-shard
+transactions pay a two-phase commit in exchange.  This bench replays the
+same contended banking workload under ``shards=1`` and ``shards=4`` at 8
+worker threads and reports both rows side by side.
+
+A caveat the numbers need: on a single-CPU container the GIL serialises all
+interpreter work, so the contention the sharding removes (mutex convoys,
+condition-variable wakeup storms) is only a few percent of wall-clock and
+the two configurations measure within scheduler noise of each other; the
+structural win grows with core count.  The assertions therefore pin the
+*correctness* story (serializability on every run, cross-shard commits
+actually exercised, no starvation) and only bound the sharded overhead,
+rather than demanding a speed-up this hardware cannot exhibit reliably.
+"""
+
+from repro.engine import ThroughputHarness
+from repro.reporting import format_throughput_table
+from repro.txn.protocols import TAVProtocol
+
+from .conftest import emit
+
+THREADS = 8
+TRANSACTIONS = 200
+INSTANCES_PER_CLASS = 4  # a hot store: contention is the point here
+
+
+def run_shard_comparison(banking, banking_compiled):
+    harness = ThroughputHarness(schema=banking, compiled=banking_compiled,
+                                instances_per_class=INSTANCES_PER_CLASS)
+    return [harness.run(TAVProtocol, threads=THREADS,
+                        transactions=TRANSACTIONS, shards=shards,
+                        default_lock_timeout=10.0)
+            for shards in (1, 4)]
+
+
+def test_sharded_engine_throughput(benchmark, banking, banking_compiled):
+    results = benchmark.pedantic(run_shard_comparison,
+                                 args=(banking, banking_compiled),
+                                 rounds=1, iterations=1, warmup_rounds=0)
+    single, sharded = results
+
+    for result in results:
+        assert result.serializable is True, "serializability violation"
+        assert result.failed_labels == ()
+        assert result.metrics.committed == TRANSACTIONS
+
+    assert single.shards == 1 and sharded.shards == 4
+    assert single.metrics.cross_shard_commits == 0
+    assert sharded.metrics.cross_shard_commits > 0, "2PC path never exercised"
+    # The sharded path must stay in the same performance class as the single
+    # lock manager even where the hardware cannot reward the partitioning.
+    assert sharded.commits_per_second > 0.5 * single.commits_per_second
+
+    ratio = sharded.commits_per_second / single.commits_per_second
+    emit(f"Sharded vs single-shard engine throughput "
+         f"({THREADS} threads, {TRANSACTIONS} transactions, "
+         f"{INSTANCES_PER_CLASS} instances/class; "
+         f"shards=4 / shards=1 commits/sec ratio: {ratio:.2f})",
+         format_throughput_table(results))

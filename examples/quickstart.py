@@ -59,6 +59,12 @@ def main() -> None:
     print(f"After T1 committed, T2 reads value = {value}")
     manager.commit(t2)
 
+    print("\nNext steps: examples/threaded_banking.py runs the same protocols "
+          "under real threads with blocking locks, and "
+          "examples/sharded_banking.py partitions the store and lock managers "
+          "across shards with cross-shard two-phase commit "
+          "(python -m repro.engine.harness --shards 4 benchmarks it).")
+
 
 if __name__ == "__main__":
     main()

@@ -1,0 +1,103 @@
+"""Sharded banking: partitioned store, per-shard locks, cross-shard 2PC.
+
+The threaded-banking example funnels every teller through one lock manager;
+here the same banking schema runs on a :class:`ShardedObjectStore` split
+across four shards, each with its own lock manager and undo log.  A
+transaction whose *lock footprint* spans shards commits through two-phase
+commit — watch the coordinator's decision log and the ``xshard`` column.
+Under OID-hash placement that is most transactions: an instance lock lands
+on the instance's shard while the accompanying class-intention lock lands
+on the class's, so even a one-account deposit usually prepares two shards
+(by-class placement via :class:`ClassShardRouter` keeps such transactions
+single-shard instead).  Deadlock detection unions the per-shard waits-for
+graphs so cross-shard cycles are still caught and retried.
+
+Run with::
+
+    python examples/sharded_banking.py
+"""
+
+import queue
+import random
+import threading
+
+from repro import banking_schema, compile_schema
+from repro.engine import Engine, ThroughputHarness
+from repro.reporting import format_throughput_table
+from repro.sharding import HashShardRouter, ShardedObjectStore
+from repro.txn.protocols import TAVProtocol
+
+SHARDS = 4
+ACCOUNTS = 12
+TELLERS = 4
+TRANSFERS = 120
+
+
+def cross_shard_transfers() -> None:
+    schema = banking_schema()
+    compiled = compile_schema(schema)
+    store = ShardedObjectStore(schema, HashShardRouter(SHARDS))
+    oids = [store.create("CheckingAccount", balance=1000.0, owner=f"cust-{i}",
+                         active=True).oid
+            for i in range(ACCOUNTS)]
+    print(f"{ACCOUNTS} accounts over {SHARDS} shards; "
+          f"instances per shard: {store.shard_sizes()}")
+    before = sum(store.read_field(oid, "balance") for oid in oids)
+
+    rng = random.Random(42)
+    jobs: "queue.SimpleQueue[tuple]" = queue.SimpleQueue()
+    for _ in range(TRANSFERS):
+        source, destination = rng.sample(oids, 2)
+        jobs.put((source, destination, rng.randint(1, 100)))
+
+    with Engine(TAVProtocol(compiled, store), detection_interval=0.005) as engine:
+        def teller() -> None:
+            while True:
+                try:
+                    source, destination, amount = jobs.get_nowait()
+                except queue.Empty:
+                    return
+
+                def transfer(session, source=source, destination=destination,
+                             amount=amount):
+                    session.call(source, "deposit", -amount)
+                    session.call(destination, "deposit", amount)
+
+                engine.run_transaction(transfer)
+
+        threads = [threading.Thread(target=teller) for _ in range(TELLERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        after = sum(store.read_field(oid, "balance") for oid in oids)
+        cross = engine.metrics.cross_shard_commits
+        print(f"{TELLERS} tellers ran {TRANSFERS} transfers on {SHARDS} shards: "
+              f"{engine.metrics.committed} committed, {cross} of them "
+              f"cross-shard (two-phase commit), "
+              f"{engine.metrics.deadlocks} deadlock(s) resolved by retry.")
+        last = engine.coordinator.decisions[-1]
+        print(f"Last global commit record: txn {last.txn} -> {last.verdict} "
+              f"on shards {last.shards}")
+        print(f"Total balance before/after: {before} / {after} "
+              f"({'conserved' if before == after else 'VIOLATED'})")
+
+
+def shard_scaling_comparison() -> None:
+    harness = ThroughputHarness(instances_per_class=4)  # hot, contended store
+    results = [harness.run(TAVProtocol, threads=8, transactions=100,
+                           shards=shards, default_lock_timeout=10.0)
+               for shards in (1, 2, 4)]
+    print("\nWall-clock throughput at 1, 2 and 4 shards, 8 worker threads "
+          "(serializability verified by sequential replay):")
+    print(format_throughput_table(results))
+
+
+def main() -> None:
+    cross_shard_transfers()
+    shard_scaling_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,12 @@ at read/write-lock cost — can be measured in wall-clock throughput:
   :mod:`repro.sim.workload` transaction mixes across N threads, reports
   commits/sec and verifies serializability by sequentially replaying the
   commit order on a replica store (``python -m repro.engine.harness``).
+
+The engine is sharded (see :mod:`repro.sharding`): ``Engine(protocol,
+shards=N)`` gives every shard its own lock manager and undo log, commits
+cross-shard transactions through two-phase commit, and detects deadlocks
+over the union of the per-shard waits-for graphs; the harness exposes this
+as ``--shards N``.
 """
 
 from repro.engine.detector import DeadlockDetector

@@ -1,12 +1,14 @@
 """Background deadlock detection for the threaded engine.
 
-The detector is a daemon thread that periodically asks the
-:class:`~repro.engine.locks.BlockingLockManager` to examine its waits-for
-graph (:meth:`~repro.engine.locks.BlockingLockManager.detect`).  Any thread
-that starts waiting *nudges* the detector so a fresh cycle is found within
-one scheduling quantum instead of a full polling interval — with real
-threads a deadlock freezes wall-clock progress, so latency matters in a way
-it does not for the logical-clock simulator.
+The detector is a daemon thread that periodically asks its lock source to
+examine the waits-for graph and doom victims — either one
+:class:`~repro.engine.locks.BlockingLockManager` or a
+:class:`~repro.sharding.locks.ShardedLockFront`, whose ``detect`` unions
+the per-shard graphs so cross-shard cycles are found too.  Any thread that
+starts waiting *nudges* the detector so a fresh cycle is found within one
+scheduling quantum instead of a full polling interval — with real threads a
+deadlock freezes wall-clock progress, so latency matters in a way it does
+not for the logical-clock simulator.
 
 The thread must be stopped explicitly (:meth:`stop`); the engine does so on
 ``close()`` and its tests assert that no detector threads leak.
@@ -15,16 +17,23 @@ The thread must be stopped explicitly (:meth:`stop`); the engine does so on
 from __future__ import annotations
 
 import threading
-from typing import Callable
+from typing import Callable, Protocol
 
-from repro.engine.locks import BlockingLockManager
 from repro.locking.manager import TxnId
+
+
+class DeadlockSource(Protocol):
+    """Anything that can find-and-doom deadlock victims on demand."""
+
+    def detect(self) -> tuple[TxnId, ...]:
+        """Doom one victim per waits-for cycle; return the new victims."""
+        ...
 
 
 class DeadlockDetector:
     """Runs cycle detection on its own thread until stopped."""
 
-    def __init__(self, locks: BlockingLockManager, *, interval: float = 0.02,
+    def __init__(self, locks: DeadlockSource, *, interval: float = 0.02,
                  on_deadlock: Callable[[tuple[TxnId, ...]], None] | None = None) -> None:
         self._locks = locks
         self._interval = interval

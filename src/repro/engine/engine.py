@@ -18,6 +18,18 @@ Concurrency contract:
   order and the engine records it (:attr:`commit_log`) for the harness's
   sequential-replay serializability check.
 
+The engine is *sharded*: lock management, undo logging and (when the store
+is a :class:`~repro.sharding.store.ShardedObjectStore`) the data itself are
+partitioned across N shards by a :class:`~repro.sharding.router.ShardRouter`,
+so unrelated transactions never touch the same mutex or condition variable.
+A transaction that spans shards commits through two-phase commit
+(:class:`~repro.sharding.twopc.TwoPhaseCommitCoordinator`): every touched
+shard prepares its before-image log, one global commit record — appended
+under the engine's commit mutex, which also orders :attr:`commit_log` —
+fixes the serialisation point, and only then are the shards' undo logs
+discarded and the locks released.  ``shards=1`` (the default) degenerates to
+the familiar single-manager behaviour with the same code path.
+
 The engine owns a detector thread, so it should be closed when done; it is a
 context manager (``with Engine(protocol) as engine: ...``).
 """
@@ -28,18 +40,26 @@ import itertools
 import random
 import threading
 import time
-from typing import Any, Callable, Mapping, TypeVar
+from typing import Any, Callable, Hashable, Mapping, TypeVar
 
 from repro.engine.detector import DeadlockDetector
 from repro.engine.locks import USE_DEFAULT_TIMEOUT, BlockingLockManager
 from repro.engine.metrics import EngineMetrics
 from repro.engine.session import Session
-from repro.errors import DeadlockError, LockTimeoutError, TransactionError
+from repro.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    TransactionError,
+    TwoPhaseCommitError,
+)
 from repro.objects.interpreter import Interpreter
+from repro.sharding.locks import ShardedLockFront
+from repro.sharding.recovery import ShardedRecoveryManager
+from repro.sharding.router import HashShardRouter, ShardRouter
+from repro.sharding.twopc import ShardParticipant, TwoPhaseCommitCoordinator
 from repro.sim.workload import TransactionSpec
 from repro.txn.operations import Operation
 from repro.txn.protocols.base import ConcurrencyControlProtocol, LockPlan
-from repro.txn.recovery import RecoveryManager
 from repro.txn.transaction import Transaction, TransactionState
 
 T = TypeVar("T")
@@ -60,12 +80,27 @@ class Engine:
                  default_lock_timeout: float | None = None,
                  max_retries: int = 20,
                  backoff_base: float = 0.001,
-                 backoff_cap: float = 0.05) -> None:
+                 backoff_cap: float = 0.05,
+                 shards: int | None = None,
+                 router: ShardRouter | None = None) -> None:
         self._protocol = protocol
         self._store = protocol.store
-        self._locks = BlockingLockManager(protocol.create_lock_manager(),
-                                          default_timeout=default_lock_timeout)
-        self._recovery = RecoveryManager(self._store)
+        self._router = self._resolve_router(shards, router)
+        num_shards = self._router.num_shards
+        #: Original begin timestamp per live incarnation (wait-die victim age).
+        self._origins: dict[int, int] = {}
+        shard_managers = [
+            BlockingLockManager(protocol.create_lock_manager(),
+                                default_timeout=default_lock_timeout)
+            for _ in range(num_shards)
+        ]
+        self._locks = ShardedLockFront(shard_managers, self._router,
+                                       victim_key=self._victim_age)
+        self._recovery = ShardedRecoveryManager(self._store, self._router)
+        self._coordinator = TwoPhaseCommitCoordinator([
+            ShardParticipant(shard_id, self._recovery.shard_manager(shard_id))
+            for shard_id in range(num_shards)
+        ])
         self._interpreter = Interpreter(self._store, builtins=builtins)
         self._ids = itertools.count(1)
         self._max_retries = max_retries
@@ -83,39 +118,119 @@ class Engine:
         self._closed = False
         self._detector.start()
 
+    def _resolve_router(self, shards: int | None,
+                        router: ShardRouter | None) -> ShardRouter:
+        """One router for locks, undo logs and (if sharded) the store.
+
+        A sharded store brings its own router; adopting it keeps lock and
+        data placement aligned so a single-shard transaction really is
+        single-shard.  Explicit ``shards``/``router`` arguments must agree
+        with it (and with each other).
+        """
+        store_router = getattr(self._store, "router", None)
+        if router is None:
+            router = store_router
+        elif store_router is not None and router is not store_router:
+            raise ValueError("pass either a sharded store or a router, "
+                             "not two different placements")
+        if router is None:
+            return HashShardRouter(shards if shards is not None else 1)
+        if shards is not None and shards != router.num_shards:
+            raise ValueError(f"shards={shards} disagrees with the router's "
+                             f"{router.num_shards} shards")
+        return router
+
+    def _touched_shards(self, txn: int) -> list[int]:
+        """The shards ``txn`` locked or wrote on, sorted (2PC participant set).
+
+        Every protocol's undo records sit on shards the transaction also
+        locked (writes are always locked at instance/tuple/field granularity
+        on the written instance's shard), but the union keeps the participant
+        set correct for any future protocol that logs where it does not lock.
+        """
+        locked = self._locks.touched_view(txn)
+        wrote = self._recovery.touched_view(txn)
+        if not wrote:
+            return sorted(locked) if locked else []
+        return sorted(set().union(locked or (), wrote))
+
+    def _victim_age(self, txn: int) -> Hashable:
+        """Deadlock-victim age order: youngest *origin* first, id tie-break.
+
+        A retried incarnation registered its first incarnation's timestamp in
+        :attr:`_origins`, so it ranks as old as its original work (wait-die
+        style) instead of always being the youngest — that is what stops a
+        long transaction from being re-victimised on every retry.
+        """
+        return (self._origins.get(txn, txn), txn)
+
     # -- life cycle -------------------------------------------------------------
 
-    def begin(self, label: str = "") -> Session:
-        """Start a transaction and return the session handle driving it."""
+    def begin(self, label: str = "", origin: int | None = None) -> Session:
+        """Start a transaction and return the session handle driving it.
+
+        ``origin`` is the begin timestamp of the transaction's *first*
+        incarnation; retrying callers pass the original so deadlock victim
+        selection ranks the retry by when its work actually began
+        (:meth:`run_transaction` does this automatically).
+        """
         self._ensure_open()
-        transaction = Transaction(txn_id=next(self._ids))
+        transaction = Transaction(txn_id=next(self._ids), origin=origin)
+        self._origins[transaction.txn_id] = transaction.origin
         self.metrics.record_begin()
         return Session(self, transaction, label=label)
 
     def commit(self, transaction: Transaction, label: str = "") -> None:
-        """Commit: record the serialisation point, then release every lock.
+        """Commit through two-phase commit over the touched shards.
 
-        The commit is appended to :attr:`commit_log` *before* the locks are
-        released — under strict 2PL no other transaction can observe this
-        transaction's writes until the release, so the log order is a valid
-        serialisation order of the committed transactions.
+        Phase one prepares the before-image log of every shard the
+        transaction locked or wrote on; the global commit record (and the
+        :attr:`commit_log` entry — both under the commit mutex, so their
+        orders agree) then fixes the serialisation point; phase two discards
+        the shards' undo logs.  The transaction is marked ``COMMITTED``
+        *before* any lock is released, so a racing observer can never see an
+        ACTIVE transaction whose writes are already unprotected.
+
+        Raises:
+            TwoPhaseCommitError: a shard vetoed prepare.  The transaction has
+                been aborted on every touched shard (all before-images
+                restored) before the error propagates.
         """
         transaction.ensure_active()
+        txn = transaction.txn_id
+        touched = self._touched_shards(txn)
+        try:
+            self._coordinator.prepare(txn, touched)
+        except TwoPhaseCommitError:
+            self.abort(transaction)
+            raise
         with self._commit_mutex:
-            self._commit_log.append((transaction.txn_id,
-                                     label or f"T{transaction.txn_id}"))
-            self._recovery.forget(transaction.txn_id)
-        self._locks.release_all(transaction.txn_id)
+            self._commit_log.append((txn, label or f"T{txn}"))
+            self._coordinator.record_commit(txn, touched)
         transaction.state = TransactionState.COMMITTED
-        self.metrics.record_commit()
+        self._coordinator.complete_commit(txn, touched)
+        self._recovery.discard_tracking(txn)
+        self._locks.release_all(txn)
+        self._origins.pop(txn, None)
+        self.metrics.record_commit(cross_shard=len(touched) > 1)
 
     def abort(self, transaction: Transaction) -> None:
-        """Abort: undo from the before-images, release locks, clear doom."""
+        """Abort: restore before-images on every touched shard, then unlock.
+
+        The undo runs while the locks are still held (strict 2PL — nobody
+        may see the dirty values), the transaction is marked ``ABORTED``,
+        and only then are the locks released and doom flags cleared,
+        mirroring the commit-side ordering.
+        """
         if transaction.is_finished:
             raise TransactionError(f"{transaction} is already finished")
-        self._recovery.undo(transaction.txn_id)
-        self._locks.release_all(transaction.txn_id)
+        txn = transaction.txn_id
+        touched = self._touched_shards(txn)
+        self._coordinator.abort(txn, touched)
+        self._recovery.discard_tracking(txn)
         transaction.state = TransactionState.ABORTED
+        self._locks.release_all(txn)
+        self._origins.pop(txn, None)
         self.metrics.record_abort()
 
     def close(self) -> None:
@@ -214,16 +329,21 @@ class Engine:
         after a capped exponential backoff with jitter; any other exception
         aborts and propagates.
 
-        Unlike the simulator's restarts, a retry begins a *fresh* transaction
-        (a new, younger identifier), so a retried victim can be victimised
-        again; the randomised backoff is what breaks such repeat collisions,
-        mirroring how real lock managers pair youngest-victim selection with
-        restart delays.
+        A retry begins a fresh transaction (a new identifier — its locks and
+        undo state must not be confused with the aborted incarnation's) but
+        *carries the original begin timestamp* (``origin``), and victim
+        selection ranks transactions by that origin.  An aborted-and-retried
+        transaction therefore keeps its seniority instead of re-entering as
+        the youngest — the wait-die-style fix for retry starvation, where a
+        long transaction under contention was re-victimised forever.
         """
         retries = self._max_retries if max_retries is None else max_retries
         attempt = 0
+        origin: int | None = None
         while True:
-            session = self.begin(label=label)
+            session = self.begin(label=label, origin=origin)
+            origin = session.transaction.origin
+            session.transaction.stats.restarts = attempt
             try:
                 result = work(session)
                 if session.transaction.is_active:
@@ -271,14 +391,29 @@ class Engine:
         return self._protocol
 
     @property
-    def lock_manager(self) -> BlockingLockManager:
-        """The blocking lock manager (tests, detector)."""
+    def lock_manager(self) -> ShardedLockFront:
+        """The sharded blocking lock front (tests, detector)."""
         return self._locks
 
     @property
-    def recovery(self) -> RecoveryManager:
-        """The recovery manager (undo logs)."""
+    def recovery(self) -> ShardedRecoveryManager:
+        """The sharded recovery manager (per-shard undo logs)."""
         return self._recovery
+
+    @property
+    def coordinator(self) -> TwoPhaseCommitCoordinator:
+        """The two-phase commit coordinator (decision log, participants)."""
+        return self._coordinator
+
+    @property
+    def router(self) -> ShardRouter:
+        """The shard router shared by locks, undo logs and a sharded store."""
+        return self._router
+
+    @property
+    def num_shards(self) -> int:
+        """How many shards the engine partitions over."""
+        return self._router.num_shards
 
     @property
     def interpreter(self) -> Interpreter:

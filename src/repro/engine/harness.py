@@ -12,16 +12,24 @@ transactions sequentially on an identically populated replica store, and the
 two final states must be equal.  A mismatch is a serializability violation
 and is reported in the output table.
 
+With ``--shards N`` the store, lock managers and undo logs are partitioned
+across N shards (see :mod:`repro.sharding`) and cross-shard transactions
+commit through two-phase commit; the table's ``shards`` column makes the
+contention win measurable against the single-shard baseline.  ``--json
+PATH`` additionally writes the table as a ``BENCH_*.json``-style
+machine-readable document for the performance trajectory.
+
 Run from the command line (the ``bench`` extra installs ``repro-bench`` as a
 console script for the same entry point)::
 
     python -m repro.engine.harness --threads 8 --transactions 200 \
-        --protocols tav,rw-instance
+        --protocols tav,rw-instance --shards 4
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import queue
 import threading
 import time
@@ -34,6 +42,8 @@ from repro.engine.metrics import EngineMetrics
 from repro.errors import DeadlockError, LockTimeoutError
 from repro.objects.store import ObjectStore
 from repro.schema import Schema, banking_schema
+from repro.sharding.router import HashShardRouter, ShardRouter
+from repro.sharding.store import ShardedObjectStore
 from repro.sim.workload import TransactionSpec, WorkloadGenerator, populate_store
 from repro.txn.manager import TransactionManager
 from repro.txn.protocols import PROTOCOLS
@@ -50,6 +60,7 @@ class HarnessResult:
 
     protocol: str
     threads: int
+    shards: int
     transactions: int
     metrics: EngineMetrics
     #: Labels of the committed transactions, in commit (serialisation) order.
@@ -72,7 +83,7 @@ class HarnessResult:
     def as_row(self) -> dict[str, Any]:
         """A flat dictionary for the throughput table."""
         row: dict[str, Any] = {"protocol": self.protocol, "threads": self.threads,
-                               "txns": self.transactions}
+                               "shards": self.shards, "txns": self.transactions}
         row.update(self.metrics.as_row())
         row["serializable"] = ("-" if self.serializable is None
                                else "yes" if self.serializable else "VIOLATION")
@@ -111,10 +122,16 @@ class ThroughputHarness:
 
     # -- workload --------------------------------------------------------------
 
-    def populate(self) -> ObjectStore:
-        """A freshly populated store (identical on every call)."""
+    def populate(self, store: Any | None = None) -> ObjectStore:
+        """A freshly populated store (identical contents on every call).
+
+        ``store`` optionally supplies the empty store to fill — the sharded
+        runs pass a :class:`~repro.sharding.store.ShardedObjectStore`, which
+        ends up holding the same instances under the same OIDs as the plain
+        replica the verification replay uses.
+        """
         return populate_store(self._schema, self._instances_per_class,
-                              seed=self._populate_seed)
+                              seed=self._populate_seed, store=store)
 
     def make_specs(self, transactions: int) -> list[TransactionSpec]:
         """The deterministic transaction mix replayed by every run."""
@@ -132,18 +149,34 @@ class ThroughputHarness:
     def run(self, protocol_class: type, *, threads: int = 4,
             transactions: int = 100,
             specs: Sequence[TransactionSpec] | None = None,
-            verify: bool = True, **engine_options: Any) -> HarnessResult:
+            verify: bool = True, shards: int = 1,
+            router: ShardRouter | None = None,
+            **engine_options: Any) -> HarnessResult:
         """Replay the workload across ``threads`` workers under one protocol.
 
-        ``engine_options`` are forwarded to :class:`Engine` (timeouts,
-        detection interval, retry policy).  With ``verify`` the committed
-        transactions are replayed sequentially on a replica store and the
-        final states compared.
+        With ``shards > 1`` (or an explicit ``router``) the run executes on a
+        :class:`~repro.sharding.store.ShardedObjectStore` and the engine
+        partitions its lock managers and undo logs the same way; the
+        verification replica stays a plain store, which holds identical
+        instances because both populate in the same creation order from one
+        OID counter.  ``engine_options`` are forwarded to :class:`Engine`
+        (timeouts, detection interval, retry policy).  With ``verify`` the
+        committed transactions are replayed sequentially on the replica and
+        the final states compared.
         """
         if specs is None:
             specs = self.make_specs(transactions)
         specs = _with_unique_labels(specs)
-        store = self.populate()
+        if router is None and shards > 1:
+            router = HashShardRouter(shards)
+        if router is not None:
+            if shards not in (1, router.num_shards):
+                raise ValueError(f"shards={shards} disagrees with the "
+                                 f"router's {router.num_shards} shards")
+            store = self.populate(ShardedObjectStore(self._schema, router))
+            shards = router.num_shards
+        else:
+            store = self.populate()
         protocol = protocol_class(self._compiled, store)
 
         work: "queue.SimpleQueue[TransactionSpec]" = queue.SimpleQueue()
@@ -189,7 +222,8 @@ class ThroughputHarness:
                 protocol_class, specs, commit_labels)
         return HarnessResult(protocol=getattr(protocol_class, "name",
                                               protocol_class.__name__),
-                             threads=threads, transactions=len(specs),
+                             threads=threads, shards=shards,
+                             transactions=len(specs),
                              metrics=metrics, commit_labels=commit_labels,
                              failed_labels=tuple(failed), errors=tuple(errors),
                              serializable=serializable, final_state=final_state)
@@ -230,6 +264,45 @@ def _with_unique_labels(specs: Sequence[TransactionSpec]) -> list[TransactionSpe
 # ---------------------------------------------------------------------------
 
 
+def bench_document(results: Sequence[HarnessResult],
+                   config: dict[str, Any] | None = None) -> dict[str, Any]:
+    """The harness results as a ``BENCH_*.json``-style document.
+
+    One flat row per (protocol, threads, shards) configuration plus the
+    configuration that produced them, so successive runs can be diffed for
+    the performance trajectory without re-parsing the human table.
+    """
+    return {
+        "benchmark": "engine_throughput",
+        "unit": "commits_per_s",
+        "config": dict(config or {}),
+        "results": [
+            {**result.as_row(),
+             "serializable": result.serializable,
+             "failed": list(result.failed_labels)}
+            for result in results
+        ],
+    }
+
+
+def write_bench_json(path: str, results: Sequence[HarnessResult],
+                     arguments: argparse.Namespace) -> None:
+    """Write :func:`bench_document` for one CLI invocation to ``path``."""
+    config = {
+        "threads": arguments.threads,
+        "shards": arguments.shards,
+        "transactions": arguments.transactions,
+        "operations": arguments.operations,
+        "instances": arguments.instances,
+        "seed": arguments.seed,
+        "lock_timeout": arguments.lock_timeout,
+        "verified": not arguments.no_verify,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(bench_document(results, config), handle, indent=2)
+        handle.write("\n")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the throughput harness and print the comparison table.
 
@@ -243,22 +316,33 @@ def main(argv: Sequence[str] | None = None) -> int:
                     "wall-clock throughput per concurrency-control protocol.")
     parser.add_argument("--threads", type=int, default=8,
                         help="worker threads (default: 8)")
-    parser.add_argument("--transactions", type=int, default=200,
-                        help="transactions in the workload (default: 200)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="store/lock shards; >1 runs the sharded engine "
+                             "with cross-shard 2PC (default: 1)")
+    parser.add_argument("--transactions", type=int, default=400,
+                        help="transactions in the workload (default: 400 — "
+                             "long enough for a stable commits/sec reading)")
     parser.add_argument("--protocols", default="tav,rw-instance",
                         help="comma-separated protocol names, or 'all' "
                              f"(available: {', '.join(PROTOCOLS)})")
     parser.add_argument("--operations", type=int, default=3,
                         help="operations per transaction (default: 3)")
-    parser.add_argument("--instances", type=int, default=8,
-                        help="instances per class (default: 8)")
+    parser.add_argument("--instances", type=int, default=4,
+                        help="instances per class (default: 4 — a hot store; "
+                             "raise it to dilute contention)")
     parser.add_argument("--seed", type=int, default=17,
                         help="workload seed (default: 17)")
     parser.add_argument("--lock-timeout", type=float, default=5.0,
                         help="per-request lock timeout in seconds (default: 5)")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the sequential-replay serializability check")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the results as a BENCH_*.json-style "
+                             "machine-readable document")
     arguments = parser.parse_args(argv)
+
+    if arguments.shards < 1:
+        parser.error(f"--shards must be at least 1, got {arguments.shards}")
 
     names = (list(PROTOCOLS) if arguments.protocols == "all"
              else [name.strip() for name in arguments.protocols.split(",")])
@@ -274,9 +358,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         result = harness.run(PROTOCOLS[name], threads=arguments.threads,
                              transactions=arguments.transactions,
                              verify=not arguments.no_verify,
+                             shards=arguments.shards,
                              default_lock_timeout=arguments.lock_timeout)
         results.append(result)
     print(format_throughput_table(results))
+    if arguments.json:
+        write_bench_json(arguments.json, results, arguments)
+        print(f"\nmachine-readable results written to {arguments.json}")
     status = 0
     for result in results:
         for label, error in result.errors:

@@ -19,15 +19,17 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable
+from typing import Callable, Hashable, Mapping
 
 from repro.errors import DeadlockError, LockTimeoutError
-from repro.locking.deadlock import find_cycle
-from repro.locking.manager import LockManager, Mode, Resource, TxnId
-
-#: Sentinel meaning "use the manager's default timeout" — distinct from
-#: ``None``, which means "wait forever".
-USE_DEFAULT_TIMEOUT = object()
+from repro.locking.deadlock import choose_victim, find_cycle
+from repro.locking.manager import (  # noqa: F401 - USE_DEFAULT_TIMEOUT re-exported
+    USE_DEFAULT_TIMEOUT,
+    LockManager,
+    Mode,
+    Resource,
+    TxnId,
+)
 
 
 class BlockingLockManager:
@@ -40,13 +42,18 @@ class BlockingLockManager:
     """
 
     def __init__(self, inner: LockManager, *,
-                 default_timeout: float | None = None) -> None:
+                 default_timeout: float | None = None,
+                 victim_key: Callable[[TxnId], Hashable] | None = None) -> None:
         self._inner = inner
         self._mutex = threading.Lock()
         self._changed = threading.Condition(self._mutex)
         #: Deadlock victims not yet aborted: txn -> the cycle it was on.
         self._doomed: dict[TxnId, tuple[TxnId, ...]] = {}
         self._default_timeout = default_timeout
+        #: Age order used by :meth:`detect` to pick victims; ``None`` compares
+        #: raw identifiers.  The engine passes the original begin timestamp so
+        #: retried incarnations keep their seniority (wait-die style).
+        self.victim_key = victim_key
         #: Called (outside any lock decision, but under the mutex is avoided)
         #: whenever a request starts waiting; the engine wires it to the
         #: deadlock detector's nudge so cycles are found promptly.
@@ -60,10 +67,20 @@ class BlockingLockManager:
 
         Returns the seconds spent blocked (``0.0`` on an immediate grant).
 
+        Timeout contract: ``None`` waits forever; a positive timeout bounds
+        the wait; a timeout of **zero or less is a deterministic try-lock** —
+        an incompatible resource raises :class:`LockTimeoutError` immediately
+        and the probe leaves no queuing side effects (the momentary queue
+        entry is withdrawn before the manager's mutex is released, so no
+        other thread can ever observe it, block behind it, or wait for a
+        wakeup because of it).
+
         Raises:
             LockTimeoutError: the request stayed queued past ``timeout``
-                seconds (the manager's default when not given).  The queued
-                request is withdrawn; locks already held are untouched.
+                seconds (the manager's default when not given), or the
+                resource was busy and the timeout was non-positive.  The
+                queued request is withdrawn; locks already held are
+                untouched.
             DeadlockError: the deadlock detector chose ``txn`` as a victim
                 while it was waiting (or before it could even queue).  The
                 caller must abort the transaction.
@@ -75,6 +92,14 @@ class BlockingLockManager:
             outcome = self._inner.request(txn, resource, mode)
             if outcome.granted:
                 return 0.0
+            if timeout is not None and timeout <= 0:
+                # Fail-fast try-lock: withdraw atomically with the probe.
+                self._withdraw(txn, resource, mode)
+                raise LockTimeoutError(
+                    f"transaction {txn} could not try-lock {resource!r} in "
+                    f"mode {mode!r} (timeout={timeout}); held by "
+                    f"{outcome.blockers}", holders=outcome.blockers,
+                    waited=0.0)
         if self.on_block is not None:
             self.on_block()
         started = time.monotonic()
@@ -113,8 +138,9 @@ class BlockingLockManager:
     def detect(self) -> tuple[TxnId, ...]:
         """Find deadlock cycles and doom one victim per cycle.
 
-        The victim of each cycle is the youngest transaction on it (largest
-        identifier — identifiers are allocated monotonically), matching the
+        The victim of each cycle is the youngest transaction on it, where
+        "youngest" is decided by :attr:`victim_key` (largest identifier when
+        unset — identifiers are allocated monotonically), matching the
         simulator's policy.  Transactions already doomed are excluded from
         the waits-for graph: they are about to abort, which breaks any cycle
         through them.  Returns the newly doomed victims.
@@ -128,13 +154,64 @@ class BlockingLockManager:
                 cycle = find_cycle(edges)
                 if not cycle:
                     break
-                victim = max(cycle)
+                victim = choose_victim(cycle, self.victim_key)
                 self._doomed[victim] = tuple(cycle)
                 victims.append(victim)
                 edges.pop(victim, None)
             if victims:
                 self._changed.notify_all()
             return tuple(victims)
+
+    # -- cross-shard coordination ----------------------------------------------
+    #
+    # A sharded front-end (repro.sharding.locks.ShardedLockFront) runs cycle
+    # detection over the *union* of many managers' waits-for graphs and then
+    # dooms the victims in every shard.  These three methods are the pieces
+    # detect() is made of, exposed so the coordinator can interleave them.
+
+    def collect_edges(self) -> dict[TxnId, set[TxnId]]:
+        """This manager's waits-for edges, minus transactions already doomed."""
+        with self._mutex:
+            return {waiter: set(targets)
+                    for waiter, targets in self._inner.waits_for_edges().items()
+                    if waiter not in self._doomed}
+
+    def doom(self, victims: Mapping[TxnId, tuple[TxnId, ...]]) -> None:
+        """Doom those of ``victims`` (txn -> cycle) that are *waiting here*.
+
+        A cross-shard coordinator chooses victims from a union snapshot
+        assembled outside any shard mutex, so a chosen victim may have been
+        granted — or have committed — by the time the doom arrives.  Only
+        transactions with a queued request in this shard are marked: they
+        will wake, withdraw and abort.  A victim that no longer waits
+        anywhere had its cycle resolve on its own, and skipping it is what
+        keeps a stale doom flag from outliving the transaction (identifiers
+        are never reused, so nobody would ever clear it).
+        """
+        if not victims:
+            return
+        with self._mutex:
+            blocked = self._inner.blocked_transactions()
+            relevant = {txn: cycle for txn, cycle in victims.items()
+                        if txn in blocked}
+            if relevant:
+                self._doomed.update(relevant)
+                self._changed.notify_all()
+
+    def clear_doom(self, txn: TxnId) -> None:
+        """Forget a doom flag without releasing anything (victim finished).
+
+        The unsynchronised membership probe is safe because :meth:`doom`
+        only ever marks a transaction with a request queued *in this shard*
+        (checked under the mutex), and a transaction that reached release
+        time has no queued request anywhere — grants, timeouts and victim
+        aborts all withdraw before returning.  No doom flag can therefore
+        appear concurrently with this call; the probe can only see a flag
+        set before the release began.
+        """
+        if txn in self._doomed:
+            with self._mutex:
+                self._doomed.pop(txn, None)
 
     # -- introspection ---------------------------------------------------------
 

@@ -28,6 +28,9 @@ class EngineMetrics:
     begun: int = 0
     #: Transactions committed.
     committed: int = 0
+    #: Committed transactions whose writes/locks spanned more than one shard
+    #: (these paid the full two-phase commit; always 0 with one shard).
+    cross_shard_commits: int = 0
     #: Transactions aborted (victim aborts and timeout aborts both count).
     aborted: int = 0
     #: Aborted transactions that were retried by ``run_transaction``.
@@ -56,9 +59,11 @@ class EngineMetrics:
         with self._mutex:
             self.begun += 1
 
-    def record_commit(self) -> None:
+    def record_commit(self, *, cross_shard: bool = False) -> None:
         with self._mutex:
             self.committed += 1
+            if cross_shard:
+                self.cross_shard_commits += 1
 
     def record_abort(self) -> None:
         with self._mutex:
@@ -115,6 +120,7 @@ class EngineMetrics:
         """A flat dictionary for the reporting tables."""
         return {
             "committed": self.committed,
+            "xshard": self.cross_shard_commits,
             "aborted": self.aborted,
             "retries": self.retries,
             "deadlocks": self.deadlocks,

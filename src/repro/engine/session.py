@@ -105,6 +105,12 @@ class Session:
         return self._transaction.txn_id
 
     @property
+    def origin(self) -> int:
+        """The first incarnation's begin timestamp (victim-selection age)."""
+        origin = self._transaction.origin
+        return self._transaction.txn_id if origin is None else origin
+
+    @property
     def engine(self) -> "Engine":
         """The engine this session runs on."""
         return self._engine

@@ -169,6 +169,23 @@ class TransactionError(ConcurrencyError):
     """A transaction is used outside of its legal life cycle."""
 
 
+class TwoPhaseCommitError(TransactionError):
+    """A shard voted no during the prepare phase of a cross-shard commit.
+
+    The engine reacts by aborting the transaction on *every* touched shard
+    (prepared ones included), restoring each to its before-images, and then
+    re-raises this error to the caller.
+    """
+
+    def __init__(self, message: str, *, shard: int | None = None,
+                 txn: int | None = None) -> None:
+        super().__init__(message)
+        #: The shard that vetoed, when known.
+        self.shard = shard
+        #: The transaction whose commit was vetoed, when known.
+        self.txn = txn
+
+
 class TransactionAborted(ConcurrencyError):
     """The transaction has been aborted and cannot issue further operations."""
 

@@ -16,12 +16,13 @@ from repro.locking.modes import (
     multigranularity_compatible,
     rw_compatible,
 )
-from repro.locking.deadlock import WaitsForGraph, find_cycle
+from repro.locking.deadlock import WaitsForGraph, choose_victim, find_cycle
 from repro.locking.manager import (
     LockManager,
     LockRequestOutcome,
     LockManagerStats,
     RequestStatus,
+    USE_DEFAULT_TIMEOUT,
 )
 
 __all__ = [
@@ -32,7 +33,9 @@ __all__ = [
     "MULTIGRANULARITY_COMPATIBILITY",
     "RW_COMPATIBILITY",
     "RequestStatus",
+    "USE_DEFAULT_TIMEOUT",
     "WaitsForGraph",
+    "choose_victim",
     "class_lock_compatible",
     "find_cycle",
     "multigranularity_compatible",

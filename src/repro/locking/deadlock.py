@@ -7,9 +7,25 @@ transactions on the cycle is chosen as the victim.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Mapping, TypeVar
+from typing import Callable, Hashable, Iterable, Mapping, TypeVar
 
 Txn = TypeVar("Txn", bound=Hashable)
+
+
+def choose_victim(cycle: Iterable[Txn],
+                  key: Callable[[Txn], Hashable] | None = None) -> Txn:
+    """Pick the deadlock victim of ``cycle``: the *youngest* transaction.
+
+    Without ``key``, transactions are compared by their identifier (allocated
+    monotonically, so "largest" means "started last").  A ``key`` lets the
+    caller substitute a different notion of age — the threaded engine passes
+    the transaction's *original* begin timestamp so that a retried
+    incarnation inherits its first incarnation's seniority (wait-die style)
+    instead of always looking youngest and being re-victimised forever.
+    """
+    if key is None:
+        return max(cycle)
+    return max(cycle, key=key)
 
 
 def find_cycle(edges: Mapping[Txn, Iterable[Txn]]) -> tuple[Txn, ...]:
@@ -82,11 +98,14 @@ class WaitsForGraph:
         """Return one deadlock cycle, or ``()`` when the graph is acyclic."""
         return find_cycle(self._edges)
 
-    def choose_victim(self, cycle: tuple[Hashable, ...]) -> Hashable:
+    def choose_victim(self, cycle: tuple[Hashable, ...],
+                      key: Callable[[Hashable], Hashable] | None = None) -> Hashable:
         """Pick the victim of a deadlock: the youngest transaction on the cycle.
 
-        Transactions are compared by their identifier, which the transaction
-        manager allocates monotonically, so "largest id" means "started
-        last"; aborting the youngest transaction wastes the least work.
+        By default transactions are compared by their identifier, which the
+        transaction manager allocates monotonically, so "largest id" means
+        "started last"; aborting the youngest transaction wastes the least
+        work.  ``key`` substitutes a different age order (see
+        :func:`choose_victim`).
         """
-        return max(cycle)
+        return choose_victim(cycle, key)

@@ -37,6 +37,12 @@ TxnId = int
 
 CompatibilityFn = Callable[[Resource, Mode, Mode], bool]
 
+#: Sentinel meaning "use the manager's default timeout" — distinct from
+#: ``None``, which means "wait forever".  Defined here (the lowest layer)
+#: so that blocking front-ends in :mod:`repro.engine` and
+#: :mod:`repro.sharding` can share it without importing each other.
+USE_DEFAULT_TIMEOUT = object()
+
 
 class RequestStatus(enum.Enum):
     """Outcome of a lock request."""

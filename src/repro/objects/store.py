@@ -37,6 +37,39 @@ _ACCEPTED_TYPES: dict[BaseType, Callable[[Any], bool]] = {
 }
 
 
+def check_field_type(schema: Schema, class_name: str, field_name: str,
+                     value: Any) -> None:
+    """Raise :class:`TypeMismatchError` unless ``value`` fits the field's type.
+
+    Shared by every store implementation (:class:`ObjectStore` and the
+    sharded store in :mod:`repro.sharding.store`) so the type rules — and the
+    booleans-are-not-integers trap — live in exactly one place.
+    """
+    declared = schema.get_field(class_name, field_name)
+    if declared.type.is_reference:
+        if value is None:
+            return
+        if not isinstance(value, OID):
+            raise TypeMismatchError(
+                f"field {field_name!r} of {class_name!r} references class "
+                f"{declared.type.reference!r}; got {value!r}")
+        target_class = value.class_name
+        expected = declared.type.reference
+        if target_class != expected and not schema.is_ancestor(expected, target_class):
+            raise TypeMismatchError(
+                f"field {field_name!r} of {class_name!r} must reference an "
+                f"instance of {expected!r} (or a subclass); got {value}")
+        return
+    if not _ACCEPTED_TYPES[declared.type.base](value):
+        if isinstance(value, bool) and declared.type.base is not BaseType.BOOLEAN:
+            raise TypeMismatchError(
+                f"field {field_name!r} of {class_name!r} is {declared.type}; "
+                "got a boolean")
+        raise TypeMismatchError(
+            f"field {field_name!r} of {class_name!r} is {declared.type}; "
+            f"got {type(value).__name__} {value!r}")
+
+
 class ObjectStore:
     """An in-memory object base for one schema.
 
@@ -134,29 +167,7 @@ class ObjectStore:
         instance.set(field_name, value)
 
     def _check_type(self, class_name: str, field_name: str, value: Any) -> None:
-        declared = self._schema.get_field(class_name, field_name)
-        if declared.type.is_reference:
-            if value is None:
-                return
-            if not isinstance(value, OID):
-                raise TypeMismatchError(
-                    f"field {field_name!r} of {class_name!r} references class "
-                    f"{declared.type.reference!r}; got {value!r}")
-            target_class = value.class_name
-            expected = declared.type.reference
-            if target_class != expected and not self._schema.is_ancestor(expected, target_class):
-                raise TypeMismatchError(
-                    f"field {field_name!r} of {class_name!r} must reference an "
-                    f"instance of {expected!r} (or a subclass); got {value}")
-            return
-        if not _ACCEPTED_TYPES[declared.type.base](value):
-            if isinstance(value, bool) and declared.type.base is not BaseType.BOOLEAN:
-                raise TypeMismatchError(
-                    f"field {field_name!r} of {class_name!r} is {declared.type}; "
-                    "got a boolean")
-            raise TypeMismatchError(
-                f"field {field_name!r} of {class_name!r} is {declared.type}; "
-                f"got {type(value).__name__} {value!r}")
+        check_field_type(self._schema, class_name, field_name, value)
 
     # -- extents ---------------------------------------------------------------
 

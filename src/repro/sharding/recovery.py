@@ -1,0 +1,96 @@
+"""Per-shard undo logs behind the one-store recovery interface.
+
+The engine logs before-images through one object
+(:meth:`ShardedRecoveryManager.log_before_image`), but each record is stored
+in the undo log of the shard that owns the written instance.  That gives the
+two-phase commit coordinator what it needs: shard-local before-image logs a
+participant can prepare, discard (commit) or replay (abort) independently,
+plus the set of shards a transaction actually wrote
+(:meth:`ShardedRecoveryManager.touched_shards`).
+
+Like the per-transaction state in the lock front, the touched-shard map is
+mutated only from the owning session's thread via single CPython-atomic dict
+operations, so no global mutex guards the write path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.objects.oid import OID
+from repro.sharding.router import ShardRouter
+from repro.txn.recovery import RecoveryManager, UndoRecord
+
+
+class ShardedRecoveryManager:
+    """Routes undo logging to one :class:`RecoveryManager` per shard."""
+
+    def __init__(self, store, router: ShardRouter) -> None:
+        self._router = router
+        self._managers = tuple(RecoveryManager(store)
+                               for _ in range(router.num_shards))
+        #: Shards each live transaction has logged before-images on.
+        self._touched: dict[int, set[int]] = {}
+
+    # -- logging (the engine's write path) --------------------------------------
+
+    def log_before_image(self, txn: int, oid: OID,
+                         fields: Iterable[str]) -> UndoRecord | None:
+        """Save a projected before-image in the owning shard's undo log."""
+        shard_id = self._router.shard_of_oid(oid)
+        record = self._managers[shard_id].log_before_image(txn, oid, fields)
+        if record is not None:
+            self._touched.setdefault(txn, set()).add(shard_id)
+        return record
+
+    # -- whole-transaction operations -------------------------------------------
+
+    def undo(self, txn: int) -> int:
+        """Restore every before-image of ``txn`` on every shard it wrote."""
+        undone = 0
+        for shard_id in self._touched.pop(txn, ()):
+            undone += self._managers[shard_id].undo(txn)
+        return undone
+
+    def forget(self, txn: int) -> None:
+        """Drop the undo logs of a committed transaction on every shard."""
+        for shard_id in self._touched.pop(txn, ()):
+            self._managers[shard_id].forget(txn)
+
+    def discard_tracking(self, txn: int) -> None:
+        """Forget the touched-shard set once participants handled the logs."""
+        self._touched.pop(txn, None)
+
+    # -- introspection ----------------------------------------------------------
+
+    def touched_shards(self, txn: int) -> frozenset[int]:
+        """The shards ``txn`` has undo records on (2PC participant set)."""
+        return frozenset(self._touched.get(txn, ()))
+
+    def touched_view(self, txn: int) -> set[int] | None:
+        """The live touched-shard set, or ``None`` — NOT to be mutated."""
+        return self._touched.get(txn)
+
+    def shard_manager(self, shard_id: int) -> RecoveryManager:
+        """The shard-local recovery manager (2PC participants hold these)."""
+        return self._managers[shard_id]
+
+    @property
+    def num_shards(self) -> int:
+        """How many undo-log shards exist."""
+        return len(self._managers)
+
+    def log_of(self, txn: int) -> tuple[UndoRecord, ...]:
+        """Every undo record of ``txn`` across shards, oldest first per shard."""
+        records: list[UndoRecord] = []
+        for manager in self._managers:
+            records.extend(manager.log_of(txn))
+        return tuple(records)
+
+    def pending_transactions(self) -> tuple[int, ...]:
+        """Transactions that still have an undo log on some shard."""
+        pending: dict[int, None] = {}
+        for manager in self._managers:
+            for txn in manager.pending_transactions():
+                pending.setdefault(txn, None)
+        return tuple(pending)

@@ -1,0 +1,135 @@
+"""Shard placement: mapping OIDs, classes and lock resources onto shards.
+
+A :class:`ShardRouter` is the one source of truth for "which shard owns
+this?".  It answers three questions — where an instance lives
+(:meth:`~ShardRouter.shard_of_oid`), where class-granule state lives
+(:meth:`~ShardRouter.shard_of_class`), and which shard's lock manager
+arbitrates a lock resource (:meth:`~ShardRouter.shard_of_resource`) — and
+the only correctness requirement is *determinism*: the same input must
+always map to the same shard, so that two transactions conflicting on a
+resource meet in the same lock manager and an OID is always looked up in the
+shard that created it.
+
+Two placements are provided:
+
+* :class:`HashShardRouter` — OID-hash placement.  Sequential OID numbers
+  spread round-robin across shards, so hot instances of one class land on
+  different shards and unrelated transactions stop sharing a mutex.
+* :class:`ClassShardRouter` — by-class placement.  Every instance of a class
+  (and the class-granule locks protecting it) lives on the class's shard, so
+  a transaction confined to one class stays single-shard and never pays the
+  two-phase commit.
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+from typing import Hashable, Mapping
+
+from repro.objects.oid import OID
+
+
+def _stable_string_shard(name: str, num_shards: int) -> int:
+    """Deterministic shard of a string, stable across processes and runs.
+
+    ``hash()`` is salted per process (PYTHONHASHSEED), which would scatter a
+    class's locks across different shards in different runs; CRC32 is not.
+    """
+    return zlib.crc32(name.encode("utf-8")) % num_shards
+
+
+class ShardRouter(abc.ABC):
+    """Deterministic placement of OIDs, classes and lock resources."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError(f"need at least one shard, got {num_shards}")
+        self._num_shards = num_shards
+
+    @property
+    def num_shards(self) -> int:
+        """How many shards this router distributes over."""
+        return self._num_shards
+
+    # -- to implement -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def shard_of_oid(self, oid: OID) -> int:
+        """The shard owning the instance identified by ``oid``."""
+
+    @abc.abstractmethod
+    def shard_of_class(self, class_name: str) -> int:
+        """The shard owning class-granule state (class/relation locks)."""
+
+    # -- provided ----------------------------------------------------------------
+
+    def shard_of_resource(self, resource: Hashable) -> int:
+        """The shard whose lock manager arbitrates ``resource``.
+
+        Protocol resources are tuples whose first element names the granule
+        kind — ``("instance", oid)``, ``("class", name)``,
+        ``("relation", name)``, ``("tuple", relation, oid)``,
+        ``("field", oid, field_name)``.  The kind tag is skipped; an OID
+        operand routes by instance placement, a string operand by class
+        placement (OIDs win, so a tuple lock follows its tuple, not its
+        relation).  Anything else — including non-tuple resources — falls
+        back to a stable hash of its ``repr``.
+        """
+        if isinstance(resource, tuple) and len(resource) > 1:
+            operands = resource[1:]
+            for operand in operands:
+                if isinstance(operand, OID):
+                    return self.shard_of_oid(operand)
+            for operand in operands:
+                if isinstance(operand, str):
+                    return self.shard_of_class(operand)
+        return _stable_string_shard(repr(resource), self._num_shards)
+
+
+class HashShardRouter(ShardRouter):
+    """OID-hash placement: instance ``n`` lives on shard ``n % num_shards``.
+
+    OID numbers are allocated from one monotone counter per store, so this
+    is a perfectly balanced round-robin over creation order; class-granule
+    resources hash on the class name.  Because an instance and its class
+    usually land on different shards, protocols that pair instance locks
+    with class-intention locks make most transactions span two lock shards
+    (and thus pay the two-phase commit) even when all their *data* is on
+    one shard — :class:`ClassShardRouter` trades balance for keeping such
+    transactions single-shard.
+    """
+
+    def shard_of_oid(self, oid: OID) -> int:
+        return oid.number % self._num_shards
+
+    def shard_of_class(self, class_name: str) -> int:
+        return _stable_string_shard(class_name, self._num_shards)
+
+
+class ClassShardRouter(ShardRouter):
+    """By-class placement: a class, its instances and its locks share a shard.
+
+    ``assignment`` pins chosen classes to chosen shards (e.g. the two hot
+    classes onto different shards); unassigned classes fall back to a stable
+    hash of the class name.
+    """
+
+    def __init__(self, num_shards: int,
+                 assignment: Mapping[str, int] | None = None) -> None:
+        super().__init__(num_shards)
+        self._assignment = dict(assignment or {})
+        for class_name, shard in self._assignment.items():
+            if not 0 <= shard < num_shards:
+                raise ValueError(
+                    f"class {class_name!r} assigned to shard {shard}, but "
+                    f"only shards 0..{num_shards - 1} exist")
+
+    def shard_of_oid(self, oid: OID) -> int:
+        return self.shard_of_class(oid.class_name)
+
+    def shard_of_class(self, class_name: str) -> int:
+        try:
+            return self._assignment[class_name]
+        except KeyError:
+            return _stable_string_shard(class_name, self._num_shards)

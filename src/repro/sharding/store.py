@@ -1,0 +1,201 @@
+"""The sharded object store: one instance map and mutex per shard.
+
+:class:`ShardedObjectStore` is API-compatible with
+:class:`~repro.objects.store.ObjectStore` (every protocol, interpreter,
+recovery manager and harness talks to it unchanged) but partitions the
+instances across N shards chosen by a :class:`~repro.sharding.router.ShardRouter`.
+Each shard has its own mutex, so structural operations on unrelated
+instances — creates, deletes, extent snapshots — no longer serialise behind
+one store-level lock.
+
+OIDs come from a single shared generator, so numbers are globally unique and
+monotone in creation order.  Merged views (extents, iteration) are returned
+in ascending OID-number order, which is exactly the creation order a plain
+:class:`ObjectStore` exposes — a sequential replay on an unsharded replica
+therefore visits instances in the same order as the sharded original, which
+is what the harness's serializability check relies on.
+
+Thread safety follows the plain store's contract: structural operations are
+serialised per shard, field reads/writes on live instances are single dict
+operations ordered by the concurrency-control protocol's locks.  A merged
+snapshot takes the shard mutexes one at a time, so it is not atomic across
+shards; the locking protocols make that safe the same way they make plain
+extent snapshots safe — an extent or domain operation holds the class locks
+that freeze membership before it asks for the snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import UnknownClassError, UnknownInstanceError
+from repro.objects.instance import Instance
+from repro.objects.oid import OID, OIDGenerator
+from repro.objects.store import check_field_type
+from repro.schema import Schema
+from repro.sharding.router import ShardRouter
+
+
+@dataclass
+class _StoreShard:
+    """One partition: its instances, per-class extents and mutex."""
+
+    instances: dict[OID, Instance] = field(default_factory=dict)
+    extents: dict[str, list[OID]] = field(default_factory=dict)
+    mutex: threading.RLock = field(default_factory=threading.RLock)
+
+
+class ShardedObjectStore:
+    """An in-memory object base partitioned across N independently-locked shards."""
+
+    def __init__(self, schema: Schema, router: ShardRouter) -> None:
+        self._schema = schema
+        self._router = router
+        self._shards = [
+            _StoreShard(extents={name: [] for name in schema.class_names})
+            for _ in range(router.num_shards)
+        ]
+        #: Read-through index over all shards, so the hot ``get`` path is one
+        #: dict hit (GIL-atomic, like the plain store's) instead of a routing
+        #: computation per field access.  Maintained under the owning shard's
+        #: mutex on create/delete; individual dict operations are atomic
+        #: under CPython, so unguarded reads are safe.
+        self._live: dict[OID, Instance] = {}
+        self._generator = OIDGenerator()
+
+    # -- creation / deletion -------------------------------------------------
+
+    def create(self, class_name: str, **field_values: Any) -> Instance:
+        """Create an instance of ``class_name`` on the shard the router picks.
+
+        Same contract as :meth:`ObjectStore.create`: unset fields get their
+        type's default value; unknown classes/fields and type mismatches
+        raise before anything is allocated.
+        """
+        if class_name not in self._schema:
+            raise UnknownClassError(f"unknown class {class_name!r}")
+        fields = self._schema.fields(class_name)
+        values: dict[str, Any] = {name: spec.type.default_value
+                                  for name, spec in fields.items()}
+        for name, value in field_values.items():
+            check_field_type(self._schema, class_name, name, value)
+        oid = self._generator.next_oid(class_name)
+        shard = self._shards[self._router.shard_of_oid(oid)]
+        with shard.mutex:
+            instance = Instance(oid=oid, class_name=class_name, values=values)
+            for name, value in field_values.items():
+                instance.set(name, value)
+            shard.instances[oid] = instance
+            shard.extents[class_name].append(oid)
+            self._live[oid] = instance
+        return instance
+
+    def delete(self, oid: OID) -> None:
+        """Remove an instance from its shard.
+
+        Raises:
+            UnknownInstanceError: if the OID is not live.
+        """
+        shard = self._shards[self._router.shard_of_oid(oid)]
+        with shard.mutex:
+            instance = self.get(oid)
+            del shard.instances[oid]
+            shard.extents[instance.class_name].remove(oid)
+            del self._live[oid]
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, oid: OID) -> Instance:
+        """Return the live instance identified by ``oid``.
+
+        Raises:
+            UnknownInstanceError: if the OID is not live.
+        """
+        try:
+            return self._live[oid]
+        except KeyError:
+            raise UnknownInstanceError(f"no live instance with OID {oid}") from None
+
+    def __contains__(self, oid: OID) -> bool:
+        return oid in self._live
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __iter__(self) -> Iterator[Instance]:
+        snapshot: list[Instance] = []
+        for shard in self._shards:
+            with shard.mutex:
+                snapshot.extend(shard.instances.values())
+        snapshot.sort(key=lambda instance: instance.oid.number)
+        return iter(snapshot)
+
+    # -- field access with type checking --------------------------------------
+
+    def read_field(self, oid: OID, field_name: str) -> Any:
+        """Read one field of one instance."""
+        return self.get(oid).get(field_name)
+
+    def write_field(self, oid: OID, field_name: str, value: Any) -> None:
+        """Write one field of one instance, enforcing the declared type."""
+        instance = self.get(oid)
+        check_field_type(self._schema, instance.class_name, field_name, value)
+        instance.set(field_name, value)
+
+    # -- extents ---------------------------------------------------------------
+
+    def extent(self, class_name: str) -> tuple[OID, ...]:
+        """OIDs of the proper instances of ``class_name``, in creation order."""
+        if class_name not in self._schema:
+            raise UnknownClassError(f"unknown class {class_name!r}")
+        oids: list[OID] = []
+        for shard in self._shards:
+            with shard.mutex:
+                oids.extend(shard.extents[class_name])
+        oids.sort(key=lambda oid: oid.number)
+        return tuple(oids)
+
+    def domain_extent(self, class_name: str) -> tuple[OID, ...]:
+        """OIDs of the instances of the *domain* rooted at ``class_name``.
+
+        Per-class extents are concatenated in domain order, each in creation
+        order — the same shape :meth:`ObjectStore.domain_extent` returns.
+        """
+        oids: list[OID] = []
+        for name in self._schema.domain(class_name):
+            oids.extend(self.extent(name))
+        return tuple(oids)
+
+    def instances_of(self, class_names: Iterable[str]) -> tuple[Instance, ...]:
+        """All instances whose proper class is one of ``class_names``."""
+        result: list[Instance] = []
+        for name in class_names:
+            result.extend(self.get(oid) for oid in self.extent(name))
+        return tuple(result)
+
+    @property
+    def schema(self) -> Schema:
+        """The schema this store was created for."""
+        return self._schema
+
+    # -- sharding introspection -------------------------------------------------
+
+    @property
+    def router(self) -> ShardRouter:
+        """The placement router (the engine adopts it for lock sharding)."""
+        return self._router
+
+    @property
+    def num_shards(self) -> int:
+        """How many shards the store is partitioned into."""
+        return self._router.num_shards
+
+    def shard_of(self, oid: OID) -> int:
+        """The shard index owning ``oid``."""
+        return self._router.shard_of_oid(oid)
+
+    def shard_sizes(self) -> tuple[int, ...]:
+        """Live-instance count per shard (balance diagnostics, tests)."""
+        return tuple(len(shard.instances) for shard in self._shards)

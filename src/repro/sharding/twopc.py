@@ -1,0 +1,167 @@
+"""Two-phase commit across store shards.
+
+A transaction that wrote on more than one shard must still commit or abort
+atomically.  The pieces:
+
+* :class:`ShardParticipant` — one per shard.  ``prepare`` validates and
+  freezes the shard's before-image log for the transaction (phase one) and
+  votes; ``commit`` discards that log (phase two); ``abort`` replays it,
+  restoring the shard to its before-images whether or not the shard had
+  already prepared.
+* :class:`TwoPhaseCommitCoordinator` — collects the votes of every touched
+  shard, and keeps the **global decision log**: one
+  :class:`CommitDecision` per transaction outcome.  The engine appends the
+  commit decision while holding its commit mutex, *between* phase one and
+  phase two — that single record is the serialisation point that makes a
+  cross-shard commit atomic: until it exists every shard can still undo,
+  once it exists every shard must (and, being in-memory, trivially can)
+  complete.
+
+A participant votes no by raising — or by a ``prepare_veto`` hook returning
+a reason, which is how tests and fault-injection exercise the abort path —
+and the coordinator turns any veto into a :class:`TwoPhaseCommitError`
+after which the engine aborts on *every* touched shard, prepared or not.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import TwoPhaseCommitError
+from repro.txn.recovery import RecoveryManager
+
+
+@dataclass(frozen=True)
+class CommitDecision:
+    """One entry of the coordinator's global decision log."""
+
+    txn: int
+    verdict: str  # "commit" or "abort"
+    shards: tuple[int, ...]
+
+    @property
+    def cross_shard(self) -> bool:
+        """Whether the transaction spanned more than one shard."""
+        return len(self.shards) > 1
+
+
+class ShardParticipant:
+    """One shard's side of the protocol: its undo log and prepared set."""
+
+    def __init__(self, shard_id: int, recovery: RecoveryManager) -> None:
+        self.shard_id = shard_id
+        self._recovery = recovery
+        self._prepared: set[int] = set()
+        #: Fault-injection hook: return a reason string to veto a prepare
+        #: (``None`` approves).  Exists so tests can force the abort path of
+        #: a cross-shard commit without simulating hardware failure.
+        self.prepare_veto: Callable[[int], str | None] | None = None
+
+    def prepare(self, txn: int) -> None:
+        """Phase one: freeze the before-image log and vote.
+
+        An in-memory shard can always complete once the decision is logged,
+        so the only no-vote source is the ``prepare_veto`` hook.
+
+        Raises:
+            TwoPhaseCommitError: this shard votes no.
+        """
+        if self.prepare_veto is not None:
+            reason = self.prepare_veto(txn)
+            if reason is not None:
+                raise TwoPhaseCommitError(
+                    f"shard {self.shard_id} vetoed prepare of transaction "
+                    f"{txn}: {reason}", shard=self.shard_id, txn=txn)
+        self._prepared.add(txn)
+
+    def commit(self, txn: int) -> None:
+        """Phase two: the global decision exists — discard the undo log."""
+        self._recovery.forget(txn)
+        self._prepared.discard(txn)
+
+    def abort(self, txn: int) -> None:
+        """Restore this shard to its before-images (prepared or not)."""
+        self._recovery.undo(txn)
+        self._prepared.discard(txn)
+
+    def is_prepared(self, txn: int) -> bool:
+        """Whether ``txn`` is sitting between phase one and phase two here."""
+        return txn in self._prepared
+
+    @property
+    def recovery(self) -> RecoveryManager:
+        """The shard-local undo log this participant manages."""
+        return self._recovery
+
+
+class TwoPhaseCommitCoordinator:
+    """Drives prepare/commit/abort over the touched participants."""
+
+    def __init__(self, participants: Sequence[ShardParticipant]) -> None:
+        self._participants = tuple(participants)
+        self._decisions: list[CommitDecision] = []
+        self._mutex = threading.Lock()
+
+    # -- the protocol ------------------------------------------------------------
+
+    def prepare(self, txn: int, shards: Sequence[int]) -> None:
+        """Phase one on every touched shard, in shard order.
+
+        Raises:
+            TwoPhaseCommitError: some shard voted no.  Shards prepared before
+                the veto stay prepared; the caller must abort the transaction
+                on every touched shard (prepared participants undo exactly
+                like unprepared ones).
+        """
+        for shard_id in shards:
+            self._participants[shard_id].prepare(txn)
+
+    def record_commit(self, txn: int, shards: Sequence[int]) -> CommitDecision:
+        """Append the global commit record — the transaction's serialisation
+        point.  The engine calls this under its commit mutex, after every
+        vote and before any phase-two work."""
+        return self._record(txn, "commit", shards)
+
+    def complete_commit(self, txn: int, shards: Sequence[int]) -> None:
+        """Phase two: discard every touched shard's undo log."""
+        for shard_id in shards:
+            self._participants[shard_id].commit(txn)
+
+    def abort(self, txn: int, shards: Sequence[int]) -> CommitDecision:
+        """Undo on every touched shard (before-images restored), log the decision."""
+        for shard_id in shards:
+            self._participants[shard_id].abort(txn)
+        return self._record(txn, "abort", shards)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def participants(self) -> tuple[ShardParticipant, ...]:
+        """The per-shard participants, indexed by shard id."""
+        return self._participants
+
+    @property
+    def decisions(self) -> tuple[CommitDecision, ...]:
+        """The global decision log, in decision order."""
+        with self._mutex:
+            return tuple(self._decisions)
+
+    def decision_for(self, txn: int) -> CommitDecision | None:
+        """The recorded outcome of ``txn``, or ``None`` while undecided."""
+        with self._mutex:
+            for decision in reversed(self._decisions):
+                if decision.txn == txn:
+                    return decision
+        return None
+
+    # -- internals ---------------------------------------------------------------
+
+    def _record(self, txn: int, verdict: str,
+                shards: Sequence[int]) -> CommitDecision:
+        decision = CommitDecision(txn=txn, verdict=verdict,
+                                  shards=tuple(sorted(shards)))
+        with self._mutex:
+            self._decisions.append(decision)
+        return decision

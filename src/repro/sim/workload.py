@@ -44,7 +44,8 @@ def _default_value_for(base: BaseType, rng: random.Random) -> object:
 
 
 def populate_store(schema: Schema, instances_per_class: int | dict[str, int],
-                   seed: int = 0, link_references: bool = True) -> ObjectStore:
+                   seed: int = 0, link_references: bool = True,
+                   store: ObjectStore | None = None) -> ObjectStore:
     """Create a store and fill it with randomly initialised instances.
 
     ``instances_per_class`` is either a single count applied to every class or
@@ -52,9 +53,20 @@ def populate_store(schema: Schema, instances_per_class: int | dict[str, int],
     are pointed at a random instance of the referenced class (or of one of
     its subclasses) so that methods sending messages through references can
     actually run.
+
+    ``store`` lets the caller populate an existing *empty* store instead of a
+    fresh :class:`ObjectStore` — the throughput harness passes a
+    :class:`~repro.sharding.store.ShardedObjectStore` here, and because both
+    store kinds allocate OIDs from one monotone counter in the same creation
+    order, a sharded store and a plain replica populated with the same
+    arguments hold byte-identical instances under identical OIDs.
     """
     rng = random.Random(seed)
-    store = ObjectStore(schema)
+    if store is None:
+        store = ObjectStore(schema)
+    elif len(store) != 0:
+        raise SimulationError("populate_store needs an empty store; "
+                              f"this one already holds {len(store)} instances")
     created: dict[str, list[OID]] = {name: [] for name in schema.class_names}
 
     def count_for(class_name: str) -> int:

@@ -51,19 +51,24 @@ class TransactionManager:
         return transaction
 
     def commit(self, transaction: Transaction) -> None:
-        """Commit: release every lock, discard the undo log."""
+        """Commit: discard the undo log, mark committed, release every lock.
+
+        The state flips *before* the locks are released (same ordering as the
+        threaded engine's commit): a transaction must never be observable as
+        ACTIVE while its writes are already unprotected.
+        """
         transaction.ensure_active()
         self._recovery.forget(transaction.txn_id)
-        self._locks.release_all(transaction.txn_id)
         transaction.state = TransactionState.COMMITTED
+        self._locks.release_all(transaction.txn_id)
 
     def abort(self, transaction: Transaction) -> None:
-        """Abort: undo every write from the before-images, release locks."""
+        """Abort: undo every write from the before-images, then release locks."""
         if transaction.is_finished:
             raise TransactionError(f"{transaction} is already finished")
         self._recovery.undo(transaction.txn_id)
-        self._locks.release_all(transaction.txn_id)
         transaction.state = TransactionState.ABORTED
+        self._locks.release_all(transaction.txn_id)
 
     # -- operations ----------------------------------------------------------------
 

@@ -76,6 +76,10 @@ class RecoveryManager:
         """The undo records of ``txn``, oldest first."""
         return tuple(self._logs.get(txn, ()))
 
+    def has_log(self, txn: int) -> bool:
+        """Whether ``txn`` has logged any before-image here."""
+        return bool(self._logs.get(txn))
+
     def pending_transactions(self) -> tuple[int, ...]:
         """Transactions that still have an undo log."""
         return tuple(self._logs)

@@ -35,16 +35,27 @@ class Transaction:
     """A transaction: identifier, state and accumulated statistics.
 
     The identifier doubles as the start timestamp (it is allocated
-    monotonically), which the deadlock victim selection relies on.
+    monotonically), which the deadlock victim selection relies on.  A
+    *retried* incarnation gets a fresh identifier but keeps the ``origin``
+    timestamp of its first incarnation, so victim selection can rank it by
+    when its work actually began (wait-die style) instead of treating every
+    retry as the youngest transaction in the system.
     """
 
     txn_id: int
+    #: The begin timestamp of the first incarnation of this logical
+    #: transaction; equals ``txn_id`` unless set by a retrying caller.
+    origin: int | None = None
     state: TransactionState = TransactionState.ACTIVE
     stats: TransactionStats = field(default_factory=TransactionStats)
     #: Results of completed operations, in submission order.
     results: list[Any] = field(default_factory=list)
     #: Operations executed so far (used on restart after a deadlock abort).
     executed: list[Operation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.origin is None:
+            self.origin = self.txn_id
 
     @property
     def is_active(self) -> bool:

@@ -102,6 +102,68 @@ def test_timeout_withdrawal_promotes_requests_queued_behind_it():
     assert locks.holds(3, "x", "R")
 
 
+def test_zero_timeout_is_a_deterministic_fail_fast_try_lock():
+    locks = BlockingLockManager(LockManager(exclusive))
+    locks.acquire(1, "x", "X")
+    started = time.monotonic()
+    with pytest.raises(LockTimeoutError) as excinfo:
+        locks.acquire(2, "x", "X", timeout=0)
+    assert time.monotonic() - started < 0.05, "try-lock must not wait"
+    assert excinfo.value.waited == 0.0
+    assert excinfo.value.holders == (1,)
+    # No queuing side effects: nothing waiting, the holder undisturbed.
+    assert locks.waiting("x") == ()
+    assert locks.holds(1, "x", "X")
+
+
+def test_negative_timeout_behaves_like_zero():
+    locks = BlockingLockManager(LockManager(exclusive))
+    locks.acquire(1, "x", "X")
+    with pytest.raises(LockTimeoutError) as excinfo:
+        locks.acquire(2, "x", "X", timeout=-1.0)
+    assert excinfo.value.waited == 0.0
+    assert locks.waiting("x") == ()
+
+
+def test_zero_timeout_still_grants_a_compatible_request():
+    locks = BlockingLockManager(LockManager(read_write))
+    locks.acquire(1, "x", "R")
+    assert locks.acquire(2, "x", "R", timeout=0) == 0.0
+    assert locks.holds(2, "x", "R")
+
+
+def test_try_lock_probe_leaves_queued_waiters_undisturbed():
+    # T1 holds R; T3 queues for W.  T2's R try-lock fails fast (FIFO fairness
+    # puts it behind the queued W) and must leave T3 the sole waiter, who
+    # still gets the lock when T1 releases.
+    locks = BlockingLockManager(LockManager(read_write))
+    locks.acquire(1, "x", "R")
+    granted = threading.Event()
+
+    def third():
+        locks.acquire(3, "x", "W")
+        granted.set()
+
+    thread = threading.Thread(target=third)
+    thread.start()
+    assert wait_until(lambda: locks.waiting("x"))
+    with pytest.raises(LockTimeoutError):
+        locks.acquire(2, "x", "R", timeout=0)
+    assert locks.waiting("x") == ((3, "W"),)
+    locks.release_all(1)
+    assert granted.wait(timeout=2.0)
+    thread.join(timeout=2.0)
+    assert not thread.is_alive()
+
+
+def test_zero_default_timeout_makes_every_acquire_a_try_lock():
+    locks = BlockingLockManager(LockManager(exclusive), default_timeout=0.0)
+    locks.acquire(1, "x", "X")
+    with pytest.raises(LockTimeoutError):
+        locks.acquire(2, "x", "X")
+    assert locks.waiting("x") == ()
+
+
 def test_detector_dooms_the_youngest_transaction_of_a_cycle():
     locks = BlockingLockManager(LockManager(exclusive))
     detector = DeadlockDetector(locks, interval=0.01)
@@ -155,6 +217,34 @@ def test_doomed_transaction_fails_fast_on_its_next_request():
     # release_all clears the doom flag: a later incarnation can lock again.
     locks.release_all(1)
     assert locks.acquire(1, "b", "X") == 0.0
+
+
+def test_doom_marks_only_transactions_waiting_in_this_manager():
+    # A cross-shard coordinator may offer stale victims; a transaction that
+    # is not queued here (granted, or finished) must not acquire a doom flag
+    # nobody would ever clear.
+    locks = BlockingLockManager(LockManager(exclusive))
+    locks.acquire(1, "x", "X")
+    locks.doom({1: (1, 2), 99: (99, 1)})  # 1 holds (not waits); 99 is gone
+    assert locks.doomed_transactions() == frozenset()
+
+    raised = {}
+
+    def second():
+        try:
+            locks.acquire(2, "x", "X")
+        except DeadlockError as error:
+            raised[2] = error
+
+    thread = threading.Thread(target=second)
+    thread.start()
+    assert wait_until(lambda: locks.waiting("x"))
+    locks.doom({2: (1, 2)})  # 2 *is* waiting here: doomed and woken
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+    assert raised[2].victim == 2
+    locks.release_all(2)
+    assert locks.doomed_transactions() == frozenset()
 
 
 def test_detect_reports_no_victims_on_an_acyclic_graph():

@@ -1,0 +1,89 @@
+"""The throughput harness on the sharded engine, and its JSON emission."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import ThroughputHarness
+from repro.engine.harness import bench_document, main
+from repro.reporting import format_throughput_table
+from repro.txn.protocols import RWInstanceProtocol, TAVProtocol
+
+
+@pytest.mark.parametrize("protocol_class", [TAVProtocol, RWInstanceProtocol],
+                         ids=["tav", "rw-instance"])
+def test_sharded_harness_run_is_serializable(protocol_class):
+    harness = ThroughputHarness()
+    result = harness.run(protocol_class, threads=4, transactions=30,
+                         shards=2, default_lock_timeout=10.0)
+    assert result.serializable is True
+    assert result.shards == 2
+    assert result.failed_labels == ()
+    assert result.metrics.committed == 30
+    assert result.metrics.cross_shard_commits > 0
+
+
+def test_run_rejects_a_router_disagreeing_with_shards():
+    from repro.sharding import HashShardRouter
+
+    harness = ThroughputHarness()
+    with pytest.raises(ValueError):
+        harness.run(TAVProtocol, threads=2, transactions=10,
+                    shards=4, router=HashShardRouter(2))
+
+
+def test_single_shard_run_reports_shards_one():
+    harness = ThroughputHarness()
+    result = harness.run(TAVProtocol, threads=2, transactions=10,
+                         default_lock_timeout=10.0)
+    assert result.shards == 1
+    assert result.metrics.cross_shard_commits == 0
+
+
+def test_throughput_table_gains_the_shards_column():
+    harness = ThroughputHarness()
+    results = [harness.run(TAVProtocol, threads=2, transactions=10,
+                           shards=shards, default_lock_timeout=10.0)
+               for shards in (1, 2)]
+    table = format_throughput_table(results)
+    assert "shards" in table
+    assert "xshard" in table
+    assert "VIOLATION" not in table
+
+
+def test_bench_document_is_machine_readable():
+    harness = ThroughputHarness()
+    result = harness.run(TAVProtocol, threads=2, transactions=10,
+                         shards=2, default_lock_timeout=10.0)
+    document = bench_document([result], {"threads": 2, "shards": 2})
+    assert document["benchmark"] == "engine_throughput"
+    assert document["unit"] == "commits_per_s"
+    assert document["config"] == {"threads": 2, "shards": 2}
+    (row,) = document["results"]
+    assert row["protocol"] == "tav"
+    assert row["shards"] == 2
+    assert row["serializable"] is True
+    assert row["failed"] == []
+    json.dumps(document)  # must be serialisable as-is
+
+
+def test_cli_writes_the_json_document(tmp_path, capsys):
+    path = tmp_path / "BENCH_engine_smoke.json"
+    status = main(["--threads", "2", "--transactions", "12", "--shards", "2",
+                   "--protocols", "tav", "--json", str(path)])
+    assert status == 0
+    output = capsys.readouterr().out
+    assert "serializable" in output and str(path) in output
+    data = json.loads(path.read_text())
+    assert data["config"]["shards"] == 2
+    assert data["config"]["transactions"] == 12
+    assert data["results"][0]["committed"] == 12
+    assert data["results"][0]["serializable"] is True
+
+
+def test_cli_rejects_non_positive_shards(capsys):
+    with pytest.raises(SystemExit):
+        main(["--shards", "0"])
+    assert "--shards" in capsys.readouterr().err

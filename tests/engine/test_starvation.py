@@ -1,0 +1,77 @@
+"""Retry starvation: a long hot-spot transaction must eventually commit.
+
+Before the wait-die fix, every retry began a fresh transaction with a new —
+always youngest — identifier, so under sustained contention a long
+transaction could be chosen as the deadlock victim on every incarnation and
+starve forever.  Retries now carry the original begin timestamp and the
+victim policy ranks by it, so after its first abort the long transaction is
+the *oldest* contender and the swarm's fresh transactions are victimised
+instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.engine import Engine
+from repro.errors import DeadlockError, LockTimeoutError
+from repro.sharding import HashShardRouter, ShardedObjectStore
+from repro.txn.protocols import TAVProtocol
+
+SWARM_THREADS = 4
+
+
+def test_hot_spot_long_transaction_eventually_commits(banking, banking_compiled):
+    store = ShardedObjectStore(banking, HashShardRouter(2))
+    hot_a = store.create("Account", balance=10_000.0, owner="hot-a",
+                         active=True).oid
+    hot_b = store.create("Account", balance=10_000.0, owner="hot-b",
+                         active=True).oid
+    stop = threading.Event()
+
+    with Engine(TAVProtocol(banking_compiled, store),
+                detection_interval=0.002,
+                default_lock_timeout=30.0) as engine:
+        def swarm() -> None:
+            """Short transfers hammering the same two accounts, forever."""
+            while not stop.is_set():
+                def transfer(session):
+                    session.call(hot_a, "deposit", -1)
+                    session.call(hot_b, "deposit", 1)
+                try:
+                    engine.run_transaction(transfer, max_retries=1_000_000)
+                except (DeadlockError, LockTimeoutError):  # pragma: no cover
+                    pass  # shutting down mid-retry is fine
+
+        workers = [threading.Thread(target=swarm, name=f"swarm-{index}")
+                   for index in range(SWARM_THREADS)]
+        for worker in workers:
+            worker.start()
+
+        restarts = []
+
+        def long_work(session):
+            # Holds the first hot lock while sleeping, guaranteeing the swarm
+            # piles up against it and deadlock cycles form repeatedly.
+            restarts.append(session.transaction.stats.restarts)
+            session.call(hot_a, "deposit", -500)
+            time.sleep(0.01)
+            session.call(hot_b, "deposit", 500)
+
+        try:
+            engine.run_transaction(long_work, label="long-transfer",
+                                   max_retries=200)
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join(timeout=30.0)
+                assert not worker.is_alive(), "a swarm thread wedged"
+
+        committed_labels = [label for _, label in engine.commit_log]
+        assert "long-transfer" in committed_labels
+
+    # Every transfer was balance-neutral: the hot spot conserved money.
+    total = (store.read_field(hot_a, "balance")
+             + store.read_field(hot_b, "balance"))
+    assert total == 20_000.0

@@ -1,0 +1,91 @@
+"""Routers: determinism, totality over protocol resource shapes, placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.objects.oid import OID
+from repro.sharding import ClassShardRouter, HashShardRouter
+
+
+def oid(number, class_name="Account"):
+    return OID(class_name=class_name, number=number)
+
+
+# Every resource shape the five protocols produce.
+RESOURCE_SHAPES = [
+    ("instance", oid(7)),
+    ("class", "Account"),
+    ("relation", "Account"),
+    ("tuple", "Account", oid(7)),
+    ("field", oid(7), "balance"),
+]
+
+
+def test_needs_at_least_one_shard():
+    with pytest.raises(ValueError):
+        HashShardRouter(0)
+    with pytest.raises(ValueError):
+        ClassShardRouter(-1)
+
+
+def test_hash_router_round_robins_oids():
+    router = HashShardRouter(4)
+    shards = [router.shard_of_oid(oid(n)) for n in range(1, 9)]
+    assert shards == [1, 2, 3, 0, 1, 2, 3, 0]
+
+
+@pytest.mark.parametrize("resource", RESOURCE_SHAPES,
+                         ids=[shape[0] for shape in RESOURCE_SHAPES])
+def test_every_resource_shape_routes_deterministically(resource):
+    router = HashShardRouter(4)
+    first = router.shard_of_resource(resource)
+    assert 0 <= first < 4
+    assert all(router.shard_of_resource(resource) == first for _ in range(5))
+
+
+def test_oid_bearing_resources_follow_the_instance():
+    """Tuple, field and instance locks of one OID meet in one lock manager."""
+    router = HashShardRouter(4)
+    target = router.shard_of_oid(oid(7))
+    assert router.shard_of_resource(("instance", oid(7))) == target
+    assert router.shard_of_resource(("tuple", "Account", oid(7))) == target
+    assert router.shard_of_resource(("field", oid(7), "balance")) == target
+
+
+def test_class_granule_resources_follow_the_class():
+    router = HashShardRouter(4)
+    target = router.shard_of_class("Account")
+    assert router.shard_of_resource(("class", "Account")) == target
+    assert router.shard_of_resource(("relation", "Account")) == target
+
+
+def test_unknown_resource_shapes_still_route():
+    router = HashShardRouter(3)
+    for resource in ("x", 42, ("weird",), (1, 2, 3), frozenset({1})):
+        shard = router.shard_of_resource(resource)
+        assert 0 <= shard < 3
+        assert router.shard_of_resource(resource) == shard
+
+
+def test_single_shard_router_maps_everything_to_zero():
+    router = HashShardRouter(1)
+    assert router.shard_of_oid(oid(9)) == 0
+    assert all(router.shard_of_resource(r) == 0 for r in RESOURCE_SHAPES)
+
+
+def test_class_router_colocates_instances_with_their_class():
+    router = ClassShardRouter(4, {"Account": 2, "SavingsAccount": 3})
+    assert router.shard_of_class("Account") == 2
+    assert router.shard_of_oid(oid(5, "Account")) == 2
+    assert router.shard_of_resource(("instance", oid(5, "Account"))) == 2
+    assert router.shard_of_resource(("class", "SavingsAccount")) == 3
+    # Unassigned classes fall back to a deterministic hash.
+    fallback = router.shard_of_class("CheckingAccount")
+    assert 0 <= fallback < 4
+    assert router.shard_of_class("CheckingAccount") == fallback
+
+
+def test_class_router_rejects_out_of_range_assignments():
+    with pytest.raises(ValueError):
+        ClassShardRouter(2, {"Account": 2})

@@ -1,0 +1,86 @@
+"""ShardedObjectStore: ObjectStore API parity plus shard placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TypeMismatchError, UnknownClassError, UnknownInstanceError
+from repro.objects import ObjectStore
+from repro.sharding import HashShardRouter, ShardedObjectStore
+from repro.sim.workload import populate_store
+
+
+@pytest.fixture
+def sharded(banking):
+    return ShardedObjectStore(banking, HashShardRouter(4))
+
+
+def test_create_places_instances_across_shards(sharded):
+    for index in range(8):
+        sharded.create("Account", balance=float(index), owner=f"o{index}",
+                       active=True)
+    assert len(sharded) == 8
+    assert sharded.shard_sizes() == (2, 2, 2, 2)
+
+
+def test_get_contains_delete_roundtrip(sharded):
+    instance = sharded.create("Account", balance=10.0, owner="ada", active=True)
+    assert instance.oid in sharded
+    assert sharded.get(instance.oid) is instance
+    assert sharded.read_field(instance.oid, "balance") == 10.0
+    sharded.delete(instance.oid)
+    assert instance.oid not in sharded
+    assert len(sharded) == 0
+    assert sharded.shard_sizes() == (0, 0, 0, 0)
+    with pytest.raises(UnknownInstanceError):
+        sharded.get(instance.oid)
+    with pytest.raises(UnknownInstanceError):
+        sharded.delete(instance.oid)
+
+
+def test_type_checking_matches_plain_store(sharded):
+    with pytest.raises(UnknownClassError):
+        sharded.create("NoSuchClass")
+    with pytest.raises(TypeMismatchError):
+        sharded.create("Account", balance="lots")
+    instance = sharded.create("Account", balance=1.0, owner="a", active=True)
+    with pytest.raises(TypeMismatchError):
+        sharded.write_field(instance.oid, "balance", True)  # bool is not float
+    sharded.write_field(instance.oid, "balance", 2.0)
+    assert sharded.read_field(instance.oid, "balance") == 2.0
+
+
+def test_merged_views_match_plain_store_order(banking):
+    """Extents, domain extents and iteration mirror an identically-populated
+    plain store — the property the harness's sequential replay relies on."""
+    plain = populate_store(banking, 5, seed=3)
+    sharded = populate_store(banking, 5, seed=3,
+                             store=ShardedObjectStore(banking, HashShardRouter(4)))
+    assert len(sharded) == len(plain)
+    for class_name in banking.class_names:
+        assert sharded.extent(class_name) == plain.extent(class_name)
+        assert sharded.domain_extent(class_name) == plain.domain_extent(class_name)
+    assert [i.oid for i in sharded] == [i.oid for i in plain]
+    for instance in plain:
+        assert sharded.get(instance.oid).values == instance.values
+
+
+def test_extent_of_unknown_class_raises(sharded):
+    with pytest.raises(UnknownClassError):
+        sharded.extent("NoSuchClass")
+
+
+def test_populate_store_refuses_a_non_empty_store(banking):
+    from repro.errors import SimulationError
+
+    store = ShardedObjectStore(banking, HashShardRouter(2))
+    store.create("Account", balance=1.0, owner="a", active=True)
+    with pytest.raises(SimulationError):
+        populate_store(banking, 2, store=store)
+
+
+def test_router_and_shard_introspection(banking, sharded):
+    instance = sharded.create("Account", balance=1.0, owner="a", active=True)
+    assert sharded.num_shards == 4
+    assert sharded.shard_of(instance.oid) == sharded.router.shard_of_oid(instance.oid)
+    assert isinstance(ObjectStore(banking), ObjectStore)  # plain store untouched

@@ -1,0 +1,161 @@
+"""Two-phase commit: decision log, and the cross-shard abort path.
+
+The load-bearing property: a transaction that *prepared* on shard A and then
+aborts because shard B vetoes must leave every touched shard at its
+before-images — prepared participants undo exactly like unprepared ones
+until the global commit record exists.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Engine
+from repro.errors import TwoPhaseCommitError
+from repro.objects import ObjectStore
+from repro.sharding import (
+    ClassShardRouter,
+    ShardParticipant,
+    ShardedObjectStore,
+    TwoPhaseCommitCoordinator,
+)
+from repro.txn.protocols import TAVProtocol
+from repro.txn.recovery import RecoveryManager
+from repro.txn.transaction import TransactionState
+
+
+# -- coordinator / participant unit level --------------------------------------
+
+
+@pytest.fixture
+def plumbing(banking):
+    store = ObjectStore(banking)
+    a = store.create("Account", balance=100.0, owner="ada", active=True)
+    b = store.create("SavingsAccount", balance=200.0, owner="bob", active=True,
+                     rate=0.01)
+    recoveries = [RecoveryManager(store), RecoveryManager(store)]
+    participants = [ShardParticipant(i, recoveries[i]) for i in range(2)]
+    coordinator = TwoPhaseCommitCoordinator(participants)
+    return store, a, b, recoveries, participants, coordinator
+
+
+def test_commit_discards_undo_logs_and_records_the_decision(plumbing):
+    store, a, b, recoveries, participants, coordinator = plumbing
+    recoveries[0].log_before_image(1, a.oid, ("balance",))
+    recoveries[1].log_before_image(1, b.oid, ("balance",))
+    store.write_field(a.oid, "balance", 90.0)
+    store.write_field(b.oid, "balance", 210.0)
+
+    assert recoveries[0].has_log(1) and recoveries[1].has_log(1)
+    coordinator.prepare(1, [0, 1])
+    assert participants[0].is_prepared(1) and participants[1].is_prepared(1)
+    decision = coordinator.record_commit(1, [0, 1])
+    assert decision.verdict == "commit" and decision.cross_shard
+    coordinator.complete_commit(1, [0, 1])
+
+    assert store.read_field(a.oid, "balance") == 90.0  # writes survive
+    assert recoveries[0].pending_transactions() == ()
+    assert recoveries[1].pending_transactions() == ()
+    assert not participants[0].is_prepared(1)
+    assert coordinator.decision_for(1).verdict == "commit"
+
+
+def test_prepared_shard_aborts_to_its_before_image_when_another_vetoes(plumbing):
+    store, a, b, recoveries, participants, coordinator = plumbing
+    recoveries[0].log_before_image(7, a.oid, ("balance",))
+    recoveries[1].log_before_image(7, b.oid, ("balance",))
+    store.write_field(a.oid, "balance", 55.0)
+    store.write_field(b.oid, "balance", 555.0)
+
+    prepared_on_a_at_veto_time = []
+    participants[1].prepare_veto = lambda txn: (
+        prepared_on_a_at_veto_time.append(participants[0].is_prepared(txn))
+        or "injected fault")
+
+    with pytest.raises(TwoPhaseCommitError) as excinfo:
+        coordinator.prepare(7, [0, 1])
+    assert excinfo.value.shard == 1 and excinfo.value.txn == 7
+    assert prepared_on_a_at_veto_time == [True], "shard A had prepared already"
+
+    coordinator.abort(7, [0, 1])
+    # Both shards back at their before-images, prepared or not.
+    assert store.read_field(a.oid, "balance") == 100.0
+    assert store.read_field(b.oid, "balance") == 200.0
+    assert not participants[0].is_prepared(7)
+    assert coordinator.decision_for(7).verdict == "abort"
+
+
+# -- engine level ---------------------------------------------------------------
+
+
+@pytest.fixture
+def sharded_engine(banking, banking_compiled):
+    """A two-shard engine with by-class placement: Account data on shard 0,
+    SavingsAccount data on shard 1 — a transfer between them is cross-shard."""
+    router = ClassShardRouter(2, {"Account": 0, "SavingsAccount": 1,
+                                  "CheckingAccount": 0})
+    store = ShardedObjectStore(banking, router)
+    a = store.create("Account", balance=100.0, owner="ada", active=True)
+    b = store.create("SavingsAccount", balance=200.0, owner="bob", active=True,
+                     rate=0.01)
+    with Engine(TAVProtocol(banking_compiled, store)) as engine:
+        yield engine, store, a.oid, b.oid
+
+
+def test_cross_shard_commit_is_atomic_and_recorded(sharded_engine):
+    engine, store, a, b = sharded_engine
+    assert store.shard_of(a) == 0 and store.shard_of(b) == 1
+    session = engine.begin(label="transfer")
+    session.call(a, "deposit", -30)
+    session.call(b, "deposit", 30)
+    session.commit()
+    assert store.read_field(a, "balance") == 70.0
+    assert store.read_field(b, "balance") == 230.0
+    decision = engine.coordinator.decision_for(session.txn_id)
+    assert decision.verdict == "commit"
+    assert decision.cross_shard and set(decision.shards) >= {0, 1}
+    assert engine.metrics.cross_shard_commits == 1
+
+
+def test_veto_during_prepare_restores_every_shard(sharded_engine):
+    """Prepared on shard 0, vetoed on shard 1: both shards at before-images."""
+    engine, store, a, b = sharded_engine
+    session = engine.begin()
+    session.call(a, "deposit", -30)
+    session.call(b, "deposit", 30)
+    assert store.read_field(a, "balance") == 70.0  # dirty, locks held
+
+    prepared_first = []
+    participants = engine.coordinator.participants
+    participants[1].prepare_veto = lambda txn: (
+        prepared_first.append(participants[0].is_prepared(txn))
+        or "disk full")
+
+    with pytest.raises(TwoPhaseCommitError):
+        session.commit()
+    assert prepared_first == [True]
+    assert session.transaction.state is TransactionState.ABORTED
+    assert store.read_field(a, "balance") == 100.0
+    assert store.read_field(b, "balance") == 200.0
+    assert engine.coordinator.decision_for(session.txn_id).verdict == "abort"
+    assert engine.metrics.committed == 0 and engine.metrics.aborted == 1
+    # The engine is fully usable afterwards; locks were released.
+    participants[1].prepare_veto = None
+    retry = engine.begin()
+    retry.call(a, "deposit", -30)
+    retry.call(b, "deposit", 30)
+    retry.commit()
+    assert store.read_field(a, "balance") == 70.0
+    assert store.read_field(b, "balance") == 230.0
+
+
+def test_explicit_abort_undoes_on_every_touched_shard(sharded_engine):
+    engine, store, a, b = sharded_engine
+    session = engine.begin()
+    session.call(a, "deposit", -30)
+    session.call(b, "deposit", 30)
+    session.abort()
+    assert store.read_field(a, "balance") == 100.0
+    assert store.read_field(b, "balance") == 200.0
+    decision = engine.coordinator.decision_for(session.txn_id)
+    assert decision.verdict == "abort" and decision.cross_shard
