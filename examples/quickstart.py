@@ -62,8 +62,11 @@ def main() -> None:
     print("\nNext steps: examples/threaded_banking.py runs the same protocols "
           "under real threads with blocking locks, and "
           "examples/sharded_banking.py partitions the store and lock managers "
-          "across shards with cross-shard two-phase commit "
-          "(python -m repro.engine.harness --shards 4 benchmarks it).")
+          "across shards with cross-shard two-phase commit and ends with a "
+          "crash-and-recover demo of the write-ahead log "
+          "(python -m repro.engine.harness --shards 4 --durability fsync "
+          "benchmarks both; see README.md for the durability modes and the "
+          "presumed-abort recovery rule).")
 
 
 if __name__ == "__main__":

@@ -22,6 +22,11 @@ The package is organised bottom-up:
 * :mod:`repro.engine` — the multi-threaded execution engine: blocking lock
   acquisition, background deadlock detection, sessions with automatic
   abort-and-retry, and a wall-clock throughput harness;
+* :mod:`repro.sharding` — shard routers, the partitioned store, per-shard
+  lock managers and cross-shard two-phase commit;
+* :mod:`repro.wal` — durability: per-shard write-ahead logs of TAV-projected
+  before/after images, fuzzy checkpoints, and crash recovery with presumed
+  abort (``Engine(protocol, durability=Durability.fsynced(path))``);
 * :mod:`repro.reporting` — textual tables and figure renderings.
 
 Quickstart::
@@ -89,7 +94,7 @@ from repro.schema import (
     library_schema,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AccessMode",

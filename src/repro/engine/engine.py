@@ -18,6 +18,17 @@ Concurrency contract:
   order and the engine records it (:attr:`commit_log`) for the harness's
   sequential-replay serializability check.
 
+The engine is optionally *durable*: a :class:`~repro.wal.durability.Durability`
+configuration attaches one :class:`~repro.wal.log.WriteAheadLog` per shard
+(TAV-projected before-images write-through before every store write, redo
+images and a PREPARED marker flushed at 2PC prepare), makes the
+coordinator's decision log a durable file whose commit record remains the
+serialisation point, and runs a
+:class:`~repro.wal.checkpoint.CheckpointManager` that snapshots each shard
+and truncates its log.  After a crash,
+:class:`~repro.wal.recovery_runner.RecoveryRunner` rebuilds the committed
+state with presumed abort for in-doubt transactions.
+
 The engine is *sharded*: lock management, undo logging and (when the store
 is a :class:`~repro.sharding.store.ShardedObjectStore`) the data itself are
 partitioned across N shards by a :class:`~repro.sharding.router.ShardRouter`,
@@ -61,6 +72,9 @@ from repro.sim.workload import TransactionSpec
 from repro.txn.operations import Operation
 from repro.txn.protocols.base import ConcurrencyControlProtocol, LockPlan
 from repro.txn.transaction import Transaction, TransactionState
+from repro.wal.checkpoint import CheckpointManager, ShardCheckpoint
+from repro.wal.durability import Durability
+from repro.wal.log import DecisionLog, WriteAheadLog
 
 T = TypeVar("T")
 
@@ -82,7 +96,8 @@ class Engine:
                  backoff_base: float = 0.001,
                  backoff_cap: float = 0.05,
                  shards: int | None = None,
-                 router: ShardRouter | None = None) -> None:
+                 router: ShardRouter | None = None,
+                 durability: Durability | None = None) -> None:
         self._protocol = protocol
         self._store = protocol.store
         self._router = self._resolve_router(shards, router)
@@ -96,11 +111,40 @@ class Engine:
         ]
         self._locks = ShardedLockFront(shard_managers, self._router,
                                        victim_key=self._victim_age)
-        self._recovery = ShardedRecoveryManager(self._store, self._router)
+        self._durability = durability if durability is not None else Durability.off()
+        self._wals: tuple[WriteAheadLog | None, ...]
+        self._decision_log: DecisionLog | None
+        if self._durability.enabled:
+            self._durability.prepare_directory(num_shards)
+            self._wals = tuple(
+                WriteAheadLog(self._durability.wal_path(shard_id),
+                              sync_on_barrier=self._durability.fsync)
+                for shard_id in range(num_shards))
+            self._decision_log = DecisionLog(
+                self._durability.decisions_path,
+                sync_on_commit=self._durability.fsync)
+        else:
+            self._wals = (None,) * num_shards
+            self._decision_log = None
+        self._recovery = ShardedRecoveryManager(self._store, self._router,
+                                                wals=self._wals)
         self._coordinator = TwoPhaseCommitCoordinator([
-            ShardParticipant(shard_id, self._recovery.shard_manager(shard_id))
+            ShardParticipant(shard_id, self._recovery.shard_manager(shard_id),
+                             wal=self._wals[shard_id])
             for shard_id in range(num_shards)
-        ])
+        ], decision_log=self._decision_log)
+        self._checkpointer: CheckpointManager | None = None
+        if self._durability.enabled:
+            self._checkpointer = CheckpointManager(
+                self._store, self._router, self._recovery,
+                [wal for wal in self._wals if wal is not None],
+                self._durability)
+            # The base checkpoint: instances created before the engine
+            # existed (population) are durable from the very first moment —
+            # the WAL only ever has to carry field updates.
+            self._checkpointer.checkpoint()
+            if self._durability.checkpoint_interval is not None:
+                self._checkpointer.start(self._durability.checkpoint_interval)
         self._interpreter = Interpreter(self._store, builtins=builtins)
         self._ids = itertools.count(1)
         self._max_retries = max_retries
@@ -234,10 +278,17 @@ class Engine:
         self.metrics.record_abort()
 
     def close(self) -> None:
-        """Stop the deadlock detector.  Idempotent."""
+        """Stop the detector and checkpointer, close the logs.  Idempotent."""
         if not self._closed:
             self._closed = True
             self._detector.stop()
+            if self._checkpointer is not None:
+                self._checkpointer.stop()
+            for wal in self._wals:
+                if wal is not None:
+                    wal.close()
+            if self._decision_log is not None:
+                self._decision_log.close()
 
     def __enter__(self) -> "Engine":
         return self
@@ -382,6 +433,42 @@ class Engine:
         with self._rng_mutex:
             jitter = self._backoff_rng.uniform(0.5, 1.0)
         return delay * jitter
+
+    # -- durability ---------------------------------------------------------------
+
+    def checkpoint(self) -> list[ShardCheckpoint]:
+        """Take a fuzzy checkpoint of every shard now (durability must be on).
+
+        Raises:
+            TransactionError: the engine runs without durability.
+        """
+        if self._checkpointer is None:
+            raise TransactionError("the engine runs with durability off; "
+                                   "there is nothing to checkpoint")
+        return self._checkpointer.checkpoint()
+
+    @property
+    def durability(self) -> Durability:
+        """The durability configuration this engine runs under."""
+        return self._durability
+
+    @property
+    def checkpointer(self) -> CheckpointManager | None:
+        """The checkpoint manager, when durability is on."""
+        return self._checkpointer
+
+    @property
+    def wals(self) -> tuple[WriteAheadLog | None, ...]:
+        """The per-shard write-ahead logs (``None`` entries when off)."""
+        return self._wals
+
+    @property
+    def wal_bytes_written(self) -> int:
+        """Total bytes appended to every shard WAL plus the decision log."""
+        total = sum(wal.bytes_written for wal in self._wals if wal is not None)
+        if self._decision_log is not None:
+            total += self._decision_log.bytes_written
+        return total
 
     # -- introspection ------------------------------------------------------------
 

@@ -15,9 +15,13 @@ and is reported in the output table.
 With ``--shards N`` the store, lock managers and undo logs are partitioned
 across N shards (see :mod:`repro.sharding`) and cross-shard transactions
 commit through two-phase commit; the table's ``shards`` column makes the
-contention win measurable against the single-shard baseline.  ``--json
-PATH`` additionally writes the table as a ``BENCH_*.json``-style
-machine-readable document for the performance trajectory.
+contention win measurable against the single-shard baseline.  ``--durability
+{off,lazy,fsync}`` switches on per-shard write-ahead logging (see
+:mod:`repro.wal`) so its cost shows up in the numbers: the ``wal`` column
+reports log bytes per committed transaction, and throughput can be compared
+across the three modes.  ``--json PATH`` additionally writes the table as a
+``BENCH_*.json``-style machine-readable document for the performance
+trajectory, including the durability mode and WAL bytes of every row.
 
 Run from the command line (the ``bench`` extra installs ``repro-bench`` as a
 console script for the same entry point)::
@@ -31,10 +35,13 @@ from __future__ import annotations
 import argparse
 import json
 import queue
+import shutil
+import tempfile
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Sequence
+from pathlib import Path
+from typing import Any, Mapping, Sequence
 
 from repro.core.compiler import CompiledSchema, compile_schema
 from repro.engine.engine import Engine
@@ -47,6 +54,8 @@ from repro.sharding.store import ShardedObjectStore
 from repro.sim.workload import TransactionSpec, WorkloadGenerator, populate_store
 from repro.txn.manager import TransactionManager
 from repro.txn.protocols import PROTOCOLS
+from repro.wal.durability import MODES as DURABILITY_MODES
+from repro.wal.durability import Durability
 
 
 def store_state(store: ObjectStore) -> dict[str, dict[str, Any]]:
@@ -61,6 +70,8 @@ class HarnessResult:
     protocol: str
     threads: int
     shards: int
+    #: The durability mode the engine ran under (``off``/``lazy``/``fsync``).
+    durability: str
     transactions: int
     metrics: EngineMetrics
     #: Labels of the committed transactions, in commit (serialisation) order.
@@ -83,7 +94,9 @@ class HarnessResult:
     def as_row(self) -> dict[str, Any]:
         """A flat dictionary for the throughput table."""
         row: dict[str, Any] = {"protocol": self.protocol, "threads": self.threads,
-                               "shards": self.shards, "txns": self.transactions}
+                               "shards": self.shards,
+                               "durability": self.durability,
+                               "txns": self.transactions}
         row.update(self.metrics.as_row())
         row["serializable"] = ("-" if self.serializable is None
                                else "yes" if self.serializable else "VIOLATION")
@@ -151,6 +164,8 @@ class ThroughputHarness:
             specs: Sequence[TransactionSpec] | None = None,
             verify: bool = True, shards: int = 1,
             router: ShardRouter | None = None,
+            durability: Durability | str = "off",
+            wal_dir: str | Path | None = None,
             **engine_options: Any) -> HarnessResult:
         """Replay the workload across ``threads`` workers under one protocol.
 
@@ -163,6 +178,13 @@ class ThroughputHarness:
         (timeouts, detection interval, retry policy).  With ``verify`` the
         committed transactions are replayed sequentially on the replica and
         the final states compared.
+
+        ``durability`` is either a full :class:`~repro.wal.durability.Durability`
+        or a mode name.  For a bare ``"lazy"``/``"fsync"`` the run logs into
+        a per-run subdirectory of ``wal_dir`` (recreated if it exists, so
+        repeated runs do not trip the fresh-directory check) or, without
+        ``wal_dir``, a temporary directory deleted after the run — the
+        throughput cost is the point then, not the files.
         """
         if specs is None:
             specs = self.make_specs(transactions)
@@ -178,6 +200,9 @@ class ThroughputHarness:
         else:
             store = self.populate()
         protocol = protocol_class(self._compiled, store)
+        resolved, cleanup = self._resolve_durability(
+            durability, wal_dir,
+            getattr(protocol_class, "name", protocol_class.__name__), shards)
 
         work: "queue.SimpleQueue[TransactionSpec]" = queue.SimpleQueue()
         for spec in specs:
@@ -185,35 +210,40 @@ class ThroughputHarness:
         failed: list[str] = []
         errors: list[tuple[str, str]] = []
         failed_mutex = threading.Lock()
-        with Engine(protocol, **engine_options) as engine:
-            def worker() -> None:
-                while True:
-                    try:
-                        spec = work.get_nowait()
-                    except queue.Empty:
-                        return
-                    try:
-                        engine.run_spec(spec)
-                    except (DeadlockError, LockTimeoutError):
-                        with failed_mutex:
-                            failed.append(spec.label)
-                    except Exception as error:  # noqa: BLE001 - reported, not lost
-                        # An unexpected failure must not silently kill the
-                        # worker and drop the remaining queue.
-                        with failed_mutex:
-                            failed.append(spec.label)
-                            errors.append((spec.label, repr(error)))
+        try:
+            with Engine(protocol, durability=resolved, **engine_options) as engine:
+                def worker() -> None:
+                    while True:
+                        try:
+                            spec = work.get_nowait()
+                        except queue.Empty:
+                            return
+                        try:
+                            engine.run_spec(spec)
+                        except (DeadlockError, LockTimeoutError):
+                            with failed_mutex:
+                                failed.append(spec.label)
+                        except Exception as error:  # noqa: BLE001 - reported, not lost
+                            # An unexpected failure must not silently kill the
+                            # worker and drop the remaining queue.
+                            with failed_mutex:
+                                failed.append(spec.label)
+                                errors.append((spec.label, repr(error)))
 
-            pool = [threading.Thread(target=worker, name=f"repro-worker-{index}")
-                    for index in range(threads)]
-            started = time.perf_counter()
-            for thread in pool:
-                thread.start()
-            for thread in pool:
-                thread.join()
-            engine.metrics.elapsed = time.perf_counter() - started
-            commit_labels = tuple(label for _, label in engine.commit_log)
-            metrics = engine.metrics
+                pool = [threading.Thread(target=worker, name=f"repro-worker-{index}")
+                        for index in range(threads)]
+                started = time.perf_counter()
+                for thread in pool:
+                    thread.start()
+                for thread in pool:
+                    thread.join()
+                engine.metrics.elapsed = time.perf_counter() - started
+                engine.metrics.wal_bytes = engine.wal_bytes_written
+                commit_labels = tuple(label for _, label in engine.commit_log)
+                metrics = engine.metrics
+        finally:
+            if cleanup is not None:
+                cleanup()
 
         final_state = store_state(store)
         serializable: bool | None = None
@@ -223,10 +253,29 @@ class ThroughputHarness:
         return HarnessResult(protocol=getattr(protocol_class, "name",
                                               protocol_class.__name__),
                              threads=threads, shards=shards,
+                             durability=resolved.mode,
                              transactions=len(specs),
                              metrics=metrics, commit_labels=commit_labels,
                              failed_labels=tuple(failed), errors=tuple(errors),
                              serializable=serializable, final_state=final_state)
+
+    @staticmethod
+    def _resolve_durability(durability: Durability | str,
+                            wal_dir: str | Path | None,
+                            protocol_name: str, shards: int):
+        """The run's :class:`Durability` plus an optional cleanup callback."""
+        if isinstance(durability, Durability):
+            return durability, None
+        if durability == "off":
+            return Durability.off(), None
+        if wal_dir is not None:
+            root = Path(wal_dir) / f"{protocol_name}-shards{shards}"
+            if root.exists():
+                shutil.rmtree(root)
+            return Durability(mode=durability, directory=root), None
+        scratch = tempfile.TemporaryDirectory(prefix="repro-wal-")
+        return (Durability(mode=durability, directory=scratch.name),
+                scratch.cleanup)
 
     def _sequential_replay(self, protocol_class: type,
                            specs: Sequence[TransactionSpec],
@@ -265,20 +314,26 @@ def _with_unique_labels(specs: Sequence[TransactionSpec]) -> list[TransactionSpe
 
 
 def bench_document(results: Sequence[HarnessResult],
-                   config: dict[str, Any] | None = None) -> dict[str, Any]:
+                   config: dict[str, Any] | None = None,
+                   benchmark: str = "engine_throughput") -> dict[str, Any]:
     """The harness results as a ``BENCH_*.json``-style document.
 
-    One flat row per (protocol, threads, shards) configuration plus the
-    configuration that produced them, so successive runs can be diffed for
-    the performance trajectory without re-parsing the human table.
+    One flat row per (protocol, threads, shards, durability) configuration
+    plus the configuration that produced them, so successive runs can be
+    diffed for the performance trajectory without re-parsing the human
+    table.  Each row carries the durability mode and the WAL cost both raw
+    (``wal_bytes``) and per committed transaction (``wal_bytes_per_commit``).
     """
     return {
-        "benchmark": "engine_throughput",
+        "benchmark": benchmark,
         "unit": "commits_per_s",
         "config": dict(config or {}),
         "results": [
             {**result.as_row(),
              "serializable": result.serializable,
+             "durability": result.durability,
+             "wal_bytes": result.metrics.wal_bytes,
+             "wal_bytes_per_commit": round(result.metrics.wal_bytes_per_commit, 1),
              "failed": list(result.failed_labels)}
             for result in results
         ],
@@ -286,20 +341,31 @@ def bench_document(results: Sequence[HarnessResult],
 
 
 def write_bench_json(path: str, results: Sequence[HarnessResult],
-                     arguments: argparse.Namespace) -> None:
-    """Write :func:`bench_document` for one CLI invocation to ``path``."""
-    config = {
-        "threads": arguments.threads,
-        "shards": arguments.shards,
-        "transactions": arguments.transactions,
-        "operations": arguments.operations,
-        "instances": arguments.instances,
-        "seed": arguments.seed,
-        "lock_timeout": arguments.lock_timeout,
-        "verified": not arguments.no_verify,
-    }
+                     arguments: argparse.Namespace | Mapping[str, Any],
+                     benchmark: str = "engine_throughput") -> None:
+    """Write :func:`bench_document` for one run to ``path``.
+
+    ``arguments`` is the CLI namespace — or any mapping, which is how the
+    benchmark suite (``benchmarks/test_bench_wal_overhead.py``) reuses this
+    path for its own documents.
+    """
+    if isinstance(arguments, Mapping):
+        config = dict(arguments)
+    else:
+        config = {
+            "threads": arguments.threads,
+            "shards": arguments.shards,
+            "transactions": arguments.transactions,
+            "operations": arguments.operations,
+            "instances": arguments.instances,
+            "seed": arguments.seed,
+            "lock_timeout": arguments.lock_timeout,
+            "durability": arguments.durability,
+            "verified": not arguments.no_verify,
+        }
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(bench_document(results, config), handle, indent=2)
+        json.dump(bench_document(results, config, benchmark=benchmark),
+                  handle, indent=2)
         handle.write("\n")
 
 
@@ -334,6 +400,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="workload seed (default: 17)")
     parser.add_argument("--lock-timeout", type=float, default=5.0,
                         help="per-request lock timeout in seconds (default: 5)")
+    parser.add_argument("--durability", choices=DURABILITY_MODES, default="off",
+                        help="write-ahead logging mode: 'off' (no files), "
+                             "'lazy' (write-through, survives SIGKILL) or "
+                             "'fsync' (fsync at prepare/commit, survives "
+                             "power loss); the wal table column shows the "
+                             "log bytes paid per commit")
+    parser.add_argument("--wal-dir", metavar="PATH", default=None,
+                        help="directory for WAL/checkpoint files (per-run "
+                             "subdirectories; default: a temporary directory "
+                             "deleted after the run)")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the sequential-replay serializability check")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -359,6 +435,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                              transactions=arguments.transactions,
                              verify=not arguments.no_verify,
                              shards=arguments.shards,
+                             durability=arguments.durability,
+                             wal_dir=arguments.wal_dir,
                              default_lock_timeout=arguments.lock_timeout)
         results.append(result)
     print(format_throughput_table(results))

@@ -49,6 +49,9 @@ class EngineMetrics:
     operations: int = 0
     #: Wall-clock seconds of the measured run (set by the harness).
     elapsed: float = 0.0
+    #: Bytes appended to the write-ahead and decision logs (set by the
+    #: harness from :attr:`Engine.wal_bytes_written`; 0 with durability off).
+    wal_bytes: int = 0
 
     _mutex: threading.Lock = field(default_factory=threading.Lock, repr=False,
                                    compare=False)
@@ -116,6 +119,13 @@ class EngineMetrics:
             return 0.0
         return self.wait_time / self.waits
 
+    @property
+    def wal_bytes_per_commit(self) -> float:
+        """Log bytes the durability subsystem paid per committed transaction."""
+        if self.committed == 0:
+            return 0.0
+        return self.wal_bytes / self.committed
+
     def as_row(self) -> dict[str, float]:
         """A flat dictionary for the reporting tables."""
         return {
@@ -132,4 +142,5 @@ class EngineMetrics:
             "commits_per_s": round(self.commits_per_second, 1),
             "abort_rate": round(self.abort_rate, 3),
             "mean_wait_ms": round(self.mean_wait_time * 1000, 2),
+            "wal": round(self.wal_bytes_per_commit, 1),
         }

@@ -195,6 +195,21 @@ class UnknownModeError(ConcurrencyError):
 
 
 # ---------------------------------------------------------------------------
+# Durability
+# ---------------------------------------------------------------------------
+
+
+class WALError(ReproError):
+    """A write-ahead log, checkpoint or recovery operation failed.
+
+    Torn tails of log files are *not* errors (a killed process legitimately
+    leaves one; readers stop at the tear); this exception covers genuine
+    misuse — unknown record kinds, a durability directory that already holds
+    another engine's state, recovery against the wrong shard layout.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Simulation
 # ---------------------------------------------------------------------------
 

@@ -36,3 +36,15 @@ class OIDGenerator:
     def next_oid(self, class_name: str) -> OID:
         """Allocate a fresh OID for an instance of ``class_name``."""
         return OID(class_name=class_name, number=next(self._counter))
+
+    def advance_past(self, number: int) -> None:
+        """Ensure future allocations exceed ``number``.
+
+        Crash recovery calls this after restoring instances from a
+        checkpoint, so the revived store never re-issues an OID that is
+        already live.  Swapping the counter is a single attribute store
+        (atomic under CPython), but the method is meant for the
+        single-threaded recovery phase, not for concurrent use — a racing
+        ``next_oid`` on the *old* counter could still hand out a low number.
+        """
+        self._counter = itertools.count(number + 1)

@@ -169,6 +169,45 @@ class ObjectStore:
     def _check_type(self, class_name: str, field_name: str, value: Any) -> None:
         check_field_type(self._schema, class_name, field_name, value)
 
+    # -- checkpoint / recovery support -----------------------------------------
+
+    def snapshot_instances(self) -> list[tuple[OID, str, dict[str, Any]]]:
+        """``(oid, class_name, values-copy)`` for every live instance.
+
+        Taken under the store mutex, so creations and deletions cannot tear
+        the listing; individual field values may still be mid-transaction
+        (a *fuzzy* snapshot) — the write-ahead log's before-images are what
+        make that safe to persist.
+        """
+        with self._mutex:
+            return [(instance.oid, instance.class_name, dict(instance.values))
+                    for instance in self._instances.values()]
+
+    def restore_instance(self, oid: OID, class_name: str,
+                         values: dict[str, Any]) -> Instance:
+        """Re-create an instance under its original OID (recovery only).
+
+        The caller (a :class:`~repro.wal.recovery_runner.RecoveryRunner`)
+        restores instances in ascending OID order, which reproduces the
+        creation order live stores expose, and then calls
+        :meth:`advance_oids_past` so the generator never re-issues a
+        restored number.
+
+        Raises:
+            UnknownClassError: for a class the schema does not know.
+        """
+        if class_name not in self._schema:
+            raise UnknownClassError(f"unknown class {class_name!r}")
+        instance = Instance(oid=oid, class_name=class_name, values=dict(values))
+        with self._mutex:
+            self._instances[oid] = instance
+            self._extents[class_name].append(oid)
+        return instance
+
+    def advance_oids_past(self, number: int) -> None:
+        """Make sure freshly created instances get OIDs above ``number``."""
+        self._generator.advance_past(number)
+
     # -- extents ---------------------------------------------------------------
 
     def extent(self, class_name: str) -> tuple[OID, ...]:

@@ -13,9 +13,12 @@ from typing import Any, Mapping, Sequence
 from repro.reporting.tables import format_records
 
 #: Column order of the throughput table (missing columns are dropped).
-_COLUMNS = ("protocol", "threads", "shards", "txns", "committed", "xshard",
-            "aborted", "retries", "deadlocks", "timeouts", "commits_per_s",
-            "abort_rate", "mean_wait_ms", "elapsed_s", "serializable")
+#: ``durability`` names the logging mode and ``wal`` the log bytes paid per
+#: committed transaction — the cost column the WAL-overhead bench compares.
+_COLUMNS = ("protocol", "threads", "shards", "durability", "txns", "committed",
+            "xshard", "aborted", "retries", "deadlocks", "timeouts",
+            "commits_per_s", "abort_rate", "mean_wait_ms", "wal", "elapsed_s",
+            "serializable")
 
 
 def format_throughput_table(results: Sequence[Any]) -> str:

@@ -8,27 +8,52 @@ participant can prepare, discard (commit) or replay (abort) independently,
 plus the set of shards a transaction actually wrote
 (:meth:`ShardedRecoveryManager.touched_shards`).
 
+With durability on, each shard's :class:`~repro.txn.recovery.RecoveryManager`
+carries that shard's :class:`~repro.wal.log.WriteAheadLog`, so a logged
+before-image is on disk (write-through) before the write it covers can
+execute — the per-shard flush at 2PC prepare then only has to barrier what
+is already out of user space.
+
 Like the per-transaction state in the lock front, the touched-shard map is
 mutated only from the owning session's thread via single CPython-atomic dict
-operations, so no global mutex guards the write path.
+operations, so no global mutex guards the write path.  The log life cycle
+mirrors the per-shard managers': :meth:`undo`/:meth:`forget` are idempotent
+and seal the transaction's logs on the shards they touch.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
+from repro.errors import TransactionError
 from repro.objects.oid import OID
 from repro.sharding.router import ShardRouter
-from repro.txn.recovery import RecoveryManager, UndoRecord
+from repro.txn.recovery import FinishedTransactions, RecoveryManager, UndoRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.wal.log import WriteAheadLog
 
 
 class ShardedRecoveryManager:
     """Routes undo logging to one :class:`RecoveryManager` per shard."""
 
-    def __init__(self, store, router: ShardRouter) -> None:
+    def __init__(self, store, router: ShardRouter,
+                 wals: "Sequence[WriteAheadLog | None] | None" = None) -> None:
+        if wals is not None and len(wals) != router.num_shards:
+            raise ValueError(f"{len(wals)} write-ahead logs for "
+                             f"{router.num_shards} shards")
         self._router = router
-        self._managers = tuple(RecoveryManager(store)
-                               for _ in range(router.num_shards))
+        #: Per-shard managers run *without* their own finished-tracking: a
+        #: shard only hears about transactions that touched it, so a
+        #: per-shard floor could never advance.  The seal lives here instead,
+        #: engine-wide, where every transaction eventually finishes — which
+        #: also catches a late writer aiming at a shard the transaction never
+        #: touched (a per-shard seal would wave that one through).
+        self._managers = tuple(
+            RecoveryManager(store, wal=None if wals is None else wals[shard_id],
+                            track_finished=False)
+            for shard_id in range(router.num_shards))
+        self._finished = FinishedTransactions()
         #: Shards each live transaction has logged before-images on.
         self._touched: dict[int, set[int]] = {}
 
@@ -36,7 +61,16 @@ class ShardedRecoveryManager:
 
     def log_before_image(self, txn: int, oid: OID,
                          fields: Iterable[str]) -> UndoRecord | None:
-        """Save a projected before-image in the owning shard's undo log."""
+        """Save a projected before-image in the owning shard's undo log.
+
+        Raises:
+            TransactionError: ``txn`` already finished; a late writer must
+                not grow a released log on *any* shard.
+        """
+        if txn in self._finished:
+            raise TransactionError(
+                f"transaction {txn} already finished; its undo logs were "
+                "released and cannot be appended to")
         shard_id = self._router.shard_of_oid(oid)
         record = self._managers[shard_id].log_before_image(txn, oid, fields)
         if record is not None:
@@ -46,20 +80,38 @@ class ShardedRecoveryManager:
     # -- whole-transaction operations -------------------------------------------
 
     def undo(self, txn: int) -> int:
-        """Restore every before-image of ``txn`` on every shard it wrote."""
+        """Restore every before-image of ``txn`` on every shard it wrote.
+
+        Idempotent: a second call (or one racing a participant-level abort)
+        finds the per-shard logs already sealed and undoes nothing.
+        """
         undone = 0
         for shard_id in self._touched.pop(txn, ()):
             undone += self._managers[shard_id].undo(txn)
+        self._finished.add(txn)
         return undone
 
     def forget(self, txn: int) -> None:
-        """Drop the undo logs of a committed transaction on every shard."""
+        """Drop the undo logs of a committed transaction on every shard.
+
+        Idempotent, like :meth:`undo`.
+        """
         for shard_id in self._touched.pop(txn, ()):
             self._managers[shard_id].forget(txn)
+        self._finished.add(txn)
 
     def discard_tracking(self, txn: int) -> None:
-        """Forget the touched-shard set once participants handled the logs."""
+        """Forget the touched-shard set once participants handled the logs.
+
+        Also the engine's end-of-transaction notification: from here on the
+        transaction's logs are sealed on every shard.
+        """
         self._touched.pop(txn, None)
+        self._finished.add(txn)
+
+    def is_finished(self, txn: int) -> bool:
+        """Whether ``txn`` finished here (its logs are sealed everywhere)."""
+        return txn in self._finished
 
     # -- introspection ----------------------------------------------------------
 

@@ -144,6 +144,48 @@ class ShardedObjectStore:
         check_field_type(self._schema, instance.class_name, field_name, value)
         instance.set(field_name, value)
 
+    # -- checkpoint / recovery support -----------------------------------------
+
+    def snapshot_shard(self, shard_id: int) -> list[tuple[OID, str, dict[str, Any]]]:
+        """``(oid, class_name, values-copy)`` for shard ``shard_id``'s instances.
+
+        Taken under that shard's mutex (creations/deletions excluded);
+        individual field values may be mid-transaction — the fuzzy part the
+        write-ahead log's before-images repair at recovery.
+        """
+        shard = self._shards[shard_id]
+        with shard.mutex:
+            return [(instance.oid, instance.class_name, dict(instance.values))
+                    for instance in shard.instances.values()]
+
+    def restore_instance(self, oid: OID, class_name: str,
+                         values: dict[str, Any]) -> Instance:
+        """Re-create an instance under its original OID on its home shard.
+
+        Recovery restores in ascending OID order so merged views keep their
+        creation-order shape, then calls :meth:`advance_oids_past`.
+
+        Raises:
+            UnknownClassError: for a class the schema does not know.
+        """
+        if class_name not in self._schema:
+            raise UnknownClassError(f"unknown class {class_name!r}")
+        instance = Instance(oid=oid, class_name=class_name, values=dict(values))
+        shard = self._shards[self._router.shard_of_oid(oid)]
+        with shard.mutex:
+            shard.instances[oid] = instance
+            shard.extents[class_name].append(oid)
+            self._live[oid] = instance
+        return instance
+
+    def advance_oids_past(self, number: int) -> None:
+        """Make sure freshly created instances get OIDs above ``number``."""
+        self._generator.advance_past(number)
+
+    def shard_mutex(self, shard_id: int) -> threading.RLock:
+        """The structural mutex of one shard (checkpointers hold it briefly)."""
+        return self._shards[shard_id].mutex
+
     # -- extents ---------------------------------------------------------------
 
     def extent(self, class_name: str) -> tuple[OID, ...]:

@@ -14,8 +14,19 @@ atomically.  The pieces:
   commit decision while holding its commit mutex, *between* phase one and
   phase two — that single record is the serialisation point that makes a
   cross-shard commit atomic: until it exists every shard can still undo,
-  once it exists every shard must (and, being in-memory, trivially can)
-  complete.
+  once it exists every shard must complete.
+
+With durability on, the protocol earns its classical meaning.  A
+participant's ``prepare`` appends the transaction's redo images (the
+after-values of exactly the TAV-projected fields its undo records name — at
+prepare time strict 2PL makes those the final values) and a ``PREPARED``
+marker to the shard's write-ahead log, then barriers it (fsync under the
+``fsync`` policy) *before* voting yes — the durable promise behind the
+vote.  The coordinator mirrors every decision into a durable
+:class:`~repro.wal.log.DecisionLog`; the commit record is barriered before
+phase two begins, and recovery resolves in-doubt transactions against that
+file by **presumed abort**: no commit record ⇒ the transaction never
+happened.
 
 A participant votes no by raising — or by a ``prepare_veto`` hook returning
 a reason, which is how tests and fault-injection exercise the abort path —
@@ -31,6 +42,8 @@ from typing import Callable, Sequence
 
 from repro.errors import TwoPhaseCommitError
 from repro.txn.recovery import RecoveryManager
+from repro.wal.log import DecisionLog, WriteAheadLog
+from repro.wal.records import PreparedMarker, RedoImage
 
 
 @dataclass(frozen=True)
@@ -50,9 +63,11 @@ class CommitDecision:
 class ShardParticipant:
     """One shard's side of the protocol: its undo log and prepared set."""
 
-    def __init__(self, shard_id: int, recovery: RecoveryManager) -> None:
+    def __init__(self, shard_id: int, recovery: RecoveryManager,
+                 wal: WriteAheadLog | None = None) -> None:
         self.shard_id = shard_id
         self._recovery = recovery
+        self._wal = wal
         self._prepared: set[int] = set()
         #: Fault-injection hook: return a reason string to veto a prepare
         #: (``None`` approves).  Exists so tests can force the abort path of
@@ -60,10 +75,13 @@ class ShardParticipant:
         self.prepare_veto: Callable[[int], str | None] | None = None
 
     def prepare(self, txn: int) -> None:
-        """Phase one: freeze the before-image log and vote.
+        """Phase one: flush this shard's log for ``txn``, then vote.
 
-        An in-memory shard can always complete once the decision is logged,
-        so the only no-vote source is the ``prepare_veto`` hook.
+        With a write-ahead log attached, the vote is made durable first:
+        redo images for every projection the transaction logged here, a
+        ``PREPARED`` marker, and a barrier (fsync under the ``fsync``
+        policy).  Only then is yes promised — after this returns, the shard
+        can always complete the commit from disk alone.
 
         Raises:
             TwoPhaseCommitError: this shard votes no.
@@ -74,6 +92,11 @@ class ShardParticipant:
                 raise TwoPhaseCommitError(
                     f"shard {self.shard_id} vetoed prepare of transaction "
                     f"{txn}: {reason}", shard=self.shard_id, txn=txn)
+        if self._wal is not None:
+            for oid, values in self._recovery.redo_images(txn):
+                self._wal.append(RedoImage(txn=txn, oid=oid, values=values))
+            self._wal.append(PreparedMarker(txn=txn))
+            self._wal.barrier()
         self._prepared.add(txn)
 
     def commit(self, txn: int) -> None:
@@ -95,13 +118,20 @@ class ShardParticipant:
         """The shard-local undo log this participant manages."""
         return self._recovery
 
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The shard's write-ahead log, when durability is on."""
+        return self._wal
+
 
 class TwoPhaseCommitCoordinator:
     """Drives prepare/commit/abort over the touched participants."""
 
-    def __init__(self, participants: Sequence[ShardParticipant]) -> None:
+    def __init__(self, participants: Sequence[ShardParticipant],
+                 decision_log: DecisionLog | None = None) -> None:
         self._participants = tuple(participants)
         self._decisions: list[CommitDecision] = []
+        self._decision_log = decision_log
         self._mutex = threading.Lock()
 
     # -- the protocol ------------------------------------------------------------
@@ -121,7 +151,9 @@ class TwoPhaseCommitCoordinator:
     def record_commit(self, txn: int, shards: Sequence[int]) -> CommitDecision:
         """Append the global commit record — the transaction's serialisation
         point.  The engine calls this under its commit mutex, after every
-        vote and before any phase-two work."""
+        vote and before any phase-two work.  With a durable decision log the
+        record is barriered to disk before this returns: it is the
+        durability point too."""
         return self._record(txn, "commit", shards)
 
     def complete_commit(self, txn: int, shards: Sequence[int]) -> None:
@@ -148,6 +180,11 @@ class TwoPhaseCommitCoordinator:
         with self._mutex:
             return tuple(self._decisions)
 
+    @property
+    def decision_log(self) -> DecisionLog | None:
+        """The durable decision log, when durability is on."""
+        return self._decision_log
+
     def decision_for(self, txn: int) -> CommitDecision | None:
         """The recorded outcome of ``txn``, or ``None`` while undecided."""
         with self._mutex:
@@ -162,6 +199,12 @@ class TwoPhaseCommitCoordinator:
                 shards: Sequence[int]) -> CommitDecision:
         decision = CommitDecision(txn=txn, verdict=verdict,
                                   shards=tuple(sorted(shards)))
+        if self._decision_log is not None:
+            # Durable before visible: once the in-memory log lists a commit,
+            # the disk already knows (abort records ride the write-through
+            # flush only — presumed abort does not need them).
+            self._decision_log.append(decision.txn, decision.verdict,
+                                      decision.shards)
         with self._mutex:
             self._decisions.append(decision)
         return decision

@@ -241,6 +241,9 @@ class Simulator:
         victim.blocked = False
         if self._restart_victims and victim.restarts < self._max_restarts:
             metrics.restarts += 1
+            # The recovery manager sealed the undo log when it replayed it;
+            # reusing the id below is deliberate, so say so.
+            self._recovery.reopen(victim.txn_id)
             # The restarted incarnation keeps its transaction identifier: all
             # locks were released, and keeping the id avoids making restarted
             # transactions perpetually the youngest (and thus perpetual

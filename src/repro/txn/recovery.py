@@ -8,15 +8,37 @@ be saved, and no inverse operation has to be supplied by the programmer.
 :class:`RecoveryManager` implements that idea: before an operation executes,
 the transaction manager asks it to log the projection of every target
 instance; on abort the saved values are written back in reverse order.
+
+When constructed with a :class:`~repro.wal.log.WriteAheadLog`, every
+before-image is *also* appended to the log — write-through, and atomically
+with the in-memory bookkeeping (both happen under the WAL's append mutex) —
+before the caller performs the store write it covers.  That ordering is the
+write-ahead rule the fuzzy checkpointer depends on: a snapshot can never
+contain a dirty field whose pre-state is not already out of user space, and
+a transaction whose records are on disk is always visible in
+:meth:`pending_transactions` to the checkpointer deciding what to carry
+forward.
+
+Log life cycle: :meth:`undo` and :meth:`forget` *finish* a transaction's log
+and are idempotent; appending to a finished log raises — a late writer used
+to be able to silently grow a log nobody would ever undo.  The one caller
+that legitimately reuses a transaction id after an abort (the simulator's
+restart-with-same-id policy) declares it with :meth:`reopen`.
 """
 
 from __future__ import annotations
 
+import contextlib
+import threading
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
+from repro.errors import TransactionError
 from repro.objects.oid import OID
 from repro.objects.store import ObjectStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, keeps wal optional
+    from repro.wal.log import WriteAheadLog
 
 
 @dataclass(frozen=True)
@@ -32,12 +54,74 @@ class UndoRecord:
         return tuple(self.values)
 
 
+class FinishedTransactions:
+    """A bounded record of which transaction ids have finished.
+
+    Ids are allocated from a monotone counter and transactions finish within
+    a bounded window of their allocation, so membership compresses to a
+    *floor* — every id at or below it is finished — plus a small sparse set
+    of finished ids above it (ids that overtook slower predecessors) and a
+    set of ids at or below it that were deliberately reopened (the
+    simulator's restart-with-same-id policy).  Both side sets shrink back as
+    the window moves, so memory stays proportional to the number of
+    *concurrently live* transactions, not to the total ever run — a plain
+    ever-growing set would leak roughly a machine word per transaction for
+    the life of the engine.
+
+    Thread safety: all three fields mutate together under one lock; reads
+    take it too, so a membership test never observes a half-advanced floor.
+    """
+
+    def __init__(self) -> None:
+        self._floor = 0
+        self._above: set[int] = set()
+        self._reopened: set[int] = set()
+        self._mutex = threading.Lock()
+
+    def add(self, txn: int) -> None:
+        """Mark ``txn`` finished (idempotent)."""
+        with self._mutex:
+            if txn <= self._floor:
+                self._reopened.discard(txn)
+                return
+            self._above.add(txn)
+            while self._floor + 1 in self._above:
+                self._floor += 1
+                self._above.discard(self._floor)
+
+    def remove(self, txn: int) -> None:
+        """Mark ``txn`` live again (see :meth:`RecoveryManager.reopen`)."""
+        with self._mutex:
+            if txn <= self._floor:
+                self._reopened.add(txn)
+            else:
+                self._above.discard(txn)
+
+    def __contains__(self, txn: int) -> bool:
+        with self._mutex:
+            if txn <= self._floor:
+                return txn not in self._reopened
+            return txn in self._above
+
+
 class RecoveryManager:
     """Keeps per-transaction undo logs of projected before-images."""
 
-    def __init__(self, store: ObjectStore) -> None:
+    def __init__(self, store: ObjectStore,
+                 wal: "WriteAheadLog | None" = None, *,
+                 track_finished: bool = True) -> None:
         self._store = store
+        self._wal = wal
         self._logs: dict[int, list[UndoRecord]] = {}
+        #: Transactions whose log was released by :meth:`undo`/:meth:`forget`.
+        #: Appending for them raises; undoing them again is a no-op.
+        #: ``track_finished=False`` drops the bookkeeping entirely — the
+        #: sharded front runs its per-shard managers that way, because a
+        #: shard only ever hears about the transactions that touched it (the
+        #: floor of :class:`FinishedTransactions` could never advance there)
+        #: and the front enforces one engine-wide seal instead.
+        self._finished: FinishedTransactions | None = (
+            FinishedTransactions() if track_finished else None)
 
     def log_before_image(self, txn: int, oid: OID, fields: Iterable[str]) -> UndoRecord | None:
         """Save the current values of ``fields`` of ``oid`` for transaction ``txn``.
@@ -46,31 +130,90 @@ class RecoveryManager:
         produces no record.  Saving the same instance twice keeps both
         records; undo replays them in reverse order so the oldest image wins,
         which is what strict undo semantics require.
+
+        With a write-ahead log attached, the before-image is appended to it
+        (write-through) before this method returns — i.e. before the caller
+        can perform the write the image covers — and atomically with the
+        in-memory log growth, so a concurrent checkpointer always sees the
+        two agree.
+
+        Raises:
+            TransactionError: ``txn`` already finished here; its log must
+                not grow again (see :meth:`reopen` for deliberate id reuse).
         """
+        if self._finished is not None and txn in self._finished:
+            raise TransactionError(
+                f"transaction {txn} already finished; its undo log was "
+                "released and cannot be appended to")
         projected = tuple(fields)
         if not projected:
             return None
         instance = self._store.get(oid)
         record = UndoRecord(txn=txn, oid=oid,
                             values={name: instance.get(name) for name in projected})
-        self._logs.setdefault(txn, []).append(record)
+        with self._wal.mutex if self._wal is not None else contextlib.nullcontext():
+            if self._wal is not None:
+                from repro.wal.records import UndoImage
+
+                self._wal.append(UndoImage(txn=txn, oid=oid, values=record.values))
+            self._logs.setdefault(txn, []).append(record)
         return record
 
     def undo(self, txn: int) -> int:
-        """Restore every before-image of ``txn`` (newest first).
+        """Restore every before-image of ``txn`` (newest first).  Idempotent.
 
-        Returns the number of records undone.  Instances deleted since the
-        image was taken are skipped.
+        Returns the number of records undone (0 when the transaction already
+        finished).  Instances deleted since the image was taken are skipped.
+        The restore happens *before* the log is dropped, so a concurrent
+        checkpointer that still sees the log knows the shard may hold
+        partially-restored values and carries the records forward.
         """
-        records = self._logs.pop(txn, [])
+        if self._finished is not None and txn in self._finished:
+            return 0
+        records = self._logs.get(txn, ())
         for record in reversed(records):
             if record.oid in self._store:
                 self._store.get(record.oid).restore(record.values)
+        self._logs.pop(txn, None)
+        if self._finished is not None:
+            self._finished.add(txn)
         return len(records)
 
     def forget(self, txn: int) -> None:
-        """Drop the undo log of a committed transaction."""
+        """Drop the undo log of a committed transaction.  Idempotent."""
         self._logs.pop(txn, None)
+        if self._finished is not None:
+            self._finished.add(txn)
+
+    def reopen(self, txn: int) -> None:
+        """Allow a finished transaction id to log again.
+
+        Exists for the simulator's restart policy, where an aborted victim's
+        new incarnation deliberately keeps its transaction id; everything
+        else should treat a finished log as sealed.
+        """
+        if self._finished is not None:
+            self._finished.remove(txn)
+
+    def is_finished(self, txn: int) -> bool:
+        """Whether ``txn``'s log was released by :meth:`undo`/:meth:`forget`."""
+        return self._finished is not None and txn in self._finished
+
+    def redo_images(self, txn: int) -> list[tuple[OID, dict[str, Any]]]:
+        """Current values of every projection ``txn`` logged here.
+
+        Called by a 2PC participant at *prepare* time, when strict two-phase
+        locking guarantees these are the transaction's final values for the
+        projected fields — the after-images its redo records need.  Deleted
+        instances are skipped, mirroring :meth:`undo`.
+        """
+        images: list[tuple[OID, dict[str, Any]]] = []
+        for record in self._logs.get(txn, ()):
+            if record.oid in self._store:
+                instance = self._store.get(record.oid)
+                images.append((record.oid,
+                               {name: instance.get(name) for name in record.fields()}))
+        return images
 
     def log_of(self, txn: int) -> tuple[UndoRecord, ...]:
         """The undo records of ``txn``, oldest first."""
@@ -81,5 +224,20 @@ class RecoveryManager:
         return bool(self._logs.get(txn))
 
     def pending_transactions(self) -> tuple[int, ...]:
-        """Transactions that still have an undo log."""
-        return tuple(self._logs)
+        """Transactions that still have an undo log.
+
+        Safe against concurrent finishers: committing/aborting threads may
+        pop entries while this iterates (appends are excluded by the WAL
+        mutex during a checkpoint, but pops never are), so the snapshot
+        retries on the rare mutation-during-iteration failure.
+        """
+        while True:
+            try:
+                return tuple(self._logs)
+            except RuntimeError:  # pragma: no cover - needs an exact interleaving
+                continue
+
+    @property
+    def wal(self) -> "WriteAheadLog | None":
+        """The write-ahead log before-images are appended to, if any."""
+        return self._wal

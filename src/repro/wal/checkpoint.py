@@ -1,0 +1,195 @@
+"""Fuzzy checkpoints: bound the write-ahead log without stopping the world.
+
+A checkpoint makes one shard's recovery independent of most of its log: it
+snapshots the shard's instances to a file and then shrinks the shard's
+write-ahead log to just the records of transactions still in flight (the
+active-transaction low-water mark) — everything older is either reflected
+in the snapshot (committed and aborted work alike) or owned by a
+transaction the rewrite carries forward.
+
+The snapshot is *fuzzy*: it is taken under the shard's structural mutex (so
+membership cannot tear) but field writes do not take that mutex, so the
+image may contain uncommitted values from transactions running right
+through the checkpoint.  Two orderings make that safe:
+
+* the write-ahead rule — a before-image reaches the operating system, and
+  the in-memory undo log grows, *under the WAL's append mutex and before
+  the store write it covers*.  The checkpointer holds that same mutex
+  across its keep-read, snapshot and rewrite, so any dirty value the
+  snapshot can contain belongs to a transaction whose records are already
+  in the log **and** which the keep-read sees as pending — its undo images
+  are exactly what the rewrite preserves;
+* install order — the new snapshot file is fsynced and renamed into place
+  *before* the log is rewritten.  A crash between the two leaves a new
+  snapshot with an over-complete log, and replaying too many records is
+  idempotent (redo rewrites committed values with themselves, undo rewrites
+  restored values with themselves); the reverse order could drop redo
+  records the old snapshot still needed.
+
+The decision log is never truncated (see
+:class:`~repro.wal.log.DecisionLog` for why that is both safe and cheap).
+
+:class:`CheckpointManager` also owns the optional background cadence: a
+daemon thread calling :meth:`checkpoint` every ``interval`` seconds, started
+by the engine when its :class:`~repro.wal.durability.Durability` asks for
+one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.objects.oid import OID
+from repro.wal.durability import Durability
+from repro.wal.log import WriteAheadLog, fsync_directory
+from repro.wal.records import encode_value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.sharding.recovery import ShardedRecoveryManager
+    from repro.sharding.router import ShardRouter
+
+
+@dataclass(frozen=True)
+class ShardCheckpoint:
+    """What one shard's checkpoint pass did."""
+
+    shard_id: int
+    instances: int
+    active: tuple[int, ...]
+    records_kept: int
+    records_dropped: int
+
+
+def write_checkpoint_file(path, shard_id: int, active: Sequence[int],
+                          snapshot: Sequence[tuple[OID, str, dict[str, Any]]],
+                          *, fsync: bool) -> None:
+    """Atomically install one shard's snapshot file (tmp + fsync + rename)."""
+    document = {
+        "shard": shard_id,
+        "active": sorted(active),
+        "max_oid": max((oid.number for oid, _, _ in snapshot), default=0),
+        "instances": [
+            [class_name, oid.number,
+             {name: encode_value(value) for name, value in values.items()}]
+            for oid, class_name, values in snapshot
+        ],
+    }
+    replacement = path.with_suffix(path.suffix + ".tmp")
+    with open(replacement, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, separators=(",", ":"))
+        handle.write("\n")
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    os.replace(replacement, path)
+    if fsync:
+        fsync_directory(path.parent)
+
+
+def read_checkpoint_file(path) -> dict[str, Any] | None:
+    """Load a shard's snapshot document, or ``None`` when none was taken.
+
+    A half-written file cannot be observed (installation is an atomic
+    rename), but a syntactically broken one is treated as absent rather
+    than fatal — recovery then starts that shard from an empty base plus
+    whatever the log still holds.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        return None
+    except json.JSONDecodeError:  # pragma: no cover - needs disk corruption
+        return None
+
+
+class CheckpointManager:
+    """Snapshots each shard's store and truncates the WAL behind it."""
+
+    def __init__(self, store, router: "ShardRouter",
+                 recovery: "ShardedRecoveryManager",
+                 wals: Sequence[WriteAheadLog],
+                 durability: Durability) -> None:
+        self._store = store
+        self._router = router
+        self._recovery = recovery
+        self._wals = tuple(wals)
+        self._durability = durability
+        self._checkpoint_mutex = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.checkpoints_taken = 0
+
+    # -- taking checkpoints ------------------------------------------------------
+
+    def checkpoint(self) -> list[ShardCheckpoint]:
+        """Checkpoint every shard, one at a time; returns what each did.
+
+        Serialised against itself (a manual call racing the background
+        thread just queues), never against the workload — writers only ever
+        block for the duration of one shard's snapshot+rewrite.
+        """
+        with self._checkpoint_mutex:
+            results = [self._checkpoint_shard(shard_id)
+                       for shard_id in range(len(self._wals))]
+            self.checkpoints_taken += 1
+            return results
+
+    def _checkpoint_shard(self, shard_id: int) -> ShardCheckpoint:
+        wal = self._wals[shard_id]
+        manager = self._recovery.shard_manager(shard_id)
+        with wal.mutex:
+            # Appends — and the in-memory log growth paired with them — are
+            # blocked, so keep-read and snapshot see one consistent world:
+            # every transaction whose dirty values the snapshot may contain
+            # is pending here.
+            keep = set(manager.pending_transactions())
+            snapshot = self._snapshot_shard(shard_id)
+            write_checkpoint_file(self._durability.checkpoint_path(shard_id),
+                                  shard_id, keep, snapshot,
+                                  fsync=self._durability.fsync)
+            kept, dropped = wal.rewrite(lambda record: record.txn in keep)
+            return ShardCheckpoint(shard_id=shard_id, instances=len(snapshot),
+                                   active=tuple(sorted(keep)),
+                                   records_kept=kept, records_dropped=dropped)
+
+    def _snapshot_shard(self, shard_id: int) -> list[tuple[OID, str, dict[str, Any]]]:
+        """This shard's instances, via the store's native snapshot support.
+
+        A :class:`~repro.sharding.store.ShardedObjectStore` snapshots one
+        partition under its own mutex; a plain store (lock sharding over
+        unpartitioned data) snapshots everything and filters by the router,
+        so each instance still lands in exactly one shard's checkpoint.
+        """
+        snapshot_shard = getattr(self._store, "snapshot_shard", None)
+        if snapshot_shard is not None:
+            return snapshot_shard(shard_id)
+        return [(oid, class_name, values)
+                for oid, class_name, values in self._store.snapshot_instances()
+                if self._router.shard_of_oid(oid) == shard_id]
+
+    # -- background cadence ------------------------------------------------------
+
+    def start(self, interval: float) -> None:
+        """Run :meth:`checkpoint` every ``interval`` seconds until :meth:`stop`."""
+        if self._thread is not None:
+            return
+
+        def run() -> None:
+            while not self._stop.wait(interval):
+                self.checkpoint()
+
+        self._thread = threading.Thread(target=run, name="repro-checkpointer",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the background thread, if any.  Idempotent."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None

@@ -1,0 +1,266 @@
+"""Crash injection: SIGKILL an engine mid-workload, then recover and audit.
+
+Durability claims are only as good as the crashes they survive, so this
+module makes crashing reproducible:
+
+* ``run`` mode (the child) builds a sharded banking store, starts an engine
+  with durability on and lets worker threads stream balanced transfers
+  forever — it never exits on its own, it exists to be killed;
+* ``crash`` mode (the orchestrator, the default) spawns the child, waits
+  until it reports ``READY``, sleeps a randomised interval and SIGKILLs it,
+  then runs a :class:`~repro.wal.recovery_runner.RecoveryRunner` over the
+  directory the corpse left behind and audits the recovered store:
+
+  1. **conservation** — every transfer moves money between two accounts, so
+     the recovered balances must sum to exactly the initial endowment (a
+     torn transfer, one leg applied, breaks this immediately);
+  2. **presumed abort** — no in-doubt transaction's writes survive without
+     a commit record (checked field-by-field against the logs' oldest
+     before-images, independently of the replay code).
+
+The orchestrator writes a JSON report (recovery statistics plus both
+verdicts) and exits non-zero on any violation, which is what the CI
+recovery-smoke job runs::
+
+    python -m repro.wal.crashtest --dir /tmp/crash --shards 4 --threads 8 \
+        --durability fsync --report recovery-report.json
+
+The pytest fixture in ``tests/durability/test_crash_injection.py`` drives
+the same two halves programmatically with randomised kill points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import queue
+import random
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.compiler import compile_schema
+from repro.schema import banking_schema
+from repro.wal.durability import MODES, Durability
+
+BALANCE = 1000.0
+
+
+def account_oids(store, accounts: int):
+    """The OIDs of the child's accounts (creation order, so deterministic)."""
+    return store.extent("CheckingAccount")[:accounts]
+
+
+def build_store(shards: int, accounts: int):
+    """The child's store: ``accounts`` checking accounts over ``shards``."""
+    from repro.sharding.router import HashShardRouter
+    from repro.sharding.store import ShardedObjectStore
+
+    schema = banking_schema()
+    store = ShardedObjectStore(schema, HashShardRouter(shards))
+    for index in range(accounts):
+        store.create("CheckingAccount", balance=BALANCE,
+                     owner=f"holder-{index}", active=True)
+    return schema, store
+
+
+# ---------------------------------------------------------------------------
+# The child: run transfers until killed
+# ---------------------------------------------------------------------------
+
+
+def run_until_killed(arguments: argparse.Namespace) -> int:
+    """Stream balanced transfers forever; the parent's SIGKILL is the exit."""
+    from repro.engine.engine import Engine
+    from repro.txn.protocols import TAVProtocol
+
+    schema, store = build_store(arguments.shards, arguments.accounts)
+    compiled = compile_schema(schema)
+    durability = Durability(mode=arguments.durability, directory=arguments.dir,
+                            checkpoint_interval=arguments.checkpoint_interval)
+    oids = account_oids(store, arguments.accounts)
+    engine = Engine(TAVProtocol(compiled, store), durability=durability,
+                    default_lock_timeout=5.0)
+
+    def teller(seed: int) -> None:
+        rng = random.Random(seed)
+        while True:
+            source, target = rng.sample(oids, 2)
+            amount = float(rng.randint(1, 100))
+
+            def transfer(session) -> None:
+                session.call(source, "deposit", -amount)
+                session.call(target, "deposit", amount)
+
+            engine.run_transaction(transfer, label="transfer")
+
+    for index in range(arguments.threads):
+        thread = threading.Thread(target=teller, args=(arguments.seed + index,),
+                                  daemon=True, name=f"teller-{index}")
+        thread.start()
+    print(f"READY total={arguments.accounts * BALANCE}", flush=True)
+    while True:  # pragma: no cover - only SIGKILL ends this
+        time.sleep(3600)
+
+
+# ---------------------------------------------------------------------------
+# The orchestrator: spawn, kill, recover, audit
+# ---------------------------------------------------------------------------
+
+
+def spawn_child(arguments: argparse.Namespace) -> subprocess.Popen:
+    """Start the ``run`` half as a subprocess that inherits this package."""
+    package_root = Path(__file__).resolve().parent.parent.parent
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = os.pathsep.join(
+        [str(package_root)] + ([environment["PYTHONPATH"]]
+                               if environment.get("PYTHONPATH") else []))
+    command = [sys.executable, "-m", "repro.wal.crashtest", "run",
+               "--dir", str(arguments.dir),
+               "--shards", str(arguments.shards),
+               "--threads", str(arguments.threads),
+               "--accounts", str(arguments.accounts),
+               "--durability", arguments.durability,
+               "--checkpoint-interval", str(arguments.checkpoint_interval),
+               "--seed", str(arguments.seed)]
+    return subprocess.Popen(command, env=environment, stdout=subprocess.PIPE,
+                            text=True)
+
+
+def wait_for_ready(child: subprocess.Popen, timeout: float = 60.0) -> None:
+    """Block until the child prints READY (its threads are streaming).
+
+    The pipe is read from a helper thread so the timeout holds even when
+    the child wedges *without* printing or exiting — a bare ``readline()``
+    would block past any deadline checked between lines.
+    """
+    assert child.stdout is not None
+    ready = threading.Event()
+
+    def read() -> None:
+        for line in child.stdout:
+            if line.startswith("READY"):
+                ready.set()
+                return
+
+    reader = threading.Thread(target=read, daemon=True, name="crashtest-ready")
+    reader.start()
+    if ready.wait(timeout):
+        return
+    if child.poll() is not None:
+        raise RuntimeError(f"crashtest child died before READY "
+                           f"(exit {child.returncode})")
+    raise RuntimeError(f"crashtest child never reported READY "
+                       f"within {timeout}s")
+
+
+def recover_and_audit(durability: Durability, shards: int,
+                      accounts: int) -> dict:
+    """Run recovery over the directory and evaluate both invariants."""
+    from repro.sharding.router import HashShardRouter
+    from repro.wal.recovery_runner import RecoveryRunner
+
+    schema = banking_schema()
+    runner = RecoveryRunner(durability, schema, router=HashShardRouter(shards))
+    result = runner.recover()
+    oids = account_oids(result.store, accounts)
+    balances = [result.store.read_field(oid, "balance") for oid in oids]
+    expected = accounts * BALANCE
+    violations = RecoveryRunner.presumed_abort_violations(result)
+    return {
+        "report": result.report.as_document(),
+        "accounts": len(oids),
+        "total_balance": sum(balances),
+        "expected_balance": expected,
+        "conserved": sum(balances) == expected and len(oids) == accounts,
+        "presumed_abort_violations": violations,
+        "ok": (sum(balances) == expected and len(oids) == accounts
+               and not violations),
+    }
+
+
+def crash_once(arguments: argparse.Namespace) -> dict:
+    """One full cycle: spawn, randomised kill, recover, audit."""
+    child = spawn_child(arguments)
+    try:
+        wait_for_ready(child)
+        rng = random.Random(arguments.seed)
+        delay = rng.uniform(arguments.min_run, arguments.max_run)
+        time.sleep(delay)
+        child.send_signal(signal.SIGKILL)
+        child.wait(timeout=30)
+    finally:
+        if child.poll() is None:  # pragma: no cover - cleanup on failure
+            child.kill()
+            child.wait(timeout=30)
+        if child.stdout is not None:
+            child.stdout.close()
+    durability = Durability(mode=arguments.durability, directory=arguments.dir)
+    audit = recover_and_audit(durability, arguments.shards, arguments.accounts)
+    audit["killed_after_s"] = round(delay, 3)
+    return audit
+
+
+# ---------------------------------------------------------------------------
+# Command line
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.wal.crashtest",
+        description="SIGKILL an engine mid-workload and verify recovery.")
+    parser.add_argument("mode", nargs="?", choices=("crash", "run"),
+                        default="crash",
+                        help="'crash' orchestrates (default); 'run' is the "
+                             "child that gets killed")
+    parser.add_argument("--dir", required=True,
+                        help="durability directory (fresh for 'run'; the "
+                             "crashed state for recovery)")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--accounts", type=int, default=16)
+    parser.add_argument("--durability", choices=[m for m in MODES if m != "off"],
+                        default="fsync")
+    parser.add_argument("--checkpoint-interval", type=float, default=0.1,
+                        help="child's background checkpoint cadence in "
+                             "seconds (default: 0.1, so checkpoints race "
+                             "the kill)")
+    parser.add_argument("--seed", type=int, default=1993,
+                        help="seed for the workload and the kill point")
+    parser.add_argument("--min-run", type=float, default=0.1,
+                        help="earliest kill after READY, seconds")
+    parser.add_argument("--max-run", type=float, default=1.0,
+                        help="latest kill after READY, seconds")
+    parser.add_argument("--report", metavar="PATH", default=None,
+                        help="also write the audit as JSON")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    if arguments.mode == "run":
+        return run_until_killed(arguments)
+    audit = crash_once(arguments)
+    print(json.dumps(audit, indent=2))
+    if arguments.report:
+        Path(arguments.report).write_text(json.dumps(audit, indent=2) + "\n",
+                                          encoding="utf-8")
+    if audit["ok"]:
+        print(f"\nrecovery OK: {audit['accounts']} accounts conserve "
+              f"{audit['total_balance']}, "
+              f"{len(audit['report']['winners'])} transaction(s) redone, "
+              f"{len(audit['report']['in_doubt'])} in-doubt presumed aborted "
+              f"(killed after {audit['killed_after_s']}s)")
+        return 0
+    print("\nrecovery VIOLATION — see the report above")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,154 @@
+"""The durability configuration threaded through the engine.
+
+One :class:`Durability` value decides, for a whole engine, whether writes
+are logged at all and how hard the log pushes them to disk:
+
+* ``off`` — no files, no logging; the engine behaves exactly as before this
+  subsystem existed (undo logs stay in memory only);
+* ``lazy`` — every log append is written through to the operating system
+  (survives the process being killed) but never fsynced (a power failure
+  can lose the tail);
+* ``fsync`` — additionally, a prepare vote and a commit decision fsync
+  before they return, so a committed transaction survives power loss.
+
+The same value also names the file layout inside :attr:`directory` (one WAL
+and one checkpoint per shard, one decision log, one metadata file) and the
+checkpoint cadence.  The engine creates the directory, refuses one that
+already holds another engine's state (that state is what a
+:class:`~repro.wal.recovery_runner.RecoveryRunner` consumes — appending to
+it would corrupt the very log recovery needs), and threads the per-shard
+logs through the sharded recovery manager into the 2PC participants.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import WALError
+
+#: The accepted durability modes, weakest first.
+MODES = ("off", "lazy", "fsync")
+
+
+@dataclass(frozen=True)
+class Durability:
+    """How (and whether) an engine makes its work survive a crash."""
+
+    mode: str = "off"
+    directory: str | Path | None = None
+    #: Seconds between automatic fuzzy checkpoints; ``None`` checkpoints
+    #: only on demand (:meth:`repro.engine.engine.Engine.checkpoint`).
+    checkpoint_interval: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise WALError(f"unknown durability mode {self.mode!r}; "
+                           f"expected one of {', '.join(MODES)}")
+        if self.enabled and self.directory is None:
+            raise WALError(f"durability mode {self.mode!r} needs a directory")
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise WALError("checkpoint_interval must be positive seconds")
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def off(cls) -> "Durability":
+        """No durability (the default)."""
+        return cls(mode="off")
+
+    @classmethod
+    def lazy(cls, directory: str | Path, *,
+             checkpoint_interval: float | None = None) -> "Durability":
+        """Write-through logging without fsync (survives SIGKILL)."""
+        return cls(mode="lazy", directory=directory,
+                   checkpoint_interval=checkpoint_interval)
+
+    @classmethod
+    def fsynced(cls, directory: str | Path, *,
+                checkpoint_interval: float | None = None) -> "Durability":
+        """Logging with fsync barriers at prepare and commit (survives power loss)."""
+        return cls(mode="fsync", directory=directory,
+                   checkpoint_interval=checkpoint_interval)
+
+    # -- derived ----------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any logging happens at all."""
+        return self.mode != "off"
+
+    @property
+    def fsync(self) -> bool:
+        """Whether barriers (prepare, commit decision, checkpoints) fsync."""
+        return self.mode == "fsync"
+
+    # -- file layout ------------------------------------------------------------
+
+    @property
+    def root(self) -> Path:
+        """The durability directory as a :class:`~pathlib.Path`."""
+        if self.directory is None:
+            raise WALError("durability is off; there is no directory")
+        return Path(self.directory)
+
+    def wal_path(self, shard_id: int) -> Path:
+        """Where shard ``shard_id`` keeps its write-ahead log."""
+        return self.root / f"shard-{shard_id}.wal"
+
+    def checkpoint_path(self, shard_id: int) -> Path:
+        """Where shard ``shard_id`` keeps its latest checkpoint snapshot."""
+        return self.root / f"shard-{shard_id}.ckpt"
+
+    @property
+    def decisions_path(self) -> Path:
+        """Where the coordinator keeps its durable decision log."""
+        return self.root / "decisions.log"
+
+    @property
+    def meta_path(self) -> Path:
+        """Where the engine records the layout (shard count, mode)."""
+        return self.root / "wal-meta.json"
+
+    # -- directory management ---------------------------------------------------
+
+    def prepare_directory(self, num_shards: int) -> None:
+        """Create the directory, refuse leftover state, write the metadata.
+
+        Raises:
+            WALError: the directory already contains WAL/checkpoint/decision
+                files.  That state belongs to a crashed (or live!) engine;
+                run a :class:`~repro.wal.recovery_runner.RecoveryRunner`
+                over it — or point this engine at a fresh directory.
+        """
+        root = self.root
+        root.mkdir(parents=True, exist_ok=True)
+        leftovers = sorted(path.name for path in root.iterdir()
+                           if path.suffix in (".wal", ".ckpt")
+                           or path.name == "decisions.log")
+        if leftovers:
+            raise WALError(
+                f"durability directory {root} already holds engine state "
+                f"({', '.join(leftovers[:4])}{'...' if len(leftovers) > 4 else ''}); "
+                "recover it with RecoveryRunner or use a fresh directory")
+        self.meta_path.write_text(json.dumps(
+            {"shards": num_shards, "mode": self.mode}, indent=2) + "\n",
+            encoding="utf-8")
+        if self.fsync:
+            # The layout file and the directory itself must survive power
+            # loss, or recovery cannot even find the shard count.
+            from repro.wal.log import fsync_directory
+
+            with open(self.meta_path, "rb") as handle:
+                os.fsync(handle.fileno())
+            fsync_directory(root)
+
+    def read_meta(self) -> dict:
+        """The layout metadata a previous engine wrote (recovery side)."""
+        try:
+            return json.loads(self.meta_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise WALError(f"no wal-meta.json under {self.root}; "
+                           "was an engine ever started here?") from None

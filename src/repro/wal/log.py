@@ -1,0 +1,231 @@
+"""The append-only write-ahead log file, and the durable decision log.
+
+:class:`WriteAheadLog` owns one append-only file of framed records (see
+:mod:`repro.wal.records`).  Its durability contract has two levels:
+
+* every :meth:`append` is **write-through**: the frame reaches the operating
+  system (``file.flush``) before the call returns, so the record survives
+  the *process* being killed — which is the ordering the fuzzy checkpoint
+  relies on (a store write can only be snapshotted after its before-image
+  record is out of user space);
+* :meth:`barrier` additionally ``fsync``\\ s when the log was opened with
+  ``sync_on_barrier=True`` (the ``fsync`` durability mode), which is what a
+  prepare vote and a commit decision call before they count as durable
+  against power loss.  In ``lazy`` mode the barrier is the flush alone.
+
+Appends are serialised by an internal re-entrant mutex.  Callers that must
+keep a *sequence* of appends atomic with their own bookkeeping (the recovery
+manager pairs "append undo record" with "grow the in-memory undo log"; the
+checkpointer pairs "snapshot" with "rewrite") hold :attr:`mutex` around the
+whole step — that lock is the WAL's one synchronisation point.
+
+:meth:`rewrite` is how checkpoints truncate: the file is re-written to keep
+only the records of transactions still in flight, fsynced, and atomically
+renamed over the old file while appends are blocked.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.wal.records import (
+    DecisionRecord,
+    WALRecord,
+    decode_frames,
+    encode_frame,
+)
+
+
+def fsync_directory(path: str | Path) -> None:
+    """fsync a directory so renames/creations inside it survive power loss.
+
+    ``os.replace`` makes an installation atomic against *crashes*, but the
+    new directory entry itself lives in the directory's metadata — without
+    this, a power failure can persist a file's contents while forgetting its
+    name (or keep an old name pointing at a shrunken log while the freshly
+    installed snapshot beside it vanishes, inverting the checkpoint's
+    install-order invariant).
+    """
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def read_records(path: str | Path) -> Iterator[WALRecord]:
+    """The records of the log file at ``path``, stopping at a torn tail.
+
+    A missing file reads as empty — an engine that never reached its first
+    append is indistinguishable from one that crashed before it.
+    """
+    try:
+        data = Path(path).read_bytes()
+    except FileNotFoundError:
+        return iter(())
+    return decode_frames(data)
+
+
+class WriteAheadLog:
+    """One shard's append-only log of framed, checksummed records."""
+
+    def __init__(self, path: str | Path, *, sync_on_barrier: bool = False) -> None:
+        self._path = Path(path)
+        self._sync_on_barrier = sync_on_barrier
+        self._mutex = threading.RLock()
+        existed = self._path.exists()
+        self._file = open(self._path, "ab")
+        if sync_on_barrier and not existed:
+            # Make the new log's directory entry durable: barriers fsync the
+            # file descriptor, which does nothing for a name a power failure
+            # can still forget.
+            fsync_directory(self._path.parent)
+        self._bytes_written = 0
+        self._closed = False
+
+    # -- writing ----------------------------------------------------------------
+
+    def append(self, record: WALRecord) -> int:
+        """Write one record through to the operating system; returns its size."""
+        frame = encode_frame(record)
+        with self._mutex:
+            self._file.write(frame)
+            self._file.flush()
+            self._bytes_written += len(frame)
+        return len(frame)
+
+    def barrier(self) -> None:
+        """Make everything appended so far durable per the log's sync policy."""
+        with self._mutex:
+            self._file.flush()
+            if self._sync_on_barrier:
+                os.fsync(self._file.fileno())
+
+    def rewrite(self, keep: Callable[[WALRecord], bool]) -> tuple[int, int]:
+        """Atomically shrink the log to the records satisfying ``keep``.
+
+        Returns ``(kept, dropped)`` counts.  The new file is written beside
+        the old one, fsynced, and renamed into place while the append mutex
+        blocks writers; relative record order is preserved, so replay
+        semantics are unchanged.  Always fsyncs regardless of the barrier
+        policy — a truncated log that lost its tail to a power failure would
+        silently forget in-flight transactions the dropped prefix no longer
+        covers.
+        """
+        with self._mutex:
+            self._file.flush()
+            records = list(read_records(self._path))
+            kept = [record for record in records if keep(record)]
+            replacement = self._path.with_suffix(self._path.suffix + ".rewrite")
+            with open(replacement, "wb") as handle:
+                for record in kept:
+                    handle.write(encode_frame(record))
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._file.close()
+            os.replace(replacement, self._path)
+            if self._sync_on_barrier:
+                fsync_directory(self._path.parent)
+            self._file = open(self._path, "ab")
+            return len(kept), len(records) - len(kept)
+
+    # -- reading ----------------------------------------------------------------
+
+    def records(self) -> list[WALRecord]:
+        """Everything durably in the file right now (flushes first)."""
+        with self._mutex:
+            if not self._closed:
+                self._file.flush()
+            return list(read_records(self._path))
+
+    # -- life cycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the underlying file.  Idempotent."""
+        with self._mutex:
+            if not self._closed:
+                self._closed = True
+                self._file.flush()
+                self._file.close()
+
+    @property
+    def mutex(self) -> threading.RLock:
+        """The append mutex (checkpointers hold it across snapshot+rewrite)."""
+        return self._mutex
+
+    @property
+    def path(self) -> Path:
+        """Where the log file lives."""
+        return self._path
+
+    @property
+    def bytes_written(self) -> int:
+        """Bytes appended through this handle (not counting rewrites)."""
+        with self._mutex:
+            return self._bytes_written
+
+
+class DecisionLog:
+    """The coordinator's decision log as a durable file.
+
+    One :class:`~repro.wal.records.DecisionRecord` per transaction outcome.
+    A ``commit`` record is barriered (fsync under the ``fsync`` policy)
+    before :meth:`append` returns — it is the transaction's durability
+    point; ``abort`` records are advisory under presumed abort (recovery
+    treats a missing record exactly like an abort record), so they ride the
+    write-through flush only.
+
+    The log is append-only for the life of a directory: at ~60 bytes per
+    decision that is cheap bookkeeping, and never truncating it means a
+    commit record can never be lost to a checkpoint race.  (Compacting
+    decisions whose transactions no longer appear in any shard WAL would be
+    safe — presumed abort needs no abort records and a dropped *commit*
+    record only matters while redo images for it still exist — but the
+    bookkeeping is not worth the bytes yet.)
+    """
+
+    def __init__(self, path: str | Path, *, sync_on_commit: bool = False) -> None:
+        self._wal = WriteAheadLog(path, sync_on_barrier=sync_on_commit)
+
+    def append(self, txn: int, verdict: str, shards: tuple[int, ...]) -> int:
+        """Record one outcome; a commit verdict is durable on return."""
+        written = self._wal.append(DecisionRecord(txn=txn, verdict=verdict,
+                                                  shards=shards))
+        if verdict == "commit":
+            self._wal.barrier()
+        return written
+
+    def decisions(self) -> list[DecisionRecord]:
+        """Every decision durably recorded, in decision order."""
+        return [record for record in self._wal.records()
+                if isinstance(record, DecisionRecord)]
+
+    @staticmethod
+    def outcomes_at(path: str | Path) -> dict[int, str]:
+        """Read ``txn -> verdict`` from a decision log file (recovery side).
+
+        The last record for a transaction wins, matching the in-memory
+        decision log's ``decision_for``.
+        """
+        outcomes: dict[int, str] = {}
+        for record in read_records(path):
+            if isinstance(record, DecisionRecord):
+                outcomes[record.txn] = record.verdict
+        return outcomes
+
+    def close(self) -> None:
+        """Close the underlying file.  Idempotent."""
+        self._wal.close()
+
+    @property
+    def bytes_written(self) -> int:
+        """Bytes appended through this handle."""
+        return self._wal.bytes_written
+
+    @property
+    def path(self) -> Path:
+        """Where the decision log lives."""
+        return self._wal.path

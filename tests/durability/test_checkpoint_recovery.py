@@ -1,0 +1,170 @@
+"""Checkpoint + WAL recovery semantics, in-process.
+
+These tests crash the engine the cheap way — they simply stop using it
+without committing or aborting what is in flight — and then rebuild from the
+durability directory alone, which is exactly what the SIGKILL fixture does
+across a process boundary (``test_crash_injection.py`` covers that half).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Engine
+from repro.errors import TransactionError, WALError
+from repro.sharding import ClassShardRouter, ShardedObjectStore
+from repro.txn.protocols import TAVProtocol
+from repro.wal import Durability, RecoveryRunner
+
+
+@pytest.fixture
+def durable_engine(banking, banking_compiled, tmp_path):
+    """A two-shard durable engine over a transfer-ready banking store."""
+    router = ClassShardRouter(2, {"Account": 0, "SavingsAccount": 1,
+                                  "CheckingAccount": 0})
+    store = ShardedObjectStore(banking, router)
+    a = store.create("Account", balance=100.0, owner="ada", active=True)
+    b = store.create("SavingsAccount", balance=200.0, owner="bob", active=True,
+                     rate=0.01)
+    durability = Durability.lazy(tmp_path / "wal")
+    engine = Engine(TAVProtocol(banking_compiled, store), durability=durability)
+    yield engine, store, router, durability, a.oid, b.oid
+    engine.close()
+
+
+def _recover(durability, banking, router):
+    runner = RecoveryRunner(durability, banking, router=router)
+    return runner.recover()
+
+
+def test_committed_work_is_redone_from_the_wal(banking, durable_engine):
+    engine, store, router, durability, a, b = durable_engine
+    session = engine.begin(label="transfer")
+    session.call(a, "deposit", -30)
+    session.call(b, "deposit", 30)
+    session.commit()
+    engine.close()  # crash: no checkpoint since construction
+
+    result = _recover(durability, banking, router)
+    assert result.store.read_field(a, "balance") == 70.0
+    assert result.store.read_field(b, "balance") == 230.0
+    assert session.txn_id in result.report.winners
+    assert result.report.redo_applied > 0
+    # The decision log, read cold, agrees with the in-memory one.
+    assert session.txn_id in {d.txn for d in engine.coordinator.decisions}
+
+
+def test_in_flight_transaction_is_presumed_aborted(banking, durable_engine):
+    engine, store, router, durability, a, b = durable_engine
+    committed = engine.begin(label="good")
+    committed.call(a, "deposit", -10)
+    committed.call(b, "deposit", 10)
+    committed.commit()
+    dangling = engine.begin(label="crashed-mid-flight")
+    dangling.call(a, "deposit", -500)  # dirty write, never commits
+    assert store.read_field(a, "balance") == -410.0
+    engine.close()  # crash with the transaction still active
+
+    result = _recover(durability, banking, router)
+    assert result.store.read_field(a, "balance") == 90.0
+    assert result.store.read_field(b, "balance") == 210.0
+    assert dangling.txn_id in result.report.in_doubt
+    assert RecoveryRunner.presumed_abort_violations(result) == []
+
+
+def test_prepared_but_undecided_is_undone(banking, durable_engine):
+    """The window presumed abort exists for: every shard voted yes (durable
+    PREPARED markers) but the crash beat the commit record."""
+    engine, store, router, durability, a, b = durable_engine
+    session = engine.begin(label="prepared-in-doubt")
+    session.call(a, "deposit", -25)
+    session.call(b, "deposit", 25)
+    txn = session.txn_id
+    touched = engine._touched_shards(txn)
+    assert len(touched) == 2
+    engine.coordinator.prepare(txn, touched)  # phase one only, then crash
+    engine.close()
+
+    result = _recover(durability, banking, router)
+    assert result.store.read_field(a, "balance") == 100.0
+    assert result.store.read_field(b, "balance") == 200.0
+    assert txn in result.report.prepared_in_doubt
+    assert RecoveryRunner.presumed_abort_violations(result) == []
+
+
+def test_checkpoint_truncates_but_carries_active_transactions(
+        banking, durable_engine):
+    engine, store, router, durability, a, b = durable_engine
+    for _ in range(5):
+        session = engine.begin()
+        session.call(a, "deposit", -10)
+        session.call(b, "deposit", 10)
+        session.commit()
+    dangling = engine.begin(label="active-at-checkpoint")
+    dangling.call(a, "deposit", -7)
+
+    checkpoints = engine.checkpoint()
+    by_shard = {c.shard_id: c for c in checkpoints}
+    # The finished transfers' records were dropped; the active write on
+    # shard 0 (Account lives there) was carried forward.
+    assert sum(c.records_dropped for c in checkpoints) > 0
+    assert dangling.txn_id in by_shard[0].active
+    assert by_shard[0].records_kept > 0
+    engine.close()  # crash with the dangling write still uncommitted
+
+    result = _recover(durability, banking, router)
+    assert result.store.read_field(a, "balance") == 50.0  # 100 - 5*10, no -7
+    assert result.store.read_field(b, "balance") == 250.0
+    assert result.report.restored_instances == 2
+    assert dangling.txn_id in result.report.in_doubt
+
+
+def test_commits_after_a_checkpoint_still_recover(banking, durable_engine):
+    engine, store, router, durability, a, b = durable_engine
+    engine.checkpoint()
+    session = engine.begin()
+    session.call(a, "deposit", -40)
+    session.call(b, "deposit", 40)
+    session.commit()
+    engine.close()
+
+    result = _recover(durability, banking, router)
+    assert result.store.read_field(a, "balance") == 60.0
+    assert result.store.read_field(b, "balance") == 240.0
+
+
+def test_recovered_store_never_reissues_live_oids(banking, durable_engine):
+    engine, store, router, durability, a, b = durable_engine
+    engine.close()
+    result = _recover(durability, banking, router)
+    fresh = result.store.create("Account", balance=1.0, owner="new",
+                                active=True)
+    assert fresh.oid.number > max(a.number, b.number)
+
+
+def test_recovery_validates_the_shard_layout(banking, durable_engine):
+    engine, store, router, durability, a, b = durable_engine
+    engine.close()
+    with pytest.raises(WALError, match="shards"):
+        RecoveryRunner(durability, banking, router=ClassShardRouter(3))
+    with pytest.raises(WALError):
+        RecoveryRunner(Durability.off(), banking)
+
+
+def test_engine_refuses_a_directory_with_leftover_state(
+        banking, banking_compiled, durable_engine):
+    engine, store, router, durability, a, b = durable_engine
+    engine.close()
+    fresh_store = ShardedObjectStore(banking, ClassShardRouter(
+        2, {"Account": 0, "SavingsAccount": 1, "CheckingAccount": 0}))
+    with pytest.raises(WALError, match="already holds engine state"):
+        Engine(TAVProtocol(banking_compiled, fresh_store), durability=durability)
+
+
+def test_checkpoint_requires_durability(banking_compiled, banking):
+    from repro.objects import ObjectStore
+
+    with Engine(TAVProtocol(banking_compiled, ObjectStore(banking))) as engine:
+        with pytest.raises(TransactionError, match="durability off"):
+            engine.checkpoint()
+        assert engine.wal_bytes_written == 0

@@ -1,0 +1,76 @@
+"""The harness's durability plumbing: modes, wal column, JSON fields."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ThroughputHarness
+from repro.engine.harness import bench_document, write_bench_json
+from repro.reporting import format_throughput_table
+from repro.txn.protocols import TAVProtocol
+from repro.wal import Durability
+
+
+@pytest.fixture(scope="module")
+def harness(banking, banking_compiled):
+    return ThroughputHarness(schema=banking, compiled=banking_compiled,
+                             instances_per_class=6)
+
+
+def test_run_with_lazy_durability_measures_wal_cost(harness):
+    result = harness.run(TAVProtocol, threads=4, transactions=30, shards=2,
+                         durability="lazy", default_lock_timeout=10.0)
+    assert result.durability == "lazy"
+    assert result.serializable is True
+    assert result.metrics.wal_bytes > 0
+    assert result.metrics.wal_bytes_per_commit > 0
+    row = result.as_row()
+    assert row["durability"] == "lazy"
+    assert row["wal"] == round(result.metrics.wal_bytes_per_commit, 1)
+    assert "durability" in format_throughput_table([result])
+
+
+def test_run_without_durability_reports_zero_wal(harness):
+    result = harness.run(TAVProtocol, threads=2, transactions=10,
+                         durability="off")
+    assert result.durability == "off"
+    assert result.metrics.wal_bytes == 0
+    assert result.as_row()["wal"] == 0
+
+
+def test_wal_dir_runs_leave_inspectable_state_and_rerun_cleanly(
+        harness, tmp_path):
+    for _ in range(2):  # the per-run subdirectory is recreated, not tripped
+        result = harness.run(TAVProtocol, threads=2, transactions=10, shards=2,
+                             durability="lazy", wal_dir=tmp_path,
+                             default_lock_timeout=10.0)
+        assert result.serializable is True
+    run_dir = tmp_path / "tav-shards2"
+    assert (run_dir / "wal-meta.json").exists()
+    assert (run_dir / "decisions.log").exists()
+    assert (run_dir / "shard-0.wal").exists()
+
+
+def test_explicit_durability_object_is_used_verbatim(harness, tmp_path):
+    durability = Durability.lazy(tmp_path / "mine")
+    result = harness.run(TAVProtocol, threads=2, transactions=10,
+                         durability=durability)
+    assert result.durability == "lazy"
+    assert (tmp_path / "mine" / "decisions.log").exists()
+
+
+def test_bench_document_carries_durability_and_wal_bytes(harness, tmp_path):
+    result = harness.run(TAVProtocol, threads=2, transactions=10, shards=2,
+                         durability="lazy", default_lock_timeout=10.0)
+    document = bench_document([result], {"durability": "lazy"},
+                              benchmark="wal_overhead")
+    assert document["benchmark"] == "wal_overhead"
+    row = document["results"][0]
+    assert row["durability"] == "lazy"
+    assert row["wal_bytes"] > 0
+    assert row["wal_bytes_per_commit"] == pytest.approx(
+        row["wal_bytes"] / row["committed"], abs=0.1)
+    # write_bench_json accepts a plain mapping as the config.
+    write_bench_json(tmp_path / "BENCH_t.json", [result],
+                     {"durability": "lazy"}, benchmark="wal_overhead")
+    assert (tmp_path / "BENCH_t.json").exists()

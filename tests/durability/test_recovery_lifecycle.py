@@ -1,0 +1,138 @@
+"""Undo-log life cycle: idempotent release, sealed logs, deliberate reopen.
+
+The bug this guards against: a released undo log used to be silently
+regrowable — a late ``log_before_image`` for a finished transaction would
+create a fresh log nobody would ever undo or forget, pinning stale
+before-images (and, with durability on, writing records recovery would then
+replay against committed state).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.sharding import HashShardRouter, ShardedRecoveryManager
+from repro.txn.recovery import RecoveryManager
+
+
+@pytest.fixture
+def account(banking_store):
+    return banking_store.create("Account", balance=100.0, owner="ada",
+                                active=True)
+
+
+def test_undo_is_idempotent(banking_store, account):
+    recovery = RecoveryManager(banking_store)
+    recovery.log_before_image(1, account.oid, ("balance",))
+    banking_store.write_field(account.oid, "balance", 55.0)
+    assert recovery.undo(1) == 1
+    assert banking_store.read_field(account.oid, "balance") == 100.0
+    # A second undo finds the log sealed: nothing to replay, no error.
+    banking_store.write_field(account.oid, "balance", 77.0)
+    assert recovery.undo(1) == 0
+    assert banking_store.read_field(account.oid, "balance") == 77.0
+
+
+def test_forget_is_idempotent_and_seals(banking_store, account):
+    recovery = RecoveryManager(banking_store)
+    recovery.log_before_image(2, account.oid, ("balance",))
+    recovery.forget(2)
+    recovery.forget(2)
+    assert recovery.undo(2) == 0
+    assert recovery.is_finished(2)
+
+
+def test_finished_log_cannot_be_appended_to(banking_store, account):
+    recovery = RecoveryManager(banking_store)
+    recovery.log_before_image(3, account.oid, ("balance",))
+    recovery.undo(3)
+    with pytest.raises(TransactionError, match="already finished"):
+        recovery.log_before_image(3, account.oid, ("balance",))
+    # The failed append must not have resurrected a log.
+    assert not recovery.has_log(3)
+    assert 3 not in recovery.pending_transactions()
+
+
+def test_reopen_allows_the_simulators_id_reuse(banking_store, account):
+    recovery = RecoveryManager(banking_store)
+    recovery.log_before_image(4, account.oid, ("balance",))
+    recovery.undo(4)
+    recovery.reopen(4)
+    assert recovery.log_before_image(4, account.oid, ("balance",)) is not None
+    assert recovery.has_log(4)
+
+
+def test_sharded_undo_and_forget_are_idempotent(banking, banking_store):
+    router = HashShardRouter(2)
+    sharded = ShardedRecoveryManager(banking_store, router)
+    a = banking_store.create("Account", balance=10.0, owner="a", active=True)
+    b = banking_store.create("Account", balance=20.0, owner="b", active=True)
+    for oid in (a.oid, b.oid):
+        sharded.log_before_image(9, oid, ("balance",))
+    banking_store.write_field(a.oid, "balance", 1.0)
+    banking_store.write_field(b.oid, "balance", 2.0)
+    assert sharded.undo(9) == 2
+    assert banking_store.read_field(a.oid, "balance") == 10.0
+    assert sharded.undo(9) == 0
+    sharded.forget(9)  # after undo: a no-op, not an error
+    assert sharded.touched_shards(9) == frozenset()
+
+
+def test_sharded_rejects_late_writers_per_shard(banking_store):
+    router = HashShardRouter(2)
+    sharded = ShardedRecoveryManager(banking_store, router)
+    a = banking_store.create("Account", balance=10.0, owner="a", active=True)
+    sharded.log_before_image(5, a.oid, ("balance",))
+    sharded.undo(5)
+    with pytest.raises(TransactionError):
+        sharded.log_before_image(5, a.oid, ("balance",))
+
+
+def test_wal_count_must_match_shards(banking_store):
+    with pytest.raises(ValueError):
+        ShardedRecoveryManager(banking_store, HashShardRouter(2), wals=[None])
+
+
+def test_late_writer_is_rejected_even_on_an_untouched_shard(banking_store):
+    """The seal is engine-wide: a finished transaction must not open a fresh
+    log on a shard it never wrote (a per-shard seal would let that through,
+    permanently pinning the checkpoint low-water mark)."""
+    router = HashShardRouter(2)
+    sharded = ShardedRecoveryManager(banking_store, router)
+    # Two accounts on different shards (OID numbers 1 and 2).
+    a = banking_store.create("Account", balance=10.0, owner="a", active=True)
+    b = banking_store.create("Account", balance=20.0, owner="b", active=True)
+    assert router.shard_of_oid(a.oid) != router.shard_of_oid(b.oid)
+    sharded.log_before_image(6, a.oid, ("balance",))
+    sharded.forget(6)  # committed; only a's shard ever saw txn 6
+    with pytest.raises(TransactionError, match="already finished"):
+        sharded.log_before_image(6, b.oid, ("balance",))
+    assert sharded.is_finished(6)
+    assert sharded.pending_transactions() == ()
+
+
+def test_finished_tracking_memory_is_bounded():
+    """Dense, roughly-ordered finishes compact to a floor — the record must
+    not grow a set entry per transaction for the life of the engine."""
+    from repro.txn.recovery import FinishedTransactions
+
+    finished = FinishedTransactions()
+    for txn in range(1, 10_001):  # in-order finishes: pure floor advance
+        finished.add(txn)
+    assert len(finished._above) == 0
+    assert finished._floor == 10_000
+    # Out-of-order finishes park above the floor only until the gap closes.
+    finished.add(10_003)
+    finished.add(10_004)
+    assert len(finished._above) == 2
+    finished.add(10_001)
+    finished.add(10_002)
+    assert len(finished._above) == 0 and finished._floor == 10_004
+    assert 9_999 in finished and 10_004 in finished
+    assert 10_005 not in finished
+    # Reopening below the floor carves an exception; re-finishing heals it.
+    finished.remove(5_000)
+    assert 5_000 not in finished
+    finished.add(5_000)
+    assert 5_000 in finished and len(finished._reopened) == 0

@@ -1,0 +1,128 @@
+"""The write-ahead log file: framing, torn tails, rewrite, decisions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WALError
+from repro.objects.oid import OID
+from repro.wal import (
+    DecisionLog,
+    Durability,
+    PreparedMarker,
+    RedoImage,
+    UndoImage,
+    WriteAheadLog,
+    read_records,
+)
+from repro.wal.records import decode_frames, encode_frame, record_from_payload
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return tmp_path / "shard-0.wal"
+
+
+def _sample_records():
+    oid = OID(class_name="Account", number=7)
+    reference = OID(class_name="Customer", number=3)
+    return [
+        UndoImage(txn=1, oid=oid, values={"balance": 100.0, "owner": reference}),
+        RedoImage(txn=1, oid=oid, values={"balance": 58.5, "owner": reference}),
+        PreparedMarker(txn=1),
+    ]
+
+
+def test_records_roundtrip_including_oid_valued_fields(wal_path):
+    wal = WriteAheadLog(wal_path)
+    for record in _sample_records():
+        assert wal.append(record) > 0
+    wal.close()
+    replayed = list(read_records(wal_path))
+    assert replayed == _sample_records()
+    # Reference fields come back as real OIDs, not tagged dicts.
+    assert isinstance(replayed[0].values["owner"], OID)
+
+
+def test_append_is_write_through(wal_path):
+    """The record is on the OS side of the fence before append returns —
+    readable through a *different* handle with no flush or close."""
+    wal = WriteAheadLog(wal_path)
+    wal.append(PreparedMarker(txn=9))
+    assert list(read_records(wal_path)) == [PreparedMarker(txn=9)]
+    wal.close()
+
+
+def test_torn_tail_is_not_an_error(wal_path):
+    wal = WriteAheadLog(wal_path)
+    for record in _sample_records():
+        wal.append(record)
+    wal.close()
+    data = wal_path.read_bytes()
+    last_frame = len(encode_frame(_sample_records()[-1]))
+    # A tear anywhere strictly inside the last frame (header or payload)
+    # drops exactly that record and keeps every intact one before it.
+    for cut in range(1, last_frame):
+        assert list(decode_frames(data[:-cut])) == _sample_records()[:2]
+    # Tearing the whole tail off keeps the prefix too.
+    assert list(decode_frames(data[:-last_frame])) == _sample_records()[:2]
+
+
+def test_checksum_mismatch_stops_the_scan(wal_path):
+    records = _sample_records()
+    data = b"".join(encode_frame(record) for record in records)
+    corrupted = bytearray(data)
+    corrupted[len(encode_frame(records[0])) + 12] ^= 0xFF  # in 2nd payload
+    assert list(decode_frames(bytes(corrupted))) == records[:1]
+
+
+def test_unknown_record_kind_raises():
+    with pytest.raises(WALError):
+        record_from_payload({"kind": "mystery", "txn": 1})
+
+
+def test_rewrite_keeps_only_matching_records_in_order(wal_path):
+    wal = WriteAheadLog(wal_path)
+    oid = OID(class_name="Account", number=1)
+    for txn in (1, 2, 1, 3, 2):
+        wal.append(UndoImage(txn=txn, oid=oid, values={"balance": float(txn)}))
+    kept, dropped = wal.rewrite(lambda record: record.txn == 2)
+    assert (kept, dropped) == (2, 3)
+    assert [record.txn for record in read_records(wal_path)] == [2, 2]
+    # The log still appends fine after the swap.
+    wal.append(PreparedMarker(txn=5))
+    assert [record.txn for record in read_records(wal_path)] == [2, 2, 5]
+    wal.close()
+
+
+def test_decision_log_outcomes_last_record_wins(tmp_path):
+    log = DecisionLog(tmp_path / "decisions.log")
+    log.append(1, "commit", (0, 1))
+    log.append(2, "abort", (0,))
+    log.append(2, "commit", (0,))  # a retry incarnation of the same id
+    log.close()
+    outcomes = DecisionLog.outcomes_at(tmp_path / "decisions.log")
+    assert outcomes == {1: "commit", 2: "commit"}
+    # A missing file is an empty decision log (presumed abort everywhere).
+    assert DecisionLog.outcomes_at(tmp_path / "nothing.log") == {}
+
+
+def test_durability_config_validation(tmp_path):
+    with pytest.raises(WALError):
+        Durability(mode="sometimes")
+    with pytest.raises(WALError):
+        Durability(mode="lazy")  # no directory
+    with pytest.raises(WALError):
+        Durability(mode="fsync", directory=tmp_path, checkpoint_interval=0.0)
+    assert not Durability.off().enabled
+    assert Durability.lazy(tmp_path).enabled
+    assert Durability.fsynced(tmp_path).fsync
+
+
+def test_prepare_directory_refuses_leftover_state(tmp_path):
+    durability = Durability.lazy(tmp_path / "wal")
+    durability.prepare_directory(2)
+    assert durability.read_meta() == {"shards": 2, "mode": "lazy"}
+    (tmp_path / "wal" / "shard-0.wal").write_bytes(b"")
+    with pytest.raises(WALError, match="already holds engine state"):
+        durability.prepare_directory(2)
