@@ -1,0 +1,109 @@
+"""Remote banking: a server process, two socket clients, conserved money.
+
+The engine of :mod:`examples.threaded_banking` becomes a *service* here:
+
+1. a ``python -m repro.api.server`` subprocess serves the banking schema
+   over TCP with admission control (at most 4 transactions in flight, a
+   short FIFO queue, typed ``Overloaded`` answers beyond that);
+2. two socket clients — separate connections, separate threads, in *this*
+   process — hammer it with concurrent transfers through
+   :class:`repro.api.TransactionRunner`, which retries deadlock victims and
+   backs off on overload exactly like ``Engine.run_transaction`` does
+   in-process;
+3. the control plane then audits the result: every transfer is
+   balance-neutral, so the sum over all accounts must be exactly what the
+   server started with.
+
+Run with::
+
+    python examples/remote_banking.py
+"""
+
+import random
+import signal
+import threading
+
+from repro.api import TransactionRunner
+from repro.api.client import connect
+from repro.api.server import spawn
+
+TELLERS = 2
+TRANSFERS_PER_TELLER = 40
+INSTANCES_PER_CLASS = 4  # the server default — a small, hot bank
+
+
+def main() -> None:
+    print("spawning the server process ...")
+    process, address = spawn(protocol="tav", shards=2,
+                             instances=INSTANCES_PER_CLASS,
+                             max_in_flight=4, max_queue=4, queue_timeout=0.2)
+    try:
+        control = connect(address)
+        info = control.describe()
+        print(f"serving {info['protocol']} with {info['shards']} shards at "
+              f"{address[0]}:{address[1]}, admission {info['admission']}")
+
+        accounts = sorted(control.store_state())
+        total_before = sum(values["balance"]
+                           for values in control.store_state().values())
+        print(f"{len(accounts)} instances hold {total_before:.2f} in total\n")
+
+        overloads = [0] * TELLERS
+        retries = [0] * TELLERS
+
+        def teller(index: int) -> None:
+            connection = connect(address)  # one socket per client
+            try:
+                runner = TransactionRunner(connection, seed=index)
+                rng = random.Random(1000 + index)
+                state = connection.store_state()
+                oids = [oid for oid, values in state.items()
+                        if "balance" in values]
+                from repro.objects.oid import OID
+
+                def parse(name: str) -> OID:
+                    class_name, _, number = name.rpartition("#")
+                    return OID(class_name=class_name, number=int(number))
+
+                targets = [parse(name) for name in oids]
+                for _ in range(TRANSFERS_PER_TELLER):
+                    source, destination = rng.sample(targets, 2)
+                    amount = float(rng.randint(1, 50))
+
+                    def transfer(session, source=source,
+                                 destination=destination, amount=amount):
+                        session.call(source, "deposit", -amount)
+                        session.call(destination, "deposit", amount)
+
+                    runner.run(transfer, label=f"teller-{index}")
+                overloads[index] = runner.overloads
+                retries[index] = runner.retries
+            finally:
+                connection.close()
+
+        threads = [threading.Thread(target=teller, args=(index,),
+                                    name=f"teller-{index}")
+                   for index in range(TELLERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        state = control.store_state()
+        total_after = sum(values["balance"] for values in state.values())
+        committed = len(control.commit_log())
+        print(f"{TELLERS} socket clients committed {committed} transactions "
+              f"({sum(retries)} deadlock/timeout retries, "
+              f"{sum(overloads)} admission back-offs)")
+        print(f"total before: {total_before:.2f}  after: {total_after:.2f}")
+        assert total_after == total_before, "conservation violated!"
+        print("conservation holds — every transfer was atomic end to end")
+        control.close()
+    finally:
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=15.0)
+        print("server shut down cleanly")
+
+
+if __name__ == "__main__":
+    main()

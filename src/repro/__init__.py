@@ -27,6 +27,9 @@ The package is organised bottom-up:
 * :mod:`repro.wal` — durability: per-shard write-ahead logs of TAV-projected
   before/after images, fuzzy checkpoints, and crash recovery with presumed
   abort (``Engine(protocol, durability=Durability.fsynced(path))``);
+* :mod:`repro.api` — the transport-agnostic client API: typed JSON
+  commands, the dispatcher owning the engine, admission control, and the
+  socket server/client pair (``python -m repro.api.server``);
 * :mod:`repro.reporting` — textual tables and figure renderings.
 
 Quickstart::
@@ -94,7 +97,7 @@ from repro.schema import (
     library_schema,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AccessMode",

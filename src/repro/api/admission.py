@@ -1,0 +1,128 @@
+"""Admission control: a bounded front door for the dispatcher.
+
+An engine under strict 2PL degrades ungracefully when every client is
+admitted at once: more in-flight transactions mean more lock conflicts,
+more deadlock victims, more retries — all burning work.  The classic fix is
+to cap the *multiprogramming level* and queue (briefly) at the door:
+
+* at most ``max_in_flight`` transactions hold admission slots at a time;
+* up to ``max_queue`` further ``Begin`` requests wait in FIFO order for a
+  slot to free (a commit or abort releases one);
+* a queued request that waits longer than ``queue_timeout`` seconds — or
+  arrives when the queue itself is full — is *refused*, not parked: the
+  caller gets a typed :class:`~repro.errors.OverloadedError` (on the wire, a
+  :class:`~repro.api.messages.Overloaded` reply) and is expected to back off
+  and retry.  Overload is an answer here, never a hang.
+
+FIFO handoff is direct: :meth:`release` passes the freed slot to the oldest
+waiter rather than returning it to the pool, so a steady stream of new
+arrivals cannot starve a queued client.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.errors import OverloadedError
+
+#: Default limits every front end shares when only ``max_in_flight`` is
+#: given — the harness CLI, the server CLI and the mapping-to-controller
+#: helpers all read these, so the "same" admission config means the same
+#: thing on every transport.
+DEFAULT_MAX_QUEUE = 16
+DEFAULT_QUEUE_TIMEOUT = 1.0
+
+
+class AdmissionController:
+    """Caps in-flight transactions; bounded FIFO wait queue with timeout."""
+
+    def __init__(self, max_in_flight: int, *, max_queue: int = 0,
+                 queue_timeout: float | None = None) -> None:
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be at least 1, "
+                             f"got {max_in_flight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be non-negative, got {max_queue}")
+        if queue_timeout is not None and queue_timeout < 0:
+            raise ValueError("queue_timeout must be non-negative seconds")
+        self._max_in_flight = max_in_flight
+        self._max_queue = max_queue
+        self._queue_timeout = queue_timeout
+        self._mutex = threading.Lock()
+        self._in_flight = 0
+        self._queue: deque[threading.Event] = deque()
+        #: Requests admitted (immediately or after queueing).
+        self.admitted_total = 0
+        #: Requests refused with an overload answer (queue full or timeout).
+        self.rejected_total = 0
+
+    # -- the gate ---------------------------------------------------------------
+
+    def admit(self) -> None:
+        """Take an admission slot, queueing FIFO if none is free.
+
+        Raises:
+            OverloadedError: the wait queue is full, or this request timed
+                out while queued.  Nothing is held; the caller should back
+                off and retry.
+        """
+        with self._mutex:
+            if not self._queue and self._in_flight < self._max_in_flight:
+                self._in_flight += 1
+                self.admitted_total += 1
+                return
+            if len(self._queue) >= self._max_queue:
+                self.rejected_total += 1
+                raise OverloadedError(
+                    f"admission queue is full ({self._in_flight} in flight, "
+                    f"{len(self._queue)} queued)",
+                    in_flight=self._in_flight, queued=len(self._queue))
+            waiter = threading.Event()
+            self._queue.append(waiter)
+        if waiter.wait(self._queue_timeout):
+            # release() transferred a slot to us (in_flight already counts it).
+            with self._mutex:
+                self.admitted_total += 1
+            return
+        with self._mutex:
+            if waiter.is_set():
+                # The handoff won the race against our timeout — keep the slot.
+                self.admitted_total += 1
+                return
+            self._queue.remove(waiter)
+            self.rejected_total += 1
+            in_flight, queued = self._in_flight, len(self._queue)
+        raise OverloadedError(
+            f"timed out after {self._queue_timeout}s waiting for an "
+            f"admission slot ({in_flight} in flight, {queued} queued)",
+            in_flight=in_flight, queued=queued)
+
+    def release(self) -> None:
+        """Free one slot — handed directly to the oldest waiter, if any."""
+        with self._mutex:
+            if self._queue:
+                self._queue.popleft().set()
+            else:
+                self._in_flight -= 1
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Admission slots currently held (includes slots mid-handoff)."""
+        with self._mutex:
+            return self._in_flight
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting in the admission queue right now."""
+        with self._mutex:
+            return len(self._queue)
+
+    @property
+    def limits(self) -> dict[str, float | int | None]:
+        """The configured limits (what :class:`Describe` reports)."""
+        return {"max_in_flight": self._max_in_flight,
+                "max_queue": self._max_queue,
+                "queue_timeout": self._queue_timeout}

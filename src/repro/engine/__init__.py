@@ -27,6 +27,12 @@ shards=N)`` gives every shard its own lock manager and undo log, commits
 cross-shard transactions through two-phase commit, and detects deadlocks
 over the union of the per-shard waits-for graphs; the harness exposes this
 as ``--shards N``.
+
+Since the API redesign (see :mod:`repro.api`), sessions are sugar over the
+typed command layer and the harness drives its workers through
+:class:`~repro.api.connection.Connection` objects — ``--transport socket``
+measures the same workload against a ``python -m repro.api.server``
+process over TCP.
 """
 
 from repro.engine.detector import DeadlockDetector

@@ -104,6 +104,11 @@ class Engine:
         num_shards = self._router.num_shards
         #: Original begin timestamp per live incarnation (wait-die victim age).
         self._origins: dict[int, int] = {}
+        #: Live sessions by transaction id — the registry the API dispatcher
+        #: resolves command ``txn`` handles against.  Mutated by the owning
+        #: session's thread only, via CPython-atomic dict operations.
+        self._sessions: dict[int, Session] = {}
+        self._api: Any = None
         shard_managers = [
             BlockingLockManager(protocol.create_lock_manager(),
                                 default_timeout=default_lock_timeout)
@@ -138,7 +143,7 @@ class Engine:
             self._checkpointer = CheckpointManager(
                 self._store, self._router, self._recovery,
                 [wal for wal in self._wals if wal is not None],
-                self._durability)
+                self._durability, decision_log=self._decision_log)
             # The base checkpoint: instances created before the engine
             # existed (population) are durable from the very first moment —
             # the WAL only ever has to carry field updates.
@@ -216,13 +221,21 @@ class Engine:
         ``origin`` is the begin timestamp of the transaction's *first*
         incarnation; retrying callers pass the original so deadlock victim
         selection ranks the retry by when its work actually began
-        (:meth:`run_transaction` does this automatically).
+        (:meth:`run_transaction` does this automatically).  A non-``None``
+        origin also marks the incarnation as a retry in the metrics — that
+        is how retries driven by *remote* clients (whose retry loop runs on
+        the other side of a connection) still show up in the engine's
+        numbers.
         """
         self._ensure_open()
         transaction = Transaction(txn_id=next(self._ids), origin=origin)
         self._origins[transaction.txn_id] = transaction.origin
         self.metrics.record_begin()
-        return Session(self, transaction, label=label)
+        if origin is not None:
+            self.metrics.record_retry()
+        session = Session(self, transaction, label=label)
+        self._sessions[transaction.txn_id] = session
+        return session
 
     def commit(self, transaction: Transaction, label: str = "") -> None:
         """Commit through two-phase commit over the touched shards.
@@ -256,6 +269,7 @@ class Engine:
         self._recovery.discard_tracking(txn)
         self._locks.release_all(txn)
         self._origins.pop(txn, None)
+        self._sessions.pop(txn, None)
         self.metrics.record_commit(cross_shard=len(touched) > 1)
 
     def abort(self, transaction: Transaction) -> None:
@@ -275,6 +289,7 @@ class Engine:
         transaction.state = TransactionState.ABORTED
         self._locks.release_all(txn)
         self._origins.pop(txn, None)
+        self._sessions.pop(txn, None)
         self.metrics.record_abort()
 
     def close(self) -> None:
@@ -405,7 +420,8 @@ class Engine:
                 attempt += 1
                 if attempt > retries:
                     raise
-                self.metrics.record_retry()
+                # begin() counts the retry when the next incarnation passes
+                # its origin — the same accounting remote retry loops get.
                 time.sleep(self._backoff(attempt))
             except BaseException:
                 self._abort_quietly(session)
@@ -469,6 +485,34 @@ class Engine:
         if self._decision_log is not None:
             total += self._decision_log.bytes_written
         return total
+
+    # -- the command layer --------------------------------------------------------
+
+    def session_for(self, txn_id: int) -> Session | None:
+        """The live session driving ``txn_id``, or ``None`` once finished.
+
+        This is how the API dispatcher resolves the transaction handles its
+        commands carry — clients reference transactions by identifier, never
+        by object.
+        """
+        return self._sessions.get(txn_id)
+
+    @property
+    def api(self) -> Any:
+        """The engine's canonical in-process API connection.
+
+        :class:`~repro.engine.session.Session` routes every operation
+        through it, so in-process callers and socket clients exercise the
+        same command layer.  Created lazily (and without admission control —
+        the engine never refuses its own sessions; servers put an
+        :class:`~repro.api.admission.AdmissionController` in front of their
+        *own* dispatcher).
+        """
+        if self._api is None:
+            from repro.api.connection import InProcessConnection
+
+            self._api = InProcessConnection(self)
+        return self._api
 
     # -- introspection ------------------------------------------------------------
 

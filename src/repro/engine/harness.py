@@ -2,9 +2,29 @@
 
 The harness replays :class:`~repro.sim.workload.TransactionSpec` mixes — the
 same deterministic workloads the discrete-event simulator consumes — across
-N OS worker threads, and reports commits/sec, abort rate and mean lock-wait
+N worker threads, and reports commits/sec, abort rate and mean lock-wait
 time, so the engine's wall-clock numbers line up with the simulator's
 structural metrics for the same (protocol, store, workload) triple.
+
+Since the API redesign the harness drives every workload through a
+:class:`~repro.api.connection.Connection` — each worker owns a
+:class:`~repro.api.connection.TransactionRunner` speaking the typed command
+API.  ``--transport`` chooses the channel:
+
+* ``inproc`` (default) — an
+  :class:`~repro.api.connection.InProcessConnection` to a dispatcher over a
+  locally built engine: the same measurement as before, now through the
+  command layer;
+* ``socket`` — real TCP to a ``python -m repro.api.server`` process.  By
+  default the harness *spawns* one configured to match its own store
+  population (so verification still works); ``--addr HOST:PORT`` targets an
+  already-running server instead, after checking via ``Describe`` that it
+  serves a matching store.  Commit order, final store state and engine
+  metrics come back over the control plane — the client side never touches
+  engine objects.
+
+One harness therefore measures the in-process and networked paths side by
+side, which is what ``benchmarks/test_bench_transport_overhead.py`` does.
 
 Every run can be *verified*: the engine records its commit order (under
 strict 2PL a serialisation order), the harness replays exactly the committed
@@ -12,22 +32,18 @@ transactions sequentially on an identically populated replica store, and the
 two final states must be equal.  A mismatch is a serializability violation
 and is reported in the output table.
 
-With ``--shards N`` the store, lock managers and undo logs are partitioned
-across N shards (see :mod:`repro.sharding`) and cross-shard transactions
-commit through two-phase commit; the table's ``shards`` column makes the
-contention win measurable against the single-shard baseline.  ``--durability
-{off,lazy,fsync}`` switches on per-shard write-ahead logging (see
-:mod:`repro.wal`) so its cost shows up in the numbers: the ``wal`` column
-reports log bytes per committed transaction, and throughput can be compared
-across the three modes.  ``--json PATH`` additionally writes the table as a
-``BENCH_*.json``-style machine-readable document for the performance
-trajectory, including the durability mode and WAL bytes of every row.
+``--shards``/``--durability`` behave as before (see :mod:`repro.sharding`
+and :mod:`repro.wal`); ``--max-in-flight``/``--max-queue``/
+``--queue-timeout`` put an :class:`~repro.api.admission.AdmissionController`
+in front of the dispatcher, so overload shows up as typed back-offs in the
+numbers instead of lock contention.  ``--json PATH`` writes a
+``BENCH_*.json``-style machine-readable document.
 
 Run from the command line (the ``bench`` extra installs ``repro-bench`` as a
 console script for the same entry point)::
 
     python -m repro.engine.harness --threads 8 --transactions 200 \
-        --protocols tav,rw-instance --shards 4
+        --protocols tav,rw-instance --shards 4 --transport socket
 """
 
 from __future__ import annotations
@@ -36,13 +52,21 @@ import argparse
 import json
 import queue
 import shutil
+import signal
 import tempfile
 import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
+from repro.api.admission import (
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_QUEUE_TIMEOUT,
+    AdmissionController,
+)
+from repro.api.connection import Connection, InProcessConnection, TransactionRunner
+from repro.api.dispatcher import Dispatcher
 from repro.core.compiler import CompiledSchema, compile_schema
 from repro.engine.engine import Engine
 from repro.engine.metrics import EngineMetrics
@@ -56,6 +80,9 @@ from repro.txn.manager import TransactionManager
 from repro.txn.protocols import PROTOCOLS
 from repro.wal.durability import MODES as DURABILITY_MODES
 from repro.wal.durability import Durability
+
+#: The transports the harness can drive a workload over.
+TRANSPORTS = ("inproc", "socket")
 
 
 def store_state(store: ObjectStore) -> dict[str, dict[str, Any]]:
@@ -72,6 +99,8 @@ class HarnessResult:
     shards: int
     #: The durability mode the engine ran under (``off``/``lazy``/``fsync``).
     durability: str
+    #: How the workers reached the engine (``inproc`` or ``socket``).
+    transport: str
     transactions: int
     metrics: EngineMetrics
     #: Labels of the committed transactions, in commit (serialisation) order.
@@ -81,6 +110,8 @@ class HarnessResult:
     #: ``(label, error)`` for specs that died on an unexpected exception
     #: (anything other than retry exhaustion) — never silently dropped.
     errors: tuple[tuple[str, str], ...]
+    #: Overloaded answers admission control returned across all workers.
+    overloads: int
     #: ``True``/``False`` when verification ran, ``None`` when skipped.
     serializable: bool | None
     #: Final store snapshot after the threaded run.
@@ -96,8 +127,10 @@ class HarnessResult:
         row: dict[str, Any] = {"protocol": self.protocol, "threads": self.threads,
                                "shards": self.shards,
                                "durability": self.durability,
+                               "transport": self.transport,
                                "txns": self.transactions}
         row.update(self.metrics.as_row())
+        row["overloads"] = self.overloads
         row["serializable"] = ("-" if self.serializable is None
                                else "yes" if self.serializable else "VIOLATION")
         return row
@@ -109,7 +142,10 @@ class ThroughputHarness:
     The harness owns the schema, the population parameters and the workload
     parameters; every :meth:`run` re-populates a fresh store from the same
     seed, so different protocols (and the sequential verification replica)
-    all start from byte-identical object bases with identical OIDs.
+    all start from byte-identical object bases with identical OIDs.  A
+    socket-transport run checks (via ``Describe``) that the server was
+    populated with the same parameters before trusting its state for
+    verification.
     """
 
     def __init__(self, schema: Schema | None = None,
@@ -166,29 +202,82 @@ class ThroughputHarness:
             router: ShardRouter | None = None,
             durability: Durability | str = "off",
             wal_dir: str | Path | None = None,
+            transport: str = "inproc",
+            address: "str | tuple[str, int] | None" = None,
+            admission: "AdmissionController | Mapping[str, Any] | None" = None,
+            max_retries: int = 20,
             **engine_options: Any) -> HarnessResult:
         """Replay the workload across ``threads`` workers under one protocol.
 
-        With ``shards > 1`` (or an explicit ``router``) the run executes on a
-        :class:`~repro.sharding.store.ShardedObjectStore` and the engine
-        partitions its lock managers and undo logs the same way; the
-        verification replica stays a plain store, which holds identical
-        instances because both populate in the same creation order from one
-        OID counter.  ``engine_options`` are forwarded to :class:`Engine`
-        (timeouts, detection interval, retry policy).  With ``verify`` the
-        committed transactions are replayed sequentially on the replica and
-        the final states compared.
+        Workers drive the engine exclusively through the command API: each
+        owns a :class:`~repro.api.connection.TransactionRunner` over a
+        :class:`~repro.api.connection.Connection` of the chosen
+        ``transport``.  With ``transport="socket"`` the engine lives in a
+        server process — spawned to match this harness's population unless
+        ``address`` names a running one; ``engine_options`` other than
+        ``default_lock_timeout`` cannot cross the process boundary and are
+        rejected.  ``admission`` (a controller for in-process runs, or a
+        ``{"max_in_flight", "max_queue", "queue_timeout"}`` mapping for
+        either transport) gates ``Begin`` through an
+        :class:`~repro.api.admission.AdmissionController`; overloaded
+        answers back off client-side and are counted in the result.
 
-        ``durability`` is either a full :class:`~repro.wal.durability.Durability`
-        or a mode name.  For a bare ``"lazy"``/``"fsync"`` the run logs into
-        a per-run subdirectory of ``wal_dir`` (recreated if it exists, so
-        repeated runs do not trip the fresh-directory check) or, without
-        ``wal_dir``, a temporary directory deleted after the run — the
-        throughput cost is the point then, not the files.
+        With ``shards > 1`` (or an explicit ``router``) the run executes on
+        a :class:`~repro.sharding.store.ShardedObjectStore` and the engine
+        partitions its lock managers and undo logs the same way.
+        ``durability`` is a mode name or (in-process only) a full
+        :class:`~repro.wal.durability.Durability`.  With ``verify`` the
+        committed transactions are replayed sequentially on an identically
+        populated replica and the final states compared.
         """
+        if transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {transport!r}; "
+                             f"expected one of {', '.join(TRANSPORTS)}")
         if specs is None:
             specs = self.make_specs(transactions)
         specs = _with_unique_labels(specs)
+        if transport == "inproc":
+            pieces = self._run_inproc(
+                protocol_class, specs, threads=threads, shards=shards,
+                router=router, durability=durability, wal_dir=wal_dir,
+                admission=admission, max_retries=max_retries,
+                engine_options=engine_options)
+        else:
+            pieces = self._run_socket(
+                protocol_class, specs, threads=threads, shards=shards,
+                router=router, durability=durability, wal_dir=wal_dir,
+                address=address, admission=admission, max_retries=max_retries,
+                verify=verify, engine_options=engine_options)
+
+        serializable: bool | None = None
+        if verify:
+            serializable = pieces["final_state"] == self._sequential_replay(
+                protocol_class, specs, pieces["commit_labels"])
+        return HarnessResult(protocol=getattr(protocol_class, "name",
+                                              protocol_class.__name__),
+                             threads=threads, shards=pieces["shards"],
+                             durability=pieces["durability"],
+                             transport=transport,
+                             transactions=len(specs),
+                             metrics=pieces["metrics"],
+                             commit_labels=pieces["commit_labels"],
+                             failed_labels=pieces["failed"],
+                             errors=pieces["errors"],
+                             overloads=pieces["overloads"],
+                             serializable=serializable,
+                             final_state=pieces["final_state"])
+
+    # -- the two transports -----------------------------------------------------
+
+    def _run_inproc(self, protocol_class: type,
+                    specs: Sequence[TransactionSpec], *, threads: int,
+                    shards: int, router: ShardRouter | None,
+                    durability: Durability | str,
+                    wal_dir: str | Path | None,
+                    admission: "AdmissionController | Mapping[str, Any] | None",
+                    max_retries: int,
+                    engine_options: dict[str, Any]) -> dict[str, Any]:
+        """Build an engine here and drive it through InProcessConnection."""
         if router is None and shards > 1:
             router = HashShardRouter(shards)
         if router is not None:
@@ -203,61 +292,204 @@ class ThroughputHarness:
         resolved, cleanup = self._resolve_durability(
             durability, wal_dir,
             getattr(protocol_class, "name", protocol_class.__name__), shards)
-
-        work: "queue.SimpleQueue[TransactionSpec]" = queue.SimpleQueue()
-        for spec in specs:
-            work.put(spec)
-        failed: list[str] = []
-        errors: list[tuple[str, str]] = []
-        failed_mutex = threading.Lock()
+        controller = _resolve_admission(admission)
         try:
             with Engine(protocol, durability=resolved, **engine_options) as engine:
-                def worker() -> None:
-                    while True:
-                        try:
-                            spec = work.get_nowait()
-                        except queue.Empty:
-                            return
-                        try:
-                            engine.run_spec(spec)
-                        except (DeadlockError, LockTimeoutError):
-                            with failed_mutex:
-                                failed.append(spec.label)
-                        except Exception as error:  # noqa: BLE001 - reported, not lost
-                            # An unexpected failure must not silently kill the
-                            # worker and drop the remaining queue.
-                            with failed_mutex:
-                                failed.append(spec.label)
-                                errors.append((spec.label, repr(error)))
-
-                pool = [threading.Thread(target=worker, name=f"repro-worker-{index}")
-                        for index in range(threads)]
-                started = time.perf_counter()
-                for thread in pool:
-                    thread.start()
-                for thread in pool:
-                    thread.join()
-                engine.metrics.elapsed = time.perf_counter() - started
+                connection = InProcessConnection(
+                    dispatcher=Dispatcher(engine, admission=controller))
+                driven = self._drive(specs, threads, lambda index: connection,
+                                     max_retries=max_retries)
+                engine.metrics.elapsed = driven["elapsed"]
                 engine.metrics.wal_bytes = engine.wal_bytes_written
                 commit_labels = tuple(label for _, label in engine.commit_log)
                 metrics = engine.metrics
         finally:
             if cleanup is not None:
                 cleanup()
+        return {"metrics": metrics, "commit_labels": commit_labels,
+                "failed": driven["failed"], "errors": driven["errors"],
+                "overloads": driven["overloads"],
+                "final_state": store_state(store),
+                "shards": shards, "durability": resolved.mode}
 
-        final_state = store_state(store)
-        serializable: bool | None = None
-        if verify:
-            serializable = final_state == self._sequential_replay(
-                protocol_class, specs, commit_labels)
-        return HarnessResult(protocol=getattr(protocol_class, "name",
-                                              protocol_class.__name__),
-                             threads=threads, shards=shards,
-                             durability=resolved.mode,
-                             transactions=len(specs),
-                             metrics=metrics, commit_labels=commit_labels,
-                             failed_labels=tuple(failed), errors=tuple(errors),
-                             serializable=serializable, final_state=final_state)
+    def _run_socket(self, protocol_class: type,
+                    specs: Sequence[TransactionSpec], *, threads: int,
+                    shards: int, router: ShardRouter | None,
+                    durability: Durability | str,
+                    wal_dir: str | Path | None,
+                    address: "str | tuple[str, int] | None",
+                    admission: "AdmissionController | Mapping[str, Any] | None",
+                    max_retries: int, verify: bool,
+                    engine_options: dict[str, Any]) -> dict[str, Any]:
+        """Drive a server process over TCP (spawned unless ``address``)."""
+        from repro.api import client as socket_client
+        from repro.api import server as socket_server
+
+        name = getattr(protocol_class, "name", protocol_class.__name__)
+        unsupported = set(engine_options) - {"default_lock_timeout"}
+        if unsupported:
+            raise ValueError(f"engine options {sorted(unsupported)} cannot "
+                             "cross the socket boundary")
+        if router is not None:
+            raise ValueError("a router object cannot cross the socket "
+                             "boundary; pass shards=N")
+        if isinstance(admission, AdmissionController):
+            raise ValueError("pass admission limits as a mapping for socket "
+                             "runs; the controller lives in the server")
+        if not isinstance(self._instances_per_class, int):
+            raise ValueError("socket runs need a uniform instances_per_class")
+        if isinstance(durability, Durability):
+            durability = durability.mode
+
+        process = None
+        spawn_wal_dir = None
+        if address is None:
+            if wal_dir is not None:
+                # Namespace and clear exactly like the in-process path does
+                # (_resolve_durability): the server refuses a directory with
+                # leftover state, so a second run into the same --wal-dir
+                # would otherwise never come up.
+                spawn_wal_dir = Path(wal_dir) / f"{name}-shards{shards}"
+                if spawn_wal_dir.exists():
+                    shutil.rmtree(spawn_wal_dir)
+            process, address = socket_server.spawn(
+                protocol=name, shards=shards,
+                instances=self._instances_per_class,
+                populate_seed=self._populate_seed,
+                lock_timeout=engine_options.get("default_lock_timeout", 5.0),
+                durability=durability, wal_dir=spawn_wal_dir,
+                **_admission_flags(admission))
+        try:
+            control = socket_client.connect(address)
+            try:
+                info = control.describe()
+                self._check_server(info, name, address)
+                # Pre-run snapshots: a long-lived server (--addr) carries
+                # cumulative counters and commit history from earlier
+                # traffic — this run's numbers are the *delta*.
+                before_metrics = control.metrics()
+                commits_before = len(control.commit_log())
+                if verify and control.store_state() != store_state(self.populate()):
+                    raise ValueError(
+                        "the server's store already differs from a fresh "
+                        "population — it has served prior traffic, so the "
+                        "sequential-replay verification would report a bogus "
+                        "violation; run against a fresh server or pass "
+                        "verify=False (--no-verify)")
+                driven = self._drive(
+                    specs, threads,
+                    lambda index: socket_client.connect(address),
+                    max_retries=max_retries)
+                ours = {spec.label for spec in specs}
+                commit_labels = tuple(
+                    label
+                    for _, label in control.commit_log()[commits_before:]
+                    if label in ours)
+                final_state = control.store_state()
+                snapshot = control.metrics()
+                metrics = EngineMetrics.from_snapshot({
+                    name_: value - before_metrics["metrics"].get(name_, 0)
+                    for name_, value in snapshot["metrics"].items()})
+                metrics.elapsed = driven["elapsed"]
+                metrics.wal_bytes = (int(snapshot["wal_bytes"])
+                                     - int(before_metrics["wal_bytes"]))
+                served_shards = int(info.get("shards", shards))
+                served_durability = str(info.get("durability", durability))
+            finally:
+                control.close()
+        finally:
+            if process is not None:
+                process.send_signal(signal.SIGTERM)
+                try:
+                    process.wait(timeout=15.0)
+                except Exception:
+                    process.kill()
+                    process.wait()
+        return {"metrics": metrics, "commit_labels": commit_labels,
+                "failed": driven["failed"], "errors": driven["errors"],
+                "overloads": driven["overloads"], "final_state": final_state,
+                "shards": served_shards, "durability": served_durability}
+
+    def _check_server(self, info: Mapping[str, Any], protocol_name: str,
+                      address: Any) -> None:
+        """Refuse to measure (and mis-verify) against a mismatched server."""
+        mismatches = []
+        if info.get("protocol") != protocol_name:
+            mismatches.append(f"protocol {info.get('protocol')!r} != "
+                              f"{protocol_name!r}")
+        if ("instances" in info
+                and info["instances"] != self._instances_per_class):
+            mismatches.append(f"instances {info['instances']} != "
+                              f"{self._instances_per_class}")
+        if ("populate_seed" in info
+                and info["populate_seed"] != self._populate_seed):
+            mismatches.append(f"populate_seed {info['populate_seed']} != "
+                              f"{self._populate_seed}")
+        if mismatches:
+            raise ValueError(f"the server at {address} does not match this "
+                             f"harness: {'; '.join(mismatches)}")
+
+    # -- the worker pool ---------------------------------------------------------
+
+    def _drive(self, specs: Sequence[TransactionSpec], threads: int,
+               connect: Callable[[int], Connection], *,
+               max_retries: int) -> dict[str, Any]:
+        """Replay ``specs`` over per-worker connections; collect failures."""
+        work: "queue.SimpleQueue[TransactionSpec]" = queue.SimpleQueue()
+        for spec in specs:
+            work.put(spec)
+        failed: list[str] = []
+        errors: list[tuple[str, str]] = []
+        runners: list[TransactionRunner] = []
+        mutex = threading.Lock()
+
+        def worker(index: int) -> None:
+            try:
+                connection = connect(index)
+            except Exception as error:  # noqa: BLE001 - reported, not lost
+                # A worker that cannot even reach the engine must show up in
+                # the result (its share of the queue goes unrun) — a bare
+                # thread death would let an all-workers-failed run masquerade
+                # as a clean zero-commit one.
+                with mutex:
+                    errors.append((f"worker-{index}", repr(error)))
+                return
+            runner = TransactionRunner(connection, max_retries=max_retries,
+                                       seed=0xC11E47 + index)
+            with mutex:
+                runners.append(runner)
+            try:
+                while True:
+                    try:
+                        spec = work.get_nowait()
+                    except queue.Empty:
+                        return
+                    try:
+                        runner.run_spec(spec)
+                    except (DeadlockError, LockTimeoutError):
+                        with mutex:
+                            failed.append(spec.label)
+                    except Exception as error:  # noqa: BLE001 - reported, not lost
+                        # An unexpected failure must not silently kill the
+                        # worker and drop the remaining queue.
+                        with mutex:
+                            failed.append(spec.label)
+                            errors.append((spec.label, repr(error)))
+            finally:
+                connection.close()
+
+        pool = [threading.Thread(target=worker, args=(index,),
+                                 name=f"repro-worker-{index}")
+                for index in range(threads)]
+        started = time.perf_counter()
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        return {"failed": tuple(failed), "errors": tuple(errors),
+                "elapsed": elapsed,
+                "overloads": sum(runner.overloads for runner in runners)}
 
     @staticmethod
     def _resolve_durability(durability: Durability | str,
@@ -292,6 +524,32 @@ class ThroughputHarness:
         return store_state(replica)
 
 
+def _resolve_admission(
+        admission: "AdmissionController | Mapping[str, Any] | None",
+) -> AdmissionController | None:
+    """An in-process controller from whatever the caller handed over."""
+    if admission is None or isinstance(admission, AdmissionController):
+        return admission
+    flags = _admission_flags(admission)
+    return AdmissionController(flags["max_in_flight"],
+                               max_queue=flags["max_queue"],
+                               queue_timeout=flags["queue_timeout"])
+
+
+def _admission_flags(admission: "Mapping[str, Any] | None") -> dict[str, Any]:
+    """Admission limits as :func:`repro.api.server.spawn` keyword arguments.
+
+    One place normalises a limits mapping, so inproc and socket runs of the
+    same mapping configure identical controllers.
+    """
+    if admission is None:
+        return {}
+    return {"max_in_flight": admission["max_in_flight"],
+            "max_queue": admission.get("max_queue", DEFAULT_MAX_QUEUE),
+            "queue_timeout": admission.get("queue_timeout",
+                                           DEFAULT_QUEUE_TIMEOUT)}
+
+
 def _with_unique_labels(specs: Sequence[TransactionSpec]) -> list[TransactionSpec]:
     """Ensure every spec carries a unique, non-empty label (for the commit log)."""
     seen: set[str] = set()
@@ -318,11 +576,12 @@ def bench_document(results: Sequence[HarnessResult],
                    benchmark: str = "engine_throughput") -> dict[str, Any]:
     """The harness results as a ``BENCH_*.json``-style document.
 
-    One flat row per (protocol, threads, shards, durability) configuration
-    plus the configuration that produced them, so successive runs can be
-    diffed for the performance trajectory without re-parsing the human
-    table.  Each row carries the durability mode and the WAL cost both raw
-    (``wal_bytes``) and per committed transaction (``wal_bytes_per_commit``).
+    One flat row per (protocol, threads, shards, durability, transport)
+    configuration plus the configuration that produced them, so successive
+    runs can be diffed for the performance trajectory without re-parsing
+    the human table.  Each row carries the durability mode and the WAL cost
+    both raw (``wal_bytes``) and per committed transaction
+    (``wal_bytes_per_commit``).
     """
     return {
         "benchmark": benchmark,
@@ -332,6 +591,7 @@ def bench_document(results: Sequence[HarnessResult],
             {**result.as_row(),
              "serializable": result.serializable,
              "durability": result.durability,
+             "transport": result.transport,
              "wal_bytes": result.metrics.wal_bytes,
              "wal_bytes_per_commit": round(result.metrics.wal_bytes_per_commit, 1),
              "failed": list(result.failed_labels)}
@@ -361,6 +621,9 @@ def write_bench_json(path: str, results: Sequence[HarnessResult],
             "seed": arguments.seed,
             "lock_timeout": arguments.lock_timeout,
             "durability": arguments.durability,
+            "transport": arguments.transport,
+            "addr": arguments.addr,
+            "max_in_flight": arguments.max_in_flight,
             "verified": not arguments.no_verify,
         }
     with open(path, "w", encoding="utf-8") as handle:
@@ -400,6 +663,26 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="workload seed (default: 17)")
     parser.add_argument("--lock-timeout", type=float, default=5.0,
                         help="per-request lock timeout in seconds (default: 5)")
+    parser.add_argument("--transport", choices=TRANSPORTS, default="inproc",
+                        help="how workers reach the engine: 'inproc' calls "
+                             "the dispatcher directly, 'socket' drives a "
+                             "repro.api.server process over TCP "
+                             "(default: inproc)")
+    parser.add_argument("--addr", metavar="HOST:PORT", default=None,
+                        help="with --transport socket: use this running "
+                             "server instead of spawning one (it must serve "
+                             "a matching store; exactly one --protocols "
+                             "entry)")
+    parser.add_argument("--max-in-flight", type=int, default=None,
+                        help="admission cap on concurrent transactions "
+                             "(default: no admission control)")
+    parser.add_argument("--max-queue", type=int, default=DEFAULT_MAX_QUEUE,
+                        help="admission wait-queue bound "
+                             f"(default: {DEFAULT_MAX_QUEUE})")
+    parser.add_argument("--queue-timeout", type=float,
+                        default=DEFAULT_QUEUE_TIMEOUT,
+                        help="seconds a Begin may wait for an admission slot "
+                             f"(default: {DEFAULT_QUEUE_TIMEOUT})")
     parser.add_argument("--durability", choices=DURABILITY_MODES, default="off",
                         help="write-ahead logging mode: 'off' (no files), "
                              "'lazy' (write-through, survives SIGKILL) or "
@@ -419,12 +702,23 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if arguments.shards < 1:
         parser.error(f"--shards must be at least 1, got {arguments.shards}")
+    if arguments.addr is not None and arguments.transport != "socket":
+        parser.error("--addr only makes sense with --transport socket")
 
     names = (list(PROTOCOLS) if arguments.protocols == "all"
              else [name.strip() for name in arguments.protocols.split(",")])
     unknown = [name for name in names if name not in PROTOCOLS]
     if unknown:
         parser.error(f"unknown protocol(s) {unknown}; available: {', '.join(PROTOCOLS)}")
+    if arguments.addr is not None and len(names) != 1:
+        parser.error("--addr serves one protocol; name exactly one in "
+                     "--protocols")
+
+    admission = None
+    if arguments.max_in_flight is not None:
+        admission = {"max_in_flight": arguments.max_in_flight,
+                     "max_queue": arguments.max_queue,
+                     "queue_timeout": arguments.queue_timeout}
 
     harness = ThroughputHarness(instances_per_class=arguments.instances,
                                 workload_seed=arguments.seed,
@@ -437,6 +731,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                              shards=arguments.shards,
                              durability=arguments.durability,
                              wal_dir=arguments.wal_dir,
+                             transport=arguments.transport,
+                             address=arguments.addr,
+                             admission=admission,
                              default_lock_timeout=arguments.lock_timeout)
         results.append(result)
     print(format_throughput_table(results))

@@ -56,6 +56,28 @@ class EngineMetrics:
     _mutex: threading.Lock = field(default_factory=threading.Lock, repr=False,
                                    compare=False)
 
+    #: The counters that travel over the API's ``MetricsSnapshot`` control
+    #: message — everything above except the mutex.
+    _FIELDS = ("begun", "committed", "cross_shard_commits", "aborted",
+               "retries", "deadlocks", "timeouts", "lock_requests", "waits",
+               "wait_time", "operations", "elapsed", "wal_bytes")
+
+    # -- wire round trip ---------------------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """The raw counters as one consistent, JSON-representable mapping."""
+        with self._mutex:
+            return {name: getattr(self, name) for name in self._FIELDS}
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict[str, float]) -> "EngineMetrics":
+        """Rebuild metrics from :meth:`snapshot` (the remote harness path)."""
+        metrics = cls()
+        for name in cls._FIELDS:
+            if name in snapshot:
+                setattr(metrics, name, snapshot[name])
+        return metrics
+
     # -- recording (called from worker threads) --------------------------------
 
     def record_begin(self) -> None:

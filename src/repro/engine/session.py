@@ -7,6 +7,18 @@ with the engine that runs it and mirrors the
 single-threaded code moves to real threads by changing only how the handle
 is obtained.
 
+Since the API redesign, a session is *sugar over the command layer*: every
+``perform``/``commit``/``abort`` is turned into a typed
+:mod:`repro.api.messages` request and dispatched through the engine's
+in-process connection (:attr:`~repro.engine.engine.Engine.api`), and error
+replies are re-raised as the typed exceptions their codes name.  The public
+API is unchanged — but an in-process caller now exercises exactly the path
+a socket client does, which is what keeps the two front ends honest with
+each other.  (What stays in-process-only is the live
+:attr:`transaction` object: remote clients get
+:class:`~repro.api.connection.ClientSession`, which holds an identifier
+instead.)
+
 A session must be driven by one thread at a time — that is what makes a
 transaction a single locus of control; the *engine* is what many threads
 share.  Sessions are context managers: leaving the block commits on success
@@ -17,6 +29,14 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
+from repro.api.messages import (
+    Abort,
+    Commit,
+    Request,
+    ResultReply,
+    raise_if_error,
+    request_for_operation,
+)
 from repro.objects.oid import OID
 from repro.txn.operations import (
     DomainAllCall,
@@ -44,11 +64,11 @@ class Session:
 
     def commit(self) -> None:
         """Commit the transaction (records the serialisation point)."""
-        self._engine.commit(self._transaction, label=self.label)
+        self._request(Commit(txn=self.txn_id, label=self.label))
 
     def abort(self) -> None:
         """Abort the transaction (undo writes, release locks)."""
-        self._engine.abort(self._transaction)
+        self._request(Abort(txn=self.txn_id))
 
     def __enter__(self) -> "Session":
         return self
@@ -65,7 +85,9 @@ class Session:
 
     def perform(self, operation: Operation) -> list[Any]:
         """Plan, lock (blocking) and execute one operation."""
-        return self._engine.perform(self._transaction, operation)
+        reply = self._request(request_for_operation(self.txn_id, operation))
+        assert isinstance(reply, ResultReply)
+        return list(reply.results)
 
     def call(self, oid: OID, method: str, *arguments: Any,
              as_class: str | None = None) -> Any:
@@ -114,6 +136,10 @@ class Session:
     def engine(self) -> "Engine":
         """The engine this session runs on."""
         return self._engine
+
+    def _request(self, message: Request) -> Any:
+        """Dispatch one command through the engine's in-process connection."""
+        return raise_if_error(self._engine.api.request(message))
 
     def __str__(self) -> str:
         name = self.label or f"T{self._transaction.txn_id}"

@@ -3,6 +3,13 @@
 Every error raised by the library derives from :class:`ReproError` so that
 applications can catch library failures with a single ``except`` clause while
 still being able to distinguish the subsystem that failed.
+
+Every class also carries a stable, machine-readable :attr:`~ReproError.code`.
+The codes are the library's *wire* error vocabulary: the client/server API
+(:mod:`repro.api`) serialises an exception as its code plus its message, and
+the client rebuilds the right exception class from the code alone — so codes
+must never collide and must never silently change once released (a test
+freezes the full table).  :func:`error_codes` is the registry.
 """
 
 from __future__ import annotations
@@ -10,6 +17,10 @@ from __future__ import annotations
 
 class ReproError(Exception):
     """Base class of every exception raised by the library."""
+
+    #: Stable machine-readable identifier of this error class.  Part of the
+    #: wire protocol — never reuse or rename a released code.
+    code = "REPRO"
 
 
 # ---------------------------------------------------------------------------
@@ -20,9 +31,13 @@ class ReproError(Exception):
 class LanguageError(ReproError):
     """Base class for errors raised while lexing or parsing method bodies."""
 
+    code = "LANGUAGE"
+
 
 class LexError(LanguageError):
     """A method body contains a character sequence that cannot be tokenised."""
+
+    code = "LANGUAGE_LEX"
 
     def __init__(self, message: str, line: int, column: int) -> None:
         super().__init__(f"{message} (line {line}, column {column})")
@@ -32,6 +47,8 @@ class LexError(LanguageError):
 
 class ParseError(LanguageError):
     """A method body is not syntactically valid."""
+
+    code = "LANGUAGE_PARSE"
 
     def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
         location = f" (line {line}, column {column})" if line else ""
@@ -48,33 +65,49 @@ class ParseError(LanguageError):
 class SchemaError(ReproError):
     """Base class for schema definition and validation errors."""
 
+    code = "SCHEMA"
+
 
 class DuplicateClassError(SchemaError):
     """A class with the same name is already defined in the schema."""
+
+    code = "SCHEMA_DUPLICATE_CLASS"
 
 
 class UnknownClassError(SchemaError):
     """A class name does not resolve to any class in the schema."""
 
+    code = "SCHEMA_UNKNOWN_CLASS"
+
 
 class DuplicateFieldError(SchemaError):
     """A field name is defined twice along one inheritance path."""
+
+    code = "SCHEMA_DUPLICATE_FIELD"
 
 
 class DuplicateMethodError(SchemaError):
     """A method name is defined twice in the same class."""
 
+    code = "SCHEMA_DUPLICATE_METHOD"
+
 
 class UnknownFieldError(SchemaError):
     """A field name does not exist for a class."""
+
+    code = "SCHEMA_UNKNOWN_FIELD"
 
 
 class UnknownMethodError(SchemaError):
     """A method name does not resolve on a class."""
 
+    code = "SCHEMA_UNKNOWN_METHOD"
+
 
 class InheritanceError(SchemaError):
     """The inheritance graph is malformed (cycle, unknown superclass, ...)."""
+
+    code = "SCHEMA_INHERITANCE"
 
 
 # ---------------------------------------------------------------------------
@@ -85,14 +118,20 @@ class InheritanceError(SchemaError):
 class AnalysisError(ReproError):
     """Base class for access-vector analysis and compilation errors."""
 
+    code = "ANALYSIS"
+
 
 class UnresolvedSelfCallError(AnalysisError):
     """A ``send m to self`` message cannot be resolved on the class."""
+
+    code = "ANALYSIS_UNRESOLVED_SELF"
 
 
 class UnresolvedSuperCallError(AnalysisError):
     """A ``send C.m to self`` message references a class or method that
     does not exist among the ancestors."""
+
+    code = "ANALYSIS_UNRESOLVED_SUPER"
 
 
 # ---------------------------------------------------------------------------
@@ -103,17 +142,25 @@ class UnresolvedSuperCallError(AnalysisError):
 class StoreError(ReproError):
     """Base class for object store errors."""
 
+    code = "STORE"
+
 
 class UnknownInstanceError(StoreError):
     """An OID does not identify a live instance."""
+
+    code = "STORE_UNKNOWN_INSTANCE"
 
 
 class TypeMismatchError(StoreError):
     """A field assignment violates the declared field type."""
 
+    code = "STORE_TYPE_MISMATCH"
+
 
 class InterpreterError(ReproError):
     """A method body could not be executed by the interpreter."""
+
+    code = "INTERPRETER"
 
 
 # ---------------------------------------------------------------------------
@@ -124,12 +171,16 @@ class InterpreterError(ReproError):
 class ConcurrencyError(ReproError):
     """Base class for locking and transaction errors."""
 
+    code = "CONCURRENCY"
+
 
 class LockConflictError(ConcurrencyError):
     """A lock request conflicts with locks held by other transactions.
 
     Raised by the lock manager when it is used in non-blocking mode.
     """
+
+    code = "LOCK_CONFLICT"
 
     def __init__(self, message: str, *, holders: tuple[int, ...] = ()) -> None:
         super().__init__(message)
@@ -145,6 +196,8 @@ class LockTimeoutError(ConcurrencyError):
     normally be aborted by the caller (strict 2PL offers no partial rollback).
     """
 
+    code = "LOCK_TIMEOUT"
+
     def __init__(self, message: str, *, holders: tuple[int, ...] = (),
                  waited: float = 0.0) -> None:
         super().__init__(message)
@@ -155,6 +208,8 @@ class LockTimeoutError(ConcurrencyError):
 
 class DeadlockError(ConcurrencyError):
     """The transaction was chosen as a deadlock victim and must abort."""
+
+    code = "DEADLOCK"
 
     def __init__(self, message: str, *, victim: int | None = None,
                  cycle: tuple[int, ...] = (), waited: float = 0.0) -> None:
@@ -168,6 +223,8 @@ class DeadlockError(ConcurrencyError):
 class TransactionError(ConcurrencyError):
     """A transaction is used outside of its legal life cycle."""
 
+    code = "TRANSACTION"
+
 
 class TwoPhaseCommitError(TransactionError):
     """A shard voted no during the prepare phase of a cross-shard commit.
@@ -176,6 +233,8 @@ class TwoPhaseCommitError(TransactionError):
     (prepared ones included), restoring each to its before-images, and then
     re-raises this error to the caller.
     """
+
+    code = "TWO_PHASE_COMMIT"
 
     def __init__(self, message: str, *, shard: int | None = None,
                  txn: int | None = None) -> None:
@@ -189,9 +248,46 @@ class TwoPhaseCommitError(TransactionError):
 class TransactionAborted(ConcurrencyError):
     """The transaction has been aborted and cannot issue further operations."""
 
+    code = "TRANSACTION_ABORTED"
+
 
 class UnknownModeError(ConcurrencyError):
     """An access mode is not part of the lock-mode table in use."""
+
+    code = "UNKNOWN_MODE"
+
+
+class ProtocolError(ConcurrencyError):
+    """A client/server API message is malformed or of an unknown type.
+
+    Covers the wire surface of :mod:`repro.api`: an undecodable frame, a
+    request type the dispatcher does not know, a reply that does not fit the
+    request.  Distinct from :class:`LanguageError` (method *bodies*) — this
+    is about the transport protocol.
+    """
+
+    code = "PROTOCOL"
+
+
+class OverloadedError(ConcurrencyError):
+    """Admission control rejected a new transaction (system overloaded).
+
+    Raised by :class:`repro.api.admission.AdmissionController` when the
+    in-flight cap is reached and the wait queue is full — or the request
+    timed out while queued.  Remote clients receive it as a typed
+    :class:`~repro.api.messages.Overloaded` reply instead of a hang; the
+    right reaction is to back off and retry.
+    """
+
+    code = "OVERLOADED"
+
+    def __init__(self, message: str, *, in_flight: int = 0,
+                 queued: int = 0) -> None:
+        super().__init__(message)
+        #: Transactions holding admission slots when the request was refused.
+        self.in_flight = in_flight
+        #: Requests waiting in the admission queue at that moment.
+        self.queued = queued
 
 
 # ---------------------------------------------------------------------------
@@ -208,6 +304,8 @@ class WALError(ReproError):
     another engine's state, recovery against the wrong shard layout.
     """
 
+    code = "WAL"
+
 
 # ---------------------------------------------------------------------------
 # Simulation
@@ -216,3 +314,56 @@ class WALError(ReproError):
 
 class SimulationError(ReproError):
     """Base class for workload-generation and simulation errors."""
+
+    code = "SIMULATION"
+
+
+# ---------------------------------------------------------------------------
+# The code registry
+# ---------------------------------------------------------------------------
+
+
+def _walk(cls: type[ReproError]):
+    yield cls
+    for subclass in cls.__subclasses__():
+        yield from _walk(subclass)
+
+
+def error_codes() -> dict[str, type[ReproError]]:
+    """The full ``code -> exception class`` table, collision-checked.
+
+    Built by walking the live class hierarchy, so an exception added without
+    its own ``code`` shows up as a collision with its parent here (and in the
+    test that calls this) instead of silently sharing the parent's identity
+    on the wire.
+    """
+    table: dict[str, type[ReproError]] = {}
+    for cls in _walk(ReproError):
+        code = cls.__dict__.get("code")
+        if code is None:
+            raise TypeError(f"{cls.__name__} does not define its own error "
+                            f"code (it would collide with {cls.code!r})")
+        if code in table:
+            raise TypeError(f"error code {code!r} is claimed by both "
+                            f"{table[code].__name__} and {cls.__name__}")
+        table[code] = cls
+    return table
+
+
+#: Lazily built cache for :func:`error_class_for` — the codes are frozen by
+#: contract, so one walk per process is enough; :func:`error_codes` itself
+#: stays uncached because the collision test relies on a fresh walk.
+_CODE_TABLE: dict[str, type[ReproError]] | None = None
+
+
+def error_class_for(code: str) -> type[ReproError]:
+    """The exception class a wire ``code`` names (:class:`ReproError` for
+    codes this build does not know — a newer peer may send one).
+
+    Called for every error reply a client decodes — on the deadlock-retry
+    hot path — so the registry walk is cached after the first call.
+    """
+    global _CODE_TABLE
+    if _CODE_TABLE is None:
+        _CODE_TABLE = error_codes()
+    return _CODE_TABLE.get(code, ReproError)

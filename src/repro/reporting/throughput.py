@@ -15,10 +15,12 @@ from repro.reporting.tables import format_records
 #: Column order of the throughput table (missing columns are dropped).
 #: ``durability`` names the logging mode and ``wal`` the log bytes paid per
 #: committed transaction — the cost column the WAL-overhead bench compares.
-_COLUMNS = ("protocol", "threads", "shards", "durability", "txns", "committed",
-            "xshard", "aborted", "retries", "deadlocks", "timeouts",
-            "commits_per_s", "abort_rate", "mean_wait_ms", "wal", "elapsed_s",
-            "serializable")
+#: ``transport`` names the path workers took to the engine (inproc/socket)
+#: and ``overloads`` counts typed admission-control rejections they rode out.
+_COLUMNS = ("protocol", "threads", "shards", "durability", "transport", "txns",
+            "committed", "xshard", "aborted", "retries", "deadlocks",
+            "timeouts", "overloads", "commits_per_s", "abort_rate",
+            "mean_wait_ms", "wal", "elapsed_s", "serializable")
 
 
 def format_throughput_table(results: Sequence[Any]) -> str:

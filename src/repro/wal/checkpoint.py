@@ -26,8 +26,12 @@ through the checkpoint.  Two orderings make that safe:
   restored values with themselves); the reverse order could drop redo
   records the old snapshot still needed.
 
-The decision log is never truncated (see
-:class:`~repro.wal.log.DecisionLog` for why that is both safe and cheap).
+The checkpoint pass also *compacts the decision log*: once the per-shard
+rewrites have run, any decided transaction that no shard WAL still mentions
+is invisible to recovery (its effects are entirely inside the snapshots), so
+its decision record is dead weight and is dropped.  The ordering that makes
+this safe against concurrent commits is documented at
+:meth:`_compact_decisions`.
 
 :class:`CheckpointManager` also owns the optional background cadence: a
 daemon thread calling :meth:`checkpoint` every ``interval`` seconds, started
@@ -45,7 +49,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.objects.oid import OID
 from repro.wal.durability import Durability
-from repro.wal.log import WriteAheadLog, fsync_directory
+from repro.wal.log import DecisionLog, WriteAheadLog, fsync_directory
 from repro.wal.records import encode_value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -113,16 +117,20 @@ class CheckpointManager:
     def __init__(self, store, router: "ShardRouter",
                  recovery: "ShardedRecoveryManager",
                  wals: Sequence[WriteAheadLog],
-                 durability: Durability) -> None:
+                 durability: Durability,
+                 decision_log: "DecisionLog | None" = None) -> None:
         self._store = store
         self._router = router
         self._recovery = recovery
         self._wals = tuple(wals)
         self._durability = durability
+        self._decision_log = decision_log
         self._checkpoint_mutex = threading.Lock()
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         self.checkpoints_taken = 0
+        #: Decision records dropped by compaction over this manager's life.
+        self.decisions_dropped = 0
 
     # -- taking checkpoints ------------------------------------------------------
 
@@ -136,6 +144,7 @@ class CheckpointManager:
         with self._checkpoint_mutex:
             results = [self._checkpoint_shard(shard_id)
                        for shard_id in range(len(self._wals))]
+            self._compact_decisions()
             self.checkpoints_taken += 1
             return results
 
@@ -156,6 +165,37 @@ class CheckpointManager:
             return ShardCheckpoint(shard_id=shard_id, instances=len(snapshot),
                                    active=tuple(sorted(keep)),
                                    records_kept=kept, records_dropped=dropped)
+
+    def _compact_decisions(self) -> None:
+        """Drop decisions no shard WAL still mentions (bounds the log).
+
+        The safety argument is pure ordering.  Step 1 snapshots the set of
+        *decided* transactions; step 2 scans every shard WAL for the
+        transactions still mentioned; only ``decided - mentioned`` is
+        dropped.  A transaction's WAL records (undo images, redo images,
+        PREPARED) are all appended *before* its decision exists, so:
+
+        * a transaction deciding after step 1 is not in ``decided`` — its
+          commit record survives no matter what the scan sees;
+        * a transaction in ``decided`` whose records are absent from every
+          WAL at step 2 can never gain records again (it stopped writing
+          when it decided, and the scan ran *after* the decision), so its
+          effects are fully inside the checkpoint snapshots — both the redo
+          a commit would need and the undo a presumed abort would need are
+          moot, and the decision is dead weight.
+        """
+        if self._decision_log is None:
+            return
+        decided = {record.txn for record in self._decision_log.decisions()}
+        if not decided:
+            return
+        mentioned: set[int] = set()
+        for wal in self._wals:
+            mentioned.update(record.txn for record in wal.records())
+        droppable = decided - mentioned
+        if droppable:
+            _kept, dropped = self._decision_log.compact(droppable)
+            self.decisions_dropped += dropped
 
     def _snapshot_shard(self, shard_id: int) -> list[tuple[OID, str, dict[str, Any]]]:
         """This shard's instances, via the store's native snapshot support.

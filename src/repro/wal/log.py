@@ -178,13 +178,18 @@ class DecisionLog:
     treats a missing record exactly like an abort record), so they ride the
     write-through flush only.
 
-    The log is append-only for the life of a directory: at ~60 bytes per
-    decision that is cheap bookkeeping, and never truncating it means a
-    commit record can never be lost to a checkpoint race.  (Compacting
-    decisions whose transactions no longer appear in any shard WAL would be
-    safe — presumed abort needs no abort records and a dropped *commit*
-    record only matters while redo images for it still exist — but the
-    bookkeeping is not worth the bytes yet.)
+    Between checkpoints the log is append-only; at checkpoint time the
+    :class:`~repro.wal.checkpoint.CheckpointManager` *compacts* it through
+    :meth:`compact`, dropping decisions for transactions no shard WAL still
+    mentions.  That is safe under presumed abort: abort records are
+    advisory anyway, and a dropped *commit* record only matters while undo
+    or redo images of its transaction still exist somewhere — once every
+    shard WAL has forgotten the transaction, its effects live entirely in
+    the checkpoint snapshots and recovery never asks about it again.  The
+    compaction race is closed by ordering, not locking: the droppable set
+    is computed from a decision snapshot taken *before* the shard WALs are
+    scanned, so a transaction deciding concurrently is simply not in the
+    snapshot and survives untouched.
     """
 
     def __init__(self, path: str | Path, *, sync_on_commit: bool = False) -> None:
@@ -202,6 +207,19 @@ class DecisionLog:
         """Every decision durably recorded, in decision order."""
         return [record for record in self._wal.records()
                 if isinstance(record, DecisionRecord)]
+
+    def compact(self, drop: "set[int] | frozenset[int]") -> tuple[int, int]:
+        """Atomically drop the decisions of the given transactions.
+
+        Returns ``(kept, dropped)`` record counts.  The caller is
+        responsible for ``drop`` being safe — i.e. no shard WAL still
+        mentions any of these transactions (see
+        :class:`~repro.wal.checkpoint.CheckpointManager`).  Decisions
+        appended concurrently with the rewrite are preserved: the rewrite
+        re-reads the file under the append mutex and keeps every record
+        whose transaction is not explicitly named.
+        """
+        return self._wal.rewrite(lambda record: record.txn not in drop)
 
     @staticmethod
     def outcomes_at(path: str | Path) -> dict[int, str]:

@@ -49,17 +49,32 @@ _OID_TAG = "$oid"
 
 
 def encode_value(value: Any) -> Any:
-    """A JSON-representable form of one field value (OIDs become tagged pairs)."""
+    """A JSON-representable form of one value, walking containers.
+
+    OIDs become ``{"$oid": [class, number]}`` tagged pairs; tuples become
+    lists; scalars pass through.  This is the one tagged-OID codec of the
+    repository — the client API (:mod:`repro.api.messages`) shares it, so
+    log files and wire frames can never drift apart on the encoding.
+    """
     if isinstance(value, OID):
         return {_OID_TAG: [value.class_name, value.number]}
+    if isinstance(value, Mapping):
+        return {name: encode_value(item) for name, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
     return value
 
 
 def decode_value(value: Any) -> Any:
-    """Invert :func:`encode_value`."""
-    if isinstance(value, dict) and _OID_TAG in value:
-        class_name, number = value[_OID_TAG]
-        return OID(class_name=class_name, number=number)
+    """Invert :func:`encode_value` (lists stay lists; typed consumers that
+    want tuples restore them at their boundary)."""
+    if isinstance(value, Mapping):
+        if set(value.keys()) == {_OID_TAG}:
+            class_name, number = value[_OID_TAG]
+            return OID(class_name=class_name, number=number)
+        return {name: decode_value(item) for name, item in value.items()}
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
     return value
 
 

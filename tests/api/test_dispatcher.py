@@ -1,0 +1,177 @@
+"""Dispatcher + in-process connection: the command layer over a live engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    Abort,
+    AbortReply,
+    Begin,
+    BeginReply,
+    Call,
+    Commit,
+    CommitReply,
+    Dispatcher,
+    ErrorReply,
+    InProcessConnection,
+    TransactionRunner,
+)
+from repro.api.messages import request_from_wire, message_to_wire
+from repro.engine import Engine
+from repro.errors import (
+    LockTimeoutError,
+    TransactionError,
+    UnknownMethodError,
+)
+from repro.objects import ObjectStore
+from repro.txn.protocols import TAVProtocol
+
+
+@pytest.fixture
+def account_store(banking):
+    store = ObjectStore(banking)
+    store.create("Account", balance=100.0, owner="ada", active=True)
+    store.create("Account", balance=100.0, owner="grace", active=True)
+    return store
+
+
+@pytest.fixture
+def engine(banking_compiled, account_store):
+    with Engine(TAVProtocol(banking_compiled, account_store)) as engine:
+        yield engine
+
+
+def test_full_transaction_through_typed_messages(engine, account_store):
+    oid = account_store.extent("Account")[0]
+    dispatcher = Dispatcher(engine)
+    begun = dispatcher.dispatch(Begin(label="deposit"))
+    assert isinstance(begun, BeginReply)
+    result = dispatcher.dispatch(Call(txn=begun.txn, oid=oid,
+                                      method="deposit", arguments=(25.0,)))
+    assert result.results  # the deposit ran
+    committed = dispatcher.dispatch(Commit(txn=begun.txn))
+    assert isinstance(committed, CommitReply)
+    assert account_store.read_field(oid, "balance") == 125.0
+    assert engine.commit_log[-1][1] == "deposit"
+
+
+def test_abort_restores_before_images(engine, account_store):
+    oid = account_store.extent("Account")[0]
+    dispatcher = Dispatcher(engine)
+    begun = dispatcher.dispatch(Begin())
+    dispatcher.dispatch(Call(txn=begun.txn, oid=oid, method="deposit",
+                             arguments=(10.0,)))
+    assert account_store.read_field(oid, "balance") == 110.0
+    aborted = dispatcher.dispatch(Abort(txn=begun.txn))
+    assert isinstance(aborted, AbortReply)
+    assert account_store.read_field(oid, "balance") == 100.0
+
+
+def test_unknown_transactions_answer_with_the_transaction_code(engine):
+    dispatcher = Dispatcher(engine)
+    reply = dispatcher.dispatch(Commit(txn=424242))
+    assert isinstance(reply, ErrorReply)
+    assert reply.code == TransactionError.code
+
+
+def test_finished_transactions_cannot_be_driven_again(engine, account_store):
+    dispatcher = Dispatcher(engine)
+    begun = dispatcher.dispatch(Begin())
+    dispatcher.dispatch(Commit(txn=begun.txn))
+    again = dispatcher.dispatch(Commit(txn=begun.txn))
+    assert isinstance(again, ErrorReply)
+    assert again.code == TransactionError.code
+
+
+def test_engine_errors_become_coded_replies(engine, account_store):
+    oid = account_store.extent("Account")[0]
+    dispatcher = Dispatcher(engine)
+    begun = dispatcher.dispatch(Begin())
+    reply = dispatcher.dispatch(Call(txn=begun.txn, oid=oid,
+                                     method="no_such_method"))
+    assert isinstance(reply, ErrorReply)
+    assert reply.code == UnknownMethodError.code
+    dispatcher.dispatch(Abort(txn=begun.txn))
+
+
+def test_lock_timeout_travels_typed_and_the_client_owns_the_abort(
+        banking_compiled, account_store):
+    oid = account_store.extent("Account")[0]
+    with Engine(TAVProtocol(banking_compiled, account_store),
+                default_lock_timeout=0.05) as engine:
+        connection = InProcessConnection(engine)
+        holder = connection.begin()
+        holder.call(oid, "deposit", 10.0)
+        contender = connection.begin()
+        with pytest.raises(LockTimeoutError):
+            contender.call(oid, "deposit", 10.0)
+        # The dispatcher did NOT abort for us — the transaction is still
+        # ours to finish, exactly like the in-process session contract.
+        contender.abort()
+        holder.commit()
+        assert account_store.read_field(oid, "balance") == 110.0
+
+
+def test_transaction_runner_commits_through_the_connection(engine, account_store):
+    source, destination = account_store.extent("Account")
+    runner = TransactionRunner(InProcessConnection(engine))
+
+    def transfer(session):
+        session.call(source, "deposit", -40.0)
+        session.call(destination, "deposit", 40.0)
+
+    runner.run(transfer, label="wire-transfer")
+    assert account_store.read_field(source, "balance") == 60.0
+    assert account_store.read_field(destination, "balance") == 140.0
+    assert engine.commit_log[-1][1] == "wire-transfer"
+
+
+def test_client_session_context_manager_mirrors_session(engine, account_store):
+    oid = account_store.extent("Account")[0]
+    connection = InProcessConnection(engine)
+    with connection.begin() as session:
+        session.call(oid, "deposit", 5.0)
+    assert account_store.read_field(oid, "balance") == 105.0
+    with pytest.raises(RuntimeError):
+        with connection.begin() as session:
+            session.call(oid, "deposit", 5.0)
+            raise RuntimeError("boom")
+    assert account_store.read_field(oid, "balance") == 105.0
+
+
+def test_control_plane_describe_commit_log_store_state(engine, account_store):
+    connection = InProcessConnection(engine)
+    info = connection.describe()
+    assert info["protocol"] == "tav"
+    assert info["shards"] == 1
+    assert info["durability"] == "off"
+    assert info["admission"] is None
+    assert connection.ping()
+
+    oid = account_store.extent("Account")[0]
+    with connection.begin(label="one") as session:
+        session.call(oid, "deposit", 1.0)
+    assert connection.commit_log()[-1][1] == "one"
+    assert connection.store_state()[str(oid)]["balance"] == 101.0
+    assert connection.metrics()["metrics"]["committed"] >= 1
+
+
+def test_commands_built_from_wire_documents_drive_the_engine(engine,
+                                                             account_store):
+    """The full serialisation loop without a socket: dict in, dict out."""
+    oid = account_store.extent("Account")[0]
+    dispatcher = Dispatcher(engine)
+
+    def over_the_wire(request):
+        rebuilt = request_from_wire(message_to_wire(request))
+        return message_to_wire(dispatcher.dispatch(rebuilt))
+
+    begun = over_the_wire(Begin(label="w"))
+    assert begun["type"] == "begin_reply"
+    result = over_the_wire(Call(txn=begun["txn"], oid=oid, method="deposit",
+                                arguments=(2.0,)))
+    assert result["type"] == "result"
+    committed = over_the_wire(Commit(txn=begun["txn"]))
+    assert committed["type"] == "committed"
+    assert account_store.read_field(oid, "balance") == 102.0

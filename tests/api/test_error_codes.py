@@ -1,0 +1,83 @@
+"""The stable error-code table: unique, complete, and frozen.
+
+The codes are part of the wire protocol (:mod:`repro.api` serialises an
+exception as its code); renaming or reusing one silently breaks remote
+clients' exception mapping.  The expected table below is therefore *frozen*:
+adding a class means adding a line here, changing an existing line is a
+wire-compatibility break and should never happen casually.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+#: The released code of every public exception class.  Append-only.
+FROZEN_CODES = {
+    "ReproError": "REPRO",
+    "LanguageError": "LANGUAGE",
+    "LexError": "LANGUAGE_LEX",
+    "ParseError": "LANGUAGE_PARSE",
+    "SchemaError": "SCHEMA",
+    "DuplicateClassError": "SCHEMA_DUPLICATE_CLASS",
+    "UnknownClassError": "SCHEMA_UNKNOWN_CLASS",
+    "DuplicateFieldError": "SCHEMA_DUPLICATE_FIELD",
+    "DuplicateMethodError": "SCHEMA_DUPLICATE_METHOD",
+    "UnknownFieldError": "SCHEMA_UNKNOWN_FIELD",
+    "UnknownMethodError": "SCHEMA_UNKNOWN_METHOD",
+    "InheritanceError": "SCHEMA_INHERITANCE",
+    "AnalysisError": "ANALYSIS",
+    "UnresolvedSelfCallError": "ANALYSIS_UNRESOLVED_SELF",
+    "UnresolvedSuperCallError": "ANALYSIS_UNRESOLVED_SUPER",
+    "StoreError": "STORE",
+    "UnknownInstanceError": "STORE_UNKNOWN_INSTANCE",
+    "TypeMismatchError": "STORE_TYPE_MISMATCH",
+    "InterpreterError": "INTERPRETER",
+    "ConcurrencyError": "CONCURRENCY",
+    "LockConflictError": "LOCK_CONFLICT",
+    "LockTimeoutError": "LOCK_TIMEOUT",
+    "DeadlockError": "DEADLOCK",
+    "TransactionError": "TRANSACTION",
+    "TwoPhaseCommitError": "TWO_PHASE_COMMIT",
+    "TransactionAborted": "TRANSACTION_ABORTED",
+    "UnknownModeError": "UNKNOWN_MODE",
+    "ProtocolError": "PROTOCOL",
+    "OverloadedError": "OVERLOADED",
+    "WALError": "WAL",
+    "SimulationError": "SIMULATION",
+}
+
+
+def test_every_exception_has_its_own_code_and_none_collide():
+    table = errors.error_codes()  # raises on any collision or missing code
+    assert len(table) == len(FROZEN_CODES)
+
+
+def test_the_code_table_is_exactly_the_frozen_one():
+    table = errors.error_codes()
+    actual = {cls.__name__: code for code, cls in table.items()}
+    assert actual == FROZEN_CODES
+
+
+def test_codes_resolve_back_to_their_classes():
+    assert errors.error_class_for("DEADLOCK") is errors.DeadlockError
+    assert errors.error_class_for("OVERLOADED") is errors.OverloadedError
+    # Unknown codes (a newer peer) degrade to the base class, not a crash.
+    assert errors.error_class_for("FROM_THE_FUTURE") is errors.ReproError
+
+
+def test_a_subclass_without_its_own_code_is_rejected():
+    import gc
+
+    class Sneaky(errors.SchemaError):  # noqa: F841 - exists to pollute the walk
+        pass
+
+    try:
+        with pytest.raises(TypeError, match="does not define its own error code"):
+            errors.error_codes()
+    finally:
+        # __subclasses__ holds the class only weakly, but do not leave its
+        # collection to chance — later tests walk the same hierarchy.
+        del Sneaky
+        gc.collect()

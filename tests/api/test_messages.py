@@ -1,0 +1,178 @@
+"""Message layer: wire round trips, operation mapping, error rebuilding."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.messages import (
+    Begin,
+    BeginReply,
+    Call,
+    CallDomain,
+    CallExtent,
+    CallSome,
+    Commit,
+    ErrorReply,
+    InfoReply,
+    Overloaded,
+    ResultReply,
+    exception_from_reply,
+    message_to_wire,
+    operation_from_request,
+    raise_if_error,
+    reply_for_error,
+    reply_from_wire,
+    request_for_operation,
+    request_from_wire,
+)
+from repro.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    OverloadedError,
+    ProtocolError,
+    ReproError,
+    UnknownMethodError,
+)
+from repro.objects.oid import OID
+from repro.txn.operations import (
+    DomainAllCall,
+    DomainSomeCall,
+    ExtentCall,
+    MethodCall,
+)
+
+A1 = OID(class_name="Account", number=1)
+A2 = OID(class_name="Account", number=2)
+
+
+def roundtrip_request(request):
+    document = json.loads(json.dumps(message_to_wire(request)))
+    return request_from_wire(document)
+
+
+def roundtrip_reply(reply):
+    document = json.loads(json.dumps(message_to_wire(reply)))
+    return reply_from_wire(document)
+
+
+@pytest.mark.parametrize("request_", [
+    Begin(label="transfer", origin=7),
+    Begin(),
+    Call(txn=3, oid=A1, method="deposit", arguments=(25.0,)),
+    Call(txn=3, oid=A1, method="audit", as_class="Account"),
+    CallExtent(txn=4, class_name="Account", method="audit"),
+    CallSome(txn=5, class_name="Account", method="deposit",
+             oids=(A1, A2), arguments=(1.5,)),
+    CallDomain(txn=6, class_name="Account", method="audit", arguments=("x",)),
+    Commit(txn=7, label="t"),
+])
+def test_requests_survive_a_json_round_trip(request_):
+    assert roundtrip_request(request_) == request_
+
+
+@pytest.mark.parametrize("reply", [
+    BeginReply(txn=9),
+    ResultReply(txn=9, results=(100.0, None, A2, "ok", True)),
+    ErrorReply(code="DEADLOCK", message="victim", detail={"victim": 9}),
+    Overloaded(message="full", in_flight=8, queued=4),
+    InfoReply(payload={"protocol": "tav", "shards": 4}),
+])
+def test_replies_survive_a_json_round_trip(reply):
+    assert roundtrip_reply(reply) == reply
+
+
+def test_oids_nested_in_arguments_and_results_round_trip():
+    request = Call(txn=1, oid=A1, method="link", arguments=(A2, [A1, 2], {"to": A2}))
+    rebuilt = roundtrip_request(request)
+    assert rebuilt.arguments[0] == A2
+    assert rebuilt.arguments[1] == [A1, 2]
+    assert rebuilt.arguments[2] == {"to": A2}
+
+
+@pytest.mark.parametrize("operation", [
+    MethodCall(oid=A1, method="deposit", arguments=(5.0,), as_class="Account"),
+    ExtentCall(class_name="Account", method="audit"),
+    DomainSomeCall(class_name="Account", method="deposit", oids=(A1, A2),
+                   arguments=(1.0,)),
+    DomainAllCall(class_name="Account", method="audit"),
+])
+def test_operations_map_to_requests_and_back(operation):
+    request = request_for_operation(42, operation)
+    assert request.txn == 42
+    assert operation_from_request(request) == operation
+
+
+def test_operation_mapping_survives_the_wire_too():
+    operation = DomainSomeCall(class_name="Account", method="deposit",
+                               oids=(A1,), arguments=(3.0,))
+    request = roundtrip_request(request_for_operation(8, operation))
+    assert operation_from_request(request) == operation
+
+
+def test_typed_exceptions_round_trip_with_attributes():
+    error = DeadlockError("chosen as victim", victim=12, cycle=(12, 7),
+                          waited=0.25)
+    rebuilt = exception_from_reply(roundtrip_reply(reply_for_error(error)))
+    assert isinstance(rebuilt, DeadlockError)
+    assert str(rebuilt) == "chosen as victim"
+    assert rebuilt.victim == 12
+    assert rebuilt.cycle == (12, 7)
+    assert rebuilt.waited == 0.25
+
+    timeout = LockTimeoutError("expired", holders=(3, 4), waited=1.5)
+    rebuilt = exception_from_reply(roundtrip_reply(reply_for_error(timeout)))
+    assert isinstance(rebuilt, LockTimeoutError)
+    assert rebuilt.holders == (3, 4)
+    assert rebuilt.waited == 1.5
+
+
+def test_none_valued_attributes_survive_as_none_not_as_absence():
+    error = DeadlockError("victim unknown")  # victim=None, cycle=(), waited=0.0
+    rebuilt = exception_from_reply(roundtrip_reply(reply_for_error(error)))
+    assert rebuilt.victim is None  # an attribute that IS None, not missing
+    assert rebuilt.cycle == ()
+    assert rebuilt.waited == 0.0
+
+
+def test_overloaded_is_its_own_reply_type_and_rebuilds_typed():
+    error = OverloadedError("try later", in_flight=8, queued=4)
+    reply = reply_for_error(error)
+    assert isinstance(reply, Overloaded)
+    rebuilt = exception_from_reply(roundtrip_reply(reply))
+    assert isinstance(rebuilt, OverloadedError)
+    assert rebuilt.in_flight == 8
+    assert rebuilt.queued == 4
+
+
+def test_unknown_codes_degrade_to_the_base_class():
+    rebuilt = exception_from_reply(ErrorReply(code="FROM_THE_FUTURE",
+                                              message="??"))
+    assert type(rebuilt) is ReproError
+    assert str(rebuilt) == "??"
+
+
+def test_raise_if_error_raises_exactly_the_coded_class():
+    with pytest.raises(UnknownMethodError):
+        raise_if_error(reply_for_error(UnknownMethodError("no such method")))
+    reply = BeginReply(txn=1)
+    assert raise_if_error(reply) is reply
+
+
+@pytest.mark.parametrize("document", [
+    "not an object",
+    {"type": "no_such_message"},
+    {"type": "call", "bogus_field": 1},
+    {"type": "call"},  # missing required fields
+])
+def test_malformed_wire_requests_raise_protocol_errors(document):
+    with pytest.raises(ProtocolError):
+        request_from_wire(document)
+
+
+def test_request_and_reply_namespaces_are_separate():
+    with pytest.raises(ProtocolError):
+        reply_from_wire({"type": "begin"})
+    with pytest.raises(ProtocolError):
+        request_from_wire({"type": "begin_reply", "txn": 1})

@@ -1,0 +1,192 @@
+"""The socket front end: framing, cleanup, shutdown, multi-process runs."""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.api.client import SocketConnection, connect, parse_address
+from repro.api.messages import Begin, Commit
+from repro.api.server import ApiServer, spawn
+from repro.engine import Engine, ThroughputHarness
+from repro.errors import DeadlockError, TransactionError, UnknownMethodError
+from repro.objects import ObjectStore
+from repro.txn.protocols import TAVProtocol
+
+
+@pytest.fixture
+def served(banking, banking_compiled):
+    """A server over a two-account store, with its engine and store."""
+    store = ObjectStore(banking)
+    store.create("Account", balance=100.0, owner="ada", active=True)
+    store.create("Account", balance=100.0, owner="grace", active=True)
+    with Engine(TAVProtocol(banking_compiled, store),
+                detection_interval=0.005) as engine:
+        with ApiServer(engine) as server:
+            yield server, engine, store
+
+
+def test_parse_address_accepts_pairs_and_strings():
+    assert parse_address(("127.0.0.1", 80)) == ("127.0.0.1", 80)
+    assert parse_address("127.0.0.1:7453") == ("127.0.0.1", 7453)
+    with pytest.raises(ValueError):
+        parse_address("no-port")
+
+
+def test_transactions_commit_over_a_real_socket(served):
+    server, engine, store = served
+    oid = store.extent("Account")[0]
+    with connect(server.address) as connection:
+        with connection.begin(label="socket-deposit") as session:
+            session.call(oid, "deposit", 25.0)
+        assert store.read_field(oid, "balance") == 125.0
+        assert connection.commit_log()[-1][1] == "socket-deposit"
+
+
+def test_typed_errors_cross_the_socket(served):
+    server, engine, store = served
+    oid = store.extent("Account")[0]
+    with connect(server.address) as connection:
+        session = connection.begin()
+        with pytest.raises(UnknownMethodError):
+            session.call(oid, "no_such_method")
+        session.abort()
+        with pytest.raises(TransactionError):
+            session.abort()
+
+
+def test_a_vanished_client_has_its_transactions_aborted(served):
+    server, engine, store = served
+    oid = store.extent("Account")[0]
+    doomed = connect(server.address)
+    session = doomed.begin(label="zombie")
+    session.call(oid, "deposit", -50.0)
+    assert store.read_field(oid, "balance") == 50.0  # dirty, locked
+    doomed.close()  # no commit, no abort — just gone
+
+    with connect(server.address) as watcher:
+        # The worker's cleanup aborts the zombie, restoring the balance and
+        # releasing its locks — a fresh writer must get through promptly.
+        def restored() -> bool:
+            return watcher.store_state()[str(oid)]["balance"] == 100.0
+
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and not restored():
+            time.sleep(0.01)
+        assert restored()
+        with watcher.begin() as writer:
+            writer.call(oid, "deposit", 5.0)
+        assert store.read_field(oid, "balance") == 105.0
+
+
+def test_two_socket_clients_deadlock_and_one_is_a_typed_victim(served):
+    server, engine, store = served
+    first_oid, second_oid = store.extent("Account")
+    barrier = threading.Barrier(2, timeout=5.0)
+    outcomes: list[str] = []
+    mutex = threading.Lock()
+
+    def transfer(src, dst):
+        connection = connect(server.address)
+        try:
+            session = connection.begin()
+            session.call(src, "deposit", -1.0)
+            try:
+                barrier.wait()
+            except threading.BrokenBarrierError:
+                pass
+            try:
+                session.call(dst, "deposit", 1.0)
+                session.commit()
+                with mutex:
+                    outcomes.append("committed")
+            except DeadlockError:
+                session.abort()
+                with mutex:
+                    outcomes.append("victim")
+        finally:
+            connection.close()
+
+    threads = [threading.Thread(target=transfer, args=(first_oid, second_oid)),
+               threading.Thread(target=transfer, args=(second_oid, first_oid))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+    assert sorted(outcomes) == ["committed", "victim"]
+    total = sum(store.read_field(oid, "balance")
+                for oid in store.extent("Account"))
+    assert total == 200.0
+
+
+def test_shutdown_is_clean_with_clients_still_connected(banking,
+                                                        banking_compiled):
+    store = ObjectStore(banking)
+    store.create("Account", balance=10.0, owner="x", active=True)
+    with Engine(TAVProtocol(banking_compiled, store)) as engine:
+        server = ApiServer(engine).start()
+        connection = connect(server.address)
+        assert connection.ping()
+        started = time.monotonic()
+        server.shutdown()          # must unblock the worker and join it
+        assert time.monotonic() - started < 5.0
+        server.shutdown()          # idempotent
+        connection.close()
+
+
+def test_sharing_a_socket_connection_serialises_but_does_not_corrupt(served):
+    server, engine, store = served
+    oid = store.extent("Account")[0]
+    with connect(server.address) as connection:
+        results: list[int] = []
+
+        def worker() -> None:
+            reply = connection.request(Begin())
+            connection.request(Commit(txn=reply.txn))
+            results.append(reply.txn)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert len(set(results)) == 4  # every pair stayed matched
+
+
+# ---------------------------------------------------------------------------
+# Across OS processes
+# ---------------------------------------------------------------------------
+
+
+def test_workload_over_two_os_processes_verifies_serializable():
+    """The acceptance run: a spawned server process + this client process
+    drive a sharded workload over sockets, and the sequential-replay
+    serializability check passes against the server's reported state."""
+    harness = ThroughputHarness(instances_per_class=4)
+    result = harness.run(TAVProtocol, threads=4, transactions=40, shards=2,
+                         transport="socket", default_lock_timeout=10.0)
+    assert result.transport == "socket"
+    assert result.shards == 2
+    assert result.serializable is True
+    assert result.failed_labels == ()
+    assert result.errors == ()
+    assert result.metrics.committed == 40
+    assert set(result.commit_labels) == {f"txn-{i}" for i in range(40)}
+
+
+def test_spawned_server_shuts_down_on_sigterm(tmp_path):
+    process, address = spawn(protocol="tav", shards=1, instances=2)
+    try:
+        with connect(address) as connection:
+            assert connection.ping()
+            assert connection.describe()["protocol"] == "tav"
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=15.0) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()

@@ -1,0 +1,103 @@
+"""Decision-log compaction: the coordinator's log stops growing at checkpoints.
+
+Before this PR the decision log was append-only for the life of a
+durability directory.  Checkpoints now drop every decision whose transaction
+no shard WAL still mentions — safe under presumed abort, because such a
+transaction's effects live entirely inside the checkpoint snapshots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Engine
+from repro.sharding import ClassShardRouter, ShardedObjectStore
+from repro.txn.protocols import TAVProtocol
+from repro.wal import Durability, RecoveryRunner
+from repro.wal.log import DecisionLog
+
+
+@pytest.fixture
+def durable_engine(banking, banking_compiled, tmp_path):
+    router = ClassShardRouter(2, {"Account": 0, "SavingsAccount": 1,
+                                  "CheckingAccount": 0})
+    store = ShardedObjectStore(banking, router)
+    a = store.create("Account", balance=500.0, owner="ada", active=True)
+    b = store.create("SavingsAccount", balance=500.0, owner="bob", active=True,
+                     rate=0.01)
+    durability = Durability.lazy(tmp_path / "wal")
+    engine = Engine(TAVProtocol(banking_compiled, store), durability=durability)
+    yield engine, store, router, durability, a.oid, b.oid
+    engine.close()
+
+
+def decisions_on_disk(durability) -> list:
+    return [record
+            for record in DecisionLog.outcomes_at(durability.decisions_path).items()]
+
+
+def run_transfers(engine, a, b, count):
+    for index in range(count):
+        session = engine.begin(label=f"transfer-{index}")
+        session.call(a, "deposit", -1.0)
+        session.call(b, "deposit", 1.0)
+        session.commit()
+
+
+def test_the_log_stops_growing_across_checkpoint_cycles(banking, durable_engine):
+    engine, store, router, durability, a, b = durable_engine
+    sizes = []
+    for _cycle in range(3):
+        run_transfers(engine, a, b, 20)
+        assert len(decisions_on_disk(durability)) >= 20  # grew within the cycle
+        engine.checkpoint()
+        sizes.append(len(decisions_on_disk(durability)))
+    # Quiesced at every checkpoint: every decided transaction's records were
+    # dropped from the shard WALs by that same checkpoint, so every decision
+    # is compacted away — the log returns to empty instead of accumulating.
+    assert sizes == [0, 0, 0]
+    assert engine.checkpointer.decisions_dropped >= 60
+
+
+def test_decisions_of_transactions_still_in_some_wal_survive(banking,
+                                                             durable_engine):
+    engine, store, router, durability, a, b = durable_engine
+    # An in-flight transaction pins its shard's WAL records across the
+    # checkpoint; committed-and-checkpointed neighbours are compacted.
+    run_transfers(engine, a, b, 5)
+    straggler = engine.begin(label="straggler")
+    straggler.call(a, "deposit", -7.0)
+    engine.checkpoint()
+    assert len(decisions_on_disk(durability)) == 0  # the 5 were compacted
+
+    straggler.call(b, "deposit", 7.0)
+    straggler.commit()
+    # Its decision exists and its undo/redo records are still in the WALs
+    # (no checkpoint since) — compaction at the *next* checkpoint must keep
+    # exactly nothing less than recovery needs right now:
+    outcomes = DecisionLog.outcomes_at(durability.decisions_path)
+    assert outcomes[straggler.txn_id] == "commit"
+    engine.checkpoint()
+    assert len(decisions_on_disk(durability)) == 0  # now fully absorbed
+
+
+def test_recovery_after_compaction_reproduces_the_committed_state(
+        banking, durable_engine):
+    engine, store, router, durability, a, b = durable_engine
+    run_transfers(engine, a, b, 10)
+    engine.checkpoint()  # compacts every decision
+    # More work after the checkpoint, left *uncheckpointed*: recovery must
+    # redo it from WAL + (compacted) decision log.
+    session = engine.begin(label="after-checkpoint")
+    session.call(a, "deposit", -25.0)
+    session.call(b, "deposit", 25.0)
+    session.commit()
+    # And one in-flight transaction that must be presumed aborted.
+    doomed = engine.begin(label="doomed")
+    doomed.call(a, "deposit", -999.0)
+    engine.close()  # crash
+
+    result = RecoveryRunner(durability, banking, router=router).recover()
+    assert result.store.read_field(a, "balance") == 500.0 - 10.0 - 25.0
+    assert result.store.read_field(b, "balance") == 500.0 + 10.0 + 25.0
+    assert RecoveryRunner.presumed_abort_violations(result) == []

@@ -1,0 +1,101 @@
+"""The harness drives workloads through Connections, on either transport."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import AdmissionController
+from repro.engine import ThroughputHarness
+from repro.reporting import format_throughput_table
+from repro.txn.protocols import TAVProtocol
+
+
+def test_inproc_transport_is_the_default_and_verifies():
+    harness = ThroughputHarness()
+    result = harness.run(TAVProtocol, threads=4, transactions=30,
+                         default_lock_timeout=10.0)
+    assert result.transport == "inproc"
+    assert result.serializable is True
+    assert result.metrics.committed == 30
+
+
+def test_inproc_and_socket_reach_the_same_serialisable_states():
+    harness = ThroughputHarness(instances_per_class=4)
+    inproc = harness.run(TAVProtocol, threads=4, transactions=30,
+                         transport="inproc", default_lock_timeout=10.0)
+    socket = harness.run(TAVProtocol, threads=4, transactions=30,
+                         transport="socket", default_lock_timeout=10.0)
+    assert inproc.serializable is True
+    assert socket.serializable is True
+    # Same committed work either way (the interleavings may differ — both
+    # must just be *some* serialisable order of the same 30 transactions).
+    assert inproc.metrics.committed == socket.metrics.committed == 30
+    assert set(inproc.commit_labels) == set(socket.commit_labels)
+
+
+def test_admission_limits_apply_to_inproc_runs():
+    harness = ThroughputHarness()
+    result = harness.run(TAVProtocol, threads=6, transactions=30,
+                         admission={"max_in_flight": 2, "max_queue": 1,
+                                    "queue_timeout": 0.01},
+                         default_lock_timeout=10.0)
+    assert result.serializable is True
+    assert result.metrics.committed == 30  # overloads retried, none lost
+
+
+def test_admission_controller_objects_are_accepted_inproc():
+    harness = ThroughputHarness()
+    controller = AdmissionController(2, max_queue=8, queue_timeout=1.0)
+    result = harness.run(TAVProtocol, threads=4, transactions=20,
+                         admission=controller, default_lock_timeout=10.0)
+    assert result.serializable is True
+    assert controller.admitted_total >= 20
+
+
+def test_the_table_reports_transport_and_overloads():
+    harness = ThroughputHarness()
+    result = harness.run(TAVProtocol, threads=2, transactions=10,
+                         default_lock_timeout=10.0)
+    table = format_throughput_table([result])
+    assert "transport" in table
+    assert "inproc" in table
+    assert "overloads" in table
+
+
+def test_unknown_transports_are_rejected():
+    harness = ThroughputHarness()
+    with pytest.raises(ValueError, match="unknown transport"):
+        harness.run(TAVProtocol, transactions=1, transport="carrier-pigeon")
+
+
+def test_a_server_with_prior_traffic_is_refused_for_verification():
+    """Verification against a mutated store would report a bogus violation;
+    the harness must refuse up front (before driving more traffic at it)."""
+    from repro.api.server import ApiServer
+    from repro.engine.engine import Engine
+
+    harness = ThroughputHarness(instances_per_class=4)
+    store = harness.populate()
+    with Engine(TAVProtocol(harness._compiled, store)) as engine:
+        # Prior traffic: one committed deposit makes the store non-fresh.
+        with engine.begin() as session:
+            session.call(store.extent("Account")[0], "deposit", 1.0)
+        with ApiServer(engine) as server:
+            host, port = server.address
+            with pytest.raises(ValueError, match="prior traffic"):
+                harness.run(TAVProtocol, threads=2, transactions=4,
+                            transport="socket", address=f"{host}:{port}")
+            # Without verification the same server is measurable, and the
+            # metrics are this run's delta, not the server's lifetime.
+            result = harness.run(TAVProtocol, threads=2, transactions=4,
+                                 transport="socket",
+                                 address=f"{host}:{port}", verify=False)
+            assert result.serializable is None
+            assert result.metrics.committed == 4
+
+
+def test_engine_options_cannot_cross_the_socket_boundary():
+    harness = ThroughputHarness()
+    with pytest.raises(ValueError, match="cannot cross the socket boundary"):
+        harness.run(TAVProtocol, transactions=1, transport="socket",
+                    detection_interval=0.001)
