@@ -1,0 +1,148 @@
+"""Distributed banking: the engine plus N shard worker *processes*.
+
+Three acts:
+
+1. ``Engine(shard_workers=2)`` spawns two ``python -m repro.sharding.worker``
+   subprocesses — each owns one shard's store partition, lock manager, undo
+   log and write-ahead log — and four teller threads in this process run
+   cross-shard transfers through it.  Locking, execution and two-phase
+   commit all travel over the participant RPC layer; deadlock victims are
+   found by unioning waits-for graphs *across processes*.
+2. One worker is killed in the in-doubt window: it votes yes (its PREPARED
+   marker and redo images are durably on disk), then dies before phase two
+   can reach it.  The commit stands — the coordinator's decision log made
+   the outcome durable first — and the engine keeps serving the surviving
+   shard.
+3. The dead worker is restarted over the same durability directory and
+   recovers *itself*: checkpoint, WAL replay, and the in-doubt transaction
+   resolved against the coordinator's decision log (commit record → redo;
+   none → presumed abort).  The audit then sums every account across both
+   partitions: the money is conserved through crash and recovery.
+
+Run with::
+
+    python examples/distributed_banking.py
+"""
+
+import random
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.core.compiler import compile_schema
+from repro.engine import Engine
+from repro.errors import DeadlockError, ParticipantUnavailable
+from repro.schema import banking_schema
+from repro.sharding.router import HashShardRouter
+from repro.sharding.rpc import RemoteShardClient
+from repro.sharding.store import ShardedObjectStore
+from repro.sharding.worker import spawn as spawn_worker
+from repro.sim.workload import populate_store
+from repro.txn.protocols import TAVProtocol
+from repro.wal import Durability
+
+TELLERS = 4
+TRANSFERS_PER_TELLER = 15
+INSTANCES_PER_CLASS = 4
+SEED = 11
+
+
+def total_balance(snapshots) -> float:
+    return sum(values["balance"]
+               for snapshot in snapshots
+               for values in snapshot.values()
+               if "balance" in values)
+
+
+def main() -> None:
+    schema = banking_schema()
+    compiled = compile_schema(schema)
+    router = HashShardRouter(2)
+    mirror = populate_store(schema, INSTANCES_PER_CLASS, seed=SEED,
+                            store=ShardedObjectStore(schema, router))
+    accounts = list(mirror.extent("Account"))
+    wal_dir = Path(tempfile.mkdtemp(prefix="repro-distributed-"))
+
+    print("act 1: spawning one worker process per shard ...")
+    engine = Engine(TAVProtocol(compiled, mirror), shard_workers=2,
+                    default_lock_timeout=5.0,
+                    durability=Durability.fsynced(wal_dir),
+                    worker_options={"schema": "banking",
+                                    "instances": INSTANCES_PER_CLASS,
+                                    "populate_seed": SEED})
+    before = total_balance([engine.store_state()])
+    print(f"  {len(accounts)} accounts across 2 worker processes hold "
+          f"{before:.2f} in total")
+
+    deadlocks = 0
+
+    def teller(index: int) -> None:
+        nonlocal deadlocks
+        rng = random.Random(1000 + index)
+        for _ in range(TRANSFERS_PER_TELLER):
+            debit, credit = rng.sample(accounts, 2)
+            amount = round(rng.uniform(1.0, 10.0), 2)
+
+            def transfer(session):
+                session.call(debit, "withdraw", amount)
+                session.call(credit, "deposit", amount)
+
+            try:
+                engine.run_transaction(transfer, label=f"teller-{index}")
+            except DeadlockError:
+                deadlocks += 1
+
+    threads = [threading.Thread(target=teller, args=(index,))
+               for index in range(TELLERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    committed = engine.metrics.committed
+    print(f"  {committed} transfers committed "
+          f"({engine.metrics.cross_shard_commits} cross-shard, "
+          f"{engine.metrics.deadlocks} deadlocks broken)")
+
+    print("\nact 2: killing worker 1 in the in-doubt window ...")
+    a = next(oid for oid in accounts if router.shard_of_oid(oid) == 0)
+    b = next(oid for oid in accounts if router.shard_of_oid(oid) == 1)
+    engine.shard_clients[1].inject_fault("exit_after_prepare_reply")
+    with engine.begin(label="fatal-transfer") as session:
+        session.call(a, "withdraw", 10.0)
+        session.call(b, "deposit", 10.0)
+    print("  worker 1 voted yes (durably), then died before phase two —")
+    print("  the commit stands: the decision log is the durability point")
+    survivor = engine.shard_clients[0].snapshot()
+    try:
+        engine.shard_clients[1].snapshot()
+    except ParticipantUnavailable as error:
+        print(f"  as expected, shard 1 is unreachable: {error}")
+    engine.close()
+
+    print("\nact 3: restarting worker 1 over the same durability directory ...")
+    process, address = spawn_worker(shard_id=1, shards=2, protocol="tav",
+                                    schema="banking",
+                                    instances=INSTANCES_PER_CLASS,
+                                    populate_seed=SEED, durability="fsync",
+                                    wal_dir=wal_dir)
+    client = RemoteShardClient(1, address)
+    try:
+        report = client.hello()["recovery"]
+        print(f"  per-participant recovery: {len(report['winners'])} winners "
+              f"redone, {len(report['losers'])} losers undone, "
+              f"in-doubt resolved: {report['in_doubt'] or 'none'}")
+        recovered = client.snapshot()
+        after = total_balance([survivor, recovered])
+        print(f"  audit across both partitions: {after:.2f} "
+              f"(started with {before:.2f})")
+        if abs(after - before) > 1e-6:
+            raise SystemExit("conservation violated!")
+        print("  money conserved through crash and recovery ✔")
+    finally:
+        client.shutdown()
+        client.close()
+        process.wait(timeout=10.0)
+
+
+if __name__ == "__main__":
+    main()

@@ -154,9 +154,11 @@ class Dispatcher:
 
     def _describe(self, request: Describe) -> Reply:
         protocol = self._engine.protocol
+        clients = self._engine.shard_clients
         payload: dict[str, Any] = {
             "protocol": getattr(type(protocol), "name", type(protocol).__name__),
             "shards": self._engine.num_shards,
+            "shard_workers": 0 if clients is None else len(clients),
             "durability": self._engine.durability.mode,
             "admission": (None if self._admission is None
                           else self._admission.limits),
@@ -169,9 +171,9 @@ class Dispatcher:
         return InfoReply(payload={"commits": commits})
 
     def _store_state(self, request: StoreState) -> Reply:
-        instances = {str(instance.oid): dict(instance.values)
-                     for instance in self._engine.protocol.store}
-        return InfoReply(payload={"instances": instances})
+        # The engine answers: in worker mode the authoritative values live
+        # in the shard workers' partitions, not in the local mirror store.
+        return InfoReply(payload={"instances": self._engine.store_state()})
 
     def _metrics(self, request: MetricsSnapshot) -> Reply:
         return InfoReply(payload={

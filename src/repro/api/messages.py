@@ -418,8 +418,16 @@ def message_to_wire(message: Request | Reply) -> dict[str, Any]:
     return document
 
 
-def _from_wire(document: Mapping[str, Any], registry: Mapping[str, type],
-               what: str) -> Any:
+def decode_message(document: Mapping[str, Any], registry: Mapping[str, type],
+                   what: str = "message") -> Any:
+    """Rebuild a typed message from its wire dict, given a type registry.
+
+    The generic inverse of :func:`message_to_wire`: any dataclass family
+    that follows the ``type``/``_tuples`` convention can be decoded through
+    it.  The shard-participant RPC layer (:mod:`repro.sharding.rpc`) reuses
+    this with its own registries, so worker frames and client frames share
+    one codec with the API proper.
+    """
     if not isinstance(document, Mapping):
         raise ProtocolError(f"a wire {what} must be an object, "
                             f"got {type(document).__name__}")
@@ -446,9 +454,9 @@ def _from_wire(document: Mapping[str, Any], registry: Mapping[str, type],
 
 def request_from_wire(document: Mapping[str, Any]) -> Request:
     """Rebuild a typed request from its wire dict (server side)."""
-    return _from_wire(document, _REQUEST_TYPES, "request")
+    return decode_message(document, _REQUEST_TYPES, "request")
 
 
 def reply_from_wire(document: Mapping[str, Any]) -> Reply:
     """Rebuild a typed reply from its wire dict (client side)."""
-    return _from_wire(document, _REPLY_TYPES, "reply")
+    return decode_message(document, _REPLY_TYPES, "reply")

@@ -41,6 +41,21 @@ fixes the serialisation point, and only then are the shards' undo logs
 discarded and the locks released.  ``shards=1`` (the default) degenerates to
 the familiar single-manager behaviour with the same code path.
 
+The engine is optionally *distributed*: ``shard_workers=N`` spawns one
+``python -m repro.sharding.worker`` process per shard — each owning its
+shard's store partition, lock manager, undo log and WAL — and routes
+locking, execution and two-phase commit through the participant RPC layer
+(:mod:`repro.sharding.rpc`).  The engine's own store becomes a *planning
+mirror*: single-shard operations ship to the owning worker in one round
+trip (method bodies run on the worker's cores — the multi-core path) and
+the applied writes are echoed back; cross-shard operations execute here
+against a store front that reads/writes fields through the owning workers.
+An unreachable worker is a typed
+:class:`~repro.errors.ParticipantUnavailable`: a no vote during prepare,
+a tolerated completion during phase two (the durable decision log already
+fixed the outcome, and the worker finishes the transaction from it when
+restarted — per-participant recovery).
+
 The engine owns a detector thread, so it should be closed when done; it is a
 context manager (``with Engine(protocol) as engine: ...``).
 """
@@ -49,10 +64,12 @@ from __future__ import annotations
 
 import itertools
 import random
+import signal as signal_module
 import threading
 import time
-from typing import Any, Callable, Hashable, Mapping, TypeVar
+from typing import Any, Callable, Hashable, Mapping, Sequence, TypeVar
 
+from repro.api.messages import request_for_operation
 from repro.engine.detector import DeadlockDetector
 from repro.engine.locks import USE_DEFAULT_TIMEOUT, BlockingLockManager
 from repro.engine.metrics import EngineMetrics
@@ -60,13 +77,16 @@ from repro.engine.session import Session
 from repro.errors import (
     DeadlockError,
     LockTimeoutError,
+    ParticipantUnavailable,
     TransactionError,
     TwoPhaseCommitError,
 )
 from repro.objects.interpreter import Interpreter
+from repro.objects.oid import OID
 from repro.sharding.locks import ShardedLockFront
 from repro.sharding.recovery import ShardedRecoveryManager
 from repro.sharding.router import HashShardRouter, ShardRouter
+from repro.sharding.rpc import DEFAULT_PARTICIPANT_TIMEOUT, RemoteShardClient
 from repro.sharding.twopc import ShardParticipant, TwoPhaseCommitCoordinator
 from repro.sim.workload import TransactionSpec
 from repro.txn.operations import Operation
@@ -75,6 +95,7 @@ from repro.txn.transaction import Transaction, TransactionState
 from repro.wal.checkpoint import CheckpointManager, ShardCheckpoint
 from repro.wal.durability import Durability
 from repro.wal.log import DecisionLog, WriteAheadLog
+from repro.wal.records import InstanceCreated, InstanceDeleted
 
 T = TypeVar("T")
 
@@ -97,11 +118,30 @@ class Engine:
                  backoff_cap: float = 0.05,
                  shards: int | None = None,
                  router: ShardRouter | None = None,
-                 durability: Durability | None = None) -> None:
+                 durability: Durability | None = None,
+                 shard_workers: int | None = None,
+                 worker_options: Mapping[str, Any] | None = None,
+                 participant_timeout: float = DEFAULT_PARTICIPANT_TIMEOUT) -> None:
         self._protocol = protocol
         self._store = protocol.store
+        if shard_workers is not None:
+            if shard_workers < 1:
+                raise ValueError(f"shard_workers must be at least 1, "
+                                 f"got {shard_workers}")
+            if builtins is not None:
+                raise ValueError("custom builtins cannot cross the worker "
+                                 "process boundary; register them in "
+                                 "repro.sharding.worker instead")
+            if shards is None:
+                shards = shard_workers
+            elif shards != shard_workers:
+                raise ValueError(f"shards={shards} disagrees with "
+                                 f"shard_workers={shard_workers}")
         self._router = self._resolve_router(shards, router)
         num_shards = self._router.num_shards
+        if shard_workers is not None and num_shards != shard_workers:
+            raise ValueError(f"shard_workers={shard_workers} disagrees with "
+                             f"the router's {num_shards} shards")
         #: Original begin timestamp per live incarnation (wait-die victim age).
         self._origins: dict[int, int] = {}
         #: Live sessions by transaction id — the registry the API dispatcher
@@ -109,48 +149,75 @@ class Engine:
         #: session's thread only, via CPython-atomic dict operations.
         self._sessions: dict[int, Session] = {}
         self._api: Any = None
-        shard_managers = [
-            BlockingLockManager(protocol.create_lock_manager(),
-                                default_timeout=default_lock_timeout)
-            for _ in range(num_shards)
-        ]
-        self._locks = ShardedLockFront(shard_managers, self._router,
-                                       victim_key=self._victim_age)
+        #: Out-of-process mode: one RemoteShardClient per shard worker, or
+        #: ``None`` for the classic everything-in-this-interpreter engine.
+        self._workers: tuple[RemoteShardClient, ...] | None = None
+        self._worker_processes: list[Any] = []
         self._durability = durability if durability is not None else Durability.off()
-        self._wals: tuple[WriteAheadLog | None, ...]
-        self._decision_log: DecisionLog | None
-        if self._durability.enabled:
-            self._durability.prepare_directory(num_shards)
-            self._wals = tuple(
-                WriteAheadLog(self._durability.wal_path(shard_id),
-                              sync_on_barrier=self._durability.fsync)
-                for shard_id in range(num_shards))
-            self._decision_log = DecisionLog(
-                self._durability.decisions_path,
-                sync_on_commit=self._durability.fsync)
-        else:
-            self._wals = (None,) * num_shards
-            self._decision_log = None
-        self._recovery = ShardedRecoveryManager(self._store, self._router,
-                                                wals=self._wals)
-        self._coordinator = TwoPhaseCommitCoordinator([
-            ShardParticipant(shard_id, self._recovery.shard_manager(shard_id),
-                             wal=self._wals[shard_id])
-            for shard_id in range(num_shards)
-        ], decision_log=self._decision_log)
+        self._wals: tuple[WriteAheadLog | None, ...] = (None,) * num_shards
+        self._decision_log: DecisionLog | None = None
         self._checkpointer: CheckpointManager | None = None
         if self._durability.enabled:
+            self._durability.prepare_directory(num_shards)
+            self._decision_log = DecisionLog(
+                self._durability.decisions_path,
+                sync_on_commit=self._durability.fsync,
+                group_window=self._durability.group_commit_window)
+        if shard_workers is None:
+            if self._durability.enabled:
+                self._wals = tuple(
+                    WriteAheadLog(self._durability.wal_path(shard_id),
+                                  sync_on_barrier=self._durability.fsync)
+                    for shard_id in range(num_shards))
+            shard_managers = [
+                BlockingLockManager(protocol.create_lock_manager(),
+                                    default_timeout=default_lock_timeout)
+                for _ in range(num_shards)
+            ]
+            self._locks = ShardedLockFront(shard_managers, self._router,
+                                           victim_key=self._victim_age)
+            self._recovery = ShardedRecoveryManager(self._store, self._router,
+                                                    wals=self._wals)
+            participants: Sequence[Any] = [
+                ShardParticipant(shard_id,
+                                 self._recovery.shard_manager(shard_id),
+                                 wal=self._wals[shard_id])
+                for shard_id in range(num_shards)
+            ]
+        else:
+            # Each shard runs in its own OS process: the shard's store
+            # partition, lock manager, undo log and WAL live in the worker;
+            # this engine keeps a *mirror* store (its own protocol store,
+            # populated identically) for planning, plus mirror undo logs so
+            # plans keep seeing current values (see _execute_remote).
+            participants = self._spawn_workers(
+                shard_workers, worker_options,
+                default_lock_timeout=default_lock_timeout,
+                participant_timeout=participant_timeout)
+            self._workers = tuple(participants)
+            self._locks = ShardedLockFront(list(participants), self._router,
+                                           victim_key=self._victim_age)
+            self._recovery = ShardedRecoveryManager(self._store, self._router,
+                                                    wals=None)
+        self._coordinator = TwoPhaseCommitCoordinator(
+            participants, decision_log=self._decision_log)
+        if self._durability.enabled and shard_workers is None:
             self._checkpointer = CheckpointManager(
                 self._store, self._router, self._recovery,
                 [wal for wal in self._wals if wal is not None],
                 self._durability, decision_log=self._decision_log)
             # The base checkpoint: instances created before the engine
             # existed (population) are durable from the very first moment —
-            # the WAL only ever has to carry field updates.
+            # the WAL only ever has to carry field updates.  (In worker mode
+            # each worker writes its own partition's base checkpoint.)
             self._checkpointer.checkpoint()
             if self._durability.checkpoint_interval is not None:
                 self._checkpointer.start(self._durability.checkpoint_interval)
         self._interpreter = Interpreter(self._store, builtins=builtins)
+        self._remote_interpreter: Interpreter | None = None
+        if self._workers is not None:
+            self._remote_interpreter = Interpreter(_WorkerStoreFront(
+                self._store, self._router, self._workers))
         self._ids = itertools.count(1)
         self._max_retries = max_retries
         self._backoff_base = backoff_base
@@ -188,6 +255,99 @@ class Engine:
             raise ValueError(f"shards={shards} disagrees with the router's "
                              f"{router.num_shards} shards")
         return router
+
+    def _spawn_workers(self, shard_workers: int,
+                       worker_options: Mapping[str, Any] | None, *,
+                       default_lock_timeout: float | None,
+                       participant_timeout: float,
+                       ) -> list[RemoteShardClient]:
+        """Spawn one shard worker process per shard and connect clients.
+
+        ``worker_options`` carries what the engine cannot derive: the
+        deterministic population every worker must rebuild (``schema`` name,
+        ``instances`` per class, ``populate_seed``) — it must match how this
+        engine's own store was populated, or plans and partitions disagree.
+        Each worker's ``hello`` answer is checked against the expectation.
+        """
+        from repro.sharding import worker as worker_module
+
+        options = dict(worker_options or {})
+        spawn_options = {
+            "protocol": options.pop(
+                "protocol", getattr(type(self._protocol), "name",
+                                    type(self._protocol).__name__)),
+            "schema": options.pop("schema", "banking"),
+            "instances": int(options.pop("instances", 4)),
+            "populate_seed": int(options.pop("populate_seed", 11)),
+            # None passes through: wait-forever means the same thing on
+            # both sides of the process boundary.
+            "lock_timeout": options.pop("lock_timeout", default_lock_timeout),
+            "durability": self._durability.mode,
+        }
+        if self._durability.enabled:
+            spawn_options["wal_dir"] = self._durability.root
+        if options:
+            raise ValueError(f"unknown worker options {sorted(options)}")
+        clients: list[RemoteShardClient] = []
+        try:
+            for shard_id in range(shard_workers):
+                process, address = worker_module.spawn(
+                    shard_id=shard_id, shards=shard_workers, **spawn_options)
+                self._worker_processes.append(process)
+                clients.append(RemoteShardClient(
+                    shard_id, address,
+                    participant_timeout=participant_timeout,
+                    lock_timeout=spawn_options["lock_timeout"]))
+            for client in clients:
+                answer = client.hello()
+                for key, expected in (("shard", client.shard_id),
+                                      ("shards", shard_workers),
+                                      ("protocol", spawn_options["protocol"]),
+                                      ("schema", spawn_options["schema"]),
+                                      ("instances", spawn_options["instances"]),
+                                      ("populate_seed",
+                                       spawn_options["populate_seed"])):
+                    if answer.get(key) != expected:
+                        raise ValueError(
+                            f"worker {client.shard_id} answered "
+                            f"{key}={answer.get(key)!r}, expected "
+                            f"{expected!r}")
+            # The handshake above proves the workers match the *options*;
+            # this proves the options match the engine's actual mirror
+            # store — a mis-populated mirror would otherwise corrupt
+            # silently (plans and partitions disagreeing on values).
+            merged: dict[str, Any] = {}
+            for client in clients:
+                merged.update(client.snapshot())
+            mirror = {str(instance.oid): dict(instance.values)
+                      for instance in self._store}
+            if merged != mirror:
+                raise ValueError(
+                    "the workers' partitions disagree with the engine's "
+                    "store — worker_options (schema/instances/populate_seed) "
+                    "must describe exactly how the engine's store was "
+                    "populated")
+        except BaseException:
+            self._teardown_workers(clients)
+            if self._decision_log is not None:
+                self._decision_log.close()
+            raise
+        return clients
+
+    def _teardown_workers(self, clients: Sequence[RemoteShardClient]) -> None:
+        for client in clients:
+            client.shutdown()
+            client.close()
+        for process in self._worker_processes:
+            if process.poll() is None:
+                process.send_signal(signal_module.SIGTERM)
+        for process in self._worker_processes:
+            try:
+                process.wait(timeout=10.0)
+            except Exception:
+                process.kill()
+                process.wait()
+        self._worker_processes.clear()
 
     def _touched_shards(self, txn: int) -> list[int]:
         """The shards ``txn`` locked or wrote on, sorted (2PC participant set).
@@ -264,9 +424,18 @@ class Engine:
         with self._commit_mutex:
             self._commit_log.append((txn, label or f"T{txn}"))
             self._coordinator.record_commit(txn, touched)
+        # With group commit the record above is not yet fsynced; the wait
+        # happens *outside* the commit mutex so concurrent committers share
+        # one barrier.  Without group commit this returns immediately.
+        self._coordinator.wait_commit_durable()
         transaction.state = TransactionState.COMMITTED
         self._coordinator.complete_commit(txn, touched)
-        self._recovery.discard_tracking(txn)
+        if self._workers is not None:
+            # Remote participants dropped their own undo logs in phase two;
+            # the mirror copies are dropped here.
+            self._recovery.forget(txn)
+        else:
+            self._recovery.discard_tracking(txn)
         self._locks.release_all(txn)
         self._origins.pop(txn, None)
         self._sessions.pop(txn, None)
@@ -285,7 +454,12 @@ class Engine:
         txn = transaction.txn_id
         touched = self._touched_shards(txn)
         self._coordinator.abort(txn, touched)
-        self._recovery.discard_tracking(txn)
+        if self._workers is not None:
+            # The workers restored their partitions; restore the mirror the
+            # same way (still under this transaction's locks).
+            self._recovery.undo(txn)
+        else:
+            self._recovery.discard_tracking(txn)
         transaction.state = TransactionState.ABORTED
         self._locks.release_all(txn)
         self._origins.pop(txn, None)
@@ -293,12 +467,15 @@ class Engine:
         self.metrics.record_abort()
 
     def close(self) -> None:
-        """Stop the detector and checkpointer, close the logs.  Idempotent."""
+        """Stop the detector, checkpointer and workers; close the logs.
+        Idempotent."""
         if not self._closed:
             self._closed = True
             self._detector.stop()
             if self._checkpointer is not None:
                 self._checkpointer.stop()
+            if self._workers is not None:
+                self._teardown_workers(self._workers)
             for wal in self._wals:
                 if wal is not None:
                     wal.close()
@@ -333,9 +510,14 @@ class Engine:
         transaction.stats.control_points += plan.control_points
         plan = self._acquire_plan(transaction, plan, operation, timeout)
         transaction.stats.operations += 1
-        for oid, fields in self._protocol.undo_projections(plan):
+        projections = self._protocol.undo_projections(plan)
+        for oid, fields in projections:
             self._recovery.log_before_image(transaction.txn_id, oid, fields)
-        results = self._protocol.execute(operation, self._interpreter)
+        if self._workers is None:
+            results = self._protocol.execute(operation, self._interpreter)
+        else:
+            results = self._execute_remote(transaction.txn_id, operation,
+                                           plan, projections)
         self.metrics.record_operation()
         transaction.executed.append(operation)
         transaction.results.extend(results)
@@ -381,6 +563,58 @@ class Engine:
         raise TransactionError(
             f"lock plan of {operation!r} did not converge within "
             f"{_MAX_REPLAN_ROUNDS} refresh rounds")
+
+    # -- worker-mode execution -----------------------------------------------------
+
+    def _execute_remote(self, txn: int, operation: Operation, plan: LockPlan,
+                        projections: Sequence[tuple[OID, tuple[str, ...]]],
+                        ) -> list[Any]:
+        """Execute ``operation`` against the shard workers.
+
+        Two paths, chosen by where the plan's receivers live:
+
+        * **single-shard** (the common case under OID-hash routing — one
+          instance, its self-directed sends, its same-shard references):
+          the whole operation ships to the owning worker in one round trip;
+          the worker logs the before-images, runs the method bodies on its
+          own partition, and returns the results plus the writes it
+          applied, which are echoed into the mirror store;
+        * **cross-shard** (extents, domains, references crossing shards):
+          the write plan is sent to every touched worker first (the
+          write-ahead rule per worker), then the method bodies run *here*
+          against a store front that reads and writes fields through the
+          owning workers, echoing writes into the mirror.
+
+        The mirror invariant both paths maintain: for any field a
+        transaction holds a lock on, the mirror value equals the worker
+        value — writers echo synchronously before their locks are released,
+        so plans (which re-derive under held locks) never see stale data.
+        """
+        assert self._workers is not None
+        by_shard: dict[int, list[tuple[OID, tuple[str, ...]]]] = {}
+        for oid, fields in projections:
+            if fields:
+                shard_id = self._router.shard_of_oid(oid)
+                by_shard.setdefault(shard_id, []).append((oid, fields))
+        receiver_shards = {self._router.shard_of_oid(oid)
+                           for oid, _method in plan.receivers}
+        if len(receiver_shards) == 1:
+            (shard_id,) = receiver_shards
+            call = request_for_operation(txn, operation)
+            results, writes = self._workers[shard_id].execute(
+                txn, call, by_shard.get(shard_id, []))
+            self._mirror_writes(writes)
+            return results
+        for shard_id, images in by_shard.items():
+            self._workers[shard_id].write_plan(txn, images)
+        assert self._remote_interpreter is not None
+        return self._protocol.execute(operation, self._remote_interpreter)
+
+    def _mirror_writes(self, writes: Sequence[tuple[OID, Mapping[str, Any]]]) -> None:
+        for oid, values in writes:
+            instance = self._store.get(oid)
+            for name, value in values.items():
+                instance.set(name, value)
 
     # -- retrying wrappers --------------------------------------------------------
 
@@ -455,13 +689,82 @@ class Engine:
     def checkpoint(self) -> list[ShardCheckpoint]:
         """Take a fuzzy checkpoint of every shard now (durability must be on).
 
+        In worker mode every worker checkpoints its own partition; the
+        decision log is then compacted with the usual snapshot-decided-first
+        ordering (a transaction deciding concurrently is not in the snapshot
+        and survives).
+
         Raises:
             TransactionError: the engine runs without durability.
         """
+        if self._workers is not None and self._durability.enabled:
+            decided: set[int] = set()
+            if self._decision_log is not None:
+                decided = {record.txn
+                           for record in self._decision_log.decisions()}
+            mentioned: set[int] = set()
+            results: list[ShardCheckpoint] = []
+            for client in self._workers:
+                kept = [int(txn) for txn in
+                        client.checkpoint().get("kept", ())]
+                mentioned.update(kept)
+                results.append(ShardCheckpoint(
+                    shard_id=client.shard_id, instances=-1,
+                    active=tuple(sorted(kept)), records_kept=len(kept),
+                    records_dropped=-1))
+            if self._decision_log is not None and decided - mentioned:
+                self._decision_log.compact(decided - mentioned)
+            return results
         if self._checkpointer is None:
             raise TransactionError("the engine runs with durability off; "
                                    "there is nothing to checkpoint")
         return self._checkpointer.checkpoint()
+
+    def create_instance(self, class_name: str, **field_values: Any) -> Any:
+        """Create an instance mid-epoch, structurally durable when logging is on.
+
+        The store creation is followed by an
+        :class:`~repro.wal.records.InstanceCreated` record in the owning
+        shard's WAL (barriered under ``fsync``), so recovery rebuilds the
+        instance even when no checkpoint ever saw it — plain ``store.create``
+        used to be durable only through the next checkpoint.
+
+        Raises:
+            TransactionError: in worker mode — the partitions live in other
+                processes and the workers do not serve structural changes.
+        """
+        if self._workers is not None:
+            raise TransactionError("shard workers do not serve mid-epoch "
+                                   "instance creation yet")
+        instance = self._store.create(class_name, **field_values)
+        wal = self._wals[self._router.shard_of_oid(instance.oid)]
+        if wal is not None:
+            wal.append(InstanceCreated(oid=instance.oid,
+                                       class_name=instance.class_name,
+                                       values=dict(instance.values)))
+            wal.barrier()
+        return instance
+
+    def delete_instance(self, oid: OID) -> None:
+        """Delete an instance mid-epoch, structurally durable when logging is on.
+
+        The :class:`~repro.wal.records.InstanceDeleted` record is appended
+        (and barriered under ``fsync``) *before* the store mutation, so a
+        crash between the two replays the delete instead of resurrecting
+        the instance.
+
+        Raises:
+            TransactionError: in worker mode (see :meth:`create_instance`).
+        """
+        if self._workers is not None:
+            raise TransactionError("shard workers do not serve mid-epoch "
+                                   "instance deletion yet")
+        self._store.get(oid)  # raise before logging for an unknown OID
+        wal = self._wals[self._router.shard_of_oid(oid)]
+        if wal is not None:
+            wal.append(InstanceDeleted(oid=oid))
+            wal.barrier()
+        self._store.delete(oid)
 
     @property
     def durability(self) -> Durability:
@@ -480,13 +783,45 @@ class Engine:
 
     @property
     def wal_bytes_written(self) -> int:
-        """Total bytes appended to every shard WAL plus the decision log."""
+        """Total bytes appended to every shard WAL plus the decision log.
+
+        In worker mode the shard WALs live in the worker processes, so
+        their byte counts are fetched over RPC (a dead worker contributes
+        nothing — its count died with it).
+        """
         total = sum(wal.bytes_written for wal in self._wals if wal is not None)
+        if self._workers is not None:
+            for client in self._workers:
+                try:
+                    total += int(client.hello().get("wal_bytes", 0))
+                except ParticipantUnavailable:
+                    continue
         if self._decision_log is not None:
             total += self._decision_log.bytes_written
         return total
 
     # -- the command layer --------------------------------------------------------
+
+    def store_state(self) -> dict[str, dict[str, Any]]:
+        """Every live instance's fields, keyed by OID string.
+
+        The ground truth for verification and the ``StoreState`` control
+        plane: in-process it is a walk of the store; in worker mode it is
+        the merge of every worker's *own partition* — the mirror store is a
+        planning replica, not the authority.
+        """
+        if self._workers is not None:
+            merged: dict[str, dict[str, Any]] = {}
+            for client in self._workers:
+                merged.update(client.snapshot())
+            return merged
+        return {str(instance.oid): dict(instance.values)
+                for instance in self._store}
+
+    @property
+    def shard_clients(self) -> tuple[RemoteShardClient, ...] | None:
+        """The per-shard RPC clients in worker mode (``None`` otherwise)."""
+        return self._workers
 
     def session_for(self, txn_id: int) -> Session | None:
         """The live session driving ``txn_id``, or ``None`` once finished.
@@ -565,3 +900,40 @@ class Engine:
     def _ensure_open(self) -> None:
         if self._closed:
             raise TransactionError("the engine has been closed")
+
+
+class _WorkerStoreFront:
+    """The store the cross-shard remote interpreter executes against.
+
+    Identity questions (does the OID exist, what is its class) are answered
+    from the mirror — membership is fixed after population in worker mode —
+    while field reads and writes go to the owning worker, with writes echoed
+    into the mirror so planning keeps seeing current values.  Implements
+    exactly the surface :class:`~repro.objects.interpreter.Interpreter`
+    touches.
+    """
+
+    def __init__(self, mirror: Any, router: ShardRouter,
+                 workers: "Sequence[RemoteShardClient]") -> None:
+        self._mirror = mirror
+        self._router = router
+        self._workers = tuple(workers)
+
+    @property
+    def schema(self) -> Any:
+        return self._mirror.schema
+
+    def get(self, oid: OID) -> Any:
+        return self._mirror.get(oid)
+
+    def __contains__(self, oid: OID) -> bool:
+        return oid in self._mirror
+
+    def read_field(self, oid: OID, field_name: str) -> Any:
+        return self._workers[self._router.shard_of_oid(oid)].read_field(
+            oid, field_name)
+
+    def write_field(self, oid: OID, field_name: str, value: Any) -> None:
+        self._workers[self._router.shard_of_oid(oid)].write_field(
+            oid, field_name, value)
+        self._mirror.write_field(oid, field_name, value)

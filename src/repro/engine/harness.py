@@ -97,6 +97,8 @@ class HarnessResult:
     protocol: str
     threads: int
     shards: int
+    #: Shard worker *processes* (0 = all shards in the engine's process).
+    shard_workers: int
     #: The durability mode the engine ran under (``off``/``lazy``/``fsync``).
     durability: str
     #: How the workers reached the engine (``inproc`` or ``socket``).
@@ -126,6 +128,7 @@ class HarnessResult:
         """A flat dictionary for the throughput table."""
         row: dict[str, Any] = {"protocol": self.protocol, "threads": self.threads,
                                "shards": self.shards,
+                               "workers": self.shard_workers,
                                "durability": self.durability,
                                "transport": self.transport,
                                "txns": self.transactions}
@@ -199,9 +202,11 @@ class ThroughputHarness:
             transactions: int = 100,
             specs: Sequence[TransactionSpec] | None = None,
             verify: bool = True, shards: int = 1,
+            shard_workers: int | None = None,
             router: ShardRouter | None = None,
             durability: Durability | str = "off",
             wal_dir: str | Path | None = None,
+            group_commit_ms: float | None = None,
             transport: str = "inproc",
             address: "str | tuple[str, int] | None" = None,
             admission: "AdmissionController | Mapping[str, Any] | None" = None,
@@ -224,22 +229,31 @@ class ThroughputHarness:
 
         With ``shards > 1`` (or an explicit ``router``) the run executes on
         a :class:`~repro.sharding.store.ShardedObjectStore` and the engine
-        partitions its lock managers and undo logs the same way.
+        partitions its lock managers and undo logs the same way.  With
+        ``shard_workers=N`` each shard additionally runs as its own OS
+        process (``Engine(shard_workers=N)``: worker spawning, participant
+        RPC, cross-process 2PC) — the multi-core configuration.
         ``durability`` is a mode name or (in-process only) a full
-        :class:`~repro.wal.durability.Durability`.  With ``verify`` the
+        :class:`~repro.wal.durability.Durability`; ``group_commit_ms``
+        batches decision-log fsyncs under ``fsync``.  With ``verify`` the
         committed transactions are replayed sequentially on an identically
         populated replica and the final states compared.
         """
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r}; "
                              f"expected one of {', '.join(TRANSPORTS)}")
+        if shard_workers is not None and transport != "inproc":
+            raise ValueError("--shard-workers drives the engine in this "
+                             "process; combine it with the inproc transport")
         if specs is None:
             specs = self.make_specs(transactions)
         specs = _with_unique_labels(specs)
         if transport == "inproc":
             pieces = self._run_inproc(
                 protocol_class, specs, threads=threads, shards=shards,
-                router=router, durability=durability, wal_dir=wal_dir,
+                shard_workers=shard_workers, router=router,
+                durability=durability, wal_dir=wal_dir,
+                group_commit_ms=group_commit_ms,
                 admission=admission, max_retries=max_retries,
                 engine_options=engine_options)
         else:
@@ -256,6 +270,7 @@ class ThroughputHarness:
         return HarnessResult(protocol=getattr(protocol_class, "name",
                                               protocol_class.__name__),
                              threads=threads, shards=pieces["shards"],
+                             shard_workers=shard_workers or 0,
                              durability=pieces["durability"],
                              transport=transport,
                              transactions=len(specs),
@@ -271,13 +286,28 @@ class ThroughputHarness:
 
     def _run_inproc(self, protocol_class: type,
                     specs: Sequence[TransactionSpec], *, threads: int,
-                    shards: int, router: ShardRouter | None,
+                    shards: int, shard_workers: int | None,
+                    router: ShardRouter | None,
                     durability: Durability | str,
                     wal_dir: str | Path | None,
+                    group_commit_ms: float | None,
                     admission: "AdmissionController | Mapping[str, Any] | None",
                     max_retries: int,
                     engine_options: dict[str, Any]) -> dict[str, Any]:
         """Build an engine here and drive it through InProcessConnection."""
+        if shard_workers is not None:
+            if shards not in (1, shard_workers):
+                raise ValueError(f"shards={shards} disagrees with "
+                                 f"shard_workers={shard_workers}")
+            shards = shard_workers
+            if not isinstance(self._instances_per_class, int):
+                raise ValueError("shard workers need a uniform "
+                                 "instances_per_class")
+            if set(self._schema.class_names) != set(
+                    banking_schema().class_names):
+                raise ValueError("shard workers rebuild the deterministic "
+                                 "banking schema; run them with the default "
+                                 "harness schema")
         if router is None and shards > 1:
             router = HashShardRouter(shards)
         if router is not None:
@@ -291,8 +321,17 @@ class ThroughputHarness:
         protocol = protocol_class(self._compiled, store)
         resolved, cleanup = self._resolve_durability(
             durability, wal_dir,
-            getattr(protocol_class, "name", protocol_class.__name__), shards)
+            getattr(protocol_class, "name", protocol_class.__name__), shards,
+            group_commit_ms=group_commit_ms)
         controller = _resolve_admission(admission)
+        if shard_workers is not None:
+            engine_options = dict(engine_options)
+            engine_options["shard_workers"] = shard_workers
+            engine_options.setdefault("worker_options", {
+                "schema": "banking",
+                "instances": self._instances_per_class,
+                "populate_seed": self._populate_seed,
+            })
         try:
             with Engine(protocol, durability=resolved, **engine_options) as engine:
                 connection = InProcessConnection(
@@ -303,13 +342,16 @@ class ThroughputHarness:
                 engine.metrics.wal_bytes = engine.wal_bytes_written
                 commit_labels = tuple(label for _, label in engine.commit_log)
                 metrics = engine.metrics
+                # The workers' partitions are the authority in worker mode;
+                # fetch them before the cluster is torn down.
+                final_state = engine.store_state()
         finally:
             if cleanup is not None:
                 cleanup()
         return {"metrics": metrics, "commit_labels": commit_labels,
                 "failed": driven["failed"], "errors": driven["errors"],
                 "overloads": driven["overloads"],
-                "final_state": store_state(store),
+                "final_state": final_state,
                 "shards": shards, "durability": resolved.mode}
 
     def _run_socket(self, protocol_class: type,
@@ -494,7 +536,8 @@ class ThroughputHarness:
     @staticmethod
     def _resolve_durability(durability: Durability | str,
                             wal_dir: str | Path | None,
-                            protocol_name: str, shards: int):
+                            protocol_name: str, shards: int, *,
+                            group_commit_ms: float | None = None):
         """The run's :class:`Durability` plus an optional cleanup callback."""
         if isinstance(durability, Durability):
             return durability, None
@@ -504,9 +547,11 @@ class ThroughputHarness:
             root = Path(wal_dir) / f"{protocol_name}-shards{shards}"
             if root.exists():
                 shutil.rmtree(root)
-            return Durability(mode=durability, directory=root), None
+            return Durability(mode=durability, directory=root,
+                              group_commit_ms=group_commit_ms), None
         scratch = tempfile.TemporaryDirectory(prefix="repro-wal-")
-        return (Durability(mode=durability, directory=scratch.name),
+        return (Durability(mode=durability, directory=scratch.name,
+                           group_commit_ms=group_commit_ms),
                 scratch.cleanup)
 
     def _sequential_replay(self, protocol_class: type,
@@ -615,6 +660,8 @@ def write_bench_json(path: str, results: Sequence[HarnessResult],
         config = {
             "threads": arguments.threads,
             "shards": arguments.shards,
+            "shard_workers": arguments.shard_workers,
+            "group_commit_ms": arguments.group_commit_ms,
             "transactions": arguments.transactions,
             "operations": arguments.operations,
             "instances": arguments.instances,
@@ -648,6 +695,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--shards", type=int, default=1,
                         help="store/lock shards; >1 runs the sharded engine "
                              "with cross-shard 2PC (default: 1)")
+    parser.add_argument("--shard-workers", type=int, default=None,
+                        metavar="N",
+                        help="run each shard as its own OS process (spawns N "
+                             "python -m repro.sharding.worker children and "
+                             "routes locking/execution/2PC over participant "
+                             "RPC) — the multi-core configuration; implies "
+                             "--shards N")
     parser.add_argument("--transactions", type=int, default=400,
                         help="transactions in the workload (default: 400 — "
                              "long enough for a stable commits/sec reading)")
@@ -693,6 +747,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="directory for WAL/checkpoint files (per-run "
                              "subdirectories; default: a temporary directory "
                              "deleted after the run)")
+    parser.add_argument("--group-commit-ms", type=float, default=None,
+                        metavar="MS",
+                        help="batch decision-log fsyncs into one barrier per "
+                             "MS milliseconds (fsync mode only; default: one "
+                             "fsync per commit)")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the sequential-replay serializability check")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -704,6 +763,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error(f"--shards must be at least 1, got {arguments.shards}")
     if arguments.addr is not None and arguments.transport != "socket":
         parser.error("--addr only makes sense with --transport socket")
+    if arguments.shard_workers is not None:
+        if arguments.shard_workers < 1:
+            parser.error(f"--shard-workers must be at least 1, "
+                         f"got {arguments.shard_workers}")
+        if arguments.transport != "inproc":
+            parser.error("--shard-workers runs the engine in this process; "
+                         "it cannot combine with --transport socket")
+        if arguments.shards not in (1, arguments.shard_workers):
+            parser.error(f"--shards {arguments.shards} disagrees with "
+                         f"--shard-workers {arguments.shard_workers}")
 
     names = (list(PROTOCOLS) if arguments.protocols == "all"
              else [name.strip() for name in arguments.protocols.split(",")])
@@ -729,8 +798,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                              transactions=arguments.transactions,
                              verify=not arguments.no_verify,
                              shards=arguments.shards,
+                             shard_workers=arguments.shard_workers,
                              durability=arguments.durability,
                              wal_dir=arguments.wal_dir,
+                             group_commit_ms=arguments.group_commit_ms,
                              transport=arguments.transport,
                              address=arguments.addr,
                              admission=admission,

@@ -245,6 +245,21 @@ class TwoPhaseCommitError(TransactionError):
         self.txn = txn
 
 
+class ParticipantUnavailable(TwoPhaseCommitError):
+    """A shard participant could not be reached (dead worker, cut channel).
+
+    Raised by the remote participant clients of :mod:`repro.sharding.rpc`
+    when an RPC to a shard worker times out or the connection breaks.  During
+    *prepare* it is a no vote — the coordinator aborts everywhere, and the
+    presumed-abort rule resolves whatever the unreachable worker had already
+    made durable.  During phase two it is survivable: the decision is already
+    durable, so the coordinator carries on and the worker finishes the
+    transaction from the decision log when it is restarted.
+    """
+
+    code = "PARTICIPANT_UNAVAILABLE"
+
+
 class TransactionAborted(ConcurrencyError):
     """The transaction has been aborted and cannot issue further operations."""
 

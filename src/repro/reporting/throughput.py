@@ -17,7 +17,8 @@ from repro.reporting.tables import format_records
 #: committed transaction — the cost column the WAL-overhead bench compares.
 #: ``transport`` names the path workers took to the engine (inproc/socket)
 #: and ``overloads`` counts typed admission-control rejections they rode out.
-_COLUMNS = ("protocol", "threads", "shards", "durability", "transport", "txns",
+_COLUMNS = ("protocol", "threads", "shards", "workers", "durability",
+            "transport", "txns",
             "committed", "xshard", "aborted", "retries", "deadlocks",
             "timeouts", "overloads", "commits_per_s", "abort_rate",
             "mean_wait_ms", "wal", "elapsed_s", "serializable")

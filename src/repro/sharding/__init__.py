@@ -25,11 +25,23 @@ package removes that funnel:
 :class:`repro.engine.engine.Engine` accepts ``shards=N`` (or adopts the
 router of a sharded store) and wires all of this together; the throughput
 harness exposes it as ``python -m repro.engine.harness --shards N``.
+
+Since PR 5 a shard can also live in its **own OS process**:
+:class:`~repro.sharding.participant.ParticipantClient` is the
+transport-agnostic participant interface,
+:mod:`repro.sharding.rpc` carries the participant protocol (locks, write
+plans, execution, 2PC) over the API's frames, and
+``python -m repro.sharding.worker`` owns one shard's partition, lock
+manager, undo log and WAL — ``Engine(shard_workers=N)`` /
+``repro-bench --shard-workers N`` is the multi-core configuration.
+(The ``rpc`` and ``worker`` modules are imported on demand, not here: the
+worker pulls in the engine package, which imports this one.)
 """
 
 from repro.sharding.router import ClassShardRouter, HashShardRouter, ShardRouter
 from repro.sharding.store import ShardedObjectStore
 from repro.sharding.locks import ShardedLockFront
+from repro.sharding.participant import ParticipantClient
 from repro.sharding.recovery import ShardedRecoveryManager
 from repro.sharding.twopc import (
     CommitDecision,
@@ -41,6 +53,7 @@ __all__ = [
     "ClassShardRouter",
     "CommitDecision",
     "HashShardRouter",
+    "ParticipantClient",
     "ShardParticipant",
     "ShardRouter",
     "ShardedLockFront",

@@ -129,7 +129,11 @@ class ShardedLockFront:
         :class:`~repro.engine.detector.DeadlockDetector` drives either
         shape interchangeably.
         """
-        if len(self._shards) == 1:
+        if len(self._shards) == 1 and hasattr(self._shards[0], "detect"):
+            # A local manager detects atomically under its own mutex.  A
+            # *remote* shard handle has no detect of its own — victim choice
+            # needs the engine-side age order — so it always takes the union
+            # path below, which works unchanged for one shard.
             shard = self._shards[0]
             shard.victim_key = self.victim_key
             return shard.detect()

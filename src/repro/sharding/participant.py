@@ -1,0 +1,59 @@
+"""The transport-agnostic participant interface of two-phase commit.
+
+A :class:`ParticipantClient` is *one shard's side of the commit protocol as
+the coordinator sees it*: prepare votes, phase-two completion, abort.  The
+:class:`~repro.sharding.twopc.TwoPhaseCommitCoordinator` drives the protocol
+exclusively through this interface, so where the shard actually lives is an
+implementation detail:
+
+* :class:`~repro.sharding.twopc.ShardParticipant` — the in-process
+  implementation; the shard's undo log, prepared set and write-ahead log are
+  objects in the engine's own interpreter (exactly the pre-RPC behaviour);
+* :class:`~repro.sharding.rpc.RemoteShardClient` — the same protocol spoken
+  over length-prefixed frames to a ``python -m repro.sharding.worker``
+  process owning the shard's store partition, lock manager, undo log and
+  WAL.
+
+The split is what turns sharding into distribution: the coordinator's
+decision log, the presumed-abort recovery rule and the prepare/commit/abort
+message shapes were already transport-agnostic — this interface makes the
+participant side swappable too.
+
+Failure contract: a remote implementation raises
+:class:`~repro.errors.ParticipantUnavailable` when the shard cannot be
+reached.  During prepare that is a no vote; during :meth:`commit` and
+:meth:`abort` the coordinator tolerates it, because the durable decision
+log already fixes the outcome and a restarted worker resolves itself
+against it (per-participant recovery).
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class ParticipantClient(abc.ABC):
+    """One shard's prepare/commit/abort surface, wherever the shard lives."""
+
+    #: The shard this participant speaks for.
+    shard_id: int
+
+    @abc.abstractmethod
+    def prepare(self, txn: int) -> None:
+        """Phase one: make the shard's vote durable and vote.
+
+        Raises:
+            TwoPhaseCommitError: this shard votes no (a veto, or — for a
+                remote shard — :class:`~repro.errors.ParticipantUnavailable`).
+        """
+
+    @abc.abstractmethod
+    def commit(self, txn: int) -> None:
+        """Phase two: the global decision exists — discard the undo log."""
+
+    @abc.abstractmethod
+    def abort(self, txn: int) -> None:
+        """Restore the shard to its before-images (prepared or not)."""
+
+    def close(self) -> None:
+        """Release any channel this client holds.  Idempotent; optional."""

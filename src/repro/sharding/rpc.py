@@ -1,0 +1,723 @@
+"""Shard-participant RPC: the participant protocol as framed messages.
+
+This module is what lets a shard live in another OS process.  It defines
+the worker-facing message vocabulary — prepare/commit/abort, blocking lock
+traffic, before-image write plans, field reads/writes, whole-operation
+execution, snapshots — and :class:`RemoteShardClient`, the coordinator-side
+stub that implements three duck-typed surfaces at once:
+
+* the :class:`~repro.sharding.participant.ParticipantClient` commit
+  protocol the :class:`~repro.sharding.twopc.TwoPhaseCommitCoordinator`
+  drives;
+* the per-shard *lock handle* surface of
+  :class:`~repro.engine.locks.BlockingLockManager` (``acquire`` /
+  ``release_all`` / ``collect_edges`` / ``doom`` / ``clear_doom`` / ...),
+  so the existing :class:`~repro.sharding.locks.ShardedLockFront` routes
+  blocking lock traffic to workers without knowing they are remote — the
+  cross-shard deadlock detector then unions waits-for edges *across
+  processes*;
+* the data plane the worker-mode engine uses (write plans, reads, writes,
+  shipped execution, snapshots).
+
+Nothing here invents a codec: values, OIDs, operations and error replies
+ride the exact :mod:`repro.api.messages` machinery (tagged-OID
+``encode_value``/``decode_value``, ``message_to_wire``/``decode_message``,
+typed :class:`~repro.api.messages.ErrorReply` rebuilt into the *typed*
+exception client-side) over the same length-prefixed frames
+(:mod:`repro.api.wire`) the socket API uses.  A deadlock victim raises
+:class:`~repro.errors.DeadlockError` whether its lock manager lives in this
+process or behind a pipe.
+
+Failure model: any transport failure — connect refused, timeout, stream cut
+mid-frame — surfaces as :class:`~repro.errors.ParticipantUnavailable`
+carrying the shard id.  The coordinator maps that onto presumed abort
+(prepare) or tolerated completion (phase two); lock-maintenance calls
+(release, doom) swallow it, because a dead worker's locks died with it.
+
+Threading: one :class:`RemoteShardClient` serves every engine thread.
+Requests and replies are strictly paired per socket, so the client keeps
+one *thread-local* connection per worker — a session thread blocked in a
+remote ``acquire`` never blocks another thread's traffic to the same shard.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+import weakref
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Mapping, Sequence
+
+from repro.api.messages import (
+    ErrorReply,
+    Overloaded,
+    decode_message,
+    exception_from_reply,
+    message_to_wire,
+)
+from repro.api.wire import recv_frame, send_frame
+from repro.errors import ParticipantUnavailable, ProtocolError, ReproError
+from repro.locking.manager import USE_DEFAULT_TIMEOUT
+from repro.locking.modes import ClassLockMode
+from repro.objects.oid import OID
+from repro.sharding.participant import ParticipantClient
+from repro.wal.records import decode_value, encode_value
+
+#: Default seconds a non-blocking participant RPC may take before the shard
+#: counts as unavailable (prepare includes an fsync; snapshots can be large).
+DEFAULT_PARTICIPANT_TIMEOUT = 30.0
+
+#: Extra seconds granted on top of a lock timeout for the RPC round trip.
+_ACQUIRE_GRACE = 10.0
+
+_CLASS_LOCK_TAG = "$classlock"
+_DEFAULT_TIMEOUT_TAG = "default"
+
+
+# ---------------------------------------------------------------------------
+# Resource / mode / timeout codecs
+# ---------------------------------------------------------------------------
+
+
+def encode_mode(mode: Hashable) -> Any:
+    """A JSON-representable form of a lock mode.
+
+    Modes are strings (``"R"``, method names, ``IS``...) except the TAV
+    protocol's :class:`~repro.locking.modes.ClassLockMode` pair, which gets
+    its own tag so it round-trips as the dataclass, not a list.
+    """
+    if isinstance(mode, ClassLockMode):
+        return {_CLASS_LOCK_TAG: [mode.method, mode.hierarchical]}
+    return encode_value(mode)
+
+
+def decode_mode(value: Any) -> Hashable:
+    """Invert :func:`encode_mode`."""
+    if isinstance(value, Mapping) and set(value.keys()) == {_CLASS_LOCK_TAG}:
+        method, hierarchical = value[_CLASS_LOCK_TAG]
+        return ClassLockMode(method, bool(hierarchical))
+    return _deep_tuple(decode_value(value))
+
+
+def encode_resource(resource: Hashable) -> Any:
+    """A JSON-representable form of a lock resource (tuples become lists)."""
+    return encode_value(resource)
+
+
+def decode_resource(value: Any) -> Hashable:
+    """Invert :func:`encode_resource`, restoring hashability.
+
+    Every protocol builds resources as (nested) tuples of scalars and OIDs;
+    JSON only has lists, so decoding tuple-izes recursively.
+    """
+    return _deep_tuple(decode_value(value))
+
+
+def _deep_tuple(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_deep_tuple(item) for item in value)
+    return value
+
+
+def encode_timeout(timeout: float | None | object) -> Any:
+    """Wire form of an acquire timeout (the worker's-default sentinel tags)."""
+    if timeout is USE_DEFAULT_TIMEOUT:
+        return _DEFAULT_TIMEOUT_TAG
+    return timeout
+
+
+def decode_timeout(value: Any) -> float | None | object:
+    """Invert :func:`encode_timeout`."""
+    if value == _DEFAULT_TIMEOUT_TAG:
+        return USE_DEFAULT_TIMEOUT
+    return value
+
+
+def encode_images(images: Sequence[tuple[OID, Sequence[str]]]) -> list:
+    """Wire form of a write plan: ``(oid, projected fields)`` pairs."""
+    return [[encode_value(oid), list(fields)] for oid, fields in images]
+
+
+def decode_images(value: Any) -> list[tuple[OID, tuple[str, ...]]]:
+    """Invert :func:`encode_images`."""
+    return [(decode_value(oid), tuple(fields)) for oid, fields in value]
+
+
+# ---------------------------------------------------------------------------
+# The message vocabulary
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Identify the worker: shard id, schema, population, recovery report."""
+
+    type = "w_hello"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """Block until ``txn`` holds ``mode`` on ``resource`` in this shard."""
+
+    txn: int
+    resource: Any
+    mode: Any
+    timeout: Any = _DEFAULT_TIMEOUT_TAG
+
+    type = "w_acquire"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class ReleaseAll:
+    """Release every lock of ``txn`` here; clear its doom flag."""
+
+    txn: int
+
+    type = "w_release_all"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class CollectEdges:
+    """This shard's waits-for edges (minus already-doomed waiters)."""
+
+    type = "w_collect_edges"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class Doom:
+    """Offer deadlock victims (txn -> cycle); mark those waiting here."""
+
+    victims: Any = ()
+
+    type = "w_doom"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class ClearDoom:
+    """Forget a doom flag for a transaction that finished."""
+
+    txn: int
+
+    type = "w_clear_doom"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class Holds:
+    """Whether ``txn`` holds (that mode of) ``resource`` here."""
+
+    txn: int
+    resource: Any
+    mode: Any = None
+
+    type = "w_holds"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class Waiting:
+    """Queued requests on one resource, in FIFO order."""
+
+    resource: Any
+
+    type = "w_waiting"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class Doomed:
+    """The victims chosen but not yet aborted in this shard."""
+
+    type = "w_doomed"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class WritePlan:
+    """Log projected before-images (undo + WAL write-through) for ``txn``."""
+
+    txn: int
+    images: Any = ()
+
+    type = "w_write_plan"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class Execute:
+    """Log ``images`` then execute one whole operation on this shard.
+
+    ``operation_json`` is the JSON text of the operation's
+    :mod:`repro.api.messages` call-request wire form — carried opaquely so
+    the envelope codec cannot half-decode it in transit.
+    """
+
+    txn: int
+    operation_json: str
+    images: Any = ()
+
+    type = "w_execute"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class ReadField:
+    """Read one field of one instance this shard owns."""
+
+    oid: OID
+    field: str
+
+    type = "w_read"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class WriteField:
+    """Write one field of one instance this shard owns."""
+
+    oid: OID
+    field: str
+    value: Any = None
+
+    type = "w_write"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Phase one: durable vote for ``txn`` (redo images + PREPARED + barrier)."""
+
+    txn: int
+
+    type = "w_prepare"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class CommitTxn:
+    """Phase two: the global decision exists — discard the undo log."""
+
+    txn: int
+
+    type = "w_commit"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class AbortTxn:
+    """Restore this shard to its before-images (prepared or not)."""
+
+    txn: int
+
+    type = "w_abort"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """This shard's partition as ``{oid-string: field values}``."""
+
+    type = "w_snapshot"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Snapshot the partition to disk and truncate the shard WAL."""
+
+    type = "w_checkpoint"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Test-only crash injection: die at a named point of the next prepare."""
+
+    action: str
+
+    type = "w_fault"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Ask the worker to close its logs and exit cleanly."""
+
+    type = "w_shutdown"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class Ok:
+    """The request succeeded and has no payload."""
+
+    type = "w_ok"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class Waited:
+    """An acquire was granted after ``waited`` seconds blocked."""
+
+    waited: float = 0.0
+
+    type = "w_waited"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class Value:
+    """A single-value answer (field read, holds probe)."""
+
+    value: Any = None
+
+    type = "w_value"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class Executed:
+    """Results of a shipped operation plus the writes it applied."""
+
+    results: Any = ()
+    writes: Any = ()
+
+    type = "w_executed"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class Info:
+    """A structured answer (hello, edges, snapshots, checkpoints)."""
+
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    type = "w_info"
+    _tuples = ()
+
+
+WorkerRequest = (Hello | Acquire | ReleaseAll | CollectEdges | Doom | ClearDoom
+                 | Holds | Waiting | Doomed | WritePlan | Execute | ReadField
+                 | WriteField | Prepare | CommitTxn | AbortTxn | Snapshot
+                 | Checkpoint | Fault | Shutdown)
+WorkerReply = Ok | Waited | Value | Executed | Info | ErrorReply
+
+_REQUEST_TYPES: dict[str, type] = {
+    cls.type: cls for cls in (Hello, Acquire, ReleaseAll, CollectEdges, Doom,
+                              ClearDoom, Holds, Waiting, Doomed, WritePlan,
+                              Execute, ReadField, WriteField, Prepare,
+                              CommitTxn, AbortTxn, Snapshot, Checkpoint,
+                              Fault, Shutdown)
+}
+_REPLY_TYPES: dict[str, type] = {
+    cls.type: cls for cls in (Ok, Waited, Value, Executed, Info)
+}
+#: Failures travel exactly like API failures: a typed ErrorReply whose code
+#: the client rebuilds into the right exception class.
+_REPLY_TYPES[ErrorReply.type] = ErrorReply
+
+
+def worker_request_from_wire(document: Mapping[str, Any]) -> WorkerRequest:
+    """Rebuild a typed worker request (worker side)."""
+    return decode_message(document, _REQUEST_TYPES, "worker request")
+
+
+def worker_reply_from_wire(document: Mapping[str, Any]) -> WorkerReply:
+    """Rebuild a typed worker reply (coordinator side)."""
+    return decode_message(document, _REPLY_TYPES, "worker reply")
+
+
+def encode_operation(request: Any) -> str:
+    """Opaque wire text of an operation's call-request form."""
+    return json.dumps(message_to_wire(request), separators=(",", ":"),
+                      sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# The coordinator-side stub
+# ---------------------------------------------------------------------------
+
+
+class RemoteShardClient(ParticipantClient):
+    """One shard worker, as seen from the coordinator process.
+
+    Implements the 2PC participant protocol, the per-shard lock-handle
+    surface :class:`~repro.sharding.locks.ShardedLockFront` expects, and the
+    worker-mode data plane — every call one framed round trip on this
+    thread's connection to the worker.
+    """
+
+    def __init__(self, shard_id: int, address: tuple[str, int], *,
+                 participant_timeout: float = DEFAULT_PARTICIPANT_TIMEOUT,
+                 lock_timeout: float | None = None) -> None:
+        self.shard_id = shard_id
+        self._address = address
+        self._timeout = participant_timeout
+        self._lock_timeout = lock_timeout
+        self._local = threading.local()
+        #: Weakly held so a socket whose owning thread exited (dropping the
+        #: thread-local strong reference) can be collected instead of
+        #: accumulating one open descriptor per dead thread; close() walks
+        #: whatever is still alive.
+        self._all_connections: "weakref.WeakSet[socket.socket]" = weakref.WeakSet()
+        self._conn_mutex = threading.Lock()
+        self._closed = False
+        #: Written by ShardedLockFront; never called remotely — blocked
+        #: requests are found by the periodic cross-process detection pass.
+        self.on_block = None
+        #: ShardedLockFront's single-shard fast path consults this; the
+        #: union path runs coordinator-side where the engine's age order
+        #: lives, so the remote handle only stores it.
+        self.victim_key = None
+
+    # -- the transport ----------------------------------------------------------
+
+    def _connection(self) -> socket.socket:
+        sock = getattr(self._local, "sock", None)
+        if sock is None:
+            if self._closed:
+                raise ParticipantUnavailable(
+                    f"shard {self.shard_id} client is closed",
+                    shard=self.shard_id)
+            last: OSError | None = None
+            for _ in range(40):
+                try:
+                    sock = socket.create_connection(self._address,
+                                                    timeout=self._timeout)
+                    break
+                except OSError as error:
+                    last = error
+                    time.sleep(0.05)
+            else:
+                raise ParticipantUnavailable(
+                    f"shard {self.shard_id} worker at {self._address} is "
+                    f"unreachable: {last}", shard=self.shard_id)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._local.sock = sock
+            with self._conn_mutex:
+                self._all_connections.add(sock)
+        return sock
+
+    def _drop_connection(self) -> None:
+        sock = getattr(self._local, "sock", None)
+        if sock is not None:
+            self._local.sock = None
+            with self._conn_mutex:
+                self._all_connections.discard(sock)
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    def _call(self, request: Any, *,
+              timeout: "float | None | object" = USE_DEFAULT_TIMEOUT) -> Any:
+        """One request/reply round trip; typed errors re-raised.
+
+        Raises:
+            ParticipantUnavailable: the worker cannot be reached, timed out,
+                or cut the stream mid-frame.
+            ReproError: whatever typed error the worker answered with
+                (deadlock, lock timeout, a prepare veto, ...).
+        """
+        sock = self._connection()
+        if timeout is USE_DEFAULT_TIMEOUT:
+            timeout = self._timeout
+        try:
+            sock.settimeout(timeout)
+            send_frame(sock, message_to_wire(request))
+            document = recv_frame(sock)
+        except (OSError, ProtocolError) as error:
+            self._drop_connection()
+            raise ParticipantUnavailable(
+                f"shard {self.shard_id} worker did not answer "
+                f"{request.type!r}: {error}", shard=self.shard_id) from None
+        if document is None:
+            self._drop_connection()
+            raise ParticipantUnavailable(
+                f"shard {self.shard_id} worker hung up during "
+                f"{request.type!r}", shard=self.shard_id)
+        reply = worker_reply_from_wire(document)
+        if isinstance(reply, (ErrorReply, Overloaded)):
+            raise exception_from_reply(reply)
+        return reply
+
+    def close(self) -> None:
+        """Close every connection this client ever opened.  Idempotent."""
+        self._closed = True
+        with self._conn_mutex:
+            connections = list(self._all_connections)
+            self._all_connections = weakref.WeakSet()
+        for sock in connections:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    # -- handshake / control ------------------------------------------------------
+
+    def hello(self) -> dict[str, Any]:
+        """The worker's identity document (shard, schema, recovery report)."""
+        return dict(self._call(Hello()).payload)
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Checkpoint the worker's partition; returns what the pass kept."""
+        return dict(self._call(Checkpoint()).payload)
+
+    def inject_fault(self, action: str) -> None:
+        """Arm test-only crash injection on the worker."""
+        self._call(Fault(action=action))
+
+    def shutdown(self) -> None:
+        """Ask the worker to exit cleanly (tolerates an already-dead one)."""
+        try:
+            self._call(Shutdown(), timeout=5.0)
+        except ParticipantUnavailable:
+            pass
+
+    # -- the 2PC participant protocol ---------------------------------------------
+
+    def prepare(self, txn: int) -> None:
+        self._call(Prepare(txn=txn))
+
+    def commit(self, txn: int) -> None:
+        self._call(CommitTxn(txn=txn))
+
+    def abort(self, txn: int) -> None:
+        self._call(AbortTxn(txn=txn))
+
+    # -- the lock-handle surface (ShardedLockFront duck type) ---------------------
+
+    def acquire(self, txn: int, resource: Hashable, mode: Hashable,
+                timeout: "float | None | object" = USE_DEFAULT_TIMEOUT) -> float:
+        """Blocking remote acquire; returns seconds spent blocked.
+
+        The RPC deadline tracks the lock timeout (plus a grace period for
+        the round trip), so a worker that died *while we wait* surfaces as
+        :class:`~repro.errors.ParticipantUnavailable` rather than a hang —
+        unless the lock timeout is ``None`` (wait forever), where only the
+        kernel noticing the dead peer ends the wait.
+        """
+        effective = timeout
+        if effective is USE_DEFAULT_TIMEOUT:
+            effective = self._lock_timeout
+        rpc_timeout = (None if effective is None
+                       else max(float(effective), 0.0) + _ACQUIRE_GRACE)
+        reply = self._call(
+            Acquire(txn=txn, resource=encode_resource(resource),
+                    mode=encode_mode(mode), timeout=encode_timeout(timeout)),
+            timeout=rpc_timeout)
+        return float(reply.waited)
+
+    def release_all(self, txn: int) -> None:
+        """Release ``txn`` everywhere in the shard (dead workers tolerated:
+        their locks died with them)."""
+        try:
+            self._call(ReleaseAll(txn=txn))
+        except ParticipantUnavailable:
+            pass
+
+    def collect_edges(self) -> dict[int, set[int]]:
+        """The shard's waits-for edges (empty when the worker is gone)."""
+        try:
+            payload = self._call(CollectEdges()).payload
+        except ParticipantUnavailable:
+            return {}
+        return {int(waiter): {int(target) for target in targets}
+                for waiter, targets in payload.get("edges", [])}
+
+    def doom(self, victims: Mapping[int, tuple[int, ...]]) -> None:
+        """Offer victims; the worker marks those actually waiting there."""
+        if not victims:
+            return
+        try:
+            self._call(Doom(victims=[[txn, list(cycle)]
+                                     for txn, cycle in victims.items()]))
+        except ParticipantUnavailable:
+            pass
+
+    def clear_doom(self, txn: int) -> None:
+        try:
+            self._call(ClearDoom(txn=txn))
+        except ParticipantUnavailable:
+            pass
+
+    def holds(self, txn: int, resource: Hashable,
+              mode: Hashable | None = None) -> bool:
+        reply = self._call(Holds(
+            txn=txn, resource=encode_resource(resource),
+            mode=None if mode is None else encode_mode(mode)))
+        return bool(reply.value)
+
+    def waiting(self, resource: Hashable) -> tuple[tuple[int, Hashable], ...]:
+        """Queued requests on ``resource`` in FIFO order (introspection)."""
+        queued = self._call(Waiting(resource=encode_resource(resource))).value
+        return tuple((int(txn), decode_mode(mode)) for txn, mode in queued)
+
+    def doomed_transactions(self) -> frozenset[int]:
+        try:
+            payload = self._call(Doomed()).payload
+        except ParticipantUnavailable:
+            return frozenset()
+        return frozenset(int(txn) for txn in payload.get("doomed", ()))
+
+    # -- the data plane -----------------------------------------------------------
+
+    def write_plan(self, txn: int,
+                   images: Sequence[tuple[OID, Sequence[str]]]) -> None:
+        """Log projected before-images on the worker (undo + WAL), before
+        any write they cover is shipped."""
+        self._call(WritePlan(txn=txn, images=encode_images(images)))
+
+    def execute(self, txn: int, operation_request: Any,
+                images: Sequence[tuple[OID, Sequence[str]]],
+                ) -> tuple[list[Any], list[tuple[OID, dict[str, Any]]]]:
+        """Ship a whole single-shard operation: log images, run, return
+        ``(results, writes applied)`` so the coordinator can mirror them."""
+        reply = self._call(Execute(txn=txn,
+                                   operation_json=encode_operation(
+                                       operation_request),
+                                   images=encode_images(images)))
+        writes = [(oid, dict(values)) for oid, values in reply.writes]
+        return list(reply.results), writes
+
+    def read_field(self, oid: OID, field_name: str) -> Any:
+        """Read one field from the owning worker (cross-shard execution)."""
+        return self._call(ReadField(oid=oid, field=field_name)).value
+
+    def write_field(self, oid: OID, field_name: str, value: Any) -> None:
+        """Write one field on the owning worker (cross-shard execution)."""
+        self._call(WriteField(oid=oid, field=field_name, value=value))
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """The worker's own partition as ``{oid-string: field values}``."""
+        payload = self._call(Snapshot()).payload
+        return {name: dict(values)
+                for name, values in payload.get("instances", {}).items()}
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Where the worker listens."""
+        return self._address
+
+    def __repr__(self) -> str:
+        host, port = self._address
+        return f"RemoteShardClient(shard={self.shard_id}, {host}:{port})"
+
+
+def reply_for_worker_error(error: ReproError) -> ErrorReply:
+    """The error reply a worker answers with (same shape as the API's)."""
+    from repro.api.messages import reply_for_error
+
+    reply = reply_for_error(error)
+    if isinstance(reply, Overloaded):  # pragma: no cover - workers never overload
+        reply = ErrorReply(code=error.code, message=str(error))
+    return reply

@@ -40,7 +40,8 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.errors import TwoPhaseCommitError
+from repro.errors import ParticipantUnavailable, TwoPhaseCommitError
+from repro.sharding.participant import ParticipantClient
 from repro.txn.recovery import RecoveryManager
 from repro.wal.log import DecisionLog, WriteAheadLog
 from repro.wal.records import PreparedMarker, RedoImage
@@ -60,8 +61,8 @@ class CommitDecision:
         return len(self.shards) > 1
 
 
-class ShardParticipant:
-    """One shard's side of the protocol: its undo log and prepared set."""
+class ShardParticipant(ParticipantClient):
+    """The in-process participant: the shard's undo log and prepared set."""
 
     def __init__(self, shard_id: int, recovery: RecoveryManager,
                  wal: WriteAheadLog | None = None) -> None:
@@ -127,12 +128,17 @@ class ShardParticipant:
 class TwoPhaseCommitCoordinator:
     """Drives prepare/commit/abort over the touched participants."""
 
-    def __init__(self, participants: Sequence[ShardParticipant],
+    def __init__(self, participants: Sequence[ParticipantClient],
                  decision_log: DecisionLog | None = None) -> None:
         self._participants = tuple(participants)
         self._decisions: list[CommitDecision] = []
         self._decision_log = decision_log
         self._mutex = threading.Lock()
+        #: Phase-two/abort calls that found their participant unreachable.
+        #: The decision was already durable, so these are survivable — the
+        #: restarted worker resolves itself against the decision log — but
+        #: they are counted so operators (and tests) can see them.
+        self.unavailable_completions = 0
 
     # -- the protocol ------------------------------------------------------------
 
@@ -156,21 +162,53 @@ class TwoPhaseCommitCoordinator:
         durability point too."""
         return self._record(txn, "commit", shards)
 
+    def wait_commit_durable(self) -> None:
+        """Block until every commit record appended so far is durable.
+
+        With group commit the decision log batches its fsyncs; the engine
+        calls this *outside* its commit mutex, after :meth:`record_commit`,
+        so concurrent committers share one barrier instead of paying one
+        fsync each.  Without group commit (or without a durable log at all)
+        the record was already durable when ``record_commit`` returned and
+        this is a no-op.
+        """
+        if self._decision_log is not None:
+            self._decision_log.wait_durable()
+
     def complete_commit(self, txn: int, shards: Sequence[int]) -> None:
-        """Phase two: discard every touched shard's undo log."""
+        """Phase two: discard every touched shard's undo log.
+
+        An unreachable participant does not fail the commit — the decision
+        is already durable, so the transaction *is* committed; the dead
+        worker redoes it from its own WAL and the decision log when it
+        restarts (per-participant recovery).
+        """
         for shard_id in shards:
-            self._participants[shard_id].commit(txn)
+            try:
+                self._participants[shard_id].commit(txn)
+            except ParticipantUnavailable:
+                with self._mutex:
+                    self.unavailable_completions += 1
 
     def abort(self, txn: int, shards: Sequence[int]) -> CommitDecision:
-        """Undo on every touched shard (before-images restored), log the decision."""
+        """Undo on every touched shard (before-images restored), log the decision.
+
+        An unreachable participant is tolerated: presumed abort means the
+        restarted worker undoes the transaction on its own once it finds no
+        commit record for it.
+        """
         for shard_id in shards:
-            self._participants[shard_id].abort(txn)
+            try:
+                self._participants[shard_id].abort(txn)
+            except ParticipantUnavailable:
+                with self._mutex:
+                    self.unavailable_completions += 1
         return self._record(txn, "abort", shards)
 
     # -- introspection -----------------------------------------------------------
 
     @property
-    def participants(self) -> tuple[ShardParticipant, ...]:
+    def participants(self) -> tuple[ParticipantClient, ...]:
         """The per-shard participants, indexed by shard id."""
         return self._participants
 

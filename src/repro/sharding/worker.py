@@ -1,0 +1,652 @@
+"""The shard worker: one shard of the engine as its own OS process.
+
+``python -m repro.sharding.worker --shard-id K --shards N ...`` owns shard
+K outright: the shard's store partition, its
+:class:`~repro.engine.locks.BlockingLockManager`, its undo log and its
+write-ahead log all live *here*, and the coordinating engine reaches them
+only through the framed participant protocol of :mod:`repro.sharding.rpc`.
+That is what finally turns shard partitioning into multi-core parallelism:
+each worker is a separate interpreter with its own GIL, so commuting
+transactions on different shards really execute concurrently, and
+``Engine(shard_workers=N)`` keeps the familiar strict-2PL / 2PC semantics
+across the processes.
+
+What a worker serves:
+
+* **locking** — blocking ``acquire`` (the RPC blocks until granted, timed
+  out, or doomed), release, and the waits-for edge collection + doom offers
+  the coordinator's global deadlock detector drives;
+* **the data plane** — before-image write plans (undo + WAL write-through,
+  honouring the write-ahead rule *before* any covered write arrives),
+  single field reads/writes for cross-shard operations, and whole-operation
+  ``execute`` for single-shard operations: the worker logs the images, runs
+  the method bodies on its own partition with its own interpreter, and
+  returns the results plus the writes it applied;
+* **two-phase commit** — ``prepare`` (redo images + PREPARED marker +
+  barrier, then the yes vote), ``commit``, ``abort``, exactly the
+  :class:`~repro.sharding.twopc.ShardParticipant` semantics;
+* **checkpoints and snapshots** of its own partition.
+
+Determinism contract: the worker populates the same deterministic store as
+the coordinator (same schema name, instance count and seed — verified at
+``hello`` time), so OIDs and extents agree across all processes without
+ever shipping the store itself.  The worker holds the full populated store
+but *owns* only its shard's partition: everything it serves (snapshots,
+checkpoints, reads, shipped execution) concerns instances its shard owns —
+other partitions go stale in this process and are never consulted.
+
+**Per-participant recovery**: started over a directory whose
+``shard-K.wal`` already exists, the worker first recovers *its own* shard —
+base checkpoint, structural records, then undo/redo resolved against the
+coordinator's durable decision log under presumed abort (an in-doubt
+transaction that prepared here but has no commit record is undone; one with
+a commit record is redone).  It then writes a fresh checkpoint, truncates
+its log, and serves — no single-process
+:class:`~repro.wal.recovery_runner.RecoveryRunner` over the whole directory
+required, which is what lets one crashed worker rejoin while the others
+keep their state.
+
+The worker never aborts transactions on client disconnect: transaction
+ownership lives with the coordinating engine, whose session threads may
+reach the worker over many connections.  If the coordinator dies, restart
+the cluster (presumed abort resolves whatever was in flight).
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import os
+import signal
+import socket
+import threading
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.api.messages import request_from_wire, operation_from_request
+from repro.api.wire import recv_frame, send_frame
+from repro.core.compiler import compile_schema
+from repro.engine.locks import BlockingLockManager
+from repro.errors import ProtocolError, ReproError, WALError
+from repro.objects.interpreter import ExecutionTrace, Interpreter
+from repro.objects.oid import OID
+from repro.objects.store import ObjectStore
+from repro.core.modes import AccessMode
+from repro.schema import banking_schema, figure1_schema, library_schema
+from repro.sharding import rpc
+from repro.sharding.router import HashShardRouter
+from repro.sharding.twopc import ShardParticipant
+from repro.sim.workload import populate_store
+from repro.txn.protocols import PROTOCOLS
+from repro.txn.recovery import RecoveryManager
+from repro.wal.checkpoint import read_checkpoint_file, write_checkpoint_file
+from repro.wal.log import DecisionLog, WriteAheadLog, read_records
+from repro.wal.records import (
+    InstanceCreated,
+    InstanceDeleted,
+    RedoImage,
+    UndoImage,
+    decode_value,
+)
+
+#: The deterministic schemas a worker can build by name (the coordinator and
+#: every worker must name the same one — verified at ``hello`` time).
+SCHEMAS: dict[str, Callable[[], Any]] = {
+    "banking": banking_schema,
+    "library": library_schema,
+    "figure1": figure1_schema,
+}
+
+#: Exit code of a deliberately injected crash (tests assert on it).
+FAULT_EXIT = 42
+
+
+class ShardWorker:
+    """One shard's store partition, lock manager, undo log and WAL."""
+
+    def __init__(self, *, shard_id: int, shards: int, protocol: str = "tav",
+                 schema: str = "banking", instances: int = 4,
+                 populate_seed: int = 11, lock_timeout: float | None = 5.0,
+                 durability: str = "off", wal_dir: "str | Path | None" = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        if not 0 <= shard_id < shards:
+            raise ValueError(f"shard-id {shard_id} outside 0..{shards - 1}")
+        if schema not in SCHEMAS:
+            raise ValueError(f"unknown schema {schema!r}; "
+                             f"expected one of {', '.join(SCHEMAS)}")
+        self.shard_id = shard_id
+        self._config = {"shard": shard_id, "shards": shards,
+                        "protocol": protocol, "schema": schema,
+                        "instances": instances,
+                        "populate_seed": populate_seed,
+                        "durability": durability}
+        self._schema = SCHEMAS[schema]()
+        self._compiled = compile_schema(self._schema)
+        self._router = HashShardRouter(shards)
+        self._store = populate_store(self._schema, instances,
+                                     seed=populate_seed)
+        self._protocol = PROTOCOLS[protocol](self._compiled, self._store)
+        self._locks = BlockingLockManager(self._protocol.create_lock_manager(),
+                                          default_timeout=lock_timeout)
+        self._interpreter = Interpreter(self._store)
+
+        self._fsync = durability == "fsync"
+        self._wal: WriteAheadLog | None = None
+        self._wal_path: Path | None = None
+        self._ckpt_path: Path | None = None
+        self._decisions_path: Path | None = None
+        self.recovery_report: dict[str, Any] | None = None
+        if durability != "off":
+            if wal_dir is None:
+                raise WALError(f"durability mode {durability!r} needs --wal-dir")
+            root = Path(wal_dir)
+            root.mkdir(parents=True, exist_ok=True)
+            self._wal_path = root / f"shard-{shard_id}.wal"
+            self._ckpt_path = root / f"shard-{shard_id}.ckpt"
+            self._decisions_path = root / "decisions.log"
+            restarted = self._wal_path.exists()
+            if restarted:
+                self.recovery_report = self._recover_own_shard()
+            self._wal = WriteAheadLog(self._wal_path,
+                                      sync_on_barrier=self._fsync)
+            if restarted:
+                # Everything the old log held is resolved (presumed abort);
+                # install the recovered state as the new base.
+                self._wal.rewrite(lambda record: False)
+            self._checkpoint()  # the base checkpoint of this partition
+
+        self._recovery = RecoveryManager(self._store, wal=self._wal,
+                                         track_finished=False)
+        self._participant = ShardParticipant(shard_id, self._recovery,
+                                             wal=self._wal)
+
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self._address = (host, self._listener.getsockname()[1])
+        self._stop = threading.Event()
+        self._mutex = threading.Lock()
+        self._clients: set[socket.socket] = set()
+        self._fault_action: str | None = None
+        self._handlers: dict[type, Callable[[Any], Any]] = {
+            rpc.Hello: self._hello,
+            rpc.Acquire: self._acquire,
+            rpc.ReleaseAll: self._release_all,
+            rpc.CollectEdges: self._collect_edges,
+            rpc.Doom: self._doom,
+            rpc.ClearDoom: self._clear_doom,
+            rpc.Holds: self._holds,
+            rpc.Waiting: self._waiting,
+            rpc.Doomed: self._doomed,
+            rpc.WritePlan: self._write_plan,
+            rpc.Execute: self._execute,
+            rpc.ReadField: self._read_field,
+            rpc.WriteField: self._write_field,
+            rpc.Prepare: self._prepare,
+            rpc.CommitTxn: self._commit,
+            rpc.AbortTxn: self._abort,
+            rpc.Snapshot: self._snapshot,
+            rpc.Checkpoint: self._checkpoint_request,
+            rpc.Fault: self._fault,
+            rpc.Shutdown: self._shutdown_request,
+        }
+
+    # -- per-participant recovery -------------------------------------------------
+
+    def _recover_own_shard(self) -> dict[str, Any]:
+        """Rebuild this shard's partition from its checkpoint + WAL.
+
+        Resolution asks the coordinator's durable decision log (a file in
+        the shared durability directory) and applies **presumed abort**: no
+        commit record ⇒ undo.  Only records of this shard's log are
+        consulted — the other shards' state belongs to their own workers.
+        """
+        assert self._wal_path is not None
+        outcomes = DecisionLog.outcomes_at(self._decisions_path)
+        max_number = 0
+        document = read_checkpoint_file(self._ckpt_path)
+        restored = 0
+        if document is not None:
+            for class_name, number, values in document["instances"]:
+                oid = OID(class_name=class_name, number=number)
+                decoded = {name: decode_value(value)
+                           for name, value in values.items()}
+                if oid in self._store:
+                    self._store.get(oid).restore(decoded)
+                else:
+                    self._store.restore_instance(oid, class_name, decoded)
+                max_number = max(max_number, number)
+                restored += 1
+        records = list(read_records(self._wal_path))
+        for record in records:
+            if isinstance(record, InstanceCreated):
+                max_number = max(max_number, record.oid.number)
+                if record.oid not in self._store:
+                    # Values arrive decoded from record_from_payload.
+                    self._store.restore_instance(record.oid, record.class_name,
+                                                 dict(record.values))
+            elif isinstance(record, InstanceDeleted):
+                if record.oid in self._store:
+                    self._store.delete(record.oid)
+        winners: set[int] = set()
+        losers: set[int] = set()
+        in_doubt: set[int] = set()
+        prepared: set[int] = set()
+        undo_applied = redo_applied = 0
+        for record in records:
+            if isinstance(record, (InstanceCreated, InstanceDeleted)):
+                continue
+            if record.kind == "prepared":
+                prepared.add(record.txn)
+            verdict = outcomes.get(record.txn)
+            if verdict == "commit":
+                winners.add(record.txn)
+            else:
+                losers.add(record.txn)
+                if verdict is None:
+                    in_doubt.add(record.txn)
+            oid = getattr(record, "oid", None)
+            if oid is not None:
+                max_number = max(max_number, oid.number)
+        for record in reversed(records):
+            if isinstance(record, UndoImage) \
+                    and outcomes.get(record.txn) != "commit":
+                undo_applied += self._apply_image(record)
+        for record in records:
+            if isinstance(record, RedoImage) \
+                    and outcomes.get(record.txn) == "commit":
+                redo_applied += self._apply_image(record)
+        self._store.advance_oids_past(max_number)
+        return {
+            "shard": self.shard_id,
+            "restored_instances": restored,
+            "winners": sorted(winners),
+            "losers": sorted(losers),
+            "in_doubt": sorted(in_doubt),
+            "prepared_in_doubt": sorted(in_doubt & prepared),
+            "undo_applied": undo_applied,
+            "redo_applied": redo_applied,
+        }
+
+    def _apply_image(self, record: "UndoImage | RedoImage") -> int:
+        if record.oid not in self._store:
+            return 0
+        instance = self._store.get(record.oid)
+        for name, value in record.values.items():
+            instance.set(name, value)
+        return 1
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def _own_instances(self):
+        return [instance for instance in self._store
+                if self._router.shard_of_oid(instance.oid) == self.shard_id]
+
+    def _checkpoint(self) -> list[int]:
+        """Snapshot this partition and truncate the WAL behind it."""
+        if self._wal is None or self._ckpt_path is None:
+            return []
+        with self._wal.mutex:
+            recovery = getattr(self, "_recovery", None)
+            keep = (set(recovery.pending_transactions())
+                    if recovery is not None else set())
+            snapshot = [(instance.oid, instance.class_name,
+                         dict(instance.values))
+                        for instance in self._own_instances()]
+            write_checkpoint_file(self._ckpt_path, self.shard_id, keep,
+                                  snapshot, fsync=self._fsync)
+            self._wal.rewrite(lambda record: record.txn in keep)
+        return sorted(keep)
+
+    # -- serving ------------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`shutdown`; one thread each."""
+        workers: list[threading.Thread] = []
+        while not self._stop.is_set():
+            try:
+                sock, _peer = self._listener.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                break
+            with self._mutex:
+                if self._stop.is_set():
+                    sock.close()
+                    break
+                self._clients.add(sock)
+            thread = threading.Thread(target=self._serve_connection,
+                                      args=(sock,), daemon=True,
+                                      name=f"repro-shard{self.shard_id}-conn")
+            thread.start()
+            workers.append(thread)
+        self._listener.close()
+        for sock in list(self._clients):
+            with contextlib.suppress(OSError):
+                sock.shutdown(socket.SHUT_RDWR)
+            sock.close()
+        for thread in workers:
+            thread.join(timeout=1.0)
+
+    def shutdown(self) -> None:
+        """Stop accepting and unblock the serve loop.  Idempotent."""
+        self._stop.set()
+
+    def close(self) -> None:
+        """Checkpoint (bounding the next recovery) and close the log."""
+        if self._wal is not None:
+            self._checkpoint()
+            self._wal.close()
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            while True:
+                document = recv_frame(sock)
+                if document is None:
+                    return
+                post: Callable[[], None] | None = None
+                try:
+                    request = rpc.worker_request_from_wire(document)
+                    handler = self._handlers.get(type(request))
+                    if handler is None:
+                        raise ProtocolError(
+                            f"worker cannot serve {type(request).__name__}")
+                    reply = handler(request)
+                    if isinstance(reply, tuple):
+                        reply, post = reply
+                except ReproError as error:
+                    reply = rpc.reply_for_worker_error(error)
+                except Exception as error:  # noqa: BLE001 - answer, not die
+                    reply = rpc.reply_for_worker_error(
+                        ReproError(f"worker internal error: {error!r}"))
+                send_frame(sock, rpc.message_to_wire(reply))
+                if post is not None:
+                    post()
+        except (ProtocolError, ConnectionError, OSError):
+            return
+        finally:
+            with self._mutex:
+                self._clients.discard(sock)
+            sock.close()
+
+    # -- handlers -----------------------------------------------------------------
+
+    def _hello(self, request: rpc.Hello) -> rpc.Info:
+        payload = dict(self._config)
+        payload["recovery"] = self.recovery_report
+        payload["wal_bytes"] = (0 if self._wal is None
+                                else self._wal.bytes_written)
+        return rpc.Info(payload=payload)
+
+    def _acquire(self, request: rpc.Acquire) -> rpc.Waited:
+        waited = self._locks.acquire(request.txn,
+                                     rpc.decode_resource(request.resource),
+                                     rpc.decode_mode(request.mode),
+                                     rpc.decode_timeout(request.timeout))
+        return rpc.Waited(waited=waited)
+
+    def _release_all(self, request: rpc.ReleaseAll) -> rpc.Ok:
+        self._locks.release_all(request.txn)
+        return rpc.Ok()
+
+    def _collect_edges(self, request: rpc.CollectEdges) -> rpc.Info:
+        edges = self._locks.collect_edges()
+        return rpc.Info(payload={"edges": [[waiter, sorted(targets)]
+                                           for waiter, targets in edges.items()]})
+
+    def _doom(self, request: rpc.Doom) -> rpc.Ok:
+        victims = {int(txn): tuple(int(t) for t in cycle)
+                   for txn, cycle in request.victims}
+        self._locks.doom(victims)
+        return rpc.Ok()
+
+    def _clear_doom(self, request: rpc.ClearDoom) -> rpc.Ok:
+        self._locks.clear_doom(request.txn)
+        return rpc.Ok()
+
+    def _holds(self, request: rpc.Holds) -> rpc.Value:
+        mode = None if request.mode is None else rpc.decode_mode(request.mode)
+        return rpc.Value(value=self._locks.holds(
+            request.txn, rpc.decode_resource(request.resource), mode))
+
+    def _waiting(self, request: rpc.Waiting) -> rpc.Value:
+        queued = self._locks.waiting(rpc.decode_resource(request.resource))
+        return rpc.Value(value=[[txn, rpc.encode_mode(mode)]
+                                for txn, mode in queued])
+
+    def _doomed(self, request: rpc.Doomed) -> rpc.Info:
+        return rpc.Info(payload={
+            "doomed": sorted(self._locks.doomed_transactions())})
+
+    def _write_plan(self, request: rpc.WritePlan) -> rpc.Ok:
+        for oid, fields in rpc.decode_images(request.images):
+            self._recovery.log_before_image(request.txn, oid, fields)
+        return rpc.Ok()
+
+    def _execute(self, request: rpc.Execute) -> rpc.Executed:
+        # Before-images first — the write-ahead rule, same ordering the
+        # in-process engine's perform() follows.
+        for oid, fields in rpc.decode_images(request.images):
+            self._recovery.log_before_image(request.txn, oid, fields)
+        call = request_from_wire(json.loads(request.operation_json))
+        operation = operation_from_request(call)
+        trace = ExecutionTrace()
+        results = self._protocol.execute(operation, self._interpreter,
+                                         trace=trace)
+        written: dict[OID, dict[str, Any]] = {}
+        for event in trace.field_accesses:
+            if event.mode is AccessMode.WRITE:
+                written.setdefault(event.oid, {})[event.field] = None
+        writes = []
+        for oid, fields in written.items():
+            instance = self._store.get(oid)
+            writes.append([oid, {name: instance.get(name) for name in fields}])
+        return rpc.Executed(results=results, writes=writes)
+
+    def _read_field(self, request: rpc.ReadField) -> rpc.Value:
+        return rpc.Value(value=self._store.read_field(request.oid,
+                                                      request.field))
+
+    def _write_field(self, request: rpc.WriteField) -> rpc.Ok:
+        self._store.write_field(request.oid, request.field, request.value)
+        return rpc.Ok()
+
+    def _prepare(self, request: rpc.Prepare):
+        action, self._fault_action = self._fault_action, None
+        if action == "exit_before_prepare_reply":
+            # The durable yes-vote exists (redo images + PREPARED marker,
+            # barriered) but the coordinator never hears it: the classic
+            # prepared-in-doubt window, SIGKILL-style.
+            self._participant.prepare(request.txn)
+            os._exit(FAULT_EXIT)
+        self._participant.prepare(request.txn)
+        if action == "exit_after_prepare_reply":
+            # Vote yes, then die before phase two can reach us.
+            return rpc.Ok(), lambda: os._exit(FAULT_EXIT)
+        return rpc.Ok()
+
+    def _commit(self, request: rpc.CommitTxn) -> rpc.Ok:
+        self._participant.commit(request.txn)
+        return rpc.Ok()
+
+    def _abort(self, request: rpc.AbortTxn) -> rpc.Ok:
+        self._participant.abort(request.txn)
+        return rpc.Ok()
+
+    def _snapshot(self, request: rpc.Snapshot) -> rpc.Info:
+        instances = {str(instance.oid): dict(instance.values)
+                     for instance in self._own_instances()}
+        return rpc.Info(payload={"instances": instances})
+
+    def _checkpoint_request(self, request: rpc.Checkpoint) -> rpc.Info:
+        return rpc.Info(payload={"kept": self._checkpoint()})
+
+    def _fault(self, request: rpc.Fault) -> rpc.Ok:
+        if request.action not in ("exit_before_prepare_reply",
+                                  "exit_after_prepare_reply"):
+            raise ProtocolError(f"unknown fault action {request.action!r}")
+        self._fault_action = request.action
+        return rpc.Ok()
+
+    def _shutdown_request(self, request: rpc.Shutdown):
+        return rpc.Ok(), self.shutdown
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound."""
+        return self._address
+
+    @property
+    def store(self) -> ObjectStore:
+        """The worker's store (tests)."""
+        return self._store
+
+    @property
+    def participant(self) -> ShardParticipant:
+        """The in-process participant core (tests)."""
+        return self._participant
+
+
+# ---------------------------------------------------------------------------
+# Spawning workers as subprocesses (engine, tests, examples)
+# ---------------------------------------------------------------------------
+
+
+def spawn(*, shard_id: int, shards: int, protocol: str = "tav",
+          schema: str = "banking", instances: int = 4, populate_seed: int = 11,
+          lock_timeout: "float | None" = 5.0, durability: str = "off",
+          wal_dir: "str | Path | None" = None, host: str = "127.0.0.1",
+          port: int = 0, ready_timeout: float = 60.0):
+    """Start one ``python -m repro.sharding.worker`` and wait for its port.
+
+    Returns ``(process, (host, port))`` once the child printed its
+    ``listening on`` line.  The caller owns the process.
+    """
+    import subprocess
+    import sys
+
+    package_root = Path(__file__).resolve().parent.parent.parent
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = os.pathsep.join(
+        [str(package_root)] + ([environment["PYTHONPATH"]]
+                               if environment.get("PYTHONPATH") else []))
+    command = [sys.executable, "-m", "repro.sharding.worker",
+               "--host", host, "--port", str(port),
+               "--shard-id", str(shard_id), "--shards", str(shards),
+               "--protocol", protocol, "--schema", schema,
+               "--instances", str(instances),
+               "--populate-seed", str(populate_seed),
+               "--lock-timeout",
+               "none" if lock_timeout is None else str(lock_timeout),
+               "--durability", durability]
+    if wal_dir is not None:
+        command += ["--wal-dir", str(wal_dir)]
+    process = subprocess.Popen(command, env=environment,
+                               stdout=subprocess.PIPE, text=True)
+    address: list[tuple[str, int]] = []
+    ready = threading.Event()
+
+    def read() -> None:
+        assert process.stdout is not None
+        for line in process.stdout:
+            if line.startswith("listening on "):
+                bound_host, _, bound_port = line.split()[-1].rpartition(":")
+                address.append((bound_host, int(bound_port)))
+                ready.set()
+                return
+
+    reader = threading.Thread(target=read, daemon=True,
+                              name=f"repro-worker-spawn-{shard_id}")
+    reader.start()
+    if not ready.wait(ready_timeout):
+        process.kill()
+        process.wait()
+        raise RuntimeError(
+            f"shard worker {shard_id} never reported listening within "
+            f"{ready_timeout}s (exit {process.poll()})")
+    return process, address[0]
+
+
+def spawn_cluster(shards: int, **options: Any) -> list[tuple[Any, tuple[str, int]]]:
+    """Spawn one worker per shard; returns ``(process, address)`` per shard."""
+    cluster = []
+    try:
+        for shard_id in range(shards):
+            cluster.append(spawn(shard_id=shard_id, shards=shards, **options))
+    except BaseException:
+        for process, _address in cluster:
+            process.kill()
+            process.wait()
+        raise
+    return cluster
+
+
+# ---------------------------------------------------------------------------
+# Command line
+# ---------------------------------------------------------------------------
+
+
+def _lock_timeout(text: str) -> float | None:
+    """CLI form of the default lock timeout (``none`` = wait forever)."""
+    return None if text.lower() == "none" else float(text)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Build one shard's worker, serve it, block until SIGTERM/SIGINT."""
+    from repro.wal.durability import MODES as DURABILITY_MODES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sharding.worker",
+        description="Serve one store shard — its partition, lock manager, "
+                    "undo log and WAL — over the participant RPC protocol.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="port to bind; 0 picks a free one (default: 0)")
+    parser.add_argument("--shard-id", type=int, required=True,
+                        help="which shard this worker owns (0-based)")
+    parser.add_argument("--shards", type=int, required=True,
+                        help="total shard count of the engine")
+    parser.add_argument("--protocol", default="tav", choices=list(PROTOCOLS))
+    parser.add_argument("--schema", default="banking", choices=list(SCHEMAS))
+    parser.add_argument("--instances", type=int, default=4,
+                        help="instances per class (must match the engine)")
+    parser.add_argument("--populate-seed", type=int, default=11,
+                        help="store population seed (must match the engine)")
+    parser.add_argument("--lock-timeout", type=_lock_timeout, default=5.0,
+                        help="default per-request lock timeout in seconds, "
+                             "or 'none' to wait forever (must match the "
+                             "engine's default_lock_timeout)")
+    parser.add_argument("--durability", choices=DURABILITY_MODES,
+                        default="off")
+    parser.add_argument("--wal-dir", metavar="PATH", default=None,
+                        help="shared durability directory (shard-K.wal / "
+                             "shard-K.ckpt live here; decisions.log is read "
+                             "for per-participant recovery)")
+    arguments = parser.parse_args(argv)
+
+    worker = ShardWorker(
+        shard_id=arguments.shard_id, shards=arguments.shards,
+        protocol=arguments.protocol, schema=arguments.schema,
+        instances=arguments.instances, populate_seed=arguments.populate_seed,
+        lock_timeout=arguments.lock_timeout, durability=arguments.durability,
+        wal_dir=arguments.wal_dir, host=arguments.host, port=arguments.port)
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: worker.shutdown())
+    if worker.recovery_report is not None:
+        print("recovered " + json.dumps(worker.recovery_report,
+                                        sort_keys=True), flush=True)
+    host, port = worker.address
+    print(f"listening on {host}:{port}", flush=True)
+    try:
+        worker.serve_forever()
+    finally:
+        worker.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,6 +42,11 @@ class Durability:
     #: Seconds between automatic fuzzy checkpoints; ``None`` checkpoints
     #: only on demand (:meth:`repro.engine.engine.Engine.checkpoint`).
     checkpoint_interval: float | None = None
+    #: Group commit: batch decision-log fsyncs into one barrier per this
+    #: many milliseconds.  ``None``/``0`` keeps one fsync per commit.  Only
+    #: meaningful under ``fsync`` (lazy barriers do not fsync anyway); it
+    #: trades a bounded ack latency for amortising the dominant fsync cost.
+    group_commit_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -51,6 +56,15 @@ class Durability:
             raise WALError(f"durability mode {self.mode!r} needs a directory")
         if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
             raise WALError("checkpoint_interval must be positive seconds")
+        if self.group_commit_ms is not None and self.group_commit_ms < 0:
+            raise WALError("group_commit_ms must be non-negative milliseconds")
+
+    @property
+    def group_commit_window(self) -> float | None:
+        """The group-commit window in *seconds*, or ``None`` when off."""
+        if not self.group_commit_ms:
+            return None
+        return self.group_commit_ms / 1000.0
 
     # -- constructors -----------------------------------------------------------
 

@@ -28,9 +28,11 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from pathlib import Path
 from typing import Callable, Iterator
 
+from repro.errors import WALError
 from repro.wal.records import (
     DecisionRecord,
     WALRecord,
@@ -192,16 +194,91 @@ class DecisionLog:
     snapshot and survives untouched.
     """
 
-    def __init__(self, path: str | Path, *, sync_on_commit: bool = False) -> None:
+    def __init__(self, path: str | Path, *, sync_on_commit: bool = False,
+                 group_window: float | None = None) -> None:
         self._wal = WriteAheadLog(path, sync_on_barrier=sync_on_commit)
+        #: Group commit: batch the per-commit fsync into one barrier per
+        #: ``group_window`` seconds.  Only meaningful when barriers fsync at
+        #: all; with write-through-only barriers the window buys nothing and
+        #: is ignored.
+        self._group_window = (group_window
+                              if sync_on_commit and group_window else None)
+        self._group_cv = threading.Condition()
+        #: Commit records appended / made durable so far (group mode only).
+        self._appended = 0
+        self._synced = 0
+        self._flusher: threading.Thread | None = None
+        self._stopping = False
+        #: A barrier failure (disk full, I/O error).  The flusher thread
+        #: cannot propagate it to anyone directly, so it parks the exception
+        #: here and every current and future waiter raises it — a disk error
+        #: must surface as a typed failure, never as a silent commit stall.
+        self._group_error: BaseException | None = None
 
     def append(self, txn: int, verdict: str, shards: tuple[int, ...]) -> int:
-        """Record one outcome; a commit verdict is durable on return."""
+        """Record one outcome.
+
+        Without group commit a ``commit`` verdict is durable on return (the
+        historical contract).  With a group window the record has merely
+        reached the operating system; the caller must invoke
+        :meth:`wait_durable` — *outside* whatever mutex serialises its
+        appends — before treating the commit as durable.
+        """
         written = self._wal.append(DecisionRecord(txn=txn, verdict=verdict,
                                                   shards=shards))
         if verdict == "commit":
-            self._wal.barrier()
+            if self._group_window is None:
+                self._wal.barrier()
+            else:
+                with self._group_cv:
+                    self._appended += 1
+                    if self._flusher is None:
+                        self._flusher = threading.Thread(
+                            target=self._flush_loop, daemon=True,
+                            name="repro-group-commit")
+                        self._flusher.start()
+                    self._group_cv.notify_all()
         return written
+
+    def wait_durable(self) -> None:
+        """Block until every commit record appended so far is durable.
+
+        A no-op without group commit.  The caller observes the append
+        counter at entry and waits for a barrier to cover it, so several
+        committers arriving within one window share a single fsync.
+        """
+        if self._group_window is None:
+            return
+        with self._group_cv:
+            target = self._appended
+            while self._synced < target:
+                if self._group_error is not None:
+                    raise WALError("group-commit barrier failed; the commit "
+                                   "record is not durable") from self._group_error
+                self._group_cv.wait()
+
+    def _flush_loop(self) -> None:
+        while True:
+            with self._group_cv:
+                while self._appended == self._synced and not self._stopping:
+                    self._group_cv.wait()
+                if self._stopping and self._appended == self._synced:
+                    return
+            # Let the window fill up before paying the barrier, then fsync
+            # outside the condition so appenders are never blocked on disk.
+            time.sleep(self._group_window)
+            with self._group_cv:
+                covered = self._appended
+            try:
+                self._wal.barrier()
+            except BaseException as error:  # noqa: BLE001 - parked for waiters
+                with self._group_cv:
+                    self._group_error = error
+                    self._group_cv.notify_all()
+                return
+            with self._group_cv:
+                self._synced = covered
+                self._group_cv.notify_all()
 
     def decisions(self) -> list[DecisionRecord]:
         """Every decision durably recorded, in decision order."""
@@ -235,7 +312,14 @@ class DecisionLog:
         return outcomes
 
     def close(self) -> None:
-        """Close the underlying file.  Idempotent."""
+        """Drain any pending group barrier, then close the file.  Idempotent."""
+        if self._group_window is not None:
+            with self._group_cv:
+                self._stopping = True
+                self._group_cv.notify_all()
+            if self._flusher is not None:
+                self._flusher.join()
+                self._flusher = None
         self._wal.close()
 
     @property

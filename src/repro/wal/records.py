@@ -144,6 +144,45 @@ class PreparedMarker:
 
 
 @dataclass(frozen=True)
+class InstanceCreated:
+    """Structural record: an instance was created mid-epoch.
+
+    Creations used to be durable only through checkpoints; this record lets
+    recovery rebuild an instance created *after* the last snapshot instead
+    of silently dropping it (and every field image that referenced it).
+    ``txn`` is 0 — structural changes are not transaction-scoped here, and
+    the zero id is what lets checkpoint rewrites drop the record once the
+    snapshot covers the instance (no pending transaction ever has id 0).
+    """
+
+    oid: OID
+    class_name: str
+    values: Mapping[str, Any]
+    txn: int = 0
+
+    kind = "created"
+
+    def payload(self) -> dict[str, Any]:
+        return {"kind": self.kind, "txn": self.txn,
+                "oid": _encode_oid(self.oid), "class": self.class_name,
+                "values": _encode_values(self.values)}
+
+
+@dataclass(frozen=True)
+class InstanceDeleted:
+    """Structural record: an instance was deleted mid-epoch."""
+
+    oid: OID
+    txn: int = 0
+
+    kind = "deleted"
+
+    def payload(self) -> dict[str, Any]:
+        return {"kind": self.kind, "txn": self.txn,
+                "oid": _encode_oid(self.oid)}
+
+
+@dataclass(frozen=True)
 class DecisionRecord:
     """One coordinator decision (``commit`` or ``abort``) made durable."""
 
@@ -158,12 +197,21 @@ class DecisionRecord:
                 "shards": list(self.shards)}
 
 
-WALRecord = UndoImage | RedoImage | PreparedMarker | DecisionRecord
+WALRecord = (UndoImage | RedoImage | PreparedMarker | InstanceCreated
+             | InstanceDeleted | DecisionRecord)
 
 
 def record_from_payload(payload: Mapping[str, Any]) -> WALRecord:
     """Rebuild the typed record from a decoded JSON payload."""
     kind = payload.get("kind")
+    if kind == InstanceCreated.kind:
+        return InstanceCreated(oid=_decode_oid(payload["oid"]),
+                               class_name=payload["class"],
+                               values=_decode_values(payload["values"]),
+                               txn=payload.get("txn", 0))
+    if kind == InstanceDeleted.kind:
+        return InstanceDeleted(oid=_decode_oid(payload["oid"]),
+                               txn=payload.get("txn", 0))
     if kind == UndoImage.kind:
         return UndoImage(txn=payload["txn"], oid=_decode_oid(payload["oid"]),
                          values=_decode_values(payload["values"]))

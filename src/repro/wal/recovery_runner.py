@@ -41,7 +41,14 @@ from repro.schema import Schema
 from repro.wal.checkpoint import read_checkpoint_file
 from repro.wal.durability import Durability
 from repro.wal.log import DecisionLog, read_records
-from repro.wal.records import RedoImage, UndoImage, WALRecord, decode_value
+from repro.wal.records import (
+    InstanceCreated,
+    InstanceDeleted,
+    RedoImage,
+    UndoImage,
+    WALRecord,
+    decode_value,
+)
 
 
 @dataclass(frozen=True)
@@ -65,6 +72,11 @@ class RecoveryReport:
     prepared_in_doubt: tuple[int, ...]
     undo_applied: int
     redo_applied: int
+    #: Mid-epoch creations rebuilt from structural WAL records (instances
+    #: the base checkpoint never saw).
+    created_replayed: int = 0
+    #: Mid-epoch deletions re-applied from structural WAL records.
+    deleted_replayed: int = 0
 
     def as_document(self) -> dict[str, Any]:
         """A JSON-ready summary (CI uploads this as the recovery report)."""
@@ -78,6 +90,8 @@ class RecoveryReport:
             "prepared_in_doubt": list(self.prepared_in_doubt),
             "undo_applied": self.undo_applied,
             "redo_applied": self.redo_applied,
+            "created_replayed": self.created_replayed,
+            "deleted_replayed": self.deleted_replayed,
         }
 
 
@@ -161,11 +175,31 @@ class RecoveryRunner:
         in_doubt: set[int] = set()
         prepared: set[int] = set()
         undo_applied = redo_applied = 0
+        created_replayed = deleted_replayed = 0
         shard_records: dict[int, list[WALRecord]] = {}
         for shard_id in range(self._num_shards):
             records = list(read_records(self._durability.wal_path(shard_id)))
             shard_records[shard_id] = records
+            # Structural records first, in log order: a creation the base
+            # checkpoint never saw must exist before any field image of it
+            # can be undone or redone; a deletion wins over both (the field
+            # images of a deleted instance are skipped like always).
             for record in records:
+                if isinstance(record, InstanceCreated):
+                    max_number = max(max_number, record.oid.number)
+                    if record.oid not in store:
+                        # record_from_payload already decoded the values
+                        # (OID tags restored) — no second pass needed.
+                        store.restore_instance(record.oid, record.class_name,
+                                               dict(record.values))
+                        created_replayed += 1
+                elif isinstance(record, InstanceDeleted):
+                    if record.oid in store:
+                        store.delete(record.oid)
+                        deleted_replayed += 1
+            for record in records:
+                if isinstance(record, (InstanceCreated, InstanceDeleted)):
+                    continue
                 if record.kind == "prepared":
                     prepared.add(record.txn)
                 verdict = outcomes.get(record.txn)
@@ -197,7 +231,9 @@ class RecoveryRunner:
             in_doubt=tuple(sorted(in_doubt)),
             prepared_in_doubt=tuple(sorted(in_doubt & prepared)),
             undo_applied=undo_applied,
-            redo_applied=redo_applied)
+            redo_applied=redo_applied,
+            created_replayed=created_replayed,
+            deleted_replayed=deleted_replayed)
         return RecoveryResult(store=store, report=report,
                               shard_records=shard_records)
 

@@ -40,6 +40,7 @@ FROZEN_CODES = {
     "DeadlockError": "DEADLOCK",
     "TransactionError": "TRANSACTION",
     "TwoPhaseCommitError": "TWO_PHASE_COMMIT",
+    "ParticipantUnavailable": "PARTICIPANT_UNAVAILABLE",
     "TransactionAborted": "TRANSACTION_ABORTED",
     "UnknownModeError": "UNKNOWN_MODE",
     "ProtocolError": "PROTOCOL",

@@ -1,0 +1,104 @@
+"""Structural durability: instance creates/deletes survive without checkpoints.
+
+Before these records existed, an instance created after the last checkpoint
+vanished at recovery (and took its committed field updates with it); a
+deleted one was resurrected.  ``Engine.create_instance``/``delete_instance``
+append :class:`~repro.wal.records.InstanceCreated`/``InstanceDeleted`` to
+the owning shard's WAL, and recovery replays them after the snapshot and
+before the undo/redo passes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Engine
+from repro.objects.store import ObjectStore
+from repro.txn.protocols import TAVProtocol
+from repro.wal import Durability, RecoveryRunner
+from repro.wal.log import read_records
+from repro.wal.records import InstanceCreated, InstanceDeleted
+
+
+@pytest.fixture
+def durable_engine(banking, banking_compiled, tmp_path):
+    store = ObjectStore(banking)
+    base = store.create("Account", balance=100.0, owner="ada", active=True)
+    durability = Durability.lazy(tmp_path / "wal")
+    engine = Engine(TAVProtocol(banking_compiled, store),
+                    durability=durability)
+    yield engine, store, durability, base.oid
+    engine.close()
+
+
+def test_mid_epoch_creation_survives_recovery(banking, durable_engine):
+    engine, store, durability, _base = durable_engine
+    created = engine.create_instance("Account", balance=50.0, owner="new",
+                                     active=True)
+    session = engine.begin(label="fund")
+    session.call(created.oid, "deposit", 25.0)
+    session.commit()
+    engine.close()  # crash: the only checkpoint predates the creation
+
+    result = RecoveryRunner(durability, banking).recover()
+    assert created.oid in result.store
+    assert result.store.read_field(created.oid, "balance") == 75.0
+    assert result.report.created_replayed == 1
+    # OIDs never rewind past a recovered creation.
+    replacement = result.store.create("Account")
+    assert replacement.oid.number > created.oid.number
+
+
+def test_uncommitted_write_on_a_created_instance_is_undone(banking,
+                                                           durable_engine):
+    engine, store, durability, _base = durable_engine
+    created = engine.create_instance("Account", balance=50.0, owner="new",
+                                     active=True)
+    session = engine.begin(label="in-flight")
+    session.call(created.oid, "deposit", 999.0)
+    engine.close()  # crash mid-transaction: presumed abort
+
+    result = RecoveryRunner(durability, banking).recover()
+    assert result.store.read_field(created.oid, "balance") == 50.0
+    assert session.txn_id in result.report.in_doubt
+
+
+def test_mid_epoch_deletion_survives_recovery(banking, durable_engine):
+    engine, store, durability, base = durable_engine
+    doomed = engine.create_instance("Account", balance=10.0, owner="gone",
+                                    active=True)
+    engine.delete_instance(doomed.oid)
+    engine.close()
+
+    result = RecoveryRunner(durability, banking).recover()
+    assert doomed.oid not in result.store
+    assert base in result.store
+    assert result.report.deleted_replayed >= 1
+
+
+def test_checkpoint_supersedes_structural_records(banking, durable_engine):
+    engine, store, durability, _base = durable_engine
+    created = engine.create_instance("Account", balance=50.0, owner="new",
+                                     active=True)
+    engine.checkpoint()
+    # The snapshot now covers the creation, so the rewrite dropped the
+    # structural record (its txn is 0 — never a pending transaction)...
+    records = list(read_records(durability.wal_path(0)))
+    assert not [r for r in records
+                if isinstance(r, (InstanceCreated, InstanceDeleted))]
+    engine.close()
+    # ...and recovery still sees the instance, via the snapshot.
+    result = RecoveryRunner(durability, banking).recover()
+    assert created.oid in result.store
+    assert result.report.created_replayed == 0
+
+
+def test_delete_of_unknown_instance_logs_nothing(banking, durable_engine):
+    from repro.errors import UnknownInstanceError
+    from repro.objects.oid import OID
+
+    engine, store, durability, _base = durable_engine
+    before = list(read_records(durability.wal_path(0)))
+    with pytest.raises(UnknownInstanceError):
+        engine.delete_instance(OID("Account", 999))
+    assert list(read_records(durability.wal_path(0))) == before
