@@ -1,0 +1,74 @@
+"""Commit-latency percentiles: the inproc vs socket baseline.
+
+Throughput ratios (``test_bench_transport_overhead``) say how much the
+network front end costs in aggregate; this bench records what it costs
+*per commit* — p50/p95/p99 commit latency from the engine's mergeable
+log-scaled histograms, inproc and over real loopback TCP — and writes
+the rows to ``BENCH_latency_baseline.json``.  CI uploads the document as
+the latency baseline artifact, so a dispatcher or framing regression
+shows up as a tail-latency shift between runs, not just a throughput
+dip.
+
+The socket row's histogram is the before/after *subtraction* of the
+server's cluster snapshot (the harness isolates its own run), so the
+percentiles stay exact-to-the-bucket even against a shared server.
+"""
+
+import pathlib
+
+from repro.engine import ThroughputHarness
+from repro.engine.harness import write_bench_json
+from repro.reporting import format_throughput_table
+from repro.txn.protocols import TAVProtocol
+
+from .conftest import emit
+
+THREADS = 8
+TRANSACTIONS = 120
+INSTANCES_PER_CLASS = 4
+JSON_PATH = pathlib.Path(__file__).with_name("BENCH_latency_baseline.json")
+
+
+def run_latency_grid(banking, banking_compiled):
+    harness = ThroughputHarness(schema=banking, compiled=banking_compiled,
+                                instances_per_class=INSTANCES_PER_CLASS)
+    return [harness.run(TAVProtocol, threads=THREADS,
+                        transactions=TRANSACTIONS, shards=2,
+                        transport=transport, default_lock_timeout=10.0)
+            for transport in ("inproc", "socket")]
+
+
+def test_commit_latency_baseline(benchmark, banking, banking_compiled):
+    results = benchmark.pedantic(run_latency_grid,
+                                 args=(banking, banking_compiled),
+                                 rounds=1, iterations=1, warmup_rounds=0)
+    inproc, socket = results
+
+    for result in results:
+        assert result.serializable is True, "serializability violation"
+        assert result.errors == ()
+        # Every commit was timed into the latency histogram.
+        assert result.metrics.histograms["commit_latency"].count \
+            == result.metrics.committed
+        percentiles = [result.metrics.commit_percentile(q)
+                       for q in (50, 95, 99)]
+        assert all(value > 0.0 for value in percentiles)
+        assert percentiles == sorted(percentiles)
+        row = result.as_row()
+        assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+
+    write_bench_json(JSON_PATH, results, {
+        "threads": THREADS, "transactions": TRANSACTIONS,
+        "instances": INSTANCES_PER_CLASS, "shards": 2,
+        "transport": ["inproc", "socket"],
+        "percentiles_ms": {
+            result.transport: {
+                f"p{q}": round(result.metrics.commit_percentile(q) * 1e3, 3)
+                for q in (50, 95, 99)}
+            for result in results},
+    }, benchmark="latency_baseline")
+    emit("Commit-latency baseline: inproc vs socket p50/p95/p99 "
+         f"({THREADS} threads, {TRANSACTIONS} transactions, shards=2; "
+         f"socket p95 {socket.metrics.commit_percentile(95) * 1e3:.2f} ms vs "
+         f"inproc p95 {inproc.metrics.commit_percentile(95) * 1e3:.2f} ms)",
+         format_throughput_table(results))

@@ -97,7 +97,7 @@ from repro.schema import (
     library_schema,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AccessMode",

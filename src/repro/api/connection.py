@@ -44,6 +44,7 @@ from repro.api.messages import (
     Ping,
     Reply,
     Request,
+    Stats,
     StoreState,
     exception_from_reply,
     raise_if_error,
@@ -85,13 +86,21 @@ class Connection(abc.ABC):
 
     # -- sugar ------------------------------------------------------------------
 
-    def begin(self, label: str = "", origin: int | None = None) -> "ClientSession":
+    def begin(self, label: str = "", origin: int | None = None,
+              trace: Any = None) -> "ClientSession":
         """Start a transaction and return the session handle driving it.
+
+        ``trace`` joins the transaction to a client-side trace: a
+        :class:`~repro.obs.tracing.TraceContext` (or its wire dict) whose
+        span becomes the parent of the engine's root span.
 
         Raises:
             OverloadedError: admission control refused (back off and retry).
         """
-        reply = raise_if_error(self.request(Begin(label=label, origin=origin)))
+        if hasattr(trace, "to_wire"):
+            trace = trace.to_wire()
+        reply = raise_if_error(self.request(Begin(label=label, origin=origin,
+                                                  trace=trace)))
         if not isinstance(reply, BeginReply):
             raise ProtocolError(f"begin answered with {type(reply).__name__}")
         return ClientSession(self, reply.txn, label=label)
@@ -119,6 +128,11 @@ class Connection(abc.ABC):
     def metrics(self) -> Mapping[str, Any]:
         """The engine's raw metric counters plus WAL bytes written."""
         return self._info(MetricsSnapshot())
+
+    def stats(self, top: int = 8) -> Mapping[str, Any]:
+        """Per-shard observability: deadlock victims, WAL bytes and the
+        cluster's ``top`` hottest resources by lock-wait time."""
+        return self._info(Stats(top=top))
 
     def ping(self) -> bool:
         """Whether the other side answers."""

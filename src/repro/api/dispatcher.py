@@ -28,7 +28,9 @@ socket server aborts whatever a *vanished* client left behind — see
 
 from __future__ import annotations
 
+import contextlib
 import threading
+import time
 from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro.api.admission import AdmissionController
@@ -52,6 +54,7 @@ from repro.api.messages import (
     Reply,
     Request,
     ResultReply,
+    Stats,
     StoreState,
     operation_from_request,
     reply_for_error,
@@ -89,6 +92,7 @@ class Dispatcher:
             CommitLog: self._commit_log,
             StoreState: self._store_state,
             MetricsSnapshot: self._metrics,
+            Stats: self._stats,
             Ping: self._ping,
         }
 
@@ -101,9 +105,29 @@ class Dispatcher:
             if handler is None:
                 raise ProtocolError(
                     f"unsupported request type {type(request).__name__}")
-            return handler(request)
+            with self._maybe_trace(request):
+                return handler(request)
         except ReproError as error:
             return reply_for_error(error)
+
+    def _maybe_trace(self, request: Request) -> Any:
+        """An ``api:<type>`` span when the request's transaction is traced.
+
+        Commands carry transactions by id, so the span is parented to the
+        engine's root span for that id; Begin (no id yet) and control-plane
+        requests stay unspanned.  One ``getattr`` plus a ``None`` check is
+        the whole cost with tracing off.
+        """
+        txn = getattr(request, "txn", None)
+        tracer = getattr(self._engine, "tracer", None)
+        if txn is None or tracer is None:
+            return contextlib.nullcontext()
+        context = self._engine.trace_context_for(txn)
+        if context is None:
+            return contextlib.nullcontext()
+        return tracer.span(f"api:{request.type}", context.trace_id,
+                           parent=context.parent, category="api",
+                           args={"txn": txn})
 
     # -- transaction life cycle -------------------------------------------------
 
@@ -112,7 +136,8 @@ class Dispatcher:
             self._admission.admit()
             try:
                 session = self._engine.begin(label=request.label,
-                                             origin=request.origin)
+                                             origin=request.origin,
+                                             trace=request.trace)
             except BaseException:
                 self._admission.release()
                 raise
@@ -120,11 +145,13 @@ class Dispatcher:
                 self._admitted.add(session.txn_id)
         else:
             session = self._engine.begin(label=request.label,
-                                         origin=request.origin)
+                                         origin=request.origin,
+                                         trace=request.trace)
         return BeginReply(txn=session.txn_id)
 
     def _commit(self, request: Commit) -> Reply:
         session = self._resolve(request.txn)
+        started = time.perf_counter()
         try:
             self._engine.commit(session.transaction,
                                 label=request.label or session.label)
@@ -133,6 +160,10 @@ class Dispatcher:
             # propagates — either way the slot is free once it is finished.
             if session.transaction.is_finished:
                 self._release_slot(request.txn)
+        # Only successful commits reach this line, so the histogram is
+        # commit latency, not commit-attempt latency.
+        self._engine.metrics.record_latency("commit_latency",
+                                            time.perf_counter() - started)
         return CommitReply(txn=request.txn)
 
     def _abort(self, request: Abort) -> Reply:
@@ -176,10 +207,15 @@ class Dispatcher:
         return InfoReply(payload={"instances": self._engine.store_state()})
 
     def _metrics(self, request: MetricsSnapshot) -> Reply:
+        # cluster_metrics merges worker-side histograms and WAL bytes into
+        # the engine's own snapshot, so remote harnesses see the cluster.
         return InfoReply(payload={
-            "metrics": self._engine.metrics.snapshot(),
+            "metrics": self._engine.cluster_metrics(),
             "wal_bytes": self._engine.wal_bytes_written,
         })
+
+    def _stats(self, request: Stats) -> Reply:
+        return InfoReply(payload=self._engine.stats(top=request.top))
 
     def _ping(self, request: Ping) -> Reply:
         return InfoReply(payload={"pong": True})

@@ -20,8 +20,8 @@ request            meaning
 =================  =========================================================
 
 plus a small control plane (:class:`Describe`, :class:`CommitLog`,
-:class:`StoreState`, :class:`MetricsSnapshot`, :class:`Ping`) that the
-throughput harness and operational tooling use.
+:class:`StoreState`, :class:`MetricsSnapshot`, :class:`Stats`,
+:class:`Ping`) that the throughput harness and operational tooling use.
 
 Failures travel as data too: :class:`ErrorReply` carries the stable
 machine-readable ``code`` of the exception class (see
@@ -73,10 +73,14 @@ from repro.wal.records import decode_value, encode_value
 class Begin:
     """Start a transaction.  ``origin`` is the first incarnation's begin
     timestamp — a retrying client passes it so deadlock-victim selection
-    ranks the retry by when its work actually began (wait-die seniority)."""
+    ranks the retry by when its work actually began (wait-die seniority).
+    ``trace`` is an optional trace context (``{"t": trace_id, "p": span_id}``,
+    see :mod:`repro.obs.tracing`): a traced client passes it so the engine's
+    transaction spans join the client's trace."""
 
     label: str = ""
     origin: int | None = None
+    trace: Any = None
 
     type = "begin"
     _tuples = ()
@@ -190,6 +194,18 @@ class MetricsSnapshot:
 
 
 @dataclass(frozen=True)
+class Stats:
+    """Ask for the per-shard observability breakdown: deadlock victims and
+    WAL bytes per shard, plus the cluster's ``top`` lock-contention hot
+    resources by accumulated wait time."""
+
+    top: int = 8
+
+    type = "stats"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
 class Ping:
     """Liveness probe."""
 
@@ -198,7 +214,8 @@ class Ping:
 
 
 Request = (Begin | Call | CallExtent | CallSome | CallDomain | Commit | Abort
-           | Describe | CommitLog | StoreState | MetricsSnapshot | Ping)
+           | Describe | CommitLog | StoreState | MetricsSnapshot | Stats
+           | Ping)
 
 
 # ---------------------------------------------------------------------------
@@ -402,7 +419,7 @@ def raise_if_error(reply: Reply) -> Reply:
 _REQUEST_TYPES: dict[str, type] = {
     cls.type: cls for cls in (Begin, Call, CallExtent, CallSome, CallDomain,
                               Commit, Abort, Describe, CommitLog, StoreState,
-                              MetricsSnapshot, Ping)
+                              MetricsSnapshot, Stats, Ping)
 }
 _REPLY_TYPES: dict[str, type] = {
     cls.type: cls for cls in (BeginReply, ResultReply, CommitReply, AbortReply,

@@ -321,9 +321,19 @@ def serve(argv: Sequence[str] | None = None) -> int:
                         help="seconds a Begin may wait for an admission slot "
                              "before the Overloaded answer (default: "
                              f"{DEFAULT_QUEUE_TIMEOUT})")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="record transaction spans and write them as "
+                             "Chrome-trace JSON to FILE at shutdown "
+                             "(default: tracing off)")
+    parser.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                        help="trace every Nth transaction (default: 1 — "
+                             "all of them; only meaningful with --trace)")
     arguments = parser.parse_args(argv)
     if arguments.shards < 1:
         parser.error(f"--shards must be at least 1, got {arguments.shards}")
+    if arguments.trace_sample < 1:
+        parser.error(f"--trace-sample must be at least 1, "
+                     f"got {arguments.trace_sample}")
 
     schema = banking_schema()
     compiled = compile_schema(schema)
@@ -357,8 +367,14 @@ def serve(argv: Sequence[str] | None = None) -> int:
     for signum in (signal.SIGTERM, signal.SIGINT):
         signal.signal(signum, lambda *_: stop.set())
 
+    tracer = None
+    if arguments.trace is not None:
+        from repro.obs.tracing import Tracer
+
+        tracer = Tracer(sample_every=arguments.trace_sample)
+
     engine = Engine(protocol, default_lock_timeout=arguments.lock_timeout,
-                    durability=durability)
+                    durability=durability, tracer=tracer)
     try:
         server = ApiServer(engine, host=arguments.host, port=arguments.port,
                            admission=admission,
@@ -369,6 +385,10 @@ def serve(argv: Sequence[str] | None = None) -> int:
             print(f"listening on {host}:{port}", flush=True)
             stop.wait()
             print("shutting down", flush=True)
+        if arguments.trace is not None:
+            events = engine.export_trace(arguments.trace)
+            print(f"wrote {events} trace events to {arguments.trace}",
+                  flush=True)
     finally:
         engine.close()
         if scratch is not None:

@@ -62,6 +62,7 @@ context manager (``with Engine(protocol) as engine: ...``).
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import random
 import signal as signal_module
@@ -73,6 +74,8 @@ from repro.api.messages import request_for_operation
 from repro.engine.detector import DeadlockDetector
 from repro.engine.locks import USE_DEFAULT_TIMEOUT, BlockingLockManager
 from repro.engine.metrics import EngineMetrics
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.tracing import Span, TraceContext, Tracer, write_chrome_trace
 from repro.engine.session import Session
 from repro.errors import (
     DeadlockError,
@@ -121,7 +124,8 @@ class Engine:
                  durability: Durability | None = None,
                  shard_workers: int | None = None,
                  worker_options: Mapping[str, Any] | None = None,
-                 participant_timeout: float = DEFAULT_PARTICIPANT_TIMEOUT) -> None:
+                 participant_timeout: float = DEFAULT_PARTICIPANT_TIMEOUT,
+                 tracer: Tracer | None = None) -> None:
         self._protocol = protocol
         self._store = protocol.store
         if shard_workers is not None:
@@ -227,6 +231,25 @@ class Engine:
         self._commit_mutex = threading.Lock()
         self._commit_log: list[tuple[int, str]] = []
         self.metrics = EngineMetrics()
+        #: Observability wiring: the coordinator's tolerated-unavailable
+        #: count, barrier durations (decision log and local WALs) and worker
+        #: RPC round trips all land in the engine's metrics/histograms.
+        self._coordinator.on_unavailable = self.metrics.record_unavailable
+        record_barrier = (
+            lambda seconds: self.metrics.record_latency("barrier", seconds))
+        if self._decision_log is not None:
+            self._decision_log.on_barrier = record_barrier
+        for wal in self._wals:
+            if wal is not None:
+                wal.on_barrier = record_barrier
+        if self._workers is not None:
+            for client in self._workers:
+                client.on_rpc = (
+                    lambda seconds: self.metrics.record_latency("rpc", seconds))
+        #: Tracing: off unless a tracer is injected.  Root spans of live
+        #: traced transactions, by txn id (session-thread confined).
+        self._tracer = tracer
+        self._traces: dict[int, Span] = {}
         self._detector = DeadlockDetector(
             self._locks, interval=detection_interval,
             on_deadlock=lambda victims: self.metrics.record_deadlocks(len(victims)))
@@ -375,7 +398,8 @@ class Engine:
 
     # -- life cycle -------------------------------------------------------------
 
-    def begin(self, label: str = "", origin: int | None = None) -> Session:
+    def begin(self, label: str = "", origin: int | None = None,
+              trace: object = None) -> Session:
         """Start a transaction and return the session handle driving it.
 
         ``origin`` is the begin timestamp of the transaction's *first*
@@ -386,6 +410,12 @@ class Engine:
         is how retries driven by *remote* clients (whose retry loop runs on
         the other side of a connection) still show up in the engine's
         numbers.
+
+        ``trace`` is an optional wire trace context from the client (a
+        ``Begin`` frame's ``trace`` field): when the engine has a tracer,
+        the transaction joins that trace unconditionally — whoever started
+        it already made the sampling call.  Without a client context, a
+        tracer samples locally (``sample_every``).
         """
         self._ensure_open()
         transaction = Transaction(txn_id=next(self._ids), origin=origin)
@@ -395,6 +425,15 @@ class Engine:
             self.metrics.record_retry()
         session = Session(self, transaction, label=label)
         self._sessions[transaction.txn_id] = session
+        if self._tracer is not None:
+            context = TraceContext.from_wire(trace)
+            if context is not None or self._tracer.should_sample():
+                trace_id = (context.trace_id if context is not None
+                            else self._tracer.new_trace_id())
+                parent = context.parent if context is not None else None
+                self._traces[transaction.txn_id] = self._tracer.begin_span(
+                    "txn", trace_id, parent=parent, category="txn",
+                    args={"txn": transaction.txn_id, "label": label})
         return session
 
     def commit(self, transaction: Transaction, label: str = "") -> None:
@@ -416,30 +455,47 @@ class Engine:
         transaction.ensure_active()
         txn = transaction.txn_id
         touched = self._touched_shards(txn)
-        try:
-            self._coordinator.prepare(txn, touched)
-        except TwoPhaseCommitError:
-            self.abort(transaction)
-            raise
-        with self._commit_mutex:
-            self._commit_log.append((txn, label or f"T{txn}"))
-            self._coordinator.record_commit(txn, touched)
-        # With group commit the record above is not yet fsynced; the wait
-        # happens *outside* the commit mutex so concurrent committers share
-        # one barrier.  Without group commit this returns immediately.
-        self._coordinator.wait_commit_durable()
-        transaction.state = TransactionState.COMMITTED
-        self._coordinator.complete_commit(txn, touched)
-        if self._workers is not None:
-            # Remote participants dropped their own undo logs in phase two;
-            # the mirror copies are dropped here.
-            self._recovery.forget(txn)
-        else:
-            self._recovery.discard_tracking(txn)
-        self._locks.release_all(txn)
+        root = self._traces.get(txn)
+        with self._maybe_span(root, "commit", "txn",
+                              {"shards": list(touched)}) as commit_span:
+            try:
+                if commit_span is None:
+                    self._coordinator.prepare(txn, touched)
+                else:
+                    self._coordinator.prepare(txn, touched,
+                                              tracer=self._tracer,
+                                              context=commit_span.context())
+            except TwoPhaseCommitError:
+                self.abort(transaction)
+                raise
+            with self._maybe_span(commit_span, "decision-barrier", "2pc"):
+                with self._commit_mutex:
+                    self._commit_log.append((txn, label or f"T{txn}"))
+                    self._coordinator.record_commit(txn, touched)
+                # With group commit the record above is not yet fsynced; the
+                # wait happens *outside* the commit mutex so concurrent
+                # committers share one barrier.  Without group commit this
+                # returns immediately.
+                self._coordinator.wait_commit_durable()
+            transaction.state = TransactionState.COMMITTED
+            with self._maybe_span(commit_span, "phase-two", "2pc") as two:
+                self._coordinator.complete_commit(
+                    txn, touched,
+                    trace=None if two is None else two.context().to_wire())
+            if self._workers is not None:
+                # Remote participants dropped their own undo logs in phase
+                # two; the mirror copies are dropped here.
+                self._recovery.forget(txn)
+            else:
+                self._recovery.discard_tracking(txn)
+            with self._maybe_span(commit_span, "lock-release", "lock"):
+                self._locks.release_all(txn)
         self._origins.pop(txn, None)
         self._sessions.pop(txn, None)
         self.metrics.record_commit(cross_shard=len(touched) > 1)
+        if root is not None:
+            self._traces.pop(txn, None)
+            self._tracer.end_span(root)
 
     def abort(self, transaction: Transaction) -> None:
         """Abort: restore before-images on every touched shard, then unlock.
@@ -453,18 +509,27 @@ class Engine:
             raise TransactionError(f"{transaction} is already finished")
         txn = transaction.txn_id
         touched = self._touched_shards(txn)
-        self._coordinator.abort(txn, touched)
-        if self._workers is not None:
-            # The workers restored their partitions; restore the mirror the
-            # same way (still under this transaction's locks).
-            self._recovery.undo(txn)
-        else:
-            self._recovery.discard_tracking(txn)
-        transaction.state = TransactionState.ABORTED
-        self._locks.release_all(txn)
+        root = self._traces.get(txn)
+        with self._maybe_span(root, "abort", "txn",
+                              {"shards": list(touched)}) as abort_span:
+            self._coordinator.abort(
+                txn, touched,
+                trace=None if abort_span is None
+                else abort_span.context().to_wire())
+            if self._workers is not None:
+                # The workers restored their partitions; restore the mirror
+                # the same way (still under this transaction's locks).
+                self._recovery.undo(txn)
+            else:
+                self._recovery.discard_tracking(txn)
+            transaction.state = TransactionState.ABORTED
+            self._locks.release_all(txn)
         self._origins.pop(txn, None)
         self._sessions.pop(txn, None)
         self.metrics.record_abort()
+        if root is not None:
+            self._traces.pop(txn, None)
+            self._tracer.end_span(root)
 
     def close(self) -> None:
         """Stop the detector, checkpointer and workers; close the logs.
@@ -506,18 +571,23 @@ class Engine:
                 should abort (strict 2PL keeps all earlier locks).
         """
         transaction.ensure_active()
+        root = self._traces.get(transaction.txn_id)
         plan = self._protocol.plan(operation)
         transaction.stats.control_points += plan.control_points
-        plan = self._acquire_plan(transaction, plan, operation, timeout)
+        plan = self._acquire_plan(transaction, plan, operation, timeout,
+                                  root=root)
         transaction.stats.operations += 1
         projections = self._protocol.undo_projections(plan)
         for oid, fields in projections:
             self._recovery.log_before_image(transaction.txn_id, oid, fields)
-        if self._workers is None:
-            results = self._protocol.execute(operation, self._interpreter)
-        else:
-            results = self._execute_remote(transaction.txn_id, operation,
-                                           plan, projections)
+        with self._maybe_span(root, f"execute:{operation.method}",
+                              "exec") as span:
+            if self._workers is None:
+                results = self._protocol.execute(operation, self._interpreter)
+            else:
+                results = self._execute_remote(
+                    transaction.txn_id, operation, plan, projections,
+                    trace=None if span is None else span.context().to_wire())
         self.metrics.record_operation()
         transaction.executed.append(operation)
         transaction.results.extend(results)
@@ -525,7 +595,8 @@ class Engine:
 
     def _acquire_plan(self, transaction: Transaction, plan: LockPlan,
                       operation: Operation,
-                      timeout: float | None | object) -> LockPlan:
+                      timeout: float | None | object, *,
+                      root: Span | None = None) -> LockPlan:
         acquired: set[tuple[Any, Any]] = set()
         for _ in range(_MAX_REPLAN_ROUNDS):
             for request in plan.requests:
@@ -534,9 +605,8 @@ class Engine:
                     continue
                 transaction.stats.lock_requests += 1
                 try:
-                    waited = self._locks.acquire(transaction.txn_id,
-                                                 request.resource, request.mode,
-                                                 timeout)
+                    waited = self._acquire_one(transaction.txn_id, request,
+                                               timeout, root)
                 except LockTimeoutError as error:
                     self.metrics.record_timeout()
                     self.metrics.record_requests(1, error.waited)
@@ -564,11 +634,33 @@ class Engine:
             f"lock plan of {operation!r} did not converge within "
             f"{_MAX_REPLAN_ROUNDS} refresh rounds")
 
+    def _acquire_one(self, txn: int, request: Any,
+                     timeout: float | None | object,
+                     root: Span | None) -> float:
+        """One blocking acquisition, wrapped in a ``lock`` span when traced.
+
+        The span covers the whole blocking call — its duration *is* the
+        lock's critical-path cost — and the measured wait lands in its args
+        so queueing time is distinguishable from grant overhead.
+        """
+        if root is None:
+            return self._locks.acquire(txn, request.resource, request.mode,
+                                       timeout)
+        with self._tracer.span("lock", root.trace_id, parent=root.span_id,
+                               category="lock",
+                               args={"resource": str(request.resource),
+                                     "mode": str(request.mode)}) as span:
+            waited = self._locks.acquire(txn, request.resource, request.mode,
+                                         timeout,
+                                         trace=span.context().to_wire())
+            span.args["waited_ms"] = round(waited * 1000, 3)
+            return waited
+
     # -- worker-mode execution -----------------------------------------------------
 
     def _execute_remote(self, txn: int, operation: Operation, plan: LockPlan,
                         projections: Sequence[tuple[OID, tuple[str, ...]]],
-                        ) -> list[Any]:
+                        trace: object = None) -> list[Any]:
         """Execute ``operation`` against the shard workers.
 
         Two paths, chosen by where the plan's receivers live:
@@ -602,11 +694,11 @@ class Engine:
             (shard_id,) = receiver_shards
             call = request_for_operation(txn, operation)
             results, writes = self._workers[shard_id].execute(
-                txn, call, by_shard.get(shard_id, []))
+                txn, call, by_shard.get(shard_id, []), trace=trace)
             self._mirror_writes(writes)
             return results
         for shard_id, images in by_shard.items():
-            self._workers[shard_id].write_plan(txn, images)
+            self._workers[shard_id].write_plan(txn, images, trace=trace)
         assert self._remote_interpreter is not None
         return self._protocol.execute(operation, self._remote_interpreter)
 
@@ -799,6 +891,154 @@ class Engine:
         if self._decision_log is not None:
             total += self._decision_log.bytes_written
         return total
+
+    # -- observability ------------------------------------------------------------
+
+    def _maybe_span(self, parent: Span | None, name: str, category: str,
+                    args: dict[str, Any] | None = None) -> Any:
+        """A tracer span parented to ``parent``, or a null context.
+
+        The single ``parent is None`` check is the whole cost of tracing
+        when it is off (or the transaction was not sampled) — every
+        instrumented stage goes through here.
+        """
+        if parent is None:
+            return contextlib.nullcontext(None)
+        return self._tracer.span(name, parent.trace_id,
+                                 parent=parent.span_id, category=category,
+                                 args=args)
+
+    @property
+    def tracer(self) -> Tracer | None:
+        """The engine's span recorder, when tracing is enabled."""
+        return self._tracer
+
+    def trace_context_for(self, txn: int) -> TraceContext | None:
+        """The root-span context of ``txn``, when that transaction is traced.
+
+        The API dispatcher uses this to parent its per-command spans to the
+        transaction the command operates on.
+        """
+        root = self._traces.get(txn)
+        return None if root is None else root.context()
+
+    def collect_trace(self) -> list[Span]:
+        """Every span recorded so far: the engine's own plus, in worker
+        mode, each reachable worker's (drained — they ship once)."""
+        spans: list[Span] = []
+        if self._tracer is not None:
+            spans.extend(self._tracer.spans)
+        if self._workers is not None:
+            for client in self._workers:
+                spans.extend(Span.from_wire(document)
+                             for document in client.drain_spans())
+        return spans
+
+    def export_trace(self, path: Any,
+                     extra_spans: Sequence[Span] = ()) -> int:
+        """Write the collected spans as Chrome-trace JSON; returns the event
+        count.  ``extra_spans`` lets a caller (the socket server, a client
+        harness) add spans recorded outside this engine."""
+        spans = self.collect_trace()
+        spans.extend(extra_spans)
+        return write_chrome_trace(path, spans)
+
+    def cluster_metrics(self) -> dict[str, Any]:
+        """One cluster-wide metrics snapshot.
+
+        In-process this is :meth:`EngineMetrics.snapshot`; in worker mode
+        the workers' WAL byte counts and barrier histograms are merged in —
+        fsync time paid in a worker process is commit-path cost exactly
+        like fsync time paid here.  Worker *lock-wait* histograms are NOT
+        merged: the engine already recorded every wait via the acquire
+        replies (``reply.waited``), so merging would double-count; the
+        per-shard view stays available through :meth:`stats`.  An
+        unreachable worker contributes nothing.
+        """
+        snapshot = self.metrics.snapshot()
+        if self._workers is None:
+            return snapshot
+        merged = {name: LatencyHistogram.from_snapshot(document)
+                  for name, document in snapshot["histograms"].items()}
+        for client in self._workers:
+            try:
+                payload = client.metrics_snapshot()
+            except ParticipantUnavailable:
+                continue
+            snapshot["wal_bytes"] += int(payload.get("wal_bytes", 0))
+            worker_histograms = payload.get("metrics", {}).get("histograms", {})
+            barrier = worker_histograms.get("barrier")
+            if barrier:
+                merged["barrier"].merge(
+                    LatencyHistogram.from_snapshot(barrier))
+        snapshot["histograms"] = {name: histogram.snapshot()
+                                  for name, histogram in merged.items()}
+        return snapshot
+
+    def stats(self, top: int = 8) -> dict[str, Any]:
+        """The per-shard breakdown behind the flat metrics snapshot.
+
+        Per shard: deadlock victims doomed there, WAL bytes, and the
+        hottest resources by accumulated lock-wait time; plus the merged
+        cluster-wide hot list (top ``top``) and the coordinator's
+        tolerated-unavailable count.  In worker mode the numbers come from
+        each worker's ``metrics`` RPC (an unreachable worker is reported,
+        not guessed at).
+        """
+        victim_counts = self._locks.victim_counts()
+        per_shard: list[dict[str, Any]] = []
+        hot: list[tuple[str, int, float]] = []
+        if self._workers is None:
+            for shard_id, manager in enumerate(self._locks.shards):
+                wal = self._wals[shard_id]
+                resources = [(str(resource), waits, wait_time)
+                             for resource, waits, wait_time
+                             in manager.hot_resources(top)]
+                hot.extend(resources)
+                per_shard.append({
+                    "shard": shard_id,
+                    "deadlock_victims": victim_counts[shard_id],
+                    "wal_bytes": 0 if wal is None else wal.bytes_written,
+                    "hot_resources": [
+                        {"resource": name, "waits": waits,
+                         "wait_time": round(wait_time, 6)}
+                        for name, waits, wait_time in resources],
+                })
+        else:
+            for shard_id, client in enumerate(self._workers):
+                try:
+                    payload = client.metrics_snapshot()
+                except ParticipantUnavailable:
+                    per_shard.append({"shard": shard_id, "unreachable": True})
+                    continue
+                resources = [(str(name), int(waits), float(wait_time))
+                             for name, waits, wait_time
+                             in payload.get("hot_resources", ())]
+                hot.extend(resources)
+                per_shard.append({
+                    "shard": shard_id,
+                    "deadlock_victims": int(payload.get(
+                        "deadlock_victims", victim_counts[shard_id])),
+                    "wal_bytes": int(payload.get("wal_bytes", 0)),
+                    "hot_resources": [
+                        {"resource": name, "waits": waits,
+                         "wait_time": round(wait_time, 6)}
+                        for name, waits, wait_time in resources],
+                    "metrics": payload.get("metrics", {}),
+                })
+        hot.sort(key=lambda entry: entry[2], reverse=True)
+        return {
+            "shards": per_shard,
+            "hot_resources": [
+                {"resource": name, "waits": waits,
+                 "wait_time": round(wait_time, 6)}
+                for name, waits, wait_time in hot[:max(0, top)]],
+            "deadlock_victims": {
+                str(shard_id): count
+                for shard_id, count in enumerate(victim_counts)},
+            "unavailable_completions":
+                self._coordinator.unavailable_completions,
+        }
 
     # -- the command layer --------------------------------------------------------
 

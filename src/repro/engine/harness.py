@@ -211,6 +211,8 @@ class ThroughputHarness:
             address: "str | tuple[str, int] | None" = None,
             admission: "AdmissionController | Mapping[str, Any] | None" = None,
             max_retries: int = 20,
+            trace_path: str | Path | None = None,
+            trace_sample: int = 1,
             **engine_options: Any) -> HarnessResult:
         """Replay the workload across ``threads`` workers under one protocol.
 
@@ -245,6 +247,11 @@ class ThroughputHarness:
         if shard_workers is not None and transport != "inproc":
             raise ValueError("--shard-workers drives the engine in this "
                              "process; combine it with the inproc transport")
+        if trace_path is not None and transport != "inproc":
+            raise ValueError("--trace needs the engine (and its tracer) in "
+                             "this process; combine it with the inproc "
+                             "transport, or pass --trace to the server "
+                             "(python -m repro.api.server --trace FILE)")
         if specs is None:
             specs = self.make_specs(transactions)
         specs = _with_unique_labels(specs)
@@ -255,6 +262,7 @@ class ThroughputHarness:
                 durability=durability, wal_dir=wal_dir,
                 group_commit_ms=group_commit_ms,
                 admission=admission, max_retries=max_retries,
+                trace_path=trace_path, trace_sample=trace_sample,
                 engine_options=engine_options)
         else:
             pieces = self._run_socket(
@@ -293,6 +301,8 @@ class ThroughputHarness:
                     group_commit_ms: float | None,
                     admission: "AdmissionController | Mapping[str, Any] | None",
                     max_retries: int,
+                    trace_path: str | Path | None,
+                    trace_sample: int,
                     engine_options: dict[str, Any]) -> dict[str, Any]:
         """Build an engine here and drive it through InProcessConnection."""
         if shard_workers is not None:
@@ -332,6 +342,12 @@ class ThroughputHarness:
                 "instances": self._instances_per_class,
                 "populate_seed": self._populate_seed,
             })
+        if trace_path is not None:
+            from repro.obs.tracing import Tracer
+
+            engine_options = dict(engine_options)
+            engine_options["tracer"] = Tracer(
+                sample_every=max(1, int(trace_sample)))
         try:
             with Engine(protocol, durability=resolved, **engine_options) as engine:
                 connection = InProcessConnection(
@@ -341,10 +357,17 @@ class ThroughputHarness:
                 engine.metrics.elapsed = driven["elapsed"]
                 engine.metrics.wal_bytes = engine.wal_bytes_written
                 commit_labels = tuple(label for _, label in engine.commit_log)
-                metrics = engine.metrics
+                # Worker-side histograms (barrier time paid in the worker
+                # processes) merge into this snapshot-derived copy; the
+                # scalar counters are the engine's own.
+                metrics = EngineMetrics.from_snapshot(engine.cluster_metrics())
+                metrics.elapsed = driven["elapsed"]
+                metrics.wal_bytes = engine.wal_bytes_written
                 # The workers' partitions are the authority in worker mode;
                 # fetch them before the cluster is torn down.
                 final_state = engine.store_state()
+                if trace_path is not None:
+                    engine.export_trace(trace_path)
         finally:
             if cleanup is not None:
                 cleanup()
@@ -429,9 +452,11 @@ class ThroughputHarness:
                     if label in ours)
                 final_state = control.store_state()
                 snapshot = control.metrics()
-                metrics = EngineMetrics.from_snapshot({
-                    name_: value - before_metrics["metrics"].get(name_, 0)
-                    for name_, value in snapshot["metrics"].items()})
+                # Counter *and* histogram deltas: a long-lived server's
+                # cumulative state is subtracted bucket by bucket, so the
+                # latency percentiles describe this run's traffic only.
+                metrics = EngineMetrics.delta(snapshot["metrics"],
+                                              before_metrics["metrics"])
                 metrics.elapsed = driven["elapsed"]
                 metrics.wal_bytes = (int(snapshot["wal_bytes"])
                                      - int(before_metrics["wal_bytes"]))
@@ -672,6 +697,8 @@ def write_bench_json(path: str, results: Sequence[HarnessResult],
             "addr": arguments.addr,
             "max_in_flight": arguments.max_in_flight,
             "verified": not arguments.no_verify,
+            "trace": getattr(arguments, "trace", None),
+            "trace_sample": getattr(arguments, "trace_sample", 1),
         }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(bench_document(results, config, benchmark=benchmark),
@@ -754,6 +781,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "fsync per commit)")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the sequential-replay serializability check")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="record end-to-end transaction spans and write "
+                             "them as Chrome-trace JSON to FILE (inproc "
+                             "transport only; default: tracing off)")
+    parser.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                        help="trace every Nth transaction (default: 1 — all "
+                             "of them; only meaningful with --trace)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the results as a BENCH_*.json-style "
                              "machine-readable document")
@@ -763,6 +797,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error(f"--shards must be at least 1, got {arguments.shards}")
     if arguments.addr is not None and arguments.transport != "socket":
         parser.error("--addr only makes sense with --transport socket")
+    if arguments.trace_sample < 1:
+        parser.error(f"--trace-sample must be at least 1, "
+                     f"got {arguments.trace_sample}")
+    if arguments.trace is not None and arguments.transport != "inproc":
+        parser.error("--trace records spans engine-side; it needs "
+                     "--transport inproc (start the server with --trace "
+                     "for socket runs)")
     if arguments.shard_workers is not None:
         if arguments.shard_workers < 1:
             parser.error(f"--shard-workers must be at least 1, "
@@ -805,9 +846,14 @@ def main(argv: Sequence[str] | None = None) -> int:
                              transport=arguments.transport,
                              address=arguments.addr,
                              admission=admission,
+                             trace_path=arguments.trace,
+                             trace_sample=arguments.trace_sample,
                              default_lock_timeout=arguments.lock_timeout)
         results.append(result)
     print(format_throughput_table(results))
+    if arguments.trace:
+        print(f"\nChrome-trace JSON written to {arguments.trace} "
+              "(load in chrome://tracing or Perfetto)")
     if arguments.json:
         write_bench_json(arguments.json, results, arguments)
         print(f"\nmachine-readable results written to {arguments.json}")

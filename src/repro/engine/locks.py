@@ -58,14 +58,28 @@ class BlockingLockManager:
         #: whenever a request starts waiting; the engine wires it to the
         #: deadlock detector's nudge so cycles are found promptly.
         self.on_block: Callable[[], None] | None = None
+        #: Per-resource contention: resource -> [blocked requests, seconds
+        #: spent blocked].  Only requests that actually waited are counted,
+        #: whatever their outcome (grant, timeout or victim abort) — the
+        #: blocked time is real contention either way.
+        self._contention: dict[Resource, list[float]] = {}
+        #: Victims this manager has doomed (its own detector passes and
+        #: cross-shard dooms both count).
+        self._victims = 0
 
     # -- acquiring -------------------------------------------------------------
 
     def acquire(self, txn: TxnId, resource: Resource, mode: Mode,
-                timeout: float | None | object = USE_DEFAULT_TIMEOUT) -> float:
+                timeout: float | None | object = USE_DEFAULT_TIMEOUT,
+                trace: object = None) -> float:
         """Block until ``txn`` holds ``mode`` on ``resource``.
 
         Returns the seconds spent blocked (``0.0`` on an immediate grant).
+
+        ``trace`` is an opaque trace context accepted for signature parity
+        with the remote shard handle (the sharded front passes it through
+        uniformly).  A local acquire has no RPC hop to annotate — the
+        engine's own lock span covers it — so it is ignored here.
 
         Timeout contract: ``None`` waits forever; a positive timeout bounds
         the wait; a timeout of **zero or less is a deterministic try-lock** —
@@ -108,15 +122,19 @@ class BlockingLockManager:
             while True:
                 if txn in self._doomed:
                     self._withdraw(txn, resource, mode)
+                    self._note_wait(resource, time.monotonic() - started)
                     self._raise_doomed(txn, waited=time.monotonic() - started)
                 if self._inner.holds(txn, resource, mode):
-                    return time.monotonic() - started
+                    waited = time.monotonic() - started
+                    self._note_wait(resource, waited)
+                    return waited
                 remaining = None
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         self._withdraw(txn, resource, mode)
                         holders = tuple(self._inner.holders(resource))
+                        self._note_wait(resource, time.monotonic() - started)
                         raise LockTimeoutError(
                             f"transaction {txn} timed out after {timeout}s "
                             f"waiting for {resource!r} in mode {mode!r}; "
@@ -159,6 +177,7 @@ class BlockingLockManager:
                 victims.append(victim)
                 edges.pop(victim, None)
             if victims:
+                self._victims += len(victims)
                 self._changed.notify_all()
             return tuple(victims)
 
@@ -176,7 +195,7 @@ class BlockingLockManager:
                     for waiter, targets in self._inner.waits_for_edges().items()
                     if waiter not in self._doomed}
 
-    def doom(self, victims: Mapping[TxnId, tuple[TxnId, ...]]) -> None:
+    def doom(self, victims: Mapping[TxnId, tuple[TxnId, ...]]) -> tuple[TxnId, ...]:
         """Doom those of ``victims`` (txn -> cycle) that are *waiting here*.
 
         A cross-shard coordinator chooses victims from a union snapshot
@@ -187,16 +206,21 @@ class BlockingLockManager:
         anywhere had its cycle resolve on its own, and skipping it is what
         keeps a stale doom flag from outliving the transaction (identifiers
         are never reused, so nobody would ever clear it).
+
+        Returns the victims actually marked here, so the coordinator can
+        attribute deadlock victims to shards.
         """
         if not victims:
-            return
+            return ()
         with self._mutex:
             blocked = self._inner.blocked_transactions()
             relevant = {txn: cycle for txn, cycle in victims.items()
                         if txn in blocked}
             if relevant:
                 self._doomed.update(relevant)
+                self._victims += len(relevant)
                 self._changed.notify_all()
+            return tuple(relevant)
 
     def clear_doom(self, txn: TxnId) -> None:
         """Forget a doom flag without releasing anything (victim finished).
@@ -235,7 +259,33 @@ class BlockingLockManager:
         with self._mutex:
             return frozenset(self._doomed)
 
+    @property
+    def victims_doomed(self) -> int:
+        """Deadlock victims ever doomed through this manager."""
+        with self._mutex:
+            return self._victims
+
+    def hot_resources(self, top: int = 8) -> list[tuple[Resource, int, float]]:
+        """The ``top`` most contended resources as ``(resource, waits,
+        wait_seconds)``, sorted by total blocked time."""
+        with self._mutex:
+            entries = [(resource, int(tally[0]), tally[1])
+                       for resource, tally in self._contention.items()]
+        entries.sort(key=lambda entry: entry[2], reverse=True)
+        return entries[:top]
+
     # -- internals -------------------------------------------------------------
+
+    def _note_wait(self, resource: Resource, waited: float) -> None:
+        """Attribute one blocked request to ``resource`` (mutex held)."""
+        if waited <= 0.0:
+            return
+        tally = self._contention.get(resource)
+        if tally is None:
+            self._contention[resource] = [1, waited]
+        else:
+            tally[0] += 1
+            tally[1] += waited
 
     def _withdraw(self, txn: TxnId, resource: Resource, mode: Mode) -> None:
         promoted = self._inner.cancel(txn, resource, mode)

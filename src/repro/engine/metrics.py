@@ -7,12 +7,31 @@ the same names (``committed``, ``aborted``, ``deadlocks``, ``lock_requests``,
 laid side by side, but time is measured in seconds, not steps — the rates
 (commits/sec, mean wait time) are what the paper's headline claim is about
 once schedules are real.
+
+Beyond the flat counters, every metrics object carries one
+:class:`~repro.obs.histogram.LatencyHistogram` per :data:`HISTOGRAMS`
+stage.  The histograms share one fixed bucket layout, so worker-process
+metrics merge losslessly into the engine's cluster snapshot and the
+socket harness can subtract a "before" snapshot exactly (:meth:`delta`).
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.obs.histogram import LatencyHistogram
+
+#: The per-stage latency histograms every metrics object carries:
+#: ``commit_latency`` (dispatcher-side, whole commit call), ``lock_wait``
+#: (engine-side, blocked acquires only), ``rpc`` (participant round trips
+#: net of lock-wait time) and ``barrier`` (WAL/decision-log flush+fsync).
+HISTOGRAMS = ("commit_latency", "lock_wait", "rpc", "barrier")
+
+
+def _new_histograms() -> dict[str, LatencyHistogram]:
+    return {name: LatencyHistogram() for name in HISTOGRAMS}
 
 
 @dataclass
@@ -21,7 +40,9 @@ class EngineMetrics:
 
     Worker threads update counters through the ``record_*`` methods, which
     take an internal mutex; reads of individual fields are unsynchronised
-    snapshots (fine for reporting once the workload has quiesced).
+    snapshots (fine for reporting once the workload has quiesced).  The
+    latency histograms carry their own finer-grained locks and are never
+    touched under the counter mutex.
     """
 
     #: Transactions started (every retry incarnation counts).
@@ -39,6 +60,10 @@ class EngineMetrics:
     deadlocks: int = 0
     #: Lock requests that expired their timeout.
     timeouts: int = 0
+    #: Phase-two or abort completions that found their participant
+    #: unreachable (survivable under presumed abort — the restarted worker
+    #: resolves itself against the decision log — but worth watching).
+    unavailable_completions: int = 0
     #: Lock requests issued through the blocking manager.
     lock_requests: int = 0
     #: Requests that blocked the calling thread.
@@ -53,29 +78,65 @@ class EngineMetrics:
     #: harness from :attr:`Engine.wal_bytes_written`; 0 with durability off).
     wal_bytes: int = 0
 
+    #: Per-stage latency histograms (see :data:`HISTOGRAMS`).
+    histograms: dict[str, LatencyHistogram] = field(
+        default_factory=_new_histograms, repr=False, compare=False)
+
     _mutex: threading.Lock = field(default_factory=threading.Lock, repr=False,
                                    compare=False)
 
     #: The counters that travel over the API's ``MetricsSnapshot`` control
-    #: message — everything above except the mutex.
+    #: message — everything above except the mutex and the histograms
+    #: (which travel under their own ``"histograms"`` key).
     _FIELDS = ("begun", "committed", "cross_shard_commits", "aborted",
-               "retries", "deadlocks", "timeouts", "lock_requests", "waits",
-               "wait_time", "operations", "elapsed", "wal_bytes")
+               "retries", "deadlocks", "timeouts", "unavailable_completions",
+               "lock_requests", "waits", "wait_time", "operations", "elapsed",
+               "wal_bytes")
 
     # -- wire round trip ---------------------------------------------------------
 
-    def snapshot(self) -> dict[str, float]:
-        """The raw counters as one consistent, JSON-representable mapping."""
+    def snapshot(self) -> dict[str, Any]:
+        """The raw counters as one consistent, JSON-representable mapping.
+
+        The scalar counters are read under the mutex; the nested
+        ``"histograms"`` entry maps stage name to the histogram's own
+        JSON-safe snapshot.
+        """
         with self._mutex:
-            return {name: getattr(self, name) for name in self._FIELDS}
+            snapshot: dict[str, Any] = {name: getattr(self, name)
+                                        for name in self._FIELDS}
+        snapshot["histograms"] = {name: histogram.snapshot()
+                                  for name, histogram in self.histograms.items()}
+        return snapshot
 
     @classmethod
-    def from_snapshot(cls, snapshot: dict[str, float]) -> "EngineMetrics":
+    def from_snapshot(cls, snapshot: Mapping[str, Any]) -> "EngineMetrics":
         """Rebuild metrics from :meth:`snapshot` (the remote harness path)."""
         metrics = cls()
         for name in cls._FIELDS:
             if name in snapshot:
                 setattr(metrics, name, snapshot[name])
+        for name, document in dict(snapshot.get("histograms") or {}).items():
+            metrics.histograms[name] = LatencyHistogram.from_snapshot(document)
+        return metrics
+
+    @classmethod
+    def delta(cls, after: Mapping[str, Any],
+              before: Mapping[str, Any]) -> "EngineMetrics":
+        """The metrics of the interval between two snapshots.
+
+        Scalar counters subtract; histograms subtract bucket-wise (exact
+        under the shared fixed layout).  This is how the socket harness
+        isolates one run against a server that may have served others.
+        """
+        metrics = cls.from_snapshot(after)
+        for name in cls._FIELDS:
+            if name in before:
+                setattr(metrics, name, getattr(metrics, name) - before[name])
+        for name, document in dict(before.get("histograms") or {}).items():
+            if name in metrics.histograms:
+                metrics.histograms[name].subtract(
+                    LatencyHistogram.from_snapshot(document))
         return metrics
 
     # -- recording (called from worker threads) --------------------------------
@@ -106,16 +167,26 @@ class EngineMetrics:
         with self._mutex:
             self.timeouts += 1
 
+    def record_unavailable(self) -> None:
+        with self._mutex:
+            self.unavailable_completions += 1
+
     def record_requests(self, count: int, waited: float) -> None:
         with self._mutex:
             self.lock_requests += count
             if waited > 0.0:
                 self.waits += 1
                 self.wait_time += waited
+        if waited > 0.0:
+            self.histograms["lock_wait"].record(waited)
 
     def record_operation(self) -> None:
         with self._mutex:
             self.operations += 1
+
+    def record_latency(self, name: str, seconds: float) -> None:
+        """Add one observation to the named stage histogram."""
+        self.histograms[name].record(seconds)
 
     # -- derived rates ---------------------------------------------------------
 
@@ -148,6 +219,10 @@ class EngineMetrics:
             return 0.0
         return self.wal_bytes / self.committed
 
+    def commit_percentile(self, q: float) -> float:
+        """Commit-latency percentile in seconds (0.0 before any commit)."""
+        return self.histograms["commit_latency"].percentile(q)
+
     def as_row(self) -> dict[str, float]:
         """A flat dictionary for the reporting tables."""
         return {
@@ -164,5 +239,8 @@ class EngineMetrics:
             "commits_per_s": round(self.commits_per_second, 1),
             "abort_rate": round(self.abort_rate, 3),
             "mean_wait_ms": round(self.mean_wait_time * 1000, 2),
+            "p50_ms": round(self.commit_percentile(50.0) * 1000, 2),
+            "p95_ms": round(self.commit_percentile(95.0) * 1000, 2),
+            "p99_ms": round(self.commit_percentile(99.0) * 1000, 2),
             "wal": round(self.wal_bytes_per_commit, 1),
         }

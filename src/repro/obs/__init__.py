@@ -1,0 +1,36 @@
+"""Observability: transaction tracing and mergeable latency histograms.
+
+This package has no dependency on the engine layers it instruments —
+``repro.engine``, ``repro.api`` and ``repro.sharding`` all import *it*,
+never the other way around.
+"""
+
+from repro.obs.histogram import (
+    BUCKET_BOUNDS,
+    BUCKET_FLOOR,
+    NUM_BUCKETS,
+    LatencyHistogram,
+    bucket_index,
+)
+from repro.obs.tracing import (
+    Span,
+    TraceContext,
+    Tracer,
+    chrome_trace_document,
+    new_trace_id,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "BUCKET_FLOOR",
+    "NUM_BUCKETS",
+    "LatencyHistogram",
+    "bucket_index",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "chrome_trace_document",
+    "new_trace_id",
+    "write_chrome_trace",
+]

@@ -1,0 +1,202 @@
+"""Mergeable fixed-bucket latency histograms.
+
+Every histogram in the system shares one immutable bucket layout:
+log2-scaled bounds from a one-microsecond floor up through multi-day
+durations.  A shared fixed layout is what makes merging **lossless** —
+two histograms recorded in different processes combine by element-wise
+addition of their bucket counts, with no re-binning and therefore no
+resolution loss.  That property is load-bearing: shard worker processes
+record latencies locally and the engine folds their snapshots into one
+cluster histogram; the socket harness subtracts a "before" snapshot from
+an "after" one to isolate a run.  Both operations are exact under a
+fixed layout and ill-defined under an adaptive one.
+
+The price is bounded relative error on percentile queries (a factor-two
+bucket width), which is the usual trade for mergeable latency sketches
+and plenty for p50/p95/p99 reporting.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Iterable, Mapping
+
+#: Lower edge of bucket 1: everything at or below one microsecond lands in
+#: bucket 0.  Lock waits, fsyncs and RPC round trips all sit comfortably
+#: above this floor.
+BUCKET_FLOOR = 1e-6
+
+#: Number of buckets.  ``BUCKET_FLOOR * 2 ** (NUM_BUCKETS - 1)`` is about
+#: 1.6 days — the top bucket absorbs anything beyond that.
+NUM_BUCKETS = 48
+
+_LOG2_FLOOR = math.log2(BUCKET_FLOOR)
+
+#: Inclusive upper bound of each bucket, in seconds.
+BUCKET_BOUNDS = tuple(BUCKET_FLOOR * 2.0 ** index for index in range(NUM_BUCKETS))
+
+
+def bucket_index(seconds: float) -> int:
+    """The bucket a duration falls into: ``bounds[i-1] < seconds <= bounds[i]``."""
+    if seconds <= BUCKET_FLOOR:
+        return 0
+    index = int(math.ceil(math.log2(seconds) - _LOG2_FLOOR))
+    if index >= NUM_BUCKETS:
+        return NUM_BUCKETS - 1
+    return index
+
+
+class LatencyHistogram:
+    """A thread-safe latency histogram over the shared fixed bucket layout.
+
+    Exact count, sum, min and max ride along with the buckets, so mean
+    latency stays exact even though percentiles are bucket-resolution.
+    """
+
+    __slots__ = ("_mutex", "_counts", "_count", "_total", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._counts = [0] * NUM_BUCKETS
+        self._count = 0
+        self._total = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(self, seconds: float) -> None:
+        """Add one observation (negative durations clamp to zero)."""
+        value = max(0.0, float(seconds))
+        index = bucket_index(value)
+        with self._mutex:
+            self._counts[index] += 1
+            self._count += 1
+            self._total += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` into this histogram, losslessly.  Returns self."""
+        with other._mutex:
+            counts = list(other._counts)
+            count, total = other._count, other._total
+            low, high = other._min, other._max
+        with self._mutex:
+            for index, value in enumerate(counts):
+                self._counts[index] += value
+            self._count += count
+            self._total += total
+            if low is not None and (self._min is None or low < self._min):
+                self._min = low
+            if high is not None and (self._max is None or high > self._max):
+                self._max = high
+        return self
+
+    def subtract(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Remove ``other``'s observations (the before/after delta).  Returns self.
+
+        Bucket counts, the count and the sum subtract exactly (clamped at
+        zero against drift); min and max cannot be un-merged, so they are
+        kept as recorded and stay advisory on a delta.
+        """
+        with other._mutex:
+            counts = list(other._counts)
+            count, total = other._count, other._total
+        with self._mutex:
+            for index, value in enumerate(counts):
+                self._counts[index] = max(0, self._counts[index] - value)
+            self._count = max(0, self._count - count)
+            self._total = max(0.0, self._total - total)
+        return self
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Observations recorded."""
+        with self._mutex:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        """Exact sum of all observations, in seconds."""
+        with self._mutex:
+            return self._total
+
+    @property
+    def mean(self) -> float:
+        """Exact mean latency in seconds (0.0 when empty)."""
+        with self._mutex:
+            return self._total / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The latency at percentile ``q`` (0–100), in seconds.
+
+        Returns the inclusive upper bound of the bucket where the
+        cumulative count crosses the rank, clamped to the exact observed
+        min/max — so a single-observation histogram reports that exact
+        value at every percentile.  0.0 when empty.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q!r}")
+        with self._mutex:
+            if self._count == 0:
+                return 0.0
+            rank = max(1, math.ceil(self._count * q / 100.0))
+            cumulative = 0
+            for index, bucket in enumerate(self._counts):
+                cumulative += bucket
+                if cumulative >= rank:
+                    bound = BUCKET_BOUNDS[index]
+                    break
+            else:  # pragma: no cover - counts always sum to _count
+                bound = BUCKET_BOUNDS[-1]
+            low = self._min if self._min is not None else 0.0
+            high = self._max if self._max is not None else bound
+            return min(max(bound, low), high)
+
+    # -- wire format -------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-safe snapshot: sparse bucket counts plus the exact moments."""
+        with self._mutex:
+            return {
+                "counts": {str(index): value
+                           for index, value in enumerate(self._counts) if value},
+                "count": self._count,
+                "total": self._total,
+                "min": self._min,
+                "max": self._max,
+            }
+
+    @classmethod
+    def from_snapshot(cls, document: Mapping[str, Any]) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`snapshot` (JSON round-trip safe)."""
+        histogram = cls()
+        for key, value in dict(document.get("counts") or {}).items():
+            index = int(key)
+            if 0 <= index < NUM_BUCKETS:
+                histogram._counts[index] = int(value)
+        histogram._count = int(document.get("count", 0))
+        histogram._total = float(document.get("total", 0.0))
+        low = document.get("min")
+        high = document.get("max")
+        histogram._min = None if low is None else float(low)
+        histogram._max = None if high is None else float(high)
+        return histogram
+
+    @classmethod
+    def merged(cls, histograms: Iterable["LatencyHistogram"]) -> "LatencyHistogram":
+        """A fresh histogram holding the lossless union of ``histograms``."""
+        result = cls()
+        for histogram in histograms:
+            result.merge(histogram)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging sugar
+        return (f"LatencyHistogram(count={self._count}, "
+                f"mean={self.mean * 1000.0:.3f}ms)")

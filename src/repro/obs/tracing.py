@@ -1,0 +1,257 @@
+"""End-to-end transaction tracing.
+
+A traced transaction carries a :class:`TraceContext` — a trace id naming
+the whole transaction plus the span id of the caller's current span —
+across both wire layers: the client API frames (``repro.api.messages``)
+and the participant RPCs (``repro.sharding.rpc``).  Each process records
+its own :class:`Span` objects into a local :class:`Tracer`; the engine
+gathers worker spans over a drain RPC and exports everything as one
+Chrome-trace-format JSON document (``chrome://tracing`` / Perfetto's
+legacy loader), where every process gets its own lane.
+
+Wall-clock alignment across processes uses ``time.time()`` for span
+start timestamps and a ``perf_counter`` delta for durations: epoch
+clocks on one machine agree to well under a millisecond, while
+``perf_counter`` origins differ per process and cannot be compared
+directly.
+
+Context dictionaries on the wire are plain JSON objects —
+``{"t": trace_id, "p": parent_span_id}`` — so they pass through both
+codecs without any new encoding tags.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping
+
+
+def new_trace_id() -> str:
+    """A fresh globally-unique trace id."""
+    return uuid.uuid4().hex
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What travels on the wire: which trace, and which span is the parent."""
+
+    trace_id: str
+    parent: int | None = None
+
+    def to_wire(self) -> dict[str, Any]:
+        """The JSON-safe wire form (short keys — this rides every frame)."""
+        return {"t": self.trace_id, "p": self.parent}
+
+    @staticmethod
+    def from_wire(value: Any) -> "TraceContext | None":
+        """Decode a wire context; ``None`` and malformed values read as untraced."""
+        if value is None:
+            return None
+        if isinstance(value, TraceContext):
+            return value
+        if isinstance(value, Mapping) and "t" in value:
+            parent = value.get("p")
+            return TraceContext(trace_id=str(value["t"]),
+                                parent=None if parent is None else int(parent))
+        return None
+
+
+@dataclass
+class Span:
+    """One timed stage of a traced transaction, in one process."""
+
+    name: str
+    trace_id: str
+    span_id: int
+    parent: int | None = None
+    category: str = "engine"
+    start: float = 0.0  # wall-clock epoch seconds
+    duration: float = 0.0  # seconds
+    pid: int = 0
+    tid: int = 0
+    args: dict[str, Any] = field(default_factory=dict)
+    #: perf_counter at begin — local to the recording process, never shipped.
+    _t0: float = field(default=0.0, repr=False, compare=False)
+
+    def context(self) -> TraceContext:
+        """The context a child span (possibly in another process) inherits."""
+        return TraceContext(trace_id=self.trace_id, parent=self.span_id)
+
+    def to_event(self) -> dict[str, Any]:
+        """This span as a Chrome-trace complete ("X") event.
+
+        Chrome's event format has no explicit parent field — nesting is
+        inferred from time containment per lane — so the span/parent ids
+        ride in ``args`` where the connectivity assertions (and humans)
+        can follow the tree across process lanes.
+        """
+        return {
+            "name": self.name,
+            "cat": self.category,
+            "ph": "X",
+            "ts": self.start * 1e6,
+            "dur": self.duration * 1e6,
+            "pid": self.pid,
+            "tid": self.tid,
+            "args": {
+                **self.args,
+                "trace_id": self.trace_id,
+                "span_id": self.span_id,
+                "parent_id": self.parent,
+            },
+        }
+
+    def to_wire(self) -> dict[str, Any]:
+        """JSON-safe form for shipping worker spans to the engine."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent": self.parent,
+            "category": self.category,
+            "start": self.start,
+            "duration": self.duration,
+            "pid": self.pid,
+            "tid": self.tid,
+            "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_wire(cls, document: Mapping[str, Any]) -> "Span":
+        """Rebuild a span shipped from another process."""
+        parent = document.get("parent")
+        return cls(
+            name=str(document["name"]),
+            trace_id=str(document["trace_id"]),
+            span_id=int(document["span_id"]),
+            parent=None if parent is None else int(parent),
+            category=str(document.get("category", "engine")),
+            start=float(document.get("start", 0.0)),
+            duration=float(document.get("duration", 0.0)),
+            pid=int(document.get("pid", 0)),
+            tid=int(document.get("tid", 0)),
+            args=dict(document.get("args") or {}),
+        )
+
+
+class Tracer:
+    """Per-process span factory and bounded buffer.
+
+    Span ids are salted with the process id so ids minted independently
+    by the engine and its shard workers never collide within one trace.
+    ``sample_every=N`` makes :meth:`should_sample` approve every Nth
+    locally-originated transaction; propagated contexts bypass sampling —
+    whoever started the trace already made that call.
+    """
+
+    def __init__(self, *, sample_every: int = 1, capacity: int = 100_000) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1: {sample_every!r}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity!r}")
+        self._sample_every = sample_every
+        self._capacity = capacity
+        self._mutex = threading.Lock()
+        self._spans: list[Span] = []
+        self._dropped = 0
+        self._sample_counter = 0
+        self._span_counter = 0
+
+    # -- sampling and ids --------------------------------------------------------
+
+    def should_sample(self) -> bool:
+        """Whether the next locally-begun transaction should be traced."""
+        with self._mutex:
+            self._sample_counter += 1
+            return (self._sample_counter - 1) % self._sample_every == 0
+
+    def new_trace_id(self) -> str:
+        """A fresh trace id (module-level helper, re-exported for callers)."""
+        return new_trace_id()
+
+    def _next_span_id(self) -> int:
+        with self._mutex:
+            self._span_counter += 1
+            return (os.getpid() << 32) | self._span_counter
+
+    # -- recording ---------------------------------------------------------------
+
+    def begin_span(self, name: str, trace_id: str, *,
+                   parent: int | None = None, category: str = "engine",
+                   args: dict[str, Any] | None = None) -> Span:
+        """Open a span; pair with :meth:`end_span` (or use :meth:`span`)."""
+        span = Span(name=name, trace_id=trace_id,
+                    span_id=self._next_span_id(), parent=parent,
+                    category=category, start=time.time(),
+                    pid=os.getpid(), tid=threading.get_ident(),
+                    args=dict(args) if args else {})
+        span._t0 = time.perf_counter()
+        return span
+
+    def end_span(self, span: Span) -> Span:
+        """Close a span (duration from the begin perf_counter) and record it."""
+        span.duration = max(0.0, time.perf_counter() - span._t0)
+        self.record(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, trace_id: str, *,
+             parent: int | None = None, category: str = "engine",
+             args: dict[str, Any] | None = None) -> Iterator[Span]:
+        """Context manager sugar: the span closes however the block exits."""
+        current = self.begin_span(name, trace_id, parent=parent,
+                                  category=category, args=args)
+        try:
+            yield current
+        finally:
+            self.end_span(current)
+
+    def record(self, span: Span) -> None:
+        """Buffer a finished span; beyond capacity, count drops instead."""
+        with self._mutex:
+            if len(self._spans) < self._capacity:
+                self._spans.append(span)
+            else:
+                self._dropped += 1
+
+    # -- reading -----------------------------------------------------------------
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Everything recorded so far, in completion order."""
+        with self._mutex:
+            return tuple(self._spans)
+
+    @property
+    def dropped(self) -> int:
+        """Spans lost to the capacity bound."""
+        with self._mutex:
+            return self._dropped
+
+    def drain(self) -> list[Span]:
+        """Hand over (and forget) every buffered span — the worker-side RPC."""
+        with self._mutex:
+            spans, self._spans = self._spans, []
+            return spans
+
+
+def chrome_trace_document(spans: Iterable[Span]) -> dict[str, Any]:
+    """Spans as one Chrome-trace JSON object (load in Perfetto/chrome://tracing)."""
+    return {
+        "traceEvents": [span.to_event() for span in spans],
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(path: str | Path, spans: Iterable[Span]) -> int:
+    """Write a Chrome-trace file; returns the number of events written."""
+    document = chrome_trace_document(spans)
+    Path(path).write_text(json.dumps(document, indent=1, sort_keys=True))
+    return len(document["traceEvents"])

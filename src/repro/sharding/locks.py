@@ -64,15 +64,21 @@ class ShardedLockFront:
         #: never goes stale; a racy double-compute writes the same value.
         #: Bounded by the set of distinct resources, i.e. the store size.
         self._route_cache: dict[Resource, int] = {}
+        #: Deadlock victims attributed per shard (single detector thread
+        #: writes; readers take unsynchronised snapshots for reporting).
+        self._victims_per_shard = [0] * len(self._shards)
 
     # -- acquiring -------------------------------------------------------------
 
     def acquire(self, txn: TxnId, resource: Resource, mode: Mode,
-                timeout: float | None | object = USE_DEFAULT_TIMEOUT) -> float:
+                timeout: float | None | object = USE_DEFAULT_TIMEOUT,
+                trace: object = None) -> float:
         """Block until ``txn`` holds ``mode`` on ``resource`` (routed to its shard).
 
         Same contract as :meth:`BlockingLockManager.acquire`, including the
-        non-positive-timeout fail-fast try-lock.
+        non-positive-timeout fail-fast try-lock.  A non-``None`` ``trace``
+        context is forwarded to the shard handle (a remote handle sends it
+        to its worker; a local manager ignores it).
         """
         shard_id = self._route_cache.get(resource)
         if shard_id is None:
@@ -82,7 +88,10 @@ class ShardedLockFront:
         if touched is None:
             touched = self._touched[txn] = set()
         touched.add(shard_id)
-        return self._shards[shard_id].acquire(txn, resource, mode, timeout)
+        if trace is None:
+            return self._shards[shard_id].acquire(txn, resource, mode, timeout)
+        return self._shards[shard_id].acquire(txn, resource, mode, timeout,
+                                              trace=trace)
 
     # -- releasing -------------------------------------------------------------
 
@@ -136,7 +145,9 @@ class ShardedLockFront:
             # path below, which works unchanged for one shard.
             shard = self._shards[0]
             shard.victim_key = self.victim_key
-            return shard.detect()
+            victims = shard.detect()
+            self._victims_per_shard[0] += len(victims)
+            return victims
         edges = self._union_edges()
         if not find_cycle(edges):
             return ()
@@ -152,8 +163,9 @@ class ShardedLockFront:
             victims[victim] = tuple(cycle)
             edges.pop(victim, None)
         if victims:
-            for shard in self._shards:
-                shard.doom(victims)
+            for shard_id, shard in enumerate(self._shards):
+                accepted = shard.doom(victims) or ()
+                self._victims_per_shard[shard_id] += len(accepted)
         return tuple(victims)
 
     def _union_edges(self) -> dict[TxnId, set[TxnId]]:
@@ -215,3 +227,8 @@ class ShardedLockFront:
         for shard in self._shards:
             doomed.update(shard.doomed_transactions())
         return frozenset(doomed)
+
+    def victim_counts(self) -> tuple[int, ...]:
+        """Deadlock victims attributed to each shard (the shard where the
+        victim's blocked request was actually doomed)."""
+        return tuple(self._victims_per_shard)

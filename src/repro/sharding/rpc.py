@@ -160,12 +160,19 @@ class Hello:
 
 @dataclass(frozen=True)
 class Acquire:
-    """Block until ``txn`` holds ``mode`` on ``resource`` in this shard."""
+    """Block until ``txn`` holds ``mode`` on ``resource`` in this shard.
+
+    ``trace`` is an optional trace context (``{"t": trace_id, "p":
+    parent_span_id}``) — when present the worker records its own span for
+    the acquire, parented into the caller's trace.  The same field, with
+    the same meaning, rides every traced data-plane and 2PC request below.
+    """
 
     txn: int
     resource: Any
     mode: Any
     timeout: Any = _DEFAULT_TIMEOUT_TAG
+    trace: Any = None
 
     type = "w_acquire"
     _tuples = ()
@@ -245,6 +252,7 @@ class WritePlan:
 
     txn: int
     images: Any = ()
+    trace: Any = None
 
     type = "w_write_plan"
     _tuples = ()
@@ -262,6 +270,7 @@ class Execute:
     txn: int
     operation_json: str
     images: Any = ()
+    trace: Any = None
 
     type = "w_execute"
     _tuples = ()
@@ -295,6 +304,7 @@ class Prepare:
     """Phase one: durable vote for ``txn`` (redo images + PREPARED + barrier)."""
 
     txn: int
+    trace: Any = None
 
     type = "w_prepare"
     _tuples = ()
@@ -305,6 +315,7 @@ class CommitTxn:
     """Phase two: the global decision exists — discard the undo log."""
 
     txn: int
+    trace: Any = None
 
     type = "w_commit"
     _tuples = ()
@@ -315,6 +326,7 @@ class AbortTxn:
     """Restore this shard to its before-images (prepared or not)."""
 
     txn: int
+    trace: Any = None
 
     type = "w_abort"
     _tuples = ()
@@ -333,6 +345,23 @@ class Checkpoint:
     """Snapshot the partition to disk and truncate the shard WAL."""
 
     type = "w_checkpoint"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """The worker's local metrics: counters, histograms, WAL bytes,
+    deadlock victims and its lock-contention hot list."""
+
+    type = "w_metrics"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class Spans:
+    """Drain the worker's recorded trace spans (they ship once)."""
+
+    type = "w_spans"
     _tuples = ()
 
 
@@ -406,7 +435,7 @@ class Info:
 WorkerRequest = (Hello | Acquire | ReleaseAll | CollectEdges | Doom | ClearDoom
                  | Holds | Waiting | Doomed | WritePlan | Execute | ReadField
                  | WriteField | Prepare | CommitTxn | AbortTxn | Snapshot
-                 | Checkpoint | Fault | Shutdown)
+                 | Checkpoint | Metrics | Spans | Fault | Shutdown)
 WorkerReply = Ok | Waited | Value | Executed | Info | ErrorReply
 
 _REQUEST_TYPES: dict[str, type] = {
@@ -414,7 +443,7 @@ _REQUEST_TYPES: dict[str, type] = {
                               ClearDoom, Holds, Waiting, Doomed, WritePlan,
                               Execute, ReadField, WriteField, Prepare,
                               CommitTxn, AbortTxn, Snapshot, Checkpoint,
-                              Fault, Shutdown)
+                              Metrics, Spans, Fault, Shutdown)
 }
 _REPLY_TYPES: dict[str, type] = {
     cls.type: cls for cls in (Ok, Waited, Value, Executed, Info)
@@ -476,6 +505,11 @@ class RemoteShardClient(ParticipantClient):
         #: union path runs coordinator-side where the engine's age order
         #: lives, so the remote handle only stores it.
         self.victim_key = None
+        #: Observability hook: called with the seconds one round trip took.
+        #: Acquires report *net* transport time — elapsed minus the seconds
+        #: the worker says the lock itself was waited on — so a multi-second
+        #: lock wait does not masquerade as RPC latency.
+        self.on_rpc = None
 
     # -- the transport ----------------------------------------------------------
 
@@ -517,8 +551,13 @@ class RemoteShardClient(ParticipantClient):
                 pass
 
     def _call(self, request: Any, *,
-              timeout: "float | None | object" = USE_DEFAULT_TIMEOUT) -> Any:
+              timeout: "float | None | object" = USE_DEFAULT_TIMEOUT,
+              record: bool = True) -> Any:
         """One request/reply round trip; typed errors re-raised.
+
+        Successful round trips report their duration to :attr:`on_rpc`
+        unless ``record`` is false (``acquire`` opts out and reports its
+        net transport time itself).
 
         Raises:
             ParticipantUnavailable: the worker cannot be reached, timed out,
@@ -529,6 +568,7 @@ class RemoteShardClient(ParticipantClient):
         sock = self._connection()
         if timeout is USE_DEFAULT_TIMEOUT:
             timeout = self._timeout
+        started = time.perf_counter()
         try:
             sock.settimeout(timeout)
             send_frame(sock, message_to_wire(request))
@@ -543,6 +583,8 @@ class RemoteShardClient(ParticipantClient):
             raise ParticipantUnavailable(
                 f"shard {self.shard_id} worker hung up during "
                 f"{request.type!r}", shard=self.shard_id)
+        if record and self.on_rpc is not None:
+            self.on_rpc(time.perf_counter() - started)
         reply = worker_reply_from_wire(document)
         if isinstance(reply, (ErrorReply, Overloaded)):
             raise exception_from_reply(reply)
@@ -583,19 +625,20 @@ class RemoteShardClient(ParticipantClient):
 
     # -- the 2PC participant protocol ---------------------------------------------
 
-    def prepare(self, txn: int) -> None:
-        self._call(Prepare(txn=txn))
+    def prepare(self, txn: int, trace: Any = None) -> None:
+        self._call(Prepare(txn=txn, trace=trace))
 
-    def commit(self, txn: int) -> None:
-        self._call(CommitTxn(txn=txn))
+    def commit(self, txn: int, trace: Any = None) -> None:
+        self._call(CommitTxn(txn=txn, trace=trace))
 
-    def abort(self, txn: int) -> None:
-        self._call(AbortTxn(txn=txn))
+    def abort(self, txn: int, trace: Any = None) -> None:
+        self._call(AbortTxn(txn=txn, trace=trace))
 
     # -- the lock-handle surface (ShardedLockFront duck type) ---------------------
 
     def acquire(self, txn: int, resource: Hashable, mode: Hashable,
-                timeout: "float | None | object" = USE_DEFAULT_TIMEOUT) -> float:
+                timeout: "float | None | object" = USE_DEFAULT_TIMEOUT,
+                trace: Any = None) -> float:
         """Blocking remote acquire; returns seconds spent blocked.
 
         The RPC deadline tracks the lock timeout (plus a grace period for
@@ -609,11 +652,18 @@ class RemoteShardClient(ParticipantClient):
             effective = self._lock_timeout
         rpc_timeout = (None if effective is None
                        else max(float(effective), 0.0) + _ACQUIRE_GRACE)
+        started = time.perf_counter()
         reply = self._call(
             Acquire(txn=txn, resource=encode_resource(resource),
-                    mode=encode_mode(mode), timeout=encode_timeout(timeout)),
-            timeout=rpc_timeout)
-        return float(reply.waited)
+                    mode=encode_mode(mode), timeout=encode_timeout(timeout),
+                    trace=trace),
+            timeout=rpc_timeout, record=False)
+        waited = float(reply.waited)
+        if self.on_rpc is not None:
+            # Net transport time: the round trip minus the lock wait the
+            # worker actually served — that difference is the RPC tax.
+            self.on_rpc(max(0.0, time.perf_counter() - started - waited))
+        return waited
 
     def release_all(self, txn: int) -> None:
         """Release ``txn`` everywhere in the shard (dead workers tolerated:
@@ -632,15 +682,16 @@ class RemoteShardClient(ParticipantClient):
         return {int(waiter): {int(target) for target in targets}
                 for waiter, targets in payload.get("edges", [])}
 
-    def doom(self, victims: Mapping[int, tuple[int, ...]]) -> None:
-        """Offer victims; the worker marks those actually waiting there."""
+    def doom(self, victims: Mapping[int, tuple[int, ...]]) -> tuple[int, ...]:
+        """Offer victims; returns those the worker actually marked there."""
         if not victims:
-            return
+            return ()
         try:
-            self._call(Doom(victims=[[txn, list(cycle)]
-                                     for txn, cycle in victims.items()]))
+            reply = self._call(Doom(victims=[[txn, list(cycle)]
+                                             for txn, cycle in victims.items()]))
         except ParticipantUnavailable:
-            pass
+            return ()
+        return tuple(int(txn) for txn in (reply.value or ()))
 
     def clear_doom(self, txn: int) -> None:
         try:
@@ -670,20 +721,24 @@ class RemoteShardClient(ParticipantClient):
     # -- the data plane -----------------------------------------------------------
 
     def write_plan(self, txn: int,
-                   images: Sequence[tuple[OID, Sequence[str]]]) -> None:
+                   images: Sequence[tuple[OID, Sequence[str]]],
+                   trace: Any = None) -> None:
         """Log projected before-images on the worker (undo + WAL), before
         any write they cover is shipped."""
-        self._call(WritePlan(txn=txn, images=encode_images(images)))
+        self._call(WritePlan(txn=txn, images=encode_images(images),
+                             trace=trace))
 
     def execute(self, txn: int, operation_request: Any,
                 images: Sequence[tuple[OID, Sequence[str]]],
+                trace: Any = None,
                 ) -> tuple[list[Any], list[tuple[OID, dict[str, Any]]]]:
         """Ship a whole single-shard operation: log images, run, return
         ``(results, writes applied)`` so the coordinator can mirror them."""
         reply = self._call(Execute(txn=txn,
                                    operation_json=encode_operation(
                                        operation_request),
-                                   images=encode_images(images)))
+                                   images=encode_images(images),
+                                   trace=trace))
         writes = [(oid, dict(values)) for oid, values in reply.writes]
         return list(reply.results), writes
 
@@ -700,6 +755,22 @@ class RemoteShardClient(ParticipantClient):
         payload = self._call(Snapshot()).payload
         return {name: dict(values)
                 for name, values in payload.get("instances", {}).items()}
+
+    # -- observability ------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The worker's local metrics document (counters + histograms +
+        WAL bytes + deadlock victims + hot resources)."""
+        return dict(self._call(Metrics()).payload)
+
+    def drain_spans(self) -> list[dict[str, Any]]:
+        """Collect (and clear) the worker's recorded trace spans; a dead
+        worker's spans are simply lost with it."""
+        try:
+            payload = self._call(Spans()).payload
+        except ParticipantUnavailable:
+            return []
+        return [dict(span) for span in payload.get("spans", ())]
 
     # -- introspection ------------------------------------------------------------
 

@@ -75,7 +75,7 @@ class ShardParticipant(ParticipantClient):
         #: a cross-shard commit without simulating hardware failure.
         self.prepare_veto: Callable[[int], str | None] | None = None
 
-    def prepare(self, txn: int) -> None:
+    def prepare(self, txn: int, trace: object = None) -> None:
         """Phase one: flush this shard's log for ``txn``, then vote.
 
         With a write-ahead log attached, the vote is made durable first:
@@ -83,6 +83,10 @@ class ShardParticipant(ParticipantClient):
         ``PREPARED`` marker, and a barrier (fsync under the ``fsync``
         policy).  Only then is yes promised — after this returns, the shard
         can always complete the commit from disk alone.
+
+        ``trace`` is ignored in process: the coordinator's own prepare span
+        already times this call, and there is no process hop to attribute.
+        The remote participant client forwards it to the worker instead.
 
         Raises:
             TwoPhaseCommitError: this shard votes no.
@@ -100,12 +104,12 @@ class ShardParticipant(ParticipantClient):
             self._wal.barrier()
         self._prepared.add(txn)
 
-    def commit(self, txn: int) -> None:
+    def commit(self, txn: int, trace: object = None) -> None:
         """Phase two: the global decision exists — discard the undo log."""
         self._recovery.forget(txn)
         self._prepared.discard(txn)
 
-    def abort(self, txn: int) -> None:
+    def abort(self, txn: int, trace: object = None) -> None:
         """Restore this shard to its before-images (prepared or not)."""
         self._recovery.undo(txn)
         self._prepared.discard(txn)
@@ -139,11 +143,22 @@ class TwoPhaseCommitCoordinator:
         #: restarted worker resolves itself against the decision log — but
         #: they are counted so operators (and tests) can see them.
         self.unavailable_completions = 0
+        #: Observability hook: called once per unavailable completion, after
+        #: the counter above.  The engine wires it to
+        #: ``EngineMetrics.record_unavailable`` so the count reaches the
+        #: ``MetricsSnapshot`` reply instead of staying engine-internal.
+        self.on_unavailable: Callable[[], None] | None = None
 
     # -- the protocol ------------------------------------------------------------
 
-    def prepare(self, txn: int, shards: Sequence[int]) -> None:
+    def prepare(self, txn: int, shards: Sequence[int], *,
+                tracer: object = None, context: object = None) -> None:
         """Phase one on every touched shard, in shard order.
+
+        With a ``tracer`` and a parent ``context`` (the engine's commit
+        span), each participant's vote is wrapped in its own
+        ``prepare:shardN`` span, and a child context parented to that span
+        rides the prepare RPC so a remote worker's own span joins the tree.
 
         Raises:
             TwoPhaseCommitError: some shard voted no.  Shards prepared before
@@ -151,8 +166,16 @@ class TwoPhaseCommitCoordinator:
                 on every touched shard (prepared participants undo exactly
                 like unprepared ones).
         """
+        if tracer is None or context is None:
+            for shard_id in shards:
+                self._participants[shard_id].prepare(txn)
+            return
         for shard_id in shards:
-            self._participants[shard_id].prepare(txn)
+            with tracer.span(f"prepare:shard{shard_id}", context.trace_id,
+                             parent=context.parent, category="2pc",
+                             args={"txn": txn, "shard": shard_id}) as span:
+                self._participants[shard_id].prepare(
+                    txn, trace=span.context().to_wire())
 
     def record_commit(self, txn: int, shards: Sequence[int]) -> CommitDecision:
         """Append the global commit record — the transaction's serialisation
@@ -175,22 +198,25 @@ class TwoPhaseCommitCoordinator:
         if self._decision_log is not None:
             self._decision_log.wait_durable()
 
-    def complete_commit(self, txn: int, shards: Sequence[int]) -> None:
+    def complete_commit(self, txn: int, shards: Sequence[int],
+                        trace: object = None) -> None:
         """Phase two: discard every touched shard's undo log.
 
         An unreachable participant does not fail the commit — the decision
         is already durable, so the transaction *is* committed; the dead
         worker redoes it from its own WAL and the decision log when it
-        restarts (per-participant recovery).
+        restarts (per-participant recovery).  ``trace`` (the engine's
+        phase-two span context) is forwarded so remote workers parent their
+        commit spans to it.
         """
         for shard_id in shards:
             try:
-                self._participants[shard_id].commit(txn)
+                self._participants[shard_id].commit(txn, trace=trace)
             except ParticipantUnavailable:
-                with self._mutex:
-                    self.unavailable_completions += 1
+                self._note_unavailable()
 
-    def abort(self, txn: int, shards: Sequence[int]) -> CommitDecision:
+    def abort(self, txn: int, shards: Sequence[int],
+              trace: object = None) -> CommitDecision:
         """Undo on every touched shard (before-images restored), log the decision.
 
         An unreachable participant is tolerated: presumed abort means the
@@ -199,11 +225,16 @@ class TwoPhaseCommitCoordinator:
         """
         for shard_id in shards:
             try:
-                self._participants[shard_id].abort(txn)
+                self._participants[shard_id].abort(txn, trace=trace)
             except ParticipantUnavailable:
-                with self._mutex:
-                    self.unavailable_completions += 1
+                self._note_unavailable()
         return self._record(txn, "abort", shards)
+
+    def _note_unavailable(self) -> None:
+        with self._mutex:
+            self.unavailable_completions += 1
+        if self.on_unavailable is not None:
+            self.on_unavailable()
 
     # -- introspection -----------------------------------------------------------
 

@@ -68,7 +68,15 @@ from repro.api.messages import request_from_wire, operation_from_request
 from repro.api.wire import recv_frame, send_frame
 from repro.core.compiler import compile_schema
 from repro.engine.locks import BlockingLockManager
-from repro.errors import ProtocolError, ReproError, WALError
+from repro.engine.metrics import EngineMetrics
+from repro.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    ProtocolError,
+    ReproError,
+    WALError,
+)
+from repro.obs.tracing import TraceContext, Tracer
 from repro.objects.interpreter import ExecutionTrace, Interpreter
 from repro.objects.oid import OID
 from repro.objects.store import ObjectStore
@@ -100,6 +108,17 @@ SCHEMAS: dict[str, Callable[[], Any]] = {
 
 #: Exit code of a deliberately injected crash (tests assert on it).
 FAULT_EXIT = 42
+
+#: Span names for traced requests — the worker-side halves of the stages
+#: the engine's spans cover from the coordinator side.
+_SPAN_NAMES: dict[type, str] = {
+    rpc.Acquire: "shard-acquire",
+    rpc.WritePlan: "shard-write-plan",
+    rpc.Execute: "shard-execute",
+    rpc.Prepare: "shard-prepare",
+    rpc.CommitTxn: "shard-commit",
+    rpc.AbortTxn: "shard-abort",
+}
 
 
 class ShardWorker:
@@ -161,6 +180,16 @@ class ShardWorker:
         self._participant = ShardParticipant(shard_id, self._recovery,
                                              wal=self._wal)
 
+        #: Local observability: the worker's own counters and latency
+        #: histograms (served over the ``w_metrics`` RPC and merged into
+        #: the coordinator's cluster snapshot), plus a tracer whose spans
+        #: the coordinator drains over ``w_spans``.
+        self._metrics = EngineMetrics()
+        self._tracer = Tracer(capacity=20_000)
+        if self._wal is not None:
+            self._wal.on_barrier = (
+                lambda seconds: self._metrics.record_latency("barrier", seconds))
+
         self._listener = socket.create_server((host, port))
         self._listener.settimeout(0.2)
         self._address = (host, self._listener.getsockname()[1])
@@ -187,6 +216,8 @@ class ShardWorker:
             rpc.AbortTxn: self._abort,
             rpc.Snapshot: self._snapshot,
             rpc.Checkpoint: self._checkpoint_request,
+            rpc.Metrics: self._metrics_request,
+            rpc.Spans: self._spans_request,
             rpc.Fault: self._fault,
             rpc.Shutdown: self._shutdown_request,
         }
@@ -353,7 +384,7 @@ class ShardWorker:
                     if handler is None:
                         raise ProtocolError(
                             f"worker cannot serve {type(request).__name__}")
-                    reply = handler(request)
+                    reply = self._handle(request, handler)
                     if isinstance(reply, tuple):
                         reply, post = reply
                 except ReproError as error:
@@ -371,6 +402,26 @@ class ShardWorker:
                 self._clients.discard(sock)
             sock.close()
 
+    def _handle(self, request: Any, handler: Callable[[Any], Any]) -> Any:
+        """Run one handler, recording a span when the request is traced.
+
+        Untraced requests (the default) pay one ``getattr`` — the trace
+        context only rides requests whose transaction is being sampled.
+        The span closes whichever way the handler exits, so doomed
+        acquires and prepare vetoes show up in the trace too.
+        """
+        context = TraceContext.from_wire(getattr(request, "trace", None))
+        if context is None:
+            return handler(request)
+        span = self._tracer.begin_span(
+            _SPAN_NAMES.get(type(request), request.type),
+            context.trace_id, parent=context.parent, category="worker",
+            args={"shard": self.shard_id, "txn": getattr(request, "txn", None)})
+        try:
+            return handler(request)
+        finally:
+            self._tracer.end_span(span)
+
     # -- handlers -----------------------------------------------------------------
 
     def _hello(self, request: rpc.Hello) -> rpc.Info:
@@ -381,10 +432,19 @@ class ShardWorker:
         return rpc.Info(payload=payload)
 
     def _acquire(self, request: rpc.Acquire) -> rpc.Waited:
-        waited = self._locks.acquire(request.txn,
-                                     rpc.decode_resource(request.resource),
-                                     rpc.decode_mode(request.mode),
-                                     rpc.decode_timeout(request.timeout))
+        try:
+            waited = self._locks.acquire(request.txn,
+                                         rpc.decode_resource(request.resource),
+                                         rpc.decode_mode(request.mode),
+                                         rpc.decode_timeout(request.timeout))
+        except LockTimeoutError as error:
+            self._metrics.record_timeout()
+            self._metrics.record_requests(1, error.waited)
+            raise
+        except DeadlockError as error:
+            self._metrics.record_requests(1, error.waited)
+            raise
+        self._metrics.record_requests(1, waited)
         return rpc.Waited(waited=waited)
 
     def _release_all(self, request: rpc.ReleaseAll) -> rpc.Ok:
@@ -396,11 +456,11 @@ class ShardWorker:
         return rpc.Info(payload={"edges": [[waiter, sorted(targets)]
                                            for waiter, targets in edges.items()]})
 
-    def _doom(self, request: rpc.Doom) -> rpc.Ok:
+    def _doom(self, request: rpc.Doom) -> rpc.Value:
         victims = {int(txn): tuple(int(t) for t in cycle)
                    for txn, cycle in request.victims}
-        self._locks.doom(victims)
-        return rpc.Ok()
+        accepted = self._locks.doom(victims)
+        return rpc.Value(value=sorted(accepted))
 
     def _clear_doom(self, request: rpc.ClearDoom) -> rpc.Ok:
         self._locks.clear_doom(request.txn)
@@ -482,6 +542,22 @@ class ShardWorker:
 
     def _checkpoint_request(self, request: rpc.Checkpoint) -> rpc.Info:
         return rpc.Info(payload={"kept": self._checkpoint()})
+
+    def _metrics_request(self, request: rpc.Metrics) -> rpc.Info:
+        return rpc.Info(payload={
+            "metrics": self._metrics.snapshot(),
+            "wal_bytes": 0 if self._wal is None else self._wal.bytes_written,
+            "deadlock_victims": self._locks.victims_doomed,
+            "hot_resources": [[str(resource), waits, wait_time]
+                              for resource, waits, wait_time
+                              in self._locks.hot_resources()],
+        })
+
+    def _spans_request(self, request: rpc.Spans) -> rpc.Info:
+        return rpc.Info(payload={
+            "spans": [span.to_wire() for span in self._tracer.drain()],
+            "dropped": self._tracer.dropped,
+        })
 
     def _fault(self, request: rpc.Fault) -> rpc.Ok:
         if request.action not in ("exit_before_prepare_reply",

@@ -87,6 +87,10 @@ class WriteAheadLog:
             fsync_directory(self._path.parent)
         self._bytes_written = 0
         self._closed = False
+        #: Observability hook: called with the seconds one :meth:`barrier`
+        #: took (flush plus any fsync).  The engine and the shard workers
+        #: wire this to their ``barrier`` latency histograms.
+        self.on_barrier: Callable[[float], None] | None = None
 
     # -- writing ----------------------------------------------------------------
 
@@ -101,10 +105,14 @@ class WriteAheadLog:
 
     def barrier(self) -> None:
         """Make everything appended so far durable per the log's sync policy."""
+        started = time.perf_counter()
         with self._mutex:
             self._file.flush()
             if self._sync_on_barrier:
                 os.fsync(self._file.fileno())
+        hook = self.on_barrier
+        if hook is not None:
+            hook(time.perf_counter() - started)
 
     def rewrite(self, keep: Callable[[WALRecord], bool]) -> tuple[int, int]:
         """Atomically shrink the log to the records satisfying ``keep``.
@@ -331,3 +339,14 @@ class DecisionLog:
     def path(self) -> Path:
         """Where the decision log lives."""
         return self._wal.path
+
+    @property
+    def on_barrier(self) -> Callable[[float], None] | None:
+        """Barrier-duration hook, forwarded to the underlying log — both the
+        per-commit barrier and the group-commit flusher's barrier report
+        through it."""
+        return self._wal.on_barrier
+
+    @on_barrier.setter
+    def on_barrier(self, hook: Callable[[float], None] | None) -> None:
+        self._wal.on_barrier = hook

@@ -1,0 +1,179 @@
+"""The mergeable fixed-bucket latency histogram.
+
+The property under test is the one the cluster aggregation path leans
+on: with a shared fixed bucket layout, merging is element-wise count
+addition and therefore **lossless** — merging per-process histograms
+gives bit-identical state to having recorded every observation into one
+histogram, in any association order.  Subtraction (the socket harness's
+before/after delta) is the exact inverse on counts and sums.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.obs.histogram import (
+    BUCKET_BOUNDS,
+    BUCKET_FLOOR,
+    NUM_BUCKETS,
+    LatencyHistogram,
+    bucket_index,
+)
+
+
+def filled(values):
+    histogram = LatencyHistogram()
+    for value in values:
+        histogram.record(value)
+    return histogram
+
+
+def counts_of(histogram: LatencyHistogram) -> dict:
+    return histogram.snapshot()["counts"]
+
+
+# -- bucket layout ---------------------------------------------------------------
+
+
+def test_bucket_layout_is_log2_from_the_floor():
+    assert len(BUCKET_BOUNDS) == NUM_BUCKETS
+    assert BUCKET_BOUNDS[0] == BUCKET_FLOOR
+    for lower, upper in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:]):
+        assert upper == lower * 2.0
+
+
+def test_bucket_index_brackets_each_bound():
+    assert bucket_index(0.0) == 0
+    assert bucket_index(BUCKET_FLOOR) == 0
+    for index, bound in enumerate(BUCKET_BOUNDS):
+        assert bucket_index(bound) == index
+        if index + 1 < NUM_BUCKETS:
+            assert bucket_index(bound * 1.01) == index + 1
+    # Beyond the top bound everything lands in the last bucket.
+    assert bucket_index(BUCKET_BOUNDS[-1] * 1000) == NUM_BUCKETS - 1
+
+
+# -- recording and moments -------------------------------------------------------
+
+
+def test_exact_moments_ride_along():
+    histogram = filled([0.001, 0.002, 0.004])
+    assert histogram.count == 3
+    assert histogram.total == pytest.approx(0.007)
+    assert histogram.mean == pytest.approx(0.007 / 3)
+
+
+def test_negative_durations_clamp_to_zero():
+    histogram = filled([-1.0])
+    assert histogram.count == 1
+    assert histogram.total == 0.0
+
+
+def test_empty_histogram_queries():
+    histogram = LatencyHistogram()
+    assert histogram.count == 0
+    assert histogram.mean == 0.0
+    assert histogram.percentile(50) == 0.0
+
+
+# -- percentiles -----------------------------------------------------------------
+
+
+def test_single_observation_is_exact_at_every_percentile():
+    histogram = filled([0.0123])
+    for q in (0, 50, 95, 99, 100):
+        assert histogram.percentile(q) == pytest.approx(0.0123)
+
+
+def test_percentiles_are_monotonic_and_bucket_accurate():
+    rng = random.Random(7)
+    values = [rng.uniform(1e-5, 0.5) for _ in range(500)]
+    histogram = filled(values)
+    previous = 0.0
+    for q in (10, 25, 50, 75, 90, 95, 99, 100):
+        estimate = histogram.percentile(q)
+        assert estimate >= previous
+        exact = sorted(values)[max(0, -(-len(values) * q // 100) - 1)]
+        # A log2 layout bounds relative error by one bucket width.
+        assert estimate <= exact * 2.0 + 1e-12
+        assert estimate >= exact / 2.0 - 1e-12
+        previous = estimate
+    assert histogram.percentile(100) == pytest.approx(max(values))
+
+
+def test_percentile_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        LatencyHistogram().percentile(101)
+
+
+# -- lossless merge --------------------------------------------------------------
+
+
+def dyadic(rng, count):
+    """Durations exactly representable in binary, so float sums are exact
+    in any order and snapshots can be compared for strict equality."""
+    return [rng.randrange(1, 1 << 20) / float(1 << 20) for _ in range(count)]
+
+
+def test_merge_is_lossless():
+    rng = random.Random(11)
+    left_values = dyadic(rng, 200)
+    right_values = dyadic(rng, 300)
+    merged = filled(left_values).merge(filled(right_values))
+    combined = filled(left_values + right_values)
+    assert merged.snapshot() == combined.snapshot()
+
+
+def test_merge_is_associative_and_commutative():
+    rng = random.Random(13)
+    parts = [dyadic(rng, 50) for _ in range(3)]
+    a, b, c = parts
+    left_first = filled(a).merge(filled(b)).merge(filled(c))
+    right_first = filled(a).merge(filled(b).merge(filled(c)))
+    reversed_order = filled(c).merge(filled(b)).merge(filled(a))
+    assert left_first.snapshot() == right_first.snapshot()
+    assert left_first.snapshot() == reversed_order.snapshot()
+
+
+def test_merged_builds_the_union_without_mutating_inputs():
+    one, two = filled([0.001] * 4), filled([0.01] * 6)
+    union = LatencyHistogram.merged([one, two])
+    assert union.count == 10
+    assert one.count == 4 and two.count == 6
+
+
+def test_subtract_inverts_merge_on_counts():
+    before_values = [0.001, 0.002, 0.004]
+    after_values = before_values + [0.008, 0.016]
+    delta = filled(after_values).subtract(filled(before_values))
+    assert delta.count == 2
+    assert delta.total == pytest.approx(0.024)
+    assert counts_of(delta) == counts_of(filled([0.008, 0.016]))
+
+
+# -- wire format -----------------------------------------------------------------
+
+
+def test_snapshot_round_trips_through_json():
+    histogram = filled([1e-7, 0.003, 0.003, 1.5, 40000.0])
+    document = json.loads(json.dumps(histogram.snapshot()))
+    rebuilt = LatencyHistogram.from_snapshot(document)
+    assert rebuilt.snapshot() == histogram.snapshot()
+    assert rebuilt.percentile(50) == histogram.percentile(50)
+
+
+def test_snapshot_counts_are_sparse():
+    histogram = filled([0.001] * 100)
+    assert len(counts_of(histogram)) == 1
+
+
+def test_rebuilt_snapshots_still_merge_losslessly():
+    # The cluster path: record in two processes, ship snapshots, merge.
+    left, right = filled([0.002, 0.004]), filled([0.008])
+    shipped = [LatencyHistogram.from_snapshot(json.loads(json.dumps(h.snapshot())))
+               for h in (left, right)]
+    merged = LatencyHistogram.merged(shipped)
+    assert merged.snapshot() == filled([0.002, 0.004, 0.008]).snapshot()

@@ -1,0 +1,197 @@
+"""Cluster metrics aggregation and the ``Stats`` command.
+
+Two views of the same cluster: :meth:`Engine.cluster_metrics` flattens
+everything into one snapshot (histograms merged losslessly across
+processes), while :meth:`Engine.stats` keeps the per-shard breakdown —
+deadlock victims, WAL bytes, lock-contention hot resources — plus the
+coordinator's tolerated-unavailable count from PR 5.  Both are reachable
+over the command API (``MetricsSnapshot`` and the new ``Stats``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.connection import InProcessConnection
+from repro.core.compiler import compile_schema
+from repro.engine.engine import Engine
+from repro.engine.metrics import HISTOGRAMS, EngineMetrics
+from repro.schema import banking_schema
+from repro.sharding.router import HashShardRouter
+from repro.sharding.store import ShardedObjectStore
+from repro.sim.workload import populate_store
+from repro.txn.protocols import PROTOCOLS
+
+INSTANCES = 4
+SEED = 11
+
+
+def build_engine(**engine_options):
+    schema = banking_schema()
+    compiled = compile_schema(schema)
+    router = HashShardRouter(2)
+    store = populate_store(schema, INSTANCES, seed=SEED,
+                           store=ShardedObjectStore(schema, router))
+    protocol = PROTOCOLS["tav"](compiled, store)
+    return Engine(protocol, default_lock_timeout=5.0,
+                  **engine_options), store
+
+
+def split_accounts(store):
+    by_shard = {}
+    for oid in store.extent("Account"):
+        by_shard.setdefault(store.router.shard_of_oid(oid), oid)
+    return by_shard[0], by_shard[1]
+
+
+@pytest.fixture()
+def engine_and_store():
+    engine, store = build_engine()
+    try:
+        yield engine, store
+    finally:
+        engine.close()
+
+
+def transfer(connection, a, b, amount=5.0):
+    session = connection.begin(label="transfer")
+    session.call(a, "withdraw", amount)
+    session.call(b, "deposit", amount)
+    session.commit()
+
+
+# -- the flat cluster snapshot ---------------------------------------------------
+
+
+def test_cluster_metrics_carries_every_histogram(engine_and_store):
+    engine, store = engine_and_store
+    a, b = split_accounts(store)
+    connection = InProcessConnection(engine)
+    transfer(connection, a, b)
+
+    snapshot = connection.metrics()
+    assert snapshot["wal_bytes"] == engine.wal_bytes_written
+    metrics = snapshot["metrics"]
+    assert metrics["committed"] == 1
+    assert metrics["unavailable_completions"] == 0
+    histograms = metrics["histograms"]
+    assert set(histograms) == set(HISTOGRAMS)
+    # The dispatcher timed the commit into the latency histogram.
+    assert histograms["commit_latency"]["count"] == 1
+    # The whole payload is JSON-safe — it serves over the socket API.
+    json.dumps(snapshot)
+
+
+def test_snapshot_rebuilds_into_metrics_with_percentiles(engine_and_store):
+    engine, store = engine_and_store
+    a, b = split_accounts(store)
+    connection = InProcessConnection(engine)
+    for _ in range(4):
+        transfer(connection, a, b, amount=1.0)
+
+    rebuilt = EngineMetrics.from_snapshot(connection.metrics()["metrics"])
+    assert rebuilt.committed == 4
+    assert rebuilt.commit_percentile(50) > 0.0
+    row = rebuilt.as_row()
+    for column in ("p50_ms", "p95_ms", "p99_ms"):
+        assert row[column] > 0.0
+    assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+
+
+# -- the per-shard breakdown -----------------------------------------------------
+
+
+def test_stats_reports_per_shard_breakdown(engine_and_store):
+    engine, store = engine_and_store
+    a, b = split_accounts(store)
+    connection = InProcessConnection(engine)
+    transfer(connection, a, b)
+
+    payload = connection.stats(top=4)
+    assert [entry["shard"] for entry in payload["shards"]] == [0, 1]
+    for entry in payload["shards"]:
+        assert entry["deadlock_victims"] == 0
+        assert "wal_bytes" in entry
+        assert isinstance(entry["hot_resources"], list)
+    assert payload["deadlock_victims"] == {"0": 0, "1": 0}
+    assert payload["unavailable_completions"] == 0
+    assert len(payload["hot_resources"]) <= 4
+    json.dumps(payload)
+
+
+def test_stats_surfaces_lock_contention(engine_and_store):
+    engine, store = engine_and_store
+    a, b = split_accounts(store)
+    connection = InProcessConnection(engine)
+
+    # Manufacture a wait: hold a's write lock, have a second transaction
+    # block on it briefly, then release.
+    import threading
+    import time
+
+    first = connection.begin(label="holder")
+    first.call(a, "withdraw", 1.0)
+    ready = threading.Event()
+
+    def contender():
+        ready.set()
+        transfer(connection, a, b, amount=1.0)
+
+    thread = threading.Thread(target=contender)
+    thread.start()
+    ready.wait()
+    time.sleep(0.1)
+    first.commit()
+    thread.join()
+
+    payload = connection.stats(top=8)
+    hot = payload["hot_resources"]
+    assert hot, "a blocked acquire should register contention"
+    assert hot[0]["waits"] >= 1
+    assert hot[0]["wait_time"] > 0.0
+    # The same wait landed in the flat snapshot's lock-wait histogram.
+    metrics = connection.metrics()["metrics"]
+    assert metrics["histograms"]["lock_wait"]["count"] >= 1
+
+
+# -- worker mode -----------------------------------------------------------------
+
+
+def test_worker_cluster_metrics_include_worker_wal_and_barriers(tmp_path):
+    from repro.wal.durability import Durability
+
+    engine, store = build_engine(
+        shard_workers=2,
+        durability=Durability.fsynced(tmp_path),
+        worker_options={"schema": "banking", "instances": INSTANCES,
+                        "populate_seed": SEED})
+    try:
+        a, b = split_accounts(store)
+        connection = InProcessConnection(engine)
+        transfer(connection, a, b)
+
+        snapshot = connection.metrics()
+        metrics = snapshot["metrics"]
+        assert metrics["committed"] == 1
+        # Worker WAL bytes fold into the cluster number (the engine itself
+        # writes no redo in worker mode, so any bytes here are workers').
+        assert metrics["wal_bytes"] > 0
+        # The authoritative total also counts the coordinator decision log.
+        assert snapshot["wal_bytes"] >= metrics["wal_bytes"]
+        # RPC round trips were timed engine-side; the workers' fsync
+        # barriers merged losslessly into the cluster histogram.
+        assert metrics["histograms"]["rpc"]["count"] > 0
+        assert metrics["histograms"]["barrier"]["count"] > 0
+
+        payload = connection.stats(top=4)
+        assert [entry["shard"] for entry in payload["shards"]] == [0, 1]
+        for entry in payload["shards"]:
+            assert not entry.get("unreachable")
+            assert entry["wal_bytes"] > 0
+            assert "metrics" in entry
+        assert payload["unavailable_completions"] == 0
+        json.dumps(payload)
+    finally:
+        engine.close()

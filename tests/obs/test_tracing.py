@@ -1,0 +1,206 @@
+"""Trace contexts, spans and the per-process tracer.
+
+The wire-facing properties matter most: a :class:`TraceContext` must
+survive both codecs unchanged — the client API frames
+(:mod:`repro.api.messages`) and the participant RPCs
+(:mod:`repro.sharding.rpc`) — because that is how one transaction's
+trace stays connected across client, dispatcher, engine and shard
+worker processes.  The tracer itself is exercised for id uniqueness,
+sampling cadence, the capacity bound, and the Chrome-trace export shape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.api import messages
+from repro.obs.tracing import (
+    Span,
+    TraceContext,
+    Tracer,
+    chrome_trace_document,
+    new_trace_id,
+    write_chrome_trace,
+)
+from repro.objects.oid import OID
+from repro.sharding import rpc
+
+
+# -- contexts --------------------------------------------------------------------
+
+
+def test_context_wire_round_trip():
+    context = TraceContext(trace_id=new_trace_id(), parent=42)
+    wire = json.loads(json.dumps(context.to_wire()))
+    assert TraceContext.from_wire(wire) == context
+
+
+def test_context_without_parent_round_trips():
+    context = TraceContext(trace_id="abc123")
+    assert TraceContext.from_wire(context.to_wire()) == context
+
+
+def test_untraced_and_malformed_read_as_none():
+    assert TraceContext.from_wire(None) is None
+    assert TraceContext.from_wire({"unrelated": 1}) is None
+    assert TraceContext.from_wire("garbage") is None
+
+
+def test_context_passes_through_itself():
+    context = TraceContext(trace_id="abc", parent=7)
+    assert TraceContext.from_wire(context) is context
+
+
+# -- the client API codec --------------------------------------------------------
+
+
+def test_begin_carries_trace_through_the_api_codec():
+    context = TraceContext(trace_id=new_trace_id(), parent=99)
+    request = messages.Begin(label="traced", trace=context.to_wire())
+    document = json.loads(json.dumps(messages.message_to_wire(request)))
+    decoded = messages.request_from_wire(document)
+    assert isinstance(decoded, messages.Begin)
+    assert TraceContext.from_wire(decoded.trace) == context
+
+
+def test_untraced_begin_still_round_trips():
+    document = messages.message_to_wire(messages.Begin(label="plain"))
+    decoded = messages.request_from_wire(json.loads(json.dumps(document)))
+    assert decoded.trace is None
+
+
+# -- the participant RPC codec ---------------------------------------------------
+
+
+def test_acquire_carries_trace_through_the_rpc_codec():
+    context = TraceContext(trace_id=new_trace_id(), parent=17)
+    request = rpc.Acquire(
+        txn=3,
+        resource=rpc.encode_resource(("instance", OID("Account", 1))),
+        mode=rpc.encode_mode("withdraw"),
+        trace=context.to_wire())
+    document = json.loads(json.dumps(messages.message_to_wire(request)))
+    decoded = rpc.worker_request_from_wire(document)
+    assert isinstance(decoded, rpc.Acquire)
+    assert TraceContext.from_wire(decoded.trace) == context
+
+
+@pytest.mark.parametrize("request_type", [rpc.Prepare, rpc.CommitTxn,
+                                          rpc.AbortTxn])
+def test_two_phase_requests_carry_trace(request_type):
+    context = TraceContext(trace_id=new_trace_id(), parent=5)
+    document = json.loads(json.dumps(
+        messages.message_to_wire(request_type(txn=9, trace=context.to_wire()))))
+    decoded = rpc.worker_request_from_wire(document)
+    assert TraceContext.from_wire(decoded.trace) == context
+    assert decoded.txn == 9
+
+
+# -- spans -----------------------------------------------------------------------
+
+
+def test_span_wire_round_trip():
+    span = Span(name="lock", trace_id="t1", span_id=12, parent=7,
+                category="lock", start=123.5, duration=0.25,
+                pid=41, tid=9, args={"waited_ms": 3.0})
+    assert Span.from_wire(json.loads(json.dumps(span.to_wire()))) == span
+
+
+def test_child_context_points_at_the_span():
+    span = Span(name="txn", trace_id="t1", span_id=31)
+    context = span.context()
+    assert context.trace_id == "t1"
+    assert context.parent == 31
+
+
+# -- the tracer ------------------------------------------------------------------
+
+
+def test_span_ids_are_unique_and_pid_salted():
+    tracer = Tracer()
+    identifiers = {tracer._next_span_id() for _ in range(100)}
+    assert len(identifiers) == 100
+    assert all(identifier >> 32 == os.getpid() for identifier in identifiers)
+
+
+def test_span_lifecycle_records_timing():
+    tracer = Tracer()
+    with tracer.span("stage", "trace-1", parent=None,
+                     category="txn", args={"txn": 4}) as span:
+        pass
+    (recorded,) = tracer.spans
+    assert recorded is span
+    assert recorded.duration >= 0.0
+    assert recorded.start > 0.0
+    assert recorded.pid == os.getpid()
+    assert recorded.args == {"txn": 4}
+
+
+def test_sampling_cadence():
+    tracer = Tracer(sample_every=3)
+    decisions = [tracer.should_sample() for _ in range(7)]
+    assert decisions == [True, False, False, True, False, False, True]
+
+
+def test_sample_every_one_traces_everything():
+    tracer = Tracer()
+    assert all(tracer.should_sample() for _ in range(5))
+
+
+def test_invalid_tracer_options_are_rejected():
+    with pytest.raises(ValueError):
+        Tracer(sample_every=0)
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_capacity_bound_counts_drops():
+    tracer = Tracer(capacity=2)
+    for index in range(5):
+        with tracer.span(f"s{index}", "t"):
+            pass
+    assert len(tracer.spans) == 2
+    assert tracer.dropped == 3
+
+
+def test_drain_hands_over_and_forgets():
+    tracer = Tracer()
+    with tracer.span("one", "t"):
+        pass
+    drained = tracer.drain()
+    assert [span.name for span in drained] == ["one"]
+    assert tracer.spans == ()
+
+
+# -- chrome trace export ---------------------------------------------------------
+
+
+def test_chrome_document_shape():
+    tracer = Tracer()
+    with tracer.span("parent", "t9") as parent:
+        with tracer.span("child", "t9", parent=parent.span_id):
+            pass
+    document = chrome_trace_document(tracer.spans)
+    assert document["displayTimeUnit"] == "ms"
+    events = document["traceEvents"]
+    assert len(events) == 2
+    by_name = {event["name"]: event for event in events}
+    for event in events:
+        assert event["ph"] == "X"
+        assert event["ts"] >= 0 and event["dur"] >= 0
+        assert event["args"]["trace_id"] == "t9"
+    assert (by_name["child"]["args"]["parent_id"]
+            == by_name["parent"]["args"]["span_id"])
+
+
+def test_write_chrome_trace_produces_parsable_json(tmp_path):
+    tracer = Tracer()
+    with tracer.span("only", "t"):
+        pass
+    path = tmp_path / "trace.json"
+    assert write_chrome_trace(path, tracer.spans) == 1
+    document = json.loads(path.read_text())
+    assert document["traceEvents"][0]["name"] == "only"
