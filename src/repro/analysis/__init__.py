@@ -1,0 +1,43 @@
+"""Correctness tooling: the project's invariants, machine-checked.
+
+The paper's thesis is that *compile-time* analysis of access vectors makes
+concurrency control safe and cheap; this package applies the same idea to
+the reproduction itself.  Every latent bug a past PR fixed violated a
+*stated* invariant — super-sends classified under the wrong lock mode,
+commits releasing locks before setting state, undo images appended after
+the store write they cover — so the invariants are encoded twice over:
+
+* **statically**, as :mod:`repro.analysis.rules` — AST lint rules run by
+  the ``repro-lint`` console script (:mod:`repro.analysis.linter`), each
+  grounded in a bug that actually shipped and was fixed;
+* **dynamically**, as :mod:`repro.analysis.sanitizer` — an opt-in,
+  Eraser-style lockset sanitizer specialised by the active protocol's
+  compiled TAV footprint (``Engine(sanitize=True)``, ``repro-bench
+  --sanitize``, or ``REPRO_SANITIZE=1``), asserting per field access that
+  the transaction holds a covering lock, that strict 2PL's two phases are
+  respected, that undo images were logged before the writes they cover,
+  and that execution stays inside the operation's planned footprint.
+
+Violations of the dynamic checks raise :class:`repro.errors.SanitizerError`
+with the full held-lock/footprint context; findings of the static checks
+print as ``file:line CODE message`` and fail CI.
+"""
+
+from repro.analysis.findings import Finding
+from repro.analysis.linter import lint_paths, main
+from repro.analysis.rules import ALL_RULES
+from repro.analysis.sanitizer import (
+    SanitizedStoreFront,
+    Sanitizer,
+    sanitize_from_env,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "SanitizedStoreFront",
+    "Sanitizer",
+    "lint_paths",
+    "main",
+    "sanitize_from_env",
+]

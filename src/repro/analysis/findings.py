@@ -1,0 +1,54 @@
+"""The linter's output unit: one rule violation at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One violation: ``path:line CODE message``.
+
+    Orders by location so reports are stable regardless of which rule ran
+    first — CI diffs of linter output stay meaningful.
+    """
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line report form."""
+        return f"{self.path}:{self.line} {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source file, as the rules see it.
+
+    ``name`` is the dotted module path (``repro.engine.engine``) when the
+    file lives under a ``repro`` package directory, else the bare stem —
+    rules scope themselves by this name, so fixture trees used by the
+    seeded-violation tests just need a ``repro/`` directory to be scoped
+    like the real tree.
+    """
+
+    path: str
+    name: str
+    tree: object  # ast.Module
+    lines: tuple[str, ...]
+
+
+def module_name(path: Path) -> str:
+    """The dotted module name of ``path`` (see :class:`ModuleInfo`)."""
+    parts = list(path.parts)
+    if path.suffix == ".py":
+        parts[-1] = path.stem
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return ".".join(parts[index:])
+    return parts[-1] if parts else ""

@@ -1,0 +1,108 @@
+"""``repro-lint``: run the invariant rules over a source tree.
+
+Usage::
+
+    repro-lint src/repro            # the CI invocation
+    repro-lint --list-rules         # rule codes, titles, historical bugs
+
+Findings print one per line as ``file:line CODE message`` and the process
+exits 1; a clean tree exits 0.  ``# repro-lint: disable=CODE`` on the
+finding's line (or the line above) suppresses it — see
+:mod:`repro.analysis.pragmas`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding, ModuleInfo, module_name
+from repro.analysis.pragmas import is_suppressed, suppressions
+from repro.analysis.rules import Rule, iter_rules
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def load_module(path: Path) -> tuple[ModuleInfo | None, Finding | None]:
+    """Parse one file; a syntax error becomes a ``PARSE`` finding."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return None, Finding(path=str(path), line=error.lineno or 1,
+                             code="PARSE", message=f"syntax error: {error.msg}")
+    return ModuleInfo(path=str(path), name=module_name(path), tree=tree,
+                      lines=tuple(source.splitlines())), None
+
+
+def lint_paths(paths: Iterable[str | Path],
+               rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """Lint ``paths`` with ``rules`` (default: all), honouring pragmas."""
+    active = iter_rules(rules)
+    modules: list[ModuleInfo] = []
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        module, parse_error = load_module(path)
+        if parse_error is not None:
+            findings.append(parse_error)
+        if module is not None:
+            modules.append(module)
+    for rule in active:
+        rule.prepare(modules)
+    for module in modules:
+        table = suppressions(module.lines)
+        for rule in active:
+            for finding in rule.check(module):
+                if not is_suppressed(table, finding.line, finding.code):
+                    findings.append(finding)
+    return sorted(findings)
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in iter_rules():
+        lines.append(f"{rule.code}  {rule.title}")
+        lines.append(f"    encodes: {rule.historical}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="invariant linter for the repro source tree")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule codes and the historical bug "
+                             "each encodes, then exit")
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        print(_list_rules())
+        return 0
+    findings = lint_paths(options.paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"repro-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    file_count = len(iter_python_files(options.paths))
+    print(f"repro-lint: clean ({file_count} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""``# repro-lint: disable=RULE`` pragma parsing.
+
+A pragma suppresses findings of the named rule(s) on its own line and on
+the line directly below it (so a long statement can carry the pragma on a
+comment line above).  ``disable=all`` suppresses every rule.  Suppression
+is deliberate and visible: the pragma is grep-able, and the convention is
+to follow it with a justification comment.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Mapping
+
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def suppressions(lines: Iterable[str]) -> dict[int, frozenset[str]]:
+    """``line number -> suppressed rule codes`` for one source file (1-based)."""
+    table: dict[int, frozenset[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _PRAGMA.search(text)
+        if match is None:
+            continue
+        codes = frozenset(code.strip() for code in match.group(1).split(",")
+                          if code.strip())
+        if codes:
+            table[number] = codes
+    return table
+
+
+def is_suppressed(table: Mapping[int, frozenset[str]], line: int,
+                  code: str) -> bool:
+    """Whether a finding of ``code`` at ``line`` is pragma-suppressed."""
+    for candidate in (line, line - 1):
+        codes = table.get(candidate)
+        if codes is not None and (code in codes or "all" in codes):
+            return True
+    return False

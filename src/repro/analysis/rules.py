@@ -1,0 +1,488 @@
+"""The lint rules: one machine-checked project invariant each.
+
+Every rule encodes an invariant a past PR's bug actually violated — the
+rule's ``historical`` attribute names the incident.  Rules are pure AST
+walkers over :class:`~repro.analysis.findings.ModuleInfo`; cross-module
+rules get a :meth:`Rule.prepare` pass over the whole file set first.
+
+Scoping works off dotted module names (``repro.engine.engine``), so the
+seeded-violation tests exercise rules against small fixture trees simply
+by placing files under a ``repro/`` directory.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.findings import Finding, ModuleInfo
+
+#: Methods that hand locks back (or tear down lock-front state) — the
+#: "shrinking phase begins" markers rule L2 orders against state mutation.
+_RELEASE_ATTRS = frozenset({"release_all", "clear_doom"})
+
+#: Attribute calls rule L3 treats as transaction-state/commit-log mutation.
+_STATE_CALL_ATTRS = frozenset({"record_commit"})
+
+
+class Rule:
+    """Base class: a code, a one-line title, and the bug it encodes."""
+
+    code: str = ""
+    title: str = ""
+    #: The historical incident this rule would have caught.
+    historical: str = ""
+
+    def prepare(self, modules: Sequence[ModuleInfo]) -> None:
+        """Optional cross-module pass before :meth:`check` runs per file."""
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def _finding(self, module: ModuleInfo, node: ast.AST,
+                 message: str) -> Finding:
+        return Finding(path=module.path, line=getattr(node, "lineno", 1),
+                       code=self.code, message=message)
+
+
+def _base_names(node: ast.ClassDef) -> tuple[str, ...]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return tuple(names)
+
+
+def _receiver_hint(func: ast.Attribute) -> str:
+    """The last identifier of the call receiver (``self._store`` -> ``_store``)."""
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    return ""
+
+
+def _in_package(name: str, *packages: str) -> bool:
+    return any(name == package or name.startswith(package + ".")
+               for package in packages)
+
+
+class _QualnameWalker:
+    """Yields ``(qualname, node)`` for every node, tracking class/def nesting."""
+
+    def walk(self, tree: ast.AST) -> Iterator[tuple[str, ast.AST]]:
+        yield from self._walk(tree, ())
+
+    def _walk(self, node: ast.AST, stack: tuple[str, ...]
+              ) -> Iterator[tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.ClassDef, ast.FunctionDef,
+                                  ast.AsyncFunctionDef)):
+                yield ".".join(stack + (child.name,)), child
+                yield from self._walk(child, stack + (child.name,))
+            else:
+                yield ".".join(stack), child
+                yield from self._walk(child, stack)
+
+
+class ErrorRegistryRule(Rule):
+    """L1: every ``ReproError`` subclass lives in ``repro.errors``, declares
+    its own ``code``, and the codes never collide.
+
+    ``error_codes()`` walks the live subclass hierarchy rooted in
+    ``repro.errors`` — an exception class defined elsewhere is only in the
+    registry if something imported its module first, and a class without
+    its own ``code`` silently shares its parent's wire identity until the
+    collision check trips at runtime.  This rule moves both failures to
+    lint time.
+    """
+
+    code = "L1"
+    title = "error classes: in repro.errors, own code, no collisions"
+    historical = ("PR 4's wire error vocabulary: an exception class added "
+                  "without its own code would impersonate its parent on the "
+                  "wire until error_codes() collided at runtime")
+
+    def __init__(self) -> None:
+        self._error_class_names: frozenset[str] = frozenset({"ReproError"})
+
+    def prepare(self, modules: Sequence[ModuleInfo]) -> None:
+        for module in modules:
+            if module.name == "repro.errors":
+                self._error_class_names = frozenset(
+                    self._error_classes(module.tree))
+                return
+
+    @staticmethod
+    def _error_classes(tree: ast.AST) -> set[str]:
+        """Names of classes (transitively) based on ``ReproError``."""
+        classes = {node.name: _base_names(node)
+                   for node in ast.walk(tree)
+                   if isinstance(node, ast.ClassDef)}
+        names = {"ReproError"}
+        changed = True
+        while changed:
+            changed = False
+            for name, bases in classes.items():
+                if name not in names and any(base in names for base in bases):
+                    names.add(name)
+                    changed = True
+        return names
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        tree = module.tree
+        assert isinstance(tree, ast.Module)
+        if module.name == "repro.errors":
+            yield from self._check_registry(module, tree)
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            culprit = next((base for base in _base_names(node)
+                            if base in self._error_class_names), None)
+            if culprit is not None:
+                yield self._finding(
+                    module, node,
+                    f"exception class {node.name} subclasses {culprit} "
+                    f"outside repro.errors; define it there so "
+                    f"error_codes() registers its wire code")
+
+    def _check_registry(self, module: ModuleInfo,
+                        tree: ast.Module) -> Iterator[Finding]:
+        error_names = self._error_classes(tree)
+        codes: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef) or node.name not in error_names:
+                continue
+            value = self._code_literal(node)
+            if value is None:
+                yield self._finding(
+                    module, node,
+                    f"error class {node.name} does not declare its own "
+                    f"string `code` — it would collide with its parent's "
+                    f"wire code in error_codes()")
+                continue
+            if value in codes:
+                yield self._finding(
+                    module, node,
+                    f"error code {value!r} of {node.name} collides with "
+                    f"{codes[value]}")
+            else:
+                codes[value] = node.name
+
+    @staticmethod
+    def _code_literal(node: ast.ClassDef) -> str | None:
+        for statement in node.body:
+            targets: list[ast.expr] = []
+            if isinstance(statement, ast.Assign):
+                targets = statement.targets
+                value = statement.value
+            elif isinstance(statement, ast.AnnAssign) and statement.value:
+                targets = [statement.target]
+                value = statement.value
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "code":
+                    if isinstance(value, ast.Constant) \
+                            and isinstance(value.value, str):
+                        return value.value
+                    return None
+        return None
+
+
+class ReleaseOrderingRule(Rule):
+    """L2: ``commit``/``abort`` never release locks before the state flip.
+
+    Under strict 2PL the transaction-state mutation (and the commit-log
+    append) is the serialisation point; a lock released textually before it
+    opens the window where a racing observer sees an ACTIVE transaction
+    whose writes are already unprotected.
+    """
+
+    code = "L2"
+    title = "commit/abort: state mutation before any lock release"
+    historical = ("PR 2's commit-before-unlock bug: Engine.commit released "
+                  "locks and only then marked the transaction COMMITTED, so "
+                  "a concurrent reader could observe an ACTIVE transaction "
+                  "with unprotected writes")
+
+    _CLASSES = frozenset({"Engine", "TransactionManager"})
+    _METHODS = frozenset({"commit", "abort"})
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        tree = module.tree
+        assert isinstance(tree, ast.Module)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef) or node.name not in self._CLASSES:
+                continue
+            for method in node.body:
+                if isinstance(method, ast.FunctionDef) \
+                        and method.name in self._METHODS:
+                    yield from self._check_method(module, node, method)
+
+    def _check_method(self, module: ModuleInfo, owner: ast.ClassDef,
+                      method: ast.FunctionDef) -> Iterator[Finding]:
+        releases: list[ast.Call] = []
+        first_state: int | None = None
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _RELEASE_ATTRS:
+                    releases.append(node)
+                elif node.func.attr in _STATE_CALL_ATTRS:
+                    first_state = min(first_state or node.lineno, node.lineno)
+                elif node.func.attr == "append" \
+                        and isinstance(node.func.value, ast.Attribute) \
+                        and node.func.value.attr == "_commit_log":
+                    first_state = min(first_state or node.lineno, node.lineno)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                if any(isinstance(target, ast.Attribute)
+                       and target.attr == "state" for target in targets):
+                    first_state = min(first_state or node.lineno, node.lineno)
+        for release in releases:
+            if first_state is None:
+                yield self._finding(
+                    module, release,
+                    f"{owner.name}.{method.name} releases locks "
+                    f"({release.func.attr}) but never mutates the "
+                    f"transaction state / commit log")
+            elif release.lineno < first_state:
+                yield self._finding(
+                    module, release,
+                    f"{owner.name}.{method.name} releases locks "
+                    f"({release.func.attr}, line {release.lineno}) before "
+                    f"the transaction-state mutation at line {first_state} "
+                    f"— strict 2PL requires state-then-unlock")
+
+
+class DataPlaneWriteRule(Rule):
+    """L3: engine/sharding code never writes the store directly.
+
+    Data-plane writes must flow through the recovery manager's write-ahead
+    path (before-image logged, then the covered write); a direct
+    ``Instance.set`` / ``ObjectStore`` mutation in engine or sharding code
+    bypasses undo and the WAL.  Store implementations and recovery
+    internals are allowlisted below, each with its justification.
+    """
+
+    code = "L3"
+    title = "no direct store mutation outside store/recovery internals"
+    historical = ("PR 3's write-ahead rule: an undo image appended after "
+                  "the store write it covered left a crash window where "
+                  "recovery restored nothing; every data-plane write since "
+                  "goes through the recovery manager first")
+
+    #: ``(module, qualname)`` sites allowed to mutate directly; ``"*"``
+    #: allowlists a whole module.  Every entry is a store implementation
+    #: or a recovery/structural-durability internal:
+    #:
+    #: * ``repro.sharding.store`` — the sharded ObjectStore itself;
+    #: * ``Engine._mirror_writes`` / ``_WorkerStoreFront.write_field`` —
+    #:   echo into the planning mirror of writes the owning worker already
+    #:   applied under the transaction's locks, after the before-image
+    #:   write plan was shipped (the write-ahead rule ran worker-side);
+    #: * ``Engine.create_instance`` / ``Engine.delete_instance`` — the
+    #:   structural-durability path, which logs its own InstanceCreated/
+    #:   InstanceDeleted WAL records around the mutation;
+    #: * ``ShardWorker._recover_own_shard`` / ``ShardWorker._apply_image``
+    #:   — per-participant crash recovery rebuilding the partition;
+    #: * ``ShardWorker._write_field`` — the cross-shard data plane: the
+    #:   coordinating engine holds the locks and shipped the write plan
+    #:   (before-images) to this worker first.
+    ALLOWLIST = frozenset({
+        ("repro.sharding.store", "*"),
+        ("repro.engine.engine", "Engine._mirror_writes"),
+        ("repro.engine.engine", "_WorkerStoreFront.write_field"),
+        ("repro.engine.engine", "Engine.create_instance"),
+        ("repro.engine.engine", "Engine.delete_instance"),
+        ("repro.sharding.worker", "ShardWorker._recover_own_shard"),
+        ("repro.sharding.worker", "ShardWorker._apply_image"),
+        ("repro.sharding.worker", "ShardWorker._write_field"),
+    })
+
+    def _allowed(self, module_name: str, qualname: str) -> bool:
+        if (module_name, "*") in self.ALLOWLIST:
+            return True
+        for allowed_module, allowed_qualname in self.ALLOWLIST:
+            if module_name == allowed_module \
+                    and (qualname == allowed_qualname
+                         or qualname.startswith(allowed_qualname + ".")):
+                return True
+        return False
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not _in_package(module.name, "repro.engine", "repro.sharding"):
+            return
+        tree = module.tree
+        assert isinstance(tree, ast.Module)
+        for qualname, node in _QualnameWalker().walk(tree):
+            if not isinstance(node, ast.Call) \
+                    or not isinstance(node.func, ast.Attribute):
+                continue
+            reason = self._mutation_reason(node)
+            if reason is None or self._allowed(module.name, qualname):
+                continue
+            yield self._finding(
+                module, node,
+                f"direct store mutation ({reason}) in "
+                f"{qualname or '<module>'} — data-plane writes must go "
+                f"through the recovery manager's write-ahead path (or be "
+                f"allowlisted as a store/recovery internal)")
+
+    @staticmethod
+    def _mutation_reason(node: ast.Call) -> str | None:
+        func = node.func
+        assert isinstance(func, ast.Attribute)
+        attr = func.attr
+        positional = len(node.args)
+        if attr == "write_field" and positional == 3:
+            return ".write_field(oid, field, value)"
+        if attr == "restore_instance":
+            return ".restore_instance(...)"
+        if attr == "restore" and positional == 1:
+            return ".restore(values)"
+        if attr == "set" and positional == 2 and not node.keywords:
+            return "Instance.set(field, value)"
+        if attr in ("create", "delete"):
+            hint = _receiver_hint(func).lower()
+            if "store" in hint or "mirror" in hint:
+                return f"store.{attr}(...)"
+        return None
+
+
+class FsyncScopeRule(Rule):
+    """L4: durability syscalls (``fsync``/``flush``) only inside ``repro.wal``.
+
+    The WAL owns the barrier discipline (when a flush is required, when it
+    may be grouped, what it means for recovery); an fsync or flush issued
+    anywhere else either duplicates a barrier or invents an undocumented
+    durability point.
+    """
+
+    code = "L4"
+    title = "fsync/flush only in repro.wal"
+    historical = ("PR 3/PR 5's barrier discipline: group commit amortises "
+                  "fsyncs under one barrier; a stray fsync outside the WAL "
+                  "would silently re-serialise commits (or fake a "
+                  "durability point recovery does not honour)")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if _in_package(module.name, "repro.wal"):
+            return
+        tree = module.tree
+        assert isinstance(tree, ast.Module)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = None
+            if isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                name = node.func.id
+            if name == "fsync" or (name == "flush" and not node.args
+                                   and not node.keywords):
+                yield self._finding(
+                    module, node,
+                    f"{name}() call outside repro.wal — durability "
+                    f"barriers belong to the write-ahead log")
+
+
+class ThreadHygieneRule(Rule):
+    """L5: every ``threading.Thread(...)`` carries ``daemon=`` and ``name=``.
+
+    A non-daemon engine/worker thread wedges interpreter shutdown when its
+    loop hangs, and an unnamed one is invisible in stack dumps — both bit
+    during the multi-process work.
+    """
+
+    code = "L5"
+    title = "threads declare daemon= and name="
+    historical = ("PR 5's worker processes: an unnamed, non-daemon service "
+                  "thread that outlived its loop wedged interpreter "
+                  "shutdown and was undebuggable in thread dumps")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        tree = module.tree
+        assert isinstance(tree, ast.Module)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_thread = (isinstance(func, ast.Attribute) and func.attr == "Thread") \
+                or (isinstance(func, ast.Name) and func.id == "Thread")
+            if not is_thread:
+                continue
+            keywords = {keyword.arg for keyword in node.keywords}
+            missing = [required for required in ("daemon", "name")
+                       if required not in keywords]
+            if missing:
+                yield self._finding(
+                    module, node,
+                    f"threading.Thread(...) without {'/'.join(missing)}= — "
+                    f"engine/worker threads must be daemonised and named")
+
+
+class MonotonicOrderingRule(Rule):
+    """L6: locking/deadlock code never orders by ``time.time()``.
+
+    Wall-clock time is not monotonic (NTP steps it backwards), and wait-die
+    seniority must rank a retried incarnation by its *carried origin*, not
+    by when the clock says it restarted.  Timing in locking code uses
+    ``time.monotonic``; seniority uses origin timestamps.
+    """
+
+    code = "L6"
+    title = "no time.time() ordering in locking/deadlock code"
+    historical = ("PR 2's retry starvation: victim selection that ranked "
+                  "incarnations by restart time re-victimised a long "
+                  "transaction forever; the fix carries the first "
+                  "incarnation's origin instead of consulting the clock")
+
+    _MODULES = frozenset({"repro.engine.locks", "repro.engine.detector",
+                          "repro.sharding.locks"})
+
+    def _in_scope(self, name: str) -> bool:
+        return name in self._MODULES or _in_package(name, "repro.locking") \
+            or "deadlock" in name.rsplit(".", 1)[-1]
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not self._in_scope(module.name):
+            return
+        tree = module.tree
+        assert isinstance(tree, ast.Module)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "time" \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id == "time":
+                yield self._finding(
+                    module, node,
+                    "time.time() in locking/deadlock code — use "
+                    "time.monotonic for timing and carried origin "
+                    "timestamps for wait-die seniority")
+
+
+#: The rule set ``repro-lint`` runs, in report order.
+ALL_RULES: tuple[Rule, ...] = (
+    ErrorRegistryRule(),
+    ReleaseOrderingRule(),
+    DataPlaneWriteRule(),
+    FsyncScopeRule(),
+    ThreadHygieneRule(),
+    MonotonicOrderingRule(),
+)
+
+
+def fresh_rules() -> tuple[Rule, ...]:
+    """A new rule-instance set (rules carry prepare() state)."""
+    return tuple(type(rule)() for rule in ALL_RULES)
+
+
+def iter_rules(rules: Iterable[Rule] | None = None) -> tuple[Rule, ...]:
+    return fresh_rules() if rules is None else tuple(rules)

@@ -1,0 +1,336 @@
+"""Runtime 2PL/write-ahead sanitizer (the dynamic half of the tooling).
+
+Opt-in (``Engine(sanitize=True)``, ``repro-bench --sanitize``, or
+``REPRO_SANITIZE=1``): the engine routes its interpreter through a
+:class:`SanitizedStoreFront` and reports lock/undo events to a
+:class:`Sanitizer`, which asserts per field access that
+
+* **S1 — lock coverage**: the current transaction holds a lock whose mode
+  covers the access under the active protocol's resource vocabulary (an
+  Eraser-style lockset check specialised by the compiled TAV footprint);
+* **S2 — 2PL phase**: no lock is acquired after the transaction started
+  releasing (strict two-phase locking has exactly one shrink);
+* **S3 — write-ahead**: every store write was preceded by an undo image
+  covering that ``(oid, field)``;
+* **S4 — plan footprint**: the access is covered by the *current
+  operation's* lock plan, not merely by locks left over from earlier
+  operations (execution must stay inside the planned footprint).
+
+Violations raise :class:`repro.errors.SanitizerError` carrying the held
+locks and planned footprint, and are counted on
+:attr:`Sanitizer.violations` so stress tests can assert a clean run.
+
+The checks are deliberately one-sided: a *pass* may be conservative (an
+exotic lock shape reads as not-covering only if a protocol planned it,
+in which case S4 would flag the same access), but a *violation* is always
+a real breach of the stated invariant.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterable, Iterator
+
+from repro.analysis.coverage import any_covers, lock_covers
+from repro.errors import SanitizerError
+
+_ENV_FLAG = "REPRO_SANITIZE"
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def sanitize_from_env() -> bool:
+    """Whether ``REPRO_SANITIZE`` asks for sanitized execution."""
+    return os.environ.get(_ENV_FLAG, "").strip().lower() in _TRUTHY
+
+
+class _BoundedSet:
+    """An insertion-bounded membership set.
+
+    Transaction ids are monotone, so remembering the most recent few
+    thousand released transactions is enough to catch a late acquire
+    without growing without bound over a long run.
+    """
+
+    def __init__(self, cap: int = 4096) -> None:
+        self._cap = cap
+        self._members: set = set()
+        self._order: deque = deque()
+
+    def add(self, item) -> None:
+        if item in self._members:
+            return
+        self._members.add(item)
+        self._order.append(item)
+        if len(self._order) > self._cap:
+            self._members.discard(self._order.popleft())
+
+    def discard(self, item) -> None:
+        self._members.discard(item)
+
+    def __contains__(self, item) -> bool:
+        return item in self._members
+
+
+class Sanitizer:
+    """Per-engine dynamic checker; thread-safe, one instance per engine.
+
+    The engine (or :class:`~repro.txn.manager.TransactionManager`) reports
+    lock and undo-image events through the ``note_*`` hooks and brackets
+    each operation's execution in :meth:`operation_scope`; the store front
+    calls :meth:`check_access` for every field read/write that happens
+    inside such a scope.  Accesses outside any scope (planning shadow
+    runs, direct test poking) pass through unchecked.
+    """
+
+    def __init__(self, protocol) -> None:
+        self._protocol = protocol
+        self._schema = protocol.compiled.schema
+        self._compiled = protocol.compiled
+        self._mutex = threading.Lock()
+        self._held: dict[int, list[tuple[tuple, object]]] = {}
+        self._images: dict[int, set[tuple]] = {}
+        self._released = _BoundedSet()
+        self._violations = 0
+        self._scope = threading.local()
+
+    # -- evidence ----------------------------------------------------------
+
+    @property
+    def violations(self) -> int:
+        """How many checks fired so far (also raised as SanitizerError)."""
+        with self._mutex:
+            return self._violations
+
+    def held_of(self, txn: int) -> tuple[tuple[tuple, object], ...]:
+        """The ``(resource, mode)`` pairs ``txn`` holds, in acquire order."""
+        with self._mutex:
+            return tuple(self._held.get(txn, ()))
+
+    # -- hooks the engine calls --------------------------------------------
+
+    def note_acquire(self, txn: int, resource: tuple, mode) -> None:
+        """A lock was granted to ``txn`` (after the grant succeeded)."""
+        with self._mutex:
+            late = txn in self._released
+            if not late:
+                self._held.setdefault(txn, []).append((resource, mode))
+        if late:
+            self._violation(
+                "S2",
+                f"txn {txn} acquired {resource!r} mode {mode!r} after it "
+                f"already released locks — strict 2PL allows one shrink "
+                f"phase and nothing after it",
+                txn=txn, resource=resource)
+
+    def note_release(self, txn: int) -> None:
+        """``txn`` entered its shrinking phase (commit/abort release)."""
+        with self._mutex:
+            self._released.add(txn)
+            self._held.pop(txn, None)
+            self._images.pop(txn, None)
+
+    def note_images(self, txn: int,
+                    projections: Iterable[tuple]) -> None:
+        """Undo images covering ``(oid, fields)`` pairs were logged."""
+        with self._mutex:
+            target = self._images.setdefault(txn, set())
+            for oid, fields in projections:
+                for field in fields:
+                    target.add((oid, field))
+
+    @contextmanager
+    def operation_scope(self, txn: int, plan) -> Iterator[None]:
+        """Bracket one operation's execution; nested scopes stack."""
+        stack = getattr(self._scope, "stack", None)
+        if stack is None:
+            stack = self._scope.stack = []
+        stack.append((txn, plan))
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    # -- the checks --------------------------------------------------------
+
+    def check_access(self, oid, field: str, *, is_write: bool) -> None:
+        """Assert S1/S4 (and S3 for writes) for one field access."""
+        stack = getattr(self._scope, "stack", None)
+        if not stack:
+            return
+        txn, plan = stack[-1]
+        class_name = oid.class_name
+        held = self.held_of(txn)
+        kind = "write" if is_write else "read"
+        if not any_covers(held, oid=oid, class_name=class_name, field=field,
+                          is_write=is_write, schema=self._schema,
+                          compiled=self._compiled):
+            self._violation(
+                "S1",
+                f"txn {txn} {kind}s {class_name}({oid}).{field} without a "
+                f"covering lock (held: {self._render(held)})",
+                txn=txn, resource=("field", oid, field), held=held,
+                footprint=self._footprint(plan))
+        footprint = self._footprint(plan)
+        if not any_covers(footprint, oid=oid, class_name=class_name,
+                          field=field, is_write=is_write,
+                          schema=self._schema, compiled=self._compiled):
+            self._violation(
+                "S4",
+                f"txn {txn} {kind}s {class_name}({oid}).{field} outside the "
+                f"current operation's planned footprint "
+                f"({self._render(footprint)}) — covered only by locks left "
+                f"over from earlier operations",
+                txn=txn, resource=("field", oid, field), held=held,
+                footprint=footprint)
+        if is_write:
+            with self._mutex:
+                logged = (oid, field) in self._images.get(txn, ())
+            if not logged:
+                self._violation(
+                    "S3",
+                    f"txn {txn} writes {class_name}({oid}).{field} with no "
+                    f"undo image logged for it — the write-ahead rule "
+                    f"requires the before-image first",
+                    txn=txn, resource=("field", oid, field), held=held,
+                    footprint=footprint)
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _footprint(plan) -> tuple[tuple[tuple, object], ...]:
+        requests = getattr(plan, "requests", ())
+        return tuple((spec.resource, spec.mode) for spec in requests)
+
+    @staticmethod
+    def _render(pairs: tuple[tuple[tuple, object], ...]) -> str:
+        if not pairs:
+            return "nothing"
+        return ", ".join(f"{resource!r}:{mode!r}" for resource, mode in pairs)
+
+    def _violation(self, check: str, message: str, *, txn: int,
+                   resource: tuple | None = None, held: tuple = (),
+                   footprint: tuple = ()) -> None:
+        with self._mutex:
+            self._violations += 1
+        raise SanitizerError(f"[{check}] {message}", check=check, txn=txn,
+                             resource=resource, held=held,
+                             footprint=footprint)
+
+
+class SanitizedStoreFront:
+    """Store wrapper the sanitized interpreter runs against.
+
+    Intercepts the interpreter's two data-plane entry points
+    (``read_field``/``write_field``) and forwards everything else to the
+    wrapped store unchanged — ``get`` only resolves classes and never
+    exposes field data, so it needs no check.
+    """
+
+    def __init__(self, store, sanitizer: Sanitizer) -> None:
+        self._store = store
+        self._sanitizer = sanitizer
+
+    @property
+    def schema(self):
+        return self._store.schema
+
+    def __contains__(self, oid) -> bool:
+        return oid in self._store
+
+    def get(self, oid):
+        return self._store.get(oid)
+
+    def read_field(self, oid, field: str):
+        self._sanitizer.check_access(oid, field, is_write=False)
+        return self._store.read_field(oid, field)
+
+    def write_field(self, oid, field: str, value) -> None:
+        self._sanitizer.check_access(oid, field, is_write=True)
+        self._store.write_field(oid, field, value)
+
+    def __getattr__(self, name: str):
+        return getattr(self._store, name)
+
+
+def worker_candidate_resources(oid, field: str, schema) -> tuple[tuple, ...]:
+    """Every resource a protocol could have locked to cover ``oid.field``.
+
+    The participant-side check is protocol-agnostic and mode-blind (the
+    precise mode-aware check runs coordinator-side): it only asks whether
+    the transaction holds *some* lock on a resource that could cover the
+    access — instance, field, or any class/relation/tuple along the
+    instance's linearisation.
+    """
+    candidates: list[tuple] = [("instance", oid), ("field", oid, field)]
+    try:
+        linearization = schema.linearization(oid.class_name)
+    except Exception:
+        linearization = (oid.class_name,)
+    for name in linearization:
+        candidates.append(("class", name))
+        candidates.append(("relation", name))
+        candidates.append(("tuple", name, oid))
+    return tuple(candidates)
+
+
+class WorkerStoreGuard:
+    """Participant-side sanitizer front (check (d): plan-covered only).
+
+    Wraps a shard worker's store for the duration of one remote-execute
+    request.  Reads must be covered by *some* lock the transaction holds
+    on this shard's lock manager; writes must additionally fall inside the
+    shipped write plan (the before-images the coordinator logged here
+    first).  Violations raise :class:`SanitizerError` straight through the
+    RPC layer.
+    """
+
+    def __init__(self, store, *, locks, txn: int,
+                 allowed_writes: frozenset) -> None:
+        self._store = store
+        self._locks = locks
+        self._txn = txn
+        self._allowed_writes = allowed_writes
+
+    @property
+    def schema(self):
+        return self._store.schema
+
+    def __contains__(self, oid) -> bool:
+        return oid in self._store
+
+    def get(self, oid):
+        return self._store.get(oid)
+
+    def read_field(self, oid, field: str):
+        self._check_lock(oid, field, kind="read")
+        return self._store.read_field(oid, field)
+
+    def write_field(self, oid, field: str, value) -> None:
+        self._check_lock(oid, field, kind="write")
+        if (oid, field) not in self._allowed_writes:
+            raise SanitizerError(
+                f"[S3] txn {self._txn} writes {oid}.{field} on a worker "
+                f"with no before-image shipped for it — the write plan "
+                f"must cover every worker-side write",
+                check="S3", txn=self._txn, resource=("field", oid, field),
+                footprint=tuple(sorted(
+                    (str(image_oid), image_field)
+                    for image_oid, image_field in self._allowed_writes)))
+        self._store.write_field(oid, field, value)
+
+    def __getattr__(self, name: str):
+        return getattr(self._store, name)
+
+    def _check_lock(self, oid, field: str, *, kind: str) -> None:
+        candidates = worker_candidate_resources(oid, field,
+                                                self._store.schema)
+        if not any(self._locks.holds(self._txn, resource)
+                   for resource in candidates):
+            raise SanitizerError(
+                f"[S1] txn {self._txn} {kind}s {oid}.{field} on a worker "
+                f"holding no lock on any covering resource",
+                check="S1", txn=self._txn,
+                resource=("field", oid, field))

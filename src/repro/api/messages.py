@@ -361,9 +361,11 @@ def operation_from_request(request: Request) -> Operation:
 
 #: Structured attributes worth carrying across the wire, when present.
 _DETAIL_ATTRS = ("holders", "waited", "victim", "cycle", "shard", "txn",
-                 "line", "column", "in_flight", "queued")
+                 "line", "column", "in_flight", "queued",
+                 "check", "resource", "held", "footprint")
 #: Detail attributes whose values are tuples in the exception classes.
-_TUPLE_DETAILS = frozenset({"holders", "cycle"})
+_TUPLE_DETAILS = frozenset({"holders", "cycle", "resource", "held",
+                            "footprint"})
 
 _MISSING = object()
 

@@ -70,6 +70,11 @@ import threading
 import time
 from typing import Any, Callable, Hashable, Mapping, Sequence, TypeVar
 
+from repro.analysis.sanitizer import (
+    SanitizedStoreFront,
+    Sanitizer,
+    sanitize_from_env,
+)
 from repro.api.messages import request_for_operation
 from repro.engine.detector import DeadlockDetector
 from repro.engine.locks import USE_DEFAULT_TIMEOUT, BlockingLockManager
@@ -125,9 +130,15 @@ class Engine:
                  shard_workers: int | None = None,
                  worker_options: Mapping[str, Any] | None = None,
                  participant_timeout: float = DEFAULT_PARTICIPANT_TIMEOUT,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 sanitize: bool | None = None) -> None:
         self._protocol = protocol
         self._store = protocol.store
+        if sanitize is None:
+            sanitize = sanitize_from_env()
+        #: Runtime 2PL/write-ahead sanitizer, or ``None`` when not opted in.
+        self._sanitizer: Sanitizer | None = (
+            Sanitizer(protocol) if sanitize else None)
         if shard_workers is not None:
             if shard_workers < 1:
                 raise ValueError(f"shard_workers must be at least 1, "
@@ -217,11 +228,19 @@ class Engine:
             self._checkpointer.checkpoint()
             if self._durability.checkpoint_interval is not None:
                 self._checkpointer.start(self._durability.checkpoint_interval)
-        self._interpreter = Interpreter(self._store, builtins=builtins)
+        interpreter_store: Any = self._store
+        if self._sanitizer is not None:
+            interpreter_store = SanitizedStoreFront(self._store,
+                                                    self._sanitizer)
+        self._interpreter = Interpreter(interpreter_store, builtins=builtins)
         self._remote_interpreter: Interpreter | None = None
         if self._workers is not None:
-            self._remote_interpreter = Interpreter(_WorkerStoreFront(
-                self._store, self._router, self._workers))
+            remote_store: Any = _WorkerStoreFront(
+                self._store, self._router, self._workers)
+            if self._sanitizer is not None:
+                remote_store = SanitizedStoreFront(remote_store,
+                                                   self._sanitizer)
+            self._remote_interpreter = Interpreter(remote_store)
         self._ids = itertools.count(1)
         self._max_retries = max_retries
         self._backoff_base = backoff_base
@@ -489,6 +508,8 @@ class Engine:
             else:
                 self._recovery.discard_tracking(txn)
             with self._maybe_span(commit_span, "lock-release", "lock"):
+                if self._sanitizer is not None:
+                    self._sanitizer.note_release(txn)
                 self._locks.release_all(txn)
         self._origins.pop(txn, None)
         self._sessions.pop(txn, None)
@@ -523,6 +544,8 @@ class Engine:
             else:
                 self._recovery.discard_tracking(txn)
             transaction.state = TransactionState.ABORTED
+            if self._sanitizer is not None:
+                self._sanitizer.note_release(txn)
             self._locks.release_all(txn)
         self._origins.pop(txn, None)
         self._sessions.pop(txn, None)
@@ -553,6 +576,15 @@ class Engine:
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
+    @property
+    def sanitizer(self) -> Sanitizer | None:
+        """The runtime sanitizer when sanitized execution is on, else ``None``.
+
+        Stress tests assert ``engine.sanitizer.violations == 0`` after a
+        sanitized run.
+        """
+        return self._sanitizer
+
     # -- executing operations ----------------------------------------------------
 
     def perform(self, transaction: Transaction, operation: Operation,
@@ -580,8 +612,14 @@ class Engine:
         projections = self._protocol.undo_projections(plan)
         for oid, fields in projections:
             self._recovery.log_before_image(transaction.txn_id, oid, fields)
+        if self._sanitizer is not None:
+            self._sanitizer.note_images(transaction.txn_id, projections)
+            scope: Any = self._sanitizer.operation_scope(
+                transaction.txn_id, plan)
+        else:
+            scope = contextlib.nullcontext()
         with self._maybe_span(root, f"execute:{operation.method}",
-                              "exec") as span:
+                              "exec") as span, scope:
             if self._workers is None:
                 results = self._protocol.execute(operation, self._interpreter)
             else:
@@ -644,8 +682,12 @@ class Engine:
         so queueing time is distinguishable from grant overhead.
         """
         if root is None:
-            return self._locks.acquire(txn, request.resource, request.mode,
-                                       timeout)
+            waited = self._locks.acquire(txn, request.resource, request.mode,
+                                         timeout)
+            if self._sanitizer is not None:
+                self._sanitizer.note_acquire(txn, request.resource,
+                                             request.mode)
+            return waited
         with self._tracer.span("lock", root.trace_id, parent=root.span_id,
                                category="lock",
                                args={"resource": str(request.resource),
@@ -654,6 +696,9 @@ class Engine:
                                          timeout,
                                          trace=span.context().to_wire())
             span.args["waited_ms"] = round(waited * 1000, 3)
+            if self._sanitizer is not None:
+                self._sanitizer.note_acquire(txn, request.resource,
+                                             request.mode)
             return waited
 
     # -- worker-mode execution -----------------------------------------------------

@@ -118,6 +118,9 @@ class HarnessResult:
     serializable: bool | None
     #: Final store snapshot after the threaded run.
     final_state: dict[str, dict[str, Any]]
+    #: Sanitizer violation count of a ``sanitize=True`` inproc run; ``None``
+    #: when the sanitizer was off (or the engine ran in another process).
+    sanitizer_violations: int | None = None
 
     @property
     def commits_per_second(self) -> float:
@@ -288,7 +291,9 @@ class ThroughputHarness:
                              errors=pieces["errors"],
                              overloads=pieces["overloads"],
                              serializable=serializable,
-                             final_state=pieces["final_state"])
+                             final_state=pieces["final_state"],
+                             sanitizer_violations=pieces.get(
+                                 "sanitizer_violations"))
 
     # -- the two transports -----------------------------------------------------
 
@@ -366,6 +371,8 @@ class ThroughputHarness:
                 # The workers' partitions are the authority in worker mode;
                 # fetch them before the cluster is torn down.
                 final_state = engine.store_state()
+                violations = (None if engine.sanitizer is None
+                              else engine.sanitizer.violations)
                 if trace_path is not None:
                     engine.export_trace(trace_path)
         finally:
@@ -375,7 +382,8 @@ class ThroughputHarness:
                 "failed": driven["failed"], "errors": driven["errors"],
                 "overloads": driven["overloads"],
                 "final_state": final_state,
-                "shards": shards, "durability": resolved.mode}
+                "shards": shards, "durability": resolved.mode,
+                "sanitizer_violations": violations}
 
     def _run_socket(self, protocol_class: type,
                     specs: Sequence[TransactionSpec], *, threads: int,
@@ -546,7 +554,7 @@ class ThroughputHarness:
                 connection.close()
 
         pool = [threading.Thread(target=worker, args=(index,),
-                                 name=f"repro-worker-{index}")
+                                 name=f"repro-worker-{index}", daemon=True)
                 for index in range(threads)]
         started = time.perf_counter()
         for thread in pool:
@@ -791,6 +799,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the results as a BENCH_*.json-style "
                              "machine-readable document")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run the engine with the runtime 2PL/write-ahead "
+                             "sanitizer on (inproc transport only; see "
+                             "repro.analysis)")
     arguments = parser.parse_args(argv)
 
     if arguments.shards < 1:
@@ -804,6 +816,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--trace records spans engine-side; it needs "
                      "--transport inproc (start the server with --trace "
                      "for socket runs)")
+    if arguments.sanitize and arguments.transport != "inproc":
+        parser.error("--sanitize wraps the engine in this process; it needs "
+                     "--transport inproc (set REPRO_SANITIZE=1 on the "
+                     "server for socket runs)")
     if arguments.shard_workers is not None:
         if arguments.shard_workers < 1:
             parser.error(f"--shard-workers must be at least 1, "
@@ -848,7 +864,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                              admission=admission,
                              trace_path=arguments.trace,
                              trace_sample=arguments.trace_sample,
-                             default_lock_timeout=arguments.lock_timeout)
+                             default_lock_timeout=arguments.lock_timeout,
+                             **({"sanitize": True} if arguments.sanitize
+                                else {}))
         results.append(result)
     print(format_throughput_table(results))
     if arguments.trace:

@@ -334,6 +334,40 @@ class SimulationError(ReproError):
 
 
 # ---------------------------------------------------------------------------
+# Correctness tooling
+# ---------------------------------------------------------------------------
+
+
+class SanitizerError(ReproError):
+    """The runtime sanitizer observed an invariant violation.
+
+    Raised by :mod:`repro.analysis.sanitizer` when a field access is not
+    covered by a held lock under the active protocol's compiled plan, when
+    a lock is acquired after the transaction started releasing (strict-2PL
+    phase violation), when a store write precedes the undo image that
+    covers it, or when execution leaves the operation's planned footprint.
+    Carries the full evidence so the report is actionable on its own.
+    """
+
+    code = "SANITIZER"
+
+    def __init__(self, message: str, *, check: str, txn: int | None = None,
+                 resource: tuple | None = None,
+                 held: tuple = (), footprint: tuple = ()) -> None:
+        super().__init__(message)
+        #: Which sanitizer check fired: ``S1`` (lock coverage), ``S2``
+        #: (2PL phase), ``S3`` (write-ahead), ``S4`` (plan footprint).
+        self.check = check
+        self.txn = txn
+        #: The resource whose access tripped the check, when applicable.
+        self.resource = resource
+        #: ``(resource, mode)`` pairs the transaction held at the time.
+        self.held = held
+        #: The operation's planned ``(resource, mode)`` footprint.
+        self.footprint = footprint
+
+
+# ---------------------------------------------------------------------------
 # The code registry
 # ---------------------------------------------------------------------------
 

@@ -64,6 +64,7 @@ import threading
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
+from repro.analysis.sanitizer import WorkerStoreGuard, sanitize_from_env
 from repro.api.messages import request_from_wire, operation_from_request
 from repro.api.wire import recv_frame, send_frame
 from repro.core.compiler import compile_schema
@@ -149,6 +150,12 @@ class ShardWorker:
         self._locks = BlockingLockManager(self._protocol.create_lock_manager(),
                                           default_timeout=lock_timeout)
         self._interpreter = Interpreter(self._store)
+        #: REPRO_SANITIZE reaches workers through spawn()'s inherited
+        #: environment: shipped operations then run behind a
+        #: WorkerStoreGuard, and the images each txn has logged here are
+        #: tracked so worker-side writes can be checked against them.
+        self._sanitize = sanitize_from_env()
+        self._sanitize_images: dict[int, set[tuple[OID, str]]] = {}
 
         self._fsync = durability == "fsync"
         self._wal: WriteAheadLog | None = None
@@ -480,20 +487,40 @@ class ShardWorker:
         return rpc.Info(payload={
             "doomed": sorted(self._locks.doomed_transactions())})
 
+    def _note_images(self, txn: int, images) -> None:
+        if not self._sanitize:
+            return
+        target = self._sanitize_images.setdefault(txn, set())
+        for oid, fields in images:
+            for field in fields:
+                target.add((oid, field))
+
     def _write_plan(self, request: rpc.WritePlan) -> rpc.Ok:
-        for oid, fields in rpc.decode_images(request.images):
+        images = tuple(rpc.decode_images(request.images))
+        for oid, fields in images:
             self._recovery.log_before_image(request.txn, oid, fields)
+        self._note_images(request.txn, images)
         return rpc.Ok()
 
     def _execute(self, request: rpc.Execute) -> rpc.Executed:
         # Before-images first — the write-ahead rule, same ordering the
         # in-process engine's perform() follows.
-        for oid, fields in rpc.decode_images(request.images):
+        images = tuple(rpc.decode_images(request.images))
+        for oid, fields in images:
             self._recovery.log_before_image(request.txn, oid, fields)
+        self._note_images(request.txn, images)
         call = request_from_wire(json.loads(request.operation_json))
         operation = operation_from_request(call)
         trace = ExecutionTrace()
-        results = self._protocol.execute(operation, self._interpreter,
+        if self._sanitize:
+            guard = WorkerStoreGuard(
+                self._store, locks=self._locks, txn=request.txn,
+                allowed_writes=frozenset(
+                    self._sanitize_images.get(request.txn, ())))
+            interpreter = Interpreter(guard)
+        else:
+            interpreter = self._interpreter
+        results = self._protocol.execute(operation, interpreter,
                                          trace=trace)
         written: dict[OID, dict[str, Any]] = {}
         for event in trace.field_accesses:
@@ -529,10 +556,12 @@ class ShardWorker:
 
     def _commit(self, request: rpc.CommitTxn) -> rpc.Ok:
         self._participant.commit(request.txn)
+        self._sanitize_images.pop(request.txn, None)
         return rpc.Ok()
 
     def _abort(self, request: rpc.AbortTxn) -> rpc.Ok:
         self._participant.abort(request.txn)
+        self._sanitize_images.pop(request.txn, None)
         return rpc.Ok()
 
     def _snapshot(self, request: rpc.Snapshot) -> rpc.Info:

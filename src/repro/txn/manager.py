@@ -11,9 +11,15 @@ protocol and lock-manager machinery on a simulated timeline.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 from typing import Any, Callable, Mapping
 
+from repro.analysis.sanitizer import (
+    SanitizedStoreFront,
+    Sanitizer,
+    sanitize_from_env,
+)
 from repro.errors import TransactionError
 from repro.objects.interpreter import Interpreter
 from repro.objects.oid import OID
@@ -33,12 +39,21 @@ class TransactionManager:
     """Runs transactions under strict two-phase locking."""
 
     def __init__(self, protocol: ConcurrencyControlProtocol,
-                 builtins: Mapping[str, Callable[..., Any]] | None = None) -> None:
+                 builtins: Mapping[str, Callable[..., Any]] | None = None,
+                 sanitize: bool | None = None) -> None:
         self._protocol = protocol
         self._store = protocol.store
         self._locks = protocol.create_lock_manager()
         self._recovery = RecoveryManager(self._store)
-        self._interpreter = Interpreter(self._store, builtins=builtins)
+        if sanitize is None:
+            sanitize = sanitize_from_env()
+        self._sanitizer: Sanitizer | None = (
+            Sanitizer(protocol) if sanitize else None)
+        interpreter_store: Any = self._store
+        if self._sanitizer is not None:
+            interpreter_store = SanitizedStoreFront(self._store,
+                                                    self._sanitizer)
+        self._interpreter = Interpreter(interpreter_store, builtins=builtins)
         self._transactions: dict[int, Transaction] = {}
         self._ids = itertools.count(1)
 
@@ -60,6 +75,8 @@ class TransactionManager:
         transaction.ensure_active()
         self._recovery.forget(transaction.txn_id)
         transaction.state = TransactionState.COMMITTED
+        if self._sanitizer is not None:
+            self._sanitizer.note_release(transaction.txn_id)
         self._locks.release_all(transaction.txn_id)
 
     def abort(self, transaction: Transaction) -> None:
@@ -68,6 +85,8 @@ class TransactionManager:
             raise TransactionError(f"{transaction} is already finished")
         self._recovery.undo(transaction.txn_id)
         transaction.state = TransactionState.ABORTED
+        if self._sanitizer is not None:
+            self._sanitizer.note_release(transaction.txn_id)
         self._locks.release_all(transaction.txn_id)
 
     # -- operations ----------------------------------------------------------------
@@ -86,11 +105,22 @@ class TransactionManager:
         for request in plan.requests:
             transaction.stats.lock_requests += 1
             self._locks.acquire(transaction.txn_id, request.resource, request.mode)
+            if self._sanitizer is not None:
+                self._sanitizer.note_acquire(transaction.txn_id,
+                                             request.resource, request.mode)
         transaction.stats.control_points += plan.control_points
         transaction.stats.operations += 1
-        for oid, fields in self._protocol.undo_projections(plan):
+        projections = self._protocol.undo_projections(plan)
+        for oid, fields in projections:
             self._recovery.log_before_image(transaction.txn_id, oid, fields)
-        results = self._protocol.execute(operation, self._interpreter)
+        if self._sanitizer is not None:
+            self._sanitizer.note_images(transaction.txn_id, projections)
+            scope: Any = self._sanitizer.operation_scope(
+                transaction.txn_id, plan)
+        else:
+            scope = contextlib.nullcontext()
+        with scope:
+            results = self._protocol.execute(operation, self._interpreter)
         transaction.executed.append(operation)
         transaction.results.extend(results)
         return results
@@ -144,6 +174,11 @@ class TransactionManager:
     def interpreter(self) -> Interpreter:
         """The interpreter executing method bodies."""
         return self._interpreter
+
+    @property
+    def sanitizer(self) -> Sanitizer | None:
+        """The runtime sanitizer when sanitized execution is on, else ``None``."""
+        return self._sanitizer
 
     def transaction(self, txn_id: int) -> Transaction:
         """Look up a transaction by identifier."""

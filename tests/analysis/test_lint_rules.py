@@ -1,0 +1,316 @@
+"""Seeded-violation tests: every lint rule fires on a deliberate violation.
+
+Each rule is exercised against a small fixture tree under ``tmp_path`` —
+:func:`repro.analysis.findings.module_name` scopes modules by the rightmost
+``repro`` path component, so ``tmp_path/repro/engine/engine.py`` is linted
+exactly like the real ``repro.engine.engine``.  No checker ships
+unfalsified: a rule that cannot be made to fire here does not exist.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.findings import module_name
+from repro.analysis.linter import lint_paths, main
+from repro.analysis.rules import ALL_RULES
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def write_tree(tmp_path: Path, files: dict[str, str]) -> Path:
+    for relative, content in files.items():
+        target = tmp_path / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(content, encoding="utf-8")
+    return tmp_path / "repro"
+
+
+def codes_of(findings) -> list[str]:
+    return [finding.code for finding in findings]
+
+
+# -- the rules, one seeded violation each ------------------------------------
+
+
+ERRORS_MODULE = '''
+class ReproError(Exception):
+    code = "REPRO"
+
+class GoodError(ReproError):
+    code = "GOOD"
+'''
+
+
+def test_l1_fires_on_error_class_without_its_own_code(tmp_path):
+    tree = write_tree(tmp_path, {"repro/errors.py": '''
+class ReproError(Exception):
+    code = "REPRO"
+
+class Naked(ReproError):
+    pass
+'''})
+    findings = lint_paths([tree])
+    assert codes_of(findings) == ["L1"]
+    assert "Naked" in findings[0].message
+
+
+def test_l1_fires_on_colliding_codes(tmp_path):
+    tree = write_tree(tmp_path, {"repro/errors.py": '''
+class ReproError(Exception):
+    code = "REPRO"
+
+class First(ReproError):
+    code = "DUP"
+
+class Second(ReproError):
+    code = "DUP"
+'''})
+    findings = lint_paths([tree])
+    assert codes_of(findings) == ["L1"]
+    assert "collides" in findings[0].message
+
+
+def test_l1_fires_on_error_subclass_outside_repro_errors(tmp_path):
+    tree = write_tree(tmp_path, {
+        "repro/errors.py": ERRORS_MODULE,
+        "repro/engine/oops.py": '''
+from repro.errors import GoodError
+
+class Rogue(GoodError):
+    code = "ROGUE"
+''',
+    })
+    findings = lint_paths([tree])
+    assert codes_of(findings) == ["L1"]
+    assert "outside repro.errors" in findings[0].message
+
+
+def test_l2_fires_on_release_before_state_flip(tmp_path):
+    tree = write_tree(tmp_path, {"repro/engine/engine.py": '''
+class Engine:
+    def commit(self, transaction):
+        self._locks.release_all(transaction.txn_id)
+        transaction.state = COMMITTED
+'''})
+    findings = lint_paths([tree])
+    assert codes_of(findings) == ["L2"]
+    assert "before the transaction-state mutation" in findings[0].message
+
+
+def test_l2_fires_when_abort_never_flips_state(tmp_path):
+    tree = write_tree(tmp_path, {"repro/txn/manager.py": '''
+class TransactionManager:
+    def abort(self, transaction):
+        self._locks.release_all(transaction.txn_id)
+'''})
+    findings = lint_paths([tree])
+    assert codes_of(findings) == ["L2"]
+    assert "never mutates" in findings[0].message
+
+
+def test_l2_is_quiet_when_state_flips_first(tmp_path):
+    tree = write_tree(tmp_path, {"repro/engine/engine.py": '''
+class Engine:
+    def commit(self, transaction):
+        transaction.state = COMMITTED
+        self._locks.release_all(transaction.txn_id)
+'''})
+    assert lint_paths([tree]) == []
+
+
+def test_l3_fires_on_direct_store_write_in_engine_code(tmp_path):
+    tree = write_tree(tmp_path, {"repro/engine/shortcut.py": '''
+def hurry(store, oid, value):
+    store.write_field(oid, "balance", value)
+'''})
+    findings = lint_paths([tree])
+    assert codes_of(findings) == ["L3"]
+    assert "write-ahead" in findings[0].message
+
+
+def test_l3_fires_on_instance_set_in_sharding_code(tmp_path):
+    tree = write_tree(tmp_path, {"repro/sharding/patch.py": '''
+def poke(instance):
+    instance.set("balance", 0.0)
+'''})
+    assert codes_of(lint_paths([tree])) == ["L3"]
+
+
+def test_l3_allowlists_the_sharded_store_itself(tmp_path):
+    tree = write_tree(tmp_path, {"repro/sharding/store.py": '''
+class ShardedObjectStore:
+    def write_field(self, oid, field, value):
+        self._partitions[0].write_field(oid, field, value)
+'''})
+    assert lint_paths([tree]) == []
+
+
+def test_l3_ignores_non_engine_packages(tmp_path):
+    tree = write_tree(tmp_path, {"repro/objects/store.py": '''
+def apply(store, oid, value):
+    store.write_field(oid, "balance", value)
+'''})
+    assert lint_paths([tree]) == []
+
+
+def test_l4_fires_on_fsync_outside_the_wal(tmp_path):
+    tree = write_tree(tmp_path, {"repro/engine/eager.py": '''
+import os
+
+def persist(fd):
+    os.fsync(fd)
+'''})
+    findings = lint_paths([tree])
+    assert codes_of(findings) == ["L4"]
+    assert "repro.wal" in findings[0].message
+
+
+def test_l4_allows_fsync_inside_the_wal(tmp_path):
+    tree = write_tree(tmp_path, {"repro/wal/log.py": '''
+import os
+
+def barrier(fd):
+    os.fsync(fd)
+'''})
+    assert lint_paths([tree]) == []
+
+
+def test_l5_fires_on_thread_without_daemon_or_name(tmp_path):
+    tree = write_tree(tmp_path, {"repro/engine/pool.py": '''
+import threading
+
+def start(fn):
+    thread = threading.Thread(target=fn)
+    thread.start()
+'''})
+    findings = lint_paths([tree])
+    assert codes_of(findings) == ["L5"]
+    assert "daemon/name" in findings[0].message
+
+
+def test_l5_is_quiet_with_both_keywords(tmp_path):
+    tree = write_tree(tmp_path, {"repro/engine/pool.py": '''
+import threading
+
+def start(fn):
+    threading.Thread(target=fn, daemon=True, name="worker").start()
+'''})
+    assert lint_paths([tree]) == []
+
+
+def test_l6_fires_on_wall_clock_ordering_in_locking_code(tmp_path):
+    tree = write_tree(tmp_path, {"repro/locking/manager.py": '''
+import time
+
+def stamp():
+    return time.time()
+'''})
+    findings = lint_paths([tree])
+    assert codes_of(findings) == ["L6"]
+    assert "monotonic" in findings[0].message
+
+
+def test_l6_allows_monotonic_and_other_packages(tmp_path):
+    tree = write_tree(tmp_path, {
+        "repro/locking/manager.py": '''
+import time
+
+def stamp():
+    return time.monotonic()
+''',
+        "repro/sim/clock.py": '''
+import time
+
+def now():
+    return time.time()
+''',
+    })
+    assert lint_paths([tree]) == []
+
+
+# -- pragmas ------------------------------------------------------------------
+
+
+def test_pragma_on_the_same_line_suppresses(tmp_path):
+    tree = write_tree(tmp_path, {"repro/engine/pool.py": '''
+import threading
+
+def start(fn):
+    threading.Thread(target=fn)  # repro-lint: disable=L5
+'''})
+    assert lint_paths([tree]) == []
+
+
+def test_pragma_on_the_line_above_suppresses(tmp_path):
+    tree = write_tree(tmp_path, {"repro/engine/pool.py": '''
+import threading
+
+def start(fn):
+    # repro-lint: disable=all
+    threading.Thread(target=fn)
+'''})
+    assert lint_paths([tree]) == []
+
+
+def test_pragma_for_another_rule_does_not_suppress(tmp_path):
+    tree = write_tree(tmp_path, {"repro/engine/pool.py": '''
+import threading
+
+def start(fn):
+    threading.Thread(target=fn)  # repro-lint: disable=L4
+'''})
+    assert codes_of(lint_paths([tree])) == ["L5"]
+
+
+# -- the linter as a program --------------------------------------------------
+
+
+def test_main_exits_nonzero_on_findings_and_zero_when_clean(tmp_path, capsys):
+    tree = write_tree(tmp_path, {"repro/engine/pool.py": '''
+import threading
+
+def start(fn):
+    threading.Thread(target=fn)
+'''})
+    assert main([str(tree)]) == 1
+    output = capsys.readouterr().out
+    assert "L5" in output and "pool.py:5" in output
+    (tree / "engine" / "pool.py").write_text(
+        "import threading\n", encoding="utf-8")
+    assert main([str(tree)]) == 0
+
+
+def test_main_reports_syntax_errors_as_parse_findings(tmp_path, capsys):
+    tree = write_tree(tmp_path, {"repro/engine/broken.py": "def oops(:\n"})
+    assert main([str(tree)]) == 1
+    assert "PARSE" in capsys.readouterr().out
+
+
+def test_list_rules_names_every_code(capsys):
+    assert main(["--list-rules"]) == 0
+    output = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule.code in output
+        assert rule.historical.split(":")[0] in output
+
+
+def test_rule_metadata_is_complete_and_codes_unique():
+    codes = [rule.code for rule in ALL_RULES]
+    assert len(codes) == len(set(codes))
+    for rule in ALL_RULES:
+        assert rule.code and rule.title and rule.historical
+
+
+# -- the real tree ------------------------------------------------------------
+
+
+def test_the_real_source_tree_is_lint_clean():
+    assert lint_paths([REPO_SRC]) == []
+
+
+def test_module_name_scoping():
+    assert module_name(Path("src/repro/engine/engine.py")) == \
+        "repro.engine.engine"
+    assert module_name(Path("/x/y/repro/wal/__init__.py")) == "repro.wal"
+    assert module_name(Path("standalone.py")) == "standalone"

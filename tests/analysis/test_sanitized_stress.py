@@ -1,0 +1,131 @@
+"""The end-to-end audit: the conservation stress runs clean under sanitize.
+
+Same workload as ``tests/engine/test_stress.py`` — 8 threads of
+balance-neutral transfers over every protocol — but with the runtime
+2PL/write-ahead sanitizer checking every field access.  A clean run is a
+strong statement: every access of every committed *and aborted*
+incarnation was covered by a held lock under the active protocol's
+compiled plan, preceded by its undo image when it wrote, and inside the
+operation's planned footprint.  Plus one ``shard_workers=2`` smoke with
+the worker-side guard active.
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import threading
+
+import pytest
+
+from repro.core import compile_schema
+from repro.engine import Engine
+from repro.objects import ObjectStore
+from repro.schema import banking_schema
+from repro.sharding.router import HashShardRouter
+from repro.sharding.store import ShardedObjectStore
+from repro.sim.workload import populate_store
+from repro.txn.protocols import PROTOCOLS
+
+THREADS = 8
+TRANSFERS = 200
+ACCOUNTS_PER_CLASS = 4
+
+
+def build_store(banking) -> ObjectStore:
+    store = ObjectStore(banking)
+    for index in range(ACCOUNTS_PER_CLASS):
+        store.create("Account", balance=1000.0, owner=f"a{index}", active=True)
+        store.create("SavingsAccount", balance=1000.0, owner=f"s{index}",
+                     active=True, rate=0.01)
+        store.create("CheckingAccount", balance=1000.0, owner=f"c{index}",
+                     active=True, overdraft_limit=100)
+    return store
+
+
+def total_balance(store) -> float:
+    return sum(store.read_field(instance.oid, "balance") for instance in store)
+
+
+@pytest.mark.parametrize("protocol_name", list(PROTOCOLS))
+def test_conservation_stress_is_sanitizer_clean(protocol_name, banking,
+                                                banking_compiled):
+    protocol_class = PROTOCOLS[protocol_name]
+    store = build_store(banking)
+    oids = [instance.oid for instance in store]
+    before = total_balance(store)
+
+    rng = random.Random(20260808)
+    transfers: "queue.SimpleQueue[tuple]" = queue.SimpleQueue()
+    for _ in range(TRANSFERS):
+        source, destination = rng.sample(oids, 2)
+        transfers.put((source, destination, rng.randint(1, 50)))
+
+    errors: list[BaseException] = []
+    with Engine(protocol_class(banking_compiled, store),
+                detection_interval=0.005, default_lock_timeout=30.0,
+                sanitize=True) as engine:
+        def worker() -> None:
+            while True:
+                try:
+                    source, destination, amount = transfers.get_nowait()
+                except queue.Empty:
+                    return
+
+                def transfer(session, source=source, destination=destination,
+                             amount=amount):
+                    session.call(source, "deposit", -amount)
+                    session.call(destination, "deposit", amount)
+
+                try:
+                    engine.run_transaction(transfer)
+                except BaseException as error:  # noqa: BLE001 - surfaced below
+                    errors.append(error)
+                    return
+
+        pool = [threading.Thread(target=worker, name=f"sanstress-{index}")
+                for index in range(THREADS)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=120.0)
+            assert not thread.is_alive(), "a worker thread wedged"
+        assert not errors, errors
+        assert engine.metrics.committed == TRANSFERS
+        assert engine.sanitizer is not None
+        assert engine.sanitizer.violations == 0
+    assert total_balance(store) == before
+
+
+def test_worker_mode_smoke_is_sanitizer_clean(monkeypatch):
+    # The env flag reaches the spawned workers through spawn()'s inherited
+    # environment, arming the worker-side guard (check d).
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    schema = banking_schema()
+    compiled = compile_schema(schema)
+    store = populate_store(schema, 4, seed=23,
+                           store=ShardedObjectStore(schema, HashShardRouter(2)))
+    protocol = PROTOCOLS["tav"](compiled, store)
+    accounts = list(store.extent("Account"))
+    before = total_balance(store)
+    with Engine(protocol, shard_workers=2, default_lock_timeout=10.0,
+                worker_options={"schema": "banking", "instances": 4,
+                                "populate_seed": 23}) as engine:
+        assert engine.sanitizer is not None
+        rng = random.Random(7)
+        for _ in range(20):
+            source, destination = rng.sample(accounts, 2)
+            amount = rng.randint(1, 20)
+
+            def transfer(session, source=source, destination=destination,
+                         amount=amount):
+                session.call(source, "deposit", -amount)
+                session.call(destination, "deposit", amount)
+
+            engine.run_transaction(transfer)
+        assert engine.metrics.committed == 20
+        assert engine.sanitizer.violations == 0
+        state = engine.store_state()
+        total = sum(values["balance"] for values in state.values()
+                    if "balance" in values)
+        assert total == pytest.approx(before)

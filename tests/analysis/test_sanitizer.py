@@ -1,0 +1,214 @@
+"""Seeded-violation tests: every sanitizer check fires on a deliberate bug.
+
+Each check is falsified through a *misbehaving protocol* — a subclass of
+the paper's TAV protocol that strips lock requests, drops undo
+projections, or reuses leftover locks — run under
+``TransactionManager(sanitize=True)``, which is single-threaded and
+deterministic.  The worker-side guard is exercised directly with a stub
+lock manager.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sanitizer import (
+    SanitizedStoreFront,
+    Sanitizer,
+    WorkerStoreGuard,
+    sanitize_from_env,
+)
+from repro.errors import SanitizerError
+from repro.objects import ObjectStore
+from repro.txn.manager import TransactionManager
+from repro.txn.protocols import PROTOCOLS
+from repro.txn.protocols.base import LockPlan
+
+TAVProtocol = PROTOCOLS["tav"]
+
+
+def build_store(banking) -> ObjectStore:
+    store = ObjectStore(banking)
+    store.create("Account", balance=100.0, owner="a", active=True)
+    store.create("Account", balance=100.0, owner="b", active=True)
+    return store
+
+
+def first_account(store):
+    return next(iter(store.extent("Account")))
+
+
+class NoLockProtocol(TAVProtocol):
+    """Plans every operation without requesting a single lock."""
+
+    def plan(self, operation):
+        base = super().plan(operation)
+        return LockPlan(requests=(), control_points=base.control_points,
+                        receivers=base.receivers,
+                        undo_projections=base.undo_projections)
+
+
+class NoUndoProtocol(TAVProtocol):
+    """Acquires the right locks but never logs a before-image."""
+
+    def undo_projections(self, plan):
+        return ()
+
+
+class LeftoverProtocol(TAVProtocol):
+    """Plans correctly until ``strip`` is set, then plans no locks at all —
+    execution then leans on locks left over from earlier operations."""
+
+    strip = False
+
+    def plan(self, operation):
+        base = super().plan(operation)
+        if not self.strip:
+            return base
+        return LockPlan(requests=(), control_points=base.control_points,
+                        receivers=base.receivers,
+                        undo_projections=base.undo_projections)
+
+
+def test_s1_lock_coverage_fires_without_a_covering_lock(banking,
+                                                        banking_compiled):
+    store = build_store(banking)
+    manager = TransactionManager(NoLockProtocol(banking_compiled, store),
+                                 sanitize=True)
+    transaction = manager.begin()
+    with pytest.raises(SanitizerError) as info:
+        manager.call(transaction, first_account(store), "deposit", 5.0)
+    assert info.value.check == "S1"
+    assert info.value.held == ()
+    assert manager.sanitizer.violations == 1
+
+
+def test_s2_phase_fires_on_acquire_after_release(banking, banking_compiled):
+    store = build_store(banking)
+    sanitizer = Sanitizer(TAVProtocol(banking_compiled, store))
+    oid = first_account(store)
+    sanitizer.note_acquire(1, ("instance", oid), "deposit")
+    sanitizer.note_release(1)
+    with pytest.raises(SanitizerError) as info:
+        sanitizer.note_acquire(1, ("instance", oid), "balance")
+    assert info.value.check == "S2"
+    assert sanitizer.violations == 1
+
+
+def test_s3_write_ahead_fires_on_unlogged_write(banking, banking_compiled):
+    store = build_store(banking)
+    manager = TransactionManager(NoUndoProtocol(banking_compiled, store),
+                                 sanitize=True)
+    transaction = manager.begin()
+    with pytest.raises(SanitizerError) as info:
+        manager.call(transaction, first_account(store), "deposit", 5.0)
+    assert info.value.check == "S3"
+    assert "before-image" in str(info.value)
+
+
+def test_s4_plan_footprint_fires_on_leftover_lock_reuse(banking,
+                                                        banking_compiled):
+    store = build_store(banking)
+    protocol = LeftoverProtocol(banking_compiled, store)
+    manager = TransactionManager(protocol, sanitize=True)
+    transaction = manager.begin()
+    oid = first_account(store)
+    manager.call(transaction, oid, "deposit", 5.0)  # legal: plan + locks
+    protocol.strip = True
+    with pytest.raises(SanitizerError) as info:
+        manager.call(transaction, oid, "deposit", 5.0)
+    assert info.value.check == "S4"
+    assert info.value.held  # covered by the first operation's locks...
+    assert info.value.footprint == ()  # ...but not by this operation's plan
+
+
+def test_clean_transactions_report_zero_violations(banking, banking_compiled):
+    store = build_store(banking)
+    manager = TransactionManager(TAVProtocol(banking_compiled, store),
+                                 sanitize=True)
+    transaction = manager.begin()
+    oid = first_account(store)
+    manager.call(transaction, oid, "deposit", 5.0)
+    manager.call(transaction, oid, "withdraw", 2.0)
+    manager.commit(transaction)
+    assert store.read_field(oid, "balance") == 103.0
+    assert manager.sanitizer.violations == 0
+
+
+def test_accesses_outside_an_operation_scope_pass_through(banking,
+                                                          banking_compiled):
+    store = build_store(banking)
+    sanitizer = Sanitizer(TAVProtocol(banking_compiled, store))
+    front = SanitizedStoreFront(store, sanitizer)
+    oid = first_account(store)
+    assert front.read_field(oid, "balance") == 100.0  # planning/shadow path
+    front.write_field(oid, "balance", 101.0)
+    assert sanitizer.violations == 0
+
+
+# -- the worker-side guard (check d) -----------------------------------------
+
+
+class _NoLocks:
+    def holds(self, txn, resource, mode=None):
+        return False
+
+
+class _AllLocks:
+    def holds(self, txn, resource, mode=None):
+        return True
+
+
+def test_worker_guard_rejects_unlocked_access(banking):
+    store = build_store(banking)
+    oid = first_account(store)
+    guard = WorkerStoreGuard(store, locks=_NoLocks(), txn=7,
+                             allowed_writes=frozenset())
+    with pytest.raises(SanitizerError) as info:
+        guard.read_field(oid, "balance")
+    assert info.value.check == "S1"
+
+
+def test_worker_guard_rejects_writes_outside_the_shipped_plan(banking):
+    store = build_store(banking)
+    oid = first_account(store)
+    guard = WorkerStoreGuard(store, locks=_AllLocks(), txn=7,
+                             allowed_writes=frozenset({(oid, "owner")}))
+    with pytest.raises(SanitizerError) as info:
+        guard.write_field(oid, "balance", 0.0)
+    assert info.value.check == "S3"
+    # A write the plan covers goes through.
+    guard.write_field(oid, "owner", "z")
+    assert store.read_field(oid, "owner") == "z"
+
+
+# -- plumbing -----------------------------------------------------------------
+
+
+def test_sanitize_from_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert sanitize_from_env() is False
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert sanitize_from_env() is True
+    monkeypatch.setenv("REPRO_SANITIZE", "off")
+    assert sanitize_from_env() is False
+
+
+def test_error_registry_is_importable_without_the_engine():
+    import subprocess
+    import sys
+
+    # The pure-registry import path: loading the registry must not drag in
+    # the engine, transaction, sharding, durability or analysis machinery —
+    # the linter and the wire dispatcher share one source of truth even in
+    # processes that never build an engine.
+    script = (
+        "import sys\n"
+        "import repro.errors\n"
+        "assert 'SANITIZER' in repro.errors.error_codes()\n"
+        "heavy = [m for m in sys.modules\n"
+        "         if m.startswith(('repro.engine', 'repro.txn',\n"
+        "                          'repro.sharding', 'repro.wal',\n"
+        "                          'repro.analysis', 'repro.api'))]\n"
+        "assert not heavy, heavy\n")
+    subprocess.run([sys.executable, "-c", script], check=True)

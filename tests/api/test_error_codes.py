@@ -47,6 +47,7 @@ FROZEN_CODES = {
     "OverloadedError": "OVERLOADED",
     "WALError": "WAL",
     "SimulationError": "SIMULATION",
+    "SanitizerError": "SANITIZER",
 }
 
 

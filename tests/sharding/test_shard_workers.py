@@ -148,6 +148,9 @@ def test_write_plan_and_shipped_execution(worker_client):
     before = worker.store.read_field(oid, "balance")
     call = request_for_operation(9, MethodCall(oid=oid, method="deposit",
                                                arguments=(25.0,)))
+    # Hold the lock the engine would have acquired before shipping, so the
+    # shipped execution is legal under REPRO_SANITIZE too.
+    client.acquire(9, ("instance", oid), "deposit")
     results, writes = client.execute(9, call, [(oid, ("balance",))])
     assert results == [None]
     assert writes == [(oid, {"balance": before + 25.0})]

@@ -171,6 +171,9 @@ def test_pure_in_doubt_window_resolved_by_presumed_abort(tmp_path):
     try:
         call = request_for_operation(
             77, MethodCall(oid=oid, method="deposit", arguments=(50.0,)))
+        # Hold the lock the engine would have acquired before shipping, so
+        # the shipped execution is legal under REPRO_SANITIZE too.
+        client.acquire(77, ("instance", oid), "deposit")
         _results, writes = client.execute(77, call, [(oid, ("balance",))])
         assert writes == [(oid, {"balance": before + 50.0})]
         client.inject_fault("exit_after_prepare_reply")
