@@ -12,7 +12,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-maltam93",
-    version="1.5.0",
+    version="1.6.0",
     description=("Reproduction of Malta & Martinez (ICDE 1993): automated "
                  "fine-grained concurrency control for object-oriented "
                  "databases, with a multi-threaded execution engine"),

@@ -293,7 +293,14 @@ class DataPlaneWriteRule(Rule):
     #:   — per-participant crash recovery rebuilding the partition;
     #: * ``ShardWorker._write_field`` — the cross-shard data plane: the
     #:   coordinating engine holds the locks and shipped the write plan
-    #:   (before-images) to this worker first.
+    #:   (before-images) to this worker first;
+    #: * ``ShardWorker._apply_writes`` — the deferred-write flush: the
+    #:   engine buffered these lock-covered writes client-side and ships
+    #:   them piggybacked on the next Execute/Prepare; every call site
+    #:   runs ``_log_images`` over the piggybacked before-images first,
+    #:   so the write-ahead order holds (and under ``REPRO_SANITIZE`` the
+    #:   same method routes through ``WorkerStoreGuard``, which checks
+    #:   exactly that).
     ALLOWLIST = frozenset({
         ("repro.sharding.store", "*"),
         ("repro.engine.engine", "Engine._mirror_writes"),
@@ -303,6 +310,7 @@ class DataPlaneWriteRule(Rule):
         ("repro.sharding.worker", "ShardWorker._recover_own_shard"),
         ("repro.sharding.worker", "ShardWorker._apply_image"),
         ("repro.sharding.worker", "ShardWorker._write_field"),
+        ("repro.sharding.worker", "ShardWorker._apply_writes"),
     })
 
     def _allowed(self, module_name: str, qualname: str) -> bool:
@@ -468,6 +476,66 @@ class MonotonicOrderingRule(Rule):
                     "timestamps for wait-die seniority")
 
 
+class RoundTripLoopRule(Rule):
+    """L7: no per-operation wire round trips inside loops in client code.
+
+    The wire layers earn their throughput by batching: a pipelined client
+    sends N command frames in one write (``send_frames``) and the engine
+    ships a shard's lock requests in one ``AcquireBatch``.  A
+    ``send_frame``/``recv_frame`` (or raw ``sendall``/``recv``) issued
+    inside a ``for``/``while`` loop in the request layers quietly
+    reintroduces one round trip per iteration — the exact regression the
+    batching work removed.  The batch codec itself
+    (:mod:`repro.api.wire`, where a frame loop is the implementation of
+    batching) is out of scope by module; a deliberate per-iteration round
+    trip is suppressible with ``# repro-lint: disable=L7``.
+    """
+
+    code = "L7"
+    title = "no per-operation send/recv loops in repro.api.client / repro.sharding.rpc"
+    historical = ("PR 8's round-trip elimination: the harness drove one "
+                  "frame per command and one worker RPC per lock request, "
+                  "so an 8-thread socket run sat at ~2.6x the in-process "
+                  "throughput before the wire layers batched")
+
+    _MODULES = frozenset({"repro.api.client", "repro.sharding.rpc"})
+    #: Socket primitives whose per-iteration use is one round trip each.
+    _WIRE_CALLS = frozenset({"send_frame", "recv_frame", "sendall", "recv"})
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.name not in self._MODULES:
+            return
+        tree = module.tree
+        assert isinstance(tree, ast.Module)
+        yield from self._walk(module, tree, in_loop=False)
+
+    def _walk(self, module: ModuleInfo, node: ast.AST, *,
+              in_loop: bool) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            entered = in_loop or isinstance(child, (ast.For, ast.AsyncFor,
+                                                    ast.While))
+            if in_loop and isinstance(child, ast.Call):
+                name = self._wire_call(child)
+                if name is not None:
+                    yield self._finding(
+                        module, child,
+                        f"{name}() inside a loop — one wire round trip per "
+                        f"iteration; batch the frames (send_frames/"
+                        f"recv_frames, AcquireBatch) or suppress a "
+                        f"deliberate per-iteration exchange with "
+                        f"`# repro-lint: disable=L7`")
+            yield from self._walk(module, child, in_loop=entered)
+
+    @classmethod
+    def _wire_call(cls, node: ast.Call) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in cls._WIRE_CALLS:
+            return func.attr
+        if isinstance(func, ast.Name) and func.id in cls._WIRE_CALLS:
+            return func.id
+        return None
+
+
 #: The rule set ``repro-lint`` runs, in report order.
 ALL_RULES: tuple[Rule, ...] = (
     ErrorRegistryRule(),
@@ -476,6 +544,7 @@ ALL_RULES: tuple[Rule, ...] = (
     FsyncScopeRule(),
     ThreadHygieneRule(),
     MonotonicOrderingRule(),
+    RoundTripLoopRule(),
 )
 
 

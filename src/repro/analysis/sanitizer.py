@@ -288,11 +288,19 @@ class WorkerStoreGuard:
     """
 
     def __init__(self, store, *, locks, txn: int,
-                 allowed_writes: frozenset) -> None:
+                 allowed_writes: frozenset,
+                 require_local_locks: bool = True) -> None:
         self._store = store
         self._locks = locks
         self._txn = txn
         self._allowed_writes = allowed_writes
+        #: False on the coordinator-flush path (deferred writes riding an
+        #: execute or prepare): the covering lock may be a hierarchical
+        #: class lock homed on *another* shard, invisible to this lock
+        #: manager — there the shipped before-image is the coordinator's
+        #: attestation of coverage (checked engine-side against the global
+        #: lock front), and only the S3 image check applies locally.
+        self._require_local_locks = require_local_locks
 
     @property
     def schema(self):
@@ -325,6 +333,8 @@ class WorkerStoreGuard:
         return getattr(self._store, name)
 
     def _check_lock(self, oid, field: str, *, kind: str) -> None:
+        if not self._require_local_locks:
+            return
         candidates = worker_candidate_resources(oid, field,
                                                 self._store.schema)
         if not any(self._locks.holds(self._txn, resource)

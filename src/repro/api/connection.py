@@ -33,6 +33,8 @@ from typing import TYPE_CHECKING, Any, Callable, Mapping, TypeVar
 
 from repro.api.messages import (
     Abort,
+    Batch,
+    BatchReply,
     Begin,
     BeginReply,
     CommitLog,
@@ -42,17 +44,22 @@ from repro.api.messages import (
     MetricsSnapshot,
     Overloaded,
     Ping,
+    ProgramReply,
     Reply,
     Request,
+    RunProgram,
     Stats,
     StoreState,
     exception_from_reply,
+    message_to_wire,
     raise_if_error,
+    reply_from_wire,
     request_for_operation,
 )
 from repro.errors import (
     DeadlockError,
     LockTimeoutError,
+    OverloadedError,
     ProtocolError,
     TransactionError,
 )
@@ -137,6 +144,52 @@ class Connection(abc.ABC):
     def ping(self) -> bool:
         """Whether the other side answers."""
         return bool(self._info(Ping()).get("pong"))
+
+    def batch(self, requests: "list[Request] | tuple[Request, ...]",
+              trace: Any = None) -> list[Reply]:
+        """Execute several requests as one :class:`Batch` frame.
+
+        Returns one typed reply per request, positionally — partial-reject
+        semantics: a failing member answers with its own typed error reply
+        in its slot, the others still run.
+        """
+        if hasattr(trace, "to_wire"):
+            trace = trace.to_wire()
+        envelope = Batch(commands=tuple(message_to_wire(request)
+                                        for request in requests),
+                         trace=trace)
+        reply = raise_if_error(self.request(envelope))
+        if not isinstance(reply, BatchReply):
+            raise ProtocolError(f"batch answered with {type(reply).__name__}")
+        if len(reply.replies) != len(requests):
+            raise ProtocolError(f"batch of {len(requests)} commands answered "
+                                f"with {len(reply.replies)} replies")
+        return [reply_from_wire(dict(document)) for document in reply.replies]
+
+    def run_program(self, operations: "list[Operation] | tuple[Operation, ...]",
+                    *, label: str = "", max_retries: int = 10,
+                    trace: Any = None) -> ProgramReply:
+        """Run ``Begin + operations + Commit`` as one server-side program.
+
+        One round trip for the whole transaction; deadlock/timeout retries
+        happen on the server with the wait-die origin carried across
+        incarnations.
+
+        Raises:
+            OverloadedError: admission control refused (back off and retry).
+            DeadlockError, LockTimeoutError: server-side retries exhausted.
+        """
+        if hasattr(trace, "to_wire"):
+            trace = trace.to_wire()
+        program = RunProgram(
+            operations=tuple(message_to_wire(request_for_operation(0, operation))
+                             for operation in operations),
+            label=label, max_retries=max_retries, trace=trace)
+        reply = raise_if_error(self.request(program))
+        if not isinstance(reply, ProgramReply):
+            raise ProtocolError(
+                f"run_program answered with {type(reply).__name__}")
+        return reply
 
 
 class InProcessConnection(Connection):
@@ -349,8 +402,18 @@ class TransactionRunner:
                 raise
 
     def run_spec(self, spec: "TransactionSpec", *,
-                 max_retries: int | None = None) -> list[Any]:
-        """Replay one workload :class:`TransactionSpec` with retry."""
+                 max_retries: int | None = None,
+                 pipeline: bool = False) -> list[Any]:
+        """Replay one workload :class:`TransactionSpec` with retry.
+
+        With ``pipeline=True`` the whole spec ships as one
+        :class:`~repro.api.messages.RunProgram` frame — O(1) round trips;
+        deadlock/timeout retries run server-side (still counted in
+        :attr:`retries`), and only :class:`Overloaded` answers are retried
+        here, since admission refusals happen before any work starts.
+        """
+        if pipeline:
+            return self.run_program_spec(spec, max_retries=max_retries)
 
         def replay(session: ClientSession) -> list[Any]:
             results: list[Any] = []
@@ -359,6 +422,26 @@ class TransactionRunner:
             return results
 
         return self.run(replay, label=spec.label, max_retries=max_retries)
+
+    def run_program_spec(self, spec: "TransactionSpec", *,
+                         max_retries: int | None = None) -> list[Any]:
+        """Replay one spec through the one-round-trip program path."""
+        retries = self._max_retries if max_retries is None else max_retries
+        overloads = 0
+        while True:
+            try:
+                reply = self._connection.run_program(
+                    spec.operations, label=spec.label, max_retries=retries)
+            except OverloadedError as error:
+                self.overloads += 1
+                overloads += 1
+                if overloads > self._overload_retries:
+                    raise error
+                time.sleep(self._backoff(overloads))
+                continue
+            self.retries += reply.retries
+            return [list(results) if isinstance(results, (list, tuple))
+                    else results for results in reply.results]
 
     def _backoff(self, attempt: int) -> float:
         delay = min(self._backoff_cap, self._backoff_base * (2 ** (attempt - 1)))

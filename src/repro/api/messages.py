@@ -162,6 +162,52 @@ class Abort:
 
 
 @dataclass(frozen=True)
+class Batch:
+    """Several commands in one frame.
+
+    ``commands`` holds the *wire form* (:func:`message_to_wire`) of each
+    sub-request; the dispatcher decodes and executes them strictly in
+    order and answers with a :class:`BatchReply` whose ``replies`` slot i
+    is the wire form of command i's reply.  Semantics are *partial
+    reject*: a malformed or failing command yields an :class:`ErrorReply`
+    in its own slot with its stable error code, and execution continues
+    with the next command — the batch envelope itself never fails because
+    one member did.
+    """
+
+    commands: tuple[Mapping[str, Any], ...] = ()
+    trace: Any = None
+
+    type = "batch"
+    _tuples = ("commands",)
+
+
+@dataclass(frozen=True)
+class RunProgram:
+    """A whole transaction as one frame: ``Begin + Calls + Commit``.
+
+    ``operations`` holds the wire form of call-family requests
+    (:class:`Call`/:class:`CallExtent`/:class:`CallSome`/
+    :class:`CallDomain`); their ``txn`` fields are placeholders — the
+    dispatcher begins a fresh transaction, performs the operations in
+    order, and commits, all server-side.  A deadlock or lock-timeout
+    abort is retried *on the server* up to ``max_retries`` times with the
+    first incarnation's begin timestamp carried as the wait-die origin,
+    so a retry costs zero extra round trips and keeps its seniority.
+    The answer is one :class:`ProgramReply` (or a typed error /
+    :class:`Overloaded`).
+    """
+
+    operations: tuple[Mapping[str, Any], ...] = ()
+    label: str = ""
+    max_retries: int = 10
+    trace: Any = None
+
+    type = "run_program"
+    _tuples = ("operations",)
+
+
+@dataclass(frozen=True)
 class Describe:
     """Ask what is being served: protocol, shards, durability, admission."""
 
@@ -214,8 +260,8 @@ class Ping:
 
 
 Request = (Begin | Call | CallExtent | CallSome | CallDomain | Commit | Abort
-           | Describe | CommitLog | StoreState | MetricsSnapshot | Stats
-           | Ping)
+           | Batch | RunProgram | Describe | CommitLog | StoreState
+           | MetricsSnapshot | Stats | Ping)
 
 
 # ---------------------------------------------------------------------------
@@ -299,6 +345,33 @@ class Overloaded:
 
 
 @dataclass(frozen=True)
+class BatchReply:
+    """Per-command replies for a :class:`Batch`, in command order.
+
+    ``replies[i]`` is the wire form of the reply to ``commands[i]`` — the
+    same length always, so a client pairs them positionally."""
+
+    replies: tuple[Mapping[str, Any], ...] = ()
+
+    type = "batch_reply"
+    _tuples = ("replies",)
+
+
+@dataclass(frozen=True)
+class ProgramReply:
+    """A :class:`RunProgram` committed.  ``txn`` names the incarnation that
+    committed; ``results`` holds each operation's results in program order;
+    ``retries`` counts the server-side abort-and-retry rounds it took."""
+
+    txn: int
+    results: tuple[Any, ...] = ()
+    retries: int = 0
+
+    type = "program_reply"
+    _tuples = ("results",)
+
+
+@dataclass(frozen=True)
 class InfoReply:
     """Answer to a control-plane request (:class:`Describe` et al.)."""
 
@@ -308,8 +381,8 @@ class InfoReply:
     _tuples = ()
 
 
-Reply = (BeginReply | ResultReply | CommitReply | AbortReply | ErrorReply
-         | Overloaded | InfoReply)
+Reply = (BeginReply | ResultReply | CommitReply | AbortReply | BatchReply
+         | ProgramReply | ErrorReply | Overloaded | InfoReply)
 
 
 # ---------------------------------------------------------------------------
@@ -420,12 +493,14 @@ def raise_if_error(reply: Reply) -> Reply:
 
 _REQUEST_TYPES: dict[str, type] = {
     cls.type: cls for cls in (Begin, Call, CallExtent, CallSome, CallDomain,
-                              Commit, Abort, Describe, CommitLog, StoreState,
-                              MetricsSnapshot, Stats, Ping)
+                              Commit, Abort, Batch, RunProgram, Describe,
+                              CommitLog, StoreState, MetricsSnapshot, Stats,
+                              Ping)
 }
 _REPLY_TYPES: dict[str, type] = {
     cls.type: cls for cls in (BeginReply, ResultReply, CommitReply, AbortReply,
-                              ErrorReply, Overloaded, InfoReply)
+                              BatchReply, ProgramReply, ErrorReply, Overloaded,
+                              InfoReply)
 }
 
 

@@ -42,6 +42,8 @@ from repro.api.dispatcher import Dispatcher
 from repro.api.messages import (
     Abort,
     AbortReply,
+    Batch,
+    BatchReply,
     BeginReply,
     CommitReply,
     message_to_wire,
@@ -146,6 +148,7 @@ class ApiServer:
         #: Transactions this connection began and has not finished — what
         #: the cleanup aborts if the client vanishes mid-transaction.
         owned: set[int] = set()
+        metrics = self._dispatcher.engine.metrics
         try:
             while True:
                 document = recv_frame(sock)
@@ -154,6 +157,9 @@ class ApiServer:
                 try:
                     request = request_from_wire(document)
                 except ProtocolError as error:
+                    # Counted before the write, so a client that has its
+                    # reply in hand never reads a stale frame counter.
+                    metrics.record_frames(1)
                     send_frame(sock, message_to_wire(reply_for_error(error)))
                     continue
                 try:
@@ -168,6 +174,9 @@ class ApiServer:
                     owned.add(reply.txn)
                 elif isinstance(reply, (CommitReply, AbortReply)):
                     owned.discard(reply.txn)
+                elif isinstance(reply, BatchReply) and isinstance(request, Batch):
+                    self._track_batch(owned, reply)
+                metrics.record_frames(1)
                 send_frame(sock, message_to_wire(reply))
         except (ProtocolError, ConnectionError, OSError):
             return  # broken stream; fall through to cleanup
@@ -185,6 +194,21 @@ class ApiServer:
                     # shutdown the entry stays, so the join sees it.
                     self._workers.discard(threading.current_thread())
             sock.close()
+
+    @staticmethod
+    def _track_batch(owned: set[int], reply: BatchReply) -> None:
+        """Keep the vanished-client cleanup honest across batched frames:
+        a Begin or Commit/Abort executed *inside* a batch moves its
+        transaction in and out of ``owned`` exactly as a bare one does."""
+        for document in reply.replies:
+            kind = document.get("type") if isinstance(document, Mapping) else None
+            txn = document.get("txn") if isinstance(document, Mapping) else None
+            if not isinstance(txn, int):
+                continue
+            if kind == BeginReply.type:
+                owned.add(txn)
+            elif kind in (CommitReply.type, AbortReply.type):
+                owned.discard(txn)
 
     # -- introspection ----------------------------------------------------------
 

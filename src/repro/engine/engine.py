@@ -130,6 +130,7 @@ class Engine:
                  shard_workers: int | None = None,
                  worker_options: Mapping[str, Any] | None = None,
                  participant_timeout: float = DEFAULT_PARTICIPANT_TIMEOUT,
+                 vectored_rpc: bool = True,
                  tracer: Tracer | None = None,
                  sanitize: bool | None = None) -> None:
         self._protocol = protocol
@@ -233,10 +234,22 @@ class Engine:
             interpreter_store = SanitizedStoreFront(self._store,
                                                     self._sanitizer)
         self._interpreter = Interpreter(interpreter_store, builtins=builtins)
+        #: One-round-trip mode (worker engines only): vectored acquire
+        #: batches, fused single-shard plan+execute, mirror-backed
+        #: cross-shard reads and deferred writes that piggyback on prepare.
+        #: ``vectored_rpc=False`` keeps the classic one-RPC-per-step wire
+        #: behaviour for A/B measurement.
+        self._vectored = bool(vectored_rpc) and self._workers is not None
+        #: Deferred before-images per transaction per shard, flushed with
+        #: the next Execute to that shard or staged onto its Prepare.
+        self._deferred_images: dict[int, dict[int, list]] = {}
         self._remote_interpreter: Interpreter | None = None
+        self._remote_front: _WorkerStoreFront | None = None
         if self._workers is not None:
-            remote_store: Any = _WorkerStoreFront(
-                self._store, self._router, self._workers)
+            self._remote_front = _WorkerStoreFront(
+                self._store, self._router, self._workers,
+                deferred=self._vectored)
+            remote_store: Any = self._remote_front
             if self._sanitizer is not None:
                 remote_store = SanitizedStoreFront(remote_store,
                                                    self._sanitizer)
@@ -265,6 +278,7 @@ class Engine:
             for client in self._workers:
                 client.on_rpc = (
                     lambda seconds: self.metrics.record_latency("rpc", seconds))
+                client.on_request = self.metrics.record_rpc_requests
         #: Tracing: off unless a tracer is injected.  Root spans of live
         #: traced transactions, by txn id (session-thread confined).
         self._tracer = tracer
@@ -477,6 +491,11 @@ class Engine:
         root = self._traces.get(txn)
         with self._maybe_span(root, "commit", "txn",
                               {"shards": list(touched)}) as commit_span:
+            if self._vectored:
+                # Remaining deferred images/writes piggyback on each
+                # shard's prepare message — staged locally, zero extra
+                # round trips.
+                self._stage_deferred(txn, touched)
             try:
                 if commit_span is None:
                     self._coordinator.prepare(txn, touched)
@@ -533,6 +552,13 @@ class Engine:
         root = self._traces.get(txn)
         with self._maybe_span(root, "abort", "txn",
                               {"shards": list(touched)}) as abort_span:
+            if self._vectored:
+                # Unflushed deferred state never reached the workers: their
+                # partitions are untouched by it, so dropping the buffers
+                # is the whole worker-side undo; the engine-side undo below
+                # restores the mirror (clients' staged payloads are cleared
+                # by their abort calls).
+                self._drop_deferred(txn)
             self._coordinator.abort(
                 txn, touched,
                 trace=None if abort_span is None
@@ -606,6 +632,17 @@ class Engine:
         root = self._traces.get(transaction.txn_id)
         plan = self._protocol.plan(operation)
         transaction.stats.control_points += plan.control_points
+        if self._vectored:
+            shard_id = self._fused_shard(plan)
+            if shard_id is not None:
+                results = self._perform_fused(transaction, operation, plan,
+                                              shard_id, timeout, root)
+                if results is not None:
+                    return results
+                # Fallback: the worker's replan escaped the shard.  Its
+                # partial acquisitions were recorded; the classic path
+                # below re-requests them (an immediate grant) and carries
+                # the operation through the cross-shard machinery.
         plan = self._acquire_plan(transaction, plan, operation, timeout,
                                   root=root)
         transaction.stats.operations += 1
@@ -637,25 +674,31 @@ class Engine:
                       root: Span | None = None) -> LockPlan:
         acquired: set[tuple[Any, Any]] = set()
         for _ in range(_MAX_REPLAN_ROUNDS):
-            for request in plan.requests:
-                key = (request.resource, request.mode)
-                if key in acquired:
-                    continue
-                transaction.stats.lock_requests += 1
-                try:
-                    waited = self._acquire_one(transaction.txn_id, request,
-                                               timeout, root)
-                except LockTimeoutError as error:
-                    self.metrics.record_timeout()
-                    self.metrics.record_requests(1, error.waited)
-                    raise
-                except DeadlockError as error:
-                    self.metrics.record_requests(1, error.waited)
-                    raise
-                self.metrics.record_requests(1, waited)
-                if waited > 0.0:
-                    transaction.stats.waits += 1
-                acquired.add(key)
+            pending = [request for request in plan.requests
+                       if (request.resource, request.mode) not in acquired]
+            if self._vectored and len(pending) > 1:
+                # Vectored mode: the whole round goes out grouped by shard,
+                # one acquire-batch RPC per worker shard instead of one
+                # round trip per lock.
+                self._acquire_round(transaction, pending, timeout, root,
+                                    acquired)
+            else:
+                for request in pending:
+                    transaction.stats.lock_requests += 1
+                    try:
+                        waited = self._acquire_one(transaction.txn_id, request,
+                                                   timeout, root)
+                    except LockTimeoutError as error:
+                        self.metrics.record_timeout()
+                        self.metrics.record_requests(1, error.waited)
+                        raise
+                    except DeadlockError as error:
+                        self.metrics.record_requests(1, error.waited)
+                        raise
+                    self.metrics.record_requests(1, waited)
+                    if waited > 0.0:
+                        transaction.stats.waits += 1
+                    acquired.add((request.resource, request.mode))
             refreshed = self._protocol.plan(operation)
             extra = tuple(r for r in refreshed.requests
                           if (r.resource, r.mode) not in acquired)
@@ -701,7 +744,146 @@ class Engine:
                                              request.mode)
             return waited
 
+    def _acquire_round(self, transaction: Transaction, requests: Sequence[Any],
+                       timeout: float | None | object, root: Span | None,
+                       acquired: set[tuple[Any, Any]]) -> None:
+        """One vectored plan round: ship every pending request at once.
+
+        Metrics, stats and sanitizer notes match the per-request path.  On
+        a mid-batch deadlock/timeout nothing is added to ``acquired`` —
+        the caller aborts, and ``release_all`` (the batch marked its shards
+        touched before any RPC) frees whatever the workers granted.
+        """
+        txn = transaction.txn_id
+        pairs = [(request.resource, request.mode) for request in requests]
+        transaction.stats.lock_requests += len(pairs)
+        try:
+            with self._maybe_span(root, "lock-batch", "lock",
+                                  {"requests": len(pairs)}) as span:
+                waits = self._locks.acquire_many(
+                    txn, pairs, timeout,
+                    trace=None if span is None else span.context().to_wire())
+                if span is not None:
+                    # Same contract as the per-request ``lock`` span: the
+                    # queueing time (summed over the batch) is separable
+                    # from grant overhead when reading the trace.
+                    span.args["waited_ms"] = round(sum(waits) * 1000, 3)
+        except LockTimeoutError as error:
+            self.metrics.record_timeout()
+            self.metrics.record_requests(1, error.waited)
+            raise
+        except DeadlockError as error:
+            self.metrics.record_requests(1, error.waited)
+            raise
+        for (resource, mode), waited in zip(pairs, waits):
+            self.metrics.record_requests(1, waited)
+            if waited > 0.0:
+                transaction.stats.waits += 1
+            if self._sanitizer is not None:
+                self._sanitizer.note_acquire(txn, resource, mode)
+            acquired.add((resource, mode))
+
     # -- worker-mode execution -----------------------------------------------------
+
+    def _fused_shard(self, plan: LockPlan) -> int | None:
+        """The single shard the plan routes to entirely, or ``None``.
+
+        Both the lock resources and the receiver instances must live on one
+        shard for the fused path — the worker acquires the locks itself, so
+        an off-shard resource would be unservable there.
+        """
+        shards: set[int] = set()
+        for request in plan.requests:
+            shards.add(self._router.shard_of_resource(request.resource))
+            if len(shards) > 1:
+                return None
+        for oid, _method in plan.receivers:
+            shards.add(self._router.shard_of_oid(oid))
+            if len(shards) > 1:
+                return None
+        return next(iter(shards)) if shards else None
+
+    def _perform_fused(self, transaction: Transaction, operation: Operation,
+                       plan: LockPlan, shard_id: int,
+                       timeout: float | None | object,
+                       root: Span | None) -> list[Any] | None:
+        """Ship plan+locks+execution to the owning worker in one trip.
+
+        Returns the results, or ``None`` when the worker answered the
+        fallback reply (its replan escaped the shard) — either way the
+        locks the worker granted are recorded here first, so abort and
+        the classic path both see them.
+        """
+        txn = transaction.txn_id
+        client = self._workers[shard_id]
+        # Touched before the RPC: a deadlock/timeout raised mid-fused still
+        # has this shard's partial grants released by the abort.
+        self._locks.note_touched(txn, shard_id)
+        images, writes = self._take_deferred(txn, shard_id)
+        call = request_for_operation(txn, operation)
+        try:
+            with self._maybe_span(root, f"execute-fused:{operation.method}",
+                                  "exec") as span:
+                outcome = client.execute_fused(
+                    txn, call, images, writes, timeout,
+                    expected_locks=len(plan.requests),
+                    trace=None if span is None else span.context().to_wire())
+        except LockTimeoutError as error:
+            self.metrics.record_timeout()
+            self.metrics.record_requests(1, error.waited)
+            raise
+        except DeadlockError as error:
+            self.metrics.record_requests(1, error.waited)
+            raise
+        for resource, mode, waited in outcome.resources:
+            transaction.stats.lock_requests += 1
+            self.metrics.record_requests(1, waited)
+            if waited > 0.0:
+                transaction.stats.waits += 1
+            if self._sanitizer is not None:
+                self._sanitizer.note_acquire(txn, resource, mode)
+        if outcome.fallback:
+            return None
+        # Mirror bookkeeping in write-ahead order: log the worker-computed
+        # before-images into the mirror undo log, then echo the writes.
+        for oid, fields in outcome.images:
+            self._recovery.log_before_image(txn, oid, fields)
+        if self._sanitizer is not None:
+            self._sanitizer.note_images(txn, outcome.images)
+        self._mirror_writes(outcome.writes)
+        transaction.stats.operations += 1
+        self.metrics.record_operation()
+        transaction.executed.append(operation)
+        transaction.results.extend(outcome.results)
+        return outcome.results
+
+    def _buffer_images(self, txn: int, shard_id: int,
+                       images: Sequence[tuple[OID, tuple[str, ...]]]) -> None:
+        self._deferred_images.setdefault(txn, {}).setdefault(
+            shard_id, []).extend(images)
+
+    def _take_deferred(self, txn: int,
+                       shard_id: int) -> tuple[list, list]:
+        """Pop this transaction's buffered images and writes for one shard."""
+        images = self._deferred_images.get(txn, {}).pop(shard_id, [])
+        writes = ([] if self._remote_front is None
+                  else self._remote_front.take_writes(txn, shard_id))
+        return images, writes
+
+    def _stage_deferred(self, txn: int, touched: Sequence[int]) -> None:
+        """Stage remaining deferred state onto each shard's next prepare."""
+        for shard_id in touched:
+            images, writes = self._take_deferred(txn, shard_id)
+            if images or writes:
+                self._workers[shard_id].stage_prepare(txn, images, writes)
+        # Buffered state always sits on touched shards (every write is
+        # lock-covered); drop the empty bookkeeping either way.
+        self._drop_deferred(txn)
+
+    def _drop_deferred(self, txn: int) -> None:
+        self._deferred_images.pop(txn, None)
+        if self._remote_front is not None:
+            self._remote_front.drop(txn)
 
     def _execute_remote(self, txn: int, operation: Operation, plan: LockPlan,
                         projections: Sequence[tuple[OID, tuple[str, ...]]],
@@ -733,18 +915,34 @@ class Engine:
             if fields:
                 shard_id = self._router.shard_of_oid(oid)
                 by_shard.setdefault(shard_id, []).append((oid, fields))
+        if self._vectored:
+            # Deferred-write mode — every operation the fused path did not
+            # already run on its worker executes here with *zero* data-plane
+            # RPCs: the images ride the shards' prepares, reads come from
+            # the mirror (the mirror invariant guarantees parity under the
+            # held locks) and writes buffer per shard until the next fused
+            # execute on that shard flushes them or its prepare piggybacks
+            # them.
+            assert self._remote_interpreter is not None
+            assert self._remote_front is not None
+            for shard_id, images in by_shard.items():
+                self._buffer_images(txn, shard_id, images)
+            with self._remote_front.transaction(txn):
+                return self._protocol.execute(operation,
+                                              self._remote_interpreter)
         receiver_shards = {self._router.shard_of_oid(oid)
                            for oid, _method in plan.receivers}
         if len(receiver_shards) == 1:
             (shard_id,) = receiver_shards
             call = request_for_operation(txn, operation)
+            images = by_shard.get(shard_id, [])
             results, writes = self._workers[shard_id].execute(
-                txn, call, by_shard.get(shard_id, []), trace=trace)
+                txn, call, images, trace=trace)
             self._mirror_writes(writes)
             return results
+        assert self._remote_interpreter is not None
         for shard_id, images in by_shard.items():
             self._workers[shard_id].write_plan(txn, images, trace=trace)
-        assert self._remote_interpreter is not None
         return self._protocol.execute(operation, self._remote_interpreter)
 
     def _mirror_writes(self, writes: Sequence[tuple[OID, Mapping[str, Any]]]) -> None:
@@ -1191,18 +1389,47 @@ class _WorkerStoreFront:
     """The store the cross-shard remote interpreter executes against.
 
     Identity questions (does the OID exist, what is its class) are answered
-    from the mirror — membership is fixed after population in worker mode —
-    while field reads and writes go to the owning worker, with writes echoed
-    into the mirror so planning keeps seeing current values.  Implements
-    exactly the surface :class:`~repro.objects.interpreter.Interpreter`
-    touches.
+    from the mirror — membership is fixed after population in worker mode.
+    Field access depends on the mode:
+
+    * **eager** (``deferred=False``, the classic wire behaviour): reads and
+      writes go to the owning worker, one RPC per field, with writes echoed
+      into the mirror so planning keeps seeing current values;
+    * **deferred** (the vectored-RPC engine): reads come from the mirror —
+      sound because every field the interpreter touches is lock-covered,
+      and the mirror invariant (mirror value == worker value for any locked
+      field) holds from the startup snapshot check onward — and writes go
+      to the mirror plus a per-transaction per-shard buffer the engine
+      flushes with the next Execute to that shard or piggybacks on its
+      prepare.  A cross-shard execution then costs zero data-plane RPCs.
+
+    Implements exactly the surface
+    :class:`~repro.objects.interpreter.Interpreter` touches.
     """
 
     def __init__(self, mirror: Any, router: ShardRouter,
-                 workers: "Sequence[RemoteShardClient]") -> None:
+                 workers: "Sequence[RemoteShardClient]", *,
+                 deferred: bool = False) -> None:
         self._mirror = mirror
         self._router = router
         self._workers = tuple(workers)
+        self._deferred = deferred
+        #: The transaction whose cross-shard execution this thread is
+        #: driving (sessions are single-threaded, so thread-local is the
+        #: right confinement for the write attribution).
+        self._local = threading.local()
+        #: txn -> shard -> [(oid, field, value)] buffered writes.  Mutated
+        #: only by the owning transaction's session thread.
+        self._buffers: dict[int, dict[int, list[tuple[OID, str, Any]]]] = {}
+
+    @contextlib.contextmanager
+    def transaction(self, txn: int):
+        """Attribute this thread's writes to ``txn`` for the scope."""
+        self._local.txn = txn
+        try:
+            yield
+        finally:
+            self._local.txn = None
 
     @property
     def schema(self) -> Any:
@@ -1215,10 +1442,35 @@ class _WorkerStoreFront:
         return oid in self._mirror
 
     def read_field(self, oid: OID, field_name: str) -> Any:
+        if self._deferred:
+            return self._mirror.read_field(oid, field_name)
         return self._workers[self._router.shard_of_oid(oid)].read_field(
             oid, field_name)
 
     def write_field(self, oid: OID, field_name: str, value: Any) -> None:
+        if self._deferred:
+            txn = getattr(self._local, "txn", None)
+            if txn is None:
+                raise TransactionError(
+                    "deferred write outside a transaction scope — "
+                    "cross-shard execution must run under "
+                    "_WorkerStoreFront.transaction()")
+            shard_id = self._router.shard_of_oid(oid)
+            self._buffers.setdefault(txn, {}).setdefault(
+                shard_id, []).append((oid, field_name, value))
+            self._mirror.write_field(oid, field_name, value)
+            return
         self._workers[self._router.shard_of_oid(oid)].write_field(
             oid, field_name, value)
         self._mirror.write_field(oid, field_name, value)
+
+    def take_writes(self, txn: int, shard_id: int) -> list[tuple[OID, str, Any]]:
+        """Pop the buffered writes of ``txn`` destined for ``shard_id``."""
+        per_shard = self._buffers.get(txn)
+        if not per_shard:
+            return []
+        return per_shard.pop(shard_id, [])
+
+    def drop(self, txn: int) -> None:
+        """Forget every buffered write of ``txn`` (abort, or post-stage)."""
+        self._buffers.pop(txn, None)

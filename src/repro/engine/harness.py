@@ -103,6 +103,10 @@ class HarnessResult:
     durability: str
     #: How the workers reached the engine (``inproc`` or ``socket``).
     transport: str
+    #: Whether workers shipped each spec as one pipelined ``RunProgram``
+    #: frame (O(1) client round trips per transaction) instead of one
+    #: command frame per operation.
+    pipeline: bool
     transactions: int
     metrics: EngineMetrics
     #: Labels of the committed transactions, in commit (serialisation) order.
@@ -134,6 +138,7 @@ class HarnessResult:
                                "workers": self.shard_workers,
                                "durability": self.durability,
                                "transport": self.transport,
+                               "pipeline": "yes" if self.pipeline else "no",
                                "txns": self.transactions}
         row.update(self.metrics.as_row())
         row["overloads"] = self.overloads
@@ -211,6 +216,7 @@ class ThroughputHarness:
             wal_dir: str | Path | None = None,
             group_commit_ms: float | None = None,
             transport: str = "inproc",
+            pipeline: bool = False,
             address: "str | tuple[str, int] | None" = None,
             admission: "AdmissionController | Mapping[str, Any] | None" = None,
             max_retries: int = 20,
@@ -265,6 +271,7 @@ class ThroughputHarness:
                 durability=durability, wal_dir=wal_dir,
                 group_commit_ms=group_commit_ms,
                 admission=admission, max_retries=max_retries,
+                pipeline=pipeline,
                 trace_path=trace_path, trace_sample=trace_sample,
                 engine_options=engine_options)
         else:
@@ -272,7 +279,8 @@ class ThroughputHarness:
                 protocol_class, specs, threads=threads, shards=shards,
                 router=router, durability=durability, wal_dir=wal_dir,
                 address=address, admission=admission, max_retries=max_retries,
-                verify=verify, engine_options=engine_options)
+                pipeline=pipeline, verify=verify,
+                engine_options=engine_options)
 
         serializable: bool | None = None
         if verify:
@@ -284,6 +292,7 @@ class ThroughputHarness:
                              shard_workers=shard_workers or 0,
                              durability=pieces["durability"],
                              transport=transport,
+                             pipeline=pipeline,
                              transactions=len(specs),
                              metrics=pieces["metrics"],
                              commit_labels=pieces["commit_labels"],
@@ -306,6 +315,7 @@ class ThroughputHarness:
                     group_commit_ms: float | None,
                     admission: "AdmissionController | Mapping[str, Any] | None",
                     max_retries: int,
+                    pipeline: bool,
                     trace_path: str | Path | None,
                     trace_sample: int,
                     engine_options: dict[str, Any]) -> dict[str, Any]:
@@ -358,7 +368,8 @@ class ThroughputHarness:
                 connection = InProcessConnection(
                     dispatcher=Dispatcher(engine, admission=controller))
                 driven = self._drive(specs, threads, lambda index: connection,
-                                     max_retries=max_retries)
+                                     max_retries=max_retries,
+                                     pipeline=pipeline)
                 engine.metrics.elapsed = driven["elapsed"]
                 engine.metrics.wal_bytes = engine.wal_bytes_written
                 commit_labels = tuple(label for _, label in engine.commit_log)
@@ -392,7 +403,7 @@ class ThroughputHarness:
                     wal_dir: str | Path | None,
                     address: "str | tuple[str, int] | None",
                     admission: "AdmissionController | Mapping[str, Any] | None",
-                    max_retries: int, verify: bool,
+                    max_retries: int, pipeline: bool, verify: bool,
                     engine_options: dict[str, Any]) -> dict[str, Any]:
         """Drive a server process over TCP (spawned unless ``address``)."""
         from repro.api import client as socket_client
@@ -452,7 +463,7 @@ class ThroughputHarness:
                 driven = self._drive(
                     specs, threads,
                     lambda index: socket_client.connect(address),
-                    max_retries=max_retries)
+                    max_retries=max_retries, pipeline=pipeline)
                 ours = {spec.label for spec in specs}
                 commit_labels = tuple(
                     label
@@ -508,7 +519,7 @@ class ThroughputHarness:
 
     def _drive(self, specs: Sequence[TransactionSpec], threads: int,
                connect: Callable[[int], Connection], *,
-               max_retries: int) -> dict[str, Any]:
+               max_retries: int, pipeline: bool = False) -> dict[str, Any]:
         """Replay ``specs`` over per-worker connections; collect failures."""
         work: "queue.SimpleQueue[TransactionSpec]" = queue.SimpleQueue()
         for spec in specs:
@@ -540,7 +551,7 @@ class ThroughputHarness:
                     except queue.Empty:
                         return
                     try:
-                        runner.run_spec(spec)
+                        runner.run_spec(spec, pipeline=pipeline)
                     except (DeadlockError, LockTimeoutError):
                         with mutex:
                             failed.append(spec.label)
@@ -670,6 +681,7 @@ def bench_document(results: Sequence[HarnessResult],
              "serializable": result.serializable,
              "durability": result.durability,
              "transport": result.transport,
+             "pipeline": result.pipeline,
              "wal_bytes": result.metrics.wal_bytes,
              "wal_bytes_per_commit": round(result.metrics.wal_bytes_per_commit, 1),
              "failed": list(result.failed_labels)}
@@ -702,6 +714,8 @@ def write_bench_json(path: str, results: Sequence[HarnessResult],
             "lock_timeout": arguments.lock_timeout,
             "durability": arguments.durability,
             "transport": arguments.transport,
+            "pipeline": getattr(arguments, "pipeline", False),
+            "vectored_rpc": not getattr(arguments, "no_vectored_rpc", False),
             "addr": arguments.addr,
             "max_in_flight": arguments.max_in_flight,
             "verified": not arguments.no_verify,
@@ -757,6 +771,17 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "the dispatcher directly, 'socket' drives a "
                              "repro.api.server process over TCP "
                              "(default: inproc)")
+    parser.add_argument("--pipeline", action="store_true",
+                        help="ship each transaction as one RunProgram frame "
+                             "(O(1) client round trips; deadlock/timeout "
+                             "retries run server-side) instead of one frame "
+                             "per command — the batched wire path")
+    parser.add_argument("--no-vectored-rpc", action="store_true",
+                        help="with --shard-workers: disable the vectored "
+                             "worker RPCs (batched lock acquisition, fused "
+                             "plan+execute, deferred cross-shard writes) and "
+                             "fall back to one RPC per operation — the A/B "
+                             "baseline for BENCH_roundtrips.json")
     parser.add_argument("--addr", metavar="HOST:PORT", default=None,
                         help="with --transport socket: use this running "
                              "server instead of spawning one (it must serve "
@@ -820,6 +845,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--sanitize wraps the engine in this process; it needs "
                      "--transport inproc (set REPRO_SANITIZE=1 on the "
                      "server for socket runs)")
+    if arguments.no_vectored_rpc and arguments.transport != "inproc":
+        parser.error("--no-vectored-rpc configures the engine in this "
+                     "process; it needs --transport inproc")
     if arguments.shard_workers is not None:
         if arguments.shard_workers < 1:
             parser.error(f"--shard-workers must be at least 1, "
@@ -860,13 +888,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                              wal_dir=arguments.wal_dir,
                              group_commit_ms=arguments.group_commit_ms,
                              transport=arguments.transport,
+                             pipeline=arguments.pipeline,
                              address=arguments.addr,
                              admission=admission,
                              trace_path=arguments.trace,
                              trace_sample=arguments.trace_sample,
                              default_lock_timeout=arguments.lock_timeout,
                              **({"sanitize": True} if arguments.sanitize
-                                else {}))
+                                else {}),
+                             **({"vectored_rpc": False}
+                                if arguments.no_vectored_rpc else {}))
         results.append(result)
     print(format_throughput_table(results))
     if arguments.trace:

@@ -72,6 +72,14 @@ class EngineMetrics:
     wait_time: float = 0.0
     #: Operations executed successfully.
     operations: int = 0
+    #: Shard-worker RPC requests issued by the coordinating engine (lock
+    #: acquires, plan/execute shipments, 2PC messages — the worker-layer
+    #: round-trip count the batching work optimises; 0 without workers).
+    rpc_requests: int = 0
+    #: Reply frames the socket server sent to clients (the client-layer
+    #: round-trip count; 0 in-process).  One pipelined batch or program is
+    #: one frame however many commands it carries.
+    frames_sent: int = 0
     #: Wall-clock seconds of the measured run (set by the harness).
     elapsed: float = 0.0
     #: Bytes appended to the write-ahead and decision logs (set by the
@@ -90,8 +98,8 @@ class EngineMetrics:
     #: (which travel under their own ``"histograms"`` key).
     _FIELDS = ("begun", "committed", "cross_shard_commits", "aborted",
                "retries", "deadlocks", "timeouts", "unavailable_completions",
-               "lock_requests", "waits", "wait_time", "operations", "elapsed",
-               "wal_bytes")
+               "lock_requests", "waits", "wait_time", "operations",
+               "rpc_requests", "frames_sent", "elapsed", "wal_bytes")
 
     # -- wire round trip ---------------------------------------------------------
 
@@ -184,6 +192,14 @@ class EngineMetrics:
         with self._mutex:
             self.operations += 1
 
+    def record_rpc_requests(self, count: int = 1) -> None:
+        with self._mutex:
+            self.rpc_requests += count
+
+    def record_frames(self, count: int = 1) -> None:
+        with self._mutex:
+            self.frames_sent += count
+
     def record_latency(self, name: str, seconds: float) -> None:
         """Add one observation to the named stage histogram."""
         self.histograms[name].record(seconds)
@@ -235,6 +251,8 @@ class EngineMetrics:
             "lock_requests": self.lock_requests,
             "waits": self.waits,
             "operations": self.operations,
+            "rpcs": self.rpc_requests,
+            "frames": self.frames_sent,
             "elapsed_s": round(self.elapsed, 3),
             "commits_per_s": round(self.commits_per_second, 1),
             "abort_rate": round(self.abort_rate, 3),

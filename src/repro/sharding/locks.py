@@ -93,6 +93,62 @@ class ShardedLockFront:
         return self._shards[shard_id].acquire(txn, resource, mode, timeout,
                                               trace=trace)
 
+    def acquire_many(self, txn: TxnId,
+                     requests: "Sequence[tuple[Resource, Mode]]",
+                     timeout: float | None | object = USE_DEFAULT_TIMEOUT,
+                     trace: object = None) -> list[float]:
+        """Acquire a whole round of lock requests, vectored per shard.
+
+        Requests are grouped by owning shard; a shard handle exposing
+        ``acquire_batch`` (a remote worker) gets its whole group in one
+        round trip, any other shard is walked request by request — the
+        semantics are identical either way, including the mid-batch
+        deadlock/timeout contract (earlier grants stay held for the
+        caller's abort to release).  Returns seconds blocked, aligned with
+        ``requests``.  Within a shard the plan's request order is kept;
+        shards proceed in index order so the grouping is deterministic.
+        """
+        groups: dict[int, list[int]] = {}
+        for index, (resource, _mode) in enumerate(requests):
+            shard_id = self._route_cache.get(resource)
+            if shard_id is None:
+                shard_id = self._router.shard_of_resource(resource)
+                self._route_cache[resource] = shard_id
+            groups.setdefault(shard_id, []).append(index)
+        touched = self._touched.get(txn)
+        if touched is None:
+            touched = self._touched[txn] = set()
+        waits = [0.0] * len(requests)
+        for shard_id in sorted(groups):
+            touched.add(shard_id)
+            shard = self._shards[shard_id]
+            indexes = groups[shard_id]
+            batch = getattr(shard, "acquire_batch", None)
+            if batch is not None and len(indexes) > 1:
+                granted = batch(txn, [requests[index] for index in indexes],
+                                timeout, trace=trace)
+                for index, waited in zip(indexes, granted):
+                    waits[index] = waited
+                continue
+            for index in indexes:
+                resource, mode = requests[index]
+                if trace is None:
+                    waits[index] = shard.acquire(txn, resource, mode, timeout)
+                else:
+                    waits[index] = shard.acquire(txn, resource, mode, timeout,
+                                                 trace=trace)
+        return waits
+
+    def note_touched(self, txn: TxnId, shard_id: int) -> None:
+        """Record that ``txn`` holds (or is about to request) lock state on
+        ``shard_id`` — the fused-execute path acquires on the worker, so the
+        engine marks the shard before the RPC and ``release_all`` covers a
+        mid-flight failure."""
+        touched = self._touched.get(txn)
+        if touched is None:
+            touched = self._touched[txn] = set()
+        touched.add(shard_id)
+
     # -- releasing -------------------------------------------------------------
 
     def release_all(self, txn: TxnId) -> None:

@@ -145,6 +145,18 @@ def decode_images(value: Any) -> list[tuple[OID, tuple[str, ...]]]:
     return [(decode_value(oid), tuple(fields)) for oid, fields in value]
 
 
+def encode_writes(writes: Sequence[tuple[OID, str, Any]]) -> list:
+    """Wire form of buffered field writes: ``(oid, field, value)`` triples."""
+    return [[encode_value(oid), field, encode_value(value)]
+            for oid, field, value in writes]
+
+
+def decode_writes(value: Any) -> list[tuple[OID, str, Any]]:
+    """Invert :func:`encode_writes`."""
+    return [(decode_value(oid), field, decode_value(item))
+            for oid, field, item in value]
+
+
 # ---------------------------------------------------------------------------
 # The message vocabulary
 # ---------------------------------------------------------------------------
@@ -175,6 +187,27 @@ class Acquire:
     trace: Any = None
 
     type = "w_acquire"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class AcquireBatch:
+    """Vectored acquire: every lock request of one plan round for this shard.
+
+    ``requests`` is a sequence of ``[resource, mode]`` pairs, acquired in
+    order under the shared ``timeout``.  The whole batch costs one round
+    trip instead of one per request.  On a mid-batch deadlock or timeout
+    the typed error propagates and the locks granted earlier in the batch
+    stay held — strict 2PL keeps them until the coordinator aborts, whose
+    ``release_all`` cleans up everything this shard granted.
+    """
+
+    txn: int
+    requests: Any = ()
+    timeout: Any = _DEFAULT_TIMEOUT_TAG
+    trace: Any = None
+
+    type = "w_acquire_batch"
     _tuples = ()
 
 
@@ -265,14 +298,56 @@ class Execute:
     ``operation_json`` is the JSON text of the operation's
     :mod:`repro.api.messages` call-request wire form — carried opaquely so
     the envelope codec cannot half-decode it in transit.
+
+    ``writes`` piggybacks field writes the transaction buffered for this
+    shard during earlier cross-shard operations (deferred-write mode).
+    They are applied after the images are logged (the images shipped with
+    them cover every buffered write — the write-ahead rule) and before the
+    operation runs, so the method bodies see this transaction's own prior
+    writes.
     """
 
     txn: int
     operation_json: str
     images: Any = ()
+    writes: Any = ()
     trace: Any = None
 
     type = "w_execute"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class ExecuteFused:
+    """Fused plan+execute: the worker plans, locks and runs in one trip.
+
+    For an operation the coordinator's plan routes entirely to this shard,
+    the whole plan/acquire/replan/log/execute cycle runs worker-side: the
+    worker re-derives the lock plan against its own partition, acquires
+    each lock locally (no per-lock RPC), refreshes the plan to its
+    fixpoint, logs the before-images it computed *under those locks*, and
+    executes.  The reply carries the results, the applied writes, the
+    logged images and the acquired resources so the coordinator can mirror
+    all of them.
+
+    If a worker-side replan escapes the shard (a refreshed plan needing an
+    off-shard resource or receiver), the worker answers a fallback reply
+    listing what it already acquired and the coordinator reverts to the
+    classic path — re-acquiring a held lock is an immediate grant, so the
+    duplication is harmless.
+
+    ``images``/``writes`` flush this transaction's buffered state for this
+    shard first, exactly like :class:`Execute`.
+    """
+
+    txn: int
+    operation_json: str
+    images: Any = ()
+    writes: Any = ()
+    timeout: Any = _DEFAULT_TIMEOUT_TAG
+    trace: Any = None
+
+    type = "w_execute_fused"
     _tuples = ()
 
 
@@ -301,9 +376,18 @@ class WriteField:
 
 @dataclass(frozen=True)
 class Prepare:
-    """Phase one: durable vote for ``txn`` (redo images + PREPARED + barrier)."""
+    """Phase one: durable vote for ``txn`` (redo images + PREPARED + barrier).
+
+    ``images``/``writes`` piggyback the transaction's remaining buffered
+    before-images and field writes for this shard (deferred-write mode):
+    the worker logs the images, applies the writes, and only then votes —
+    one message where the eager path paid a ``WritePlan`` plus one
+    ``WriteField`` per field.  Both are empty on the eager path.
+    """
 
     txn: int
+    images: Any = ()
+    writes: Any = ()
     trace: Any = None
 
     type = "w_prepare"
@@ -423,6 +507,27 @@ class Executed:
 
 
 @dataclass(frozen=True)
+class FusedDone:
+    """Answer of :class:`ExecuteFused`.
+
+    ``resources`` lists ``[resource, mode, waited]`` for every lock the
+    worker acquired, so the coordinator can note them (touched-shard
+    tracking, metrics, sanitizer).  With ``fallback`` true the plan escaped
+    the shard: nothing was executed, ``results``/``writes``/``images`` are
+    empty, and ``resources`` holds what was acquired before the escape.
+    """
+
+    results: Any = ()
+    writes: Any = ()
+    images: Any = ()
+    resources: Any = ()
+    fallback: bool = False
+
+    type = "w_fused_done"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
 class Info:
     """A structured answer (hello, edges, snapshots, checkpoints)."""
 
@@ -432,21 +537,23 @@ class Info:
     _tuples = ()
 
 
-WorkerRequest = (Hello | Acquire | ReleaseAll | CollectEdges | Doom | ClearDoom
-                 | Holds | Waiting | Doomed | WritePlan | Execute | ReadField
-                 | WriteField | Prepare | CommitTxn | AbortTxn | Snapshot
-                 | Checkpoint | Metrics | Spans | Fault | Shutdown)
-WorkerReply = Ok | Waited | Value | Executed | Info | ErrorReply
+WorkerRequest = (Hello | Acquire | AcquireBatch | ReleaseAll | CollectEdges
+                 | Doom | ClearDoom | Holds | Waiting | Doomed | WritePlan
+                 | Execute | ExecuteFused | ReadField | WriteField | Prepare
+                 | CommitTxn | AbortTxn | Snapshot | Checkpoint | Metrics
+                 | Spans | Fault | Shutdown)
+WorkerReply = Ok | Waited | Value | Executed | FusedDone | Info | ErrorReply
 
 _REQUEST_TYPES: dict[str, type] = {
-    cls.type: cls for cls in (Hello, Acquire, ReleaseAll, CollectEdges, Doom,
-                              ClearDoom, Holds, Waiting, Doomed, WritePlan,
-                              Execute, ReadField, WriteField, Prepare,
-                              CommitTxn, AbortTxn, Snapshot, Checkpoint,
-                              Metrics, Spans, Fault, Shutdown)
+    cls.type: cls for cls in (Hello, Acquire, AcquireBatch, ReleaseAll,
+                              CollectEdges, Doom, ClearDoom, Holds, Waiting,
+                              Doomed, WritePlan, Execute, ExecuteFused,
+                              ReadField, WriteField, Prepare, CommitTxn,
+                              AbortTxn, Snapshot, Checkpoint, Metrics, Spans,
+                              Fault, Shutdown)
 }
 _REPLY_TYPES: dict[str, type] = {
-    cls.type: cls for cls in (Ok, Waited, Value, Executed, Info)
+    cls.type: cls for cls in (Ok, Waited, Value, Executed, FusedDone, Info)
 }
 #: Failures travel exactly like API failures: a typed ErrorReply whose code
 #: the client rebuilds into the right exception class.
@@ -472,6 +579,22 @@ def encode_operation(request: Any) -> str:
 # ---------------------------------------------------------------------------
 # The coordinator-side stub
 # ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FusedOutcome:
+    """Decoded :class:`FusedDone`: what one fused round trip accomplished."""
+
+    #: The plan escaped the shard; only ``resources`` is meaningful.
+    fallback: bool
+    #: The operation's results, in order.
+    results: list
+    #: ``(oid, {field: value})`` writes the worker applied (mirror these).
+    writes: list
+    #: ``(oid, fields)`` before-images the worker logged (mirror-log these).
+    images: list
+    #: ``(resource, mode, waited seconds)`` locks the worker acquired.
+    resources: list
 
 
 class RemoteShardClient(ParticipantClient):
@@ -510,6 +633,16 @@ class RemoteShardClient(ParticipantClient):
         #: the worker says the lock itself was waited on — so a multi-second
         #: lock wait does not masquerade as RPC latency.
         self.on_rpc = None
+        #: Accounting hook: called (no arguments) once per *transaction-work*
+        #: request issued — locking, data plane, 2PC.  Control and
+        #: observability traffic (hello, metrics, spans, detector passes,
+        #: snapshots) is excluded, so the count measures exactly the
+        #: round trips the batching work optimises.
+        self.on_request = None
+        #: Per-transaction payloads staged by :meth:`stage_prepare`, consumed
+        #: by the next :meth:`prepare` (or dropped by :meth:`abort`).  One
+        #: thread drives a transaction's commit, so plain dict ops suffice.
+        self._staged: dict[int, tuple[Any, Any]] = {}
 
     # -- the transport ----------------------------------------------------------
 
@@ -552,12 +685,14 @@ class RemoteShardClient(ParticipantClient):
 
     def _call(self, request: Any, *,
               timeout: "float | None | object" = USE_DEFAULT_TIMEOUT,
-              record: bool = True) -> Any:
+              record: bool = True, count: bool = True) -> Any:
         """One request/reply round trip; typed errors re-raised.
 
         Successful round trips report their duration to :attr:`on_rpc`
         unless ``record`` is false (``acquire`` opts out and reports its
-        net transport time itself).
+        net transport time itself).  Requests count toward
+        :attr:`on_request` unless ``count`` is false (control and
+        observability calls opt out).
 
         Raises:
             ParticipantUnavailable: the worker cannot be reached, timed out,
@@ -566,6 +701,8 @@ class RemoteShardClient(ParticipantClient):
                 (deadlock, lock timeout, a prepare veto, ...).
         """
         sock = self._connection()
+        if count and self.on_request is not None:
+            self.on_request()
         if timeout is USE_DEFAULT_TIMEOUT:
             timeout = self._timeout
         started = time.perf_counter()
@@ -606,32 +743,46 @@ class RemoteShardClient(ParticipantClient):
 
     def hello(self) -> dict[str, Any]:
         """The worker's identity document (shard, schema, recovery report)."""
-        return dict(self._call(Hello()).payload)
+        return dict(self._call(Hello(), count=False).payload)
 
     def checkpoint(self) -> dict[str, Any]:
         """Checkpoint the worker's partition; returns what the pass kept."""
-        return dict(self._call(Checkpoint()).payload)
+        return dict(self._call(Checkpoint(), count=False).payload)
 
     def inject_fault(self, action: str) -> None:
         """Arm test-only crash injection on the worker."""
-        self._call(Fault(action=action))
+        self._call(Fault(action=action), count=False)
 
     def shutdown(self) -> None:
         """Ask the worker to exit cleanly (tolerates an already-dead one)."""
         try:
-            self._call(Shutdown(), timeout=5.0)
+            self._call(Shutdown(), timeout=5.0, count=False)
         except ParticipantUnavailable:
             pass
 
     # -- the 2PC participant protocol ---------------------------------------------
 
+    def stage_prepare(self, txn: int,
+                      images: Sequence[tuple[OID, Sequence[str]]],
+                      writes: Sequence[tuple[OID, str, Any]]) -> None:
+        """Stage buffered images/writes to ride the next :meth:`prepare`.
+
+        Local bookkeeping only — no round trip.  The engine stages each
+        touched shard's deferred state just before driving phase one, so
+        the flush piggybacks on the prepare message instead of paying its
+        own ``WritePlan``/``WriteField`` trips.
+        """
+        self._staged[txn] = (encode_images(images), encode_writes(writes))
+
     def prepare(self, txn: int, trace: Any = None) -> None:
-        self._call(Prepare(txn=txn, trace=trace))
+        images, writes = self._staged.pop(txn, ((), ()))
+        self._call(Prepare(txn=txn, images=images, writes=writes, trace=trace))
 
     def commit(self, txn: int, trace: Any = None) -> None:
         self._call(CommitTxn(txn=txn, trace=trace))
 
     def abort(self, txn: int, trace: Any = None) -> None:
+        self._staged.pop(txn, None)
         self._call(AbortTxn(txn=txn, trace=trace))
 
     # -- the lock-handle surface (ShardedLockFront duck type) ---------------------
@@ -665,6 +816,37 @@ class RemoteShardClient(ParticipantClient):
             self.on_rpc(max(0.0, time.perf_counter() - started - waited))
         return waited
 
+    def acquire_batch(self, txn: int,
+                      requests: "Sequence[tuple[Hashable, Hashable]]",
+                      timeout: "float | None | object" = USE_DEFAULT_TIMEOUT,
+                      trace: Any = None) -> list[float]:
+        """Vectored acquire: the whole batch in one round trip.
+
+        Returns the seconds each request spent blocked, aligned with
+        ``requests``.  The RPC deadline budgets one lock timeout per
+        request (the worker serves them sequentially) plus the usual
+        grace; a ``None`` lock timeout waits forever, as with
+        :meth:`acquire`.
+        """
+        effective = timeout
+        if effective is USE_DEFAULT_TIMEOUT:
+            effective = self._lock_timeout
+        rpc_timeout = (None if effective is None
+                       else max(float(effective), 0.0) * max(1, len(requests))
+                       + _ACQUIRE_GRACE)
+        started = time.perf_counter()
+        reply = self._call(
+            AcquireBatch(txn=txn,
+                         requests=[[encode_resource(resource),
+                                    encode_mode(mode)]
+                                   for resource, mode in requests],
+                         timeout=encode_timeout(timeout), trace=trace),
+            timeout=rpc_timeout, record=False)
+        waits = [float(waited) for waited in reply.value]
+        if self.on_rpc is not None:
+            self.on_rpc(max(0.0, time.perf_counter() - started - sum(waits)))
+        return waits
+
     def release_all(self, txn: int) -> None:
         """Release ``txn`` everywhere in the shard (dead workers tolerated:
         their locks died with them)."""
@@ -676,7 +858,7 @@ class RemoteShardClient(ParticipantClient):
     def collect_edges(self) -> dict[int, set[int]]:
         """The shard's waits-for edges (empty when the worker is gone)."""
         try:
-            payload = self._call(CollectEdges()).payload
+            payload = self._call(CollectEdges(), count=False).payload
         except ParticipantUnavailable:
             return {}
         return {int(waiter): {int(target) for target in targets}
@@ -688,14 +870,15 @@ class RemoteShardClient(ParticipantClient):
             return ()
         try:
             reply = self._call(Doom(victims=[[txn, list(cycle)]
-                                             for txn, cycle in victims.items()]))
+                                             for txn, cycle in victims.items()]),
+                               count=False)
         except ParticipantUnavailable:
             return ()
         return tuple(int(txn) for txn in (reply.value or ()))
 
     def clear_doom(self, txn: int) -> None:
         try:
-            self._call(ClearDoom(txn=txn))
+            self._call(ClearDoom(txn=txn), count=False)
         except ParticipantUnavailable:
             pass
 
@@ -703,17 +886,18 @@ class RemoteShardClient(ParticipantClient):
               mode: Hashable | None = None) -> bool:
         reply = self._call(Holds(
             txn=txn, resource=encode_resource(resource),
-            mode=None if mode is None else encode_mode(mode)))
+            mode=None if mode is None else encode_mode(mode)), count=False)
         return bool(reply.value)
 
     def waiting(self, resource: Hashable) -> tuple[tuple[int, Hashable], ...]:
         """Queued requests on ``resource`` in FIFO order (introspection)."""
-        queued = self._call(Waiting(resource=encode_resource(resource))).value
+        queued = self._call(Waiting(resource=encode_resource(resource)),
+                            count=False).value
         return tuple((int(txn), decode_mode(mode)) for txn, mode in queued)
 
     def doomed_transactions(self) -> frozenset[int]:
         try:
-            payload = self._call(Doomed()).payload
+            payload = self._call(Doomed(), count=False).payload
         except ParticipantUnavailable:
             return frozenset()
         return frozenset(int(txn) for txn in payload.get("doomed", ()))
@@ -730,17 +914,62 @@ class RemoteShardClient(ParticipantClient):
 
     def execute(self, txn: int, operation_request: Any,
                 images: Sequence[tuple[OID, Sequence[str]]],
+                writes: Sequence[tuple[OID, str, Any]] = (),
                 trace: Any = None,
                 ) -> tuple[list[Any], list[tuple[OID, dict[str, Any]]]]:
         """Ship a whole single-shard operation: log images, run, return
-        ``(results, writes applied)`` so the coordinator can mirror them."""
+        ``(results, writes applied)`` so the coordinator can mirror them.
+
+        ``writes`` flushes this transaction's buffered field writes for the
+        shard in the same message (deferred-write mode)."""
         reply = self._call(Execute(txn=txn,
                                    operation_json=encode_operation(
                                        operation_request),
                                    images=encode_images(images),
+                                   writes=encode_writes(writes),
                                    trace=trace))
-        writes = [(oid, dict(values)) for oid, values in reply.writes]
-        return list(reply.results), writes
+        applied = [(oid, dict(values)) for oid, values in reply.writes]
+        return list(reply.results), applied
+
+    def execute_fused(self, txn: int, operation_request: Any,
+                      images: Sequence[tuple[OID, Sequence[str]]],
+                      writes: Sequence[tuple[OID, str, Any]],
+                      timeout: "float | None | object" = USE_DEFAULT_TIMEOUT,
+                      *, expected_locks: int = 1,
+                      trace: Any = None) -> "FusedOutcome":
+        """Fused plan+execute: lock acquisition piggybacks on plan shipment.
+
+        The RPC deadline budgets one lock timeout per expected lock (the
+        coordinator's own plan size — the worker's replan can only grow
+        it, and growth past the budget surfaces as
+        :class:`~repro.errors.ParticipantUnavailable` rather than a hang).
+        """
+        effective = timeout
+        if effective is USE_DEFAULT_TIMEOUT:
+            effective = self._lock_timeout
+        rpc_timeout = (None if effective is None
+                       else max(float(effective), 0.0) * max(1, expected_locks)
+                       + _ACQUIRE_GRACE)
+        started = time.perf_counter()
+        reply = self._call(
+            ExecuteFused(txn=txn,
+                         operation_json=encode_operation(operation_request),
+                         images=encode_images(images),
+                         writes=encode_writes(writes),
+                         timeout=encode_timeout(timeout), trace=trace),
+            timeout=rpc_timeout, record=False)
+        resources = [(decode_resource(resource), decode_mode(mode),
+                      float(waited))
+                     for resource, mode, waited in reply.resources]
+        if self.on_rpc is not None:
+            blocked = sum(waited for _resource, _mode, waited in resources)
+            self.on_rpc(max(0.0, time.perf_counter() - started - blocked))
+        return FusedOutcome(
+            fallback=bool(reply.fallback),
+            results=list(reply.results),
+            writes=[(oid, dict(values)) for oid, values in reply.writes],
+            images=decode_images(reply.images),
+            resources=resources)
 
     def read_field(self, oid: OID, field_name: str) -> Any:
         """Read one field from the owning worker (cross-shard execution)."""
@@ -752,7 +981,7 @@ class RemoteShardClient(ParticipantClient):
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """The worker's own partition as ``{oid-string: field values}``."""
-        payload = self._call(Snapshot()).payload
+        payload = self._call(Snapshot(), count=False).payload
         return {name: dict(values)
                 for name, values in payload.get("instances", {}).items()}
 
@@ -761,13 +990,13 @@ class RemoteShardClient(ParticipantClient):
     def metrics_snapshot(self) -> dict[str, Any]:
         """The worker's local metrics document (counters + histograms +
         WAL bytes + deadlock victims + hot resources)."""
-        return dict(self._call(Metrics()).payload)
+        return dict(self._call(Metrics(), count=False).payload)
 
     def drain_spans(self) -> list[dict[str, Any]]:
         """Collect (and clear) the worker's recorded trace spans; a dead
         worker's spans are simply lost with it."""
         try:
-            payload = self._call(Spans()).payload
+            payload = self._call(Spans(), count=False).payload
         except ParticipantUnavailable:
             return []
         return [dict(span) for span in payload.get("spans", ())]

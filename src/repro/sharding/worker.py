@@ -114,12 +114,19 @@ FAULT_EXIT = 42
 #: the engine's spans cover from the coordinator side.
 _SPAN_NAMES: dict[type, str] = {
     rpc.Acquire: "shard-acquire",
+    rpc.AcquireBatch: "shard-acquire-batch",
     rpc.WritePlan: "shard-write-plan",
     rpc.Execute: "shard-execute",
+    rpc.ExecuteFused: "shard-execute-fused",
     rpc.Prepare: "shard-prepare",
     rpc.CommitTxn: "shard-commit",
     rpc.AbortTxn: "shard-abort",
 }
+
+#: Bound on worker-side plan-refresh rounds of a fused execute — the same
+#: guard the engine's ``_acquire_plan`` applies, for the same reason: each
+#: round only adds requests, so two rounds normally reach the fixpoint.
+_FUSED_REPLAN_ROUNDS = 16
 
 
 class ShardWorker:
@@ -207,6 +214,7 @@ class ShardWorker:
         self._handlers: dict[type, Callable[[Any], Any]] = {
             rpc.Hello: self._hello,
             rpc.Acquire: self._acquire,
+            rpc.AcquireBatch: self._acquire_batch,
             rpc.ReleaseAll: self._release_all,
             rpc.CollectEdges: self._collect_edges,
             rpc.Doom: self._doom,
@@ -216,6 +224,7 @@ class ShardWorker:
             rpc.Doomed: self._doomed,
             rpc.WritePlan: self._write_plan,
             rpc.Execute: self._execute,
+            rpc.ExecuteFused: self._execute_fused,
             rpc.ReadField: self._read_field,
             rpc.WriteField: self._write_field,
             rpc.Prepare: self._prepare,
@@ -454,6 +463,34 @@ class ShardWorker:
         self._metrics.record_requests(1, waited)
         return rpc.Waited(waited=waited)
 
+    def _acquire_one_local(self, txn: int, resource: Any, mode: Any,
+                           timeout: Any) -> float:
+        """One local blocking acquire with the per-request metrics the
+        single-``Acquire`` handler records, shared by the batched paths."""
+        try:
+            waited = self._locks.acquire(txn, resource, mode, timeout)
+        except LockTimeoutError as error:
+            self._metrics.record_timeout()
+            self._metrics.record_requests(1, error.waited)
+            raise
+        except DeadlockError as error:
+            self._metrics.record_requests(1, error.waited)
+            raise
+        self._metrics.record_requests(1, waited)
+        return waited
+
+    def _acquire_batch(self, request: rpc.AcquireBatch) -> rpc.Value:
+        # One message, N acquires, in order.  A mid-batch deadlock/timeout
+        # propagates as the typed error; locks granted earlier in the batch
+        # stay held for the coordinator's abort to release (strict 2PL).
+        timeout = rpc.decode_timeout(request.timeout)
+        waits = []
+        for resource, mode in request.requests:
+            waits.append(self._acquire_one_local(
+                request.txn, rpc.decode_resource(resource),
+                rpc.decode_mode(mode), timeout))
+        return rpc.Value(value=waits)
+
     def _release_all(self, request: rpc.ReleaseAll) -> rpc.Ok:
         self._locks.release_all(request.txn)
         return rpc.Ok()
@@ -496,32 +533,51 @@ class ShardWorker:
                 target.add((oid, field))
 
     def _write_plan(self, request: rpc.WritePlan) -> rpc.Ok:
-        images = tuple(rpc.decode_images(request.images))
-        for oid, fields in images:
-            self._recovery.log_before_image(request.txn, oid, fields)
-        self._note_images(request.txn, images)
+        self._log_images(request.txn, request.images)
         return rpc.Ok()
 
-    def _execute(self, request: rpc.Execute) -> rpc.Executed:
-        # Before-images first — the write-ahead rule, same ordering the
-        # in-process engine's perform() follows.
-        images = tuple(rpc.decode_images(request.images))
+    def _log_images(self, txn: int, wire_images: Any) -> tuple:
+        """Log shipped before-images (undo + WAL write-through) for ``txn``."""
+        images = tuple(rpc.decode_images(wire_images))
         for oid, fields in images:
-            self._recovery.log_before_image(request.txn, oid, fields)
-        self._note_images(request.txn, images)
-        call = request_from_wire(json.loads(request.operation_json))
-        operation = operation_from_request(call)
+            self._recovery.log_before_image(txn, oid, fields)
+        self._note_images(txn, images)
+        return images
+
+    def _apply_writes(self, txn: int, wire_writes: Any) -> None:
+        """Apply buffered field writes flushed by the coordinator.
+
+        Callers log the covering images first — the write-ahead rule holds
+        for flushed writes exactly as for executed ones.  Under
+        ``REPRO_SANITIZE`` every flushed write must fall inside the shipped
+        image set (S3); the lock-coverage check stays coordinator-side,
+        because the covering lock may be a hierarchical class lock homed on
+        a different shard and so invisible to this worker's lock manager.
+        """
+        if not wire_writes:
+            return
+        writes = rpc.decode_writes(wire_writes)
+        store: Any = self._store
+        if self._sanitize:
+            store = WorkerStoreGuard(
+                self._store, locks=self._locks, txn=txn,
+                allowed_writes=frozenset(self._sanitize_images.get(txn, ())),
+                require_local_locks=False)
+        for oid, field, value in writes:
+            store.write_field(oid, field, value)
+
+    def _run_operation(self, txn: int, operation: Any) -> tuple[list, list]:
+        """Execute one operation on this partition; returns results and the
+        ``[oid, {field: value}]`` writes it applied (for mirroring)."""
         trace = ExecutionTrace()
         if self._sanitize:
             guard = WorkerStoreGuard(
-                self._store, locks=self._locks, txn=request.txn,
-                allowed_writes=frozenset(
-                    self._sanitize_images.get(request.txn, ())))
+                self._store, locks=self._locks, txn=txn,
+                allowed_writes=frozenset(self._sanitize_images.get(txn, ())))
             interpreter = Interpreter(guard)
         else:
             interpreter = self._interpreter
-        results = self._protocol.execute(operation, interpreter,
-                                         trace=trace)
+        results = self._protocol.execute(operation, interpreter, trace=trace)
         written: dict[OID, dict[str, Any]] = {}
         for event in trace.field_accesses:
             if event.mode is AccessMode.WRITE:
@@ -530,7 +586,80 @@ class ShardWorker:
         for oid, fields in written.items():
             instance = self._store.get(oid)
             writes.append([oid, {name: instance.get(name) for name in fields}])
+        return results, writes
+
+    def _execute(self, request: rpc.Execute) -> rpc.Executed:
+        # Before-images first — the write-ahead rule, same ordering the
+        # in-process engine's perform() follows.  Flushed buffered writes
+        # (covered by those images) apply before the operation runs, so the
+        # method bodies see this transaction's earlier cross-shard writes.
+        self._log_images(request.txn, request.images)
+        self._apply_writes(request.txn, request.writes)
+        call = request_from_wire(json.loads(request.operation_json))
+        operation = operation_from_request(call)
+        results, writes = self._run_operation(request.txn, operation)
         return rpc.Executed(results=results, writes=writes)
+
+    def _execute_fused(self, request: rpc.ExecuteFused) -> rpc.FusedDone:
+        """Fused plan+execute: plan, lock, replan, log and run — all here.
+
+        The coordinator only verified its *initial* plan routes to this
+        shard; data may shift while locks are awaited, so every refreshed
+        plan is re-checked and an escape answers a fallback reply instead
+        of touching off-shard state.
+        """
+        txn = request.txn
+        self._log_images(txn, request.images)
+        self._apply_writes(txn, request.writes)
+        call = request_from_wire(json.loads(request.operation_json))
+        operation = operation_from_request(call)
+        timeout = rpc.decode_timeout(request.timeout)
+        acquired: dict[tuple[Any, Any], float] = {}
+
+        def fallback() -> rpc.FusedDone:
+            return rpc.FusedDone(fallback=True,
+                                 resources=self._encode_acquired(acquired))
+
+        plan = self._protocol.plan(operation)
+        final = None
+        for _ in range(_FUSED_REPLAN_ROUNDS):
+            if any(self._router.shard_of_oid(oid) != self.shard_id
+                   for oid, _method in plan.receivers):
+                return fallback()
+            for lock_request in plan.requests:
+                key = (lock_request.resource, lock_request.mode)
+                if key in acquired:
+                    continue
+                if self._router.shard_of_resource(
+                        lock_request.resource) != self.shard_id:
+                    return fallback()
+                acquired[key] = self._acquire_one_local(
+                    txn, lock_request.resource, lock_request.mode, timeout)
+            refreshed = self._protocol.plan(operation)
+            if all((r.resource, r.mode) in acquired
+                   for r in refreshed.requests):
+                final = refreshed
+                break
+            plan = refreshed
+        if final is None:
+            raise ReproError(
+                f"fused lock plan of {operation!r} did not converge within "
+                f"{_FUSED_REPLAN_ROUNDS} refresh rounds")
+        # Before-images computed *under the held locks* — the coordinator
+        # could not have known them when it shipped the operation.
+        projections = tuple(self._protocol.undo_projections(final))
+        for oid, fields in projections:
+            self._recovery.log_before_image(txn, oid, fields)
+        self._note_images(txn, projections)
+        results, writes = self._run_operation(txn, operation)
+        return rpc.FusedDone(results=results, writes=writes,
+                             images=rpc.encode_images(projections),
+                             resources=self._encode_acquired(acquired))
+
+    @staticmethod
+    def _encode_acquired(acquired: "dict[tuple[Any, Any], float]") -> list:
+        return [[rpc.encode_resource(resource), rpc.encode_mode(mode), waited]
+                for (resource, mode), waited in acquired.items()]
 
     def _read_field(self, request: rpc.ReadField) -> rpc.Value:
         return rpc.Value(value=self._store.read_field(request.oid,
@@ -541,6 +670,12 @@ class ShardWorker:
         return rpc.Ok()
 
     def _prepare(self, request: rpc.Prepare):
+        # Piggybacked deferred state first: log the remaining before-images,
+        # apply the buffered writes they cover (write-ahead preserved), and
+        # only then vote — the redo images the prepare then logs read the
+        # final values these writes just installed.
+        self._log_images(request.txn, request.images)
+        self._apply_writes(request.txn, request.writes)
         action, self._fault_action = self._fault_action, None
         if action == "exit_before_prepare_reply":
             # The durable yes-vote exists (redo images + PREPARED marker,

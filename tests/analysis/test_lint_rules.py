@@ -229,6 +229,71 @@ def now():
     assert lint_paths([tree]) == []
 
 
+def test_l7_fires_on_per_operation_round_trips_in_a_loop(tmp_path):
+    tree = write_tree(tmp_path, {"repro/api/client.py": '''
+from repro.api.wire import recv_frame, send_frame
+
+def request_each(sock, messages):
+    replies = []
+    for message in messages:
+        send_frame(sock, message)
+        replies.append(recv_frame(sock))
+    return replies
+'''})
+    findings = lint_paths([tree])
+    assert codes_of(findings) == ["L7", "L7"]
+    assert "round trip" in findings[0].message
+
+
+def test_l7_fires_on_raw_socket_calls_in_a_while_loop(tmp_path):
+    tree = write_tree(tmp_path, {"repro/sharding/rpc.py": '''
+def drain(sock):
+    while True:
+        sock.sendall(b"ping")
+        if not sock.recv(4):
+            return
+'''})
+    findings = lint_paths([tree])
+    assert codes_of(findings) == ["L7", "L7"]
+
+
+def test_l7_allows_single_round_trips_and_the_batch_codec(tmp_path):
+    tree = write_tree(tmp_path, {
+        # One send/recv pair outside any loop: the normal request path.
+        "repro/api/client.py": '''
+from repro.api.wire import recv_frame, send_frame
+
+def request(sock, message):
+    send_frame(sock, message)
+    return recv_frame(sock)
+''',
+        # The codec itself loops over frames — out of scope by module.
+        "repro/api/wire.py": '''
+def recv_frames(sock, count):
+    documents = []
+    for _ in range(count):
+        chunk = sock.recv(65536)
+        documents.append(chunk)
+    return documents
+''',
+    })
+    assert lint_paths([tree]) == []
+
+
+def test_l7_pragma_permits_a_deliberate_per_iteration_exchange(tmp_path):
+    tree = write_tree(tmp_path, {"repro/api/client.py": '''
+from repro.api.wire import recv_frame, send_frame
+
+def poll(sock, message):
+    while True:
+        send_frame(sock, message)  # repro-lint: disable=L7
+        reply = recv_frame(sock)  # repro-lint: disable=L7
+        if reply is not None:
+            return reply
+'''})
+    assert lint_paths([tree]) == []
+
+
 # -- pragmas ------------------------------------------------------------------
 
 

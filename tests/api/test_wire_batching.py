@@ -1,0 +1,273 @@
+"""The batched wire paths: multi-command frames, pipelined replies, programs.
+
+Four behaviours the round-trip elimination must not buy at the price of
+correctness:
+
+* pipelined replies stay ordered (and keep flowing) when a command in the
+  middle of the pipeline blocks on a lock;
+* an :class:`~repro.api.messages.Overloaded` answer mid-pipeline is a typed
+  reply in its slot — the client never hangs on a refused Begin's
+  dependents;
+* a malformed command inside a :class:`~repro.api.messages.Batch` is
+  rejected in its own slot with its stable error code while the rest of
+  the batch still runs;
+* a :class:`~repro.api.messages.RunProgram` commits a whole transaction in
+  one reply frame, and its server-side retries carry the first
+  incarnation's wait-die origin — the regression test for retry starvation
+  over the wire.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api.client import connect
+from repro.api.messages import (
+    Abort,
+    Batch,
+    Begin,
+    BeginReply,
+    Call,
+    Commit,
+    CommitReply,
+    ErrorReply,
+    Overloaded,
+    ResultReply,
+)
+from repro.api.server import ApiServer
+from repro.engine import Engine
+from repro.errors import LockTimeoutError
+from repro.objects import ObjectStore
+from repro.txn.operations import MethodCall
+from repro.txn.protocols import TAVProtocol
+
+
+@pytest.fixture
+def served(banking, banking_compiled):
+    """A server over a two-account store, with its engine and store."""
+    store = ObjectStore(banking)
+    store.create("Account", balance=100.0, owner="ada", active=True)
+    store.create("Account", balance=100.0, owner="grace", active=True)
+    with Engine(TAVProtocol(banking_compiled, store),
+                detection_interval=0.005) as engine:
+        with ApiServer(engine) as server:
+            yield server, engine, store
+
+
+# -- pipelining ----------------------------------------------------------------
+
+
+def test_batch_frame_commits_a_whole_transaction(served):
+    server, engine, store = served
+    oid = store.extent("Account")[0]
+    with connect(server.address) as connection:
+        begin, = connection.batch([Begin(label="batched")])
+        assert isinstance(begin, BeginReply)
+        txn = begin.txn
+        result, commit = connection.batch([
+            Call(txn=txn, oid=oid, method="deposit", arguments=(25.0,)),
+            Commit(txn=txn),
+        ])
+    assert isinstance(result, ResultReply)
+    assert isinstance(commit, CommitReply)
+    assert store.read_field(oid, "balance") == 125.0
+
+
+def test_pipelined_replies_stay_ordered_under_a_slow_command(served):
+    server, engine, store = served
+    slow_oid, fast_oid = store.extent("Account")
+    holder = engine.begin(label="holder")
+    engine.perform(holder.transaction,
+                   MethodCall(oid=slow_oid, method="deposit",
+                              arguments=(1.0,)))
+
+    def release_later() -> None:
+        time.sleep(0.3)
+        engine.commit(holder.transaction)
+
+    releaser = threading.Thread(target=release_later, daemon=True,
+                                name="releaser")
+    connection = connect(server.address)
+    try:
+        begin = connection.request(Begin(label="pipelined"))
+        txn = begin.txn
+        releaser.start()
+        started = time.perf_counter()
+        # The middle command blocks behind the holder's lock; the frames
+        # after it are already on the server, and their replies must come
+        # back in order once the lock frees — not hang, not reorder.
+        replies = connection.request_many([
+            Call(txn=txn, oid=slow_oid, method="deposit", arguments=(2.0,)),
+            Call(txn=txn, oid=fast_oid, method="deposit", arguments=(3.0,)),
+            Commit(txn=txn),
+        ])
+        elapsed = time.perf_counter() - started
+    finally:
+        connection.close()
+        releaser.join(timeout=5.0)
+    assert [type(reply) for reply in replies] \
+        == [ResultReply, ResultReply, CommitReply]
+    assert all(getattr(reply, "txn", txn) == txn for reply in replies)
+    assert elapsed >= 0.2  # the pipeline really did wait mid-flight
+    assert store.read_field(slow_oid, "balance") == 103.0
+    assert store.read_field(fast_oid, "balance") == 103.0
+
+
+def test_overloaded_mid_pipeline_is_typed_and_never_hangs(banking,
+                                                          banking_compiled):
+    store = ObjectStore(banking)
+    store.create("Account", balance=100.0, owner="ada", active=True)
+    oid = store.extent("Account")[0]
+    from repro.api.admission import AdmissionController
+
+    admission = AdmissionController(1, max_queue=0, queue_timeout=0.05)
+    with Engine(TAVProtocol(banking_compiled, store)) as engine:
+        with ApiServer(engine, admission=admission) as server:
+            hogging = connect(server.address)
+            pipelined = connect(server.address)
+            try:
+                hog = hogging.request(Begin(label="hog"))
+                # Begin is refused at the door; the dependent commands must
+                # each come back as typed replies in their slots — a hang
+                # here is exactly the failure mode this path guards.
+                replies = pipelined.request_many([
+                    Begin(label="refused"),
+                    Call(txn=999_999, oid=oid, method="deposit",
+                         arguments=(1.0,)),
+                    Commit(txn=999_999),
+                ])
+                assert isinstance(replies[0], Overloaded)
+                assert isinstance(replies[1], ErrorReply)
+                assert isinstance(replies[2], ErrorReply)
+                assert replies[1].code == "TRANSACTION"
+                assert replies[2].code == "TRANSACTION"
+                hogging.request(Abort(txn=hog.txn))
+            finally:
+                pipelined.close()
+                hogging.close()
+
+
+# -- batch partial reject ------------------------------------------------------
+
+
+def test_malformed_batch_member_rejects_in_its_slot(served):
+    server, engine, store = served
+    oid = store.extent("Account")[0]
+    with connect(server.address) as connection:
+        begin = connection.request(Begin(label="partial"))
+        txn = begin.txn
+        reply = connection.request(Batch(commands=(
+            {"type": "call", "txn": txn, "oid": {"$oid": [
+                "Account", int(str(oid).rsplit("#", 1)[1])]},
+             "method": "deposit", "arguments": [5.0]},
+            {"type": "no_such_command"},
+            {"type": "batch", "commands": []},  # nesting is refused
+            {"type": "commit", "txn": txn},
+        )))
+        documents = [dict(document) for document in reply.replies]
+    assert documents[0]["type"] == "result"
+    assert documents[1]["type"] == "error"
+    assert documents[1]["code"] == "PROTOCOL"
+    assert documents[2]["type"] == "error"
+    assert documents[2]["code"] == "PROTOCOL"
+    assert documents[3]["type"] == "committed"
+    assert store.read_field(oid, "balance") == 105.0
+
+
+# -- the program path ----------------------------------------------------------
+
+
+def test_program_commits_in_one_reply_frame(served):
+    server, engine, store = served
+    first, second = store.extent("Account")
+    frames_before = engine.metrics.frames_sent
+    with connect(server.address) as connection:
+        reply = connection.run_program(
+            [MethodCall(oid=first, method="withdraw", arguments=(10.0,)),
+             MethodCall(oid=second, method="deposit", arguments=(10.0,))],
+            label="program-transfer")
+        frames_for_program = engine.metrics.frames_sent - frames_before
+    assert reply.retries == 0
+    assert [list(result) for result in reply.results] == [[None], [None]]
+    assert frames_for_program == 1  # the whole transaction, one round trip
+    assert store.read_field(first, "balance") == 90.0
+    assert store.read_field(second, "balance") == 110.0
+    assert engine.commit_log[-1][1] == "program-transfer"
+
+
+def test_program_retries_carry_the_origin_across_incarnations(
+        banking, banking_compiled):
+    """Server-side retry keeps wait-die seniority: every re-begun
+    incarnation passes the first incarnation's txn id as its origin, so a
+    long program cannot be starved by younger transactions — the same
+    invariant the client-side runner upholds, now over one round trip."""
+    store = ObjectStore(banking)
+    store.create("Account", balance=100.0, owner="ada", active=True)
+    oid = store.extent("Account")[0]
+    with Engine(TAVProtocol(banking_compiled, store),
+                default_lock_timeout=0.05) as engine:
+        begins: list[tuple[int, int | None]] = []
+        original_begin = engine.begin
+
+        def spying_begin(*args, **kwargs):
+            session = original_begin(*args, **kwargs)
+            begins.append((session.txn_id, kwargs.get("origin")))
+            return session
+
+        engine.begin = spying_begin
+        with ApiServer(engine) as server:
+            holder = original_begin(label="holder")
+            engine.perform(holder.transaction,
+                           MethodCall(oid=oid, method="deposit",
+                                      arguments=(1.0,)))
+
+            def release_later() -> None:
+                time.sleep(0.25)
+                engine.commit(holder.transaction)
+
+            releaser = threading.Thread(target=release_later, daemon=True,
+                                        name="releaser")
+            releaser.start()
+            with connect(server.address) as connection:
+                reply = connection.run_program(
+                    [MethodCall(oid=oid, method="deposit",
+                                arguments=(5.0,))],
+                    label="stubborn", max_retries=50)
+            releaser.join(timeout=5.0)
+        program_begins = [(txn, origin) for txn, origin in begins
+                          if txn != holder.txn_id]
+        assert reply.retries >= 1  # it really was beaten to the lock
+        assert len(program_begins) == reply.retries + 1
+        first_txn, first_origin = program_begins[0]
+        assert first_origin is None
+        # Every retry incarnation carried the first incarnation's identity.
+        assert all(origin == first_txn
+                   for _, origin in program_begins[1:])
+        assert reply.txn == program_begins[-1][0]
+    assert store.read_field(oid, "balance") == 106.0
+
+
+def test_program_retries_exhaust_as_a_typed_error(banking, banking_compiled):
+    store = ObjectStore(banking)
+    store.create("Account", balance=100.0, owner="ada", active=True)
+    oid = store.extent("Account")[0]
+    with Engine(TAVProtocol(banking_compiled, store),
+                default_lock_timeout=0.05) as engine:
+        with ApiServer(engine) as server:
+            holder = engine.begin(label="holder")
+            engine.perform(holder.transaction,
+                           MethodCall(oid=oid, method="deposit",
+                                      arguments=(1.0,)))
+            try:
+                with connect(server.address) as connection:
+                    with pytest.raises(LockTimeoutError):
+                        connection.run_program(
+                            [MethodCall(oid=oid, method="deposit",
+                                        arguments=(5.0,))],
+                            max_retries=1)
+            finally:
+                engine.abort(holder.transaction)
+    assert store.read_field(oid, "balance") == 100.0

@@ -31,7 +31,7 @@ INSTANCES = 4
 SEED = 11
 
 
-def build_traced_worker_engine(**tracer_options):
+def build_traced_worker_engine(vectored_rpc: bool = True, **tracer_options):
     schema = banking_schema()
     compiled = compile_schema(schema)
     router = HashShardRouter(2)
@@ -39,6 +39,7 @@ def build_traced_worker_engine(**tracer_options):
                            store=ShardedObjectStore(schema, router))
     protocol = PROTOCOLS["tav"](compiled, store)
     engine = Engine(protocol, shard_workers=2, default_lock_timeout=5.0,
+                    vectored_rpc=vectored_rpc,
                     tracer=Tracer(**tracer_options),
                     worker_options={"schema": "banking",
                                     "instances": INSTANCES,
@@ -62,55 +63,69 @@ def traced_engine():
         engine.close()
 
 
-def test_cross_shard_commit_exports_one_connected_trace(traced_engine,
-                                                        tmp_path):
-    engine, store = traced_engine
-    a, b = split_accounts(store)
-    connection = InProcessConnection(engine)
-    session = connection.begin(label="transfer")
-    session.call(a, "withdraw", 10.0)
-    session.call(b, "deposit", 10.0)
-    session.commit()
+@pytest.mark.parametrize("vectored", [False, True],
+                         ids=["classic", "vectored"])
+def test_cross_shard_commit_exports_one_connected_trace(vectored, tmp_path):
+    engine, store = build_traced_worker_engine(vectored_rpc=vectored)
+    try:
+        a, b = split_accounts(store)
+        connection = InProcessConnection(engine)
+        session = connection.begin(label="transfer")
+        session.call(a, "withdraw", 10.0)
+        session.call(b, "deposit", 10.0)
+        session.commit()
 
-    spans = engine.collect_trace()
-    assert spans
+        spans = engine.collect_trace()
+        assert spans
 
-    # One trace, unique span ids, every parent resolves: connected.
-    trace_ids = {span.trace_id for span in spans}
-    assert len(trace_ids) == 1
-    identifiers = [span.span_id for span in spans]
-    assert len(identifiers) == len(set(identifiers))
-    known = set(identifiers)
-    orphans = [span.name for span in spans
-               if span.parent is not None and span.parent not in known]
-    assert orphans == []
-    roots = [span for span in spans if span.parent is None]
-    assert [root.name for root in roots] == ["txn"]
+        # One trace, unique span ids, every parent resolves: connected.
+        trace_ids = {span.trace_id for span in spans}
+        assert len(trace_ids) == 1
+        identifiers = [span.span_id for span in spans]
+        assert len(identifiers) == len(set(identifiers))
+        known = set(identifiers)
+        orphans = [span.name for span in spans
+                   if span.parent is not None and span.parent not in known]
+        assert orphans == []
+        roots = [span for span in spans if span.parent is None]
+        assert [root.name for root in roots] == ["txn"]
 
-    # The full lifecycle is covered, engine side and worker side.
-    names = {span.name for span in spans}
-    assert {"txn", "commit", "lock", "decision-barrier", "phase-two",
-            "lock-release", "prepare:shard0", "prepare:shard1",
-            "api:call", "api:commit"} <= names
-    assert any(name.startswith("execute:") for name in names)
-    assert {"shard-prepare", "shard-commit"} <= names
+        # The full lifecycle is covered, engine side and worker side.
+        names = {span.name for span in spans}
+        assert {"txn", "commit", "decision-barrier", "phase-two",
+                "lock-release", "prepare:shard0", "prepare:shard1",
+                "api:call", "api:commit"} <= names
+        assert any(name.startswith("execute:") for name in names)
+        assert {"shard-prepare", "shard-commit"} <= names
+        if vectored:
+            # The single-shard withdraw fuses — plan, locks and execution
+            # ride one worker trip — and the cross-shard deposit ships its
+            # whole lock round as one batch.
+            assert "execute-fused:withdraw" in names
+            assert "lock-batch" in names
+        else:
+            assert "lock" in names
 
-    # The tree crosses process boundaries: engine plus two workers.
-    assert len({span.pid for span in spans}) == 3
+        # The tree crosses process boundaries: engine plus two workers.
+        assert len({span.pid for span in spans}) == 3
 
-    # Lock spans report how long the acquire actually waited.
-    lock_spans = [span for span in spans if span.name == "lock"]
-    assert lock_spans
-    assert all("waited_ms" in span.args for span in lock_spans)
+        # Lock spans report how long the acquire actually waited —
+        # per request on the classic wire, per batch on the vectored one.
+        lock_spans = [span for span in spans
+                      if span.name in ("lock", "lock-batch")]
+        assert lock_spans
+        assert all("waited_ms" in span.args for span in lock_spans)
 
-    # And the whole thing lands on disk as parsable Chrome-trace JSON.
-    path = tmp_path / "trace.json"
-    from repro.obs.tracing import write_chrome_trace
+        # And the whole thing lands on disk as parsable Chrome-trace JSON.
+        path = tmp_path / "trace.json"
+        from repro.obs.tracing import write_chrome_trace
 
-    assert write_chrome_trace(path, spans) == len(spans)
-    document = json.loads(path.read_text())
-    assert document["traceEvents"]
-    assert all(event["ph"] == "X" for event in document["traceEvents"])
+        assert write_chrome_trace(path, spans) == len(spans)
+        document = json.loads(path.read_text())
+        assert document["traceEvents"]
+        assert all(event["ph"] == "X" for event in document["traceEvents"])
+    finally:
+        engine.close()
 
 
 def test_client_supplied_context_parents_the_root_span(traced_engine):
