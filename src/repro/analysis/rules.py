@@ -300,17 +300,31 @@ class DataPlaneWriteRule(Rule):
     #:   runs ``_log_images`` over the piggybacked before-images first,
     #:   so the write-ahead order holds (and under ``REPRO_SANITIZE`` the
     #:   same method routes through ``WorkerStoreGuard``, which checks
-    #:   exactly that).
+    #:   exactly that);
+    #: * ``StandbyReplicator._restore_instance`` / ``_apply_record`` /
+    #:   ``reset`` — standby replay: the replica store is rebuilt from
+    #:   shipped checkpoints and WAL images whose write-ahead order the
+    #:   *primary* already enforced, and every frame is appended to the
+    #:   standby's own log before it is applied (rule L8 pins the applier
+    #:   to exactly these replay/recovery call sites);
+    #: * ``Engine._resync_mirror`` — worker re-admission: overwrites the
+    #:   planning mirror's partition from the promoted/recovered worker's
+    #:   snapshot, the same mirror-echo relationship ``_mirror_writes``
+    #:   maintains per transaction.
     ALLOWLIST = frozenset({
         ("repro.sharding.store", "*"),
         ("repro.engine.engine", "Engine._mirror_writes"),
         ("repro.engine.engine", "_WorkerStoreFront.write_field"),
         ("repro.engine.engine", "Engine.create_instance"),
         ("repro.engine.engine", "Engine.delete_instance"),
+        ("repro.engine.engine", "Engine._resync_mirror"),
         ("repro.sharding.worker", "ShardWorker._recover_own_shard"),
         ("repro.sharding.worker", "ShardWorker._apply_image"),
         ("repro.sharding.worker", "ShardWorker._write_field"),
         ("repro.sharding.worker", "ShardWorker._apply_writes"),
+        ("repro.replication.standby", "StandbyReplicator._restore_instance"),
+        ("repro.replication.standby", "StandbyReplicator._apply_record"),
+        ("repro.replication.standby", "StandbyReplicator.reset"),
     })
 
     def _allowed(self, module_name: str, qualname: str) -> bool:
@@ -324,7 +338,8 @@ class DataPlaneWriteRule(Rule):
         return False
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
-        if not _in_package(module.name, "repro.engine", "repro.sharding"):
+        if not _in_package(module.name, "repro.engine", "repro.sharding",
+                           "repro.replication"):
             return
         tree = module.tree
         assert isinstance(tree, ast.Module)
@@ -536,6 +551,70 @@ class RoundTripLoopRule(Rule):
         return None
 
 
+class ReplayApplierRule(Rule):
+    """L8: image appliers run only from replay/recovery/promotion code.
+
+    ``ShardWorker._apply_image`` and ``StandbyReplicator._apply_record``
+    install WAL images directly into a store, with no locks, no undo
+    tracking and no write-ahead logging of their own — that is sound
+    precisely because their callers replay a log whose write-ahead order
+    was already enforced when the records were produced (crash recovery,
+    promotion, standby replay).  A call from anywhere else — a data-plane
+    handler, the shipper, an engine path — would smuggle an unlogged,
+    unlocked store write behind rule L3's allowlist.
+    """
+
+    code = "L8"
+    title = "image appliers called only from replay/recovery internals"
+    historical = ("PR 9's standby replay: the replicator's optimistic "
+                  "apply is an unlocked direct store write, safe only "
+                  "under replayed-log call sites; an applier call from the "
+                  "data plane would bypass undo and the write-ahead order "
+                  "while riding the recovery allowlist")
+
+    #: Attribute names of the direct image/record appliers.
+    _APPLIERS = frozenset({"_apply_image", "_apply_record"})
+
+    #: ``(module, qualname)`` call sites that are replay/recovery context.
+    #: The appliers' own definitions and private helpers are covered by the
+    #: qualname-prefix match (a method may call itself recursively).
+    ALLOWED = frozenset({
+        ("repro.sharding.worker", "ShardWorker._recover_own_shard"),
+        ("repro.sharding.worker", "ShardWorker._apply_image"),
+        ("repro.replication.standby", "StandbyReplicator.replay_existing"),
+        ("repro.replication.standby", "StandbyReplicator.apply_frames"),
+        ("repro.replication.standby", "StandbyReplicator.reset"),
+        ("repro.replication.standby", "StandbyReplicator._apply_record"),
+    })
+
+    def _allowed(self, module_name: str, qualname: str) -> bool:
+        for allowed_module, allowed_qualname in self.ALLOWED:
+            if module_name == allowed_module \
+                    and (qualname == allowed_qualname
+                         or qualname.startswith(allowed_qualname + ".")):
+                return True
+        return False
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not _in_package(module.name, "repro"):
+            return
+        tree = module.tree
+        assert isinstance(tree, ast.Module)
+        for qualname, node in _QualnameWalker().walk(tree):
+            if not isinstance(node, ast.Call) \
+                    or not isinstance(node.func, ast.Attribute) \
+                    or node.func.attr not in self._APPLIERS:
+                continue
+            if self._allowed(module.name, qualname):
+                continue
+            yield self._finding(
+                module, node,
+                f"{node.func.attr}() called from "
+                f"{qualname or '<module>'} — image appliers write the "
+                f"store unlocked and unlogged; only replay/recovery/"
+                f"promotion call sites may drive them")
+
+
 #: The rule set ``repro-lint`` runs, in report order.
 ALL_RULES: tuple[Rule, ...] = (
     ErrorRegistryRule(),
@@ -545,6 +624,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ThreadHygieneRule(),
     MonotonicOrderingRule(),
     RoundTripLoopRule(),
+    ReplayApplierRule(),
 )
 
 

@@ -129,6 +129,7 @@ class Engine:
                  durability: Durability | None = None,
                  shard_workers: int | None = None,
                  worker_options: Mapping[str, Any] | None = None,
+                 replicas: int = 0,
                  participant_timeout: float = DEFAULT_PARTICIPANT_TIMEOUT,
                  vectored_rpc: bool = True,
                  tracer: Tracer | None = None,
@@ -170,6 +171,21 @@ class Engine:
         self._workers: tuple[RemoteShardClient, ...] | None = None
         self._worker_processes: list[Any] = []
         self._durability = durability if durability is not None else Durability.off()
+        #: Hot-standby topology: ``replicas`` standby workers per shard,
+        #: each continuously replaying its primary's shipped WAL stream.
+        #: :meth:`failover` promotes one and re-admits it without restart.
+        self._replicas = int(replicas)
+        self._standbys: list[list[RemoteShardClient]] = []
+        self._failovers = 0
+        if self._replicas < 0:
+            raise ValueError(f"replicas must be >= 0, got {replicas}")
+        if self._replicas:
+            if shard_workers is None:
+                raise ValueError("standby replicas need shard worker mode "
+                                 "(pass shard_workers)")
+            if not self._durability.enabled:
+                raise ValueError("standby replicas replay the WAL stream; "
+                                 "run with durability lazy or fsync")
         self._wals: tuple[WriteAheadLog | None, ...] = (None,) * num_shards
         self._decision_log: DecisionLog | None = None
         self._checkpointer: CheckpointManager | None = None
@@ -347,17 +363,36 @@ class Engine:
         clients: list[RemoteShardClient] = []
         try:
             for shard_id in range(shard_workers):
+                # Standbys first: the primary's shipper wants their
+                # addresses at spawn time so streaming starts immediately.
+                standbys: list[RemoteShardClient] = []
+                for slot in range(self._replicas):
+                    process, address = worker_module.spawn(
+                        shard_id=shard_id, shards=shard_workers,
+                        role="standby", standby_slot=slot, **spawn_options)
+                    self._worker_processes.append(process)
+                    standbys.append(RemoteShardClient(
+                        shard_id, address,
+                        participant_timeout=participant_timeout,
+                        lock_timeout=spawn_options["lock_timeout"]))
+                self._standbys.append(standbys)
                 process, address = worker_module.spawn(
-                    shard_id=shard_id, shards=shard_workers, **spawn_options)
+                    shard_id=shard_id, shards=shard_workers,
+                    ship_to=[standby.address for standby in standbys],
+                    **spawn_options)
                 self._worker_processes.append(process)
                 clients.append(RemoteShardClient(
                     shard_id, address,
                     participant_timeout=participant_timeout,
                     lock_timeout=spawn_options["lock_timeout"]))
-            for client in clients:
+            for client, role in ([(client, "primary") for client in clients]
+                                 + [(standby, "standby")
+                                    for shard in self._standbys
+                                    for standby in shard]):
                 answer = client.hello()
                 for key, expected in (("shard", client.shard_id),
                                       ("shards", shard_workers),
+                                      ("role", role),
                                       ("protocol", spawn_options["protocol"]),
                                       ("schema", spawn_options["schema"]),
                                       ("instances", spawn_options["instances"]),
@@ -394,6 +429,11 @@ class Engine:
         for client in clients:
             client.shutdown()
             client.close()
+        for standbys in self._standbys:
+            for client in standbys:
+                client.shutdown()
+                client.close()
+        self._standbys.clear()
         for process in self._worker_processes:
             if process.poll() is None:
                 process.send_signal(signal_module.SIGTERM)
@@ -404,6 +444,99 @@ class Engine:
                 process.kill()
                 process.wait()
         self._worker_processes.clear()
+
+    # -- failover and re-admission ------------------------------------------------
+
+    def failover(self, shard_id: int) -> dict[str, Any]:
+        """Promote ``shard_id``'s standby and re-admit it as the primary.
+
+        The standby runs the same presumed-abort resolution crash recovery
+        uses — over its own replayed log, against the coordinator's durable
+        decision log, so every in-flight transaction the dead primary left
+        behind is redone (durable commit record) or undone (none) — then
+        flips to the primary role.  This *running* engine re-points the
+        shard's RPC client at it (coordinator, lock front and store front
+        all route through that one client object) and resyncs the planning
+        mirror from the promoted partition, so new work flows without an
+        engine restart; transactions that lost locks with the old primary
+        abort and retry through the usual machinery.
+
+        Returns the worker's promotion report (the recovery summary).
+
+        Raises:
+            TransactionError: not in worker mode, or no standby to promote.
+        """
+        self._ensure_open()
+        if self._workers is None:
+            raise TransactionError("failover requires shard worker mode")
+        if not 0 <= shard_id < len(self._workers):
+            raise ValueError(f"unknown shard {shard_id}")
+        standbys = (self._standbys[shard_id]
+                    if shard_id < len(self._standbys) else [])
+        if not standbys:
+            raise TransactionError(
+                f"shard {shard_id} has no standby to promote")
+        standby = standbys.pop(0)
+        try:
+            answer = standby.promote()
+            address = standby.address
+        finally:
+            standby.close()
+        self.readmit_worker(shard_id, address=address)
+        self._failovers += 1
+        return answer
+
+    def readmit_worker(self, shard_id: int,
+                       address: tuple[str, int] | None = None) -> dict[str, Any]:
+        """Re-admit a promoted or restarted worker into the running engine.
+
+        Retargets the shard's :class:`RemoteShardClient` when the worker
+        moved (``address``), verifies the hello handshake the same way the
+        original spawn did, and resyncs the planning mirror's partition
+        from the worker's snapshot so plans see the recovered values.
+        Returns the hello answer (which carries the recovery or promotion
+        report, when there is one).
+        """
+        self._ensure_open()
+        if self._workers is None:
+            raise TransactionError(
+                "worker re-admission requires shard worker mode")
+        client = self._workers[shard_id]
+        if address is not None:
+            client.retarget((str(address[0]), int(address[1])))
+        answer = client.hello()
+        for key, expected in (("shard", shard_id), ("role", "primary"),
+                              ("shards", len(self._workers))):
+            if answer.get(key) != expected:
+                raise ValueError(
+                    f"re-admitted worker for shard {shard_id} answered "
+                    f"{key}={answer.get(key)!r}, expected {expected!r}")
+        self._resync_mirror(shard_id, client.snapshot())
+        return answer
+
+    def _resync_mirror(self, shard_id: int,
+                       snapshot: Mapping[str, Mapping[str, Any]]) -> None:
+        """Overwrite the mirror's partition with the worker's ground truth.
+
+        The promoted (or recovered) partition is the authority; whatever
+        the mirror held for that shard — including writes of transactions
+        whose fate the failover changed — is replaced wholesale.
+        """
+        seen: set[OID] = set()
+        for oid_text, values in snapshot.items():
+            class_name, _, number = oid_text.partition("#")
+            oid = OID(class_name=class_name, number=int(number))
+            seen.add(oid)
+            if oid in self._store:
+                instance = self._store.get(oid)
+                for name, value in values.items():
+                    instance.set(name, value)
+            else:
+                self._store.restore_instance(oid, class_name, dict(values))
+        for instance in list(self._store):
+            if (instance.oid not in seen
+                    and self._router.shard_of_oid(instance.oid) == shard_id):
+                self._store.delete(instance.oid)
 
     def _touched_shards(self, txn: int) -> list[int]:
         """The shards ``txn`` locked or wrote on, sorted (2PC participant set).
@@ -1258,7 +1391,7 @@ class Engine:
                              for name, waits, wait_time
                              in payload.get("hot_resources", ())]
                 hot.extend(resources)
-                per_shard.append({
+                entry = {
                     "shard": shard_id,
                     "deadlock_victims": int(payload.get(
                         "deadlock_victims", victim_counts[shard_id])),
@@ -1268,10 +1401,33 @@ class Engine:
                          "wait_time": round(wait_time, 6)}
                         for name, waits, wait_time in resources],
                     "metrics": payload.get("metrics", {}),
+                }
+                if payload.get("role") is not None:
+                    entry["role"] = payload["role"]
+                # The primary's shipper view: per-standby lag (LSNs and
+                # seconds), stream health, frames shipped.
+                if payload.get("replication") is not None:
+                    entry["replication"] = payload["replication"]
+                per_shard.append(entry)
+        standby_health: list[dict[str, Any]] = []
+        for shard_id, standbys in enumerate(self._standbys):
+            for client in standbys:
+                try:
+                    payload = client.metrics_snapshot()
+                except ParticipantUnavailable:
+                    standby_health.append({"shard": shard_id,
+                                           "unreachable": True})
+                    continue
+                standby_health.append({
+                    "shard": shard_id,
+                    "standby": payload.get("standby"),
                 })
         hot.sort(key=lambda entry: entry[2], reverse=True)
         return {
             "shards": per_shard,
+            "replicas": self._replicas,
+            "failovers": self._failovers,
+            "standbys": standby_health,
             "hot_resources": [
                 {"resource": name, "waits": waits,
                  "wait_time": round(wait_time, 6)}
@@ -1305,6 +1461,25 @@ class Engine:
     def shard_clients(self) -> tuple[RemoteShardClient, ...] | None:
         """The per-shard RPC clients in worker mode (``None`` otherwise)."""
         return self._workers
+
+    @property
+    def standby_clients(self) -> tuple[tuple[RemoteShardClient, ...], ...]:
+        """Per-shard standby RPC clients (empty without replicas).
+
+        A promoted standby leaves this list — after a failover its client
+        is retargeted into :attr:`shard_clients` instead.
+        """
+        return tuple(tuple(standbys) for standbys in self._standbys)
+
+    @property
+    def replicas(self) -> int:
+        """Standby workers per shard this engine was built with."""
+        return self._replicas
+
+    @property
+    def failovers(self) -> int:
+        """How many standby promotions this engine has performed."""
+        return self._failovers
 
     def session_for(self, txn_id: int) -> Session | None:
         """The live session driving ``txn_id``, or ``None`` once finished.

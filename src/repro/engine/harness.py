@@ -125,6 +125,12 @@ class HarnessResult:
     #: Sanitizer violation count of a ``sanitize=True`` inproc run; ``None``
     #: when the sanitizer was off (or the engine ran in another process).
     sanitizer_violations: int | None = None
+    #: Hot standbys per shard the engine ran with (0 = no replication).
+    replicas: int = 0
+    #: End-of-run replication stream status, one entry per standby across
+    #: all shards (each carries ``shard`` plus the shipper's status keys:
+    #: lag in LSNs and seconds, health, frames shipped).
+    replication: tuple[dict[str, Any], ...] = ()
 
     @property
     def commits_per_second(self) -> float:
@@ -140,6 +146,11 @@ class HarnessResult:
                                "transport": self.transport,
                                "pipeline": "yes" if self.pipeline else "no",
                                "txns": self.transactions}
+        if self.replicas:
+            row["replicas"] = self.replicas
+            row["max_lag"] = max(
+                (entry.get("lag_records", 0) for entry in self.replication),
+                default=0)
         row.update(self.metrics.as_row())
         row["overloads"] = self.overloads
         row["serializable"] = ("-" if self.serializable is None
@@ -211,6 +222,7 @@ class ThroughputHarness:
             specs: Sequence[TransactionSpec] | None = None,
             verify: bool = True, shards: int = 1,
             shard_workers: int | None = None,
+            replicas: int = 0,
             router: ShardRouter | None = None,
             durability: Durability | str = "off",
             wal_dir: str | Path | None = None,
@@ -256,6 +268,9 @@ class ThroughputHarness:
         if shard_workers is not None and transport != "inproc":
             raise ValueError("--shard-workers drives the engine in this "
                              "process; combine it with the inproc transport")
+        if replicas and shard_workers is None:
+            raise ValueError("--replicas spawns hot standbys per shard "
+                             "worker; combine it with --shard-workers")
         if trace_path is not None and transport != "inproc":
             raise ValueError("--trace needs the engine (and its tracer) in "
                              "this process; combine it with the inproc "
@@ -267,7 +282,7 @@ class ThroughputHarness:
         if transport == "inproc":
             pieces = self._run_inproc(
                 protocol_class, specs, threads=threads, shards=shards,
-                shard_workers=shard_workers, router=router,
+                shard_workers=shard_workers, replicas=replicas, router=router,
                 durability=durability, wal_dir=wal_dir,
                 group_commit_ms=group_commit_ms,
                 admission=admission, max_retries=max_retries,
@@ -302,13 +317,16 @@ class ThroughputHarness:
                              serializable=serializable,
                              final_state=pieces["final_state"],
                              sanitizer_violations=pieces.get(
-                                 "sanitizer_violations"))
+                                 "sanitizer_violations"),
+                             replicas=replicas,
+                             replication=tuple(pieces.get("replication", ())))
 
     # -- the two transports -----------------------------------------------------
 
     def _run_inproc(self, protocol_class: type,
                     specs: Sequence[TransactionSpec], *, threads: int,
                     shards: int, shard_workers: int | None,
+                    replicas: int = 0,
                     router: ShardRouter | None,
                     durability: Durability | str,
                     wal_dir: str | Path | None,
@@ -352,6 +370,8 @@ class ThroughputHarness:
         if shard_workers is not None:
             engine_options = dict(engine_options)
             engine_options["shard_workers"] = shard_workers
+            if replicas:
+                engine_options["replicas"] = replicas
             engine_options.setdefault("worker_options", {
                 "schema": "banking",
                 "instances": self._instances_per_class,
@@ -384,6 +404,14 @@ class ThroughputHarness:
                 final_state = engine.store_state()
                 violations = (None if engine.sanitizer is None
                               else engine.sanitizer.violations)
+                # Steady-state replication lag, read while the cluster is
+                # still up: one entry per standby stream across all shards.
+                replication: list[dict[str, Any]] = []
+                if replicas:
+                    for entry in engine.stats()["shards"]:
+                        for stream in entry.get("replication") or ():
+                            replication.append(
+                                {"shard": entry["shard"], **stream})
                 if trace_path is not None:
                     engine.export_trace(trace_path)
         finally:
@@ -394,7 +422,8 @@ class ThroughputHarness:
                 "overloads": driven["overloads"],
                 "final_state": final_state,
                 "shards": shards, "durability": resolved.mode,
-                "sanitizer_violations": violations}
+                "sanitizer_violations": violations,
+                "replication": replication}
 
     def _run_socket(self, protocol_class: type,
                     specs: Sequence[TransactionSpec], *, threads: int,
@@ -706,6 +735,7 @@ def write_bench_json(path: str, results: Sequence[HarnessResult],
             "threads": arguments.threads,
             "shards": arguments.shards,
             "shard_workers": arguments.shard_workers,
+            "replicas": getattr(arguments, "replicas", 0),
             "group_commit_ms": arguments.group_commit_ms,
             "transactions": arguments.transactions,
             "operations": arguments.operations,
@@ -751,6 +781,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "routes locking/execution/2PC over participant "
                              "RPC) — the multi-core configuration; implies "
                              "--shards N")
+    parser.add_argument("--replicas", type=int, default=0, metavar="N",
+                        help="hot standbys per shard worker: each primary "
+                             "ships its WAL stream to N standby processes "
+                             "that replay it continuously (needs "
+                             "--shard-workers and --durability lazy/fsync; "
+                             "default: 0)")
     parser.add_argument("--transactions", type=int, default=400,
                         help="transactions in the workload (default: 400 — "
                              "long enough for a stable commits/sec reading)")
@@ -858,6 +894,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         if arguments.shards not in (1, arguments.shard_workers):
             parser.error(f"--shards {arguments.shards} disagrees with "
                          f"--shard-workers {arguments.shard_workers}")
+    if arguments.replicas:
+        if arguments.replicas < 0:
+            parser.error(f"--replicas must be >= 0, got {arguments.replicas}")
+        if arguments.shard_workers is None:
+            parser.error("--replicas spawns hot standbys per shard worker; "
+                         "combine it with --shard-workers")
+        if arguments.durability == "off":
+            parser.error("--replicas ships the WAL stream; combine it with "
+                         "--durability lazy or fsync")
 
     names = (list(PROTOCOLS) if arguments.protocols == "all"
              else [name.strip() for name in arguments.protocols.split(",")])
@@ -884,6 +929,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                              verify=not arguments.no_verify,
                              shards=arguments.shards,
                              shard_workers=arguments.shard_workers,
+                             replicas=arguments.replicas,
                              durability=arguments.durability,
                              wal_dir=arguments.wal_dir,
                              group_commit_ms=arguments.group_commit_ms,
@@ -900,6 +946,18 @@ def main(argv: Sequence[str] | None = None) -> int:
                                 if arguments.no_vectored_rpc else {}))
         results.append(result)
     print(format_throughput_table(results))
+    if arguments.replicas:
+        from repro.reporting import format_table
+
+        print("\nreplication streams (end of run):")
+        print(format_table(
+            [("protocol", "shard", "target", "healthy", "acked_lsn",
+              "last_lsn", "lag_records", "lag_seconds", "resets")]
+            + [(result.protocol, entry["shard"], entry["target"],
+                "yes" if entry["healthy"] else "NO", entry["acked_lsn"],
+                entry["last_lsn"], entry["lag_records"],
+                entry["lag_seconds"], entry["resets"])
+               for result in results for entry in result.replication]))
     if arguments.trace:
         print(f"\nChrome-trace JSON written to {arguments.trace} "
               "(load in chrome://tracing or Perfetto)")

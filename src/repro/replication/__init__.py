@@ -1,0 +1,28 @@
+"""Hot-standby replication: WAL shipping, replay, and shard failover.
+
+This package is the availability layer over the durability machinery of
+:mod:`repro.wal` and the multi-process sharding of :mod:`repro.sharding`:
+
+* :mod:`repro.replication.ship` — the primary-side
+  :class:`~repro.replication.ship.ReplicationShipper`, a background thread
+  that tails the shard's write-ahead log (LSN-stamped frames) and streams
+  every appended record to one or more standby workers over the existing
+  participant RPC wire;
+* :mod:`repro.replication.standby` — the standby-side
+  :class:`~repro.replication.standby.StandbyReplicator`, which continuously
+  replays the shipped stream into its own store *and* its own log, survives
+  torn tails and checkpoint truncations (rewrite generations), and leaves
+  behind exactly the checkpoint + log shape the existing presumed-abort
+  resolution needs at promotion time.
+
+Failover itself is the composition of pieces that already existed: promote
+= run per-participant recovery over the standby's replayed log against the
+coordinator's durable decision log; re-admit = point the engine's
+:class:`~repro.sharding.rpc.RemoteShardClient` at the promoted worker and
+resync the planning mirror from a shard snapshot.
+"""
+
+from repro.replication.ship import ReplicationShipper
+from repro.replication.standby import StandbyReplicator
+
+__all__ = ["ReplicationShipper", "StandbyReplicator"]

@@ -1,0 +1,278 @@
+"""The primary side of WAL shipping: tail the log, stream it to standbys.
+
+:class:`ReplicationShipper` is a background thread owned by a primary
+:class:`~repro.sharding.worker.ShardWorker`.  It rides the write-ahead
+log's ``on_append`` hook — every stamped record lands on an outbound queue
+in log order (the hook fires under the append mutex) — and drains that
+queue to each standby over the participant RPC wire, batched, so steady
+state costs one round trip per *batch*, not per record.
+
+The stream protocol is resume-first, rebase-when-lost:
+
+* a new or reconnecting target is asked ``repl_hello`` first.  If it is at
+  this primary's epoch, at the current rewrite generation, and not ahead of
+  the log, shipping resumes from its last valid LSN (the torn-tail resume
+  path — a standby that lost its tail simply reports an older LSN and the
+  missing frames ship again, idempotently);
+* otherwise the target gets ``repl_reset``: the partition snapshot plus
+  the surviving log, captured atomically under the WAL mutex, which rebases
+  the standby no matter what it missed;
+* a checkpoint truncating the log mid-stream bumps the WAL's rewrite
+  generation; the shipper notices (queued frames carry their generation)
+  and rebases rather than silently tailing a rewritten file.
+
+A dead standby never blocks the primary: shipping failures mark the target
+unhealthy (visible in the metrics RPC as replication lag + health) and the
+loop keeps retrying in the background while the data plane runs on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+from repro.errors import ParticipantUnavailable, ReproError
+from repro.wal.log import WriteAheadLog
+from repro.wal.records import WALRecord
+
+#: Frames per ``repl_frames`` round trip.  Big enough that catch-up after a
+#: stall amortises the RPC, small enough that one batch never approaches
+#: the frame codec's sanity bound.
+_BATCH = 512
+
+#: Seconds between idle wake-ups (retry cadence toward an unhealthy target).
+_POLL = 0.25
+
+
+class _Target:
+    """Per-standby stream state (only the shipper thread mutates it)."""
+
+    def __init__(self, client: Any) -> None:
+        self.client = client
+        self.synced = False
+        self.healthy = False
+        self.generation = -1
+        self.acked_lsn = 0
+        self.frames_shipped = 0
+        self.resets = 0
+        self.behind_since: float | None = None
+        self.last_error: str | None = None
+
+
+class ReplicationShipper:
+    """Streams one shard's stamped WAL frames to its standby workers."""
+
+    def __init__(self, *, shard_id: int, wal: WriteAheadLog, epoch: str,
+                 clients: Sequence[Any],
+                 snapshot: Callable[[], list]) -> None:
+        self.shard_id = shard_id
+        self._wal = wal
+        self._epoch = epoch
+        #: Captures the partition snapshot for a rebase; always called with
+        #: the WAL mutex held, so snapshot and log position cannot tear.
+        self._snapshot = snapshot
+        self._targets = [_Target(client) for client in clients]
+        self._cv = threading.Condition()
+        self._queue: list[tuple[int, int, WALRecord]] = []
+        self._stopping = False
+        self._thread: threading.Thread | None = None
+        self._status_mutex = threading.Lock()
+        self._status: list[dict[str, Any]] = [
+            self._target_status(target) for target in self._targets]
+
+    # -- wiring -------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Hook the WAL tail and start the shipping thread."""
+        self._wal.on_append = self._on_append
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True,
+            name=f"repro-repl-ship-{self.shard_id}")
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Unhook, stop the thread, close the standby connections."""
+        self._wal.on_append = None
+        with self._cv:
+            self._stopping = True
+            self._cv.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        for target in self._targets:
+            target.client.close()
+
+    def _on_append(self, lsn: int, record: WALRecord) -> None:
+        # Called under the WAL append mutex (an RLock, so reading the
+        # generation here is re-entrant); queue order is log order.
+        generation = self._wal.generation
+        with self._cv:
+            self._queue.append((generation, lsn, record))
+            self._cv.notify_all()
+
+    # -- the shipping loop --------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            with self._cv:
+                if not self._queue and not self._stopping:
+                    self._cv.wait(timeout=_POLL)
+                if self._stopping:
+                    # Final drain below, then exit.
+                    pass
+                batch = self._queue
+                self._queue = []
+                stopping = self._stopping
+            self._ship_round(batch)
+            if stopping:
+                return
+
+    def _ship_round(self, batch: "list[tuple[int, int, WALRecord]]") -> None:
+        for target in self._targets:
+            try:
+                self._ship_target(target, batch)
+                target.healthy = True
+                target.last_error = None
+            except (ParticipantUnavailable, ReproError) as error:
+                target.healthy = False
+                target.synced = False
+                target.last_error = str(error)
+        now = time.monotonic()
+        last_lsn = self._wal.last_lsn
+        for target in self._targets:
+            if target.synced and target.acked_lsn >= last_lsn:
+                target.behind_since = None
+            elif target.behind_since is None:
+                target.behind_since = now
+        with self._status_mutex:
+            self._status = [self._target_status(target)
+                            for target in self._targets]
+
+    def _ship_target(self, target: _Target,
+                     batch: "list[tuple[int, int, WALRecord]]") -> None:
+        if not target.synced:
+            self._sync_target(target)
+            # Whatever queued while the target was away is covered by the
+            # file tail; scan once so the resumed stream starts current.
+            self._catch_up(target)
+            return
+        # Fast path: the queued frames continue exactly where the target's
+        # acknowledgement left off, in its generation — ship them directly,
+        # no file scan.
+        usable = [(lsn, record) for generation, lsn, record in batch
+                  if generation == target.generation and lsn > target.acked_lsn]
+        contiguous = (usable
+                      and usable[0][0] == target.acked_lsn + 1
+                      and all(generation == target.generation
+                              for generation, lsn, _ in batch
+                              if lsn > target.acked_lsn))
+        if contiguous:
+            self._send_frames(target, usable)
+            return
+        if usable or batch:
+            # The queue skipped past this target (reconnect gap) or spans a
+            # rewrite: re-derive the tail from the file, atomically against
+            # the current generation.
+            self._catch_up(target)
+
+    def _sync_target(self, target: _Target) -> None:
+        """Handshake: resume from the standby's position or rebase it."""
+        position = target.client.repl_hello(self.shard_id, self._epoch)
+        reset_document = None
+        with self._wal.mutex:
+            generation = self._wal.generation
+            resumable = (bool(position.get("synced"))
+                         and int(position.get("generation", -1)) == generation
+                         and int(position.get("last_lsn", 0))
+                         <= self._wal.last_lsn)
+            if not resumable:
+                reset_document = self._capture_reset()
+        if resumable:
+            target.generation = generation
+            target.acked_lsn = int(position["last_lsn"])
+            target.synced = True
+        else:
+            self._send_reset(target, reset_document)
+
+    def _catch_up(self, target: _Target) -> None:
+        """Ship the file tail past the target's acknowledgement."""
+        while True:
+            reset_document = None
+            with self._wal.mutex:
+                generation = self._wal.generation
+                if generation != target.generation:
+                    reset_document = self._capture_reset()
+                else:
+                    frames = self._wal.read_from(target.acked_lsn + 1)
+            if reset_document is not None:
+                self._send_reset(target, reset_document)
+                continue
+            if not frames:
+                return
+            self._send_frames(target, frames)
+            if len(frames) <= _BATCH:
+                return
+
+    def _capture_reset(self) -> dict[str, Any]:
+        """Snapshot + surviving log, consistent under the held WAL mutex."""
+        return {
+            "generation": self._wal.generation,
+            "instances": self._snapshot(),
+            "frames": [[lsn, record.payload()]
+                       for lsn, record in self._wal.read_from(1)],
+        }
+
+    def _send_reset(self, target: _Target, document: dict[str, Any]) -> None:
+        answer = target.client.repl_reset(
+            self._epoch, document["generation"], document["instances"],
+            document["frames"])
+        target.generation = int(document["generation"])
+        target.acked_lsn = int(answer.get("last_lsn", 0))
+        target.synced = True
+        target.resets += 1
+
+    def _send_frames(self, target: _Target,
+                     frames: "list[tuple[int, WALRecord]]") -> None:
+        for start in range(0, len(frames), _BATCH):
+            chunk = frames[start:start + _BATCH]
+            answer = target.client.repl_frames(
+                self._epoch, target.generation,
+                [[lsn, record.payload()] for lsn, record in chunk])
+            target.acked_lsn = max(target.acked_lsn,
+                                   int(answer.get("last_lsn", 0)))
+            target.frames_shipped += len(chunk)
+
+    # -- observability ------------------------------------------------------------
+
+    def _target_status(self, target: _Target) -> dict[str, Any]:
+        host, port = target.client.address
+        last_lsn = self._wal.last_lsn
+        lag_records = max(0, last_lsn - target.acked_lsn)
+        behind = target.behind_since
+        lag_seconds = (0.0 if behind is None or lag_records == 0
+                       else time.monotonic() - behind)
+        return {"target": f"{host}:{port}", "healthy": target.healthy,
+                "synced": target.synced, "acked_lsn": target.acked_lsn,
+                "last_lsn": last_lsn, "lag_records": lag_records,
+                "lag_seconds": round(lag_seconds, 3),
+                "frames_shipped": target.frames_shipped,
+                "resets": target.resets, "generation": target.generation,
+                "error": target.last_error}
+
+    def status(self) -> list[dict[str, Any]]:
+        """Per-standby stream health: lag in LSNs and seconds, liveness."""
+        with self._status_mutex:
+            published = [dict(entry) for entry in self._status]
+        # Lag is published against the *current* log head, so a stalled
+        # shipper cannot under-report how far behind its standby is.
+        last_lsn = self._wal.last_lsn
+        for entry in published:
+            entry["last_lsn"] = last_lsn
+            entry["lag_records"] = max(0, last_lsn - entry["acked_lsn"])
+        return published
+
+    @property
+    def wired(self) -> bool:
+        """Whether the shipping thread is running."""
+        return self._thread is not None

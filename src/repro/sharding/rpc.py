@@ -450,6 +450,67 @@ class Spans:
 
 
 @dataclass(frozen=True)
+class ReplHello:
+    """Replication handshake: where did the standby's replay leave off?
+
+    ``epoch`` identifies the primary incarnation doing the asking; the
+    standby answers with the epoch/generation/LSN position of its replayed
+    log so the shipper can resume the stream or decide to rebase.
+    """
+
+    shard_id: int
+    epoch: str
+
+    type = "w_repl_hello"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class ReplFrames:
+    """A batch of stamped WAL frames shipped primary → standby.
+
+    ``frames`` is ``[[lsn, record payload], ...]`` in log order, tagged with
+    the primary ``epoch`` and the WAL rewrite ``generation`` they belong to;
+    the standby refuses a stale tag, which is how a shipper that outlived a
+    promotion or missed a checkpoint truncation learns to stop/rebase.
+    """
+
+    epoch: str
+    generation: int
+    frames: Any = ()
+
+    type = "w_repl_frames"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class ReplReset:
+    """Rebase the standby: partition snapshot + the surviving log.
+
+    ``instances`` rides in the checkpoint document's ``instances`` shape
+    (``[class, number, {field: value}]`` triples, values encoded); the
+    standby installs it as its new base checkpoint and replaces its replay
+    log with ``frames``.
+    """
+
+    epoch: str
+    generation: int
+    instances: Any = ()
+    frames: Any = ()
+
+    type = "w_repl_reset"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
+class Promote:
+    """Promote a standby: presumed-abort resolution, then serve as primary."""
+
+    type = "w_promote"
+    _tuples = ()
+
+
+@dataclass(frozen=True)
 class Fault:
     """Test-only crash injection: die at a named point of the next prepare."""
 
@@ -541,7 +602,8 @@ WorkerRequest = (Hello | Acquire | AcquireBatch | ReleaseAll | CollectEdges
                  | Doom | ClearDoom | Holds | Waiting | Doomed | WritePlan
                  | Execute | ExecuteFused | ReadField | WriteField | Prepare
                  | CommitTxn | AbortTxn | Snapshot | Checkpoint | Metrics
-                 | Spans | Fault | Shutdown)
+                 | Spans | ReplHello | ReplFrames | ReplReset | Promote
+                 | Fault | Shutdown)
 WorkerReply = Ok | Waited | Value | Executed | FusedDone | Info | ErrorReply
 
 _REQUEST_TYPES: dict[str, type] = {
@@ -550,6 +612,7 @@ _REQUEST_TYPES: dict[str, type] = {
                               Doomed, WritePlan, Execute, ExecuteFused,
                               ReadField, WriteField, Prepare, CommitTxn,
                               AbortTxn, Snapshot, Checkpoint, Metrics, Spans,
+                              ReplHello, ReplFrames, ReplReset, Promote,
                               Fault, Shutdown)
 }
 _REPLY_TYPES: dict[str, type] = {
@@ -621,6 +684,10 @@ class RemoteShardClient(ParticipantClient):
         self._all_connections: "weakref.WeakSet[socket.socket]" = weakref.WeakSet()
         self._conn_mutex = threading.Lock()
         self._closed = False
+        #: Bumped by :meth:`retarget`; threads whose cached connection was
+        #: opened under an older version reconnect (to the new address)
+        #: instead of talking to a worker that no longer owns the shard.
+        self._conn_version = 0
         #: Written by ShardedLockFront; never called remotely — blocked
         #: requests are found by the periodic cross-process detection pass.
         self.on_block = None
@@ -648,6 +715,10 @@ class RemoteShardClient(ParticipantClient):
 
     def _connection(self) -> socket.socket:
         sock = getattr(self._local, "sock", None)
+        if (sock is not None
+                and getattr(self._local, "version", -1) != self._conn_version):
+            self._drop_connection()
+            sock = None
         if sock is None:
             if self._closed:
                 raise ParticipantUnavailable(
@@ -668,6 +739,7 @@ class RemoteShardClient(ParticipantClient):
                     f"unreachable: {last}", shard=self.shard_id)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             self._local.sock = sock
+            self._local.version = self._conn_version
             with self._conn_mutex:
                 self._all_connections.add(sock)
         return sock
@@ -739,6 +811,27 @@ class RemoteShardClient(ParticipantClient):
             except OSError:  # pragma: no cover - close is best-effort
                 pass
 
+    def retarget(self, address: tuple[str, int]) -> None:
+        """Point this client at a different worker process (failover).
+
+        The same client object is shared by the lock front, the 2PC
+        coordinator and the worker-mode data plane, so swapping the address
+        here re-routes *every* consumer at once — no tuples to rebuild.
+        Cached per-thread connections are invalidated (each thread
+        reconnects lazily to the new address) and a closed client reopens.
+        """
+        with self._conn_mutex:
+            self._address = address
+            self._closed = False
+            self._conn_version += 1
+            connections = list(self._all_connections)
+            self._all_connections = weakref.WeakSet()
+        for sock in connections:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
     # -- handshake / control ------------------------------------------------------
 
     def hello(self) -> dict[str, Any]:
@@ -752,6 +845,32 @@ class RemoteShardClient(ParticipantClient):
     def inject_fault(self, action: str) -> None:
         """Arm test-only crash injection on the worker."""
         self._call(Fault(action=action), count=False)
+
+    # -- replication (shipper → standby, and promotion) ---------------------------
+
+    def repl_hello(self, shard_id: int, epoch: str) -> dict[str, Any]:
+        """Ask a standby where its replay left off (resume handshake)."""
+        return dict(self._call(ReplHello(shard_id=shard_id, epoch=epoch),
+                               count=False).payload)
+
+    def repl_frames(self, epoch: str, generation: int,
+                    frames: Sequence[Any]) -> dict[str, Any]:
+        """Ship one batch of stamped WAL frames; returns the replay position."""
+        return dict(self._call(ReplFrames(epoch=epoch, generation=generation,
+                                          frames=list(frames)),
+                               count=False).payload)
+
+    def repl_reset(self, epoch: str, generation: int, instances: Any,
+                   frames: Sequence[Any]) -> dict[str, Any]:
+        """Rebase a standby onto a snapshot + surviving log."""
+        return dict(self._call(ReplReset(epoch=epoch, generation=generation,
+                                         instances=instances,
+                                         frames=list(frames)),
+                               count=False).payload)
+
+    def promote(self) -> dict[str, Any]:
+        """Promote a standby to primary; returns its resolution report."""
+        return dict(self._call(Promote(), count=False).payload)
 
     def shutdown(self) -> None:
         """Ask the worker to exit cleanly (tolerates an already-dead one)."""

@@ -82,6 +82,8 @@ from repro.objects.interpreter import ExecutionTrace, Interpreter
 from repro.objects.oid import OID
 from repro.objects.store import ObjectStore
 from repro.core.modes import AccessMode
+from repro.replication.ship import ReplicationShipper
+from repro.replication.standby import StandbyReplicator
 from repro.schema import banking_schema, figure1_schema, library_schema
 from repro.sharding import rpc
 from repro.sharding.router import HashShardRouter
@@ -97,6 +99,7 @@ from repro.wal.records import (
     RedoImage,
     UndoImage,
     decode_value,
+    encode_value,
 )
 
 #: The deterministic schemas a worker can build by name (the coordinator and
@@ -136,13 +139,25 @@ class ShardWorker:
                  schema: str = "banking", instances: int = 4,
                  populate_seed: int = 11, lock_timeout: float | None = 5.0,
                  durability: str = "off", wal_dir: "str | Path | None" = None,
+                 role: str = "primary",
+                 ship_to: "Sequence[tuple[str, int]]" = (),
+                 standby_slot: int = 0,
                  host: str = "127.0.0.1", port: int = 0) -> None:
         if not 0 <= shard_id < shards:
             raise ValueError(f"shard-id {shard_id} outside 0..{shards - 1}")
         if schema not in SCHEMAS:
             raise ValueError(f"unknown schema {schema!r}; "
                              f"expected one of {', '.join(SCHEMAS)}")
+        if role not in ("primary", "standby"):
+            raise ValueError(f"unknown worker role {role!r}")
+        if role == "standby" and durability == "off":
+            raise WALError("a standby replays into its own WAL; "
+                           "run it with --durability lazy or fsync")
+        if ship_to and durability == "off":
+            raise WALError("WAL shipping needs a WAL; "
+                           "run the primary with --durability lazy or fsync")
         self.shard_id = shard_id
+        self.role = role
         self._config = {"shard": shard_id, "shards": shards,
                         "protocol": protocol, "schema": schema,
                         "instances": instances,
@@ -169,25 +184,49 @@ class ShardWorker:
         self._wal_path: Path | None = None
         self._ckpt_path: Path | None = None
         self._decisions_path: Path | None = None
+        self._replicator: StandbyReplicator | None = None
+        self._shipper: ReplicationShipper | None = None
+        self._promotion_report: dict[str, Any] | None = None
         self.recovery_report: dict[str, Any] | None = None
         if durability != "off":
             if wal_dir is None:
                 raise WALError(f"durability mode {durability!r} needs --wal-dir")
             root = Path(wal_dir)
             root.mkdir(parents=True, exist_ok=True)
-            self._wal_path = root / f"shard-{shard_id}.wal"
-            self._ckpt_path = root / f"shard-{shard_id}.ckpt"
+            # A standby keeps its replica files beside the primary's under
+            # distinct names — after a failover both logs coexist in the
+            # shared durability directory without clobbering each other.
+            # The slot keeps several standbys of one shard apart on disk.
+            suffix = ".standby" if standby_slot == 0 \
+                else f".standby{standby_slot}"
+            prefix = (f"shard-{shard_id}" if role == "primary"
+                      else f"shard-{shard_id}{suffix}")
+            self._wal_path = root / f"{prefix}.wal"
+            self._ckpt_path = root / f"{prefix}.ckpt"
             self._decisions_path = root / "decisions.log"
             restarted = self._wal_path.exists()
-            if restarted:
-                self.recovery_report = self._recover_own_shard()
-            self._wal = WriteAheadLog(self._wal_path,
-                                      sync_on_barrier=self._fsync)
-            if restarted:
-                # Everything the old log held is resolved (presumed abort);
-                # install the recovered state as the new base.
-                self._wal.rewrite(lambda record: False)
-            self._checkpoint()  # the base checkpoint of this partition
+            if role == "primary":
+                if restarted:
+                    self.recovery_report = self._recover_own_shard()
+                self._wal = WriteAheadLog(self._wal_path,
+                                          sync_on_barrier=self._fsync)
+                if restarted:
+                    # Everything the old log held is resolved (presumed
+                    # abort); install the recovered state as the new base.
+                    self._wal.rewrite(lambda record: False)
+                self._checkpoint()  # the base checkpoint of this partition
+            else:
+                # Standby: the existing log is a replay stream to resume,
+                # not a crash to resolve — resolution happens at promotion.
+                self._wal = WriteAheadLog(self._wal_path,
+                                          sync_on_barrier=self._fsync)
+                self._replicator = StandbyReplicator(
+                    shard_id=shard_id, store=self._store, wal=self._wal,
+                    ckpt_path=self._ckpt_path,
+                    meta_path=root / f"{prefix}.meta", fsync=self._fsync,
+                    own_instances=self._own_instances)
+                if restarted:
+                    self.recovery_report = self._replicator.replay_existing()
 
         self._recovery = RecoveryManager(self._store, wal=self._wal,
                                          track_finished=False)
@@ -203,6 +242,19 @@ class ShardWorker:
         if self._wal is not None:
             self._wal.on_barrier = (
                 lambda seconds: self._metrics.record_latency("barrier", seconds))
+
+        if role == "primary" and ship_to:
+            assert self._wal is not None  # enforced above: shipping needs a WAL
+            self._shipper = ReplicationShipper(
+                shard_id=shard_id, wal=self._wal,
+                # The pid distinguishes primary incarnations: a restarted
+                # primary must not resume a stream its predecessor owned.
+                epoch=f"pid-{os.getpid()}",
+                clients=[rpc.RemoteShardClient(shard_id, (str(peer), int(p)),
+                                               participant_timeout=10.0)
+                         for peer, p in ship_to],
+                snapshot=self._replication_snapshot)
+            self._shipper.start()
 
         self._listener = socket.create_server((host, port))
         self._listener.settimeout(0.2)
@@ -234,6 +286,10 @@ class ShardWorker:
             rpc.Checkpoint: self._checkpoint_request,
             rpc.Metrics: self._metrics_request,
             rpc.Spans: self._spans_request,
+            rpc.ReplHello: self._repl_hello,
+            rpc.ReplFrames: self._repl_frames,
+            rpc.ReplReset: self._repl_reset,
+            rpc.Promote: self._promote,
             rpc.Fault: self._fault,
             rpc.Shutdown: self._shutdown_request,
         }
@@ -345,6 +401,68 @@ class ShardWorker:
             self._wal.rewrite(lambda record: record.txn in keep)
         return sorted(keep)
 
+    # -- replication --------------------------------------------------------------
+
+    def _replication_snapshot(self) -> list:
+        """This partition in the checkpoint document's ``instances`` shape.
+
+        Called by the shipper with the WAL mutex held, so the snapshot and
+        the log tail it is paired with cannot tear (the same ordering the
+        fuzzy checkpoint relies on).
+        """
+        return [[instance.class_name, instance.oid.number,
+                 {name: encode_value(value)
+                  for name, value in instance.values.items()}]
+                for instance in self._own_instances()]
+
+    def _require_standby(self) -> StandbyReplicator:
+        if self.role != "standby" or self._replicator is None:
+            raise ProtocolError(
+                f"shard {self.shard_id} worker is {self.role}, not a standby")
+        return self._replicator
+
+    def _repl_hello(self, request: rpc.ReplHello) -> rpc.Info:
+        if request.shard_id != self.shard_id:
+            raise ProtocolError(
+                f"replication stream for shard {request.shard_id} offered "
+                f"to shard {self.shard_id}")
+        return rpc.Info(payload=self._require_standby().handshake(
+            request.epoch))
+
+    def _repl_frames(self, request: rpc.ReplFrames) -> rpc.Info:
+        return rpc.Info(payload=self._require_standby().apply_frames(
+            request.epoch, request.generation, request.frames))
+
+    def _repl_reset(self, request: rpc.ReplReset) -> rpc.Info:
+        return rpc.Info(payload=self._require_standby().reset(
+            request.epoch, request.generation, request.instances,
+            request.frames))
+
+    def _promote(self, request: rpc.Promote) -> rpc.Info:
+        """Promote this standby: presumed-abort resolution, then serve.
+
+        The replayed log + checkpoint are exactly the shape
+        :meth:`_recover_own_shard` consumes, so promotion *is* the existing
+        per-participant recovery run against the coordinator's durable
+        decision log: winners redone, everything without a commit record
+        (including eagerly replayed after-images of losers) undone.  The
+        resolved state then becomes the new base — fresh checkpoint, empty
+        log — and the worker answers the data plane as a primary.
+        Idempotent: a second promotion returns the first report.
+        """
+        if self._promotion_report is not None:
+            return rpc.Info(payload=dict(self._promotion_report))
+        self._require_standby()
+        assert self._wal is not None
+        with self._wal.mutex:
+            report = self._recover_own_shard()
+            self._wal.rewrite(lambda record: False)
+            self.role = "primary"
+            self._checkpoint()
+        self._promotion_report = {"promotion": report,
+                                  "shard": self.shard_id}
+        return rpc.Info(payload=dict(self._promotion_report))
+
     # -- serving ------------------------------------------------------------------
 
     def serve_forever(self) -> None:
@@ -381,8 +499,13 @@ class ShardWorker:
 
     def close(self) -> None:
         """Checkpoint (bounding the next recovery) and close the log."""
+        if self._shipper is not None:
+            self._shipper.stop()
         if self._wal is not None:
-            self._checkpoint()
+            if self.role == "primary":
+                # An unpromoted standby must NOT checkpoint: its log is the
+                # replay stream a restart resumes, not pending-txn state.
+                self._checkpoint()
             self._wal.close()
 
     def _serve_connection(self, sock: socket.socket) -> None:
@@ -445,6 +568,8 @@ class ShardWorker:
         payload["recovery"] = self.recovery_report
         payload["wal_bytes"] = (0 if self._wal is None
                                 else self._wal.bytes_written)
+        payload["role"] = self.role
+        payload["promotion"] = self._promotion_report
         return rpc.Info(payload=payload)
 
     def _acquire(self, request: rpc.Acquire) -> rpc.Waited:
@@ -669,14 +794,32 @@ class ShardWorker:
         self._store.write_field(request.oid, request.field, request.value)
         return rpc.Ok()
 
+    def _take_fault(self, *stages: str) -> "str | None":
+        """Consume the injected fault action iff it belongs to this stage.
+
+        A commit-stage fault must survive the prepare that precedes it, so
+        each handler only pops the actions it owns.
+        """
+        if self._fault_action in stages:
+            action, self._fault_action = self._fault_action, None
+            return action
+        return None
+
     def _prepare(self, request: rpc.Prepare):
+        action = self._take_fault("exit_before_prepare",
+                                  "exit_before_prepare_reply",
+                                  "exit_after_prepare_reply")
+        if action == "exit_before_prepare":
+            # Die before phase one touches the log at all: nothing durable
+            # exists for this transaction here, so presumed abort resolves
+            # it with no undo work — the pure before-prepare crash window.
+            os._exit(FAULT_EXIT)
         # Piggybacked deferred state first: log the remaining before-images,
         # apply the buffered writes they cover (write-ahead preserved), and
         # only then vote — the redo images the prepare then logs read the
         # final values these writes just installed.
         self._log_images(request.txn, request.images)
         self._apply_writes(request.txn, request.writes)
-        action, self._fault_action = self._fault_action, None
         if action == "exit_before_prepare_reply":
             # The durable yes-vote exists (redo images + PREPARED marker,
             # barriered) but the coordinator never hears it: the classic
@@ -690,6 +833,12 @@ class ShardWorker:
         return rpc.Ok()
 
     def _commit(self, request: rpc.CommitTxn) -> rpc.Ok:
+        action = self._take_fault("exit_after_decision")
+        if action == "exit_after_decision":
+            # The coordinator's commit record is durable (phase two reached
+            # us), but this participant dies before applying it: recovery /
+            # promotion must redo the transaction from its redo images.
+            os._exit(FAULT_EXIT)
         self._participant.commit(request.txn)
         self._sanitize_images.pop(request.txn, None)
         return rpc.Ok()
@@ -715,6 +864,13 @@ class ShardWorker:
             "hot_resources": [[str(resource), waits, wait_time]
                               for resource, waits, wait_time
                               in self._locks.hot_resources()],
+            "role": self.role,
+            # Primary side: per-standby stream health (lag in LSNs and
+            # seconds).  Standby side: the replay position.
+            "replication": (None if self._shipper is None
+                            else self._shipper.status()),
+            "standby": (None if self._replicator is None
+                        else self._replicator.status()),
         })
 
     def _spans_request(self, request: rpc.Spans) -> rpc.Info:
@@ -724,8 +880,10 @@ class ShardWorker:
         })
 
     def _fault(self, request: rpc.Fault) -> rpc.Ok:
-        if request.action not in ("exit_before_prepare_reply",
-                                  "exit_after_prepare_reply"):
+        if request.action not in ("exit_before_prepare",
+                                  "exit_before_prepare_reply",
+                                  "exit_after_prepare_reply",
+                                  "exit_after_decision"):
             raise ProtocolError(f"unknown fault action {request.action!r}")
         self._fault_action = request.action
         return rpc.Ok()
@@ -759,8 +917,9 @@ class ShardWorker:
 def spawn(*, shard_id: int, shards: int, protocol: str = "tav",
           schema: str = "banking", instances: int = 4, populate_seed: int = 11,
           lock_timeout: "float | None" = 5.0, durability: str = "off",
-          wal_dir: "str | Path | None" = None, host: str = "127.0.0.1",
-          port: int = 0, ready_timeout: float = 60.0):
+          wal_dir: "str | Path | None" = None, role: str = "primary",
+          ship_to: "Sequence[tuple[str, int]]" = (), standby_slot: int = 0,
+          host: str = "127.0.0.1", port: int = 0, ready_timeout: float = 60.0):
     """Start one ``python -m repro.sharding.worker`` and wait for its port.
 
     Returns ``(process, (host, port))`` once the child printed its
@@ -782,9 +941,12 @@ def spawn(*, shard_id: int, shards: int, protocol: str = "tav",
                "--populate-seed", str(populate_seed),
                "--lock-timeout",
                "none" if lock_timeout is None else str(lock_timeout),
-               "--durability", durability]
+               "--durability", durability, "--role", role,
+               "--standby-slot", str(standby_slot)]
     if wal_dir is not None:
         command += ["--wal-dir", str(wal_dir)]
+    for peer, peer_port in ship_to:
+        command += ["--ship-to", f"{peer}:{peer_port}"]
     process = subprocess.Popen(command, env=environment,
                                stdout=subprocess.PIPE, text=True)
     address: list[tuple[str, int]] = []
@@ -866,14 +1028,31 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="shared durability directory (shard-K.wal / "
                              "shard-K.ckpt live here; decisions.log is read "
                              "for per-participant recovery)")
+    parser.add_argument("--role", choices=("primary", "standby"),
+                        default="primary",
+                        help="primary serves the data plane; standby replays "
+                             "a shipped WAL stream until promoted")
+    parser.add_argument("--ship-to", metavar="HOST:PORT", action="append",
+                        default=[],
+                        help="standby address to ship WAL frames to "
+                             "(repeatable; primary role only)")
+    parser.add_argument("--standby-slot", type=int, default=0,
+                        help="which standby of the shard this is; keeps "
+                             "several standbys' replica files apart")
     arguments = parser.parse_args(argv)
 
+    ship_to = []
+    for target in arguments.ship_to:
+        peer, _, peer_port = target.rpartition(":")
+        ship_to.append((peer, int(peer_port)))
     worker = ShardWorker(
         shard_id=arguments.shard_id, shards=arguments.shards,
         protocol=arguments.protocol, schema=arguments.schema,
         instances=arguments.instances, populate_seed=arguments.populate_seed,
         lock_timeout=arguments.lock_timeout, durability=arguments.durability,
-        wal_dir=arguments.wal_dir, host=arguments.host, port=arguments.port)
+        wal_dir=arguments.wal_dir, role=arguments.role, ship_to=ship_to,
+        standby_slot=arguments.standby_slot,
+        host=arguments.host, port=arguments.port)
     for signum in (signal.SIGTERM, signal.SIGINT):
         signal.signal(signum, lambda *_: worker.shutdown())
     if worker.recovery_report is not None:

@@ -37,6 +37,7 @@ from repro.wal.records import (
     DecisionRecord,
     WALRecord,
     decode_frames,
+    decode_stamped_frames,
     encode_frame,
 )
 
@@ -71,6 +72,19 @@ def read_records(path: str | Path) -> Iterator[WALRecord]:
     return decode_frames(data)
 
 
+def read_stamped_records(path: str | Path) -> Iterator[tuple[int, WALRecord]]:
+    """The ``(lsn, record)`` pairs of the log at ``path`` (torn-tail safe).
+
+    Frames appended before LSN stamping existed carry stamp 0; real stamps
+    start at 1 and only grow, so a reader can always tell the two apart.
+    """
+    try:
+        data = Path(path).read_bytes()
+    except FileNotFoundError:
+        return iter(())
+    return decode_stamped_frames(data)
+
+
 class WriteAheadLog:
     """One shard's append-only log of framed, checksummed records."""
 
@@ -87,20 +101,50 @@ class WriteAheadLog:
             fsync_directory(self._path.parent)
         self._bytes_written = 0
         self._closed = False
+        # Resume the LSN sequence past whatever the file already holds, so
+        # stamps stay monotonic across handle lifetimes (and across
+        # rewrites, which preserve the surviving records' original stamps).
+        self._next_lsn = max((lsn for lsn, _ in read_stamped_records(self._path)),
+                             default=0) + 1
+        #: Bumped by every :meth:`rewrite`.  A tailing reader (the
+        #: replication shipper) remembers the generation it last read under
+        #: and treats a change as "the file under me was truncated" instead
+        #: of silently re-reading a rewritten log from a stale offset.
+        self._generation = 0
         #: Observability hook: called with the seconds one :meth:`barrier`
         #: took (flush plus any fsync).  The engine and the shard workers
         #: wire this to their ``barrier`` latency histograms.
         self.on_barrier: Callable[[float], None] | None = None
+        #: Tail hook: called with ``(lsn, record)`` for every append, under
+        #: the append mutex so a tailing reader observes log order.  The
+        #: replication shipper wires this to its outbound queue; ``None``
+        #: costs nothing.
+        self.on_append: Callable[[int, WALRecord], None] | None = None
 
     # -- writing ----------------------------------------------------------------
 
-    def append(self, record: WALRecord) -> int:
-        """Write one record through to the operating system; returns its size."""
-        frame = encode_frame(record)
+    def append(self, record: WALRecord, *, lsn: int | None = None) -> int:
+        """Write one record through to the operating system; returns its size.
+
+        The frame is stamped with the next log sequence number before it is
+        framed, so the stamp is covered by the frame's checksum.  A standby
+        replaying a shipped stream passes the *primary's* stamp as ``lsn``
+        so both logs agree on sequence numbers; the counter then advances
+        past it.
+        """
         with self._mutex:
+            if lsn is None:
+                lsn = self._next_lsn
+            self._next_lsn = max(self._next_lsn, lsn) + 1
+            frame = encode_frame(record, lsn=lsn)
             self._file.write(frame)
             self._file.flush()
             self._bytes_written += len(frame)
+            hook = self.on_append
+            if hook is not None:
+                # Under the mutex so a tailing shipper sees appends in log
+                # order (the hook only enqueues; it must not block).
+                hook(lsn, record)
         return len(frame)
 
     def barrier(self) -> None:
@@ -127,12 +171,12 @@ class WriteAheadLog:
         """
         with self._mutex:
             self._file.flush()
-            records = list(read_records(self._path))
-            kept = [record for record in records if keep(record)]
+            stamped = list(read_stamped_records(self._path))
+            kept = [(lsn, record) for lsn, record in stamped if keep(record)]
             replacement = self._path.with_suffix(self._path.suffix + ".rewrite")
             with open(replacement, "wb") as handle:
-                for record in kept:
-                    handle.write(encode_frame(record))
+                for lsn, record in kept:
+                    handle.write(encode_frame(record, lsn=lsn or None))
                 handle.flush()
                 os.fsync(handle.fileno())
             self._file.close()
@@ -140,7 +184,8 @@ class WriteAheadLog:
             if self._sync_on_barrier:
                 fsync_directory(self._path.parent)
             self._file = open(self._path, "ab")
-            return len(kept), len(records) - len(kept)
+            self._generation += 1
+            return len(kept), len(stamped) - len(kept)
 
     # -- reading ----------------------------------------------------------------
 
@@ -150,6 +195,21 @@ class WriteAheadLog:
             if not self._closed:
                 self._file.flush()
             return list(read_records(self._path))
+
+    def read_from(self, lsn: int) -> list[tuple[int, WALRecord]]:
+        """The ``(lsn, record)`` pairs stamped at or beyond ``lsn``.
+
+        This is the tail a replication shipper reads after its standby
+        acknowledged ``lsn - 1``.  Read it together with :attr:`generation`
+        under :attr:`mutex` — a rewrite between the two would hand back a
+        truncated file's tail as if it were a continuation.
+        """
+        with self._mutex:
+            if not self._closed:
+                self._file.flush()
+            return [(stamp, record)
+                    for stamp, record in read_stamped_records(self._path)
+                    if stamp >= lsn]
 
     # -- life cycle ---------------------------------------------------------------
 
@@ -176,6 +236,18 @@ class WriteAheadLog:
         """Bytes appended through this handle (not counting rewrites)."""
         with self._mutex:
             return self._bytes_written
+
+    @property
+    def last_lsn(self) -> int:
+        """The stamp of the most recently appended record (0 when empty)."""
+        with self._mutex:
+            return self._next_lsn - 1
+
+    @property
+    def generation(self) -> int:
+        """How many times :meth:`rewrite` has truncated this handle's file."""
+        with self._mutex:
+            return self._generation
 
 
 class DecisionLog:

@@ -231,22 +231,33 @@ def record_from_payload(payload: Mapping[str, Any]) -> WALRecord:
 # ---------------------------------------------------------------------------
 
 
-def encode_frame(record: WALRecord) -> bytes:
-    """Length-prefixed, checksummed wire form of one record."""
-    payload = json.dumps(record.payload(), separators=(",", ":"),
+def encode_frame(record: WALRecord, *, lsn: int | None = None) -> bytes:
+    """Length-prefixed, checksummed wire form of one record.
+
+    When ``lsn`` is given the frame carries it as an extra ``"lsn"`` payload
+    key — the log sequence number rides *inside* the checksummed JSON, so a
+    replication stream cannot deliver a frame whose stamp was torn apart
+    from its record.  Readers that do not care about stamps
+    (:func:`decode_frames`) ignore the key.
+    """
+    document = record.payload()
+    if lsn is not None:
+        document["lsn"] = lsn
+    payload = json.dumps(document, separators=(",", ":"),
                          sort_keys=True).encode("utf-8")
     return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
-def decode_frames(data: bytes) -> Iterator[WALRecord]:
-    """Yield the records of ``data``, stopping cleanly at a torn tail.
+def decode_stamped_frames(data: bytes) -> Iterator[tuple[int, WALRecord]]:
+    """Yield ``(lsn, record)`` pairs, stopping cleanly at a torn tail.
 
     A short header, a short payload or a checksum mismatch all end the
     iteration silently: that is the state a killed process legitimately
     leaves behind, and every byte before the tear has already passed its
     checksum.  An *implausible* length prefix (beyond :data:`_MAX_PAYLOAD`)
     also stops the scan — treating it as a tear keeps recovery running on
-    the intact prefix.
+    the intact prefix.  Frames written before LSN stamping existed decode
+    with ``lsn`` 0 (no real stamp is ever 0 — stamps start at 1).
     """
     offset = 0
     total = len(data)
@@ -261,5 +272,12 @@ def decode_frames(data: bytes) -> Iterator[WALRecord]:
         payload = data[start:end]
         if zlib.crc32(payload) != checksum:
             return
-        yield record_from_payload(json.loads(payload.decode("utf-8")))
+        document = json.loads(payload.decode("utf-8"))
+        yield int(document.get("lsn", 0)), record_from_payload(document)
         offset = end
+
+
+def decode_frames(data: bytes) -> Iterator[WALRecord]:
+    """Yield the records of ``data``, stopping cleanly at a torn tail."""
+    for _, record in decode_stamped_frames(data):
+        yield record

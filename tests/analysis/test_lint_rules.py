@@ -294,6 +294,69 @@ def poll(sock, message):
     assert lint_paths([tree]) == []
 
 
+def test_l8_fires_on_applier_call_outside_replay_context(tmp_path):
+    tree = write_tree(tmp_path, {"repro/replication/ship.py": '''
+def fast_path(replicator, record):
+    replicator._apply_record(record)
+'''})
+    findings = lint_paths([tree])
+    assert codes_of(findings) == ["L8"]
+    assert "replay/recovery" in findings[0].message
+
+
+def test_l8_fires_on_image_apply_from_the_data_plane(tmp_path):
+    tree = write_tree(tmp_path, {"repro/sharding/worker.py": '''
+class ShardWorker:
+    def _commit(self, request):
+        for image in request["images"]:
+            self._apply_image(image)
+'''})
+    assert codes_of(lint_paths([tree])) == ["L8"]
+
+
+def test_l8_allows_the_standby_replay_sites(tmp_path):
+    tree = write_tree(tmp_path, {"repro/replication/standby.py": '''
+class StandbyReplicator:
+    def replay_existing(self):
+        for record in self._wal.read_records():
+            self._apply_record(record)
+
+    def apply_frames(self, epoch, generation, frames):
+        for record in frames:
+            self._apply_record(record)
+'''})
+    assert lint_paths([tree]) == []
+
+
+def test_l8_allows_recovery_in_the_shard_worker(tmp_path):
+    tree = write_tree(tmp_path, {"repro/sharding/worker.py": '''
+class ShardWorker:
+    def _recover_own_shard(self):
+        for image in self._wal.read_records():
+            self._apply_image(image)
+'''})
+    assert lint_paths([tree]) == []
+
+
+def test_l3_fires_on_direct_store_write_in_replication_code(tmp_path):
+    tree = write_tree(tmp_path, {"repro/replication/ship.py": '''
+def patch(store, oid, value):
+    store.write_field(oid, "balance", value)
+'''})
+    findings = lint_paths([tree])
+    assert codes_of(findings) == ["L3"]
+    assert "write-ahead" in findings[0].message
+
+
+def test_l3_allowlists_the_standby_applier(tmp_path):
+    tree = write_tree(tmp_path, {"repro/replication/standby.py": '''
+class StandbyReplicator:
+    def _apply_record(self, record):
+        self._store.write_field(record.oid, record.field, record.value)
+'''})
+    assert lint_paths([tree]) == []
+
+
 # -- pragmas ------------------------------------------------------------------
 
 

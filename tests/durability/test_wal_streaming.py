@@ -1,0 +1,126 @@
+"""LSN stamping and the streaming surface replication tails ride on."""
+
+from __future__ import annotations
+
+from repro.objects.oid import OID
+from repro.wal import PreparedMarker, RedoImage, WriteAheadLog, read_records
+from repro.wal.log import read_stamped_records
+from repro.wal.records import decode_stamped_frames, encode_frame
+
+
+def _image(txn, balance):
+    oid = OID(class_name="Account", number=1)
+    return RedoImage(txn=txn, oid=oid, values={"balance": balance})
+
+
+def test_appends_carry_monotonic_lsn_stamps(tmp_path):
+    wal = WriteAheadLog(tmp_path / "s.wal")
+    assert wal.last_lsn == 0
+    records = [_image(1, 10.0), _image(2, 20.0), PreparedMarker(txn=2)]
+    for record in records:
+        wal.append(record)
+    assert wal.last_lsn == 3
+    wal.close()
+    stamped = list(read_stamped_records(tmp_path / "s.wal"))
+    assert [lsn for lsn, _ in stamped] == [1, 2, 3]
+    assert [record for _, record in stamped] == records
+
+
+def test_lsn_sequence_resumes_across_handle_lifetimes(tmp_path):
+    first = WriteAheadLog(tmp_path / "s.wal")
+    first.append(_image(1, 10.0))
+    first.append(_image(1, 11.0))
+    first.close()
+    reopened = WriteAheadLog(tmp_path / "s.wal")
+    assert reopened.last_lsn == 2
+    reopened.append(PreparedMarker(txn=1))
+    assert [lsn for lsn, _ in read_stamped_records(tmp_path / "s.wal")] \
+        == [1, 2, 3]
+    reopened.close()
+
+
+def test_append_accepts_a_callers_stamp_and_advances_past_it(tmp_path):
+    """A standby replays the primary's stamps verbatim, then its own
+    appends continue beyond the highest stamp it has seen."""
+    wal = WriteAheadLog(tmp_path / "standby.wal")
+    wal.append(_image(1, 10.0), lsn=41)
+    wal.append(_image(1, 11.0), lsn=42)
+    assert wal.last_lsn == 42
+    wal.append(PreparedMarker(txn=1))  # unstamped: takes 43
+    assert [lsn for lsn, _ in read_stamped_records(tmp_path / "standby.wal")] \
+        == [41, 42, 43]
+    wal.close()
+
+
+def test_read_from_returns_the_acknowledged_tail(tmp_path):
+    wal = WriteAheadLog(tmp_path / "s.wal")
+    records = [_image(txn, float(txn)) for txn in range(1, 6)]
+    for record in records:
+        wal.append(record)
+    tail = wal.read_from(3)
+    assert [lsn for lsn, _ in tail] == [3, 4, 5]
+    assert [record for _, record in tail] == records[2:]
+    assert wal.read_from(1) == list(zip(range(1, 6), records))
+    assert wal.read_from(wal.last_lsn + 1) == []
+    wal.close()
+
+
+def test_rewrite_preserves_stamps_and_bumps_the_generation(tmp_path):
+    wal = WriteAheadLog(tmp_path / "s.wal")
+    for txn in (1, 2, 3, 2):
+        wal.append(_image(txn, float(txn)))
+    assert wal.generation == 0
+    kept, dropped = wal.rewrite(lambda record: record.txn == 2)
+    assert (kept, dropped) == (2, 2)
+    assert wal.generation == 1
+    # Survivors keep their original stamps — a tailing shipper that
+    # rebased on the generation bump still sees the primary's numbering.
+    assert [lsn for lsn, _ in read_stamped_records(tmp_path / "s.wal")] \
+        == [2, 4]
+    # And the sequence does not reuse dropped stamps.
+    wal.append(PreparedMarker(txn=9))
+    assert wal.last_lsn == 5
+    wal.close()
+
+
+def test_torn_tail_decode_of_stamped_frames():
+    records = [_image(1, 10.0), _image(2, 20.0), PreparedMarker(txn=2)]
+    data = b"".join(encode_frame(record, lsn=index + 1)
+                    for index, record in enumerate(records))
+    last_frame = len(encode_frame(records[-1], lsn=3))
+    # A tear anywhere strictly inside the last frame keeps the stamped
+    # prefix and silently drops the torn record.
+    for cut in range(1, last_frame):
+        assert list(decode_stamped_frames(data[:-cut])) \
+            == [(1, records[0]), (2, records[1])]
+
+
+def test_unstamped_frames_decode_with_stamp_zero():
+    """Frames from before LSN stamping read back as stamp 0 — real stamps
+    start at 1, so readers can always tell the two apart."""
+    legacy = encode_frame(PreparedMarker(txn=7))
+    assert list(decode_stamped_frames(legacy)) == [(0, PreparedMarker(txn=7))]
+    # A mixed file — legacy frames before the stamping era — still scans.
+    stamped = encode_frame(PreparedMarker(txn=8), lsn=12)
+    assert list(decode_stamped_frames(legacy + stamped)) \
+        == [(0, PreparedMarker(txn=7)), (12, PreparedMarker(txn=8))]
+
+
+def test_on_append_hook_observes_stamps_in_log_order(tmp_path):
+    wal = WriteAheadLog(tmp_path / "s.wal")
+    seen = []
+    wal.on_append = lambda lsn, record: seen.append((lsn, record))
+    records = [_image(1, 10.0), PreparedMarker(txn=1)]
+    for record in records:
+        wal.append(record)
+    assert seen == [(1, records[0]), (2, records[1])]
+    wal.close()
+
+
+def test_stamps_are_invisible_to_plain_record_readers(tmp_path):
+    wal = WriteAheadLog(tmp_path / "s.wal")
+    records = [_image(1, 10.0), _image(2, 20.0)]
+    for record in records:
+        wal.append(record)
+    wal.close()
+    assert list(read_records(tmp_path / "s.wal")) == records
