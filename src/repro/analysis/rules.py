@@ -310,10 +310,16 @@ class DataPlaneWriteRule(Rule):
     #: * ``Engine._resync_mirror`` — worker re-admission: overwrites the
     #:   planning mirror's partition from the promoted/recovered worker's
     #:   snapshot, the same mirror-echo relationship ``_mirror_writes``
-    #:   maintains per transaction.
+    #:   maintains per transaction;
+    #: * ``Engine._build_snapshot_store`` — the read-only snapshot builder:
+    #:   it populates (and rolls back in-flight writes inside) an
+    #:   engine-private committed-state *copy* that no transaction ever
+    #:   writes through, so there is no undo or WAL obligation to honour —
+    #:   the live store is never touched.
     ALLOWLIST = frozenset({
         ("repro.sharding.store", "*"),
         ("repro.engine.engine", "Engine._mirror_writes"),
+        ("repro.engine.engine", "Engine._build_snapshot_store"),
         ("repro.engine.engine", "_WorkerStoreFront.write_field"),
         ("repro.engine.engine", "Engine.create_instance"),
         ("repro.engine.engine", "Engine.delete_instance"),
@@ -615,6 +621,76 @@ class ReplayApplierRule(Rule):
                 f"promotion call sites may drive them")
 
 
+class PlanViaCacheRule(Rule):
+    """L9: hot-path code obtains lock plans through the plan cache.
+
+    The compiled analysis only pays at runtime if its products are reused:
+    structural plans are memoized per argument shape in
+    :class:`~repro.txn.plan_cache.PlanCache` (which the engine invalidates
+    on ``create_instance``/``delete_instance``), and the schema is compiled
+    once at setup.  In ``repro.engine``/``repro.sharding`` a direct
+    ``protocol.plan(...)`` call — any ``.plan()`` whose receiver is not the
+    cache — forfeits both the memoization and its invalidation hook, and a
+    ``compile_schema(...)`` call outside an ``__init__`` re-runs the whole
+    closure/TAV analysis per operation.  Shadow-run protocols whose plans
+    are data-dependent still go through the cache (it classifies them
+    uncacheable and delegates); a deliberate uncached plan is suppressible
+    with ``# repro-lint: disable=L9``.
+    """
+
+    code = "L9"
+    title = "engine/sharding code plans via the PlanCache, compiles at setup"
+    historical = ("PR 10's plan caching: the engine re-ran the TAV planner "
+                  "on every operation of every transaction; once plans were "
+                  "memoized per (class, method, argument shape), a stray "
+                  "protocol.plan() on the hot path would silently forfeit "
+                  "the cache and its create/delete invalidation")
+
+    #: Receiver-name fragments that identify the cache itself
+    #: (``self._plans.plan(...)``, ``cache.plan(...)``).
+    _CACHE_HINTS = ("plans", "cache")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not _in_package(module.name, "repro.engine", "repro.sharding"):
+            return
+        tree = module.tree
+        assert isinstance(tree, ast.Module)
+        for qualname, node in _QualnameWalker().walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._is_direct_plan(node):
+                yield self._finding(
+                    module, node,
+                    f"direct {_receiver_hint(node.func)}.plan() in "
+                    f"{qualname or '<module>'} — hot-path code plans "
+                    f"through the PlanCache (plan cache hit rate and "
+                    f"create/delete invalidation both depend on it)")
+            elif self._is_hot_compile(node, qualname):
+                yield self._finding(
+                    module, node,
+                    f"compile_schema() in {qualname or '<module>'} — the "
+                    f"schema is compiled once at setup (__init__); "
+                    f"recompiling per call re-runs the closure/TAV "
+                    f"analysis the cache exists to amortise")
+
+    @classmethod
+    def _is_direct_plan(cls, node: ast.Call) -> bool:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr != "plan":
+            return False
+        hint = _receiver_hint(func).lower()
+        return not any(fragment in hint for fragment in cls._CACHE_HINTS)
+
+    @staticmethod
+    def _is_hot_compile(node: ast.Call, qualname: str) -> bool:
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else \
+            func.attr if isinstance(func, ast.Attribute) else ""
+        if name != "compile_schema":
+            return False
+        return qualname.rsplit(".", 1)[-1] != "__init__"
+
+
 #: The rule set ``repro-lint`` runs, in report order.
 ALL_RULES: tuple[Rule, ...] = (
     ErrorRegistryRule(),
@@ -625,6 +701,7 @@ ALL_RULES: tuple[Rule, ...] = (
     MonotonicOrderingRule(),
     RoundTripLoopRule(),
     ReplayApplierRule(),
+    PlanViaCacheRule(),
 )
 
 

@@ -94,12 +94,14 @@ class Connection(abc.ABC):
     # -- sugar ------------------------------------------------------------------
 
     def begin(self, label: str = "", origin: int | None = None,
-              trace: Any = None) -> "ClientSession":
+              trace: Any = None, *, read_only: bool = False) -> "ClientSession":
         """Start a transaction and return the session handle driving it.
 
         ``trace`` joins the transaction to a client-side trace: a
         :class:`~repro.obs.tracing.TraceContext` (or its wire dict) whose
-        span becomes the parent of the engine's root span.
+        span becomes the parent of the engine's root span.  With
+        ``read_only=True`` the engine serves the transaction from a
+        committed snapshot — zero lock acquisitions, writes refused.
 
         Raises:
             OverloadedError: admission control refused (back off and retry).
@@ -107,7 +109,8 @@ class Connection(abc.ABC):
         if hasattr(trace, "to_wire"):
             trace = trace.to_wire()
         reply = raise_if_error(self.request(Begin(label=label, origin=origin,
-                                                  trace=trace)))
+                                                  trace=trace,
+                                                  read_only=read_only)))
         if not isinstance(reply, BeginReply):
             raise ProtocolError(f"begin answered with {type(reply).__name__}")
         return ClientSession(self, reply.txn, label=label)
@@ -168,7 +171,7 @@ class Connection(abc.ABC):
 
     def run_program(self, operations: "list[Operation] | tuple[Operation, ...]",
                     *, label: str = "", max_retries: int = 10,
-                    trace: Any = None) -> ProgramReply:
+                    trace: Any = None, read_only: bool = False) -> ProgramReply:
         """Run ``Begin + operations + Commit`` as one server-side program.
 
         One round trip for the whole transaction; deadlock/timeout retries
@@ -184,7 +187,8 @@ class Connection(abc.ABC):
         program = RunProgram(
             operations=tuple(message_to_wire(request_for_operation(0, operation))
                              for operation in operations),
-            label=label, max_retries=max_retries, trace=trace)
+            label=label, max_retries=max_retries, trace=trace,
+            read_only=read_only)
         reply = raise_if_error(self.request(program))
         if not isinstance(reply, ProgramReply):
             raise ProtocolError(
@@ -359,7 +363,7 @@ class TransactionRunner:
         self.overloads = 0
 
     def run(self, work: Callable[[ClientSession], T], *, label: str = "",
-            max_retries: int | None = None) -> T:
+            max_retries: int | None = None, read_only: bool = False) -> T:
         """Run ``work(session)`` transactionally with automatic retry.
 
         Raises:
@@ -372,7 +376,8 @@ class TransactionRunner:
         overloads = 0
         origin: int | None = None
         while True:
-            reply = self._connection.request(Begin(label=label, origin=origin))
+            reply = self._connection.request(Begin(label=label, origin=origin,
+                                                   read_only=read_only))
             if isinstance(reply, Overloaded):
                 self.overloads += 1
                 overloads += 1
@@ -421,7 +426,8 @@ class TransactionRunner:
                 results.append(session.perform(operation))
             return results
 
-        return self.run(replay, label=spec.label, max_retries=max_retries)
+        return self.run(replay, label=spec.label, max_retries=max_retries,
+                        read_only=getattr(spec, "read_only", False))
 
     def run_program_spec(self, spec: "TransactionSpec", *,
                          max_retries: int | None = None) -> list[Any]:
@@ -431,7 +437,8 @@ class TransactionRunner:
         while True:
             try:
                 reply = self._connection.run_program(
-                    spec.operations, label=spec.label, max_retries=retries)
+                    spec.operations, label=spec.label, max_retries=retries,
+                    read_only=getattr(spec, "read_only", False))
             except OverloadedError as error:
                 self.overloads += 1
                 overloads += 1

@@ -150,18 +150,20 @@ class Dispatcher:
         if self._admission is not None:
             self._admission.admit()
             try:
-                session = self._engine.begin(label=request.label,
-                                             origin=request.origin,
-                                             trace=request.trace)
+                session = self._engine.begin(
+                    label=request.label, origin=request.origin,
+                    trace=request.trace,
+                    read_only=getattr(request, "read_only", False))
             except BaseException:
                 self._admission.release()
                 raise
             with self._mutex:
                 self._admitted.add(session.txn_id)
         else:
-            session = self._engine.begin(label=request.label,
-                                         origin=request.origin,
-                                         trace=request.trace)
+            session = self._engine.begin(
+                label=request.label, origin=request.origin,
+                trace=request.trace,
+                read_only=getattr(request, "read_only", False))
         return BeginReply(txn=session.txn_id)
 
     def _commit(self, request: Commit) -> Reply:
@@ -270,7 +272,9 @@ class Dispatcher:
         attempt = 0
         while True:
             session = engine.begin(label=request.label, origin=origin,
-                                   trace=request.trace)
+                                   trace=request.trace,
+                                   read_only=getattr(request, "read_only",
+                                                     False))
             if origin is None:
                 origin = session.txn_id
                 rng = random.Random(origin)

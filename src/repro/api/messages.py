@@ -81,6 +81,10 @@ class Begin:
     label: str = ""
     origin: int | None = None
     trace: Any = None
+    #: Serve this transaction from a committed snapshot: zero lock
+    #: acquisitions, writes refused (in-process engines; worker-mode
+    #: engines fall back to the ordinary locked path).
+    read_only: bool = False
 
     type = "begin"
     _tuples = ()
@@ -202,6 +206,9 @@ class RunProgram:
     label: str = ""
     max_retries: int = 10
     trace: Any = None
+    #: Begin the server-side transaction read-only: served from a committed
+    #: snapshot, zero lock acquisitions, writes refused.
+    read_only: bool = False
 
     type = "run_program"
     _tuples = ("operations",)

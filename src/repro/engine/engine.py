@@ -75,7 +75,9 @@ from repro.analysis.sanitizer import (
     Sanitizer,
     sanitize_from_env,
 )
+from repro.analysis.coverage import lock_covers
 from repro.api.messages import request_for_operation
+from repro.core.commutativity import EscrowUpdate, evaluate_escrow_delta
 from repro.engine.detector import DeadlockDetector
 from repro.engine.locks import USE_DEFAULT_TIMEOUT, BlockingLockManager
 from repro.engine.metrics import EngineMetrics
@@ -89,16 +91,24 @@ from repro.errors import (
     TransactionError,
     TwoPhaseCommitError,
 )
-from repro.objects.interpreter import Interpreter
+from repro.locking.modes import EscrowMode
+from repro.objects.interpreter import Interpreter, default_builtins
 from repro.objects.oid import OID
+from repro.objects.store import ObjectStore
 from repro.sharding.locks import ShardedLockFront
 from repro.sharding.recovery import ShardedRecoveryManager
 from repro.sharding.router import HashShardRouter, ShardRouter
 from repro.sharding.rpc import DEFAULT_PARTICIPANT_TIMEOUT, RemoteShardClient
 from repro.sharding.twopc import ShardParticipant, TwoPhaseCommitCoordinator
 from repro.sim.workload import TransactionSpec
-from repro.txn.operations import Operation
-from repro.txn.protocols.base import ConcurrencyControlProtocol, LockPlan
+from repro.txn.escrow import EscrowLedger
+from repro.txn.operations import MethodCall, Operation
+from repro.txn.plan_cache import PlanCache
+from repro.txn.protocols.base import (
+    ConcurrencyControlProtocol,
+    LockPlan,
+    LockRequestSpec,
+)
 from repro.txn.transaction import Transaction, TransactionState
 from repro.wal.checkpoint import CheckpointManager, ShardCheckpoint
 from repro.wal.durability import Durability
@@ -133,7 +143,8 @@ class Engine:
                  participant_timeout: float = DEFAULT_PARTICIPANT_TIMEOUT,
                  vectored_rpc: bool = True,
                  tracer: Tracer | None = None,
-                 sanitize: bool | None = None) -> None:
+                 sanitize: bool | None = None,
+                 escrow: bool = False) -> None:
         self._protocol = protocol
         self._store = protocol.store
         if sanitize is None:
@@ -189,6 +200,11 @@ class Engine:
         self._wals: tuple[WriteAheadLog | None, ...] = (None,) * num_shards
         self._decision_log: DecisionLog | None = None
         self._checkpointer: CheckpointManager | None = None
+        #: Escrow admission was asked for; the ledger exists only in-process
+        #: (worker partitions cannot merge deltas yet — requests there are
+        #: counted as fallbacks instead).
+        self._escrow_requested = bool(escrow)
+        self._escrow: EscrowLedger | None = None
         if self._durability.enabled:
             self._durability.prepare_directory(num_shards)
             self._decision_log = DecisionLog(
@@ -237,7 +253,8 @@ class Engine:
             self._checkpointer = CheckpointManager(
                 self._store, self._router, self._recovery,
                 [wal for wal in self._wals if wal is not None],
-                self._durability, decision_log=self._decision_log)
+                self._durability, decision_log=self._decision_log,
+                extra_pending=self._escrow_pending)
             # The base checkpoint: instances created before the engine
             # existed (population) are durable from the very first moment —
             # the WAL only ever has to carry field updates.  (In worker mode
@@ -250,6 +267,27 @@ class Engine:
             interpreter_store = SanitizedStoreFront(self._store,
                                                     self._sanitizer)
         self._interpreter = Interpreter(interpreter_store, builtins=builtins)
+        #: The builtins escrow-delta evaluation and snapshot interpreters
+        #: share with the main interpreter (delta expressions may call them).
+        self._builtins_arg = dict(builtins) if builtins else None
+        self._merged_builtins = dict(default_builtins())
+        if builtins:
+            self._merged_builtins.update(builtins)
+        if self._escrow_requested and self._workers is None:
+            # Apply writes through the sanitized front when sanitizing, so
+            # every escrow merge is coverage-checked against its EscrowMode
+            # lock; undo reversals run outside any operation scope and pass
+            # through (exactly like the recovery manager's image restores).
+            self._escrow = EscrowLedger(interpreter_store, self._router,
+                                        num_shards, wals=self._wals)
+        #: Memoized structural lock plans (the hot path's dict hit).
+        self._plans = PlanCache(protocol)
+        #: Bumped by structural changes (create/delete); part of the
+        #: snapshot-read cache key and the plan cache's invalidation epoch.
+        self._structural_epoch = 0
+        #: ``(key, interpreter)`` of the last built read-only snapshot.
+        self._snapshot_cache: tuple[tuple[int, int], Interpreter] | None = None
+        self._snapshot_mutex = threading.Lock()
         #: One-round-trip mode (worker engines only): vectored acquire
         #: batches, fused single-shard plan+execute, mirror-backed
         #: cross-shard reads and deferred writes that piggyback on prepare.
@@ -562,10 +600,14 @@ class Engine:
         """
         return (self._origins.get(txn, txn), txn)
 
+    def _escrow_pending(self, shard_id: int) -> tuple[int, ...]:
+        """The escrow ledger's keep-set contribution for one shard's checkpoint."""
+        return () if self._escrow is None else self._escrow.pending(shard_id)
+
     # -- life cycle -------------------------------------------------------------
 
     def begin(self, label: str = "", origin: int | None = None,
-              trace: object = None) -> Session:
+              trace: object = None, *, read_only: bool = False) -> Session:
         """Start a transaction and return the session handle driving it.
 
         ``origin`` is the begin timestamp of the transaction's *first*
@@ -584,7 +626,8 @@ class Engine:
         tracer samples locally (``sample_every``).
         """
         self._ensure_open()
-        transaction = Transaction(txn_id=next(self._ids), origin=origin)
+        transaction = Transaction(txn_id=next(self._ids), origin=origin,
+                                  read_only=read_only)
         self._origins[transaction.txn_id] = transaction.origin
         self.metrics.record_begin()
         if origin is not None:
@@ -622,6 +665,18 @@ class Engine:
         txn = transaction.txn_id
         touched = self._touched_shards(txn)
         root = self._traces.get(txn)
+        if transaction.read_only and not touched:
+            # Snapshot-served: no locks, no undo state, nothing to prepare
+            # and no serialisation point to claim — the transaction leaves
+            # no commit_log entry (sequential replay orders writers only).
+            transaction.state = TransactionState.COMMITTED
+            self._origins.pop(txn, None)
+            self._sessions.pop(txn, None)
+            self.metrics.record_commit()
+            if root is not None:
+                self._traces.pop(txn, None)
+                self._tracer.end_span(root)
+            return
         with self._maybe_span(root, "commit", "txn",
                               {"shards": list(touched)}) as commit_span:
             if self._vectored:
@@ -659,6 +714,10 @@ class Engine:
                 self._recovery.forget(txn)
             else:
                 self._recovery.discard_tracking(txn)
+            if self._escrow is not None:
+                # The commit decision is durable: the deltas are final and
+                # their WAL records may be released to the next checkpoint.
+                self._escrow.forget(txn)
             with self._maybe_span(commit_span, "lock-release", "lock"):
                 if self._sanitizer is not None:
                     self._sanitizer.note_release(txn)
@@ -702,6 +761,12 @@ class Engine:
                 self._recovery.undo(txn)
             else:
                 self._recovery.discard_tracking(txn)
+            if self._escrow is not None:
+                # Inverse-apply after the image restores: a field that got
+                # an ordinary write after an escrow merge had its image
+                # capture the delta, so the restore re-establishes it and
+                # the inverse below still nets the field back to base.
+                self._escrow.undo(txn)
             transaction.state = TransactionState.ABORTED
             if self._sanitizer is not None:
                 self._sanitizer.note_release(txn)
@@ -763,8 +828,23 @@ class Engine:
         """
         transaction.ensure_active()
         root = self._traces.get(transaction.txn_id)
-        plan = self._protocol.plan(operation)
+        if transaction.read_only:
+            results = self._perform_snapshot(transaction, operation, root)
+            if results is not None:
+                return results
+            # Worker mode: the snapshot machinery needs the partitions in
+            # this process — fall through to the ordinary locked path.
+        plan = self._plan(operation)
         transaction.stats.control_points += plan.control_points
+        if self._escrow is not None and not transaction.read_only:
+            results = self._maybe_escrow(transaction, operation, plan,
+                                         timeout, root)
+            if results is not None:
+                return results
+        elif (self._escrow_requested and self._workers is not None
+              and isinstance(operation, MethodCall)
+              and self._escrow_update_for(operation) is not None):
+            self.metrics.record_escrow_fallback()
         if self._vectored:
             shard_id = self._fused_shard(plan)
             if shard_id is not None:
@@ -832,7 +912,7 @@ class Engine:
                     if waited > 0.0:
                         transaction.stats.waits += 1
                     acquired.add((request.resource, request.mode))
-            refreshed = self._protocol.plan(operation)
+            refreshed = self._plan(operation)
             extra = tuple(r for r in refreshed.requests
                           if (r.resource, r.mode) not in acquired)
             if not extra:
@@ -915,6 +995,222 @@ class Engine:
             if self._sanitizer is not None:
                 self._sanitizer.note_acquire(txn, resource, mode)
             acquired.add((resource, mode))
+
+    # -- the analysis's runtime payoff ---------------------------------------------
+
+    def _plan(self, operation: Operation) -> LockPlan:
+        """The operation's lock plan, memoized when it is structural."""
+        plan, hit = self._plans.plan(operation)
+        self.metrics.record_plan_cache(hit)
+        return plan
+
+    def _escrow_update_for(self, operation: MethodCall) -> EscrowUpdate | None:
+        """The proved counter-update shape of this call, or ``None``.
+
+        Resolved against the receiver's *proper* class — that is what the
+        interpreter's late binding would execute — so a prefixed send
+        (``as_class``) stays on the ordinary path.
+        """
+        if operation.as_class is not None:
+            return None
+        compiled_class = self._protocol.compiled.classes.get(
+            operation.oid.class_name)
+        if compiled_class is None:
+            return None
+        return compiled_class.escrow_update(operation.method)
+
+    def _escrowed_plan(self, plan: LockPlan, oid: OID,
+                       update: EscrowUpdate) -> LockPlan | None:
+        """The plan with its write-covering requests demoted to escrow mode.
+
+        The substitution is request-for-request on the *protocol's own*
+        granules — the TAV instance lock, the relational tuple, the field
+        lock — so escrow admissions conflict with ordinary work on exactly
+        the resources the ordinary plan would have claimed exclusively,
+        and commute only with each other (``escrow_compatible``).  A plan
+        in which nothing covers the update's field (it should not exist
+        for a proved update) yields ``None``: no escrow admission.
+        """
+        compiled = self._protocol.compiled
+        schema = compiled.schema
+        mode = EscrowMode(update.method, update.field)
+        requests: list[LockRequestSpec] = []
+        changed = False
+        for request in plan.requests:
+            if lock_covers(request.resource, request.mode, oid=oid,
+                           class_name=oid.class_name, field=update.field,
+                           is_write=True, schema=schema, compiled=compiled):
+                requests.append(LockRequestSpec(resource=request.resource,
+                                                mode=mode, note="escrow"))
+                changed = True
+            else:
+                requests.append(request)
+        if not changed:
+            return None
+        return LockPlan(requests=tuple(requests),
+                        control_points=plan.control_points,
+                        receivers=(), undo_projections=())
+
+    def _maybe_escrow(self, transaction: Transaction, operation: Operation,
+                      plan: LockPlan, timeout: float | None | object,
+                      root: Span | None) -> list[Any] | None:
+        """Admit a proved counter update under escrow locks, or ``None``.
+
+        ``None`` means *take the ordinary path* — the fallback direction is
+        always safe.  An admission acquires the substituted plan (escrow
+        mode on the write-covering granules, intentions unchanged), merges
+        the delta through the ledger (WAL-atomically when durable) and
+        skips the interpreter entirely: the proof already reduced the
+        method body to ``field += delta``.
+        """
+        if not isinstance(operation, MethodCall):
+            return None
+        update = self._escrow_update_for(operation)
+        if update is None:
+            return None
+        oid = operation.oid
+        txn = transaction.txn_id
+        try:
+            delta = evaluate_escrow_delta(update, tuple(operation.arguments),
+                                          self._merged_builtins)
+        except Exception:
+            self.metrics.record_escrow_fallback()
+            return None
+        if any(record.oid == oid and update.field in record.values
+               for record in self._recovery.log_of(txn)):
+            # An ordinary write already imaged this field: abort restores
+            # that image *first*, which would erase a later delta from the
+            # inverse pass's baseline.  The exclusive path is safe (its new
+            # image would embed any earlier deltas); the reverse order is
+            # not, so it is the one we refuse.
+            self.metrics.record_escrow_fallback()
+            return None
+        escrow_plan = self._escrowed_plan(plan, oid, update)
+        if escrow_plan is None:
+            self.metrics.record_escrow_fallback()
+            return None
+        for request in escrow_plan.requests:
+            transaction.stats.lock_requests += 1
+            try:
+                waited = self._acquire_one(txn, request, timeout, root)
+            except LockTimeoutError as error:
+                self.metrics.record_timeout()
+                self.metrics.record_requests(1, error.waited)
+                raise
+            except DeadlockError as error:
+                self.metrics.record_requests(1, error.waited)
+                raise
+            self.metrics.record_requests(1, waited)
+            if waited > 0.0:
+                transaction.stats.waits += 1
+        transaction.stats.operations += 1
+        if self._sanitizer is not None:
+            self._sanitizer.note_images(txn, ((oid, (update.field,)),))
+            scope: Any = self._sanitizer.operation_scope(txn, escrow_plan)
+        else:
+            scope = contextlib.nullcontext()
+        with self._maybe_span(root, f"escrow:{operation.method}",
+                              "exec"), scope:
+            self._escrow.apply(txn, oid, update.field, delta)
+        self.metrics.record_operation()
+        self.metrics.record_escrow_admit()
+        transaction.executed.append(operation)
+        results: list[Any] = [None]
+        transaction.results.extend(results)
+        return results
+
+    def _perform_snapshot(self, transaction: Transaction,
+                          operation: Operation,
+                          root: Span | None) -> list[Any] | None:
+        """Serve a read-only transaction's operation from the snapshot.
+
+        Zero lock acquisitions, zero undo images: the operation executes
+        against a committed-state copy shared by every read-only
+        transaction at the same ``(commits, structural epoch)`` point.
+        Returns ``None`` in worker mode (the partitions live elsewhere) —
+        the caller falls through to the ordinary locked path.
+        """
+        if self._workers is not None:
+            self.metrics.record_snapshot_fallback()
+            return None
+        interpreter = self._snapshot_interpreter()
+        with self._maybe_span(root, f"snapshot:{operation.method}", "exec"):
+            results = self._protocol.execute(operation, interpreter)
+        transaction.stats.operations += 1
+        self.metrics.record_operation()
+        self.metrics.record_snapshot_read()
+        transaction.executed.append(operation)
+        transaction.results.extend(results)
+        return results
+
+    def _snapshot_interpreter(self) -> Interpreter:
+        """The cached committed-state interpreter for the current point.
+
+        Keyed by ``(len(commit_log), structural epoch)`` — a new commit or
+        a create/delete invalidates; reads between commits share one copy.
+        Built under the commit mutex (no commit can land mid-copy) with
+        the escrow ledger frozen (no delta can apply or revert mid-copy).
+        """
+        with self._snapshot_mutex:
+            with self._commit_mutex:
+                key = (len(self._commit_log), self._structural_epoch)
+                cached = self._snapshot_cache
+                if cached is not None and cached[0] == key:
+                    return cached[1]
+                frozen = (self._escrow.frozen() if self._escrow is not None
+                          else contextlib.nullcontext())
+                with frozen:
+                    snapshot = self._build_snapshot_store()
+            interpreter = Interpreter(_ReadOnlyStoreFront(snapshot),
+                                      builtins=self._builtins_arg)
+            self._snapshot_cache = (key, interpreter)
+            return interpreter
+
+    def _build_snapshot_store(self) -> ObjectStore:
+        """A committed-state copy: the live store minus unfinished writes.
+
+        The fuzzy copy may contain values of transactions still in flight
+        (or mid-abort); they are rolled back exactly the way an abort
+        would — oldest before-image per cell first, then the inverse of
+        every unresolved escrow delta — so the result is the state all
+        decided transactions produced and nobody else touched.
+        """
+        snapshot = ObjectStore(self._store.schema)
+        for oid, class_name, values in sorted(
+                self._store.snapshot_instances(),
+                key=lambda entry: entry[0].number):
+            snapshot.restore_instance(oid, class_name, dict(values))
+        restored: set[tuple[OID, str]] = set()
+        for txn in sorted(self._recovery.pending_transactions()):
+            if self._txn_settled(txn):
+                continue
+            for record in self._recovery.log_of(txn):
+                for name, value in record.values.items():
+                    cell = (record.oid, name)
+                    if cell in restored or record.oid not in snapshot:
+                        continue
+                    restored.add(cell)
+                    snapshot.get(record.oid).set(name, value)
+        if self._escrow is not None:
+            for txn, entries in self._escrow.all_entries().items():
+                if self._txn_settled(txn):
+                    continue
+                for _shard, oid, field, delta in entries:
+                    if oid not in snapshot:
+                        continue
+                    instance = snapshot.get(oid)
+                    instance.set(field, instance.get(field) - delta)
+        return snapshot
+
+    def _txn_settled(self, txn: int) -> bool:
+        """Whether ``txn``'s writes are decided-committed (keep them) rather
+        than in flight or aborting (roll them back).  A committed-but-not-
+        yet-forgotten transaction reports ``COMMITTED``; everything else —
+        active, blocked, mid-abort, or already gone — rolls back, which for
+        a gone transaction is vacuous (its records were discarded)."""
+        session = self._sessions.get(txn)
+        return (session is not None
+                and session.transaction.state is TransactionState.COMMITTED)
 
     # -- worker-mode execution -----------------------------------------------------
 
@@ -1211,6 +1507,7 @@ class Engine:
                                        class_name=instance.class_name,
                                        values=dict(instance.values)))
             wal.barrier()
+        self._note_structural_change()
         return instance
 
     def delete_instance(self, oid: OID) -> None:
@@ -1233,6 +1530,14 @@ class Engine:
             wal.append(InstanceDeleted(oid=oid))
             wal.barrier()
         self._store.delete(oid)
+        self._note_structural_change()
+
+    def _note_structural_change(self) -> None:
+        """Population changed: extent/domain plans and snapshots are stale."""
+        self._plans.invalidate()
+        with self._snapshot_mutex:
+            self._structural_epoch += 1
+            self._snapshot_cache = None
 
     @property
     def durability(self) -> Durability:
@@ -1437,6 +1742,12 @@ class Engine:
                 for shard_id, count in enumerate(victim_counts)},
             "unavailable_completions":
                 self._coordinator.unavailable_completions,
+            "plan_cache": self._plans.stats.as_dict(),
+            "escrow": {
+                "enabled": self._escrow is not None,
+                "requested": self._escrow_requested,
+                "applied": 0 if self._escrow is None else self._escrow.applied,
+            },
         }
 
     # -- the command layer --------------------------------------------------------
@@ -1545,6 +1856,16 @@ class Engine:
         return self._interpreter
 
     @property
+    def plan_cache(self) -> PlanCache:
+        """The memoized lock-plan cache the hot path plans through."""
+        return self._plans
+
+    @property
+    def escrow_ledger(self) -> EscrowLedger | None:
+        """The escrow ledger when escrow admission is on (in-process only)."""
+        return self._escrow
+
+    @property
     def detector(self) -> DeadlockDetector:
         """The background deadlock detector."""
         return self._detector
@@ -1558,6 +1879,41 @@ class Engine:
     def _ensure_open(self) -> None:
         if self._closed:
             raise TransactionError("the engine has been closed")
+
+
+class _ReadOnlyStoreFront:
+    """The store a snapshot-served read-only transaction executes against.
+
+    Wraps the engine's committed-state copy: reads pass through, writes
+    are refused — ``read_only`` is a promise the engine enforces here
+    rather than trusts.  The copy is shared by every read-only transaction
+    at the same snapshot point, so a successful write would corrupt them
+    all; refusing is both the API contract and the cache's integrity.
+    """
+
+    def __init__(self, store: ObjectStore) -> None:
+        self._store = store
+
+    @property
+    def schema(self) -> Any:
+        return self._store.schema
+
+    def __contains__(self, oid: OID) -> bool:
+        return oid in self._store
+
+    def get(self, oid: OID) -> Any:
+        return self._store.get(oid)
+
+    def read_field(self, oid: OID, field_name: str) -> Any:
+        return self._store.read_field(oid, field_name)
+
+    def write_field(self, oid: OID, field_name: str, value: Any) -> None:
+        raise TransactionError(
+            f"read-only transaction attempted to write {oid}.{field_name}; "
+            f"begin the transaction without read_only to update")
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._store, name)
 
 
 class _WorkerStoreFront:

@@ -127,6 +127,10 @@ class HarnessResult:
     sanitizer_violations: int | None = None
     #: Hot standbys per shard the engine ran with (0 = no replication).
     replicas: int = 0
+    #: Workload-invariant violations (e.g. the order-entry scenario's
+    #: ``quantity + sold`` conservation check); ``None`` when no invariant
+    #: callback was supplied to :meth:`ThroughputHarness.run`.
+    invariant_violations: tuple[str, ...] | None = None
     #: End-of-run replication stream status, one entry per standby across
     #: all shards (each carries ``shard`` plus the shipper's status keys:
     #: lag in LSNs and seconds, health, frames shipped).
@@ -155,6 +159,9 @@ class HarnessResult:
         row["overloads"] = self.overloads
         row["serializable"] = ("-" if self.serializable is None
                                else "yes" if self.serializable else "VIOLATION")
+        if self.invariant_violations is not None:
+            row["invariant"] = ("ok" if not self.invariant_violations
+                                else "VIOLATION")
         return row
 
 
@@ -179,7 +186,9 @@ class ThroughputHarness:
                  extent_fraction: float = 0.02,
                  domain_fraction: float = 0.02,
                  write_bias: float = 0.6,
-                 hotspot_fraction: float = 0.3) -> None:
+                 hotspot_fraction: float = 0.3,
+                 read_mix: float = 0.0,
+                 spec_maker: "Callable[[ObjectStore, int], Sequence[TransactionSpec]] | None" = None) -> None:
         self._schema = schema if schema is not None else banking_schema()
         self._compiled = compiled if compiled is not None else compile_schema(self._schema)
         self._instances_per_class = instances_per_class
@@ -190,6 +199,11 @@ class ThroughputHarness:
         self._domain_fraction = domain_fraction
         self._write_bias = write_bias
         self._hotspot_fraction = hotspot_fraction
+        self._read_mix = read_mix
+        #: Optional scenario hook: builds the spec list from a freshly
+        #: populated store instead of the random generator (the order-entry
+        #: scenario plugs in here).
+        self._spec_maker = spec_maker
 
     # -- workload --------------------------------------------------------------
 
@@ -206,13 +220,16 @@ class ThroughputHarness:
 
     def make_specs(self, transactions: int) -> list[TransactionSpec]:
         """The deterministic transaction mix replayed by every run."""
+        if self._spec_maker is not None:
+            return list(self._spec_maker(self.populate(), transactions))
         generator = WorkloadGenerator(
             schema=self._schema, store=self.populate(), seed=self._workload_seed,
             operations_per_transaction=self._operations_per_transaction,
             extent_fraction=self._extent_fraction,
             domain_fraction=self._domain_fraction,
             write_bias=self._write_bias,
-            hotspot_fraction=self._hotspot_fraction)
+            hotspot_fraction=self._hotspot_fraction,
+            read_mix=self._read_mix)
         return generator.transactions(transactions)
 
     # -- running ---------------------------------------------------------------
@@ -234,6 +251,7 @@ class ThroughputHarness:
             max_retries: int = 20,
             trace_path: str | Path | None = None,
             trace_sample: int = 1,
+            invariant: "Callable[[dict, dict], Sequence[str]] | None" = None,
             **engine_options: Any) -> HarnessResult:
         """Replay the workload across ``threads`` workers under one protocol.
 
@@ -301,6 +319,14 @@ class ThroughputHarness:
         if verify:
             serializable = pieces["final_state"] == self._sequential_replay(
                 protocol_class, specs, pieces["commit_labels"])
+        violations: tuple[str, ...] | None = None
+        if invariant is not None:
+            # The workload-level invariant (e.g. order-entry conservation)
+            # compares the pristine population against the threaded run's
+            # final state — a second check the sequential replay cannot
+            # perform, because a replay of lost updates loses them too.
+            violations = tuple(invariant(store_state(self.populate()),
+                                         pieces["final_state"]))
         return HarnessResult(protocol=getattr(protocol_class, "name",
                                               protocol_class.__name__),
                              threads=threads, shards=pieces["shards"],
@@ -319,7 +345,8 @@ class ThroughputHarness:
                              sanitizer_violations=pieces.get(
                                  "sanitizer_violations"),
                              replicas=replicas,
-                             replication=tuple(pieces.get("replication", ())))
+                             replication=tuple(pieces.get("replication", ())),
+                             invariant_violations=violations)
 
     # -- the two transports -----------------------------------------------------
 
@@ -678,7 +705,8 @@ def _with_unique_labels(specs: Sequence[TransactionSpec]) -> list[TransactionSpe
             label = f"txn-{index}"
             while label in seen:
                 label = f"txn-{index}-{len(seen)}"
-            spec = TransactionSpec(operations=spec.operations, label=label)
+            spec = TransactionSpec(operations=spec.operations, label=label,
+                                   read_only=getattr(spec, "read_only", False))
         seen.add(label)
         labelled.append(spec)
     return labelled
@@ -740,6 +768,9 @@ def write_bench_json(path: str, results: Sequence[HarnessResult],
             "transactions": arguments.transactions,
             "operations": arguments.operations,
             "instances": arguments.instances,
+            "scenario": getattr(arguments, "scenario", "banking"),
+            "read_mix": getattr(arguments, "read_mix", 0.0),
+            "escrow": getattr(arguments, "escrow", False),
             "seed": arguments.seed,
             "lock_timeout": arguments.lock_timeout,
             "durability": arguments.durability,
@@ -793,8 +824,29 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--protocols", default="tav,rw-instance",
                         help="comma-separated protocol names, or 'all' "
                              f"(available: {', '.join(PROTOCOLS)})")
+    parser.add_argument("--scenario", choices=("banking", "order-entry"),
+                        default="banking",
+                        help="workload scenario: 'banking' replays the "
+                             "random generator mix; 'order-entry' replays "
+                             "TPC-C-style sales over hot Warehouse/Stock "
+                             "counters and additionally checks the "
+                             "quantity+sold conservation invariant "
+                             "(default: banking)")
     parser.add_argument("--operations", type=int, default=3,
                         help="operations per transaction (default: 3)")
+    parser.add_argument("--read-mix", type=float, default=0.0, metavar="P",
+                        help="fraction of transactions declared read-only "
+                             "and served from the engine's lock-free "
+                             "snapshot path (default: 0.0)")
+    parser.add_argument("--escrow", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="run the engine with commutativity-aware "
+                             "escrow counters: compiled counter updates "
+                             "acquire a non-exclusive escrow lock instead "
+                             "of a write lock, so concurrent increments of "
+                             "one hot field no longer serialise "
+                             "(--no-escrow restores exclusive locking; "
+                             "inproc transport only)")
     parser.add_argument("--instances", type=int, default=4,
                         help="instances per class (default: 4 — a hot store; "
                              "raise it to dilute contention)")
@@ -881,6 +933,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--sanitize wraps the engine in this process; it needs "
                      "--transport inproc (set REPRO_SANITIZE=1 on the "
                      "server for socket runs)")
+    if arguments.escrow and arguments.transport != "inproc":
+        parser.error("--escrow configures the engine in this process; it "
+                     "needs --transport inproc")
+    if arguments.scenario != "banking" and arguments.transport != "inproc":
+        parser.error("--scenario order-entry populates a non-banking store; "
+                     "spawned servers only rebuild the banking population, "
+                     "so it needs --transport inproc")
+    if arguments.scenario != "banking" and arguments.shard_workers is not None:
+        parser.error("--scenario order-entry populates a non-banking store; "
+                     "shard workers only rebuild the banking population")
+    if not 0.0 <= arguments.read_mix <= 1.0:
+        parser.error(f"--read-mix must be within [0, 1], "
+                     f"got {arguments.read_mix}")
     if arguments.no_vectored_rpc and arguments.transport != "inproc":
         parser.error("--no-vectored-rpc configures the engine in this "
                      "process; it needs --transport inproc")
@@ -919,9 +984,26 @@ def main(argv: Sequence[str] | None = None) -> int:
                      "max_queue": arguments.max_queue,
                      "queue_timeout": arguments.queue_timeout}
 
-    harness = ThroughputHarness(instances_per_class=arguments.instances,
-                                workload_seed=arguments.seed,
-                                operations_per_transaction=arguments.operations)
+    invariant = None
+    if arguments.scenario == "order-entry":
+        from repro.schema.examples import order_entry_schema
+        from repro.sim.order_entry import (
+            conservation_violations,
+            order_entry_specs,
+        )
+
+        harness = ThroughputHarness(
+            order_entry_schema(), instances_per_class=arguments.instances,
+            spec_maker=lambda store, count: order_entry_specs(
+                store, count, read_mix=arguments.read_mix,
+                seed=arguments.seed))
+        invariant = conservation_violations
+    else:
+        harness = ThroughputHarness(
+            instances_per_class=arguments.instances,
+            workload_seed=arguments.seed,
+            operations_per_transaction=arguments.operations,
+            read_mix=arguments.read_mix)
     results = []
     for name in names:
         result = harness.run(PROTOCOLS[name], threads=arguments.threads,
@@ -939,8 +1021,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                              admission=admission,
                              trace_path=arguments.trace,
                              trace_sample=arguments.trace_sample,
+                             invariant=invariant,
                              default_lock_timeout=arguments.lock_timeout,
                              **({"sanitize": True} if arguments.sanitize
+                                else {}),
+                             **({"escrow": True} if arguments.escrow
                                 else {}),
                              **({"vectored_rpc": False}
                                 if arguments.no_vectored_rpc else {}))
@@ -968,6 +1053,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     for result in results:
         for label, error in result.errors:
             print(f"\n{result.protocol}: transaction {label} died unexpectedly: {error}")
+            status = 1
+    for result in results:
+        if result.invariant_violations:
+            print(f"\n{result.protocol}: conservation invariant VIOLATED "
+                  "— units leaked:")
+            for line in result.invariant_violations:
+                print(f"  {line}")
             status = 1
     if any(result.serializable is False for result in results):
         print("\nserializability VIOLATION detected — see the table above")

@@ -80,6 +80,20 @@ class EngineMetrics:
     #: round-trip count; 0 in-process).  One pipelined batch or program is
     #: one frame however many commands it carries.
     frames_sent: int = 0
+    #: Lock-plan cache hits (plans reused without re-running the planner).
+    plan_cache_hits: int = 0
+    #: Lock-plan cache misses (the planner really ran).
+    plan_cache_misses: int = 0
+    #: Operations admitted under the non-exclusive escrow mode (no ordinary
+    #: lock taken; the counter delta merged directly).
+    escrow_admits: int = 0
+    #: Escrow-eligible operations that fell back to ordinary locking
+    #: (worker mode, prior ordinary write of the field, unevaluable delta).
+    escrow_fallbacks: int = 0
+    #: Read-only operations served from the lock-free snapshot path.
+    snapshot_reads: int = 0
+    #: Read-only operations that fell back to the locked path (worker mode).
+    snapshot_fallbacks: int = 0
     #: Wall-clock seconds of the measured run (set by the harness).
     elapsed: float = 0.0
     #: Bytes appended to the write-ahead and decision logs (set by the
@@ -99,7 +113,11 @@ class EngineMetrics:
     _FIELDS = ("begun", "committed", "cross_shard_commits", "aborted",
                "retries", "deadlocks", "timeouts", "unavailable_completions",
                "lock_requests", "waits", "wait_time", "operations",
-               "rpc_requests", "frames_sent", "elapsed", "wal_bytes")
+               "rpc_requests", "frames_sent",
+               "plan_cache_hits", "plan_cache_misses",
+               "escrow_admits", "escrow_fallbacks",
+               "snapshot_reads", "snapshot_fallbacks",
+               "elapsed", "wal_bytes")
 
     # -- wire round trip ---------------------------------------------------------
 
@@ -200,6 +218,29 @@ class EngineMetrics:
         with self._mutex:
             self.frames_sent += count
 
+    def record_plan_cache(self, hit: bool) -> None:
+        with self._mutex:
+            if hit:
+                self.plan_cache_hits += 1
+            else:
+                self.plan_cache_misses += 1
+
+    def record_escrow_admit(self) -> None:
+        with self._mutex:
+            self.escrow_admits += 1
+
+    def record_escrow_fallback(self) -> None:
+        with self._mutex:
+            self.escrow_fallbacks += 1
+
+    def record_snapshot_read(self) -> None:
+        with self._mutex:
+            self.snapshot_reads += 1
+
+    def record_snapshot_fallback(self) -> None:
+        with self._mutex:
+            self.snapshot_fallbacks += 1
+
     def record_latency(self, name: str, seconds: float) -> None:
         """Add one observation to the named stage histogram."""
         self.histograms[name].record(seconds)
@@ -235,6 +276,14 @@ class EngineMetrics:
             return 0.0
         return self.wal_bytes / self.committed
 
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        """Cache hits over all plan lookups (0.0 before any lookup)."""
+        lookups = self.plan_cache_hits + self.plan_cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.plan_cache_hits / lookups
+
     def commit_percentile(self, q: float) -> float:
         """Commit-latency percentile in seconds (0.0 before any commit)."""
         return self.histograms["commit_latency"].percentile(q)
@@ -253,6 +302,9 @@ class EngineMetrics:
             "operations": self.operations,
             "rpcs": self.rpc_requests,
             "frames": self.frames_sent,
+            "plan_hit_rate": round(self.plan_cache_hit_rate, 3),
+            "escrow_admits": self.escrow_admits,
+            "snapshot_reads": self.snapshot_reads,
             "elapsed_s": round(self.elapsed, 3),
             "commits_per_s": round(self.commits_per_second, 1),
             "abort_rate": round(self.abort_rate, 3),

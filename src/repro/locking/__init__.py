@@ -10,9 +10,11 @@ and the run-time field-locking scheme without special cases.
 
 from repro.locking.modes import (
     ClassLockMode,
+    EscrowMode,
     MULTIGRANULARITY_COMPATIBILITY,
     RW_COMPATIBILITY,
     class_lock_compatible,
+    escrow_compatible,
     multigranularity_compatible,
     rw_compatible,
 )
@@ -27,6 +29,8 @@ from repro.locking.manager import (
 
 __all__ = [
     "ClassLockMode",
+    "EscrowMode",
+    "escrow_compatible",
     "LockManager",
     "LockManagerStats",
     "LockRequestOutcome",

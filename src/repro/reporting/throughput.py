@@ -22,12 +22,18 @@ from repro.reporting.tables import format_records
 #: frames — the two round-trip budgets the batching work drives down.
 #: ``p50_ms``/``p95_ms``/``p99_ms`` are commit-latency percentiles from the
 #: engine's mergeable log-scaled histogram (see :mod:`repro.obs.histogram`).
+#: ``plan_hit`` is the structural plan cache's steady-state hit rate,
+#: ``escrow`` the operations admitted in commutative escrow mode, and
+#: ``snap_reads`` the read-only operations served from the lock-free
+#: snapshot path — the three runtime-payoff counters.  ``invariant`` is the
+#: workload-level conservation verdict (order-entry scenario only).
 _COLUMNS = ("protocol", "threads", "shards", "workers", "durability",
             "transport", "pipeline", "txns",
             "committed", "xshard", "aborted", "retries", "deadlocks",
             "timeouts", "overloads", "rpcs", "frames", "commits_per_s",
-            "abort_rate", "mean_wait_ms", "p50_ms", "p95_ms", "p99_ms", "wal",
-            "elapsed_s", "serializable")
+            "abort_rate", "mean_wait_ms", "p50_ms", "p95_ms", "p99_ms",
+            "plan_hit_rate", "escrow_admits", "snapshot_reads", "wal",
+            "elapsed_s", "serializable", "invariant")
 
 
 def format_throughput_table(results: Sequence[Any]) -> str:

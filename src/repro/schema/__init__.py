@@ -24,7 +24,8 @@ from repro.schema.klass import ClassDefinition
 from repro.schema.method import MethodDefinition
 from repro.schema.schema import ResolvedMethod, Schema
 from repro.schema.builder import ClassBuilder, SchemaBuilder
-from repro.schema.examples import figure1_schema, library_schema, banking_schema
+from repro.schema.examples import (figure1_schema, library_schema,
+                                   banking_schema, order_entry_schema)
 
 __all__ = [
     "BaseType",
@@ -37,6 +38,7 @@ __all__ = [
     "Schema",
     "SchemaBuilder",
     "banking_schema",
+    "order_entry_schema",
     "figure1_schema",
     "library_schema",
 ]

@@ -132,6 +132,50 @@ def banking_schema() -> Schema:
     )
 
 
+def order_entry_schema() -> Schema:
+    """A TPC-C-style order-entry schema: hot counters plus read-only queries.
+
+    ``Warehouse`` carries the contended year-to-date and order counters that
+    every sale updates — both methods are pure counter updates
+    (``f := f ± delta``) and therefore escrow-admissible.  ``Stock`` pairs a
+    decrement of ``quantity`` with an increment of ``sold``, so the sum
+    ``quantity + sold`` is conserved by every sale: the conservation
+    invariant the sequential-replay verifier checks.  ``activity_report``
+    and ``stock_level`` are the read-only queries that make the snapshot
+    read path measurable.
+    """
+    return (
+        SchemaBuilder()
+        .define("Warehouse")
+            .field("name", "string")
+            .field("ytd", "float")
+            .field("orders", "integer")
+            .method("record_sale", "amount", body="""
+                ytd := ytd + amount
+            """)
+            .method("note_order", body="""
+                orders := orders + 1
+            """)
+            .method("activity_report", body="""
+                return describe(name, ytd, orders)
+            """)
+        .define("Stock")
+            .field("item", "string")
+            .field("quantity", "integer")
+            .field("sold", "integer")
+            .method("take_stock", "count", body="""
+                quantity := quantity - count
+            """)
+            .method("record_sold", "count", body="""
+                sold := sold + count
+            """)
+            .method("stock_level", body="""
+                return describe(item, quantity, sold)
+            """)
+        .build()
+    )
+
+
 def library_schema() -> Schema:
     """A document/library hierarchy with a reference field between classes.
 

@@ -89,6 +89,7 @@ from repro.sharding import rpc
 from repro.sharding.router import HashShardRouter
 from repro.sharding.twopc import ShardParticipant
 from repro.sim.workload import populate_store
+from repro.txn.plan_cache import PlanCache
 from repro.txn.protocols import PROTOCOLS
 from repro.txn.recovery import RecoveryManager
 from repro.wal.checkpoint import read_checkpoint_file, write_checkpoint_file
@@ -169,6 +170,11 @@ class ShardWorker:
         self._store = populate_store(self._schema, instances,
                                      seed=populate_seed)
         self._protocol = PROTOCOLS[protocol](self._compiled, self._store)
+        #: Memoized structural plans for the fused path's replan loop.  A
+        #: worker's population is fixed after spawn (the engine refuses
+        #: mid-epoch create/delete in worker mode), so no invalidation
+        #: hook is needed here.
+        self._plans = PlanCache(self._protocol)
         self._locks = BlockingLockManager(self._protocol.create_lock_manager(),
                                           default_timeout=lock_timeout)
         self._interpreter = Interpreter(self._store)
@@ -745,7 +751,7 @@ class ShardWorker:
             return rpc.FusedDone(fallback=True,
                                  resources=self._encode_acquired(acquired))
 
-        plan = self._protocol.plan(operation)
+        plan, _cached = self._plans.plan(operation)
         final = None
         for _ in range(_FUSED_REPLAN_ROUNDS):
             if any(self._router.shard_of_oid(oid) != self.shard_id
@@ -760,7 +766,7 @@ class ShardWorker:
                     return fallback()
                 acquired[key] = self._acquire_one_local(
                     txn, lock_request.resource, lock_request.mode, timeout)
-            refreshed = self._protocol.plan(operation)
+            refreshed, _cached = self._plans.plan(operation)
             if all((r.resource, r.mode) in acquired
                    for r in refreshed.requests):
                 final = refreshed

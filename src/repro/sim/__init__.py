@@ -12,6 +12,11 @@ waits, escalations, deadlocks, makespan).
 """
 
 from repro.sim.metrics import SimulationMetrics
+from repro.sim.order_entry import (
+    conservation_violations,
+    conserved_totals,
+    order_entry_specs,
+)
 from repro.sim.workload import TransactionSpec, WorkloadGenerator, populate_store
 from repro.sim.schema_gen import SchemaGenerator
 from repro.sim.simulator import Simulator, SimulationResult
@@ -32,6 +37,9 @@ __all__ = [
     "WorkloadGenerator",
     "admitted_sets",
     "build_section5_scenario",
+    "conservation_violations",
+    "conserved_totals",
+    "order_entry_specs",
     "pairwise_compatibility",
     "populate_store",
 ]

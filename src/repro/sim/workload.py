@@ -28,6 +28,10 @@ class TransactionSpec:
 
     operations: tuple[Operation, ...]
     label: str = ""
+    #: The transaction promises to only read: drivers begin it with
+    #: ``read_only=True`` so the engine can serve it from a committed
+    #: snapshot without acquiring a single lock.
+    read_only: bool = False
 
     def __len__(self) -> int:
         return len(self.operations)
@@ -116,6 +120,10 @@ class WorkloadGenerator:
             readers and writers are available on the chosen class.
         hotspot_fraction: fraction of single-instance calls directed at a
             small hot set of instances (drives conflict rates up).
+        read_mix: fraction of transactions that are declared *read-only* —
+            built from reader methods exclusively and marked
+            ``read_only=True`` so drivers route them down the engine's
+            lock-free snapshot path.
         method_filter: optional predicate restricting which methods are used.
     """
 
@@ -128,6 +136,7 @@ class WorkloadGenerator:
     write_bias: float = 0.5
     hotspot_fraction: float = 0.2
     hotspot_size: int = 4
+    read_mix: float = 0.0
     method_filter: object = None
     _rng: random.Random = field(init=False, repr=False)
 
@@ -143,11 +152,57 @@ class WorkloadGenerator:
 
     def transaction(self, label: str = "") -> TransactionSpec:
         """Generate one transaction specification."""
+        if self.read_mix and self._rng.random() < self.read_mix:
+            spec = self._read_only_transaction(label)
+            if spec is not None:
+                return spec
         operations = tuple(self._operation()
                            for _ in range(self.operations_per_transaction))
         return TransactionSpec(operations=operations, label=label)
 
     # -- internals -------------------------------------------------------------------
+
+    def _read_only_transaction(self, label: str) -> TransactionSpec | None:
+        """A transaction built from reader methods only, or ``None`` when
+        the schema offers no readable class (the caller then falls back to
+        an ordinary read/write transaction)."""
+        candidates = [name for name in self.schema.class_names
+                      if self.store.extent(name) and self._readers(name)]
+        if not candidates:
+            return None
+        operations = []
+        for _ in range(self.operations_per_transaction):
+            class_name = self._rng.choice(candidates)
+            method = self._rng.choice(self._readers(class_name))
+            if self._rng.random() < self.extent_fraction:
+                operations.append(ExtentCall(
+                    class_name=class_name, method=method,
+                    arguments=self._arguments(class_name, method)))
+                continue
+            oid = self._pick_instance(class_name)
+            operations.append(MethodCall(
+                oid=oid, method=method,
+                arguments=self._arguments(oid.class_name, method)))
+        return TransactionSpec(operations=tuple(operations), label=label,
+                               read_only=True)
+
+    def _readers(self, class_name: str) -> list[str]:
+        """Methods provably free of writes, even transitively.
+
+        A read-only transaction must never write, so the classification is
+        by *TAV* (the transitive vector folds in self-sends) and any method
+        that may send messages to other instances is excluded outright —
+        the callee could write fields this class's vectors never mention.
+        """
+        from repro.core.compiler import compile_schema  # local: avoid cycle
+        from repro.core.modes import AccessMode
+
+        if not hasattr(self, "_compiled_for_readers"):
+            self._compiled_for_readers = compile_schema(self.schema)
+        compiled = self._compiled_for_readers.compiled_class(class_name)
+        return [name for name in self.schema.method_names(class_name)
+                if compiled.tav(name).top_mode is not AccessMode.WRITE
+                and not compiled.has_external_sends(name)]
 
     def _operation(self) -> Operation:
         class_name = self._pick_class()

@@ -1,0 +1,181 @@
+"""The escrow ledger: commutativity-proved counter updates at run time.
+
+The compiler (:mod:`repro.core.commutativity`) proves some methods are pure
+counter updates ``f := f ± delta``.  Two such updates commute *semantically*
+even though their access vectors conflict — addition of deltas is commutative
+and associative — so the engine admits them under the non-exclusive
+:class:`~repro.locking.modes.EscrowMode` instead of the method's ordinary
+exclusive mode, and this ledger owns what that admission means for state:
+
+* **apply** — the delta is written through to the store *atomically with*
+  its :class:`~repro.wal.records.EscrowDelta` log record (both under the
+  shard WAL's append mutex).  That atomicity is what makes the checkpoint's
+  ``last_lsn`` an exact boundary: a delta stamped at or below it is inside
+  the snapshot, one above it is not.
+* **undo** — an aborting transaction's deltas are *inverse-applied*, not
+  restored from a before-image (an absolute image would erase concurrent
+  escrow work on the same field).  Each inverse application is itself logged
+  as an ``EscrowDelta`` of the opposite sign, which makes runtime undo
+  idempotent under crash replay: a fuzzy checkpoint that snapshots a
+  half-undone transaction keeps both the original and the inverse records,
+  and recovery's LSN rules cancel them pairwise.
+* **pending** — a transaction with escrow deltas has no undo images, so the
+  recovery manager's pending set cannot see it; the ledger exposes its own
+  per-shard pending set and the checkpointer unions the two for its
+  keep-read.  A transaction leaves the set (:meth:`seal`) only once its
+  deltas are final — after the commit decision is durable, or after undo has
+  fully reverted them — each removal made under the shard WAL mutex so the
+  keep-read never observes a torn state.
+
+The ledger takes one mutex per shard, ordered by shard id; :meth:`frozen`
+acquires them all, which is how the snapshot-read builder gets a consistent
+view of applied-but-uncommitted deltas without stopping writers for long.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import ExitStack, contextmanager
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
+
+from repro.objects.oid import OID
+from repro.wal.records import EscrowDelta
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.sharding.router import ShardRouter
+    from repro.wal.log import WriteAheadLog
+
+
+class EscrowLedger:
+    """Per-transaction escrow deltas: write-through apply, inverse undo."""
+
+    def __init__(self, store, router: "ShardRouter", shard_count: int,
+                 wals: "Sequence[WriteAheadLog | None] | None" = None) -> None:
+        self._store = store
+        self._router = router
+        self._wals: tuple["WriteAheadLog | None", ...] = (
+            tuple(wals) if wals is not None else (None,) * shard_count)
+        self._mutexes = tuple(threading.RLock() for _ in range(shard_count))
+        #: txn -> [(shard, oid, field, delta)] in application order; entries
+        #: are removed one by one as undo reverts them, so a reader under
+        #: :meth:`frozen` always sees exactly the deltas still in the store.
+        self._entries: dict[int, list[tuple[int, OID, str, Any]]] = {}
+        self._entries_mutex = threading.Lock()
+        #: Per shard, the transactions whose delta records the checkpoint
+        #: keep-read must preserve.
+        self._pending: tuple[set[int], ...] = tuple(set() for _ in range(shard_count))
+        #: Escrow admissions over this ledger's life (monotonic).
+        self.applied = 0
+
+    # -- the write path ----------------------------------------------------------
+
+    def apply(self, txn: int, oid: OID, field: str, delta: Any) -> Any:
+        """Merge ``delta`` into ``oid.field`` on behalf of ``txn``.
+
+        Returns the new field value.  Durable shards log the delta and apply
+        it under one WAL-mutex hold; the ledger entry is recorded under the
+        same shard mutex so :meth:`frozen` readers see entry and store value
+        appear together.
+        """
+        shard = self._router.shard_of_oid(oid)
+        with self._mutexes[shard]:
+            value = self._write_through(shard, txn, oid, field, delta)
+            with self._entries_mutex:
+                self._entries.setdefault(txn, []).append((shard, oid, field, delta))
+            self.applied += 1
+        return value
+
+    def _write_through(self, shard: int, txn: int, oid: OID, field: str,
+                       delta: Any) -> Any:
+        wal = self._wals[shard]
+        if wal is None:
+            value = self._store.read_field(oid, field) + delta
+            self._store.write_field(oid, field, value)
+            self._pending[shard].add(txn)
+            return value
+        with wal.mutex:
+            # Pending first, then the record, then the store write — all under
+            # the WAL mutex the checkpointer's keep-read holds, so a snapshot
+            # containing the new value always keeps the record that explains it.
+            self._pending[shard].add(txn)
+            wal.append(EscrowDelta(txn=txn, oid=oid, field=field, delta=delta))
+            value = self._store.read_field(oid, field) + delta
+            self._store.write_field(oid, field, value)
+            return value
+
+    # -- resolution --------------------------------------------------------------
+
+    def undo(self, txn: int) -> int:
+        """Inverse-apply every delta of ``txn`` (newest first); returns count.
+
+        Each reversal is logged as an opposite-sign delta before the store
+        write, so a crash at any point replays to the same result: recovery
+        treats original and inverse records alike and they cancel.
+        """
+        with self._entries_mutex:
+            entries = list(self._entries.get(txn, ()))
+        for entry in reversed(entries):
+            shard, oid, field, delta = entry
+            with self._mutexes[shard]:
+                self._write_through(shard, txn, oid, field, -delta)
+                with self._entries_mutex:
+                    bucket = self._entries.get(txn)
+                    if bucket is not None:
+                        bucket.remove(entry)
+                        if not bucket:
+                            del self._entries[txn]
+        self.seal(txn)
+        return len(entries)
+
+    def forget(self, txn: int) -> None:
+        """Drop a committed transaction's ledger state.
+
+        Call only once the commit decision is durable: sealing releases the
+        delta records to the next checkpoint rewrite, which is correct
+        exactly when the snapshot may keep the deltas applied.
+        """
+        with self._entries_mutex:
+            self._entries.pop(txn, None)
+        self.seal(txn)
+
+    def seal(self, txn: int) -> None:
+        """Remove ``txn`` from every shard's pending set (WAL-atomically)."""
+        for shard, pending in enumerate(self._pending):
+            if txn not in pending:
+                continue
+            wal = self._wals[shard]
+            if wal is None:
+                with self._mutexes[shard]:
+                    pending.discard(txn)
+            else:
+                with wal.mutex:
+                    pending.discard(txn)
+
+    # -- introspection -----------------------------------------------------------
+
+    def pending(self, shard_id: int) -> tuple[int, ...]:
+        """Transactions whose delta records shard ``shard_id`` must keep."""
+        return tuple(self._pending[shard_id])
+
+    def has_deltas(self, txn: int) -> bool:
+        """Whether ``txn`` has applied-and-unresolved deltas."""
+        with self._entries_mutex:
+            return bool(self._entries.get(txn))
+
+    def entries_of(self, txn: int) -> tuple[tuple[int, OID, str, Any], ...]:
+        """The live ledger entries of one transaction (application order)."""
+        with self._entries_mutex:
+            return tuple(self._entries.get(txn, ()))
+
+    def all_entries(self) -> dict[int, tuple[tuple[int, OID, str, Any], ...]]:
+        """Every live entry, per transaction (call under :meth:`frozen`)."""
+        with self._entries_mutex:
+            return {txn: tuple(entries) for txn, entries in self._entries.items()}
+
+    @contextmanager
+    def frozen(self) -> Iterator[None]:
+        """Hold every shard mutex: no delta can apply or revert inside."""
+        with ExitStack() as stack:
+            for mutex in self._mutexes:
+                stack.enter_context(mutex)
+            yield

@@ -9,6 +9,7 @@ from typing import Any, Callable, Hashable, Mapping
 from repro.core.compiler import CompiledSchema
 from repro.core.modes import AccessMode
 from repro.locking.manager import LockManager
+from repro.locking.modes import escrow_compatible
 from repro.objects.interpreter import ExecutionTrace, Interpreter, MessageEvent
 from repro.objects.oid import OID
 from repro.objects.shadow import ShadowStore
@@ -105,9 +106,55 @@ class ConcurrencyControlProtocol(abc.ABC):
 
     # -- provided ----------------------------------------------------------------
 
+    def plan_cache_key(self, operation: Operation) -> Hashable | None:
+        """A memoization key for ``operation``'s plan, or ``None``.
+
+        ``None`` means the plan is data-dependent (derived from a shadow run
+        of the actual arguments) and must not be cached.  Protocols whose
+        plans are purely structural — a function of (operation kind, class,
+        method) only — override this to return a hashable key.
+        """
+        return None
+
+    def _structural_cache_key(self, operation: Operation) -> Hashable | None:
+        """The shared cache key for protocols with structural plans.
+
+        Valid only when the operation has no external sends: then the plan
+        never looks at argument *values*, so (kind, target, method, argument
+        shape) identifies it.  Extent and domain plans still embed store
+        extents in their receivers, which is why the engine invalidates the
+        cache on instance creation/deletion.
+        """
+        if self._needs_shadow_run(operation):
+            return None
+        shape = tuple(type(argument).__name__ for argument in operation.arguments)
+        if isinstance(operation, MethodCall):
+            return ("method", operation.oid, operation.method,
+                    operation.as_class, shape)
+        if isinstance(operation, ExtentCall):
+            return ("extent", operation.class_name, operation.method, shape)
+        if isinstance(operation, DomainSomeCall):
+            return ("domain-some", operation.class_name, operation.method,
+                    operation.oids, shape)
+        if isinstance(operation, DomainAllCall):
+            return ("domain-all", operation.class_name, operation.method, shape)
+        return None
+
     def create_lock_manager(self) -> LockManager:
-        """A lock manager wired to this protocol's compatibility function."""
-        return LockManager(self.compatible)
+        """A lock manager wired to this protocol's compatibility function.
+
+        The protocol's table is wrapped with the escrow overlay: two escrow
+        modes always commute, an escrow mode conflicts with every ordinary
+        mode, and ordinary pairs fall through to :meth:`compatible`.
+        """
+        return LockManager(self._escrow_aware_compatible)
+
+    def _escrow_aware_compatible(self, resource: Hashable, held: Hashable,
+                                 requested: Hashable) -> bool:
+        overlay = escrow_compatible(held, requested)
+        if overlay is not None:
+            return overlay
+        return self.compatible(resource, held, requested)
 
     def execute(self, operation: Operation, interpreter: Interpreter,
                 trace: ExecutionTrace | None = None) -> list[Any]:

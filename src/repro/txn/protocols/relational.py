@@ -66,6 +66,18 @@ class RelationalProtocol(ConcurrencyControlProtocol):
         if key_policy not in ("first-field", "oid"):
             raise ValueError(f"unknown key policy {key_policy!r}")
         self._key_policy = key_policy
+        # Constant per-schema pieces of the relational mapping, hoisted so
+        # plan() never re-runs linearisation / descendant walks.
+        class_names = self._schema.class_names
+        self._relation_fields = {name: self._schema.get_class(name).field_names
+                                 for name in class_names}
+        self._slice_classes = {name: self._schema.linearization(name)
+                               for name in class_names}
+        self._key_fields = {name: self._derive_key_field(name)
+                            for name in class_names}
+        self._descendants = {name: self._schema.descendants(name)
+                             for name in class_names}
+        self._domains = {name: self._schema.domain(name) for name in class_names}
 
     # -- compatibility ---------------------------------------------------------------
 
@@ -81,7 +93,7 @@ class RelationalProtocol(ConcurrencyControlProtocol):
 
     def relation_fields(self, class_name: str) -> tuple[str, ...]:
         """The columns of the relation for ``class_name``: its declared fields."""
-        return self._schema.get_class(class_name).field_names
+        return self._relation_fields[class_name]
 
     def key_field(self, class_name: str) -> str | None:
         """The primary-key field of the hierarchy ``class_name`` belongs to.
@@ -89,6 +101,9 @@ class RelationalProtocol(ConcurrencyControlProtocol):
         Under the ``"oid"`` policy there is no user-visible key field (the
         surrogate key is never written by methods), hence ``None``.
         """
+        return self._key_fields[class_name]
+
+    def _derive_key_field(self, class_name: str) -> str | None:
         if self._key_policy == "oid":
             return None
         linearization = self._schema.linearization(class_name)
@@ -98,7 +113,7 @@ class RelationalProtocol(ConcurrencyControlProtocol):
 
     def slice_classes(self, class_name: str) -> tuple[str, ...]:
         """The relations an instance viewed through ``class_name`` spans."""
-        return self._schema.linearization(class_name)
+        return self._slice_classes[class_name]
 
     # -- planning -------------------------------------------------------------------------
 
@@ -124,6 +139,10 @@ class RelationalProtocol(ConcurrencyControlProtocol):
                               if request.resource[0] == "relation"})
         return LockPlan(requests=tuple(requests), control_points=control_points,
                         receivers=tuple(receivers))
+
+    def plan_cache_key(self, operation: Operation) -> Hashable | None:
+        """Relational plans are structural when the method has no external sends."""
+        return self._structural_cache_key(operation)
 
     # -- helpers -----------------------------------------------------------------------------
 
@@ -164,7 +183,7 @@ class RelationalProtocol(ConcurrencyControlProtocol):
         if isinstance(operation, ExtentCall):
             covered = (operation.class_name,)
         else:
-            covered = self._schema.domain(operation.class_name)
+            covered = self._domains[operation.class_name]
         relation_modes: dict[str, str] = {}
         cascade_write = False
         for class_name in covered:
@@ -186,7 +205,7 @@ class RelationalProtocol(ConcurrencyControlProtocol):
                     relation_modes[relation] = "W"
         if cascade_write:
             for class_name in covered:
-                for descendant in self._schema.descendants(class_name):
+                for descendant in self._descendants[class_name]:
                     relation_modes[descendant] = "W"
         for relation, mode in relation_modes.items():
             requests.append(LockRequestSpec(
@@ -197,7 +216,7 @@ class RelationalProtocol(ConcurrencyControlProtocol):
 
     def _plan_domain_intentions(self, operation: DomainSomeCall,
                                 requests: list[LockRequestSpec]) -> None:
-        for class_name in self._schema.domain(operation.class_name):
+        for class_name in self._domains[operation.class_name]:
             tav = self._method_tav(class_name, operation.method)
             if tav is None:
                 continue
@@ -224,7 +243,7 @@ class RelationalProtocol(ConcurrencyControlProtocol):
         key = self.key_field(static_class)
         if key is None or key not in tav.written_fields:
             return
-        for descendant in self._schema.descendants(static_class):
+        for descendant in self._descendants[static_class]:
             requests.append(LockRequestSpec(
                 resource=("relation", descendant), mode="IX", note="key cascade"))
             requests.append(LockRequestSpec(

@@ -22,11 +22,13 @@ receive them.
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Any, Callable, Hashable, Mapping
 
+from repro.core.compiler import CompiledSchema
 from repro.errors import UnknownModeError
 from repro.locking.modes import ClassLockMode, class_lock_compatible
 from repro.objects.oid import OID
+from repro.objects.store import ObjectStore
 from repro.txn.operations import (
     DomainAllCall,
     DomainSomeCall,
@@ -43,6 +45,26 @@ class TAVProtocol(ConcurrencyControlProtocol):
     name = "tav"
     description = ("per-method access modes from transitive access vectors; "
                    "one control per instance; explicit (mode, hierarchical) class locks")
+
+    def __init__(self, compiled: CompiledSchema, store: ObjectStore,
+                 builtins: Mapping[str, Callable[..., Any]] | None = None) -> None:
+        super().__init__(compiled, store, builtins)
+        # Constant per-schema translations, hoisted so plan() never re-walks
+        # the linearisation or rebuilds identical ClassLockMode pairs.
+        self._method_names = {name: frozenset(self._schema.method_names(name))
+                              for name in self._schema.class_names}
+        self._domains = {name: self._schema.domain(name)
+                         for name in self._schema.class_names}
+        self._intentional_modes: dict[str, ClassLockMode] = {}
+        self._hierarchical_modes: dict[str, ClassLockMode] = {}
+
+    def _class_mode(self, method: str, hierarchical: bool) -> ClassLockMode:
+        cache = self._hierarchical_modes if hierarchical else self._intentional_modes
+        mode = cache.get(method)
+        if mode is None:
+            mode = ClassLockMode(method, hierarchical=hierarchical)
+            cache[method] = mode
+        return mode
 
     # -- compatibility -----------------------------------------------------------
 
@@ -73,11 +95,11 @@ class TAVProtocol(ConcurrencyControlProtocol):
             control_points += 1
             self._plan_instance_access(operation.oid, operation.method, requests, receivers)
         elif isinstance(operation, DomainSomeCall):
-            for class_name in self._schema.domain(operation.class_name):
-                if operation.method in self._schema.method_names(class_name):
+            for class_name in self._domains[operation.class_name]:
+                if operation.method in self._method_names[class_name]:
                     requests.append(LockRequestSpec(
                         resource=("class", class_name),
-                        mode=ClassLockMode(operation.method, hierarchical=False),
+                        mode=self._class_mode(operation.method, hierarchical=False),
                         note="domain intentional"))
             for oid in operation.oids:
                 control_points += 1
@@ -89,17 +111,17 @@ class TAVProtocol(ConcurrencyControlProtocol):
             control_points += 1
             requests.append(LockRequestSpec(
                 resource=("class", operation.class_name),
-                mode=ClassLockMode(operation.method, hierarchical=True),
+                mode=self._class_mode(operation.method, hierarchical=True),
                 note="extent hierarchical"))
             receivers.extend((oid, operation.method)
                              for oid in self._store.extent(operation.class_name))
         elif isinstance(operation, DomainAllCall):
             control_points += 1
-            for class_name in self._schema.domain(operation.class_name):
-                if operation.method in self._schema.method_names(class_name):
+            for class_name in self._domains[operation.class_name]:
+                if operation.method in self._method_names[class_name]:
                     requests.append(LockRequestSpec(
                         resource=("class", class_name),
-                        mode=ClassLockMode(operation.method, hierarchical=True),
+                        mode=self._class_mode(operation.method, hierarchical=True),
                         note="domain hierarchical"))
             receivers.extend((oid, operation.method)
                              for oid in self._store.domain_extent(operation.class_name))
@@ -110,6 +132,10 @@ class TAVProtocol(ConcurrencyControlProtocol):
         return LockPlan(requests=tuple(requests), control_points=control_points,
                         receivers=tuple(receivers))
 
+    def plan_cache_key(self, operation: Operation) -> Hashable | None:
+        """TAV plans are structural whenever the method has no external sends."""
+        return self._structural_cache_key(operation)
+
     # -- helpers ---------------------------------------------------------------------
 
     def _plan_instance_access(self, oid: OID, method: str,
@@ -118,7 +144,7 @@ class TAVProtocol(ConcurrencyControlProtocol):
         """Lock one instance: intentional class lock plus the instance mode."""
         requests.append(LockRequestSpec(
             resource=("class", oid.class_name),
-            mode=ClassLockMode(method, hierarchical=False),
+            mode=self._class_mode(method, hierarchical=False),
             note="intentional"))
         requests.append(LockRequestSpec(
             resource=("instance", oid), mode=method, note="instance access"))

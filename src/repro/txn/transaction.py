@@ -46,6 +46,9 @@ class Transaction:
     #: The begin timestamp of the first incarnation of this logical
     #: transaction; equals ``txn_id`` unless set by a retrying caller.
     origin: int | None = None
+    #: Declared read-only at begin: the engine serves it from a committed
+    #: snapshot and it never touches the lock manager.
+    read_only: bool = False
     state: TransactionState = TransactionState.ACTIVE
     stats: TransactionStats = field(default_factory=TransactionStats)
     #: Results of completed operations, in submission order.

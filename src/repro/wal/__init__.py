@@ -29,6 +29,7 @@ from repro.wal.log import DecisionLog, WriteAheadLog, read_records
 from repro.wal.checkpoint import CheckpointManager, ShardCheckpoint
 from repro.wal.records import (
     DecisionRecord,
+    EscrowDelta,
     PreparedMarker,
     RedoImage,
     UndoImage,
@@ -41,6 +42,7 @@ __all__ = [
     "DecisionLog",
     "DecisionRecord",
     "Durability",
+    "EscrowDelta",
     "PreparedMarker",
     "RecoveryReport",
     "RecoveryResult",

@@ -45,7 +45,7 @@ import json
 import os
 import threading
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from repro.objects.oid import OID
 from repro.wal.durability import Durability
@@ -70,11 +70,19 @@ class ShardCheckpoint:
 
 def write_checkpoint_file(path, shard_id: int, active: Sequence[int],
                           snapshot: Sequence[tuple[OID, str, dict[str, Any]]],
-                          *, fsync: bool) -> None:
-    """Atomically install one shard's snapshot file (tmp + fsync + rename)."""
+                          *, fsync: bool, last_lsn: int = 0) -> None:
+    """Atomically install one shard's snapshot file (tmp + fsync + rename).
+
+    ``last_lsn`` is the highest WAL stamp already reflected in the snapshot.
+    Escrow deltas are applied atomically with their append (both under the
+    WAL mutex the checkpointer holds), so the boundary is exact: a delta
+    record stamped at or below ``last_lsn`` is inside the snapshot, one
+    above it is not.
+    """
     document = {
         "shard": shard_id,
         "active": sorted(active),
+        "last_lsn": last_lsn,
         "max_oid": max((oid.number for oid, _, _ in snapshot), default=0),
         "instances": [
             [class_name, oid.number,
@@ -118,13 +126,18 @@ class CheckpointManager:
                  recovery: "ShardedRecoveryManager",
                  wals: Sequence[WriteAheadLog],
                  durability: Durability,
-                 decision_log: "DecisionLog | None" = None) -> None:
+                 decision_log: "DecisionLog | None" = None,
+                 extra_pending: "Callable[[int], Iterable[int]] | None" = None) -> None:
         self._store = store
         self._router = router
         self._recovery = recovery
         self._wals = tuple(wals)
         self._durability = durability
         self._decision_log = decision_log
+        #: Additional per-shard pending transactions the keep-read must
+        #: honour — the escrow ledger's, whose deltas have no undo images
+        #: and so are invisible to the recovery manager's pending set.
+        self._extra_pending = extra_pending
         self._checkpoint_mutex = threading.Lock()
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
@@ -157,10 +170,13 @@ class CheckpointManager:
             # every transaction whose dirty values the snapshot may contain
             # is pending here.
             keep = set(manager.pending_transactions())
+            if self._extra_pending is not None:
+                keep.update(self._extra_pending(shard_id))
             snapshot = self._snapshot_shard(shard_id)
             write_checkpoint_file(self._durability.checkpoint_path(shard_id),
                                   shard_id, keep, snapshot,
-                                  fsync=self._durability.fsync)
+                                  fsync=self._durability.fsync,
+                                  last_lsn=wal.last_lsn)
             kept, dropped = wal.rewrite(lambda record: record.txn in keep)
             return ShardCheckpoint(shard_id=shard_id, instances=len(snapshot),
                                    active=tuple(sorted(keep)),

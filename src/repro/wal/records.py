@@ -183,6 +183,33 @@ class InstanceDeleted:
 
 
 @dataclass(frozen=True)
+class EscrowDelta:
+    """One escrow counter update: ``field += delta`` on one instance.
+
+    Unlike an :class:`UndoImage`/:class:`RedoImage` pair, the record *is*
+    the operation: recovery re-applies winners' deltas and inverse-applies
+    losers' — restoring an absolute before-image would erase the deltas of
+    concurrent escrow transactions on the same field.  The record is
+    appended write-through **atomically with** the in-memory apply (both
+    under the WAL mutex), which is what makes the checkpoint's ``last_lsn``
+    an exact boundary between "delta already in the snapshot" and "delta
+    must be replayed".
+    """
+
+    txn: int
+    oid: OID
+    field: str
+    delta: Any
+
+    kind = "escrow"
+
+    def payload(self) -> dict[str, Any]:
+        return {"kind": self.kind, "txn": self.txn,
+                "oid": _encode_oid(self.oid), "field": self.field,
+                "delta": encode_value(self.delta)}
+
+
+@dataclass(frozen=True)
 class DecisionRecord:
     """One coordinator decision (``commit`` or ``abort``) made durable."""
 
@@ -198,7 +225,7 @@ class DecisionRecord:
 
 
 WALRecord = (UndoImage | RedoImage | PreparedMarker | InstanceCreated
-             | InstanceDeleted | DecisionRecord)
+             | InstanceDeleted | EscrowDelta | DecisionRecord)
 
 
 def record_from_payload(payload: Mapping[str, Any]) -> WALRecord:
@@ -220,6 +247,10 @@ def record_from_payload(payload: Mapping[str, Any]) -> WALRecord:
                          values=_decode_values(payload["values"]))
     if kind == PreparedMarker.kind:
         return PreparedMarker(txn=payload["txn"])
+    if kind == EscrowDelta.kind:
+        return EscrowDelta(txn=payload["txn"], oid=_decode_oid(payload["oid"]),
+                           field=payload["field"],
+                           delta=decode_value(payload["delta"]))
     if kind == DecisionRecord.kind:
         return DecisionRecord(txn=payload["txn"], verdict=payload["verdict"],
                               shards=tuple(payload["shards"]))

@@ -40,8 +40,9 @@ from repro.objects.store import ObjectStore
 from repro.schema import Schema
 from repro.wal.checkpoint import read_checkpoint_file
 from repro.wal.durability import Durability
-from repro.wal.log import DecisionLog, read_records
+from repro.wal.log import DecisionLog, read_stamped_records
 from repro.wal.records import (
+    EscrowDelta,
     InstanceCreated,
     InstanceDeleted,
     RedoImage,
@@ -77,6 +78,10 @@ class RecoveryReport:
     created_replayed: int = 0
     #: Mid-epoch deletions re-applied from structural WAL records.
     deleted_replayed: int = 0
+    #: Winners' escrow deltas re-applied (those past the snapshot boundary).
+    escrow_redone: int = 0
+    #: Losers' escrow deltas inverse-applied (those inside the snapshot).
+    escrow_undone: int = 0
 
     def as_document(self) -> dict[str, Any]:
         """A JSON-ready summary (CI uploads this as the recovery report)."""
@@ -92,6 +97,8 @@ class RecoveryReport:
             "redo_applied": self.redo_applied,
             "created_replayed": self.created_replayed,
             "deleted_replayed": self.deleted_replayed,
+            "escrow_redone": self.escrow_redone,
+            "escrow_undone": self.escrow_undone,
         }
 
 
@@ -104,6 +111,10 @@ class RecoveryResult:
     #: Per-shard log records as read (tests use these to audit the store
     #: against the log independently of the replay code above).
     shard_records: dict[int, list[WALRecord]] = field(default_factory=dict)
+    #: The same records with their LSN stamps (``(lsn, record)`` pairs) and
+    #: the per-shard snapshot boundary, for escrow-aware auditing.
+    stamped_records: dict[int, list[tuple[int, WALRecord]]] = field(default_factory=dict)
+    checkpoint_lsns: dict[int, int] = field(default_factory=dict)
 
 
 class RecoveryRunner:
@@ -153,10 +164,12 @@ class RecoveryRunner:
 
         max_number = 0
         snapshot: list[tuple[str, int, dict[str, Any]]] = []
+        ckpt_lsns: dict[int, int] = {}
         for shard_id in range(self._num_shards):
             document = read_checkpoint_file(
                 self._durability.checkpoint_path(shard_id))
             if document is not None:
+                ckpt_lsns[shard_id] = int(document.get("last_lsn", 0))
                 snapshot.extend((class_name, number, values)
                                 for class_name, number, values
                                 in document["instances"])
@@ -176,10 +189,15 @@ class RecoveryRunner:
         prepared: set[int] = set()
         undo_applied = redo_applied = 0
         created_replayed = deleted_replayed = 0
+        escrow_redone = escrow_undone = 0
         shard_records: dict[int, list[WALRecord]] = {}
+        stamped_records: dict[int, list[tuple[int, WALRecord]]] = {}
         for shard_id in range(self._num_shards):
-            records = list(read_records(self._durability.wal_path(shard_id)))
+            stamped = list(read_stamped_records(self._durability.wal_path(shard_id)))
+            stamped_records[shard_id] = stamped
+            records = [record for _, record in stamped]
             shard_records[shard_id] = records
+            ckpt_lsn = ckpt_lsns.get(shard_id, 0)
             # Structural records first, in log order: a creation the base
             # checkpoint never saw must exist before any field image of it
             # can be undone or redone; a deletion wins over both (the field
@@ -212,14 +230,44 @@ class RecoveryRunner:
                 oid = getattr(record, "oid", None)
                 if oid is not None:
                     max_number = max(max_number, oid.number)
+            # The oldest surviving loser before-image per (oid, field):
+            # reverse-order restoration ends on it, so once restored it —
+            # not the checkpoint snapshot — is the base state an escrow
+            # delta on that field must be judged against.
+            loser_images: dict[tuple[OID, str], tuple[int, int]] = {}
+            for lsn, record in stamped:
+                if isinstance(record, UndoImage) \
+                        and outcomes.get(record.txn) != "commit":
+                    for name in record.values:
+                        loser_images.setdefault((record.oid, name),
+                                                (lsn, record.txn))
             for record in reversed(records):
                 if isinstance(record, UndoImage) \
                         and outcomes.get(record.txn) != "commit":
                     undo_applied += self._apply(store, record)
-            for record in records:
-                if isinstance(record, RedoImage) \
-                        and outcomes.get(record.txn) == "commit":
+            # Losers' deltas still present in the base are inverse-applied
+            # (a runtime abort logged its reversals as opposite-sign deltas,
+            # so original and inverse cancel pairwise here).
+            for lsn, record in stamped:
+                if isinstance(record, EscrowDelta) \
+                        and outcomes.get(record.txn) != "commit" \
+                        and self._delta_survives_in_base(lsn, record,
+                                                         loser_images, ckpt_lsn):
+                    escrow_undone += self._apply_delta(store, record,
+                                                       invert=True)
+            # Winners replay forward in log order: redo images are absolute
+            # (captured at prepare, after the winner's own deltas), so
+            # interleaving them with the deltas the base is missing lands on
+            # the committed value.
+            for lsn, record in stamped:
+                if outcomes.get(record.txn) != "commit":
+                    continue
+                if isinstance(record, RedoImage):
                     redo_applied += self._apply(store, record)
+                elif isinstance(record, EscrowDelta) and \
+                        self._delta_missing_from_base(lsn, record,
+                                                      loser_images, ckpt_lsn):
+                    escrow_redone += self._apply_delta(store, record)
 
         store.advance_oids_past(max_number)
         report = RecoveryReport(
@@ -233,9 +281,13 @@ class RecoveryRunner:
             undo_applied=undo_applied,
             redo_applied=redo_applied,
             created_replayed=created_replayed,
-            deleted_replayed=deleted_replayed)
+            deleted_replayed=deleted_replayed,
+            escrow_redone=escrow_redone,
+            escrow_undone=escrow_undone)
         return RecoveryResult(store=store, report=report,
-                              shard_records=shard_records)
+                              shard_records=shard_records,
+                              stamped_records=stamped_records,
+                              checkpoint_lsns=ckpt_lsns)
 
     # -- auditing ----------------------------------------------------------------
 
@@ -252,12 +304,29 @@ class RecoveryRunner:
         """
         violations: list[str] = []
         in_doubt = set(result.report.in_doubt)
-        for shard_id, records in result.shard_records.items():
+        stamped_by_shard = result.stamped_records or {
+            shard_id: [(0, record) for record in records]
+            for shard_id, records in result.shard_records.items()}
+        for shard_id, stamped in stamped_by_shard.items():
             expected: dict[tuple[OID, str], Any] = {}
-            for record in records:
+            image_meta: dict[tuple[OID, str], tuple[int, int]] = {}
+            for lsn, record in stamped:
                 if isinstance(record, UndoImage) and record.txn in in_doubt:
                     for name, value in record.values.items():
-                        expected.setdefault((record.oid, name), value)
+                        key = (record.oid, name)
+                        if key not in expected:
+                            expected[key] = value
+                            image_meta[key] = (lsn, record.txn)
+            # An oldest before-image embeds the owner's own escrow deltas
+            # applied before the capture; recovery inverse-applies those, so
+            # the value the oracle should expect is the image minus them.
+            for lsn, record in stamped:
+                if isinstance(record, EscrowDelta):
+                    key = (record.oid, record.field)
+                    meta = image_meta.get(key)
+                    if meta is not None and record.txn == meta[1] \
+                            and 0 < lsn < meta[0]:
+                        expected[key] = expected[key] - record.delta
             for (oid, name), value in expected.items():
                 if oid not in result.store:
                     continue
@@ -286,4 +355,51 @@ class RecoveryRunner:
         instance = store.get(record.oid)
         for name, value in record.values.items():
             instance.set(name, value)
+        return 1
+
+    @staticmethod
+    def _delta_survives_in_base(lsn: int, record: EscrowDelta,
+                                loser_images: dict[tuple[OID, str], tuple[int, int]],
+                                ckpt_lsn: int) -> bool:
+        """Whether a loser's delta is present in the replayed base state.
+
+        With no loser image on the field, the base is the checkpoint
+        snapshot: the delta is inside it exactly when its stamp is at or
+        below the snapshot boundary.  With a restored image, the base is
+        that image, which embeds only the *owner's own* deltas applied
+        before the capture — any other loser's earlier delta was already
+        reverted (lock conflict forces it: the escrow holder must have
+        finished before the ordinary lock was granted) and its original and
+        inverse records cancel under this same rule.
+        """
+        image = loser_images.get((record.oid, record.field))
+        if image is not None:
+            image_lsn, owner = image
+            return owner == record.txn and lsn < image_lsn
+        return 0 < lsn <= ckpt_lsn
+
+    @staticmethod
+    def _delta_missing_from_base(lsn: int, record: EscrowDelta,
+                                 loser_images: dict[tuple[OID, str], tuple[int, int]],
+                                 ckpt_lsn: int) -> bool:
+        """Whether a winner's delta is absent from the replayed base state.
+
+        The base boundary for the field is the restored loser image's stamp
+        when one exists (record order is apply order, so any delta stamped
+        before the capture is embedded in the image), the checkpoint
+        boundary otherwise.
+        """
+        image = loser_images.get((record.oid, record.field))
+        boundary = image[0] if image is not None else ckpt_lsn
+        return lsn > boundary
+
+    @staticmethod
+    def _apply_delta(store: Any, record: EscrowDelta, *,
+                     invert: bool = False) -> int:
+        """Merge one delta (or its inverse) into the recovering store."""
+        if record.oid not in store:
+            return 0
+        instance = store.get(record.oid)
+        delta = -record.delta if invert else record.delta
+        instance.set(record.field, store.read_field(record.oid, record.field) + delta)
         return 1

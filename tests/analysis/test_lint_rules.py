@@ -357,6 +357,54 @@ class StandbyReplicator:
     assert lint_paths([tree]) == []
 
 
+def test_l9_fires_on_direct_protocol_plan_in_engine_code(tmp_path):
+    tree = write_tree(tmp_path, {"repro/engine/fastpath.py": '''
+def execute(protocol, transaction, operation):
+    plan = protocol.plan(operation)
+    return plan
+'''})
+    findings = lint_paths([tree])
+    assert codes_of(findings) == ["L9"]
+    assert "PlanCache" in findings[0].message
+
+
+def test_l9_fires_on_schema_recompile_outside_setup(tmp_path):
+    tree = write_tree(tmp_path, {"repro/sharding/worker.py": '''
+from repro.core import compile_schema
+
+class ShardWorker:
+    def _execute(self, request):
+        compiled = compile_schema(self._schema)
+        return compiled
+'''})
+    findings = lint_paths([tree])
+    assert codes_of(findings) == ["L9"]
+    assert "once at setup" in findings[0].message
+
+
+def test_l9_allows_cache_plans_and_setup_compilation(tmp_path):
+    tree = write_tree(tmp_path, {"repro/engine/fastpath.py": '''
+from repro.core import compile_schema
+
+class Engine:
+    def __init__(self, schema):
+        self._compiled = compile_schema(schema)
+
+    def execute(self, transaction, operation):
+        plan, hit = self._plans.plan(operation)
+        return plan
+'''})
+    assert lint_paths([tree]) == []
+
+
+def test_l9_ignores_planner_calls_outside_hot_path_packages(tmp_path):
+    tree = write_tree(tmp_path, {"repro/sim/simulator.py": '''
+def step(protocol, operation):
+    return protocol.plan(operation)
+'''})
+    assert lint_paths([tree]) == []
+
+
 # -- pragmas ------------------------------------------------------------------
 
 

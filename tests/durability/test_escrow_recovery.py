@@ -1,0 +1,130 @@
+"""EscrowDelta records through crash, checkpoint and recovery.
+
+Escrow admissions log no before/after images — each merge is one
+``EscrowDelta`` record applied atomically with the store write — so
+recovery has its own replay rules for them: winners' deltas above the
+checkpoint boundary are re-merged, losers' deltas inside the base are
+inverse-applied, and a runtime abort's inverse records cancel pairwise
+with the originals.  These tests crash a durable escrow engine at each
+interesting point and rebuild from the durability directory alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import compile_schema
+from repro.engine import Engine
+from repro.schema.examples import order_entry_schema
+from repro.sharding import ClassShardRouter, ShardedObjectStore
+from repro.txn.protocols import TAVProtocol
+from repro.wal import Durability, RecoveryRunner
+
+
+@pytest.fixture
+def durable_escrow(tmp_path):
+    """A two-shard durable escrow engine over one warehouse and one stock."""
+    schema = order_entry_schema()
+    compiled = compile_schema(schema)
+    router = ClassShardRouter(2, {"Warehouse": 0, "Stock": 1})
+    store = ShardedObjectStore(schema, router)
+    warehouse = store.create("Warehouse", name="west", ytd=0.0, orders=0)
+    stock = store.create("Stock", item="widget", quantity=100, sold=0)
+    durability = Durability.lazy(tmp_path / "wal")
+    engine = Engine(TAVProtocol(compiled, store), durability=durability,
+                    escrow=True)
+    yield engine, schema, router, durability, warehouse.oid, stock.oid
+    engine.close()
+
+
+def _recover(durability, schema, router):
+    return RecoveryRunner(durability, schema, router=router).recover()
+
+
+def _sale(engine, warehouse, stock, amount, count, label=""):
+    session = engine.begin(label=label)
+    session.call(warehouse, "record_sale", amount)
+    session.call(stock, "take_stock", count)
+    session.call(stock, "record_sold", count)
+    session.commit()
+    return session
+
+
+def test_committed_deltas_are_redone_from_the_wal(durable_escrow):
+    engine, schema, router, durability, warehouse, stock = durable_escrow
+    session = _sale(engine, warehouse, stock, 50.0, 30, label="sale")
+    assert engine.metrics.escrow_admits > 0
+    engine.close()  # crash: no checkpoint since construction
+
+    result = _recover(durability, schema, router)
+    assert result.store.read_field(warehouse, "ytd") == 50.0
+    assert result.store.read_field(stock, "quantity") == 70
+    assert result.store.read_field(stock, "sold") == 30
+    assert session.txn_id in result.report.winners
+    assert result.report.escrow_redone > 0
+
+
+def test_in_flight_deltas_are_presumed_aborted(durable_escrow):
+    """A crashed transaction's applied-but-undecided deltas are
+    inverse-applied by recovery — there is no before-image to restore.
+    The checkpoint lands *while the delta is applied*, so the snapshot
+    contains it and only the kept EscrowDelta record explains it: the
+    case the ledger's pending set exists for."""
+    engine, schema, router, durability, warehouse, stock = durable_escrow
+    _sale(engine, warehouse, stock, 50.0, 30, label="good")
+    dangling = engine.begin(label="crashed-mid-flight")
+    dangling.call(stock, "take_stock", 25)  # applied, never commits
+    engine.checkpoint()  # fuzzy: snapshots the half-done transaction
+    engine.close()
+
+    result = _recover(durability, schema, router)
+    assert result.store.read_field(stock, "quantity") == 70  # only the sale
+    assert dangling.txn_id not in result.report.winners
+    assert result.report.escrow_undone > 0
+    assert RecoveryRunner.presumed_abort_violations(result) == []
+
+
+def test_checkpoint_is_an_exact_delta_boundary(durable_escrow):
+    """A delta stamped at or below the snapshot's last_lsn is inside it;
+    one above it is replayed — never both, never neither."""
+    engine, schema, router, durability, warehouse, stock = durable_escrow
+    _sale(engine, warehouse, stock, 10.0, 10, label="before-ckpt")
+    engine.checkpoint()
+    _sale(engine, warehouse, stock, 20.0, 5, label="after-ckpt")
+    engine.close()
+
+    result = _recover(durability, schema, router)
+    assert result.store.read_field(warehouse, "ytd") == 30.0
+    assert result.store.read_field(stock, "quantity") == 85
+    assert result.store.read_field(stock, "sold") == 15
+
+
+def test_runtime_abort_logs_inverses_that_cancel_under_replay(durable_escrow):
+    """Undo at run time is itself logged (opposite-sign deltas), so a crash
+    after the abort replays original and inverse to a net zero."""
+    engine, schema, router, durability, warehouse, stock = durable_escrow
+    session = engine.begin(label="change-of-heart")
+    session.call(stock, "take_stock", 40)
+    session.abort()
+    engine.close()
+
+    result = _recover(durability, schema, router)
+    assert result.store.read_field(stock, "quantity") == 100
+    assert session.txn_id not in result.report.winners
+    assert RecoveryRunner.presumed_abort_violations(result) == []
+
+
+def test_abort_then_checkpoint_keeps_the_reverted_value(durable_escrow):
+    """The snapshot captures the store *after* undo; recovery must not
+    re-invert deltas the base already excludes."""
+    engine, schema, router, durability, warehouse, stock = durable_escrow
+    session = engine.begin(label="aborted-before-ckpt")
+    session.call(stock, "take_stock", 40)
+    session.abort()
+    engine.checkpoint()
+    _sale(engine, warehouse, stock, 5.0, 5, label="after")
+    engine.close()
+
+    result = _recover(durability, schema, router)
+    assert result.store.read_field(stock, "quantity") == 95
+    assert result.store.read_field(stock, "sold") == 5

@@ -1,0 +1,132 @@
+"""The lock-free snapshot path for declared read-only transactions.
+
+``begin(read_only=True)`` is a promise the engine both exploits and
+enforces: every operation runs against a shared committed-state copy with
+zero lock acquisitions and zero undo images, a write attempt is refused
+outright, and the copy excludes other transactions' unfinished work —
+ordinary in-flight writes and applied-but-uncommitted escrow deltas alike.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import compile_schema
+from repro.engine import Engine
+from repro.errors import TransactionError
+from repro.schema.examples import order_entry_schema
+from repro.sim.workload import populate_store
+from repro.txn.protocols import TAVProtocol
+
+
+@pytest.fixture
+def engine_setup():
+    schema = order_entry_schema()
+    compiled = compile_schema(schema)
+    store = populate_store(schema, {"Warehouse": 1, "Stock": 2}, seed=3)
+    engine = Engine(TAVProtocol(compiled, store), escrow=True)
+    yield engine, store
+    engine.close()
+
+
+def _lock_requests(engine) -> int:
+    return sum(manager.inner.stats.requests
+               for manager in engine.lock_manager.shards)
+
+
+def test_read_only_transactions_acquire_zero_locks(engine_setup):
+    engine, store = engine_setup
+    warehouse = store.extent("Warehouse")[0]
+    stock = store.extent("Stock")[0]
+    before = _lock_requests(engine)
+    session = engine.begin(read_only=True)
+    session.call(warehouse, "activity_report")
+    session.call(stock, "stock_level")
+    session.commit()
+    assert _lock_requests(engine) == before
+    assert engine.metrics.snapshot_reads == 2
+
+
+def test_read_only_write_attempts_are_refused(engine_setup):
+    engine, store = engine_setup
+    stock = store.extent("Stock")[0]
+    session = engine.begin(read_only=True)
+    with pytest.raises(TransactionError, match="read-only"):
+        session.call(stock, "take_stock", 5)
+    # The refusal corrupted nothing: the live store is untouched and an
+    # ordinary transaction still works.
+    quantity = store.read_field(stock, "quantity")
+    writer = engine.begin()
+    writer.call(stock, "take_stock", 5)
+    writer.commit()
+    assert store.read_field(stock, "quantity") == quantity - 5
+
+
+def test_snapshot_excludes_in_flight_locked_writes(engine_setup):
+    engine, store = engine_setup
+    warehouse = store.extent("Warehouse")[0]
+    base = store.read_field(warehouse, "orders")
+    writer = engine.begin()
+    writer.call(warehouse, "note_order")  # uncommitted
+    assert store.read_field(warehouse, "orders") == base + 1  # dirty, live
+
+    reader = engine.begin(read_only=True)
+    report = reader.call(warehouse, "activity_report")
+    reader.commit()
+    assert report.split()[-1] == str(base)  # "name ytd orders"
+
+    writer.commit()
+    after = engine.begin(read_only=True)
+    final = after.call(warehouse, "activity_report")
+    after.commit()
+    assert final.split()[-1] == str(base + 1)
+
+
+def test_snapshot_excludes_uncommitted_escrow_deltas(engine_setup):
+    """The snapshot builder freezes the ledger and rolls its live deltas
+    back, so a read-only report never shows half a sale."""
+    engine, store = engine_setup
+    stock = store.extent("Stock")[0]
+    base = store.read_field(stock, "quantity")
+    writer = engine.begin()
+    writer.call(stock, "take_stock", 7)  # escrow-admitted, uncommitted
+    assert engine.metrics.escrow_admits == 1
+    assert store.read_field(stock, "quantity") == base - 7  # applied, live
+
+    reader = engine.begin(read_only=True)
+    level = reader.call(stock, "stock_level")
+    reader.commit()
+    assert level.split()[1] == str(base)  # "item quantity sold"
+    writer.commit()
+
+
+def test_snapshot_is_shared_between_commits_and_refreshed_after(engine_setup):
+    engine, store = engine_setup
+    warehouse = store.extent("Warehouse")[0]
+    first = engine.begin(read_only=True)
+    first.call(warehouse, "activity_report")
+    first.commit()
+    cached = engine._snapshot_cache
+    second = engine.begin(read_only=True)
+    second.call(warehouse, "activity_report")
+    second.commit()
+    assert engine._snapshot_cache is cached  # same point, same copy
+
+    writer = engine.begin()
+    writer.call(warehouse, "note_order")
+    writer.commit()
+    third = engine.begin(read_only=True)
+    third.call(warehouse, "activity_report")
+    third.commit()
+    assert engine._snapshot_cache is not cached  # new commit, new copy
+
+
+def test_read_only_commit_short_circuits_the_commit_log(engine_setup):
+    """A transaction that touched nothing writable leaves no commit-log
+    entry — sequential-replay verification must not try to replay it."""
+    engine, store = engine_setup
+    warehouse = store.extent("Warehouse")[0]
+    session = engine.begin(read_only=True, label="just-looking")
+    session.call(warehouse, "activity_report")
+    session.commit()
+    assert "just-looking" not in [label for _, label in engine.commit_log]

@@ -108,3 +108,35 @@ def test_schema_generator_produces_overrides_and_self_calls():
                   for method in definition.own_methods.values()
                   if "send" in method.source and "to self" in method.source]
     assert self_calls
+
+
+def test_workload_generator_read_mix_yields_provable_readers(banking):
+    """``read_mix`` transactions must be safe on the lock-free snapshot
+    path: every chosen method is write-free by its *transitive* vector and
+    sends no external messages (a callee could write fields this class's
+    vectors never mention)."""
+    from repro.core.modes import AccessMode
+
+    store = populate_store(banking, 10, seed=0)
+    generator = WorkloadGenerator(schema=banking, store=store, seed=3,
+                                  read_mix=0.5)
+    specs = generator.transactions(60)
+    queries = [spec for spec in specs if spec.read_only]
+    assert 0 < len(queries) < len(specs)
+    compiled = compile_schema(banking)
+    for spec in queries:
+        for operation in spec.operations:
+            assert isinstance(operation, (MethodCall, ExtentCall))
+            class_name = operation.oid.class_name \
+                if isinstance(operation, MethodCall) else operation.class_name
+            compiled_class = compiled.compiled_class(class_name)
+            assert compiled_class.tav(operation.method).top_mode \
+                is not AccessMode.WRITE
+            assert not compiled_class.has_external_sends(operation.method)
+
+
+def test_workload_generator_read_mix_zero_marks_nothing(banking):
+    store = populate_store(banking, 5, seed=0)
+    specs = WorkloadGenerator(schema=banking, store=store,
+                              seed=11).transactions(20)
+    assert not any(spec.read_only for spec in specs)

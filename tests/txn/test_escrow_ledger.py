@@ -1,0 +1,93 @@
+"""The escrow ledger in isolation: write-through apply, inverse undo,
+pending-set lifecycle, and the frozen consistent view.
+
+Durable behaviour (EscrowDelta records interleaving with checkpoints and
+recovery) lives in ``tests/durability/test_escrow_recovery.py``; these
+tests pin the in-memory contract the engine builds on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.objects.store import ObjectStore
+from repro.schema.examples import order_entry_schema
+from repro.sharding import HashShardRouter
+from repro.txn.escrow import EscrowLedger
+
+
+@pytest.fixture
+def ledger_setup():
+    schema = order_entry_schema()
+    store = ObjectStore(schema)
+    stock = store.create("Stock", item="widget", quantity=100, sold=0)
+    router = HashShardRouter(2)
+    return store, stock.oid, EscrowLedger(store, router, 2)
+
+
+def test_apply_writes_through_and_records_the_entry(ledger_setup):
+    store, oid, ledger = ledger_setup
+    assert ledger.apply(7, oid, "quantity", -30) == 70
+    assert store.read_field(oid, "quantity") == 70
+    assert ledger.has_deltas(7)
+    assert ledger.entries_of(7) == ((ledger_setup[2]._router.shard_of_oid(oid),
+                                     oid, "quantity", -30),)
+    assert ledger.applied == 1
+
+
+def test_undo_inverse_applies_newest_first_and_seals(ledger_setup):
+    store, oid, ledger = ledger_setup
+    ledger.apply(7, oid, "quantity", -30)
+    ledger.apply(7, oid, "sold", 30)
+    shard = ledger._router.shard_of_oid(oid)
+    assert 7 in ledger.pending(shard)
+
+    assert ledger.undo(7) == 2
+    assert store.read_field(oid, "quantity") == 100
+    assert store.read_field(oid, "sold") == 0
+    assert not ledger.has_deltas(7)
+    assert 7 not in ledger.pending(shard)
+
+
+def test_undo_does_not_erase_concurrent_escrow_work(ledger_setup):
+    """The reason undo is inverse-apply, not restore-from-image: another
+    transaction's delta on the same field must survive the abort."""
+    store, oid, ledger = ledger_setup
+    ledger.apply(7, oid, "quantity", -30)   # the aborter
+    ledger.apply(8, oid, "quantity", -10)   # concurrent escrow work
+    ledger.undo(7)
+    assert store.read_field(oid, "quantity") == 90  # 8's delta intact
+    assert ledger.has_deltas(8)
+
+
+def test_forget_drops_state_without_touching_the_store(ledger_setup):
+    store, oid, ledger = ledger_setup
+    ledger.apply(7, oid, "quantity", -30)
+    ledger.forget(7)
+    assert store.read_field(oid, "quantity") == 70  # the commit stands
+    assert not ledger.has_deltas(7)
+    assert all(7 not in ledger.pending(shard) for shard in (0, 1))
+
+
+def test_pending_is_per_shard(ledger_setup):
+    store, _, ledger = ledger_setup
+    oids = [store.create("Stock", item=f"i{n}", quantity=10, sold=0).oid
+            for n in range(4)]
+    by_shard = {0: [], 1: []}
+    for index, oid in enumerate(oids):
+        ledger.apply(100 + index, oid, "sold", 1)
+        by_shard[ledger._router.shard_of_oid(oid)].append(100 + index)
+    for shard in (0, 1):
+        assert sorted(ledger.pending(shard)) == sorted(by_shard[shard])
+
+
+def test_frozen_sees_entries_and_values_together(ledger_setup):
+    store, oid, ledger = ledger_setup
+    ledger.apply(7, oid, "quantity", -30)
+    with ledger.frozen():
+        entries = ledger.all_entries()
+        assert 7 in entries
+        total = sum(delta for _, entry_oid, field, delta in entries[7]
+                    if entry_oid == oid and field == "quantity")
+        # The store value is exactly the base plus the live deltas.
+        assert store.read_field(oid, "quantity") == 100 + total

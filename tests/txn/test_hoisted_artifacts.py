@@ -1,0 +1,68 @@
+"""Hoisted per-schema planning artefacts are built once and reused.
+
+The TAV and relational planners precompute their schema-shaped pieces at
+construction — linearisations, domains, method tables, ``ClassLockMode``
+pairs — so ``plan()`` on the hot path is pure table lookups.  These
+regression tests make the reuse falsifiable: the schema's walk methods are
+poisoned *after* construction, so any plan that re-walks them explodes,
+and the interned mode objects are compared by identity across plans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import compile_schema
+from repro.schema.examples import banking_schema, order_entry_schema
+from repro.sim.workload import populate_store
+from repro.txn.operations import DomainAllCall, ExtentCall, MethodCall
+from repro.txn.protocols import RelationalProtocol, TAVProtocol
+
+
+def _poison(monkeypatch, schema, *names):
+    def boom(*args, **kwargs):
+        raise AssertionError("plan() re-walked the schema; the hoisted "
+                             "artefact was not reused")
+    for name in names:
+        monkeypatch.setattr(schema, name, boom)
+
+
+@pytest.fixture
+def order_entry():
+    schema = order_entry_schema()
+    return schema, compile_schema(schema), \
+        populate_store(schema, {"Warehouse": 1, "Stock": 2}, seed=3)
+
+
+def test_tav_plans_from_hoisted_tables_only(order_entry, monkeypatch):
+    schema, compiled, store = order_entry
+    protocol = TAVProtocol(compiled, store)
+    # ``domain`` stays callable: the *store's* domain_extent walks it at run
+    # time by design.  The planner's own copies are the hoisted dicts.
+    _poison(monkeypatch, schema, "method_names")
+    warehouse = store.extent("Warehouse")[0]
+    protocol.plan(MethodCall(oid=warehouse, method="note_order"))
+    protocol.plan(ExtentCall(class_name="Stock", method="stock_level"))
+    protocol.plan(DomainAllCall(class_name="Stock", method="stock_level"))
+
+
+def test_tav_interns_class_lock_modes_across_plans(order_entry):
+    schema, compiled, store = order_entry
+    protocol = TAVProtocol(compiled, store)
+    scan = ExtentCall(class_name="Stock", method="stock_level")
+    first = protocol.plan(scan)
+    second = protocol.plan(scan)
+    for one, two in zip(first.requests, second.requests):
+        if one.resource[0] == "class":
+            assert one.mode is two.mode  # the same interned ClassLockMode
+
+
+def test_relational_plans_from_hoisted_mapping_only(monkeypatch):
+    schema = banking_schema()  # has a hierarchy: the mapping walks matter
+    compiled = compile_schema(schema)
+    store = populate_store(schema, 3, seed=3)
+    protocol = RelationalProtocol(compiled, store)
+    _poison(monkeypatch, schema, "linearization", "descendants", "domain")
+    account = store.extent("Account")[0]
+    protocol.plan(MethodCall(oid=account, method="deposit", arguments=(5,)))
+    protocol.plan(ExtentCall(class_name="Account", method="balance_of"))

@@ -1,0 +1,127 @@
+"""The structural plan cache: memoization, invalidation, engine wiring.
+
+The cache's contract has three parts: a structural operation's plan is a
+dict hit after the first call (and equal to a freshly planned one), the
+shadow-run protocols bypass the cache entirely (their plans are
+data-dependent), and a population change drops every entry — extent and
+domain plans embed store extents, so the engine invalidates from
+``create_instance``/``delete_instance``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import compile_schema
+from repro.engine import Engine
+from repro.schema.examples import order_entry_schema
+from repro.sim.workload import populate_store
+from repro.txn.operations import ExtentCall, MethodCall
+from repro.txn.plan_cache import PlanCache
+from repro.txn.protocols import RWInstanceProtocol, TAVProtocol
+
+
+@pytest.fixture
+def setup():
+    schema = order_entry_schema()
+    compiled = compile_schema(schema)
+    store = populate_store(schema, {"Warehouse": 2, "Stock": 3}, seed=7)
+    return schema, compiled, store
+
+
+def _sale(store, amount=10.0):
+    return MethodCall(oid=store.extent("Warehouse")[0], method="record_sale",
+                      arguments=(amount,))
+
+
+def test_structural_plans_are_memoized_and_equal_to_fresh_ones(setup):
+    _, compiled, store = setup
+    protocol = TAVProtocol(compiled, store)
+    cache = PlanCache(protocol)
+    operation = _sale(store)
+
+    first, hit_first = cache.plan(operation)
+    second, hit_second = cache.plan(operation)
+    assert (hit_first, hit_second) == (False, True)
+    assert second is first  # one shared frozen plan, not a copy
+    assert first == protocol.plan(operation)
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_same_argument_shape_shares_one_entry(setup):
+    """The key is the argument *shape* (types), not the values."""
+    _, compiled, store = setup
+    cache = PlanCache(TAVProtocol(compiled, store))
+    cache.plan(_sale(store, 10.0))
+    _, hit = cache.plan(_sale(store, 99.0))
+    assert hit is True
+    assert len(cache) == 1
+
+
+def test_shadow_run_protocols_bypass_the_cache(setup):
+    """rw-instance plans come from a shadow execution: data-dependent, so
+    every call is classified uncacheable and delegated."""
+    _, compiled, store = setup
+    cache = PlanCache(RWInstanceProtocol(compiled, store))
+    operation = _sale(store)
+    _, hit_first = cache.plan(operation)
+    _, hit_second = cache.plan(operation)
+    assert (hit_first, hit_second) == (False, False)
+    assert cache.stats.uncacheable == 2
+    assert cache.stats.lookups == 0 and len(cache) == 0
+
+
+def test_invalidate_drops_entries_and_counts(setup):
+    _, compiled, store = setup
+    cache = PlanCache(TAVProtocol(compiled, store))
+    cache.plan(_sale(store))
+    assert len(cache) == 1
+    cache.invalidate()
+    assert len(cache) == 0
+    assert cache.stats.invalidations == 1
+    _, hit = cache.plan(_sale(store))
+    assert hit is False
+
+
+def test_full_cache_clears_instead_of_growing_unbounded(setup):
+    _, compiled, store = setup
+    cache = PlanCache(TAVProtocol(compiled, store), max_entries=2)
+    warehouse, stocks = store.extent("Warehouse")[0], store.extent("Stock")
+    cache.plan(MethodCall(oid=warehouse, method="record_sale",
+                          arguments=(1.0,)))
+    cache.plan(MethodCall(oid=warehouse, method="note_order"))
+    cache.plan(MethodCall(oid=stocks[0], method="stock_level"))
+    assert len(cache) == 1  # the overflow cleared the first two
+
+
+def test_engine_plans_through_the_cache(setup):
+    _, compiled, store = setup
+    with Engine(TAVProtocol(compiled, store)) as engine:
+        warehouse = store.extent("Warehouse")[0]
+        for _ in range(5):
+            session = engine.begin()
+            session.call(warehouse, "record_sale", 5.0)
+            session.commit()
+        assert engine.plan_cache.stats.hits >= 4
+        assert engine.metrics.plan_cache_hit_rate >= 0.8
+
+
+def test_create_instance_invalidates_and_extent_plans_see_newcomers(setup):
+    """An extent plan embeds the extent; a cached pre-create plan would
+    silently skip the new instance's control."""
+    _, compiled, store = setup
+    with Engine(TAVProtocol(compiled, store)) as engine:
+        scan = ExtentCall(class_name="Stock", method="stock_level")
+        session = engine.begin()
+        session.perform(scan)
+        session.commit()
+        before = engine.plan_cache.stats.invalidations
+
+        engine.create_instance("Stock", item="widget", quantity=5, sold=0)
+        assert engine.plan_cache.stats.invalidations > before
+
+        reader = engine.begin()
+        results = reader.perform(scan)
+        reader.commit()
+        assert len(results) == len(store.extent("Stock")) == 4
